@@ -1,0 +1,38 @@
+//! Hardware-simulator benchmarks: exhaustive exploration cost per test.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use txmm_hwsim::{ArmSim, PowerSim, Simulator, TsoSim};
+use txmm_litmus::litmus_from_execution;
+use txmm_models::{catalog, Arch};
+
+fn bench_sims(c: &mut Criterion) {
+    let mut g = c.benchmark_group("hwsim");
+    let cases = vec![
+        ("sb", catalog::sb(None, false, false)),
+        ("sb+txns", catalog::sb(None, true, true)),
+        ("mp", catalog::mp(None, false, false)),
+        ("iriw+txns", catalog::power_exec3(true)),
+    ];
+    for (name, x) in &cases {
+        let tx86 = litmus_from_execution(name, x, Arch::X86);
+        g.bench_with_input(BenchmarkId::new("tso", name), &tx86, |b, t| {
+            b.iter(|| TsoSim.run(std::hint::black_box(t)).len())
+        });
+        let tarm = litmus_from_execution(name, x, Arch::Armv8);
+        g.bench_with_input(BenchmarkId::new("armv8", name), &tarm, |b, t| {
+            b.iter(|| ArmSim::default().run(std::hint::black_box(t)).len())
+        });
+        let tpow = litmus_from_execution(name, x, Arch::Power);
+        g.bench_with_input(BenchmarkId::new("power", name), &tpow, |b, t| {
+            b.iter(|| PowerSim::default().run(std::hint::black_box(t)).len())
+        });
+    }
+    g.bench_function("elision-armv8", |b| {
+        let t = litmus_from_execution("elision", &catalog::armv8_elision(false), Arch::Armv8);
+        b.iter(|| ArmSim::default().observable(std::hint::black_box(&t)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_sims);
+criterion_main!(benches);

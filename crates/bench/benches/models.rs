@@ -1,0 +1,43 @@
+//! Consistency-check throughput for every model (the inner loop of all
+//! synthesis and verification).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use txmm_models::registry::all_models;
+use txmm_models::catalog;
+
+fn bench_models(c: &mut Criterion) {
+    let execs = vec![
+        ("fig2", catalog::fig2()),
+        ("sb+txns", catalog::sb(None, true, true)),
+        ("iriw+txns", catalog::power_exec3(true)),
+        ("elision", catalog::armv8_elision(false)),
+    ];
+    let mut g = c.benchmark_group("consistency");
+    for model in all_models() {
+        for (name, x) in &execs {
+            g.bench_with_input(
+                BenchmarkId::new(model.name(), name),
+                x,
+                |b, x| b.iter(|| model.consistent(std::hint::black_box(x))),
+            );
+        }
+    }
+    g.finish();
+}
+
+fn bench_cat_vs_native(c: &mut Criterion) {
+    let x = catalog::power_exec3(true);
+    let native = txmm_models::Power::tm();
+    let cat = txmm_cat::cat_model("power-tm").expect("shipped model");
+    let mut g = c.benchmark_group("cat-vs-native");
+    g.bench_function("native-power-tm", |b| {
+        b.iter(|| txmm_models::Model::consistent(&native, std::hint::black_box(&x)))
+    });
+    g.bench_function("cat-power-tm", |b| {
+        b.iter(|| cat.consistent(std::hint::black_box(&x)).expect("evaluates"))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_models, bench_cat_vs_native);
+criterion_main!(benches);

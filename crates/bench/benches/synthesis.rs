@@ -1,0 +1,50 @@
+//! Table 1 engine benchmarks: enumeration and Forbid/Allow synthesis.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use txmm_bench::table1_config;
+use txmm_models::{Arch, Power, Sc, Tsc, X86};
+use txmm_synth::{count, synthesise, EnumConfig};
+
+fn bench_enumeration(c: &mut Criterion) {
+    let mut g = c.benchmark_group("enumerate");
+    g.sample_size(10);
+    for events in [2, 3] {
+        let cfg = table1_config(Arch::X86, events);
+        g.bench_with_input(BenchmarkId::new("x86", events), &cfg, |b, cfg| {
+            b.iter(|| count(std::hint::black_box(cfg)))
+        });
+    }
+    g.finish();
+}
+
+fn bench_synthesis(c: &mut Criterion) {
+    let mut g = c.benchmark_group("synthesise");
+    g.sample_size(10);
+    let x86cfg = table1_config(Arch::X86, 3);
+    g.bench_function("x86-forbid-3", |b| {
+        b.iter(|| synthesise(&x86cfg, &X86::tm(), &X86::base(), None).forbid.len())
+    });
+    let pcfg = table1_config(Arch::Power, 3);
+    g.bench_function("power-forbid-3", |b| {
+        b.iter(|| synthesise(&pcfg, &Power::tm(), &Power::base(), None).forbid.len())
+    });
+    let tsc_cfg = EnumConfig {
+        arch: Arch::Sc,
+        events: 3,
+        max_threads: 2,
+        max_locs: 2,
+        fences: false,
+        deps: false,
+        rmws: false,
+        txns: true,
+        attrs: false,
+        atomic_txns: false,
+    };
+    g.bench_function("tsc-forbid-3", |b| {
+        b.iter(|| synthesise(&tsc_cfg, &Tsc, &Sc, None).forbid.len())
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_enumeration, bench_synthesis);
+criterion_main!(benches);

@@ -1,0 +1,68 @@
+//! Prints every named execution from the paper — Figs. 1, 2, 3, 10, the
+//! §5.2 Power executions, Remark 5.1, §8.1, §9, Example 1.1 and
+//! Appendix B — with model verdicts (native and `.cat`), litmus
+//! renderings, and simulator observability.
+
+use txmm_bench::verdict_str;
+use txmm_cat::cat_model;
+use txmm_core::display;
+use txmm_hwsim::{ArmSim, PowerSim, Simulator, TsoSim};
+use txmm_litmus::{litmus_from_execution, render};
+use txmm_models::registry::by_name;
+use txmm_models::{catalog, Arch};
+
+fn main() {
+    let show_litmus = std::env::var("TXMM_LITMUS").is_ok();
+    for entry in catalog::all() {
+        println!("==== {} ({}) ====", entry.name, entry.paper_ref);
+        println!("{}", entry.description);
+        println!("{}", display::render(&entry.exec));
+        for (model_name, expect) in &entry.expect {
+            let model = by_name(model_name).expect("registered model");
+            let line = verdict_str(model.as_ref(), &entry.exec);
+            let ok = line.starts_with("consistent")
+                == matches!(expect, catalog::Expect::Consistent);
+            let cat_note = match cat_model(model_name) {
+                Some(cm) => match cm.consistent(&entry.exec) {
+                    Ok(c) => {
+                        if c == line.starts_with("consistent") {
+                            " [cat agrees]".to_string()
+                        } else {
+                            " [cat DISAGREES]".to_string()
+                        }
+                    }
+                    Err(e) => format!(" [cat error: {e}]"),
+                },
+                None => String::new(),
+            };
+            println!("  {:<10} {}{}{}", model_name, line, if ok { "" } else { "  <-- MISMATCH" }, cat_note);
+        }
+        // Simulator observability where an architecture applies.
+        let arch = entry
+            .expect
+            .iter()
+            .find_map(|(m, _)| match *m {
+                "x86" | "x86-tm" => Some(Arch::X86),
+                "power" | "power-tm" => Some(Arch::Power),
+                "armv8" | "armv8-tm" => Some(Arch::Armv8),
+                _ => None,
+            });
+        if let Some(arch) = arch {
+            if entry.exec.calls().is_empty() {
+                let t = litmus_from_execution(entry.name, &entry.exec, arch);
+                let seen = match arch {
+                    Arch::X86 => TsoSim.observable(&t),
+                    Arch::Power => PowerSim::default().observable(&t),
+                    Arch::Armv8 => ArmSim::default().observable(&t),
+                    _ => unreachable!(),
+                };
+                println!("  hardware simulator ({}): {}", arch.name(), if seen { "SEEN" } else { "not seen" });
+                if show_litmus {
+                    println!("\n{}", render::assembly(&t));
+                }
+            }
+        }
+        println!();
+    }
+    println!("Set TXMM_LITMUS=1 to print the per-architecture litmus listings.");
+}

@@ -1,0 +1,75 @@
+//! # txmm-bench
+//!
+//! The harness that regenerates every table and figure of the paper's
+//! evaluation:
+//!
+//! * `table1` (bin) — Forbid/Allow synthesis per event count for the
+//!   transactional x86 and Power models, each test "run" on the
+//!   simulated hardware (Table 1);
+//! * `fig7` (bin) — the distribution of synthesis times for the largest
+//!   x86 Forbid suite (Fig. 7);
+//! * `table2` (bin) — the metatheory matrix: monotonicity, C++
+//!   compilation, lock elision (Table 2);
+//! * `catalog` (bin) — every named execution of the paper with model
+//!   verdicts and litmus renderings (Figs. 1–3, 10, §5.2, §8.1, §9,
+//!   Ex. 1.1, App. B);
+//! * criterion benches (`synthesis`, `metatheory`, `models`, `hwsim`)
+//!   measuring the underlying engines.
+
+use std::time::Duration;
+
+use txmm_models::{Arch, Model};
+use txmm_synth::EnumConfig;
+
+/// The synthesis configuration used for Table 1 rows.
+pub fn table1_config(arch: Arch, events: usize) -> EnumConfig {
+    EnumConfig {
+        arch,
+        events,
+        max_threads: 3,
+        max_locs: 2,
+        fences: true,
+        deps: arch == Arch::Power,
+        rmws: true,
+        txns: true,
+        attrs: false,
+        atomic_txns: false,
+    }
+}
+
+/// Pretty seconds.
+pub fn secs(d: Duration) -> String {
+    format!("{:.2}s", d.as_secs_f64())
+}
+
+/// Format a consistency verdict like the paper's tables.
+pub fn verdict_str(m: &dyn Model, x: &txmm_core::Execution) -> String {
+    let v = m.check(x);
+    if v.is_consistent() {
+        "consistent".to_string()
+    } else {
+        format!("forbidden ({})", v.violations().join(", "))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn config_shapes() {
+        let c = table1_config(Arch::X86, 4);
+        assert_eq!(c.events, 4);
+        assert!(!c.deps);
+        assert!(table1_config(Arch::Power, 3).deps);
+    }
+
+    #[test]
+    fn helpers() {
+        assert_eq!(secs(Duration::from_millis(1500)), "1.50s");
+        let x = txmm_models::catalog::fig1();
+        assert!(verdict_str(&txmm_models::Sc, &x).contains("consistent"));
+        let y = txmm_models::catalog::sb(None, false, false);
+        assert!(verdict_str(&txmm_models::Sc, &y).contains("Order"));
+    }
+}

@@ -1,0 +1,343 @@
+//! Evaluating `.cat` models over executions.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use txmm_core::{stronglift, weaklift, Attrs, EventSet, Execution, Fence, Rel};
+use txmm_models::{Checker, Verdict};
+
+use crate::parser::{CatFile, CheckKind, Decl, Expr};
+
+/// A `.cat` value: a set of events or a relation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// A set of events.
+    Set(EventSet),
+    /// A binary relation.
+    Rel(Rel),
+}
+
+/// An evaluation error.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EvalError {
+    /// Description.
+    pub message: String,
+}
+
+impl fmt::Display for EvalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "eval error: {}", self.message)
+    }
+}
+
+impl std::error::Error for EvalError {}
+
+fn err<T>(message: impl Into<String>) -> Result<T, EvalError> {
+    Err(EvalError { message: message.into() })
+}
+
+/// The evaluation environment: builtin sets/relations of the execution
+/// plus user `let` bindings.
+pub struct Env<'x> {
+    x: &'x Execution,
+    vars: HashMap<String, Value>,
+}
+
+impl<'x> Env<'x> {
+    /// Builtins for an execution.
+    pub fn new(x: &'x Execution) -> Env<'x> {
+        Env { x, vars: HashMap::new() }
+    }
+
+    fn builtin(&self, name: &str) -> Option<Value> {
+        let x = self.x;
+        let n = x.len();
+        let rel = |r: Rel| Some(Value::Rel(r));
+        let set = |s: EventSet| Some(Value::Set(s));
+        match name {
+            // Sets.
+            "R" => set(x.reads()),
+            "W" => set(x.writes()),
+            "M" => set(x.accesses()),
+            "F" => set(x.fences()),
+            "A" | "Acq" => set(x.acq()),
+            "L" | "Rel" => set(x.rel_events()),
+            "SC" => set(x.sc_events()),
+            "Ato" => set(x.ato()),
+            "emptyset" => set(EventSet::EMPTY),
+            // Relations.
+            "id" => rel(Rel::id(n)),
+            "unv" => rel(Rel::full(n)),
+            "po" => rel(x.po().clone()),
+            "addr" => rel(x.addr().clone()),
+            "ctrl" => rel(x.ctrl().clone()),
+            "data" => rel(x.data().clone()),
+            "rmw" => rel(x.rmw().clone()),
+            "rf" => rel(x.rf().clone()),
+            "co" => rel(x.co().clone()),
+            "fr" => rel(x.fr()),
+            "com" => rel(x.com()),
+            "rfe" => rel(x.rfe()),
+            "rfi" => rel(x.rfi()),
+            "coe" => rel(x.coe()),
+            "coi" => rel(x.coi()),
+            "fre" => rel(x.fre()),
+            "fri" => rel(x.fri()),
+            "come" => rel(x.come()),
+            "sloc" | "loc" => rel(x.sloc()),
+            "sthd" | "int" => rel(x.sthd()),
+            "ext" => rel(x.sthd().complement()),
+            "poloc" => rel(x.po_loc()),
+            "stxn" => rel(x.stxn()),
+            "stxnat" => rel(x.stxnat()),
+            "tfence" => rel(x.tfence()),
+            "scr" => rel(x.scr()),
+            "scrt" => rel(x.scrt()),
+            "mfence" => rel(x.fence_rel(Fence::MFence)),
+            "sync" => rel(x.fence_rel(Fence::Sync)),
+            "lwsync" => rel(x.fence_rel(Fence::Lwsync)),
+            "isync" => rel(x.fence_rel(Fence::Isync)),
+            "dmb" => rel(x.fence_rel(Fence::Dmb)),
+            "dmbld" => rel(x.fence_rel(Fence::DmbLd)),
+            "dmbst" => rel(x.fence_rel(Fence::DmbSt)),
+            "isb" => rel(x.fence_rel(Fence::Isb)),
+            // Fence-event sets (for [ISB]-style uses).
+            "ISB" => set(x.fence_events(Fence::Isb)),
+            "MFENCE" => set(x.fence_events(Fence::MFence)),
+            "SYNC" => set(x.fence_events(Fence::Sync)),
+            "LWSYNC" => set(x.fence_events(Fence::Lwsync)),
+            "ISYNC" => set(x.fence_events(Fence::Isync)),
+            "DMB" => set(x.fence_events(Fence::Dmb)),
+            "DMBLD" => set(x.fence_events(Fence::DmbLd)),
+            "DMBST" => set(x.fence_events(Fence::DmbSt)),
+            // Attribute shorthands used by the C++ model.
+            "RlxW" => set(x.writes().inter(x.ato())),
+            "RlxR" => set(x.reads().inter(x.ato())),
+            "FSC" => set(x.sc_events().inter(x.fences())),
+            "AcqRead" => set(x.acq().inter(x.reads())),
+            "RelWrite" => set(x.with_attr(Attrs::REL).inter(x.writes())),
+            _ => None,
+        }
+    }
+
+    fn lookup(&self, name: &str) -> Result<Value, EvalError> {
+        if let Some(v) = self.vars.get(name) {
+            return Ok(v.clone());
+        }
+        match self.builtin(name) {
+            Some(v) => Ok(v),
+            None => err(format!("unbound identifier {name}")),
+        }
+    }
+
+    fn as_rel(&self, v: Value) -> Rel {
+        match v {
+            Value::Rel(r) => r,
+            // Implicit coercion: a set used as a relation means [set]
+            // (herd does the same for `[S]`-free positions rarely; we
+            // keep it for convenience in lifts).
+            Value::Set(s) => Rel::id_on(self.x.len(), s),
+        }
+    }
+
+    /// Evaluate an expression.
+    pub fn eval(&self, e: &Expr) -> Result<Value, EvalError> {
+        let n = self.x.len();
+        Ok(match e {
+            Expr::Ident(name) => self.lookup(name)?,
+            Expr::Universe => Value::Set(EventSet::universe(n)),
+            Expr::Union(a, b) => match (self.eval(a)?, self.eval(b)?) {
+                (Value::Set(x), Value::Set(y)) => Value::Set(x.union(y)),
+                (x, y) => Value::Rel(self.as_rel(x).union(&self.as_rel(y))),
+            },
+            Expr::Inter(a, b) => match (self.eval(a)?, self.eval(b)?) {
+                (Value::Set(x), Value::Set(y)) => Value::Set(x.inter(y)),
+                (x, y) => Value::Rel(self.as_rel(x).inter(&self.as_rel(y))),
+            },
+            Expr::Diff(a, b) => match (self.eval(a)?, self.eval(b)?) {
+                (Value::Set(x), Value::Set(y)) => Value::Set(x.minus(y)),
+                (x, y) => Value::Rel(self.as_rel(x).minus(&self.as_rel(y))),
+            },
+            Expr::Seq(a, b) => {
+                Value::Rel(self.as_rel(self.eval(a)?).seq(&self.as_rel(self.eval(b)?)))
+            }
+            Expr::Cross(a, b) => match (self.eval(a)?, self.eval(b)?) {
+                (Value::Set(x), Value::Set(y)) => Value::Rel(Rel::cross(n, x, y)),
+                _ => return err("cross product needs two sets"),
+            },
+            Expr::Plus(a) => Value::Rel(self.as_rel(self.eval(a)?).plus()),
+            Expr::Star(a) => Value::Rel(self.as_rel(self.eval(a)?).star()),
+            Expr::Opt(a) => Value::Rel(self.as_rel(self.eval(a)?).opt()),
+            Expr::Inverse(a) => Value::Rel(self.as_rel(self.eval(a)?).inverse()),
+            Expr::Complement(a) => match self.eval(a)? {
+                Value::Set(s) => Value::Set(s.complement(n)),
+                Value::Rel(r) => Value::Rel(r.complement()),
+            },
+            Expr::IdOn(a) => match self.eval(a)? {
+                Value::Set(s) => Value::Rel(Rel::id_on(n, s)),
+                Value::Rel(_) => return err("[_] needs a set"),
+            },
+            Expr::Call(f, args) => self.call(f, args)?,
+        })
+    }
+
+    fn call(&self, f: &str, args: &[Expr]) -> Result<Value, EvalError> {
+        let rel_arg = |i: usize| -> Result<Rel, EvalError> {
+            Ok(self.as_rel(self.eval(&args[i])?))
+        };
+        match (f, args.len()) {
+            ("weaklift", 2) => Ok(Value::Rel(weaklift(&rel_arg(0)?, &rel_arg(1)?))),
+            ("stronglift", 2) => Ok(Value::Rel(stronglift(&rel_arg(0)?, &rel_arg(1)?))),
+            ("domain", 1) => Ok(Value::Set(rel_arg(0)?.domain())),
+            ("range", 1) => Ok(Value::Set(rel_arg(0)?.range())),
+            _ => err(format!("unknown function {f}/{}", args.len())),
+        }
+    }
+}
+
+/// A compiled `.cat` model ready to check executions.
+pub struct CatModel {
+    /// The display name.
+    pub name: &'static str,
+    file: CatFile,
+}
+
+impl CatModel {
+    /// Wrap a parsed file.
+    pub fn new(name: &'static str, file: CatFile) -> CatModel {
+        CatModel { name, file }
+    }
+
+    /// Evaluate every check over an execution.
+    pub fn check(&self, x: &Execution) -> Result<Verdict, EvalError> {
+        let mut env = Env::new(x);
+        let mut checker = Checker::new(self.name);
+        for decl in &self.file.decls {
+            match decl {
+                Decl::Let { recursive: false, bindings } => {
+                    for (name, e) in bindings {
+                        let v = env.eval(e)?;
+                        env.vars.insert(name.clone(), v);
+                    }
+                }
+                Decl::Let { recursive: true, bindings } => {
+                    // Least fixpoint: start from empty relations and
+                    // iterate (all cat fixpoints we use are monotone).
+                    let n = x.len();
+                    for (name, _) in bindings {
+                        env.vars.insert(name.clone(), Value::Rel(Rel::empty(n)));
+                    }
+                    loop {
+                        let mut changed = false;
+                        for (name, e) in bindings {
+                            let v = env.eval(e)?;
+                            if env.vars.get(name) != Some(&v) {
+                                env.vars.insert(name.clone(), v);
+                                changed = true;
+                            }
+                        }
+                        if !changed {
+                            break;
+                        }
+                    }
+                }
+                Decl::Check { kind, expr, name } => {
+                    let r = env.as_rel(env.eval(expr)?);
+                    // Leak the name: check names come from static model
+                    // sources and bench tables; the set is tiny.
+                    let static_name: &'static str = Box::leak(name.clone().into_boxed_str());
+                    match kind {
+                        CheckKind::Acyclic => checker.acyclic(static_name, &r),
+                        CheckKind::Irreflexive => checker.irreflexive(static_name, &r),
+                        CheckKind::Empty => checker.empty(static_name, &r),
+                    };
+                }
+            }
+        }
+        Ok(checker.finish())
+    }
+
+    /// Convenience: is the execution consistent under this model?
+    pub fn consistent(&self, x: &Execution) -> Result<bool, EvalError> {
+        Ok(self.check(x)?.is_consistent())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+    use txmm_core::ExecBuilder;
+    use txmm_models::catalog;
+
+    fn sc_model() -> CatModel {
+        CatModel::new("cat-sc", parse("acyclic po | com as Order").unwrap())
+    }
+
+    #[test]
+    fn sc_in_cat() {
+        let m = sc_model();
+        assert!(m.consistent(&catalog::fig1()).unwrap());
+        assert!(!m.consistent(&catalog::sb(None, false, false)).unwrap());
+    }
+
+    #[test]
+    fn tsc_in_cat() {
+        let src = "
+            let hb = po | com
+            acyclic hb as Order
+            acyclic stronglift(hb, stxn) as TxnOrder
+        ";
+        let m = CatModel::new("cat-tsc", parse(src).unwrap());
+        assert!(!m.consistent(&catalog::fig3('a')).unwrap());
+        assert!(m.consistent(&catalog::fig1()).unwrap());
+    }
+
+    #[test]
+    fn sets_and_cross() {
+        let mut b = ExecBuilder::new();
+        let t0 = b.new_thread();
+        b.write(t0, 0);
+        b.read(t0, 0);
+        let x = b.build().unwrap();
+        let env = Env::new(&x);
+        let e = parse("let z = (W * R) & po").unwrap();
+        let Decl::Let { bindings, .. } = &e.decls[0] else { panic!() };
+        let Value::Rel(r) = env.eval(&bindings[0].1).unwrap() else { panic!() };
+        assert!(r.contains(0, 1));
+        assert_eq!(r.len(), 1);
+    }
+
+    #[test]
+    fn let_rec_fixpoint() {
+        // Transitive closure via a recursive definition.
+        let mut b = ExecBuilder::new();
+        let t0 = b.new_thread();
+        b.read(t0, 0);
+        b.read(t0, 0);
+        b.read(t0, 0);
+        let x = b.build().unwrap();
+        let src = "
+            let step = po & ~(po ; po)   // immediate po
+            let rec tc = step | tc ; step
+            empty tc \\ po as Sub
+            empty po \\ tc as Sup
+        ";
+        let m = CatModel::new("rec", parse(src).unwrap());
+        let v = m.check(&x).unwrap();
+        assert!(v.is_consistent(), "{v}");
+    }
+
+    #[test]
+    fn unbound_identifier_errors() {
+        let m = CatModel::new("bad", parse("acyclic nonsense as X").unwrap());
+        assert!(m.check(&catalog::fig1()).is_err());
+    }
+
+    #[test]
+    fn check_names_reported() {
+        let m = sc_model();
+        let v = m.check(&catalog::sb(None, false, false)).unwrap();
+        assert_eq!(v.violations(), ["Order"]);
+    }
+}

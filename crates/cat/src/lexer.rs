@@ -1,0 +1,268 @@
+//! Tokeniser for the `.cat` subset.
+
+use std::fmt;
+
+/// A token of the `.cat` language subset.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Token {
+    /// An identifier (`po`, `rfe`, `W`, ...).
+    Ident(String),
+    /// `let`.
+    Let,
+    /// `rec` (recursive definitions).
+    Rec,
+    /// `and` (between recursive bindings).
+    And,
+    /// `acyclic`.
+    Acyclic,
+    /// `irreflexive`.
+    Irreflexive,
+    /// `empty`.
+    Empty,
+    /// `as` (names a check).
+    As,
+    /// `|`.
+    Bar,
+    /// `&`.
+    Amp,
+    /// `\`.
+    Backslash,
+    /// `;`.
+    Semi,
+    /// `+`.
+    Plus,
+    /// `*`.
+    Star,
+    /// `?`.
+    Question,
+    /// `~`.
+    Tilde,
+    /// `^-1`.
+    Inverse,
+    /// `(`.
+    LParen,
+    /// `)`.
+    RParen,
+    /// `[`.
+    LBracket,
+    /// `]`.
+    RBracket,
+    /// `,`.
+    Comma,
+    /// `=`.
+    Eq,
+    /// `_` (the universal set).
+    Underscore,
+}
+
+impl fmt::Display for Token {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Token::Ident(s) => write!(f, "{s}"),
+            t => write!(f, "{t:?}"),
+        }
+    }
+}
+
+/// A lexical error with its byte offset.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LexError {
+    /// Byte position in the source.
+    pub pos: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for LexError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "lex error at byte {}: {}", self.pos, self.message)
+    }
+}
+
+impl std::error::Error for LexError {}
+
+/// Tokenise `.cat` source. Comments run `//` to end of line and
+/// `(*  *)` blocks (as in herd).
+pub fn lex(src: &str) -> Result<Vec<Token>, LexError> {
+    let bytes = src.as_bytes();
+    let mut out = Vec::new();
+    let mut i = 0usize;
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        match c {
+            ' ' | '\t' | '\r' | '\n' => i += 1,
+            '/' if bytes.get(i + 1) == Some(&b'/') => {
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    i += 1;
+                }
+            }
+            '(' if bytes.get(i + 1) == Some(&b'*') => {
+                let start = i;
+                i += 2;
+                loop {
+                    if i + 1 >= bytes.len() {
+                        return Err(LexError { pos: start, message: "unterminated comment".into() });
+                    }
+                    if bytes[i] == b'*' && bytes[i + 1] == b')' {
+                        i += 2;
+                        break;
+                    }
+                    i += 1;
+                }
+            }
+            '|' => {
+                out.push(Token::Bar);
+                i += 1;
+            }
+            '&' => {
+                out.push(Token::Amp);
+                i += 1;
+            }
+            '\\' => {
+                out.push(Token::Backslash);
+                i += 1;
+            }
+            ';' => {
+                out.push(Token::Semi);
+                i += 1;
+            }
+            '+' => {
+                out.push(Token::Plus);
+                i += 1;
+            }
+            '*' => {
+                out.push(Token::Star);
+                i += 1;
+            }
+            '?' => {
+                out.push(Token::Question);
+                i += 1;
+            }
+            '~' => {
+                out.push(Token::Tilde);
+                i += 1;
+            }
+            '(' => {
+                out.push(Token::LParen);
+                i += 1;
+            }
+            ')' => {
+                out.push(Token::RParen);
+                i += 1;
+            }
+            '[' => {
+                out.push(Token::LBracket);
+                i += 1;
+            }
+            ']' => {
+                out.push(Token::RBracket);
+                i += 1;
+            }
+            ',' => {
+                out.push(Token::Comma);
+                i += 1;
+            }
+            '=' => {
+                out.push(Token::Eq);
+                i += 1;
+            }
+            '_' if !bytes
+                .get(i + 1)
+                .is_some_and(|b| (*b as char).is_alphanumeric() || *b == b'_') =>
+            {
+                out.push(Token::Underscore);
+                i += 1;
+            }
+            '^' => {
+                if src[i..].starts_with("^-1") {
+                    out.push(Token::Inverse);
+                    i += 3;
+                } else {
+                    return Err(LexError { pos: i, message: "expected ^-1".into() });
+                }
+            }
+            c if c.is_alphabetic() || c == '_' => {
+                let start = i;
+                while i < bytes.len() {
+                    let c = bytes[i] as char;
+                    if c.is_alphanumeric() || c == '_' || c == '-' && false {
+                        i += 1;
+                    } else {
+                        break;
+                    }
+                }
+                let word = &src[start..i];
+                out.push(match word {
+                    "let" => Token::Let,
+                    "rec" => Token::Rec,
+                    "and" => Token::And,
+                    "acyclic" => Token::Acyclic,
+                    "irreflexive" => Token::Irreflexive,
+                    "empty" => Token::Empty,
+                    "as" => Token::As,
+                    w => Token::Ident(w.to_string()),
+                });
+            }
+            _ => {
+                return Err(LexError { pos: i, message: format!("unexpected character {c:?}") })
+            }
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_tokens() {
+        let ts = lex("let hb = po | rfe ; co^-1").unwrap();
+        assert_eq!(
+            ts,
+            vec![
+                Token::Let,
+                Token::Ident("hb".into()),
+                Token::Eq,
+                Token::Ident("po".into()),
+                Token::Bar,
+                Token::Ident("rfe".into()),
+                Token::Semi,
+                Token::Ident("co".into()),
+                Token::Inverse,
+            ]
+        );
+    }
+
+    #[test]
+    fn comments() {
+        let ts = lex("po // trailing\n(* block \n comment *) rf").unwrap();
+        assert_eq!(ts, vec![Token::Ident("po".into()), Token::Ident("rf".into())]);
+    }
+
+    #[test]
+    fn checks_and_brackets() {
+        let ts = lex("acyclic [W] ; po as Order").unwrap();
+        assert_eq!(ts[0], Token::Acyclic);
+        assert!(ts.contains(&Token::As));
+        assert!(ts.contains(&Token::LBracket));
+    }
+
+    #[test]
+    fn underscore_universe() {
+        let ts = lex("_ \\ W").unwrap();
+        assert_eq!(ts[0], Token::Underscore);
+        let ts2 = lex("_foo").unwrap();
+        assert_eq!(ts2[0], Token::Ident("_foo".into()));
+    }
+
+    #[test]
+    fn unterminated_comment_errors() {
+        assert!(lex("(* oops").is_err());
+    }
+
+    #[test]
+    fn stray_caret_errors() {
+        assert!(lex("po ^ rf").is_err());
+    }
+}

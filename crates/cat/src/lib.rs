@@ -1,0 +1,34 @@
+//! # txmm-cat
+//!
+//! A `.cat`-subset DSL — the format of the paper's companion material —
+//! with a lexer, parser and evaluator, plus all ten models (five
+//! baselines, five transactional extensions) shipped as `.cat` sources.
+//!
+//! The subset covers everything the paper's models need: the relational
+//! operators `| & \ ; ~ ^-1 ? + *`, set cross-products, `[set]`
+//! lifting, recursive `let rec … and …` groups (the Power ppo
+//! fixpoint), the `weaklift`/`stronglift` combinators of §3.3, and the
+//! `acyclic`/`irreflexive`/`empty` checks.
+//!
+//! ```
+//! use txmm_cat::{cat_model, parse, CatModel};
+//! use txmm_models::catalog;
+//!
+//! // The shipped transactional x86 model forbids Fig. 2's execution.
+//! let m = cat_model("x86-tm").unwrap();
+//! assert!(!m.consistent(&catalog::fig2()).unwrap());
+//!
+//! // Ad-hoc models evaluate too.
+//! let sc = CatModel::new("sc", parse("acyclic po | com as Order").unwrap());
+//! assert!(sc.consistent(&catalog::fig1()).unwrap());
+//! ```
+
+pub mod eval;
+pub mod lexer;
+pub mod models;
+pub mod parser;
+
+pub use eval::{CatModel, Env, EvalError, Value};
+pub use lexer::{lex, LexError, Token};
+pub use models::{all_cat_models, cat_model, SOURCES};
+pub use parser::{parse, CatFile, CheckKind, Decl, Expr, ParseError};

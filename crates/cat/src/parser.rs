@@ -1,0 +1,398 @@
+//! Parser for the `.cat` subset.
+//!
+//! Grammar (binding tightest to loosest):
+//!
+//! ```text
+//! model    ::= decl*
+//! decl     ::= "let" "rec"? binding ("and" binding)*
+//!            | ("acyclic" | "irreflexive" | "empty") expr ("as" IDENT)?
+//! binding  ::= IDENT "=" expr
+//! expr     ::= alt
+//! alt      ::= diff ("|" diff)*
+//! diff     ::= inter ("\" inter)*
+//! inter    ::= seq ("&" seq)*
+//! seq      ::= cross (";" cross)*
+//! cross    ::= postfix ("*" postfix)*        // set cross-product
+//! postfix  ::= prefix ("+" | "*" | "?" | "^-1")*
+//! prefix   ::= "~" prefix | primary
+//! primary  ::= IDENT | IDENT "(" expr ("," expr)* ")"
+//!            | "[" expr "]" | "(" expr ")" | "_"
+//! ```
+//!
+//! The infix/postfix `*` ambiguity resolves by lookahead: `*` followed
+//! by a primary-start token is the cross product.
+
+use crate::lexer::{lex, LexError, Token};
+use std::fmt;
+
+/// An expression of the `.cat` subset.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// A name (set or relation).
+    Ident(String),
+    /// `e1 | e2`.
+    Union(Box<Expr>, Box<Expr>),
+    /// `e1 & e2`.
+    Inter(Box<Expr>, Box<Expr>),
+    /// `e1 \ e2`.
+    Diff(Box<Expr>, Box<Expr>),
+    /// `e1 ; e2`.
+    Seq(Box<Expr>, Box<Expr>),
+    /// `e1 * e2` (set cross product).
+    Cross(Box<Expr>, Box<Expr>),
+    /// `e+`.
+    Plus(Box<Expr>),
+    /// `e*`.
+    Star(Box<Expr>),
+    /// `e?`.
+    Opt(Box<Expr>),
+    /// `e^-1`.
+    Inverse(Box<Expr>),
+    /// `~e`.
+    Complement(Box<Expr>),
+    /// `[e]`.
+    IdOn(Box<Expr>),
+    /// `_`.
+    Universe,
+    /// `f(e1, ..., en)`.
+    Call(String, Vec<Expr>),
+}
+
+/// What a check asserts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CheckKind {
+    /// `acyclic e`.
+    Acyclic,
+    /// `irreflexive e`.
+    Irreflexive,
+    /// `empty e`.
+    Empty,
+}
+
+/// A top-level declaration.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Decl {
+    /// `let x = e` (or a `let rec` group).
+    Let { recursive: bool, bindings: Vec<(String, Expr)> },
+    /// A consistency check.
+    Check { kind: CheckKind, expr: Expr, name: String },
+}
+
+/// A parsed model.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CatFile {
+    /// Declarations in order.
+    pub decls: Vec<Decl>,
+}
+
+/// A parse error.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParseError {
+    /// Description.
+    pub message: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "parse error: {}", self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+impl From<LexError> for ParseError {
+    fn from(e: LexError) -> ParseError {
+        ParseError { message: e.to_string() }
+    }
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> Option<&Token> {
+        self.tokens.get(self.pos)
+    }
+
+    fn next(&mut self) -> Option<Token> {
+        let t = self.tokens.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn expect(&mut self, t: &Token) -> Result<(), ParseError> {
+        match self.next() {
+            Some(got) if got == *t => Ok(()),
+            got => Err(ParseError { message: format!("expected {t}, got {got:?}") }),
+        }
+    }
+
+    fn ident(&mut self) -> Result<String, ParseError> {
+        match self.next() {
+            Some(Token::Ident(s)) => Ok(s),
+            got => Err(ParseError { message: format!("expected identifier, got {got:?}") }),
+        }
+    }
+
+    fn model(&mut self) -> Result<CatFile, ParseError> {
+        let mut decls = Vec::new();
+        let mut anon = 0usize;
+        while let Some(t) = self.peek() {
+            match t {
+                Token::Let => {
+                    self.next();
+                    let recursive = matches!(self.peek(), Some(Token::Rec));
+                    if recursive {
+                        self.next();
+                    }
+                    let mut bindings = vec![self.binding()?];
+                    while matches!(self.peek(), Some(Token::And)) {
+                        self.next();
+                        bindings.push(self.binding()?);
+                    }
+                    decls.push(Decl::Let { recursive, bindings });
+                }
+                Token::Acyclic | Token::Irreflexive | Token::Empty => {
+                    let kind = match self.next() {
+                        Some(Token::Acyclic) => CheckKind::Acyclic,
+                        Some(Token::Irreflexive) => CheckKind::Irreflexive,
+                        _ => CheckKind::Empty,
+                    };
+                    let expr = self.expr()?;
+                    let name = if matches!(self.peek(), Some(Token::As)) {
+                        self.next();
+                        self.ident()?
+                    } else {
+                        anon += 1;
+                        format!("check{anon}")
+                    };
+                    decls.push(Decl::Check { kind, expr, name });
+                }
+                other => {
+                    return Err(ParseError { message: format!("unexpected token {other}") })
+                }
+            }
+        }
+        Ok(CatFile { decls })
+    }
+
+    fn binding(&mut self) -> Result<(String, Expr), ParseError> {
+        let name = self.ident()?;
+        self.expect(&Token::Eq)?;
+        let e = self.expr()?;
+        Ok((name, e))
+    }
+
+    fn expr(&mut self) -> Result<Expr, ParseError> {
+        self.alt()
+    }
+
+    fn alt(&mut self) -> Result<Expr, ParseError> {
+        let mut e = self.diff()?;
+        while matches!(self.peek(), Some(Token::Bar)) {
+            self.next();
+            e = Expr::Union(Box::new(e), Box::new(self.diff()?));
+        }
+        Ok(e)
+    }
+
+    fn diff(&mut self) -> Result<Expr, ParseError> {
+        let mut e = self.inter()?;
+        while matches!(self.peek(), Some(Token::Backslash)) {
+            self.next();
+            e = Expr::Diff(Box::new(e), Box::new(self.inter()?));
+        }
+        Ok(e)
+    }
+
+    fn inter(&mut self) -> Result<Expr, ParseError> {
+        let mut e = self.seq()?;
+        while matches!(self.peek(), Some(Token::Amp)) {
+            self.next();
+            e = Expr::Inter(Box::new(e), Box::new(self.seq()?));
+        }
+        Ok(e)
+    }
+
+    fn seq(&mut self) -> Result<Expr, ParseError> {
+        let mut e = self.cross()?;
+        while matches!(self.peek(), Some(Token::Semi)) {
+            self.next();
+            e = Expr::Seq(Box::new(e), Box::new(self.cross()?));
+        }
+        Ok(e)
+    }
+
+    fn starts_primary(t: Option<&Token>) -> bool {
+        matches!(
+            t,
+            Some(Token::Ident(_))
+                | Some(Token::LBracket)
+                | Some(Token::LParen)
+                | Some(Token::Tilde)
+                | Some(Token::Underscore)
+        )
+    }
+
+    fn cross(&mut self) -> Result<Expr, ParseError> {
+        let mut e = self.postfix()?;
+        loop {
+            if matches!(self.peek(), Some(Token::Star))
+                && Self::starts_primary(self.tokens.get(self.pos + 1))
+            {
+                self.next();
+                e = Expr::Cross(Box::new(e), Box::new(self.postfix()?));
+            } else {
+                break;
+            }
+        }
+        Ok(e)
+    }
+
+    fn postfix(&mut self) -> Result<Expr, ParseError> {
+        let mut e = self.prefix()?;
+        loop {
+            match self.peek() {
+                Some(Token::Plus) => {
+                    self.next();
+                    e = Expr::Plus(Box::new(e));
+                }
+                Some(Token::Star) if !Self::starts_primary(self.tokens.get(self.pos + 1)) => {
+                    self.next();
+                    e = Expr::Star(Box::new(e));
+                }
+                Some(Token::Question) => {
+                    self.next();
+                    e = Expr::Opt(Box::new(e));
+                }
+                Some(Token::Inverse) => {
+                    self.next();
+                    e = Expr::Inverse(Box::new(e));
+                }
+                _ => break,
+            }
+        }
+        Ok(e)
+    }
+
+    fn prefix(&mut self) -> Result<Expr, ParseError> {
+        if matches!(self.peek(), Some(Token::Tilde)) {
+            self.next();
+            return Ok(Expr::Complement(Box::new(self.prefix()?)));
+        }
+        self.primary()
+    }
+
+    fn primary(&mut self) -> Result<Expr, ParseError> {
+        match self.next() {
+            Some(Token::Ident(name)) => {
+                if matches!(self.peek(), Some(Token::LParen)) {
+                    self.next();
+                    let mut args = vec![self.expr()?];
+                    while matches!(self.peek(), Some(Token::Comma)) {
+                        self.next();
+                        args.push(self.expr()?);
+                    }
+                    self.expect(&Token::RParen)?;
+                    Ok(Expr::Call(name, args))
+                } else {
+                    Ok(Expr::Ident(name))
+                }
+            }
+            Some(Token::LBracket) => {
+                let e = self.expr()?;
+                self.expect(&Token::RBracket)?;
+                Ok(Expr::IdOn(Box::new(e)))
+            }
+            Some(Token::LParen) => {
+                let e = self.expr()?;
+                self.expect(&Token::RParen)?;
+                Ok(e)
+            }
+            Some(Token::Underscore) => Ok(Expr::Universe),
+            got => Err(ParseError { message: format!("expected expression, got {got:?}") }),
+        }
+    }
+}
+
+/// Parse `.cat` source into a model file.
+pub fn parse(src: &str) -> Result<CatFile, ParseError> {
+    let tokens = lex(src)?;
+    let mut p = Parser { tokens, pos: 0 };
+    p.model()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn precedence() {
+        // `a | b ; c` parses as `a | (b ; c)`.
+        let f = parse("let x = a | b ; c").unwrap();
+        let Decl::Let { bindings, .. } = &f.decls[0] else { panic!() };
+        match &bindings[0].1 {
+            Expr::Union(l, r) => {
+                assert_eq!(**l, Expr::Ident("a".into()));
+                assert!(matches!(**r, Expr::Seq(_, _)));
+            }
+            e => panic!("{e:?}"),
+        }
+    }
+
+    #[test]
+    fn cross_vs_star() {
+        let f = parse("let x = W * W let y = po*").unwrap();
+        let Decl::Let { bindings, .. } = &f.decls[0] else { panic!() };
+        assert!(matches!(bindings[0].1, Expr::Cross(_, _)));
+        let Decl::Let { bindings, .. } = &f.decls[1] else { panic!() };
+        assert!(matches!(bindings[0].1, Expr::Star(_)));
+    }
+
+    #[test]
+    fn checks() {
+        let f = parse("acyclic po | rf as Order irreflexive fr empty rmw as R").unwrap();
+        assert_eq!(f.decls.len(), 3);
+        assert!(matches!(
+            &f.decls[0],
+            Decl::Check { kind: CheckKind::Acyclic, name, .. } if name == "Order"
+        ));
+        assert!(matches!(
+            &f.decls[1],
+            Decl::Check { kind: CheckKind::Irreflexive, name, .. } if name == "check1"
+        ));
+    }
+
+    #[test]
+    fn let_rec_group() {
+        let f = parse("let rec ii = a | ci and ci = b | ii ; ii").unwrap();
+        let Decl::Let { recursive, bindings } = &f.decls[0] else { panic!() };
+        assert!(recursive);
+        assert_eq!(bindings.len(), 2);
+    }
+
+    #[test]
+    fn calls_and_brackets() {
+        let f = parse("let x = stronglift(com, stxn) let y = [W] ; po ; [R]").unwrap();
+        let Decl::Let { bindings, .. } = &f.decls[0] else { panic!() };
+        assert!(matches!(&bindings[0].1, Expr::Call(n, args) if n == "stronglift" && args.len() == 2));
+    }
+
+    #[test]
+    fn inverse_and_complement() {
+        let f = parse("let x = ~(rf^-1 ; co)").unwrap();
+        let Decl::Let { bindings, .. } = &f.decls[0] else { panic!() };
+        assert!(matches!(bindings[0].1, Expr::Complement(_)));
+    }
+
+    #[test]
+    fn error_on_garbage() {
+        assert!(parse("let = po").is_err());
+        assert!(parse("acyclic").is_err());
+        assert!(parse("po rf").is_err());
+    }
+}

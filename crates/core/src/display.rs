@@ -1,0 +1,166 @@
+//! Human-readable rendering of executions: an event table, an edge list,
+//! and Graphviz `dot` output mirroring the paper's diagrams.
+
+use crate::event::{loc_name, EventKind};
+use crate::exec::Execution;
+
+/// A short label for event `e`, e.g. `a: W x` or `c: R·Acq y`.
+pub fn event_label(x: &Execution, e: usize) -> String {
+    let ev = x.event(e);
+    let name = (b'a' + (e as u8 % 26)) as char;
+    let kind = match ev.kind {
+        EventKind::Read => "R".to_string(),
+        EventKind::Write => "W".to_string(),
+        EventKind::Fence(f) => format!("F[{}]", f.mnemonic()),
+        EventKind::Call(c) => c.symbol().to_string(),
+    };
+    let attrs = if ev.attrs.is_empty() { String::new() } else { format!("·{}", ev.attrs) };
+    match ev.loc {
+        Some(l) => format!("{name}: {kind}{attrs} {}", loc_name(l)),
+        None => format!("{name}: {kind}{attrs}"),
+    }
+}
+
+/// Render the execution as readable text: per-thread event columns
+/// followed by every non-`po` edge.
+pub fn render(x: &Execution) -> String {
+    let mut out = String::new();
+    for t in 0..x.num_threads() {
+        out.push_str(&format!("thread {t}:\n"));
+        for e in x.thread_events(t as u8) {
+            let txn = match x.txn_of(e) {
+                Some(i) if x.txns()[i].atomic => format!("  [txn {i}, atomic]"),
+                Some(i) => format!("  [txn {i}]"),
+                None => String::new(),
+            };
+            out.push_str(&format!("  {}{}\n", event_label(x, e), txn));
+        }
+    }
+    let edges: Vec<(&str, crate::rel::Rel)> = vec![
+        ("rf", x.rf().clone()),
+        ("co", x.co().clone()),
+        ("fr", x.fr()),
+        ("addr", x.addr().clone()),
+        ("ctrl", x.ctrl().clone()),
+        ("data", x.data().clone()),
+        ("rmw", x.rmw().clone()),
+    ];
+    for (name, rel) in edges {
+        for (a, b) in rel.pairs() {
+            let la = (b'a' + (a as u8 % 26)) as char;
+            let lb = (b'a' + (b as u8 % 26)) as char;
+            out.push_str(&format!("  {la} -{name}-> {lb}\n"));
+        }
+    }
+    out
+}
+
+/// Render the execution as a Graphviz digraph (transactions as clusters,
+/// like the paper's boxes).
+pub fn dot(x: &Execution) -> String {
+    let mut out = String::from("digraph execution {\n  node [shape=plaintext];\n");
+    let mut in_txn = vec![false; x.len()];
+    for (i, t) in x.txns().iter().enumerate() {
+        out.push_str(&format!("  subgraph cluster_txn{i} {{\n    style=solid;\n"));
+        for &e in &t.events {
+            in_txn[e] = true;
+            out.push_str(&format!("    e{e} [label=\"{}\"];\n", event_label(x, e)));
+        }
+        out.push_str("  }\n");
+    }
+    for e in 0..x.len() {
+        if !in_txn[e] {
+            out.push_str(&format!("  e{e} [label=\"{}\"];\n", event_label(x, e)));
+        }
+    }
+    // Immediate po edges only, to keep diagrams readable.
+    for t in 0..x.num_threads() {
+        let evs = x.thread_events(t as u8);
+        for pair in evs.windows(2) {
+            out.push_str(&format!("  e{} -> e{} [label=\"po\"];\n", pair[0], pair[1]));
+        }
+    }
+    for (name, rel) in [
+        ("rf", x.rf().clone()),
+        ("co", x.co().clone()),
+        ("fr", x.fr()),
+        ("addr", x.addr().clone()),
+        ("ctrl", x.ctrl().clone()),
+        ("data", x.data().clone()),
+        ("rmw", x.rmw().clone()),
+    ] {
+        for (a, b) in rel.pairs() {
+            out.push_str(&format!("  e{a} -> e{b} [label=\"{name}\", constraint=false];\n"));
+        }
+    }
+    out.push_str("}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::build::ExecBuilder;
+    use crate::event::Attrs;
+
+    fn sample() -> Execution {
+        let mut b = ExecBuilder::new();
+        let t0 = b.new_thread();
+        let w = b.write(t0, 0);
+        let r = b.read_acq(t0, 1);
+        let t1 = b.new_thread();
+        let w2 = b.write(t1, 1);
+        b.rf(w2, r);
+        b.txn(&[w2]);
+        let _ = w;
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn labels() {
+        let x = sample();
+        assert_eq!(event_label(&x, 0), "a: W x");
+        assert_eq!(event_label(&x, 1), "b: R·Acq y");
+        assert_eq!(event_label(&x, 2), "c: W y");
+    }
+
+    #[test]
+    fn render_mentions_all_threads_and_edges() {
+        let x = sample();
+        let s = render(&x);
+        assert!(s.contains("thread 0"));
+        assert!(s.contains("thread 1"));
+        assert!(s.contains("c -rf-> b"));
+        assert!(s.contains("[txn 0]"));
+    }
+
+    #[test]
+    fn dot_is_valid_shape() {
+        let x = sample();
+        let d = dot(&x);
+        assert!(d.starts_with("digraph"));
+        assert!(d.contains("cluster_txn0"));
+        assert!(d.contains("e2 -> e1 [label=\"rf\""));
+        assert!(d.ends_with("}\n"));
+    }
+
+    #[test]
+    fn fence_label() {
+        let mut b = ExecBuilder::new();
+        let t0 = b.new_thread();
+        b.fence(t0, crate::event::Fence::Sync);
+        let x = b.build().unwrap();
+        assert_eq!(event_label(&x, 0), "a: F[sync]");
+    }
+
+    #[test]
+    fn sc_label_shows_modes() {
+        let mut b = ExecBuilder::new();
+        let t0 = b.new_thread();
+        let w = b.write_ato(t0, 0, Attrs::SC);
+        let x = b.build().unwrap();
+        let l = event_label(&x, w);
+        assert!(l.contains("Ato"));
+        assert!(l.contains("SC"));
+    }
+}

@@ -1,0 +1,463 @@
+//! Binary relations over a small event universe, as dense bit-matrices.
+//!
+//! This module implements the relational algebra that axiomatic memory
+//! models are written in (§2.1 of the paper and the `.cat` language):
+//! union, intersection, difference, complement, inverse, composition
+//! (`;`), reflexive (`?`), transitive (`+`) and reflexive-transitive
+//! (`*`) closure, set-lifting `[s]`, and the `acyclic` / `irreflexive` /
+//! `empty` consistency predicates.
+//!
+//! Executions are tiny (the paper's bounds stop at nine events), so a row
+//! of a relation is a single `u64` and every operation is a handful of
+//! word operations.
+
+use crate::event::EventId;
+use crate::set::{EventSet, MAX_EVENTS};
+use std::fmt;
+
+/// A binary relation over events `0..n`.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Rel {
+    n: usize,
+    rows: Vec<u64>,
+}
+
+impl Rel {
+    /// The empty relation over `n` events.
+    pub fn empty(n: usize) -> Rel {
+        assert!(n <= MAX_EVENTS, "relation universe too large: {n}");
+        Rel { n, rows: vec![0; n] }
+    }
+
+    /// The full relation `n × n`.
+    pub fn full(n: usize) -> Rel {
+        let mask = EventSet::universe(n).bits();
+        Rel { n, rows: vec![mask; n] }
+    }
+
+    /// The identity relation over `n` events.
+    pub fn id(n: usize) -> Rel {
+        let mut r = Rel::empty(n);
+        for e in 0..n {
+            r.add(e, e);
+        }
+        r
+    }
+
+    /// The identity restricted to a set: the `.cat` construct `[s]`.
+    pub fn id_on(n: usize, s: EventSet) -> Rel {
+        let mut r = Rel::empty(n);
+        for e in s.iter() {
+            if e < n {
+                r.add(e, e);
+            }
+        }
+        r
+    }
+
+    /// The Cartesian product `a × b`.
+    pub fn cross(n: usize, a: EventSet, b: EventSet) -> Rel {
+        let mut r = Rel::empty(n);
+        let bb = b.inter(EventSet::universe(n)).bits();
+        for e in a.iter() {
+            if e < n {
+                r.rows[e] = bb;
+            }
+        }
+        r
+    }
+
+    /// Build from explicit pairs.
+    pub fn from_pairs<I: IntoIterator<Item = (EventId, EventId)>>(n: usize, pairs: I) -> Rel {
+        let mut r = Rel::empty(n);
+        for (a, b) in pairs {
+            r.add(a, b);
+        }
+        r
+    }
+
+    /// The universe size.
+    pub fn size(&self) -> usize {
+        self.n
+    }
+
+    /// Add the pair `(a, b)`.
+    pub fn add(&mut self, a: EventId, b: EventId) {
+        assert!(a < self.n && b < self.n, "pair ({a},{b}) out of range {}", self.n);
+        self.rows[a] |= 1u64 << b;
+    }
+
+    /// Remove the pair `(a, b)`.
+    pub fn remove(&mut self, a: EventId, b: EventId) {
+        assert!(a < self.n && b < self.n);
+        self.rows[a] &= !(1u64 << b);
+    }
+
+    /// Membership test.
+    pub fn contains(&self, a: EventId, b: EventId) -> bool {
+        a < self.n && b < self.n && self.rows[a] & (1u64 << b) != 0
+    }
+
+    /// The successors of `a` as a set.
+    pub fn row(&self, a: EventId) -> EventSet {
+        EventSet::from_bits(self.rows[a])
+    }
+
+    fn zip(&self, other: &Rel, f: impl Fn(u64, u64) -> u64) -> Rel {
+        assert_eq!(self.n, other.n, "relation universe mismatch");
+        let rows = self.rows.iter().zip(&other.rows).map(|(&a, &b)| f(a, b)).collect();
+        Rel { n: self.n, rows }
+    }
+
+    /// Union.
+    pub fn union(&self, other: &Rel) -> Rel {
+        self.zip(other, |a, b| a | b)
+    }
+
+    /// Intersection.
+    pub fn inter(&self, other: &Rel) -> Rel {
+        self.zip(other, |a, b| a & b)
+    }
+
+    /// Difference (`\`).
+    pub fn minus(&self, other: &Rel) -> Rel {
+        self.zip(other, |a, b| a & !b)
+    }
+
+    /// Complement with respect to the full `n × n` relation (`¬`).
+    pub fn complement(&self) -> Rel {
+        let mask = EventSet::universe(self.n).bits();
+        Rel { n: self.n, rows: self.rows.iter().map(|&a| !a & mask).collect() }
+    }
+
+    /// Inverse (`r⁻¹`).
+    pub fn inverse(&self) -> Rel {
+        let mut r = Rel::empty(self.n);
+        for a in 0..self.n {
+            let mut bits = self.rows[a];
+            while bits != 0 {
+                let b = bits.trailing_zeros() as usize;
+                bits &= bits - 1;
+                r.rows[b] |= 1u64 << a;
+            }
+        }
+        r
+    }
+
+    /// Relational composition (`r1 ; r2`).
+    pub fn seq(&self, other: &Rel) -> Rel {
+        assert_eq!(self.n, other.n, "relation universe mismatch");
+        let mut r = Rel::empty(self.n);
+        for a in 0..self.n {
+            let mut mids = self.rows[a];
+            let mut out = 0u64;
+            while mids != 0 {
+                let m = mids.trailing_zeros() as usize;
+                mids &= mids - 1;
+                out |= other.rows[m];
+            }
+            r.rows[a] = out;
+        }
+        r
+    }
+
+    /// Reflexive closure (`r?`).
+    pub fn opt(&self) -> Rel {
+        self.union(&Rel::id(self.n))
+    }
+
+    /// Transitive closure (`r⁺`), via iterated squaring.
+    pub fn plus(&self) -> Rel {
+        let mut closure = self.clone();
+        loop {
+            let next = closure.union(&closure.seq(&closure));
+            if next == closure {
+                return closure;
+            }
+            closure = next;
+        }
+    }
+
+    /// Reflexive-transitive closure (`r*`).
+    pub fn star(&self) -> Rel {
+        self.plus().opt()
+    }
+
+    /// Keep only pairs whose source is in `s`.
+    pub fn restrict_domain(&self, s: EventSet) -> Rel {
+        let mut r = Rel::empty(self.n);
+        for a in s.iter() {
+            if a < self.n {
+                r.rows[a] = self.rows[a];
+            }
+        }
+        r
+    }
+
+    /// Keep only pairs whose target is in `s`.
+    pub fn restrict_range(&self, s: EventSet) -> Rel {
+        let mask = s.inter(EventSet::universe(self.n)).bits();
+        Rel { n: self.n, rows: self.rows.iter().map(|&a| a & mask).collect() }
+    }
+
+    /// The set of sources.
+    pub fn domain(&self) -> EventSet {
+        let mut s = EventSet::EMPTY;
+        for a in 0..self.n {
+            if self.rows[a] != 0 {
+                s.insert(a);
+            }
+        }
+        s
+    }
+
+    /// The set of targets.
+    pub fn range(&self) -> EventSet {
+        let mut bits = 0u64;
+        for &row in &self.rows {
+            bits |= row;
+        }
+        EventSet::from_bits(bits)
+    }
+
+    /// Is the relation empty? (`empty(r)` in `.cat`.)
+    pub fn is_empty(&self) -> bool {
+        self.rows.iter().all(|&r| r == 0)
+    }
+
+    /// Number of pairs.
+    pub fn len(&self) -> usize {
+        self.rows.iter().map(|r| r.count_ones() as usize).sum()
+    }
+
+    /// Does the relation contain a pair `(e, e)`?
+    pub fn is_irreflexive(&self) -> bool {
+        (0..self.n).all(|e| self.rows[e] & (1u64 << e) == 0)
+    }
+
+    /// Is the relation free of cycles? (`acyclic(r)` ⟺ `irreflexive(r⁺)`.)
+    pub fn is_acyclic(&self) -> bool {
+        // Cheap pre-check: a reflexive pair is already a cycle.
+        if !self.is_irreflexive() {
+            return false;
+        }
+        self.plus().is_irreflexive()
+    }
+
+    /// Is `self ⊆ other`?
+    pub fn is_subset(&self, other: &Rel) -> bool {
+        assert_eq!(self.n, other.n);
+        self.rows.iter().zip(&other.rows).all(|(&a, &b)| a & !b == 0)
+    }
+
+    /// Is the relation symmetric?
+    pub fn is_symmetric(&self) -> bool {
+        *self == self.inverse()
+    }
+
+    /// Is the relation transitive?
+    pub fn is_transitive(&self) -> bool {
+        self.seq(self).is_subset(self)
+    }
+
+    /// Iterate over all pairs, in row-major order.
+    pub fn pairs(&self) -> impl Iterator<Item = (EventId, EventId)> + '_ {
+        (0..self.n).flat_map(move |a| self.row(a).iter().map(move |b| (a, b)))
+    }
+
+    /// Is `r` a strict total order when restricted to `s`?
+    ///
+    /// Used by well-formedness: `po` per thread, `co` per location.
+    pub fn is_strict_total_order_on(&self, s: EventSet) -> bool {
+        // Irreflexive on s.
+        for e in s.iter() {
+            if self.contains(e, e) {
+                return false;
+            }
+        }
+        // Transitive within s.
+        let on_s = self.restrict_domain(s).restrict_range(s);
+        if !on_s.is_transitive() {
+            return false;
+        }
+        // Total: any two distinct elements related one way or the other.
+        let members: Vec<_> = s.iter().collect();
+        for (i, &a) in members.iter().enumerate() {
+            for &b in &members[i + 1..] {
+                if !self.contains(a, b) && !self.contains(b, a) {
+                    return false;
+                }
+                if self.contains(a, b) && self.contains(b, a) {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+}
+
+impl fmt::Display for Rel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        let mut first = true;
+        for (a, b) in self.pairs() {
+            if !first {
+                write!(f, ", ")?;
+            }
+            write!(f, "({a},{b})")?;
+            first = false;
+        }
+        write!(f, "}}")
+    }
+}
+
+/// Union of an iterator of relations (convenience for model definitions).
+pub fn union_all<'a, I: IntoIterator<Item = &'a Rel>>(n: usize, rels: I) -> Rel {
+    let mut acc = Rel::empty(n);
+    for r in rels {
+        acc = acc.union(r);
+    }
+    acc
+}
+
+/// The paper's `weaklift(r, t) = t ; (r \ t) ; t` (§3.3).
+///
+/// If `r` relates events in two different transactions, the lift relates
+/// *every* event of the first transaction to *every* event of the second.
+pub fn weaklift(r: &Rel, t: &Rel) -> Rel {
+    t.seq(&r.minus(t)).seq(t)
+}
+
+/// The paper's `stronglift(r, t) = t? ; (r \ t) ; t?` (§3.3).
+///
+/// Like [`weaklift`], but the source and/or target may also be
+/// non-transactional events.
+pub fn stronglift(r: &Rel, t: &Rel) -> Rel {
+    let topt = t.opt();
+    topt.seq(&r.minus(t)).seq(&topt)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn r(n: usize, pairs: &[(usize, usize)]) -> Rel {
+        Rel::from_pairs(n, pairs.iter().copied())
+    }
+
+    #[test]
+    fn basic_membership() {
+        let mut rel = Rel::empty(4);
+        rel.add(0, 1);
+        rel.add(2, 3);
+        assert!(rel.contains(0, 1));
+        assert!(!rel.contains(1, 0));
+        rel.remove(0, 1);
+        assert!(!rel.contains(0, 1));
+        assert_eq!(rel.len(), 1);
+    }
+
+    #[test]
+    fn composition() {
+        let a = r(4, &[(0, 1), (1, 2)]);
+        let b = r(4, &[(1, 3), (2, 0)]);
+        let c = a.seq(&b);
+        assert!(c.contains(0, 3));
+        assert!(c.contains(1, 0));
+        assert_eq!(c.len(), 2);
+    }
+
+    #[test]
+    fn closures() {
+        let a = r(4, &[(0, 1), (1, 2), (2, 3)]);
+        let p = a.plus();
+        assert!(p.contains(0, 3));
+        assert!(!p.contains(3, 0));
+        assert!(p.is_irreflexive());
+        let s = a.star();
+        assert!(s.contains(2, 2));
+        let o = a.opt();
+        assert!(o.contains(0, 0) && o.contains(0, 1) && !o.contains(0, 2));
+    }
+
+    #[test]
+    fn acyclicity() {
+        assert!(r(3, &[(0, 1), (1, 2)]).is_acyclic());
+        assert!(!r(3, &[(0, 1), (1, 2), (2, 0)]).is_acyclic());
+        assert!(!r(3, &[(1, 1)]).is_acyclic());
+        assert!(Rel::empty(3).is_acyclic());
+    }
+
+    #[test]
+    fn inverse_and_complement() {
+        let a = r(3, &[(0, 1), (1, 2)]);
+        let inv = a.inverse();
+        assert!(inv.contains(1, 0) && inv.contains(2, 1));
+        assert_eq!(inv.len(), 2);
+        let c = a.complement();
+        assert!(!c.contains(0, 1));
+        assert!(c.contains(1, 0));
+        assert_eq!(c.len(), 9 - 2);
+        assert_eq!(a.complement().complement(), a);
+    }
+
+    #[test]
+    fn set_lifting_and_cross() {
+        let s = EventSet::from_iter([0, 2]);
+        let idr = Rel::id_on(3, s);
+        assert!(idr.contains(0, 0) && idr.contains(2, 2) && !idr.contains(1, 1));
+        let x = Rel::cross(3, EventSet::singleton(0), EventSet::from_iter([1, 2]));
+        assert!(x.contains(0, 1) && x.contains(0, 2) && !x.contains(1, 2));
+    }
+
+    #[test]
+    fn restriction_domain_range() {
+        let a = r(4, &[(0, 1), (1, 2), (2, 3)]);
+        let d = a.restrict_domain(EventSet::from_iter([0, 2]));
+        assert!(d.contains(0, 1) && d.contains(2, 3) && !d.contains(1, 2));
+        let g = a.restrict_range(EventSet::from_iter([2]));
+        assert!(g.contains(1, 2) && !g.contains(0, 1));
+        assert_eq!(a.domain(), EventSet::from_iter([0, 1, 2]));
+        assert_eq!(a.range(), EventSet::from_iter([1, 2, 3]));
+    }
+
+    #[test]
+    fn total_order_check() {
+        let s = EventSet::from_iter([0, 1, 2]);
+        assert!(r(3, &[(0, 1), (1, 2), (0, 2)]).is_strict_total_order_on(s));
+        // Missing transitive pair (0,2): not a strict total order.
+        assert!(!r(3, &[(0, 1), (1, 2)]).is_strict_total_order_on(s));
+        // Reflexive: no.
+        assert!(!r(3, &[(0, 1), (1, 2), (0, 2), (0, 0)]).is_strict_total_order_on(s));
+        // Symmetric pair: no.
+        assert!(!r(3, &[(0, 1), (1, 0), (1, 2), (0, 2)]).is_strict_total_order_on(s));
+        // Restriction to a subset ignores outside elements.
+        assert!(r(3, &[(0, 1)]).is_strict_total_order_on(EventSet::from_iter([0, 1])));
+    }
+
+    #[test]
+    fn subset_symmetric_transitive() {
+        let a = r(3, &[(0, 1)]);
+        let b = r(3, &[(0, 1), (1, 2)]);
+        assert!(a.is_subset(&b));
+        assert!(!b.is_subset(&a));
+        assert!(r(3, &[(0, 1), (1, 0)]).is_symmetric());
+        assert!(!a.is_symmetric());
+        assert!(r(3, &[(0, 1), (1, 2), (0, 2)]).is_transitive());
+        assert!(!b.is_transitive());
+    }
+
+    #[test]
+    fn union_all_helper() {
+        let a = r(3, &[(0, 1)]);
+        let b = r(3, &[(1, 2)]);
+        let u = union_all(3, [&a, &b]);
+        assert!(u.contains(0, 1) && u.contains(1, 2));
+    }
+
+    #[test]
+    fn display_pairs() {
+        let a = r(3, &[(0, 1), (1, 2)]);
+        assert_eq!(a.to_string(), "{(0,1), (1,2)}");
+    }
+}

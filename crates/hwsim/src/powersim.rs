@@ -1,0 +1,577 @@
+//! An operational Power simulator: out-of-order commit per thread over a
+//! *propagation-based* storage subsystem (non-multicopy-atomic), in the
+//! spirit of the PLDI'11 Power machine, with the Power 2.07 TM facility.
+//!
+//! Storage keeps a per-location coherence list; each thread holds a
+//! *view* (how far along each coherence list it has seen). Writes enter
+//! the coherence list when committed and propagate to other threads one
+//! step at a time. Barriers are cumulative: each write carries the
+//! snapshot its thread's last barrier took, and may not propagate to a
+//! thread that has not yet seen that snapshot. `sync` additionally
+//! stalls until everything the thread has seen is visible everywhere.
+//!
+//! Transactions follow the Power ISA: `tbegin`/`tend` act as cumulative
+//! barriers; transactional stores propagate *fully* at commit ("robust
+//! architectural support", Cain et al. §4.2); conflicts abort eagerly.
+
+use std::collections::HashSet;
+
+use txmm_litmus::{DepKind, Instr, LitmusTest, Op};
+
+use crate::outcome::{Outcome, OutcomeSet, Simulator};
+
+const MAX_LOCS: usize = 8;
+
+/// A committed write in a coherence list.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+struct WriteRec {
+    value: u32,
+    /// Barrier snapshot: this write may not propagate to a thread whose
+    /// view is behind this (per-location coherence indices).
+    preds: [u8; MAX_LOCS],
+}
+
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+struct Txn {
+    id: usize,
+    read_set: u8,
+    write_locs: u8,
+    writes: Vec<(u8, u32)>,
+    span: (usize, usize),
+}
+
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+struct Thread {
+    committed: u32,
+    regs: Vec<u32>,
+    /// view[l] = number of coherence-list entries of location l this
+    /// thread has seen.
+    view: [u8; MAX_LOCS],
+    /// Snapshot taken by the last barrier this thread committed.
+    snapshot: [u8; MAX_LOCS],
+    txn: Option<Txn>,
+    monitor: Option<(u8, u8)>,
+}
+
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+struct State {
+    co: Vec<Vec<WriteRec>>,
+    threads: Vec<Thread>,
+    txn_ok: Vec<bool>,
+}
+
+impl Thread {
+    fn is_committed(&self, i: usize) -> bool {
+        self.committed & (1 << i) != 0
+    }
+
+    fn commit(&mut self, i: usize) {
+        self.committed |= 1 << i;
+    }
+}
+
+/// The Power simulator. `restrict_load_buffering` keeps stores from
+/// committing before earlier loads — POWER8 hardware never exhibits LB
+/// (§5.3 of the paper), so this is on by default.
+#[derive(Debug, Clone, Copy)]
+pub struct PowerSim {
+    /// Stores wait for all po-earlier loads (default true).
+    pub restrict_load_buffering: bool,
+}
+
+impl Default for PowerSim {
+    fn default() -> PowerSim {
+        PowerSim { restrict_load_buffering: true }
+    }
+}
+
+fn loc_of(op: &Op) -> Option<u8> {
+    match op {
+        Op::Load { loc, .. } | Op::Store { loc, .. } => Some(*loc),
+        _ => None,
+    }
+}
+
+fn fence_between(instrs: &[Instr], j: usize, i: usize, f: txmm_core::Fence) -> bool {
+    instrs[j + 1..i].iter().any(|x| matches!(x.op, Op::Fence(k, _) if k == f))
+}
+
+impl PowerSim {
+    /// Must `j` commit before `i` on the same thread?
+    fn ordered(&self, instrs: &[Instr], j: usize, i: usize) -> bool {
+        use txmm_core::Fence;
+        let oj = &instrs[j].op;
+        let oi = &instrs[i].op;
+        if matches!(oj, Op::TxBegin { .. } | Op::TxEnd) || matches!(oi, Op::TxBegin { .. } | Op::TxEnd)
+        {
+            return true;
+        }
+        // sync is a full barrier; it must also commit in order.
+        if fence_between(instrs, j, i, Fence::Sync)
+            || matches!(oj, Op::Fence(Fence::Sync, _))
+            || matches!(oi, Op::Fence(Fence::Sync, _))
+        {
+            return true;
+        }
+        // lwsync orders everything except W -> R; the fence itself
+        // commits in order with its surroundings (it snapshots).
+        if matches!(oj, Op::Fence(Fence::Lwsync, _)) || matches!(oi, Op::Fence(Fence::Lwsync, _)) {
+            return true;
+        }
+        if fence_between(instrs, j, i, Fence::Lwsync)
+            && !(matches!(oj, Op::Store { .. }) && matches!(oi, Op::Load { .. }))
+        {
+            return true;
+        }
+        // Same-location order.
+        if let (Some(a), Some(b)) = (loc_of(oj), loc_of(oi)) {
+            if a == b {
+                return true;
+            }
+        }
+        if self.restrict_load_buffering
+            && matches!(oj, Op::Load { .. })
+            && matches!(oi, Op::Store { .. })
+        {
+            return true;
+        }
+        for d in &instrs[i].deps {
+            if d.on == j {
+                match d.kind {
+                    DepKind::Addr | DepKind::Data => return true,
+                    DepKind::Ctrl => {
+                        // ctrl orders stores; ctrl+isync orders loads
+                        // too. On Power, ctrl may begin at a
+                        // store-exclusive (footnote 3) — honoured here.
+                        if matches!(oi, Op::Store { .. })
+                            || fence_between(instrs, j, i, Fence::Isync)
+                        {
+                            return true;
+                        }
+                    }
+                }
+            }
+        }
+        false
+    }
+
+    fn ready(&self, instrs: &[Instr], th: &Thread, i: usize) -> bool {
+        if th.is_committed(i) {
+            return false;
+        }
+        (0..i).all(|j| th.is_committed(j) || !self.ordered(instrs, j, i))
+    }
+
+    fn conflict(state: &mut State, actor: usize, loc: u8, is_write: bool) {
+        let bit = 1u8 << loc;
+        for t in 0..state.threads.len() {
+            if t == actor {
+                continue;
+            }
+            let hit = match &state.threads[t].txn {
+                Some(txn) => (txn.write_locs & bit != 0) || (is_write && txn.read_set & bit != 0),
+                None => false,
+            };
+            if hit {
+                let txn = state.threads[t].txn.take().expect("hit implies txn");
+                state.txn_ok[txn.id] = false;
+                for i in txn.span.0..=txn.span.1 {
+                    state.threads[t].commit(i);
+                }
+            }
+        }
+    }
+
+    /// Append a write to the coherence list and make it visible to its
+    /// own thread.
+    fn push_write(state: &mut State, t: usize, loc: u8, value: u32) {
+        let preds = state.threads[t].snapshot;
+        state.co[loc as usize].push(WriteRec { value, preds });
+        state.threads[t].view[loc as usize] = state.co[loc as usize].len() as u8;
+        Self::conflict(state, t, loc, true);
+    }
+
+    /// Make thread `t` see the whole coherence list of `loc`, pulling in
+    /// each included write's barrier snapshot transitively (a coherent
+    /// cacheline fetch). Transactional reads use this: HTM conflict
+    /// tracking works at the coherence level, so a transactional load
+    /// always observes the globally latest committed write.
+    fn force_see(state: &mut State, t: usize, loc: usize) {
+        let mut want = [0u8; MAX_LOCS];
+        want[loc] = state.co[loc].len() as u8;
+        loop {
+            let mut changed = false;
+            for l in 0..MAX_LOCS {
+                let cur = state.threads[t].view[l].max(want[l]);
+                if cur > state.threads[t].view[l] {
+                    // Fold in the snapshots of newly visible writes.
+                    for idx in state.threads[t].view[l]..cur {
+                        let preds = state.co[l][idx as usize].preds;
+                        for l2 in 0..MAX_LOCS {
+                            if preds[l2] > want[l2] && preds[l2] > state.threads[t].view[l2] {
+                                want[l2] = preds[l2];
+                            }
+                        }
+                    }
+                    state.threads[t].view[l] = cur;
+                    changed = true;
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+    }
+
+    /// Is the thread's sync obligation met: everything it has seen is
+    /// visible everywhere?
+    fn fully_propagated(state: &State, t: usize) -> bool {
+        let v = &state.threads[t].view;
+        state
+            .threads
+            .iter()
+            .all(|th| (0..MAX_LOCS).all(|l| th.view[l] >= v[l]))
+    }
+
+    fn txn_span(instrs: &[Instr], begin: usize) -> (usize, usize) {
+        let end = instrs[begin + 1..]
+            .iter()
+            .position(|i| matches!(i.op, Op::TxEnd))
+            .map(|off| begin + 1 + off)
+            .expect("TxBegin without TxEnd");
+        (begin, end)
+    }
+
+    fn step(&self, test: &LitmusTest, state: &State, t: usize, i: usize) -> Option<State> {
+        use txmm_core::Fence;
+        let instrs = &test.threads[t];
+        let mut s = state.clone();
+        match &instrs[i].op {
+            Op::Load { reg, loc, mode } => {
+                s.threads[t].commit(i);
+                let li = *loc as usize;
+                let in_txn = s.threads[t].txn.is_some();
+                if in_txn || mode.exclusive {
+                    // Transactional loads and load-exclusives are
+                    // coherent fetches: lwarx takes the coherence
+                    // granule, so it observes the globally latest write
+                    // (this is what makes RMWIsol hold on hardware).
+                    Self::force_see(&mut s, t, li);
+                }
+                let v = if let Some(txn) = s.threads[t].txn.as_mut() {
+                    txn.read_set |= 1 << *loc;
+                    if let Some(&(_, v)) = txn.writes.iter().rev().find(|(l, _)| l == loc) {
+                        v
+                    } else {
+                        let view = s.threads[t].view[li] as usize;
+                        if view == 0 { 0 } else { s.co[li][view - 1].value }
+                    }
+                } else {
+                    let view = s.threads[t].view[li] as usize;
+                    if view == 0 { 0 } else { s.co[li][view - 1].value }
+                };
+                s.threads[t].regs[*reg] = v;
+                if mode.exclusive {
+                    s.threads[t].monitor = Some((*loc, s.co[li].len() as u8));
+                }
+                Self::conflict(&mut s, t, *loc, false);
+            }
+            Op::Store { loc, value, mode } => {
+                if mode.exclusive {
+                    match s.threads[t].monitor.take() {
+                        Some((mloc, mlen))
+                            if mloc == *loc && s.co[*loc as usize].len() as u8 == mlen => {}
+                        _ => return None,
+                    }
+                }
+                s.threads[t].commit(i);
+                if let Some(txn) = s.threads[t].txn.as_mut() {
+                    txn.write_locs |= 1 << *loc;
+                    txn.writes.push((*loc, *value));
+                } else {
+                    Self::push_write(&mut s, t, *loc, *value);
+                }
+            }
+            Op::Fence(Fence::Sync, _) => {
+                // sync stalls until everything seen is seen everywhere.
+                if !Self::fully_propagated(&s, t) {
+                    return None;
+                }
+                s.threads[t].commit(i);
+                s.threads[t].snapshot = s.threads[t].view;
+            }
+            Op::Fence(Fence::Lwsync, _) => {
+                s.threads[t].commit(i);
+                s.threads[t].snapshot = s.threads[t].view;
+            }
+            Op::Fence(_, _) => {
+                s.threads[t].commit(i);
+            }
+            Op::TxBegin { txn_id } => {
+                // tbegin is a cumulative barrier, like sync; the
+                // transactional state change also cancels any exclusive
+                // reservation (TxnCancelsRMW).
+                if !Self::fully_propagated(&s, t) {
+                    return None;
+                }
+                s.threads[t].monitor = None;
+                s.threads[t].commit(i);
+                s.threads[t].snapshot = s.threads[t].view;
+                s.threads[t].txn = Some(Txn {
+                    id: *txn_id,
+                    read_set: 0,
+                    write_locs: 0,
+                    writes: Vec::new(),
+                    span: Self::txn_span(instrs, i),
+                });
+            }
+            Op::TxEnd => {
+                s.threads[t].monitor = None;
+                s.threads[t].commit(i);
+                if let Some(txn) = s.threads[t].txn.take() {
+                    // The integrated memory barrier: everything the
+                    // transaction observed (Group A = its current view)
+                    // propagates to every thread first...
+                    let group_a = s.threads[t].view;
+                    for th in &mut s.threads {
+                        for l in 0..MAX_LOCS {
+                            th.view[l] = th.view[l].max(group_a[l]);
+                        }
+                    }
+                    s.threads[t].snapshot = group_a;
+                    // ...then the transactional stores propagate fully
+                    // before the transaction commits (multicopy-atomic).
+                    for (loc, val) in txn.writes.clone() {
+                        Self::push_write(&mut s, t, loc, val);
+                        let len = s.co[loc as usize].len() as u8;
+                        for th in &mut s.threads {
+                            th.view[loc as usize] = th.view[loc as usize].max(len);
+                        }
+                    }
+                    s.threads[t].snapshot = s.threads[t].view;
+                } else if !Self::fully_propagated(&s, t) {
+                    // A read-only transaction's tend is still a
+                    // cumulative barrier.
+                    return None;
+                }
+            }
+            Op::LockCall(_) => {
+                s.threads[t].commit(i);
+            }
+        }
+        Some(s)
+    }
+
+    /// Propagate one coherence-list entry to one thread, if barrier
+    /// snapshots allow.
+    fn propagate(state: &State, t: usize, loc: usize) -> Option<State> {
+        let view = state.threads[t].view[loc] as usize;
+        let rec = state.co[loc].get(view)?;
+        // Cumulative barriers: the write's snapshot must already be
+        // visible to t.
+        for l in 0..MAX_LOCS {
+            if state.threads[t].view[l] < rec.preds[l] {
+                return None;
+            }
+        }
+        // A propagating write conflicts with transactions on t.
+        let mut s = state.clone();
+        s.threads[t].view[loc] += 1;
+        let bit = 1u8 << loc;
+        if let Some(txn) = &s.threads[t].txn {
+            if txn.read_set & bit != 0 || txn.write_locs & bit != 0 {
+                let txn = s.threads[t].txn.take().expect("checked above");
+                s.txn_ok[txn.id] = false;
+                for i in txn.span.0..=txn.span.1 {
+                    s.threads[t].commit(i);
+                }
+            }
+        }
+        Some(s)
+    }
+}
+
+impl Simulator for PowerSim {
+    fn name(&self) -> &'static str {
+        "power-prop"
+    }
+
+    fn run(&self, test: &LitmusTest) -> OutcomeSet {
+        assert!(
+            test.locations().iter().all(|&l| (l as usize) < MAX_LOCS),
+            "too many locations for the simulator"
+        );
+        assert!(test.threads.iter().all(|t| t.len() <= 32), "thread too long");
+        let threads: Vec<Thread> = test
+            .threads
+            .iter()
+            .map(|instrs| {
+                let nregs = instrs
+                    .iter()
+                    .filter_map(|i| match i.op {
+                        Op::Load { reg, .. } => Some(reg + 1),
+                        _ => None,
+                    })
+                    .max()
+                    .unwrap_or(0);
+                Thread {
+                    committed: 0,
+                    regs: vec![0; nregs],
+                    view: [0; MAX_LOCS],
+                    snapshot: [0; MAX_LOCS],
+                    txn: None,
+                    monitor: None,
+                }
+            })
+            .collect();
+        let init = State { co: vec![Vec::new(); MAX_LOCS], threads, txn_ok: vec![true; test.num_txns()] };
+        let mut outcomes = OutcomeSet::new();
+        let mut seen = HashSet::new();
+        let mut stack = vec![init];
+        while let Some(state) = stack.pop() {
+            if !seen.insert(state.clone()) {
+                continue;
+            }
+            let done = state
+                .threads
+                .iter()
+                .enumerate()
+                .all(|(t, th)| (0..test.threads[t].len()).all(|i| th.is_committed(i)));
+            if done {
+                let memory: Vec<u32> = (0..MAX_LOCS)
+                    .map(|l| state.co[l].last().map(|w| w.value).unwrap_or(0))
+                    .collect();
+                let co_order: Vec<Vec<u32>> = (0..MAX_LOCS)
+                    .map(|l| state.co[l].iter().map(|w| w.value).collect())
+                    .collect();
+                outcomes.insert(Outcome {
+                    regs: state.threads.iter().map(|t| t.regs.clone()).collect(),
+                    memory,
+                    txn_ok: state.txn_ok.clone(),
+                    co_order,
+                });
+                continue;
+            }
+            for t in 0..state.threads.len() {
+                for i in 0..test.threads[t].len() {
+                    if self.ready(&test.threads[t], &state.threads[t], i) {
+                        if let Some(next) = self.step(test, &state, t, i) {
+                            stack.push(next);
+                        }
+                    }
+                }
+                for loc in 0..MAX_LOCS {
+                    if let Some(next) = Self::propagate(&state, t, loc) {
+                        stack.push(next);
+                    }
+                }
+            }
+        }
+        outcomes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use txmm_core::Fence;
+    use txmm_litmus::litmus_from_execution;
+    use txmm_models::{catalog, Arch};
+
+    fn make(name: &str, x: &txmm_core::Execution) -> LitmusTest {
+        litmus_from_execution(name, x, Arch::Power)
+    }
+
+    fn sim() -> PowerSim {
+        PowerSim::default()
+    }
+
+    #[test]
+    fn mp_plain_observable() {
+        let t = make("mp", &catalog::mp(None, false, false));
+        assert!(sim().observable(&t), "writes may propagate out of order");
+    }
+
+    #[test]
+    fn mp_sync_addr_not_observable() {
+        let t = make("mp+sync+addr", &catalog::mp(Some(Fence::Sync), true, false));
+        assert!(!sim().observable(&t));
+    }
+
+    #[test]
+    fn mp_lwsync_addr_not_observable() {
+        let t = make("mp+lwsync+addr", &catalog::mp(Some(Fence::Lwsync), true, false));
+        assert!(!sim().observable(&t));
+    }
+
+    #[test]
+    fn mp_half_strength_observable() {
+        assert!(sim().observable(&make("mp+dep", &catalog::mp(None, true, false))));
+        assert!(sim().observable(&make("mp+sync", &catalog::mp(Some(Fence::Sync), false, false))));
+    }
+
+    #[test]
+    fn sb_observable() {
+        let t = make("sb", &catalog::sb(None, false, false));
+        assert!(sim().observable(&t));
+    }
+
+    #[test]
+    fn lb_conservatism() {
+        let t = make("lb", &catalog::lb(false));
+        assert!(!sim().observable(&t), "POWER8 hardware never exhibits LB");
+        assert!(
+            PowerSim { restrict_load_buffering: false }.observable(&t),
+            "the model itself allows LB"
+        );
+    }
+
+    #[test]
+    fn wrc_txn_not_observable() {
+        // §5.2 (1): the transaction's integrated memory barrier forbids
+        // the WRC shape.
+        let t = make("wrc+txn", &catalog::power_exec1());
+        assert!(!sim().observable(&t));
+    }
+
+    #[test]
+    fn wrc_plain_observable() {
+        // Without the transaction, WRC is a legal Power weak behaviour.
+        let t = make("wrc", &catalog::power_exec1().erase_txns());
+        assert!(sim().observable(&t));
+    }
+
+    #[test]
+    fn wrc_txn_writer_not_observable() {
+        // §5.2 (2): transactional stores are multicopy atomic.
+        let t = make("wrc+txnw", &catalog::power_exec2());
+        assert!(!sim().observable(&t));
+    }
+
+    #[test]
+    fn iriw_txns_not_observable() {
+        // §5.2 (3): transactions serialise.
+        let t = make("iriw+txns", &catalog::power_exec3(true));
+        assert!(!sim().observable(&t));
+    }
+
+    #[test]
+    fn iriw_plain_observable() {
+        let t = make("iriw", &catalog::power_exec3(true).erase_txns());
+        assert!(sim().observable(&t), "IRIW is the canonical non-MCA behaviour");
+    }
+
+    #[test]
+    fn fig3_shapes_not_observable() {
+        for which in ['a', 'b', 'c', 'd'] {
+            let t = make("fig3", &catalog::fig3(which));
+            assert!(!sim().observable(&t), "fig3({which}) violates strong isolation");
+        }
+    }
+
+    #[test]
+    fn mp_txns_not_observable() {
+        let t = make("mp+txns", &catalog::mp(None, false, true));
+        assert!(!sim().observable(&t));
+    }
+}

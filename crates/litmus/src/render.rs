@@ -1,0 +1,361 @@
+//! Rendering litmus tests: pseudocode (like the paper's figures) and
+//! per-architecture assembly-style listings.
+
+use txmm_core::{loc_name, Fence};
+use txmm_models::Arch;
+
+use crate::ast::{AccessMode, Check, Dep, DepKind, LitmusTest, Op};
+
+fn post_to_string(t: &LitmusTest) -> String {
+    let parts: Vec<String> = t
+        .post
+        .iter()
+        .map(|c| match c {
+            Check::Reg { tid, reg, value } => format!("{tid}:r{reg} = {value}"),
+            Check::Loc { loc, value } => format!("{} = {value}", loc_name(*loc)),
+            Check::TxnOk { txn_id } => format!("ok{txn_id} = 1"),
+            Check::CoSeq { loc, values } => format!(
+                "co({}) = [{}]",
+                loc_name(*loc),
+                values.iter().map(u32::to_string).collect::<Vec<_>>().join(",")
+            ),
+        })
+        .collect();
+    parts.join(" /\\ ")
+}
+
+fn dep_note(deps: &[Dep]) -> String {
+    if deps.is_empty() {
+        return String::new();
+    }
+    let parts: Vec<String> = deps
+        .iter()
+        .map(|d| {
+            let k = match d.kind {
+                DepKind::Addr => "addr",
+                DepKind::Data => "data",
+                DepKind::Ctrl => "ctrl",
+            };
+            format!("{k}#{}", d.on)
+        })
+        .collect();
+    format!("  // deps: {}", parts.join(","))
+}
+
+/// Render as architecture-neutral pseudocode, one thread per block.
+pub fn pseudocode(t: &LitmusTest) -> String {
+    let mut out = format!("{} ({})\n", t.name, t.arch.name());
+    let init: Vec<String> = t.locations().iter().map(|&l| format!("{} = 0", loc_name(l))).collect();
+    out.push_str(&format!("Initially: {}\n", init.join(", ")));
+    for (tid, instrs) in t.threads.iter().enumerate() {
+        out.push_str(&format!("thread {tid}:\n"));
+        for i in instrs {
+            let line = match &i.op {
+                Op::Load { reg, loc, mode } => {
+                    format!("r{reg} <- {}{}", loc_name(*loc), mode_suffix(mode))
+                }
+                Op::Store { loc, value, mode } => {
+                    format!("{}{} <- {value}", loc_name(*loc), mode_suffix(mode))
+                }
+                Op::Fence(f, _) => f.mnemonic().to_string(),
+                Op::TxBegin { txn_id } => format!("txbegin (fail: ok{txn_id} <- 0)"),
+                Op::TxEnd => "txend".to_string(),
+                Op::LockCall(sym) => format!("{sym}()"),
+            };
+            out.push_str(&format!("  {line}{}\n", dep_note(&i.deps)));
+        }
+    }
+    out.push_str(&format!("Test: {}\n", post_to_string(t)));
+    out
+}
+
+fn mode_suffix(m: &AccessMode) -> &'static str {
+    match (m.acquire, m.release, m.sc, m.exclusive) {
+        (_, _, true, _) => ".sc",
+        (true, _, _, true) => ".acq.ex",
+        (true, _, _, false) => ".acq",
+        (_, true, _, true) => ".rel.ex",
+        (_, true, _, false) => ".rel",
+        (_, _, _, true) => ".ex",
+        _ => "",
+    }
+}
+
+/// Render using the conventions of the target architecture.
+pub fn assembly(t: &LitmusTest) -> String {
+    match t.arch {
+        Arch::X86 => x86(t),
+        Arch::Power => power(t),
+        Arch::Armv8 => armv8(t),
+        Arch::Cpp => cpp(t),
+        Arch::Sc => pseudocode(t),
+    }
+}
+
+fn header(t: &LitmusTest) -> String {
+    let init: Vec<String> =
+        t.locations().iter().map(|&l| format!("{} = 0", loc_name(l))).collect();
+    format!("{} \"{}\"\nInitially: {}\n", t.arch.name(), t.name, init.join(", "))
+}
+
+fn footer(t: &LitmusTest) -> String {
+    format!("Test: {}\n", post_to_string(t))
+}
+
+fn x86(t: &LitmusTest) -> String {
+    let mut out = header(t);
+    for (tid, instrs) in t.threads.iter().enumerate() {
+        out.push_str(&format!("P{tid}:\n"));
+        for i in instrs {
+            let line = match &i.op {
+                Op::Load { reg, loc, mode } if mode.exclusive => {
+                    format!("LOCK XADD r{reg},[{}]", loc_name(*loc))
+                }
+                Op::Load { reg, loc, .. } => format!("MOV r{reg},[{}]", loc_name(*loc)),
+                Op::Store { loc, value, mode } if mode.exclusive => {
+                    format!("; store half of LOCK'd RMW: [{}] <- {value}", loc_name(*loc))
+                }
+                Op::Store { loc, value, .. } => format!("MOV [{}],{value}", loc_name(*loc)),
+                Op::Fence(Fence::MFence, _) => "MFENCE".to_string(),
+                Op::Fence(f, _) => format!("; unsupported fence {f:?}"),
+                Op::TxBegin { txn_id } => format!("XBEGIN Lfail{txn_id}"),
+                Op::TxEnd => "XEND".to_string(),
+                Op::LockCall(sym) => format!("{sym}()"),
+            };
+            out.push_str(&format!("  {line}{}\n", dep_note(&i.deps)));
+        }
+    }
+    out.push_str(&footer(t));
+    out
+}
+
+fn power(t: &LitmusTest) -> String {
+    let mut out = header(t);
+    for (tid, instrs) in t.threads.iter().enumerate() {
+        out.push_str(&format!("P{tid}:\n"));
+        for i in instrs {
+            let line = match &i.op {
+                Op::Load { reg, loc, mode } if mode.exclusive => {
+                    format!("lwarx r{reg},0,{}", loc_name(*loc))
+                }
+                Op::Load { reg, loc, .. } => format!("lwz r{reg},0({})", loc_name(*loc)),
+                Op::Store { loc, value, mode } if mode.exclusive => {
+                    format!("stwcx. {value},0,{}", loc_name(*loc))
+                }
+                Op::Store { loc, value, .. } => format!("stw {value},0({})", loc_name(*loc)),
+                Op::Fence(Fence::Sync, _) => "sync".to_string(),
+                Op::Fence(Fence::Lwsync, _) => "lwsync".to_string(),
+                Op::Fence(Fence::Isync, _) => "isync".to_string(),
+                Op::Fence(f, _) => format!("# unsupported fence {f:?}"),
+                Op::TxBegin { txn_id } => format!("tbegin. # fail -> Lfail{txn_id}"),
+                Op::TxEnd => "tend.".to_string(),
+                Op::LockCall(sym) => format!("{sym}()"),
+            };
+            out.push_str(&format!("  {line}{}\n", dep_note(&i.deps)));
+        }
+    }
+    out.push_str(&footer(t));
+    out
+}
+
+fn armv8(t: &LitmusTest) -> String {
+    let mut out = header(t);
+    for (tid, instrs) in t.threads.iter().enumerate() {
+        out.push_str(&format!("P{tid}:\n"));
+        for i in instrs {
+            let line = match &i.op {
+                Op::Load { reg, loc, mode } => {
+                    let mn = match (mode.acquire, mode.exclusive) {
+                        (true, true) => "LDAXR",
+                        (true, false) => "LDAR",
+                        (false, true) => "LDXR",
+                        (false, false) => "LDR",
+                    };
+                    format!("{mn} W{reg},[{}]", loc_name(*loc))
+                }
+                Op::Store { loc, value, mode } => {
+                    let mn = match (mode.release, mode.exclusive) {
+                        (true, true) => "STLXR",
+                        (true, false) => "STLR",
+                        (false, true) => "STXR",
+                        (false, false) => "STR",
+                    };
+                    format!("{mn} #{value},[{}]", loc_name(*loc))
+                }
+                Op::Fence(Fence::Dmb, _) => "DMB SY".to_string(),
+                Op::Fence(Fence::DmbLd, _) => "DMB LD".to_string(),
+                Op::Fence(Fence::DmbSt, _) => "DMB ST".to_string(),
+                Op::Fence(Fence::Isb, _) => "ISB".to_string(),
+                Op::Fence(f, _) => format!("// unsupported fence {f:?}"),
+                Op::TxBegin { txn_id } => format!("TXBEGIN Lfail{txn_id}"),
+                Op::TxEnd => "TXEND".to_string(),
+                Op::LockCall(sym) => format!("{sym}()"),
+            };
+            out.push_str(&format!("  {line}{}\n", dep_note(&i.deps)));
+        }
+    }
+    out.push_str(&footer(t));
+    out
+}
+
+fn cpp(t: &LitmusTest) -> String {
+    let mut out = header(t);
+    for (tid, instrs) in t.threads.iter().enumerate() {
+        out.push_str(&format!("// thread {tid}\n{{\n"));
+        let mut depth = 1usize;
+        for i in instrs {
+            let pad = "  ".repeat(depth);
+            let line = match &i.op {
+                Op::Load { reg, loc, mode } if mode.atomic => format!(
+                    "int r{reg} = atomic_load_explicit(&{}, {});",
+                    loc_name(*loc),
+                    cpp_mode(mode, true)
+                ),
+                Op::Load { reg, loc, .. } => {
+                    format!("int r{reg} = {};", loc_name(*loc))
+                }
+                Op::Store { loc, value, mode } if mode.atomic => format!(
+                    "atomic_store_explicit(&{}, {value}, {});",
+                    loc_name(*loc),
+                    cpp_mode(mode, false)
+                ),
+                Op::Store { loc, value, .. } => format!("{} = {value};", loc_name(*loc)),
+                Op::Fence(Fence::CppFence, attrs) => {
+                    let m = if attrs.contains(txmm_core::Attrs::SC) {
+                        "memory_order_seq_cst"
+                    } else if attrs.contains(txmm_core::Attrs::ACQ)
+                        && attrs.contains(txmm_core::Attrs::REL)
+                    {
+                        "memory_order_acq_rel"
+                    } else if attrs.contains(txmm_core::Attrs::ACQ) {
+                        "memory_order_acquire"
+                    } else {
+                        "memory_order_release"
+                    };
+                    format!("atomic_thread_fence({m});")
+                }
+                Op::Fence(f, _) => format!("// unsupported fence {f:?}"),
+                Op::TxBegin { .. } => {
+                    depth += 1;
+                    "atomic {".to_string()
+                }
+                Op::TxEnd => {
+                    depth -= 1;
+                    out.push_str(&format!("{}}}\n", "  ".repeat(depth)));
+                    continue;
+                }
+                Op::LockCall(sym) => format!("{sym}();"),
+            };
+            out.push_str(&format!("{pad}{line}{}\n", dep_note(&i.deps)));
+        }
+        out.push_str("}\n");
+    }
+    out.push_str(&footer(t));
+    out
+}
+
+fn cpp_mode(m: &AccessMode, is_load: bool) -> &'static str {
+    if m.sc {
+        "memory_order_seq_cst"
+    } else if is_load && m.acquire {
+        "memory_order_acquire"
+    } else if !is_load && m.release {
+        "memory_order_release"
+    } else {
+        "memory_order_relaxed"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::from_exec::litmus_from_execution;
+    use txmm_core::{Attrs, ExecBuilder};
+    use txmm_models::catalog;
+
+    #[test]
+    fn pseudocode_fig1() {
+        let t = litmus_from_execution("fig1", &catalog::fig1(), Arch::X86);
+        let s = pseudocode(&t);
+        assert!(s.contains("Initially: x = 0"));
+        assert!(s.contains("r0 <- x"));
+        assert!(s.contains("Test: 0:r0 = 2 /\\ x = 2"));
+    }
+
+    #[test]
+    fn pseudocode_fig2_txn() {
+        let t = litmus_from_execution("fig2", &catalog::fig2(), Arch::X86);
+        let s = pseudocode(&t);
+        assert!(s.contains("txbegin (fail: ok0 <- 0)"));
+        assert!(s.contains("txend"));
+        assert!(s.contains("ok0 = 1"));
+    }
+
+    #[test]
+    fn armv8_mnemonics() {
+        let mut b = ExecBuilder::new();
+        let t0 = b.new_thread();
+        let a = b.read_acq(t0, 1);
+        let w = b.write(t0, 1);
+        b.rmw(a, w);
+        b.fence(t0, Fence::Dmb);
+        let _c = b.write_rel(t0, 0);
+        let x = b.build().unwrap();
+        let t = litmus_from_execution("lock", &x, Arch::Armv8);
+        let s = assembly(&t);
+        assert!(s.contains("LDAXR W0,[y]"));
+        assert!(s.contains("STXR"));
+        assert!(s.contains("DMB SY"));
+        assert!(s.contains("STLR"));
+    }
+
+    #[test]
+    fn power_mnemonics() {
+        let t = litmus_from_execution("mp", &catalog::mp(Some(Fence::Sync), true, false), Arch::Power);
+        let s = assembly(&t);
+        assert!(s.contains("sync"));
+        assert!(s.contains("lwz"));
+        assert!(s.contains("stw"));
+        assert!(s.contains("deps: addr#0"));
+    }
+
+    #[test]
+    fn x86_mnemonics() {
+        let t = litmus_from_execution(
+            "sb+mfence",
+            &catalog::sb(Some(Fence::MFence), false, false),
+            Arch::X86,
+        );
+        let s = assembly(&t);
+        assert!(s.contains("MFENCE"));
+        assert!(s.contains("MOV [x],1"));
+    }
+
+    #[test]
+    fn x86_txn_renders_xbegin() {
+        let t = litmus_from_execution("sb+txn", &catalog::sb(None, true, true), Arch::X86);
+        let s = assembly(&t);
+        assert!(s.contains("XBEGIN Lfail0"));
+        assert!(s.contains("XEND"));
+        assert!(s.contains("ok0 = 1"));
+        assert!(s.contains("ok1 = 1"));
+    }
+
+    #[test]
+    fn cpp_rendering() {
+        let mut b = ExecBuilder::new();
+        let t0 = b.new_thread();
+        let w = b.write(t0, 0);
+        b.txn_atomic(&[w]);
+        let t1 = b.new_thread();
+        let _r = b.read_ato(t1, 0, Attrs::SC);
+        let x = b.build().unwrap();
+        let t = litmus_from_execution("cppdemo", &x, Arch::Cpp);
+        let s = assembly(&t);
+        assert!(s.contains("atomic {"));
+        assert!(s.contains("x = 1;"));
+        assert!(s.contains("atomic_load_explicit(&x, memory_order_seq_cst)"));
+    }
+
+    use txmm_core::Fence;
+}

@@ -1,0 +1,343 @@
+//! The ARMv8 memory model with the proposed TM extension (Fig. 8).
+//!
+//! The baseline is the official multicopy-atomic axiomatic model
+//! (Deacon's `aarch64.cat`, Pulte et al. POPL 2018): ordered-before
+//! `ob = come ∪ dob ∪ aob ∪ bob`, required acyclic. The paper's TM
+//! extension (unofficial, based on a proposal considered within ARM
+//! Research) adds `tfence` to `ob`, plus `StrongIsol`, `TxnOrder` and
+//! `TxnCancelsRMW`.
+
+use txmm_core::{stronglift, union_all, Attrs, Execution, Fence, Rel};
+
+use crate::arch::Arch;
+use crate::model::{Checker, Model, Verdict};
+
+/// The ARMv8 model; `tm` selects the transactional extension.
+#[derive(Debug, Clone, Copy)]
+pub struct Armv8 {
+    /// Interpret transactions?
+    pub tm: bool,
+}
+
+impl Armv8 {
+    /// The transactional model.
+    pub fn tm() -> Armv8 {
+        Armv8 { tm: true }
+    }
+
+    /// The non-transactional baseline.
+    pub fn base() -> Armv8 {
+        Armv8 { tm: false }
+    }
+
+    /// Dependency-ordered-before (elided in Fig. 8; from `aarch64.cat`).
+    pub fn dob(x: &Execution) -> Rel {
+        let n = x.len();
+        let po = x.po();
+        let idw = Rel::id_on(n, x.writes());
+        let idr = Rel::id_on(n, x.reads());
+        let idisb = Rel::id_on(n, x.fence_events(Fence::Isb));
+        let addr = x.addr();
+        let data = x.data();
+        // ARMv8 dependencies order only when sourced at a read: a ctrl
+        // from a store-exclusive's result does NOT order later accesses
+        // (that is exactly the Example 1.1 / Appendix B relaxation).
+        let ctrl = &Rel::id_on(n, x.reads()).seq(x.ctrl());
+        let addr_po = addr.seq(po);
+        union_all(
+            n,
+            [
+                addr,
+                data,
+                &ctrl.seq(&idw),
+                &ctrl.union(&addr_po).seq(&idisb).seq(po).seq(&idr),
+                &addr.seq(po).seq(&idw),
+                &ctrl.union(data).seq(&x.coi()),
+                &addr.union(data).seq(&x.rfi()),
+            ],
+        )
+    }
+
+    /// Atomic-ordered-before: `aob = rmw ∪ [range(rmw)] ; rfi ; [A]`.
+    pub fn aob(x: &Execution) -> Rel {
+        let n = x.len();
+        let idwx = Rel::id_on(n, x.rmw().range());
+        let ida = Rel::id_on(n, x.acq());
+        x.rmw().union(&idwx.seq(&x.rfi()).seq(&ida))
+    }
+
+    /// Barrier-ordered-before (from `aarch64.cat`).
+    pub fn bob(x: &Execution) -> Rel {
+        let n = x.len();
+        let po = x.po();
+        let iddmb = Rel::id_on(n, x.fence_events(Fence::Dmb));
+        let iddmbld = Rel::id_on(n, x.fence_events(Fence::DmbLd));
+        let iddmbst = Rel::id_on(n, x.fence_events(Fence::DmbSt));
+        let ida = Rel::id_on(n, x.acq().inter(x.reads()));
+        let idl = Rel::id_on(n, x.with_attr(Attrs::REL).inter(x.writes()));
+        let idr = Rel::id_on(n, x.reads());
+        let idw = Rel::id_on(n, x.writes());
+        union_all(
+            n,
+            [
+                &po.seq(&iddmb).seq(po),
+                &idl.seq(po).seq(&ida),
+                &idr.seq(po).seq(&iddmbld).seq(po),
+                &ida.seq(po),
+                &idw.seq(po).seq(&iddmbst).seq(po).seq(&idw),
+                &po.seq(&idl),
+                &po.seq(&idl).seq(&x.coi()),
+            ],
+        )
+    }
+
+    /// Ordered-before: `ob = come ∪ dob ∪ aob ∪ bob (∪ tfence)`.
+    pub fn ob(&self, x: &Execution) -> Rel {
+        let n = x.len();
+        let mut ob = union_all(
+            n,
+            [&x.come(), &Armv8::dob(x), &Armv8::aob(x), &Armv8::bob(x)],
+        );
+        if self.tm {
+            ob = ob.union(&x.tfence());
+        }
+        ob
+    }
+}
+
+impl Model for Armv8 {
+    fn name(&self) -> &'static str {
+        if self.tm {
+            "armv8-tm"
+        } else {
+            "armv8"
+        }
+    }
+
+    fn arch(&self) -> Arch {
+        Arch::Armv8
+    }
+
+    fn is_tm(&self) -> bool {
+        self.tm
+    }
+
+    fn check(&self, x: &Execution) -> Verdict {
+        let mut c = Checker::new(self.name());
+        c.acyclic("Coherence", &x.po_loc().union(&x.com()));
+        let ob = self.ob(x);
+        c.acyclic("Order", &ob);
+        c.empty("RMWIsol", &x.rmw().inter(&x.fre().seq(&x.coe())));
+        if self.tm {
+            let stxn = x.stxn();
+            c.acyclic("StrongIsol", &stronglift(&x.com(), &stxn));
+            c.acyclic("TxnOrder", &stronglift(&ob, &stxn));
+            c.empty("TxnCancelsRMW", &x.rmw().inter(&x.tfence().plus()));
+        }
+        c.finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use txmm_core::ExecBuilder;
+
+    fn mp(strength: &str) -> Execution {
+        let mut b = ExecBuilder::new();
+        let t0 = b.new_thread();
+        let _wx = b.write(t0, 0);
+        if strength == "dmb" || strength == "full" {
+            b.fence(t0, Fence::Dmb);
+        }
+        let wy = if strength == "rel" || strength == "rel-acq" {
+            b.write_rel(t0, 1)
+        } else {
+            b.write(t0, 1)
+        };
+        let t1 = b.new_thread();
+        let ry = if strength == "rel-acq" || strength == "acq" {
+            b.read_acq(t1, 1)
+        } else {
+            b.read(t1, 1)
+        };
+        let rx = b.read(t1, 0);
+        if strength == "full" || strength == "dep" || strength == "rel" {
+            b.addr(ry, rx);
+        }
+        b.rf(wy, ry);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn mp_plain_allowed() {
+        assert!(Armv8::base().consistent(&mp("plain")));
+    }
+
+    #[test]
+    fn mp_dmb_addr_forbidden() {
+        // DMB on the writer + address dependency on the reader: come ∪
+        // bob ∪ dob cycle.
+        assert!(!Armv8::base().consistent(&mp("full")));
+    }
+
+    #[test]
+    fn mp_release_acquire_forbidden() {
+        // STLR/LDAR pairing restores order (bob: po;[L] and [A];po).
+        assert!(!Armv8::base().consistent(&mp("rel-acq")));
+    }
+
+    #[test]
+    fn mp_release_dep_forbidden() {
+        // STLR + address dependency: po;[L] orders the writes; dob
+        // orders the reads.
+        assert!(!Armv8::base().consistent(&mp("rel")));
+    }
+
+    #[test]
+    fn mp_half_strength_allowed() {
+        assert!(Armv8::base().consistent(&mp("dep")));
+        assert!(Armv8::base().consistent(&mp("dmb")));
+        assert!(Armv8::base().consistent(&mp("acq")));
+    }
+
+    #[test]
+    fn sb_with_dmb_forbidden() {
+        let mut b = ExecBuilder::new();
+        let t0 = b.new_thread();
+        let _w0 = b.write(t0, 0);
+        b.fence(t0, Fence::Dmb);
+        let _r0 = b.read(t0, 1);
+        let t1 = b.new_thread();
+        let _w1 = b.write(t1, 1);
+        b.fence(t1, Fence::Dmb);
+        let _r1 = b.read(t1, 0);
+        let x = b.build().unwrap();
+        assert!(!Armv8::base().consistent(&x));
+        // dmb.st is the wrong barrier for W->R: still allowed.
+        let mut b = ExecBuilder::new();
+        let t0 = b.new_thread();
+        b.write(t0, 0);
+        b.fence(t0, Fence::DmbSt);
+        b.read(t0, 1);
+        let t1 = b.new_thread();
+        b.write(t1, 1);
+        b.fence(t1, Fence::DmbSt);
+        b.read(t1, 0);
+        let y = b.build().unwrap();
+        assert!(Armv8::base().consistent(&y));
+    }
+
+    #[test]
+    fn iriw_forbidden_multicopy_atomic() {
+        // ARMv8 is multicopy-atomic: IRIW with acquire loads is
+        // forbidden even without transactions.
+        let mut b = ExecBuilder::new();
+        let t0 = b.new_thread();
+        let a = b.write(t0, 0);
+        let t1 = b.new_thread();
+        let r1 = b.read_acq(t1, 0);
+        let r2 = b.read_acq(t1, 1);
+        let t2 = b.new_thread();
+        let r3 = b.read_acq(t2, 1);
+        let r4 = b.read_acq(t2, 0);
+        let t3 = b.new_thread();
+        let f = b.write(t3, 1);
+        b.rf(a, r1);
+        b.rf(f, r3);
+        let _ = (r2, r4); // both read initial values
+        let x = b.build().unwrap();
+        assert!(!Armv8::base().consistent(&x));
+    }
+
+    #[test]
+    fn ldar_orders_later_accesses() {
+        // [A];po ∈ bob: an acquire load orders everything after it.
+        let x = mp("acq");
+        let ob = Armv8::base().ob(&x);
+        assert!(ob.contains(2, 3));
+    }
+
+    #[test]
+    fn stlr_one_way_fence() {
+        // po;[L] ∈ bob: a release store is ordered after everything
+        // before it, but later accesses may float up past it.
+        let mut b = ExecBuilder::new();
+        let t0 = b.new_thread();
+        let r = b.read(t0, 0);
+        let w = b.write_rel(t0, 1);
+        let r2 = b.read(t0, 2);
+        let x = b.build().unwrap();
+        let ob = Armv8::base().ob(&x);
+        assert!(ob.contains(r, w));
+        assert!(!ob.contains(w, r2));
+    }
+
+    #[test]
+    fn txn_cancels_rmw_inherited() {
+        let mut b = ExecBuilder::new();
+        let t0 = b.new_thread();
+        let r = b.read(t0, 0);
+        let w = b.write(t0, 0);
+        b.rmw(r, w);
+        b.txn(&[r]);
+        b.txn(&[w]);
+        let x = b.build().unwrap();
+        let v = Armv8::tm().check(&x);
+        assert!(v.violations().contains(&"TxnCancelsRMW"));
+        let mut b = ExecBuilder::new();
+        let t0 = b.new_thread();
+        let r = b.read(t0, 0);
+        let w = b.write(t0, 0);
+        b.rmw(r, w);
+        b.txn(&[r, w]);
+        assert!(Armv8::tm().consistent(&b.build().unwrap()));
+    }
+
+    #[test]
+    fn transactional_sb_forbidden() {
+        let mut b = ExecBuilder::new();
+        let t0 = b.new_thread();
+        let w0 = b.write(t0, 0);
+        let r0 = b.read(t0, 1);
+        let t1 = b.new_thread();
+        let w1 = b.write(t1, 1);
+        let r1 = b.read(t1, 0);
+        b.txn(&[w0, r0]);
+        b.txn(&[w1, r1]);
+        let x = b.build().unwrap();
+        assert!(Armv8::base().consistent(&x));
+        let v = Armv8::tm().check(&x);
+        assert!(v.violations().contains(&"TxnOrder"));
+    }
+
+    #[test]
+    fn tfence_orders_around_txn() {
+        // A write before a transaction is ordered before events inside
+        // it, making MP forbidden when the flag update is transactional.
+        let mut b = ExecBuilder::new();
+        let t0 = b.new_thread();
+        let wx = b.write(t0, 0);
+        let wy = b.write(t0, 1);
+        b.txn(&[wy]);
+        let t1 = b.new_thread();
+        let ry = b.read(t1, 1);
+        let rx = b.read(t1, 0);
+        b.txn(&[ry, rx]);
+        b.rf(wy, ry);
+        let x = b.build().unwrap();
+        // ob: wx -tfence-> wy -rfe-> ry/rx txn; fr(rx, wx) closes a
+        // TxnOrder cycle.
+        let v = Armv8::tm().check(&x);
+        assert!(!v.is_consistent());
+        assert!(Armv8::base().consistent(&x.erase_txns()));
+    }
+
+    #[test]
+    fn tm_equals_base_without_txns() {
+        for s in ["plain", "full", "rel-acq", "dep"] {
+            let x = mp(s);
+            assert_eq!(Armv8::base().consistent(&x), Armv8::tm().consistent(&x));
+        }
+    }
+}

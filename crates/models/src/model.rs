@@ -1,0 +1,137 @@
+//! The [`Model`] trait, consistency [`Verdict`]s, and the axiom checker.
+
+use txmm_core::Execution;
+use txmm_core::Rel;
+
+use crate::arch::Arch;
+
+/// The outcome of checking one execution against one model.
+///
+/// A verdict lists the *names* of every violated axiom, so tools can
+/// explain why an execution is forbidden (`table1`/`catalog` bins print
+/// these).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Verdict {
+    model: &'static str,
+    violations: Vec<&'static str>,
+}
+
+impl Verdict {
+    /// Did the execution satisfy every axiom?
+    pub fn is_consistent(&self) -> bool {
+        self.violations.is_empty()
+    }
+
+    /// The names of the violated axioms (empty when consistent).
+    pub fn violations(&self) -> &[&'static str] {
+        &self.violations
+    }
+
+    /// The model that produced this verdict.
+    pub fn model(&self) -> &'static str {
+        self.model
+    }
+}
+
+impl std::fmt::Display for Verdict {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.is_consistent() {
+            write!(f, "{}: consistent", self.model)
+        } else {
+            write!(f, "{}: forbidden by {}", self.model, self.violations.join(", "))
+        }
+    }
+}
+
+/// Accumulates axiom results while a model checks an execution.
+#[derive(Debug)]
+pub struct Checker {
+    verdict: Verdict,
+}
+
+impl Checker {
+    /// Start checking for the named model.
+    pub fn new(model: &'static str) -> Checker {
+        Checker { verdict: Verdict { model, violations: Vec::new() } }
+    }
+
+    /// Assert `acyclic(r)` under the given axiom name.
+    pub fn acyclic(&mut self, axiom: &'static str, r: &Rel) -> &mut Self {
+        if !r.is_acyclic() {
+            self.verdict.violations.push(axiom);
+        }
+        self
+    }
+
+    /// Assert `irreflexive(r)`.
+    pub fn irreflexive(&mut self, axiom: &'static str, r: &Rel) -> &mut Self {
+        if !r.is_irreflexive() {
+            self.verdict.violations.push(axiom);
+        }
+        self
+    }
+
+    /// Assert `empty(r)`.
+    pub fn empty(&mut self, axiom: &'static str, r: &Rel) -> &mut Self {
+        if !r.is_empty() {
+            self.verdict.violations.push(axiom);
+        }
+        self
+    }
+
+    /// The final verdict.
+    pub fn finish(self) -> Verdict {
+        self.verdict
+    }
+}
+
+/// An axiomatic memory model: a consistency predicate over executions.
+pub trait Model: Sync {
+    /// A short, unique name (e.g. `"x86-tm"`).
+    fn name(&self) -> &'static str;
+
+    /// The architecture or language this model describes.
+    fn arch(&self) -> Arch;
+
+    /// Does this model interpret transactions? Baseline (non-TM) models
+    /// ignore `stxn` entirely.
+    fn is_tm(&self) -> bool;
+
+    /// Check every axiom and report which failed.
+    fn check(&self, x: &Execution) -> Verdict;
+
+    /// Convenience: is the execution consistent?
+    fn consistent(&self, x: &Execution) -> bool {
+        self.check(x).is_consistent()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn verdict_accumulates() {
+        let mut c = Checker::new("demo");
+        let cyc = Rel::from_pairs(2, [(0, 1), (1, 0)]);
+        let ok = Rel::from_pairs(2, [(0, 1)]);
+        c.acyclic("A1", &cyc);
+        c.acyclic("A2", &ok);
+        c.empty("A3", &ok);
+        c.irreflexive("A4", &Rel::from_pairs(2, [(1, 1)]));
+        let v = c.finish();
+        assert!(!v.is_consistent());
+        assert_eq!(v.violations(), ["A1", "A3", "A4"]);
+        assert_eq!(v.model(), "demo");
+    }
+
+    #[test]
+    fn verdict_display() {
+        let c = Checker::new("demo");
+        let v = c.finish();
+        assert_eq!(v.to_string(), "demo: consistent");
+        let mut c = Checker::new("demo");
+        c.empty("Ax", &Rel::from_pairs(1, [(0, 0)]));
+        assert_eq!(c.finish().to_string(), "demo: forbidden by Ax");
+    }
+}

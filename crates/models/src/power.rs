@@ -1,0 +1,531 @@
+//! The Power memory model with transactions (Fig. 6).
+//!
+//! The baseline is the "Herding cats" Power model of Alglave et al.
+//! (TOPLAS 2014): `ppo` is the least fixpoint of the ii/ic/ci/cc
+//! equations, and the model has Coherence, Order (no-thin-air),
+//! Propagation and Observation axioms. Fig. 6 of the paper adds
+//! (highlighted):
+//!
+//! * `tfence` joins the fence relation (implicit barriers at transaction
+//!   boundaries);
+//! * `thb`, lifted over transactions via `weaklift`, joins `hb`
+//!   (transaction serialisation, §5.2 "Transaction Ordering");
+//! * `tprop1 = rfe ; stxn ; [W]` (the transaction's integrated memory
+//!   barrier) and `tprop2 = stxn ; rfe` (multicopy-atomic transactional
+//!   writes) join `prop`;
+//! * `StrongIsol`, `TxnOrder`, and `TxnCancelsRMW`.
+
+use txmm_core::{stronglift, union_all, weaklift, Execution, Fence, Rel};
+
+use crate::arch::Arch;
+use crate::model::{Checker, Model, Verdict};
+
+/// The Power model; `tm` selects the transactional extension.
+#[derive(Debug, Clone, Copy)]
+pub struct Power {
+    /// Interpret transactions?
+    pub tm: bool,
+}
+
+/// The intermediate relations of the Power model, exposed so tests and
+/// the `catalog` bin can explain verdicts edge by edge.
+#[derive(Debug, Clone)]
+pub struct PowerRelations {
+    /// Preserved program order (herding-cats fixpoint).
+    pub ppo: Rel,
+    /// `fence = sync ∪ tfence ∪ (lwsync \ (W × R))`.
+    pub fence: Rel,
+    /// Intra-thread happens-before `ihb = ppo ∪ fence`.
+    pub ihb: Rel,
+    /// The transaction-ordering relation `thb` (§5.2).
+    pub thb: Rel,
+    /// Happens-before `hb = (rfe? ; ihb ; rfe?) ∪ weaklift(thb, stxn)`.
+    pub hb: Rel,
+    /// The propagation relation.
+    pub prop: Rel,
+}
+
+impl Power {
+    /// The transactional model.
+    pub fn tm() -> Power {
+        Power { tm: true }
+    }
+
+    /// The non-transactional baseline.
+    pub fn base() -> Power {
+        Power { tm: false }
+    }
+
+    /// Preserved program order: the ii/ic/ci/cc least fixpoint of
+    /// "Herding cats" §6 (elided in Fig. 6 as it is unchanged by TM).
+    pub fn ppo(x: &Execution) -> Rel {
+        let n = x.len();
+        let po = x.po();
+        let poloc = x.po_loc();
+        let dp = x.addr().union(x.data());
+
+        // rdw: two po-loc reads separated by an external write the second
+        // read observes; detour: a po-loc write pair with the second...
+        // (herding cats: rdw = poloc ∩ (fre ; rfe), detour = poloc ∩
+        // (coe ; rfe)).
+        let rdw = poloc.inter(&x.fre().seq(&x.rfe()));
+        let detour = poloc.inter(&x.coe().seq(&x.rfe()));
+
+        // Herding-cats dependencies are read-sourced; write-sourced ctrl
+        // (store-exclusives, footnote 3) is handled separately in ihb.
+        let rctrl = Rel::id_on(n, x.reads()).seq(x.ctrl());
+
+        // ctrl+isync: control dependencies with an isync before the target.
+        let ctrl_isync = rctrl.inter(&x.fence_rel(Fence::Isync));
+
+        let ii0 = union_all(n, [&dp, &rdw, &x.rfi()]);
+        let ic0 = Rel::empty(n);
+        let ci0 = ctrl_isync.union(&detour);
+        let cc0 = union_all(n, [&dp, &poloc, &rctrl, &x.addr().seq(&po.opt())]);
+
+        let (mut ii, mut ic, mut ci, mut cc) = (ii0.clone(), ic0, ci0.clone(), cc0.clone());
+        loop {
+            let ii2 = union_all(n, [&ii0, &ci, &ic.seq(&ci), &ii.seq(&ii)]);
+            let ic2 = union_all(n, [&ii, &cc, &ic.seq(&cc), &ii.seq(&ic), &ic]);
+            let ci2 = union_all(n, [&ci0, &ci.seq(&ii), &cc.seq(&ci), &ci]);
+            let cc2 = union_all(n, [&cc0, &ci, &ci.seq(&ic), &cc.seq(&cc)]);
+            if ii2 == ii && ic2 == ic && ci2 == ci && cc2 == cc {
+                break;
+            }
+            ii = ii2;
+            ic = ic2;
+            ci = ci2;
+            cc = cc2;
+        }
+        let idr = Rel::id_on(n, x.reads());
+        let idw = Rel::id_on(n, x.writes());
+        idr.seq(&ii).seq(&idr).union(&idr.seq(&ic).seq(&idw))
+    }
+
+    /// Compute every intermediate relation of Fig. 6.
+    pub fn relations(&self, x: &Execution) -> PowerRelations {
+        let n = x.len();
+        let w = x.writes();
+        let r = x.reads();
+        let stxn = x.stxn();
+
+        let ppo = Power::ppo(x);
+
+        let sync = x.fence_rel(Fence::Sync);
+        let lwsync = x.fence_rel(Fence::Lwsync).minus(&Rel::cross(n, w, r));
+        let mut fence = sync.union(&lwsync);
+        let tfence = x.tfence();
+        if self.tm {
+            fence = fence.union(&tfence);
+        }
+
+        // Footnote 3: a ctrl+isync sequence may begin at a
+        // store-exclusive; this orders the successful lock write before
+        // the critical region (the spinlock idiom of [29, §B.2.1.1]).
+        let sx = x.writes().inter(x.rmw().range());
+        let sx_ctrl_isync = Rel::id_on(n, sx)
+            .seq(x.ctrl())
+            .inter(&x.fence_rel(Fence::Isync));
+
+        let ihb = ppo.union(&fence).union(&sx_ctrl_isync);
+
+        let rfe = x.rfe();
+        let frecoe = x.fre().union(&x.coe());
+
+        // thb = (rfe ∪ ((fre ∪ coe)* ; ihb))* ; (fre ∪ coe)* ; rfe?
+        let thb = rfe
+            .union(&frecoe.star().seq(&ihb))
+            .star()
+            .seq(&frecoe.star())
+            .seq(&rfe.opt());
+
+        // hb = (rfe? ; ihb ; rfe?) ∪ weaklift(thb, stxn)
+        let mut hb = rfe.opt().seq(&ihb).seq(&rfe.opt());
+        if self.tm {
+            hb = hb.union(&weaklift(&thb, &stxn));
+        }
+
+        // prop
+        let efence = rfe.opt().seq(&fence).seq(&rfe.opt());
+        let hbstar = hb.star();
+        let idw = Rel::id_on(n, w);
+        let prop1 = idw.seq(&efence).seq(&hbstar).seq(&idw);
+        let sync_t = if self.tm { sync.union(&tfence) } else { sync.clone() };
+        let prop2 = x
+            .come()
+            .star()
+            .seq(&efence.star())
+            .seq(&hbstar)
+            .seq(&sync_t)
+            .seq(&hbstar);
+        let mut prop = prop1.union(&prop2);
+        if self.tm {
+            let tprop1 = rfe.seq(&stxn).seq(&idw);
+            let tprop2 = stxn.seq(&rfe);
+            prop = union_all(n, [&prop, &tprop1, &tprop2]);
+        }
+
+        PowerRelations { ppo, fence, ihb, thb, hb, prop }
+    }
+}
+
+impl Model for Power {
+    fn name(&self) -> &'static str {
+        if self.tm {
+            "power-tm"
+        } else {
+            "power"
+        }
+    }
+
+    fn arch(&self) -> Arch {
+        Arch::Power
+    }
+
+    fn is_tm(&self) -> bool {
+        self.tm
+    }
+
+    fn check(&self, x: &Execution) -> Verdict {
+        let rels = self.relations(x);
+        let mut c = Checker::new(self.name());
+        c.acyclic("Coherence", &x.po_loc().union(&x.com()));
+        c.empty("RMWIsol", &x.rmw().inter(&x.fre().seq(&x.coe())));
+        c.acyclic("Order", &rels.hb);
+        c.acyclic("Propagation", &x.co().union(&rels.prop));
+        c.irreflexive("Observation", &x.fre().seq(&rels.prop).seq(&rels.hb.star()));
+        if self.tm {
+            let stxn = x.stxn();
+            c.acyclic("StrongIsol", &stronglift(&x.com(), &stxn));
+            c.acyclic("TxnOrder", &stronglift(&rels.hb, &stxn));
+            c.empty("TxnCancelsRMW", &x.rmw().inter(&x.tfence().plus()));
+        }
+        c.finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use txmm_core::ExecBuilder;
+
+    /// Message passing with configurable strength on each side.
+    fn mp(sync0: Option<Fence>, dep1: bool) -> Execution {
+        let mut b = ExecBuilder::new();
+        let t0 = b.new_thread();
+        let _wx = b.write(t0, 0);
+        if let Some(f) = sync0 {
+            b.fence(t0, f);
+        }
+        let wy = b.write(t0, 1);
+        let t1 = b.new_thread();
+        let ry = b.read(t1, 1);
+        let rx = b.read(t1, 0);
+        if dep1 {
+            b.addr(ry, rx);
+        }
+        b.rf(wy, ry);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn mp_plain_allowed() {
+        // Power reorders both the writes and the reads: plain MP is
+        // observable.
+        assert!(Power::base().consistent(&mp(None, false)));
+    }
+
+    #[test]
+    fn mp_sync_dep_forbidden() {
+        // sync on the writer plus an address dependency on the reader
+        // restores order (the classic MP+sync+addr test).
+        let x = mp(Some(Fence::Sync), true);
+        let v = Power::base().check(&x);
+        assert!(!v.is_consistent());
+    }
+
+    #[test]
+    fn mp_lwsync_dep_forbidden() {
+        let x = mp(Some(Fence::Lwsync), true);
+        assert!(!Power::base().consistent(&x));
+    }
+
+    #[test]
+    fn mp_half_strength_allowed() {
+        // Fence without dependency, or dependency without fence: still
+        // observable.
+        assert!(Power::base().consistent(&mp(Some(Fence::Sync), false)));
+        assert!(Power::base().consistent(&mp(None, true)));
+    }
+
+    #[test]
+    fn mp_txn_both_forbidden_under_tm() {
+        // Wrapping both sides in transactions orders everything: the
+        // implicit boundary fences are not even needed — thb lifts the
+        // communication into an hb cycle.
+        let mut b = ExecBuilder::new();
+        let t0 = b.new_thread();
+        let wx = b.write(t0, 0);
+        let wy = b.write(t0, 1);
+        let t1 = b.new_thread();
+        let ry = b.read(t1, 1);
+        let rx = b.read(t1, 0);
+        b.rf(wy, ry);
+        b.txn(&[wx, wy]);
+        b.txn(&[ry, rx]);
+        let x = b.build().unwrap();
+        assert!(Power::base().consistent(&x), "baseline ignores txns");
+        let v = Power::tm().check(&x);
+        assert!(!v.is_consistent());
+    }
+
+    #[test]
+    fn lb_allowed() {
+        // Load buffering: allowed by the Power model (though never
+        // observed on hardware, §5.3).
+        let mut b = ExecBuilder::new();
+        let t0 = b.new_thread();
+        let r0 = b.read(t0, 0);
+        let w0 = b.write(t0, 1);
+        let t1 = b.new_thread();
+        let r1 = b.read(t1, 1);
+        let w1 = b.write(t1, 0);
+        b.rf(w0, r1);
+        b.rf(w1, r0);
+        let x = b.build().unwrap();
+        assert!(Power::base().consistent(&x));
+    }
+
+    #[test]
+    fn lb_deps_forbidden() {
+        // LB with data dependencies on both sides: a thin-air cycle,
+        // forbidden by Order (hb = ppo ∪ rfe chains).
+        let mut b = ExecBuilder::new();
+        let t0 = b.new_thread();
+        let r0 = b.read(t0, 0);
+        let w0 = b.write(t0, 1);
+        b.data(r0, w0);
+        let t1 = b.new_thread();
+        let r1 = b.read(t1, 1);
+        let w1 = b.write(t1, 0);
+        b.data(r1, w1);
+        b.rf(w0, r1);
+        b.rf(w1, r0);
+        let x = b.build().unwrap();
+        assert!(!Power::base().consistent(&x));
+    }
+
+    /// §5.2 execution (1): WRC with the middle thread transactional.
+    /// Forbidden via tprop1 (the integrated memory barrier).
+    fn wrc_txn() -> Execution {
+        let mut b = ExecBuilder::new();
+        let t0 = b.new_thread();
+        let a = b.write(t0, 0);
+        let t1 = b.new_thread();
+        let bb = b.read(t1, 0);
+        let c = b.write(t1, 1);
+        let t2 = b.new_thread();
+        let d = b.read(t2, 1);
+        let e = b.read(t2, 0);
+        b.addr(d, e); // the figure's ppo edge
+        b.rf(a, bb);
+        b.rf(c, d);
+        // e reads the initial x: fr(e, a).
+        b.txn(&[bb, c]);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn exec1_wrc_txn_forbidden() {
+        let x = wrc_txn();
+        let v = Power::tm().check(&x);
+        assert!(!v.is_consistent(), "§5.2 (1) must be forbidden");
+        assert!(v.violations().contains(&"Observation"));
+        // Without the transaction the shape is plain WRC without the
+        // writer's barrier: allowed.
+        assert!(Power::base().consistent(&x.erase_txns()));
+        assert!(Power::tm().consistent(&x.erase_txns()));
+    }
+
+    /// §5.2 execution (2): WRC with only the *first* writer
+    /// transactional. Forbidden via tprop2 (multicopy-atomic
+    /// transactional writes).
+    fn wrc_txn_writer() -> Execution {
+        let mut b = ExecBuilder::new();
+        let t0 = b.new_thread();
+        let a = b.write(t0, 0);
+        let t1 = b.new_thread();
+        let bb = b.read(t1, 0);
+        let c = b.write(t1, 1);
+        b.addr(bb, c); // middle thread's ppo edge (b -> c)
+        let t2 = b.new_thread();
+        let d = b.read(t2, 1);
+        let e = b.read(t2, 0);
+        b.addr(d, e);
+        b.rf(a, bb);
+        b.rf(c, d);
+        b.txn(&[a]);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn exec2_wrc_txn_writer_forbidden() {
+        let x = wrc_txn_writer();
+        let v = Power::tm().check(&x);
+        assert!(!v.is_consistent(), "§5.2 (2) must be forbidden");
+        assert!(v.violations().contains(&"Observation"));
+        // Without the transaction: plain WRC with dependencies — on
+        // non-multicopy-atomic Power this is allowed only when... it is
+        // in fact forbidden only with a sync; with deps alone the A-
+        // cumulativity is missing, so the baseline allows it.
+        assert!(Power::base().consistent(&x.erase_txns()));
+    }
+
+    /// §5.2 execution (3): IRIW with the two writers transactional.
+    fn iriw_txn(both: bool) -> Execution {
+        let mut b = ExecBuilder::new();
+        let t0 = b.new_thread();
+        let a = b.write(t0, 0);
+        let t1 = b.new_thread();
+        let bb = b.read(t1, 0);
+        let c = b.read(t1, 1);
+        b.addr(bb, c);
+        let t2 = b.new_thread();
+        let d = b.read(t2, 1);
+        let e = b.read(t2, 0);
+        b.addr(d, e);
+        let t3 = b.new_thread();
+        let f = b.write(t3, 1);
+        b.rf(a, bb);
+        b.rf(f, d);
+        // c reads initial y: fr(c, f); e reads initial x: fr(e, a).
+        b.txn(&[a]);
+        if both {
+            b.txn(&[f]);
+        }
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn exec3_iriw_both_txn_forbidden() {
+        let x = iriw_txn(true);
+        let v = Power::tm().check(&x);
+        assert!(!v.is_consistent(), "§5.2 (3) must be forbidden");
+        assert!(v.violations().contains(&"Order"), "thb cycle shows up in Order");
+    }
+
+    #[test]
+    fn exec3_iriw_one_txn_allowed() {
+        // §5.2: "a behaviour similar to (3) but with only one write
+        // transactional was observed during our empirical testing, and
+        // is duly allowed by our model."
+        let x = iriw_txn(false);
+        assert!(Power::tm().consistent(&x));
+    }
+
+    #[test]
+    fn iriw_base_allowed() {
+        let x = iriw_txn(true).erase_txns();
+        assert!(Power::base().consistent(&x));
+    }
+
+    /// Remark 5.1: read-only transaction variants that the model
+    /// deliberately permits (the Power manual is ambiguous).
+    fn remark51_first() -> Execution {
+        let mut b = ExecBuilder::new();
+        let t0 = b.new_thread();
+        let a = b.write(t0, 0);
+        let t1 = b.new_thread();
+        let bb = b.read(t1, 0);
+        let c = b.read(t1, 1);
+        let t2 = b.new_thread();
+        let d = b.write(t2, 1);
+        b.fence(t2, Fence::Sync);
+        let e = b.read(t2, 0);
+        b.rf(a, bb);
+        // c reads initial y: fr(c, d); e reads initial x: fr(e, a).
+        let _ = e;
+        b.txn(&[bb, c]);
+        b.build().unwrap()
+    }
+
+    fn remark51_second() -> Execution {
+        let mut b = ExecBuilder::new();
+        let t0 = b.new_thread();
+        let a = b.write(t0, 0);
+        let t1 = b.new_thread();
+        let bb = b.read(t1, 0);
+        let c = b.read(t1, 1);
+        let t2 = b.new_thread();
+        let d = b.write(t2, 1);
+        b.fence(t2, Fence::Sync);
+        let e = b.write(t2, 0);
+        b.rf(a, bb);
+        // c reads initial y: fr(c, d); co: e before a.
+        b.co(e, a);
+        b.txn(&[bb, c]);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn remark51_read_only_txns_allowed() {
+        assert!(Power::tm().consistent(&remark51_first()));
+        assert!(Power::tm().consistent(&remark51_second()));
+    }
+
+    #[test]
+    fn txn_cancels_rmw() {
+        // §8.1's counterexample, left side: an rmw whose read and write
+        // sit in two different transactions is forbidden...
+        let mut b = ExecBuilder::new();
+        let t0 = b.new_thread();
+        let r = b.read(t0, 0);
+        let w = b.write(t0, 0);
+        b.rmw(r, w);
+        b.txn(&[r]);
+        b.txn(&[w]);
+        let x = b.build().unwrap();
+        let v = Power::tm().check(&x);
+        assert!(v.violations().contains(&"TxnCancelsRMW"));
+        // ...while the coalesced version (both in one transaction) is
+        // consistent.
+        let mut b = ExecBuilder::new();
+        let t0 = b.new_thread();
+        let r = b.read(t0, 0);
+        let w = b.write(t0, 0);
+        b.rmw(r, w);
+        b.txn(&[r, w]);
+        let y = b.build().unwrap();
+        assert!(Power::tm().consistent(&y));
+    }
+
+    #[test]
+    fn rmw_straddling_one_boundary_forbidden() {
+        // Read outside, write inside a transaction.
+        let mut b = ExecBuilder::new();
+        let t0 = b.new_thread();
+        let r = b.read(t0, 0);
+        let w = b.write(t0, 0);
+        b.rmw(r, w);
+        b.txn(&[w]);
+        let x = b.build().unwrap();
+        assert!(!Power::tm().consistent(&x));
+        assert!(Power::base().consistent(&x.erase_txns()));
+    }
+
+    #[test]
+    fn ppo_includes_deps_not_plain_pairs() {
+        let x = mp(None, true);
+        let ppo = Power::ppo(&x);
+        // addr dependency ry -> rx preserved; plain write pair not.
+        assert!(ppo.contains(2, 3));
+        assert!(!ppo.contains(0, 1));
+    }
+
+    #[test]
+    fn tm_equals_base_without_txns() {
+        for x in [mp(None, false), mp(Some(Fence::Sync), true), iriw_txn(true).erase_txns()] {
+            assert_eq!(Power::base().consistent(&x), Power::tm().consistent(&x));
+        }
+    }
+}

@@ -1,0 +1,111 @@
+//! Model-difference search: Memalloy's original mode (§4).
+//!
+//! Given two models `M` and `N`, find executions that are inconsistent
+//! under `M` but consistent under `N` — the seed operation behind axiom
+//! refinement (§4.1).
+
+use txmm_core::Execution;
+use txmm_models::Model;
+
+use crate::enumerate::{enumerate, EnumConfig};
+
+/// Executions distinguishing `m` (forbids) from `n` (allows), up to the
+/// configured size; stops after `limit` witnesses when given.
+pub fn distinguish(
+    cfg: &EnumConfig,
+    m: &dyn Model,
+    n: &dyn Model,
+    limit: Option<usize>,
+) -> Vec<Execution> {
+    let mut out = Vec::new();
+    enumerate(cfg, &mut |x| {
+        if let Some(l) = limit {
+            if out.len() >= l {
+                return;
+            }
+        }
+        if !m.consistent(x) && n.consistent(x) {
+            out.push(x.clone());
+        }
+    });
+    out
+}
+
+/// Are the two models equivalent on every execution up to the bound?
+pub fn equivalent(cfg: &EnumConfig, m: &dyn Model, n: &dyn Model) -> bool {
+    let mut eq = true;
+    enumerate(cfg, &mut |x| {
+        if eq && m.consistent(x) != n.consistent(x) {
+            eq = false;
+        }
+    });
+    eq
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use txmm_models::{Arch, Sc, Tsc, X86};
+
+    #[test]
+    fn sc_vs_tsc_differ_only_with_txns() {
+        let cfg = EnumConfig {
+            arch: Arch::Sc,
+            events: 3,
+            max_threads: 2,
+            max_locs: 2,
+            fences: false,
+            deps: false,
+            rmws: false,
+            txns: true,
+            attrs: false,
+            atomic_txns: false,
+        };
+        let found = distinguish(&cfg, &Tsc, &Sc, Some(5));
+        assert!(!found.is_empty());
+        for x in &found {
+            assert!(!x.txns().is_empty(), "SC = TSC on transaction-free executions");
+        }
+    }
+
+    #[test]
+    fn sc_stronger_than_x86() {
+        // SC forbids store buffering; x86 allows it.
+        let cfg = EnumConfig {
+            arch: Arch::X86,
+            events: 4,
+            max_threads: 2,
+            max_locs: 2,
+            fences: false,
+            deps: false,
+            rmws: false,
+            txns: false,
+            attrs: false,
+            atomic_txns: false,
+        };
+        let found = distinguish(&cfg, &Sc, &X86::base(), Some(1));
+        assert!(!found.is_empty());
+        // The reverse direction finds nothing: x86 never forbids what SC
+        // allows.
+        let rev = distinguish(&cfg, &X86::base(), &Sc, Some(1));
+        assert!(rev.is_empty());
+    }
+
+    #[test]
+    fn model_self_equivalence() {
+        let cfg = EnumConfig {
+            arch: Arch::X86,
+            events: 3,
+            max_threads: 2,
+            max_locs: 2,
+            fences: true,
+            deps: false,
+            rmws: true,
+            txns: false,
+            attrs: false,
+            atomic_txns: false,
+        };
+        assert!(equivalent(&cfg, &X86::base(), &X86::base()));
+        assert!(equivalent(&cfg, &X86::base(), &X86::tm()), "equal without transactions");
+    }
+}

@@ -1,0 +1,694 @@
+//! Exhaustive enumeration of candidate executions, up to a bounded
+//! event count, for a given architecture.
+//!
+//! This replaces Memalloy's SAT search with explicit generation: every
+//! well-formed execution over the architecture's event vocabulary is
+//! produced exactly once (up to thread and location symmetry).
+
+use std::collections::HashSet;
+
+use txmm_core::{Attrs, Event, EventKind, Execution, Fence, Rel, TxnClass};
+use txmm_models::Arch;
+
+use crate::canon::canon_key;
+
+/// What the enumerator may use.
+#[derive(Debug, Clone)]
+pub struct EnumConfig {
+    /// The target architecture (fixes fences and attributes).
+    pub arch: Arch,
+    /// Exact number of events to generate (callers loop over sizes).
+    pub events: usize,
+    /// Maximum number of threads.
+    pub max_threads: usize,
+    /// Maximum number of distinct locations.
+    pub max_locs: usize,
+    /// Include fence events.
+    pub fences: bool,
+    /// Include address/data/control dependencies.
+    pub deps: bool,
+    /// Include read-modify-write pairs.
+    pub rmws: bool,
+    /// Include transactions.
+    pub txns: bool,
+    /// Include architecture attributes (ARMv8 acq/rel, C++ modes).
+    pub attrs: bool,
+    /// For C++: also enumerate atomic transactions.
+    pub atomic_txns: bool,
+}
+
+impl EnumConfig {
+    /// A sensible default for hardware models.
+    pub fn hw(arch: Arch, events: usize) -> EnumConfig {
+        EnumConfig {
+            arch,
+            events,
+            max_threads: 3,
+            max_locs: 3,
+            fences: true,
+            deps: matches!(arch, Arch::Power | Arch::Armv8),
+            rmws: true,
+            txns: true,
+            attrs: matches!(arch, Arch::Armv8),
+            atomic_txns: false,
+        }
+    }
+}
+
+/// Compositions of `n` into at most `k` non-increasing positive parts
+/// (thread shapes; non-increasing kills most thread symmetry up front).
+fn shapes(n: usize, k: usize, max_part: usize) -> Vec<Vec<usize>> {
+    if n == 0 {
+        return vec![vec![]];
+    }
+    if k == 0 {
+        return vec![];
+    }
+    let mut out = Vec::new();
+    for first in (1..=n.min(max_part)).rev() {
+        for rest in shapes(n - first, k - 1, first) {
+            let mut s = vec![first];
+            s.extend(rest);
+            out.push(s);
+        }
+    }
+    out
+}
+
+fn kinds_for(cfg: &EnumConfig) -> Vec<EventKind> {
+    let mut ks = vec![EventKind::Read, EventKind::Write];
+    if cfg.fences {
+        for &f in cfg.arch.fences() {
+            ks.push(EventKind::Fence(f));
+        }
+    }
+    ks
+}
+
+fn attr_options(cfg: &EnumConfig, kind: EventKind) -> Vec<Attrs> {
+    if !cfg.attrs {
+        // C++ accesses still need *some* mode decision even when attrs
+        // are off: default to relaxed atomics so programs are race-free
+        // by construction... no: keep them plain (non-atomic).
+        if cfg.arch == Arch::Cpp {
+            if let EventKind::Fence(Fence::CppFence) = kind {
+                return vec![Attrs::SC.union(Attrs::ACQ).union(Attrs::REL)];
+            }
+        }
+        return vec![Attrs::NONE];
+    }
+    match (cfg.arch, kind) {
+        (Arch::Armv8, EventKind::Read) => vec![Attrs::NONE, Attrs::ACQ],
+        (Arch::Armv8, EventKind::Write) => vec![Attrs::NONE, Attrs::REL],
+        (Arch::Cpp, EventKind::Read) => vec![
+            Attrs::NONE,
+            Attrs::ATO,
+            Attrs::ATO.union(Attrs::ACQ),
+            Attrs::ATO.union(Attrs::SC).union(Attrs::ACQ),
+        ],
+        (Arch::Cpp, EventKind::Write) => vec![
+            Attrs::NONE,
+            Attrs::ATO,
+            Attrs::ATO.union(Attrs::REL),
+            Attrs::ATO.union(Attrs::SC).union(Attrs::REL),
+        ],
+        (Arch::Cpp, EventKind::Fence(_)) => vec![
+            Attrs::ACQ,
+            Attrs::REL,
+            Attrs::ACQ.union(Attrs::REL),
+            Attrs::SC.union(Attrs::ACQ).union(Attrs::REL),
+        ],
+        _ => vec![Attrs::NONE],
+    }
+}
+
+/// Disjoint contiguous interval covers of `0..k` (transaction layouts on
+/// one thread): each position is either outside any transaction or in
+/// exactly one interval.
+fn interval_sets(k: usize) -> Vec<Vec<(usize, usize)>> {
+    fn go(i: usize, k: usize) -> Vec<Vec<(usize, usize)>> {
+        if i >= k {
+            return vec![vec![]];
+        }
+        let mut out = Vec::new();
+        // Position i not in a transaction.
+        for rest in go(i + 1, k) {
+            out.push(rest);
+        }
+        // A transaction [i..=j].
+        for j in i..k {
+            for rest in go(j + 1, k) {
+                let mut v = vec![(i, j)];
+                v.extend(rest);
+                out.push(v);
+            }
+        }
+        out
+    }
+    go(0, k)
+}
+
+/// Enumerate all candidate executions of exactly `cfg.events` events,
+/// invoking `visit` on each (deduplicated up to symmetry).
+pub fn enumerate(cfg: &EnumConfig, visit: &mut dyn FnMut(&Execution)) {
+    let n = cfg.events;
+    let kinds = kinds_for(cfg);
+    let mut seen: HashSet<Vec<u8>> = HashSet::new();
+
+    for shape in shapes(n, cfg.max_threads, n) {
+        // Thread ids per event slot, slots in po order per thread.
+        let mut tids = Vec::with_capacity(n);
+        for (t, &sz) in shape.iter().enumerate() {
+            tids.extend(std::iter::repeat(t as u8).take(sz));
+        }
+        // Kind assignment.
+        let mut kind_choice = vec![0usize; n];
+        loop {
+            let evkinds: Vec<EventKind> = kind_choice.iter().map(|&i| kinds[i]).collect();
+            assign_locs(cfg, &tids, &evkinds, &mut seen, visit);
+            // Odometer.
+            let mut i = 0;
+            loop {
+                if i == n {
+                    break;
+                }
+                kind_choice[i] += 1;
+                if kind_choice[i] < kinds.len() {
+                    break;
+                }
+                kind_choice[i] = 0;
+                i += 1;
+            }
+            if i == n {
+                break;
+            }
+        }
+    }
+}
+
+fn assign_locs(
+    cfg: &EnumConfig,
+    tids: &[u8],
+    kinds: &[EventKind],
+    seen: &mut HashSet<Vec<u8>>,
+    visit: &mut dyn FnMut(&Execution),
+) {
+    let n = tids.len();
+    let access: Vec<usize> = (0..n).filter(|&e| kinds[e].is_access()).collect();
+    // Canonical location assignment: each access gets a loc index no
+    // larger than 1 + max of earlier assignments (first-occurrence
+    // numbering), bounded by max_locs.
+    fn go(
+        idx: usize,
+        access: &[usize],
+        locs: &mut Vec<u8>,
+        max_used: i32,
+        cfg: &EnumConfig,
+        k: &mut dyn FnMut(&[u8]),
+    ) {
+        if idx == access.len() {
+            k(locs);
+            return;
+        }
+        let limit = ((max_used + 1) as usize).min(cfg.max_locs - 1);
+        for l in 0..=limit {
+            locs.push(l as u8);
+            go(idx + 1, access, locs, max_used.max(l as i32), cfg, k);
+            locs.pop();
+        }
+    }
+    let mut locs_buf = Vec::new();
+    go(0, &access, &mut locs_buf, -1, cfg, &mut |locs| {
+        let mut ev_locs = vec![None; n];
+        for (i, &e) in access.iter().enumerate() {
+            ev_locs[e] = Some(locs[i]);
+        }
+        assign_attrs(cfg, tids, kinds, &ev_locs, seen, visit);
+    });
+}
+
+fn assign_attrs(
+    cfg: &EnumConfig,
+    tids: &[u8],
+    kinds: &[EventKind],
+    locs: &[Option<u8>],
+    seen: &mut HashSet<Vec<u8>>,
+    visit: &mut dyn FnMut(&Execution),
+) {
+    let n = tids.len();
+    let options: Vec<Vec<Attrs>> = (0..n).map(|e| attr_options(cfg, kinds[e])).collect();
+    let mut choice = vec![0usize; n];
+    loop {
+        let events: Vec<Event> = (0..n)
+            .map(|e| Event { kind: kinds[e], tid: tids[e], loc: locs[e], attrs: options[e][choice[e]] })
+            .collect();
+        assign_structure(cfg, &events, seen, visit);
+        let mut i = 0;
+        loop {
+            if i == n {
+                return;
+            }
+            choice[i] += 1;
+            if choice[i] < options[i].len() {
+                break;
+            }
+            choice[i] = 0;
+            i += 1;
+        }
+    }
+}
+
+/// Enumerate rmw pairs, dependencies, rf, co and transactions, build
+/// executions, deduplicate and visit.
+fn assign_structure(
+    cfg: &EnumConfig,
+    events: &[Event],
+    seen: &mut HashSet<Vec<u8>>,
+    visit: &mut dyn FnMut(&Execution),
+) {
+    let n = events.len();
+    // po: same thread, earlier slot.
+    let mut po = Rel::empty(n);
+    for a in 0..n {
+        for b in (a + 1)..n {
+            if events[a].tid == events[b].tid {
+                po.add(a, b);
+            }
+        }
+    }
+
+    // Candidate rmw pairs: po-adjacent same-loc read->write.
+    let mut rmw_candidates: Vec<(usize, usize)> = Vec::new();
+    if cfg.rmws {
+        for a in 0..n {
+            if events[a].kind == EventKind::Read
+                && a + 1 < n
+                && events[a + 1].kind == EventKind::Write
+                && events[a].tid == events[a + 1].tid
+                && events[a].loc == events[a + 1].loc
+            {
+                // C++ rmw events must be atomic.
+                if cfg.arch == Arch::Cpp
+                    && !(events[a].attrs.contains(Attrs::ATO)
+                        && events[a + 1].attrs.contains(Attrs::ATO))
+                {
+                    continue;
+                }
+                rmw_candidates.push((a, a + 1));
+            }
+        }
+    }
+    // Subsets of non-overlapping rmw pairs (adjacent pairs never share
+    // an event with the next candidate unless ... they can: (a,a+1) and
+    // (a+1,a+2) cannot both be candidates since a+1 is a write; safe).
+    let rmw_sets: Vec<Vec<(usize, usize)>> = subsets(&rmw_candidates);
+
+    // Dependency slots: (read, po-later event) pairs.
+    let mut dep_slots: Vec<(usize, usize)> = Vec::new();
+    if cfg.deps {
+        for a in 0..n {
+            if events[a].kind == EventKind::Read {
+                for b in (a + 1)..n {
+                    if events[a].tid == events[b].tid {
+                        dep_slots.push((a, b));
+                    }
+                }
+            }
+        }
+    }
+
+    // rf options per read: None or any same-loc write.
+    let reads: Vec<usize> =
+        (0..n).filter(|&e| events[e].kind == EventKind::Read).collect();
+    let rf_options: Vec<Vec<Option<usize>>> = reads
+        .iter()
+        .map(|&r| {
+            let mut opts = vec![None];
+            for w in 0..n {
+                if events[w].kind == EventKind::Write && events[w].loc == events[r].loc {
+                    opts.push(Some(w));
+                }
+            }
+            opts
+        })
+        .collect();
+
+    // co: permutations of writes per location.
+    let locs: Vec<u8> = {
+        let mut ls: Vec<u8> = events.iter().filter_map(|e| e.loc).collect();
+        ls.sort_unstable();
+        ls.dedup();
+        ls
+    };
+    let co_options: Vec<Vec<Vec<usize>>> = locs
+        .iter()
+        .map(|&l| {
+            let ws: Vec<usize> = (0..n)
+                .filter(|&e| events[e].kind == EventKind::Write && events[e].loc == Some(l))
+                .collect();
+            permutations_of(&ws)
+        })
+        .collect();
+
+    // Transactions: interval covers per thread.
+    let nthreads = events.iter().map(|e| e.tid as usize + 1).max().unwrap_or(0);
+    let thread_slots: Vec<Vec<usize>> = (0..nthreads)
+        .map(|t| (0..n).filter(|&e| events[e].tid as usize == t).collect())
+        .collect();
+    let txn_options: Vec<Vec<Vec<(usize, usize)>>> = if cfg.txns {
+        thread_slots.iter().map(|slots| interval_sets(slots.len())).collect()
+    } else {
+        thread_slots.iter().map(|_| vec![vec![]]).collect()
+    };
+
+    // Iterate the cross product.
+    for rmws in &rmw_sets {
+        let mut rmw = Rel::empty(n);
+        for &(a, b) in rmws {
+            rmw.add(a, b);
+        }
+        for_deps(cfg, events, &dep_slots, &mut |addr, ctrl, data| {
+            for_rf(&reads, &rf_options, &mut |rf_choice| {
+                for_co(&co_options, &mut |co_perms| {
+                    let mut rf = Rel::empty(n);
+                    for (i, &r) in reads.iter().enumerate() {
+                        if let Some(w) = rf_choice[i] {
+                            rf.add(w, r);
+                        }
+                    }
+                    let mut co = Rel::empty(n);
+                    for perm in co_perms {
+                        for i in 0..perm.len() {
+                            for j in (i + 1)..perm.len() {
+                                co.add(perm[i], perm[j]);
+                            }
+                        }
+                    }
+                    for_txns(&thread_slots, &txn_options, &mut |txn_ivs| {
+                        let atomic_opts: &[bool] =
+                            if cfg.atomic_txns { &[false, true] } else { &[false] };
+                        for &atomic in atomic_opts {
+                            let txns: Vec<TxnClass> = txn_ivs
+                                .iter()
+                                .enumerate()
+                                .flat_map(|(t, ivs)| {
+                                    let slots = &thread_slots[t];
+                                    ivs.iter().map(move |&(i, j)| TxnClass {
+                                        events: slots[i..=j].to_vec(),
+                                        atomic,
+                                    })
+                                })
+                                .collect();
+                            if txns.is_empty() && atomic {
+                                continue;
+                            }
+                            let x = Execution::from_parts(
+                                events.to_vec(),
+                                po.clone(),
+                                addr.clone(),
+                                ctrl.clone(),
+                                data.clone(),
+                                rmw.clone(),
+                                rf.clone(),
+                                co.clone(),
+                                txns,
+                            );
+                            debug_assert!(x.check_wf().is_ok(), "{:?}", x.check_wf());
+                            if seen.insert(canon_key(&x)) {
+                                visit(&x);
+                            }
+                        }
+                    });
+                });
+            });
+        });
+    }
+}
+
+fn subsets<T: Clone>(items: &[T]) -> Vec<Vec<T>> {
+    let mut out = vec![vec![]];
+    for item in items {
+        let mut more = Vec::new();
+        for s in &out {
+            let mut s2 = s.clone();
+            s2.push(item.clone());
+            more.push(s2);
+        }
+        out.extend(more);
+    }
+    out
+}
+
+fn permutations_of(items: &[usize]) -> Vec<Vec<usize>> {
+    if items.is_empty() {
+        return vec![vec![]];
+    }
+    let mut out = Vec::new();
+    for (i, &first) in items.iter().enumerate() {
+        let mut rest: Vec<usize> = items.to_vec();
+        rest.remove(i);
+        for mut p in permutations_of(&rest) {
+            p.insert(0, first);
+            out.push(p);
+        }
+    }
+    out
+}
+
+fn for_deps(
+    _cfg: &EnumConfig,
+    events: &[Event],
+    slots: &[(usize, usize)],
+    k: &mut dyn FnMut(&Rel, &Rel, &Rel),
+) {
+    let n = events.len();
+    if slots.is_empty() {
+        k(&Rel::empty(n), &Rel::empty(n), &Rel::empty(n));
+        return;
+    }
+    // Each slot: 0 none, 1 addr (target access), 2 data (target write),
+    // 3 ctrl.
+    let opts: Vec<Vec<u8>> = slots
+        .iter()
+        .map(|&(_, b)| {
+            let mut o = vec![0u8, 3];
+            if events[b].kind.is_access() {
+                o.push(1);
+            }
+            if events[b].kind == EventKind::Write {
+                o.push(2);
+            }
+            o.sort_unstable();
+            o
+        })
+        .collect();
+    let mut choice = vec![0usize; slots.len()];
+    loop {
+        let mut addr = Rel::empty(n);
+        let mut ctrl = Rel::empty(n);
+        let mut data = Rel::empty(n);
+        for (i, &(a, b)) in slots.iter().enumerate() {
+            match opts[i][choice[i]] {
+                1 => addr.add(a, b),
+                2 => data.add(a, b),
+                3 => ctrl.add(a, b),
+                _ => {}
+            }
+        }
+        k(&addr, &ctrl, &data);
+        let mut i = 0;
+        loop {
+            if i == slots.len() {
+                return;
+            }
+            choice[i] += 1;
+            if choice[i] < opts[i].len() {
+                break;
+            }
+            choice[i] = 0;
+            i += 1;
+        }
+    }
+}
+
+fn for_rf(
+    reads: &[usize],
+    options: &[Vec<Option<usize>>],
+    k: &mut dyn FnMut(&[Option<usize>]),
+) {
+    if reads.is_empty() {
+        k(&[]);
+        return;
+    }
+    let mut choice = vec![0usize; reads.len()];
+    loop {
+        let picked: Vec<Option<usize>> =
+            (0..reads.len()).map(|i| options[i][choice[i]]).collect();
+        k(&picked);
+        let mut i = 0;
+        loop {
+            if i == reads.len() {
+                return;
+            }
+            choice[i] += 1;
+            if choice[i] < options[i].len() {
+                break;
+            }
+            choice[i] = 0;
+            i += 1;
+        }
+    }
+}
+
+fn for_co(options: &[Vec<Vec<usize>>], k: &mut dyn FnMut(&[Vec<usize>])) {
+    fn go(i: usize, options: &[Vec<Vec<usize>>], acc: &mut Vec<Vec<usize>>, k: &mut dyn FnMut(&[Vec<usize>])) {
+        if i == options.len() {
+            k(acc);
+            return;
+        }
+        for perm in &options[i] {
+            acc.push(perm.clone());
+            go(i + 1, options, acc, k);
+            acc.pop();
+        }
+    }
+    let mut acc = Vec::new();
+    go(0, options, &mut acc, k);
+}
+
+fn for_txns(
+    threads: &[Vec<usize>],
+    options: &[Vec<Vec<(usize, usize)>>],
+    k: &mut dyn FnMut(&[Vec<(usize, usize)>]),
+) {
+    fn go(
+        i: usize,
+        options: &[Vec<Vec<(usize, usize)>>],
+        acc: &mut Vec<Vec<(usize, usize)>>,
+        k: &mut dyn FnMut(&[Vec<(usize, usize)>]),
+    ) {
+        if i == options.len() {
+            k(acc);
+            return;
+        }
+        for ivs in &options[i] {
+            acc.push(ivs.clone());
+            go(i + 1, options, acc, k);
+            acc.pop();
+        }
+    }
+    let _ = threads;
+    let mut acc = Vec::new();
+    go(0, options, &mut acc, k);
+}
+
+/// Count the executions the enumerator produces (test/diagnostic aid).
+pub fn count(cfg: &EnumConfig) -> usize {
+    let mut n = 0usize;
+    enumerate(cfg, &mut |_| n += 1);
+    n
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shapes_are_non_increasing() {
+        let ss = shapes(4, 4, 4);
+        for s in &ss {
+            for w in s.windows(2) {
+                assert!(w[0] >= w[1]);
+            }
+            assert_eq!(s.iter().sum::<usize>(), 4);
+        }
+        // Partitions of 4: 4, 3+1, 2+2, 2+1+1, 1+1+1+1.
+        assert_eq!(ss.len(), 5);
+    }
+
+    #[test]
+    fn interval_sets_count() {
+        // k=1: {}, {[0,0]} = 2. k=2: {}, {[0,0]}, {[1,1]}, {[0,0],[1,1]},
+        // {[0,1]} = 5.
+        assert_eq!(interval_sets(1).len(), 2);
+        assert_eq!(interval_sets(2).len(), 5);
+    }
+
+    #[test]
+    fn tiny_enumeration_wellformed() {
+        let cfg = EnumConfig {
+            arch: Arch::X86,
+            events: 2,
+            max_threads: 2,
+            max_locs: 2,
+            fences: true,
+            deps: false,
+            rmws: true,
+            txns: true,
+            attrs: false,
+            atomic_txns: false,
+        };
+        let mut total = 0;
+        enumerate(&cfg, &mut |x| {
+            assert!(x.check_wf().is_ok());
+            assert!(txmm_models::Arch::X86.validate(x).is_ok());
+            total += 1;
+        });
+        assert!(total > 10, "got {total}");
+    }
+
+    #[test]
+    fn enumeration_deterministic() {
+        let cfg = EnumConfig::hw(Arch::X86, 3);
+        assert_eq!(count(&cfg), count(&cfg));
+    }
+
+    #[test]
+    fn enumeration_contains_sb_shape() {
+        // The 4-event store-buffering execution (both reads from init)
+        // must appear in the x86 enumeration.
+        let cfg = EnumConfig {
+            arch: Arch::X86,
+            events: 4,
+            max_threads: 2,
+            max_locs: 2,
+            fences: false,
+            deps: false,
+            rmws: false,
+            txns: false,
+            attrs: false,
+            atomic_txns: false,
+        };
+        let sb_key = canon_key(&txmm_models::catalog::sb(None, false, false));
+        let mut found = false;
+        enumerate(&cfg, &mut |x| {
+            if canon_key(x) == sb_key {
+                found = true;
+            }
+        });
+        assert!(found);
+    }
+
+    #[test]
+    fn armv8_attrs_enumerated() {
+        let cfg = EnumConfig {
+            arch: Arch::Armv8,
+            events: 2,
+            max_threads: 2,
+            max_locs: 1,
+            fences: false,
+            deps: false,
+            rmws: false,
+            txns: false,
+            attrs: true,
+            atomic_txns: false,
+        };
+        let mut with_acq = 0;
+        enumerate(&cfg, &mut |x| {
+            if !x.acq().is_empty() {
+                with_acq += 1;
+            }
+        });
+        assert!(with_acq > 0);
+    }
+}

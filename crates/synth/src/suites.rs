@@ -1,0 +1,196 @@
+//! Conformance-suite synthesis (§4.2): the minimally-forbidden
+//! ("Forbid") and maximally-allowed ("Allow") test sets of Table 1.
+
+use std::collections::HashSet;
+use std::time::{Duration, Instant};
+
+use txmm_core::Execution;
+use txmm_models::Model;
+
+use crate::canon::canon_key;
+use crate::enumerate::{enumerate, EnumConfig};
+use crate::weaken::weakenings;
+
+/// One synthesised test with its discovery time (for Fig. 7).
+pub struct FoundTest {
+    /// The execution.
+    pub exec: Execution,
+    /// When it was found, relative to the start of synthesis.
+    pub at: Duration,
+}
+
+/// The result of synthesising one `|E|` row of Table 1.
+pub struct SuiteResult {
+    /// Minimally-forbidden tests.
+    pub forbid: Vec<FoundTest>,
+    /// Maximally-allowed tests (one ⊏-step weakenings of Forbid tests).
+    pub allow: Vec<Execution>,
+    /// False when the time budget ran out before the space was covered
+    /// (the paper's "non-exhaustive" marker).
+    pub complete: bool,
+    /// How many candidate executions were examined.
+    pub candidates: usize,
+    /// Total synthesis time.
+    pub elapsed: Duration,
+}
+
+/// Synthesise the Forbid and Allow sets for `tm` against its non-TM
+/// baseline, at exactly `cfg.events` events.
+///
+/// A candidate `X` lands in Forbid when (a) it has at least one
+/// transaction, (b) the transactional model forbids it, (c) the baseline
+/// allows it with transactions erased, and (d) it is ⊏-minimal: every
+/// one-step weakening is consistent under the transactional model.
+pub fn synthesise(
+    cfg: &EnumConfig,
+    tm: &dyn Model,
+    base: &dyn Model,
+    budget: Option<Duration>,
+) -> SuiteResult {
+    let start = Instant::now();
+    let mut forbid = Vec::new();
+    let mut candidates = 0usize;
+    let mut complete = true;
+
+    enumerate(cfg, &mut |x| {
+        candidates += 1;
+        if let Some(b) = budget {
+            if start.elapsed() > b {
+                complete = false;
+                return;
+            }
+        }
+        if x.txns().is_empty() {
+            return;
+        }
+        if tm.consistent(x) {
+            return;
+        }
+        if !base.consistent(&x.erase_txns()) {
+            return;
+        }
+        // Minimality: every one-step weakening is consistent.
+        let minimal = weakenings(x, cfg.arch).iter().all(|w| tm.consistent(w));
+        if minimal {
+            forbid.push(FoundTest { exec: x.clone(), at: start.elapsed() });
+        }
+    });
+
+    // Allow set: consistent one-step weakenings, deduplicated.
+    let mut allow = Vec::new();
+    let mut seen = HashSet::new();
+    for f in &forbid {
+        for w in weakenings(&f.exec, cfg.arch) {
+            if tm.consistent(&w) && seen.insert(canon_key(&w)) {
+                allow.push(w);
+            }
+        }
+    }
+
+    SuiteResult { forbid, allow, complete, candidates, elapsed: start.elapsed() }
+}
+
+/// Count how many transactions each Forbid test has (the paper reports
+/// the 1/2/3-transaction split in §5.3).
+pub fn txn_histogram(forbid: &[FoundTest]) -> [usize; 4] {
+    let mut h = [0usize; 4];
+    for f in forbid {
+        let n = f.exec.txns().len().min(3);
+        h[n] += 1;
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use txmm_models::{Arch, Sc, Tsc, X86};
+
+    fn x86_cfg(events: usize) -> EnumConfig {
+        EnumConfig {
+            arch: Arch::X86,
+            events,
+            max_threads: 3,
+            max_locs: 2,
+            fences: true,
+            deps: false,
+            rmws: true,
+            txns: true,
+            attrs: false,
+            atomic_txns: false,
+        }
+    }
+
+    #[test]
+    fn no_two_event_x86_forbid_tests() {
+        // Matches Table 1: |E| = 2 yields zero Forbid tests for x86.
+        let r = synthesise(&x86_cfg(2), &X86::tm(), &X86::base(), None);
+        assert!(r.complete);
+        assert_eq!(r.forbid.len(), 0, "paper reports 0 tests at |E|=2");
+    }
+
+    #[test]
+    fn three_event_x86_forbid_tests_exist() {
+        // Table 1 reports 4 Forbid tests at |E| = 3.
+        let r = synthesise(&x86_cfg(3), &X86::tm(), &X86::base(), None);
+        assert!(r.complete);
+        assert!(
+            !r.forbid.is_empty(),
+            "isolation-violating 3-event shapes must be found"
+        );
+        // Every Forbid test: has a txn, is forbidden, baseline-allowed,
+        // and minimal.
+        for f in &r.forbid {
+            assert!(!f.exec.txns().is_empty());
+            assert!(!X86::tm().consistent(&f.exec));
+            assert!(X86::base().consistent(&f.exec.erase_txns()));
+        }
+        // And the Allow set is non-empty and strictly weaker.
+        assert!(!r.allow.is_empty());
+        for a in &r.allow {
+            assert!(X86::tm().consistent(a));
+        }
+    }
+
+    #[test]
+    fn tsc_forbid_includes_fig3_shapes() {
+        // Running the synthesiser for TSC against SC at |E| = 3 must
+        // rediscover the four isolation shapes of Fig. 3.
+        let cfg = EnumConfig {
+            arch: Arch::Sc,
+            events: 3,
+            max_threads: 2,
+            max_locs: 2,
+            fences: false,
+            deps: false,
+            rmws: false,
+            txns: true,
+            attrs: false,
+            atomic_txns: false,
+        };
+        let r = synthesise(&cfg, &Tsc, &Sc, None);
+        let keys: HashSet<Vec<u8>> =
+            r.forbid.iter().map(|f| canon_key(&f.exec)).collect();
+        for which in ['a', 'b', 'c'] {
+            let fig = txmm_models::catalog::fig3(which);
+            assert!(
+                keys.contains(&canon_key(&fig)),
+                "fig3({which}) missing from the TSC Forbid set"
+            );
+        }
+        // fig3(d) is forbidden but NOT ⊏-minimal: removing its external
+        // write leaves a coherence violation (an inconsistent weakening),
+        // so the synthesiser correctly excludes it.
+        let figd = txmm_models::catalog::fig3('d');
+        assert!(!Tsc.consistent(&figd));
+        assert!(!keys.contains(&canon_key(&figd)));
+    }
+
+    #[test]
+    fn histogram_counts_txns() {
+        let r = synthesise(&x86_cfg(3), &X86::tm(), &X86::base(), None);
+        let h = txn_histogram(&r.forbid);
+        assert_eq!(h[0], 0, "every Forbid test has a transaction");
+        assert_eq!(h.iter().sum::<usize>(), r.forbid.len());
+    }
+}

@@ -1,0 +1,184 @@
+//! Bounded verification of the paper's theorems (§7).
+//!
+//! The paper proves these in Isabelle; we validate them exhaustively up
+//! to a bound (the same regime Memalloy uses for Table 2) and leave
+//! random deeper exploration to the proptest suites.
+
+use std::time::{Duration, Instant};
+
+use txmm_core::{stronglift, Execution};
+use txmm_models::{Arch, Cpp, Model, Tsc};
+use txmm_synth::{enumerate, EnumConfig};
+
+/// The outcome of a bounded theorem check.
+pub struct TheoremResult {
+    /// An execution violating the theorem, if any.
+    pub counterexample: Option<Execution>,
+    /// Executions satisfying the hypotheses that were checked.
+    pub checked: usize,
+    /// Wall-clock time.
+    pub elapsed: Duration,
+}
+
+fn cpp_cfg(events: usize) -> EnumConfig {
+    EnumConfig {
+        arch: Arch::Cpp,
+        events,
+        max_threads: 2,
+        max_locs: 2,
+        fences: false,
+        deps: false,
+        rmws: false,
+        txns: true,
+        attrs: true,
+        atomic_txns: true,
+    }
+}
+
+/// Theorem 7.2: in race-free C++ executions whose atomic transactions
+/// contain no atomic operations, atomic transactions are strongly
+/// isolated: `acyclic(stronglift(com, stxnat))`.
+pub fn check_theorem_7_2(events: usize, budget: Option<Duration>) -> TheoremResult {
+    let m = Cpp::tm();
+    let start = Instant::now();
+    let mut checked = 0usize;
+    let mut counterexample = None;
+    enumerate(&cpp_cfg(events), &mut |x| {
+        if counterexample.is_some() {
+            return;
+        }
+        if let Some(b) = budget {
+            if start.elapsed() > b {
+                return;
+            }
+        }
+        // Hypotheses.
+        if !m.consistent(x) || m.racy(x) || !Cpp::atomic_txns_wellformed(x) {
+            return;
+        }
+        if x.stxnat().is_empty() {
+            return;
+        }
+        checked += 1;
+        if !stronglift(&x.com(), &x.stxnat()).is_acyclic() {
+            counterexample = Some(x.clone());
+        }
+    });
+    TheoremResult { counterexample, checked, elapsed: start.elapsed() }
+}
+
+/// Theorem 7.3 (transactional SC-DRF): a consistent C++ execution with
+/// no relaxed transactions, no non-SC atomics and no races is consistent
+/// under TSC.
+pub fn check_theorem_7_3(events: usize, budget: Option<Duration>) -> TheoremResult {
+    let m = Cpp::tm();
+    let start = Instant::now();
+    let mut checked = 0usize;
+    let mut counterexample = None;
+    enumerate(&cpp_cfg(events), &mut |x| {
+        if counterexample.is_some() {
+            return;
+        }
+        if let Some(b) = budget {
+            if start.elapsed() > b {
+                return;
+            }
+        }
+        // Hypotheses: stxn = stxnat, Ato = SC, NoRace, consistency,
+        // plus the specification's vocabulary condition on atomic
+        // transactions.
+        if x.txns().iter().any(|t| !t.atomic) {
+            return;
+        }
+        if x.ato() != x.sc_events() {
+            return;
+        }
+        if !Cpp::atomic_txns_wellformed(x) {
+            return;
+        }
+        if !m.consistent(x) || m.racy(x) {
+            return;
+        }
+        checked += 1;
+        if !Tsc.consistent(x) {
+            counterexample = Some(x.clone());
+        }
+    });
+    TheoremResult { counterexample, checked, elapsed: start.elapsed() }
+}
+
+/// The baseline sanity statement of §8: TM models agree with their
+/// baselines on transaction-free executions.
+pub fn check_tm_conservative(
+    cfg: &EnumConfig,
+    tm: &dyn Model,
+    base: &dyn Model,
+) -> TheoremResult {
+    let start = Instant::now();
+    let mut checked = 0usize;
+    let mut counterexample = None;
+    let mut cfg = cfg.clone();
+    cfg.txns = false;
+    enumerate(&cfg, &mut |x| {
+        if counterexample.is_some() {
+            return;
+        }
+        checked += 1;
+        if tm.consistent(x) != base.consistent(x) {
+            counterexample = Some(x.clone());
+        }
+    });
+    TheoremResult { counterexample, checked, elapsed: start.elapsed() }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use txmm_models::{Armv8, Power, X86};
+
+    #[test]
+    fn theorem_7_2_holds_to_three_events() {
+        let r = check_theorem_7_2(3, None);
+        assert!(r.counterexample.is_none(), "Theorem 7.2 must hold");
+        assert!(r.checked > 0, "hypotheses must be satisfiable");
+    }
+
+    #[test]
+    fn theorem_7_3_holds_to_three_events() {
+        let r = check_theorem_7_3(3, None);
+        assert!(r.counterexample.is_none(), "Theorem 7.3 must hold");
+        assert!(r.checked > 0);
+    }
+
+    #[test]
+    fn tm_models_conservative_over_baselines() {
+        for (tm, base, arch) in [
+            (
+                Box::new(X86::tm()) as Box<dyn Model>,
+                Box::new(X86::base()) as Box<dyn Model>,
+                Arch::X86,
+            ),
+            (Box::new(Power::tm()), Box::new(Power::base()), Arch::Power),
+            (Box::new(Armv8::tm()), Box::new(Armv8::base()), Arch::Armv8),
+        ] {
+            let cfg = EnumConfig {
+                arch,
+                events: 3,
+                max_threads: 2,
+                max_locs: 2,
+                fences: true,
+                deps: arch != Arch::X86,
+                rmws: true,
+                txns: false,
+                attrs: arch == Arch::Armv8,
+                atomic_txns: false,
+            };
+            let r = check_tm_conservative(&cfg, tm.as_ref(), base.as_ref());
+            assert!(
+                r.counterexample.is_none(),
+                "{} must equal its baseline without transactions",
+                tm.name()
+            );
+        }
+    }
+}
