@@ -25,16 +25,32 @@ fn bench_metatheory(c: &mut Criterion) {
     let mut g = c.benchmark_group("metatheory");
     g.sample_size(10);
     g.bench_function("monotonicity-power-2", |b| {
-        b.iter(|| check_monotonicity(&cfg(Arch::Power, 2), &Power::tm(), None).counterexample.is_some())
+        b.iter(|| {
+            check_monotonicity(&cfg(Arch::Power, 2), &Power::tm(), None)
+                .counterexample
+                .is_some()
+        })
     });
     g.bench_function("monotonicity-x86-3", |b| {
-        b.iter(|| check_monotonicity(&cfg(Arch::X86, 3), &X86::tm(), None).counterexample.is_none())
+        b.iter(|| {
+            check_monotonicity(&cfg(Arch::X86, 3), &X86::tm(), None)
+                .counterexample
+                .is_none()
+        })
     });
     g.bench_function("compile-cpp-to-armv8-3", |b| {
-        b.iter(|| check_compilation(3, Arch::Armv8, None).counterexample.is_none())
+        b.iter(|| {
+            check_compilation(3, Arch::Armv8, None)
+                .counterexample
+                .is_none()
+        })
     });
     g.bench_function("elision-armv8", |b| {
-        b.iter(|| check_lock_elision(ElisionTarget::Armv8, None).counterexample.is_some())
+        b.iter(|| {
+            check_lock_elision(ElisionTarget::Armv8, None)
+                .counterexample
+                .is_some()
+        })
     });
     g.finish();
 }

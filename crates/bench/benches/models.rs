@@ -2,8 +2,8 @@
 //! synthesis and verification).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use txmm_models::registry::all_models;
 use txmm_models::catalog;
+use txmm_models::registry::all_models;
 
 fn bench_models(c: &mut Criterion) {
     let execs = vec![
@@ -15,12 +15,39 @@ fn bench_models(c: &mut Criterion) {
     let mut g = c.benchmark_group("consistency");
     for model in all_models() {
         for (name, x) in &execs {
-            g.bench_with_input(
-                BenchmarkId::new(model.name(), name),
-                x,
-                |b, x| b.iter(|| model.consistent(std::hint::black_box(x))),
-            );
+            g.bench_with_input(BenchmarkId::new(model.name(), name), x, |b, x| {
+                b.iter(|| model.consistent(std::hint::black_box(x)))
+            });
         }
+    }
+    g.finish();
+}
+
+fn bench_shared_analysis(c: &mut Criterion) {
+    // The tentpole measurement: checking every model against one
+    // execution with a fresh analysis per model (the old pipeline
+    // shape) vs one shared analysis (the new pipeline shape).
+    let execs = vec![
+        ("fig2", catalog::fig2()),
+        ("iriw+txns", catalog::power_exec3(true)),
+    ];
+    let models = all_models();
+    let mut g = c.benchmark_group("analysis-sharing");
+    for (name, x) in &execs {
+        g.bench_with_input(BenchmarkId::new("fresh-per-model", name), x, |b, x| {
+            b.iter(|| {
+                models
+                    .iter()
+                    .filter(|m| m.consistent_analysis(&std::hint::black_box(x).analysis()))
+                    .count()
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("shared", name), x, |b, x| {
+            b.iter(|| {
+                let a = std::hint::black_box(x).analysis();
+                models.iter().filter(|m| m.consistent_analysis(&a)).count()
+            })
+        });
     }
     g.finish();
 }
@@ -39,5 +66,10 @@ fn bench_cat_vs_native(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_models, bench_cat_vs_native);
+criterion_group!(
+    benches,
+    bench_models,
+    bench_shared_analysis,
+    bench_cat_vs_native
+);
 criterion_main!(benches);

@@ -3,7 +3,7 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use txmm_bench::table1_config;
 use txmm_models::{Arch, Power, Sc, Tsc, X86};
-use txmm_synth::{count, synthesise, EnumConfig};
+use txmm_synth::{count, count_par, synthesise, synthesise_seq, EnumConfig};
 
 fn bench_enumeration(c: &mut Criterion) {
     let mut g = c.benchmark_group("enumerate");
@@ -12,6 +12,9 @@ fn bench_enumeration(c: &mut Criterion) {
         let cfg = table1_config(Arch::X86, events);
         g.bench_with_input(BenchmarkId::new("x86", events), &cfg, |b, cfg| {
             b.iter(|| count(std::hint::black_box(cfg)))
+        });
+        g.bench_with_input(BenchmarkId::new("x86-par", events), &cfg, |b, cfg| {
+            b.iter(|| count_par(std::hint::black_box(cfg)))
         });
     }
     g.finish();
@@ -22,11 +25,33 @@ fn bench_synthesis(c: &mut Criterion) {
     g.sample_size(10);
     let x86cfg = table1_config(Arch::X86, 3);
     g.bench_function("x86-forbid-3", |b| {
-        b.iter(|| synthesise(&x86cfg, &X86::tm(), &X86::base(), None).forbid.len())
+        b.iter(|| {
+            synthesise(&x86cfg, &X86::tm(), &X86::base(), None)
+                .forbid
+                .len()
+        })
+    });
+    g.bench_function("x86-forbid-3-seq", |b| {
+        b.iter(|| {
+            synthesise_seq(&x86cfg, &X86::tm(), &X86::base(), None)
+                .forbid
+                .len()
+        })
     });
     let pcfg = table1_config(Arch::Power, 3);
     g.bench_function("power-forbid-3", |b| {
-        b.iter(|| synthesise(&pcfg, &Power::tm(), &Power::base(), None).forbid.len())
+        b.iter(|| {
+            synthesise(&pcfg, &Power::tm(), &Power::base(), None)
+                .forbid
+                .len()
+        })
+    });
+    g.bench_function("power-forbid-3-seq", |b| {
+        b.iter(|| {
+            synthesise_seq(&pcfg, &Power::tm(), &Power::base(), None)
+                .forbid
+                .len()
+        })
     });
     let tsc_cfg = EnumConfig {
         arch: Arch::Sc,

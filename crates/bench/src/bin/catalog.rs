@@ -3,7 +3,7 @@
 //! Appendix B — with model verdicts (native and `.cat`), litmus
 //! renderings, and simulator observability.
 
-use txmm_bench::verdict_str;
+use txmm_bench::verdict_str_analysis;
 use txmm_cat::cat_model;
 use txmm_core::display;
 use txmm_hwsim::{ArmSim, PowerSim, Simulator, TsoSim};
@@ -17,13 +17,15 @@ fn main() {
         println!("==== {} ({}) ====", entry.name, entry.paper_ref);
         println!("{}", entry.description);
         println!("{}", display::render(&entry.exec));
+        // One analysis per catalog entry, shared by every model verdict.
+        let analysis = entry.exec.analysis();
         for (model_name, expect) in &entry.expect {
             let model = by_name(model_name).expect("registered model");
-            let line = verdict_str(model.as_ref(), &entry.exec);
-            let ok = line.starts_with("consistent")
-                == matches!(expect, catalog::Expect::Consistent);
+            let line = verdict_str_analysis(model.as_ref(), &analysis);
+            let ok =
+                line.starts_with("consistent") == matches!(expect, catalog::Expect::Consistent);
             let cat_note = match cat_model(model_name) {
-                Some(cm) => match cm.consistent(&entry.exec) {
+                Some(cm) => match cm.consistent_analysis(&analysis) {
                     Ok(c) => {
                         if c == line.starts_with("consistent") {
                             " [cat agrees]".to_string()
@@ -35,18 +37,21 @@ fn main() {
                 },
                 None => String::new(),
             };
-            println!("  {:<10} {}{}{}", model_name, line, if ok { "" } else { "  <-- MISMATCH" }, cat_note);
+            println!(
+                "  {:<10} {}{}{}",
+                model_name,
+                line,
+                if ok { "" } else { "  <-- MISMATCH" },
+                cat_note
+            );
         }
         // Simulator observability where an architecture applies.
-        let arch = entry
-            .expect
-            .iter()
-            .find_map(|(m, _)| match *m {
-                "x86" | "x86-tm" => Some(Arch::X86),
-                "power" | "power-tm" => Some(Arch::Power),
-                "armv8" | "armv8-tm" => Some(Arch::Armv8),
-                _ => None,
-            });
+        let arch = entry.expect.iter().find_map(|(m, _)| match *m {
+            "x86" | "x86-tm" => Some(Arch::X86),
+            "power" | "power-tm" => Some(Arch::Power),
+            "armv8" | "armv8-tm" => Some(Arch::Armv8),
+            _ => None,
+        });
         if let Some(arch) = arch {
             if entry.exec.calls().is_empty() {
                 let t = litmus_from_execution(entry.name, &entry.exec, arch);
@@ -56,7 +61,11 @@ fn main() {
                     Arch::Armv8 => ArmSim::default().observable(&t),
                     _ => unreachable!(),
                 };
-                println!("  hardware simulator ({}): {}", arch.name(), if seen { "SEEN" } else { "not seen" });
+                println!(
+                    "  hardware simulator ({}): {}",
+                    arch.name(),
+                    if seen { "SEEN" } else { "not seen" }
+                );
                 if show_litmus {
                     println!("\n{}", render::assembly(&t));
                 }

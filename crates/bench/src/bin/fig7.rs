@@ -39,12 +39,16 @@ fn main() {
     let height = 20usize;
     let tmax = total.as_secs_f64().max(1e-9);
     let mut grid = vec![vec![' '; width]; height];
-    for col in 0..width {
-        let t = tmax * (col as f64 + 1.0) / width as f64;
-        let found = times.iter().filter(|&&x| x <= t).count();
-        let pct = found as f64 / n as f64;
-        let row = ((1.0 - pct) * (height as f64 - 1.0)).round() as usize;
-        grid[row.min(height - 1)][col] = '*';
+    let rows: Vec<usize> = (0..width)
+        .map(|col| {
+            let t = tmax * (col as f64 + 1.0) / width as f64;
+            let found = times.iter().filter(|&&x| x <= t).count();
+            let pct = found as f64 / n as f64;
+            (((1.0 - pct) * (height as f64 - 1.0)).round() as usize).min(height - 1)
+        })
+        .collect();
+    for (col, &row) in rows.iter().enumerate() {
+        grid[row][col] = '*';
     }
     println!("Tests found (%)");
     for (i, row) in grid.iter().enumerate() {
@@ -52,7 +56,11 @@ fn main() {
         println!("{label:>4}% |{}", row.iter().collect::<String>());
     }
     println!("      +{}", "-".repeat(width));
-    println!("       0{:>width$}", format!("{:.2}s", tmax), width = width - 1);
+    println!(
+        "       0{:>width$}",
+        format!("{:.2}s", tmax),
+        width = width - 1
+    );
 
     println!("\nPercentiles of discovery time (fraction of total synthesis time):");
     for pct in [50, 75, 90, 95, 98, 100] {

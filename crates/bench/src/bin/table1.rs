@@ -36,7 +36,11 @@ fn run_arch(arch: Arch, tm: &dyn Model, base: &dyn Model, max_events: usize) {
         let cfg = table1_config(arch, events);
         let r = synthesise(&cfg, tm, base, None);
         let fs = r.forbid.len();
-        let f_seen = r.forbid.iter().filter(|f| observable(arch, &f.exec)).count();
+        let f_seen = r
+            .forbid
+            .iter()
+            .filter(|f| observable(arch, &f.exec))
+            .count();
         let a_seen = r.allow.iter().filter(|a| observable(arch, a)).count();
         let als = r.allow.len();
         println!(
@@ -84,12 +88,14 @@ fn run_arch(arch: Arch, tm: &dyn Model, base: &dyn Model, max_events: usize) {
             arch.name()
         );
     } else {
-        println!("=> WARNING: {} Forbid tests observed — model too strong!", totals[1]);
-    }
-    if totals[3] > 0 {
         println!(
-            "=> {}% of Allow tests observable (paper: 83% x86 / 88% Power; Power gap = LB shapes)",
-            totals[4] * 100 / totals[3]
+            "=> WARNING: {} Forbid tests observed — model too strong!",
+            totals[1]
+        );
+    }
+    if let Some(pct) = (totals[4] * 100).checked_div(totals[3]) {
+        println!(
+            "=> {pct}% of Allow tests observable (paper: 83% x86 / 88% Power; Power gap = LB shapes)"
         );
     }
     println!();

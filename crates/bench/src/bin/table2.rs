@@ -12,9 +12,7 @@ use txmm_bench::secs;
 use txmm_core::display;
 use txmm_models::{Arch, Armv8, Cpp, Model, Power, X86};
 use txmm_synth::EnumConfig;
-use txmm_verify::{
-    check_compilation, check_lock_elision, check_monotonicity, ElisionTarget,
-};
+use txmm_verify::{check_compilation, check_lock_elision, check_monotonicity, ElisionTarget};
 
 fn mono_cfg(arch: Arch, events: usize) -> EnumConfig {
     EnumConfig {
@@ -34,7 +32,10 @@ fn mono_cfg(arch: Arch, events: usize) -> EnumConfig {
 fn main() {
     let verbose = std::env::var("TXMM_VERBOSE").is_ok();
     println!("== Table 2: metatheoretical results ==\n");
-    println!("{:<14} {:<14} {:>7} {:>10}   {}", "Property", "Target", "Events", "Time", "C'ex?");
+    println!(
+        "{:<14} {:<14} {:>7} {:>10}   C'ex?",
+        "Property", "Target", "Events", "Time"
+    );
 
     // Monotonicity (paper: x86@6 ✗, Power@2 ✓, ARMv8@2 ✓, C++@6 ✗).
     let mono: Vec<(&str, Box<dyn Model>, Arch, usize)> = vec![
@@ -73,7 +74,11 @@ fn main() {
             format!("C++/{}", target.name()),
             3,
             secs(r.elapsed),
-            if r.counterexample.is_some() { "YES (unexpected!)" } else { "no" }
+            if r.counterexample.is_some() {
+                "YES (unexpected!)"
+            } else {
+                "no"
+            }
         );
     }
 

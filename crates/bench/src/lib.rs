@@ -44,7 +44,13 @@ pub fn secs(d: Duration) -> String {
 
 /// Format a consistency verdict like the paper's tables.
 pub fn verdict_str(m: &dyn Model, x: &txmm_core::Execution) -> String {
-    let v = m.check(x);
+    verdict_str_analysis(m, &x.analysis())
+}
+
+/// [`verdict_str`] against a shared analysis (tools print several
+/// models' verdicts per execution; derived relations are computed once).
+pub fn verdict_str_analysis(m: &dyn Model, a: &txmm_core::ExecutionAnalysis<'_>) -> String {
+    let v = m.check_analysis(a);
     if v.is_consistent() {
         "consistent".to_string()
     } else {

@@ -3,12 +3,17 @@
 use std::collections::HashMap;
 use std::fmt;
 
-use txmm_core::{stronglift, weaklift, Attrs, EventSet, Execution, Fence, Rel};
+use txmm_core::{stronglift, weaklift, Attrs, EventSet, Execution, ExecutionAnalysis, Fence, Rel};
 use txmm_models::{Checker, Verdict};
 
 use crate::parser::{CatFile, CheckKind, Decl, Expr};
 
 /// A `.cat` value: a set of events or a relation.
+///
+/// `Rel` is an inline bit-matrix (no heap), so the variants differ in
+/// size by design; boxing the relation would reintroduce the allocation
+/// the representation exists to avoid.
+#[allow(clippy::large_enum_variant)]
 #[derive(Debug, Clone, PartialEq)]
 pub enum Value {
     /// A set of events.
@@ -33,74 +38,85 @@ impl fmt::Display for EvalError {
 impl std::error::Error for EvalError {}
 
 fn err<T>(message: impl Into<String>) -> Result<T, EvalError> {
-    Err(EvalError { message: message.into() })
+    Err(EvalError {
+        message: message.into(),
+    })
 }
 
 /// The evaluation environment: builtin sets/relations of the execution
 /// plus user `let` bindings.
-pub struct Env<'x> {
-    x: &'x Execution,
+///
+/// Builtins are served from a borrowed [`ExecutionAnalysis`], so a
+/// `.cat` model evaluation costs the same derived-relation work as a
+/// native model check — and checking several models (`.cat` or native)
+/// against one execution shares the same cached structure.
+pub struct Env<'a, 'x> {
+    a: &'a ExecutionAnalysis<'x>,
     vars: HashMap<String, Value>,
 }
 
-impl<'x> Env<'x> {
-    /// Builtins for an execution.
-    pub fn new(x: &'x Execution) -> Env<'x> {
-        Env { x, vars: HashMap::new() }
+impl<'a, 'x> Env<'a, 'x> {
+    /// Builtins served from a caller-shared analysis.
+    pub fn new(a: &'a ExecutionAnalysis<'x>) -> Env<'a, 'x> {
+        Env {
+            a,
+            vars: HashMap::new(),
+        }
     }
 
     fn builtin(&self, name: &str) -> Option<Value> {
-        let x = self.x;
+        let a = self.a;
+        let x = a.exec();
         let n = x.len();
         let rel = |r: Rel| Some(Value::Rel(r));
         let set = |s: EventSet| Some(Value::Set(s));
         match name {
             // Sets.
-            "R" => set(x.reads()),
-            "W" => set(x.writes()),
+            "R" => set(a.reads()),
+            "W" => set(a.writes()),
             "M" => set(x.accesses()),
-            "F" => set(x.fences()),
-            "A" | "Acq" => set(x.acq()),
-            "L" | "Rel" => set(x.rel_events()),
-            "SC" => set(x.sc_events()),
-            "Ato" => set(x.ato()),
+            "F" => set(a.fences()),
+            "A" | "Acq" => set(a.acq()),
+            "L" | "Rel" => set(a.rel_events()),
+            "SC" => set(a.sc_events()),
+            "Ato" => set(a.ato()),
             "emptyset" => set(EventSet::EMPTY),
             // Relations.
             "id" => rel(Rel::id(n)),
             "unv" => rel(Rel::full(n)),
-            "po" => rel(x.po().clone()),
-            "addr" => rel(x.addr().clone()),
-            "ctrl" => rel(x.ctrl().clone()),
-            "data" => rel(x.data().clone()),
-            "rmw" => rel(x.rmw().clone()),
-            "rf" => rel(x.rf().clone()),
-            "co" => rel(x.co().clone()),
-            "fr" => rel(x.fr()),
-            "com" => rel(x.com()),
-            "rfe" => rel(x.rfe()),
-            "rfi" => rel(x.rfi()),
-            "coe" => rel(x.coe()),
-            "coi" => rel(x.coi()),
-            "fre" => rel(x.fre()),
-            "fri" => rel(x.fri()),
-            "come" => rel(x.come()),
-            "sloc" | "loc" => rel(x.sloc()),
-            "sthd" | "int" => rel(x.sthd()),
-            "ext" => rel(x.sthd().complement()),
-            "poloc" => rel(x.po_loc()),
-            "stxn" => rel(x.stxn()),
-            "stxnat" => rel(x.stxnat()),
-            "tfence" => rel(x.tfence()),
-            "scr" => rel(x.scr()),
-            "scrt" => rel(x.scrt()),
-            "mfence" => rel(x.fence_rel(Fence::MFence)),
-            "sync" => rel(x.fence_rel(Fence::Sync)),
-            "lwsync" => rel(x.fence_rel(Fence::Lwsync)),
-            "isync" => rel(x.fence_rel(Fence::Isync)),
-            "dmb" => rel(x.fence_rel(Fence::Dmb)),
-            "dmbld" => rel(x.fence_rel(Fence::DmbLd)),
-            "dmbst" => rel(x.fence_rel(Fence::DmbSt)),
-            "isb" => rel(x.fence_rel(Fence::Isb)),
+            "po" => rel(*x.po()),
+            "addr" => rel(*x.addr()),
+            "ctrl" => rel(*x.ctrl()),
+            "data" => rel(*x.data()),
+            "rmw" => rel(*x.rmw()),
+            "rf" => rel(*x.rf()),
+            "co" => rel(*x.co()),
+            "fr" => rel(*a.fr()),
+            "com" => rel(*a.com()),
+            "rfe" => rel(*a.rfe()),
+            "rfi" => rel(*a.rfi()),
+            "coe" => rel(*a.coe()),
+            "coi" => rel(*a.coi()),
+            "fre" => rel(*a.fre()),
+            "fri" => rel(*a.fri()),
+            "come" => rel(*a.come()),
+            "sloc" | "loc" => rel(*a.sloc()),
+            "sthd" | "int" => rel(*a.sthd()),
+            "ext" => rel(a.sthd().complement()),
+            "poloc" => rel(*a.po_loc()),
+            "stxn" => rel(*a.stxn()),
+            "stxnat" => rel(*a.stxnat()),
+            "tfence" => rel(*a.tfence()),
+            "scr" => rel(*a.scr()),
+            "scrt" => rel(*a.scrt()),
+            "mfence" => rel(*a.fence_rel(Fence::MFence)),
+            "sync" => rel(*a.fence_rel(Fence::Sync)),
+            "lwsync" => rel(*a.fence_rel(Fence::Lwsync)),
+            "isync" => rel(*a.fence_rel(Fence::Isync)),
+            "dmb" => rel(*a.fence_rel(Fence::Dmb)),
+            "dmbld" => rel(*a.fence_rel(Fence::DmbLd)),
+            "dmbst" => rel(*a.fence_rel(Fence::DmbSt)),
+            "isb" => rel(*a.fence_rel(Fence::Isb)),
             // Fence-event sets (for [ISB]-style uses).
             "ISB" => set(x.fence_events(Fence::Isb)),
             "MFENCE" => set(x.fence_events(Fence::MFence)),
@@ -111,11 +127,11 @@ impl<'x> Env<'x> {
             "DMBLD" => set(x.fence_events(Fence::DmbLd)),
             "DMBST" => set(x.fence_events(Fence::DmbSt)),
             // Attribute shorthands used by the C++ model.
-            "RlxW" => set(x.writes().inter(x.ato())),
-            "RlxR" => set(x.reads().inter(x.ato())),
-            "FSC" => set(x.sc_events().inter(x.fences())),
-            "AcqRead" => set(x.acq().inter(x.reads())),
-            "RelWrite" => set(x.with_attr(Attrs::REL).inter(x.writes())),
+            "RlxW" => set(a.writes().inter(a.ato())),
+            "RlxR" => set(a.reads().inter(a.ato())),
+            "FSC" => set(a.sc_events().inter(a.fences())),
+            "AcqRead" => set(a.acq().inter(a.reads())),
+            "RelWrite" => set(x.with_attr(Attrs::REL).inter(a.writes())),
             _ => None,
         }
     }
@@ -136,13 +152,13 @@ impl<'x> Env<'x> {
             // Implicit coercion: a set used as a relation means [set]
             // (herd does the same for `[S]`-free positions rarely; we
             // keep it for convenience in lifts).
-            Value::Set(s) => Rel::id_on(self.x.len(), s),
+            Value::Set(s) => Rel::id_on(self.a.len(), s),
         }
     }
 
     /// Evaluate an expression.
     pub fn eval(&self, e: &Expr) -> Result<Value, EvalError> {
-        let n = self.x.len();
+        let n = self.a.len();
         Ok(match e {
             Expr::Ident(name) => self.lookup(name)?,
             Expr::Universe => Value::Set(EventSet::universe(n)),
@@ -182,9 +198,8 @@ impl<'x> Env<'x> {
     }
 
     fn call(&self, f: &str, args: &[Expr]) -> Result<Value, EvalError> {
-        let rel_arg = |i: usize| -> Result<Rel, EvalError> {
-            Ok(self.as_rel(self.eval(&args[i])?))
-        };
+        let rel_arg =
+            |i: usize| -> Result<Rel, EvalError> { Ok(self.as_rel(self.eval(&args[i])?)) };
         match (f, args.len()) {
             ("weaklift", 2) => Ok(Value::Rel(weaklift(&rel_arg(0)?, &rel_arg(1)?))),
             ("stronglift", 2) => Ok(Value::Rel(stronglift(&rel_arg(0)?, &rel_arg(1)?))),
@@ -208,19 +223,31 @@ impl CatModel {
         CatModel { name, file }
     }
 
-    /// Evaluate every check over an execution.
+    /// Evaluate every check over an execution (private analysis).
     pub fn check(&self, x: &Execution) -> Result<Verdict, EvalError> {
-        let mut env = Env::new(x);
+        self.check_analysis(&x.analysis())
+    }
+
+    /// Evaluate every check against a caller-shared analysis.
+    pub fn check_analysis(&self, a: &ExecutionAnalysis<'_>) -> Result<Verdict, EvalError> {
+        let x = a.exec();
+        let mut env = Env::new(a);
         let mut checker = Checker::new(self.name);
         for decl in &self.file.decls {
             match decl {
-                Decl::Let { recursive: false, bindings } => {
+                Decl::Let {
+                    recursive: false,
+                    bindings,
+                } => {
                     for (name, e) in bindings {
                         let v = env.eval(e)?;
                         env.vars.insert(name.clone(), v);
                     }
                 }
-                Decl::Let { recursive: true, bindings } => {
+                Decl::Let {
+                    recursive: true,
+                    bindings,
+                } => {
                     // Least fixpoint: start from empty relations and
                     // iterate (all cat fixpoints we use are monotone).
                     let n = x.len();
@@ -261,6 +288,11 @@ impl CatModel {
     pub fn consistent(&self, x: &Execution) -> Result<bool, EvalError> {
         Ok(self.check(x)?.is_consistent())
     }
+
+    /// Convenience: consistency against a caller-shared analysis.
+    pub fn consistent_analysis(&self, a: &ExecutionAnalysis<'_>) -> Result<bool, EvalError> {
+        Ok(self.check_analysis(a)?.is_consistent())
+    }
 }
 
 #[cfg(test)]
@@ -300,10 +332,15 @@ mod tests {
         b.write(t0, 0);
         b.read(t0, 0);
         let x = b.build().unwrap();
-        let env = Env::new(&x);
+        let a = x.analysis();
+        let env = Env::new(&a);
         let e = parse("let z = (W * R) & po").unwrap();
-        let Decl::Let { bindings, .. } = &e.decls[0] else { panic!() };
-        let Value::Rel(r) = env.eval(&bindings[0].1).unwrap() else { panic!() };
+        let Decl::Let { bindings, .. } = &e.decls[0] else {
+            panic!()
+        };
+        let Value::Rel(r) = env.eval(&bindings[0].1).unwrap() else {
+            panic!()
+        };
         assert!(r.contains(0, 1));
         assert_eq!(r.len(), 1);
     }

@@ -101,7 +101,10 @@ pub fn lex(src: &str) -> Result<Vec<Token>, LexError> {
                 i += 2;
                 loop {
                     if i + 1 >= bytes.len() {
-                        return Err(LexError { pos: start, message: "unterminated comment".into() });
+                        return Err(LexError {
+                            pos: start,
+                            message: "unterminated comment".into(),
+                        });
                     }
                     if bytes[i] == b'*' && bytes[i + 1] == b')' {
                         i += 2;
@@ -178,14 +181,17 @@ pub fn lex(src: &str) -> Result<Vec<Token>, LexError> {
                     out.push(Token::Inverse);
                     i += 3;
                 } else {
-                    return Err(LexError { pos: i, message: "expected ^-1".into() });
+                    return Err(LexError {
+                        pos: i,
+                        message: "expected ^-1".into(),
+                    });
                 }
             }
             c if c.is_alphabetic() || c == '_' => {
                 let start = i;
                 while i < bytes.len() {
                     let c = bytes[i] as char;
-                    if c.is_alphanumeric() || c == '_' || c == '-' && false {
+                    if c.is_alphanumeric() || c == '_' {
                         i += 1;
                     } else {
                         break;
@@ -204,7 +210,10 @@ pub fn lex(src: &str) -> Result<Vec<Token>, LexError> {
                 });
             }
             _ => {
-                return Err(LexError { pos: i, message: format!("unexpected character {c:?}") })
+                return Err(LexError {
+                    pos: i,
+                    message: format!("unexpected character {c:?}"),
+                })
             }
         }
     }
@@ -237,7 +246,10 @@ mod tests {
     #[test]
     fn comments() {
         let ts = lex("po // trailing\n(* block \n comment *) rf").unwrap();
-        assert_eq!(ts, vec![Token::Ident("po".into()), Token::Ident("rf".into())]);
+        assert_eq!(
+            ts,
+            vec![Token::Ident("po".into()), Token::Ident("rf".into())]
+        );
     }
 
     #[test]

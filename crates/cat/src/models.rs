@@ -32,7 +32,10 @@ pub fn cat_model(name: &str) -> Option<CatModel> {
 
 /// Compile every shipped model.
 pub fn all_cat_models() -> Vec<CatModel> {
-    SOURCES.iter().map(|(n, _)| cat_model(n).expect("shipped model")).collect()
+    SOURCES
+        .iter()
+        .map(|(n, _)| cat_model(n).expect("shipped model"))
+        .collect()
 }
 
 #[cfg(test)]
@@ -53,10 +56,12 @@ mod tests {
         // verdict the paper (and the native models) do.
         for entry in catalog::all() {
             for (model_name, expect) in &entry.expect {
-                let Some(m) = cat_model(model_name) else { continue };
-                let got = m.consistent(&entry.exec).unwrap_or_else(|e| {
-                    panic!("{model_name} on {}: {e}", entry.name)
-                });
+                let Some(m) = cat_model(model_name) else {
+                    continue;
+                };
+                let got = m
+                    .consistent(&entry.exec)
+                    .unwrap_or_else(|e| panic!("{model_name} on {}: {e}", entry.name));
                 assert_eq!(
                     got,
                     matches!(expect, Expect::Consistent),
@@ -79,7 +84,7 @@ mod tests {
             let mut checked = 0usize;
             enumerate(&cfg, &mut |x| {
                 seen += 1;
-                if seen % stride != 0 {
+                if !seen.is_multiple_of(stride) {
                     return;
                 }
                 let c = cat.consistent(x).expect("cat evaluates");
@@ -131,7 +136,7 @@ mod tests {
             let mut checked = 0usize;
             enumerate(&cfg, &mut |x| {
                 seen += 1;
-                if seen % stride != 0 {
+                if !seen.is_multiple_of(stride) {
                     return;
                 }
                 let c = cat.consistent(x).expect("cat evaluates");

@@ -73,9 +73,16 @@ pub enum CheckKind {
 #[derive(Debug, Clone, PartialEq)]
 pub enum Decl {
     /// `let x = e` (or a `let rec` group).
-    Let { recursive: bool, bindings: Vec<(String, Expr)> },
+    Let {
+        recursive: bool,
+        bindings: Vec<(String, Expr)>,
+    },
     /// A consistency check.
-    Check { kind: CheckKind, expr: Expr, name: String },
+    Check {
+        kind: CheckKind,
+        expr: Expr,
+        name: String,
+    },
 }
 
 /// A parsed model.
@@ -102,7 +109,9 @@ impl std::error::Error for ParseError {}
 
 impl From<LexError> for ParseError {
     fn from(e: LexError) -> ParseError {
-        ParseError { message: e.to_string() }
+        ParseError {
+            message: e.to_string(),
+        }
     }
 }
 
@@ -127,14 +136,18 @@ impl Parser {
     fn expect(&mut self, t: &Token) -> Result<(), ParseError> {
         match self.next() {
             Some(got) if got == *t => Ok(()),
-            got => Err(ParseError { message: format!("expected {t}, got {got:?}") }),
+            got => Err(ParseError {
+                message: format!("expected {t}, got {got:?}"),
+            }),
         }
     }
 
     fn ident(&mut self) -> Result<String, ParseError> {
         match self.next() {
             Some(Token::Ident(s)) => Ok(s),
-            got => Err(ParseError { message: format!("expected identifier, got {got:?}") }),
+            got => Err(ParseError {
+                message: format!("expected identifier, got {got:?}"),
+            }),
         }
     }
 
@@ -154,7 +167,10 @@ impl Parser {
                         self.next();
                         bindings.push(self.binding()?);
                     }
-                    decls.push(Decl::Let { recursive, bindings });
+                    decls.push(Decl::Let {
+                        recursive,
+                        bindings,
+                    });
                 }
                 Token::Acyclic | Token::Irreflexive | Token::Empty => {
                     let kind = match self.next() {
@@ -173,7 +189,9 @@ impl Parser {
                     decls.push(Decl::Check { kind, expr, name });
                 }
                 other => {
-                    return Err(ParseError { message: format!("unexpected token {other}") })
+                    return Err(ParseError {
+                        message: format!("unexpected token {other}"),
+                    })
                 }
             }
         }
@@ -314,7 +332,9 @@ impl Parser {
                 Ok(e)
             }
             Some(Token::Underscore) => Ok(Expr::Universe),
-            got => Err(ParseError { message: format!("expected expression, got {got:?}") }),
+            got => Err(ParseError {
+                message: format!("expected expression, got {got:?}"),
+            }),
         }
     }
 }
@@ -334,7 +354,9 @@ mod tests {
     fn precedence() {
         // `a | b ; c` parses as `a | (b ; c)`.
         let f = parse("let x = a | b ; c").unwrap();
-        let Decl::Let { bindings, .. } = &f.decls[0] else { panic!() };
+        let Decl::Let { bindings, .. } = &f.decls[0] else {
+            panic!()
+        };
         match &bindings[0].1 {
             Expr::Union(l, r) => {
                 assert_eq!(**l, Expr::Ident("a".into()));
@@ -347,9 +369,13 @@ mod tests {
     #[test]
     fn cross_vs_star() {
         let f = parse("let x = W * W let y = po*").unwrap();
-        let Decl::Let { bindings, .. } = &f.decls[0] else { panic!() };
+        let Decl::Let { bindings, .. } = &f.decls[0] else {
+            panic!()
+        };
         assert!(matches!(bindings[0].1, Expr::Cross(_, _)));
-        let Decl::Let { bindings, .. } = &f.decls[1] else { panic!() };
+        let Decl::Let { bindings, .. } = &f.decls[1] else {
+            panic!()
+        };
         assert!(matches!(bindings[0].1, Expr::Star(_)));
     }
 
@@ -370,7 +396,13 @@ mod tests {
     #[test]
     fn let_rec_group() {
         let f = parse("let rec ii = a | ci and ci = b | ii ; ii").unwrap();
-        let Decl::Let { recursive, bindings } = &f.decls[0] else { panic!() };
+        let Decl::Let {
+            recursive,
+            bindings,
+        } = &f.decls[0]
+        else {
+            panic!()
+        };
         assert!(recursive);
         assert_eq!(bindings.len(), 2);
     }
@@ -378,14 +410,20 @@ mod tests {
     #[test]
     fn calls_and_brackets() {
         let f = parse("let x = stronglift(com, stxn) let y = [W] ; po ; [R]").unwrap();
-        let Decl::Let { bindings, .. } = &f.decls[0] else { panic!() };
-        assert!(matches!(&bindings[0].1, Expr::Call(n, args) if n == "stronglift" && args.len() == 2));
+        let Decl::Let { bindings, .. } = &f.decls[0] else {
+            panic!()
+        };
+        assert!(
+            matches!(&bindings[0].1, Expr::Call(n, args) if n == "stronglift" && args.len() == 2)
+        );
     }
 
     #[test]
     fn inverse_and_complement() {
         let f = parse("let x = ~(rf^-1 ; co)").unwrap();
-        let Decl::Let { bindings, .. } = &f.decls[0] else { panic!() };
+        let Decl::Let { bindings, .. } = &f.decls[0] else {
+            panic!()
+        };
         assert!(matches!(bindings[0].1, Expr::Complement(_)));
     }
 

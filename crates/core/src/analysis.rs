@@ -1,0 +1,465 @@
+//! Shared per-execution analysis: every derived relation the axiomatic
+//! models consume, computed **once** per execution, lazily and cached.
+//!
+//! Before this type existed each of the six models re-derived `fr`,
+//! `com`, the same-thread/same-location equivalences, the transaction
+//! lifts and the fence relations independently on every check — the
+//! dominant cost of the enumerate-and-check pipeline. A checking pass
+//! now builds one [`ExecutionAnalysis`] per candidate execution and
+//! hands it to every model (and to the `.cat` evaluator, the verifiers
+//! and the hardware oracle), so shared structure is paid for once.
+//!
+//! The caches use [`std::cell::OnceCell`], so an analysis is cheap to
+//! construct (no relation is computed until first use) and single
+//! threaded by design: parallel drivers build one analysis per worker.
+//! Cached relations are boxed: an unused cache slot costs a pointer,
+//! not an inline `Rel`, keeping the analysis struct small enough to
+//! build once per candidate in the enumeration hot loop.
+
+use std::cell::OnceCell;
+
+use crate::event::Fence;
+use crate::exec::Execution;
+use crate::rel::{stronglift, weaklift, Rel};
+use crate::set::EventSet;
+
+/// One lazily-initialised relation slot (boxed so empty slots are
+/// pointer-sized).
+#[derive(Default)]
+struct RelCache(OnceCell<Box<Rel>>);
+
+impl RelCache {
+    fn new() -> RelCache {
+        RelCache(OnceCell::new())
+    }
+
+    fn get_or(&self, f: impl FnOnce() -> Rel) -> &Rel {
+        self.0.get_or_init(|| Box::new(f()))
+    }
+}
+
+/// Lazily cached derived relations and event sets of one [`Execution`].
+pub struct ExecutionAnalysis<'x> {
+    x: &'x Execution,
+    // Event sets.
+    reads: OnceCell<EventSet>,
+    writes: OnceCell<EventSet>,
+    fences: OnceCell<EventSet>,
+    acq: OnceCell<EventSet>,
+    rel_events: OnceCell<EventSet>,
+    sc_events: OnceCell<EventSet>,
+    ato: OnceCell<EventSet>,
+    // Equivalences and po restrictions.
+    sloc: RelCache,
+    sthd: RelCache,
+    po_loc: RelCache,
+    // Communication.
+    fr: RelCache,
+    com: RelCache,
+    rfe: RelCache,
+    rfi: RelCache,
+    coe: RelCache,
+    coi: RelCache,
+    fre: RelCache,
+    fri: RelCache,
+    come: RelCache,
+    // Transactions and critical regions.
+    stxn: RelCache,
+    stxnat: RelCache,
+    tfence: RelCache,
+    tfence_plus: RelCache,
+    scr: RelCache,
+    scrt: RelCache,
+    // Dependency union.
+    dp: RelCache,
+    // Fence relations, indexed per fence kind.
+    fence_rels: [RelCache; Fence::ALL.len()],
+    // Shared axiom bodies.
+    coherence: RelCache,
+    rmw_isol: RelCache,
+    weak_isol: RelCache,
+    strong_isol: RelCache,
+    strong_isol_atomic: RelCache,
+    txn_cancels_rmw: RelCache,
+}
+
+fn fence_index(f: Fence) -> usize {
+    Fence::ALL
+        .iter()
+        .position(|&g| g == f)
+        .expect("fence kind listed in Fence::ALL")
+}
+
+impl<'x> ExecutionAnalysis<'x> {
+    /// A fresh analysis over `x`. Computes nothing until first use.
+    pub fn new(x: &'x Execution) -> ExecutionAnalysis<'x> {
+        ExecutionAnalysis {
+            x,
+            reads: OnceCell::new(),
+            writes: OnceCell::new(),
+            fences: OnceCell::new(),
+            acq: OnceCell::new(),
+            rel_events: OnceCell::new(),
+            sc_events: OnceCell::new(),
+            ato: OnceCell::new(),
+            sloc: RelCache::new(),
+            sthd: RelCache::new(),
+            po_loc: RelCache::new(),
+            fr: RelCache::new(),
+            com: RelCache::new(),
+            rfe: RelCache::new(),
+            rfi: RelCache::new(),
+            coe: RelCache::new(),
+            coi: RelCache::new(),
+            fre: RelCache::new(),
+            fri: RelCache::new(),
+            come: RelCache::new(),
+            stxn: RelCache::new(),
+            stxnat: RelCache::new(),
+            tfence: RelCache::new(),
+            tfence_plus: RelCache::new(),
+            scr: RelCache::new(),
+            scrt: RelCache::new(),
+            dp: RelCache::new(),
+            fence_rels: Default::default(),
+            coherence: RelCache::new(),
+            rmw_isol: RelCache::new(),
+            weak_isol: RelCache::new(),
+            strong_isol: RelCache::new(),
+            strong_isol_atomic: RelCache::new(),
+            txn_cancels_rmw: RelCache::new(),
+        }
+    }
+
+    /// The underlying execution.
+    pub fn exec(&self) -> &'x Execution {
+        self.x
+    }
+
+    /// Number of events.
+    pub fn len(&self) -> usize {
+        self.x.len()
+    }
+
+    /// True when the execution has no events.
+    pub fn is_empty(&self) -> bool {
+        self.x.is_empty()
+    }
+
+    // ---- Primitive relations (plain pass-throughs) -----------------------
+
+    /// Program order.
+    pub fn po(&self) -> &Rel {
+        self.x.po()
+    }
+
+    /// Address dependencies.
+    pub fn addr(&self) -> &Rel {
+        self.x.addr()
+    }
+
+    /// Control dependencies.
+    pub fn ctrl(&self) -> &Rel {
+        self.x.ctrl()
+    }
+
+    /// Data dependencies.
+    pub fn data(&self) -> &Rel {
+        self.x.data()
+    }
+
+    /// Read-modify-write pairs.
+    pub fn rmw(&self) -> &Rel {
+        self.x.rmw()
+    }
+
+    /// Reads-from.
+    pub fn rf(&self) -> &Rel {
+        self.x.rf()
+    }
+
+    /// Coherence order.
+    pub fn co(&self) -> &Rel {
+        self.x.co()
+    }
+
+    // ---- Event sets ------------------------------------------------------
+
+    /// The read events `R`.
+    pub fn reads(&self) -> EventSet {
+        *self.reads.get_or_init(|| self.x.reads())
+    }
+
+    /// The write events `W`.
+    pub fn writes(&self) -> EventSet {
+        *self.writes.get_or_init(|| self.x.writes())
+    }
+
+    /// All fence events.
+    pub fn fences(&self) -> EventSet {
+        *self.fences.get_or_init(|| self.x.fences())
+    }
+
+    /// Acquire events.
+    pub fn acq(&self) -> EventSet {
+        *self.acq.get_or_init(|| self.x.acq())
+    }
+
+    /// Release events.
+    pub fn rel_events(&self) -> EventSet {
+        *self.rel_events.get_or_init(|| self.x.rel_events())
+    }
+
+    /// SC events.
+    pub fn sc_events(&self) -> EventSet {
+        *self.sc_events.get_or_init(|| self.x.sc_events())
+    }
+
+    /// C++ atomic events.
+    pub fn ato(&self) -> EventSet {
+        *self.ato.get_or_init(|| self.x.ato())
+    }
+
+    // ---- Cached derived relations ----------------------------------------
+
+    /// Same-location equivalence over accesses.
+    pub fn sloc(&self) -> &Rel {
+        self.sloc.get_or(|| self.x.sloc())
+    }
+
+    /// Same-thread pairs including the diagonal.
+    pub fn sthd(&self) -> &Rel {
+        self.sthd.get_or(|| self.x.sthd())
+    }
+
+    /// The external part of a relation: `r \ sthd`.
+    pub fn external(&self, r: &Rel) -> Rel {
+        r.minus(self.sthd())
+    }
+
+    /// The internal part of a relation: `r ∩ sthd`.
+    pub fn internal(&self, r: &Rel) -> Rel {
+        r.inter(self.sthd())
+    }
+
+    /// `po` restricted to same-location accesses.
+    pub fn po_loc(&self) -> &Rel {
+        self.po_loc.get_or(|| self.x.po().inter(self.sloc()))
+    }
+
+    /// From-read.
+    pub fn fr(&self) -> &Rel {
+        self.fr.get_or(|| self.x.fr_with_sloc(self.sloc()))
+    }
+
+    /// Communication: `com = rf ∪ co ∪ fr`.
+    pub fn com(&self) -> &Rel {
+        self.com
+            .get_or(|| self.x.rf().union(self.x.co()).union(self.fr()))
+    }
+
+    /// External reads-from.
+    pub fn rfe(&self) -> &Rel {
+        self.rfe.get_or(|| self.external(self.x.rf()))
+    }
+
+    /// Internal reads-from.
+    pub fn rfi(&self) -> &Rel {
+        self.rfi.get_or(|| self.internal(self.x.rf()))
+    }
+
+    /// External coherence.
+    pub fn coe(&self) -> &Rel {
+        self.coe.get_or(|| self.external(self.x.co()))
+    }
+
+    /// Internal coherence.
+    pub fn coi(&self) -> &Rel {
+        self.coi.get_or(|| self.internal(self.x.co()))
+    }
+
+    /// External from-read.
+    pub fn fre(&self) -> &Rel {
+        let fr = *self.fr();
+        self.fre.get_or(|| self.external(&fr))
+    }
+
+    /// Internal from-read.
+    pub fn fri(&self) -> &Rel {
+        let fr = *self.fr();
+        self.fri.get_or(|| self.internal(&fr))
+    }
+
+    /// External communication.
+    pub fn come(&self) -> &Rel {
+        let com = *self.com();
+        self.come.get_or(|| self.external(&com))
+    }
+
+    /// The `stxn` transaction equivalence.
+    pub fn stxn(&self) -> &Rel {
+        self.stxn.get_or(|| self.x.stxn())
+    }
+
+    /// The `stxnat` (atomic transactions only) equivalence.
+    pub fn stxnat(&self) -> &Rel {
+        self.stxnat.get_or(|| self.x.stxnat())
+    }
+
+    /// Implicit transaction-boundary fences.
+    pub fn tfence(&self) -> &Rel {
+        self.tfence.get_or(|| {
+            let stxn = *self.stxn();
+            let nstxn = stxn.complement();
+            let enter = nstxn.seq(&stxn);
+            let exit = stxn.seq(&nstxn);
+            self.x.po().inter(&enter.union(&exit))
+        })
+    }
+
+    /// `tfence⁺` (the body of `TxnCancelsRMW`).
+    pub fn tfence_plus(&self) -> &Rel {
+        self.tfence_plus.get_or(|| self.tfence().plus())
+    }
+
+    /// The critical-region equivalence `scr`.
+    pub fn scr(&self) -> &Rel {
+        self.scr.get_or(|| self.x.scr())
+    }
+
+    /// The elided-critical-region equivalence `scrt`.
+    pub fn scrt(&self) -> &Rel {
+        self.scrt.get_or(|| self.x.scrt())
+    }
+
+    /// The dependency union `addr ∪ data`.
+    pub fn dp(&self) -> &Rel {
+        self.dp.get_or(|| self.x.addr().union(self.x.data()))
+    }
+
+    /// The fence relation `po ; [F_f] ; po` for one fence kind.
+    pub fn fence_rel(&self, f: Fence) -> &Rel {
+        self.fence_rels[fence_index(f)].get_or(|| self.x.fence_rel(f))
+    }
+
+    // ---- Shared axiom bodies ---------------------------------------------
+
+    /// The coherence axiom body `po-loc ∪ com` (every hardware model).
+    pub fn coherence(&self) -> &Rel {
+        let po_loc = *self.po_loc();
+        self.coherence.get_or(|| po_loc.union(self.com()))
+    }
+
+    /// The RMW-isolation axiom body `rmw ∩ (fre ; coe)`.
+    pub fn rmw_isol(&self) -> &Rel {
+        let fre = *self.fre();
+        self.rmw_isol
+            .get_or(|| self.x.rmw().inter(&fre.seq(self.coe())))
+    }
+
+    /// The weak-isolation lift `weaklift(com, stxn)` (§3.3).
+    pub fn weak_isol(&self) -> &Rel {
+        let com = *self.com();
+        self.weak_isol.get_or(|| weaklift(&com, self.stxn()))
+    }
+
+    /// The strong-isolation lift `stronglift(com, stxn)` (§3.3).
+    pub fn strong_isol(&self) -> &Rel {
+        let com = *self.com();
+        self.strong_isol.get_or(|| stronglift(&com, self.stxn()))
+    }
+
+    /// The atomic-transaction strong-isolation lift
+    /// `stronglift(com, stxnat)` (Theorem 7.2).
+    pub fn strong_isol_atomic(&self) -> &Rel {
+        let com = *self.com();
+        self.strong_isol_atomic
+            .get_or(|| stronglift(&com, self.stxnat()))
+    }
+
+    /// The `TxnCancelsRMW` axiom body `rmw ∩ tfence⁺` (Power, ARMv8).
+    pub fn txn_cancels_rmw(&self) -> &Rel {
+        let tfp = *self.tfence_plus();
+        self.txn_cancels_rmw.get_or(|| self.x.rmw().inter(&tfp))
+    }
+}
+
+impl Execution {
+    /// A fresh [`ExecutionAnalysis`] over this execution.
+    pub fn analysis(&self) -> ExecutionAnalysis<'_> {
+        ExecutionAnalysis::new(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::build::ExecBuilder;
+
+    fn sample() -> Execution {
+        let mut b = ExecBuilder::new();
+        let t0 = b.new_thread();
+        let w0 = b.write(t0, 0);
+        b.fence(t0, Fence::MFence);
+        let r0 = b.read(t0, 1);
+        let t1 = b.new_thread();
+        let w1 = b.write(t1, 1);
+        let r1 = b.read(t1, 0);
+        b.rf(w1, r0);
+        b.txn(&[w1, r1]);
+        let _ = (w0, r0);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn analysis_agrees_with_direct_derivations() {
+        let x = sample();
+        let a = x.analysis();
+        assert_eq!(*a.fr(), x.fr());
+        assert_eq!(*a.com(), x.com());
+        assert_eq!(*a.sloc(), x.sloc());
+        assert_eq!(*a.sthd(), x.sthd());
+        assert_eq!(*a.po_loc(), x.po_loc());
+        assert_eq!(*a.rfe(), x.rfe());
+        assert_eq!(*a.rfi(), x.rfi());
+        assert_eq!(*a.coe(), x.coe());
+        assert_eq!(*a.coi(), x.coi());
+        assert_eq!(*a.fre(), x.fre());
+        assert_eq!(*a.fri(), x.fri());
+        assert_eq!(*a.come(), x.come());
+        assert_eq!(*a.stxn(), x.stxn());
+        assert_eq!(*a.stxnat(), x.stxnat());
+        assert_eq!(*a.tfence(), x.tfence());
+        assert_eq!(*a.scr(), x.scr());
+        assert_eq!(*a.scrt(), x.scrt());
+        for f in Fence::ALL {
+            assert_eq!(*a.fence_rel(f), x.fence_rel(f));
+        }
+        assert_eq!(a.reads(), x.reads());
+        assert_eq!(a.writes(), x.writes());
+        assert_eq!(a.acq(), x.acq());
+        assert_eq!(a.ato(), x.ato());
+    }
+
+    #[test]
+    fn caching_returns_same_value_twice() {
+        let x = sample();
+        let a = x.analysis();
+        let first = *a.fr();
+        let second = *a.fr();
+        assert_eq!(first, second);
+        assert_eq!(*a.coherence(), a.po_loc().union(a.com()));
+        assert_eq!(*a.weak_isol(), weaklift(a.com(), a.stxn()));
+        assert_eq!(*a.strong_isol(), stronglift(a.com(), a.stxn()));
+        assert_eq!(*a.txn_cancels_rmw(), x.rmw().inter(&x.tfence().plus()));
+    }
+
+    #[test]
+    fn external_internal_partition() {
+        let x = sample();
+        let a = x.analysis();
+        assert_eq!(a.rfe().union(a.rfi()), *x.rf());
+        assert!(a.rfe().inter(a.rfi()).is_empty());
+        assert_eq!(a.fre().union(a.fri()), *a.fr());
+    }
+}

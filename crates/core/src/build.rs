@@ -176,13 +176,19 @@ impl ExecBuilder {
 
     /// Group events into a successful (relaxed) transaction.
     pub fn txn(&mut self, evs: &[EventId]) -> &mut Self {
-        self.txns.push(TxnClass { events: evs.to_vec(), atomic: false });
+        self.txns.push(TxnClass {
+            events: evs.to_vec(),
+            atomic: false,
+        });
         self
     }
 
     /// Group events into a successful *atomic* transaction (C++).
     pub fn txn_atomic(&mut self, evs: &[EventId]) -> &mut Self {
-        self.txns.push(TxnClass { events: evs.to_vec(), atomic: true });
+        self.txns.push(TxnClass {
+            events: evs.to_vec(),
+            atomic: true,
+        });
         self
     }
 

@@ -14,7 +14,11 @@ pub fn event_label(x: &Execution, e: usize) -> String {
         EventKind::Fence(f) => format!("F[{}]", f.mnemonic()),
         EventKind::Call(c) => c.symbol().to_string(),
     };
-    let attrs = if ev.attrs.is_empty() { String::new() } else { format!("·{}", ev.attrs) };
+    let attrs = if ev.attrs.is_empty() {
+        String::new()
+    } else {
+        format!("·{}", ev.attrs)
+    };
     match ev.loc {
         Some(l) => format!("{name}: {kind}{attrs} {}", loc_name(l)),
         None => format!("{name}: {kind}{attrs}"),
@@ -37,13 +41,13 @@ pub fn render(x: &Execution) -> String {
         }
     }
     let edges: Vec<(&str, crate::rel::Rel)> = vec![
-        ("rf", x.rf().clone()),
-        ("co", x.co().clone()),
+        ("rf", *x.rf()),
+        ("co", *x.co()),
         ("fr", x.fr()),
-        ("addr", x.addr().clone()),
-        ("ctrl", x.ctrl().clone()),
-        ("data", x.data().clone()),
-        ("rmw", x.rmw().clone()),
+        ("addr", *x.addr()),
+        ("ctrl", *x.ctrl()),
+        ("data", *x.data()),
+        ("rmw", *x.rmw()),
     ];
     for (name, rel) in edges {
         for (a, b) in rel.pairs() {
@@ -68,8 +72,8 @@ pub fn dot(x: &Execution) -> String {
         }
         out.push_str("  }\n");
     }
-    for e in 0..x.len() {
-        if !in_txn[e] {
+    for (e, covered) in in_txn.iter().enumerate() {
+        if !covered {
             out.push_str(&format!("  e{e} [label=\"{}\"];\n", event_label(x, e)));
         }
     }
@@ -81,16 +85,18 @@ pub fn dot(x: &Execution) -> String {
         }
     }
     for (name, rel) in [
-        ("rf", x.rf().clone()),
-        ("co", x.co().clone()),
+        ("rf", *x.rf()),
+        ("co", *x.co()),
         ("fr", x.fr()),
-        ("addr", x.addr().clone()),
-        ("ctrl", x.ctrl().clone()),
-        ("data", x.data().clone()),
-        ("rmw", x.rmw().clone()),
+        ("addr", *x.addr()),
+        ("ctrl", *x.ctrl()),
+        ("data", *x.data()),
+        ("rmw", *x.rmw()),
     ] {
         for (a, b) in rel.pairs() {
-            out.push_str(&format!("  e{a} -> e{b} [label=\"{name}\", constraint=false];\n"));
+            out.push_str(&format!(
+                "  e{a} -> e{b} [label=\"{name}\", constraint=false];\n"
+            ));
         }
     }
     out.push_str("}\n");

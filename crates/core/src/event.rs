@@ -224,22 +224,42 @@ pub struct Event {
 impl Event {
     /// A plain read of `loc` on thread `tid`.
     pub fn read(tid: Tid, loc: Loc) -> Event {
-        Event { kind: EventKind::Read, tid, loc: Some(loc), attrs: Attrs::NONE }
+        Event {
+            kind: EventKind::Read,
+            tid,
+            loc: Some(loc),
+            attrs: Attrs::NONE,
+        }
     }
 
     /// A plain write of `loc` on thread `tid`.
     pub fn write(tid: Tid, loc: Loc) -> Event {
-        Event { kind: EventKind::Write, tid, loc: Some(loc), attrs: Attrs::NONE }
+        Event {
+            kind: EventKind::Write,
+            tid,
+            loc: Some(loc),
+            attrs: Attrs::NONE,
+        }
     }
 
     /// A fence event on thread `tid`.
     pub fn fence(tid: Tid, fence: Fence) -> Event {
-        Event { kind: EventKind::Fence(fence), tid, loc: None, attrs: Attrs::NONE }
+        Event {
+            kind: EventKind::Fence(fence),
+            tid,
+            loc: None,
+            attrs: Attrs::NONE,
+        }
     }
 
     /// A method-call event on thread `tid`.
     pub fn call(tid: Tid, call: Call) -> Event {
-        Event { kind: EventKind::Call(call), tid, loc: None, attrs: Attrs::NONE }
+        Event {
+            kind: EventKind::Call(call),
+            tid,
+            loc: None,
+            attrs: Attrs::NONE,
+        }
     }
 
     /// Add attributes (builder style).

@@ -30,7 +30,7 @@ pub struct CrClass {
 /// memory system (each read may observe any same-location write, or the
 /// initial value); memory models then filter them via their consistency
 /// axioms.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone)]
 pub struct Execution {
     pub(crate) events: Vec<Event>,
     pub(crate) po: Rel,
@@ -41,6 +41,42 @@ pub struct Execution {
     pub(crate) rf: Rel,
     pub(crate) co: Rel,
     pub(crate) txns: Vec<TxnClass>,
+    /// Event → transaction-class index, precomputed at construction so
+    /// [`Execution::txn_of`] is O(1) instead of scanning every class.
+    /// `None` (the whole cache) after raw mutation via
+    /// [`Execution::txns_mut`]; rebuilt by the constructors.
+    txn_index: Option<Vec<Option<u32>>>,
+}
+
+/// Equality ignores the derived `txn_index` cache: two executions with
+/// the same events, relations and transaction classes are equal
+/// regardless of whether the index has been invalidated.
+impl PartialEq for Execution {
+    fn eq(&self, other: &Execution) -> bool {
+        self.events == other.events
+            && self.po == other.po
+            && self.addr == other.addr
+            && self.ctrl == other.ctrl
+            && self.data == other.data
+            && self.rmw == other.rmw
+            && self.rf == other.rf
+            && self.co == other.co
+            && self.txns == other.txns
+    }
+}
+
+impl Eq for Execution {}
+
+fn build_txn_index(n: usize, txns: &[TxnClass]) -> Vec<Option<u32>> {
+    let mut idx = vec![None; n];
+    for (ti, t) in txns.iter().enumerate() {
+        for &e in &t.events {
+            if e < n {
+                idx[e] = Some(ti as u32);
+            }
+        }
+    }
+    idx
 }
 
 impl Execution {
@@ -70,19 +106,31 @@ impl Execution {
     }
 
     /// The transaction index containing `e`, if any.
+    ///
+    /// O(1) via the precomputed event→class index; falls back to a
+    /// linear scan only when the index was invalidated by raw mutation
+    /// through [`Execution::txns_mut`].
     pub fn txn_of(&self, e: EventId) -> Option<usize> {
-        self.txns.iter().position(|t| t.events.contains(&e))
+        match &self.txn_index {
+            Some(idx) => idx.get(e).copied().flatten().map(|ti| ti as usize),
+            None => self.txns.iter().position(|t| t.events.contains(&e)),
+        }
     }
 
     /// The number of threads (`max tid + 1`).
     pub fn num_threads(&self) -> usize {
-        self.events.iter().map(|e| e.tid as usize + 1).max().unwrap_or(0)
+        self.events
+            .iter()
+            .map(|e| e.tid as usize + 1)
+            .max()
+            .unwrap_or(0)
     }
 
     /// Event ids on thread `tid`, in program order.
     pub fn thread_events(&self, tid: Tid) -> Vec<EventId> {
-        let mut ids: Vec<EventId> =
-            (0..self.len()).filter(|&e| self.events[e].tid == tid).collect();
+        let mut ids: Vec<EventId> = (0..self.len())
+            .filter(|&e| self.events[e].tid == tid)
+            .collect();
         ids.sort_by(|&a, &b| {
             if self.po.contains(a, b) {
                 std::cmp::Ordering::Less
@@ -262,9 +310,16 @@ impl Execution {
     /// A read with no incoming `rf` edge observes the initial value and is
     /// therefore `fr`-before every write to its location.
     pub fn fr(&self) -> Rel {
+        self.fr_with_sloc(&self.sloc())
+    }
+
+    /// [`Execution::fr`] with a caller-provided `sloc` (the single
+    /// definition of from-read; [`crate::ExecutionAnalysis`] passes its
+    /// cached `sloc` through here).
+    pub(crate) fn fr_with_sloc(&self, sloc: &Rel) -> Rel {
         let n = self.len();
         let r_sloc_w = Rel::id_on(n, self.reads())
-            .seq(&self.sloc())
+            .seq(sloc)
             .seq(&Rel::id_on(n, self.writes()));
         let seen_or_before = self.rf.inverse().seq(&self.co.inverse().star());
         r_sloc_w.minus(&seen_or_before)
@@ -367,7 +422,10 @@ impl Execution {
                     EventKind::Call(Call::Unlock) | EventKind::Call(Call::TUnlock) => {
                         if let Some((elided, mut evs)) = open.take() {
                             evs.push(e);
-                            crs.push(CrClass { events: evs, elided });
+                            crs.push(CrClass {
+                                events: evs,
+                                elided,
+                            });
                         }
                     }
                     _ => {
@@ -415,6 +473,7 @@ impl Execution {
     pub fn erase_txns(&self) -> Execution {
         let mut e = self.clone();
         e.txns.clear();
+        e.txn_index = Some(vec![None; e.events.len()]);
         e
     }
 
@@ -423,6 +482,7 @@ impl Execution {
     /// be contiguous).
     pub fn with_txns(&self, txns: Vec<TxnClass>) -> Execution {
         let mut e = self.clone();
+        e.txn_index = Some(build_txn_index(e.events.len(), &txns));
         e.txns = txns;
         e
     }
@@ -462,21 +522,24 @@ impl Execution {
                 if evs.is_empty() {
                     None
                 } else {
-                    Some(TxnClass { events: evs, atomic: t.atomic })
+                    Some(TxnClass {
+                        events: evs,
+                        atomic: t.atomic,
+                    })
                 }
             })
             .collect();
-        Execution {
+        Execution::from_parts(
             events,
-            po: remap(&self.po),
-            addr: remap(&self.addr),
-            ctrl: remap(&self.ctrl),
-            data: remap(&self.data),
-            rmw: remap(&self.rmw),
-            rf: remap(&self.rf),
-            co: remap(&self.co),
+            remap(&self.po),
+            remap(&self.addr),
+            remap(&self.ctrl),
+            remap(&self.data),
+            remap(&self.rmw),
+            remap(&self.rf),
+            remap(&self.co),
             txns,
-        }
+        )
     }
 
     /// Raw constructor for crates that build executions directly
@@ -494,13 +557,30 @@ impl Execution {
         co: Rel,
         txns: Vec<TxnClass>,
     ) -> Execution {
-        Execution { events, po, addr, ctrl, data, rmw, rf, co, txns }
+        let txn_index = Some(build_txn_index(events.len(), &txns));
+        Execution {
+            events,
+            po,
+            addr,
+            ctrl,
+            data,
+            rmw,
+            rf,
+            co,
+            txns,
+            txn_index,
+        }
     }
 
     /// Mutable access to the dependency relations (used by the ⊏
     /// weakening steps in the synthesiser).
     pub fn deps_mut(&mut self) -> (&mut Rel, &mut Rel, &mut Rel, &mut Rel) {
-        (&mut self.addr, &mut self.ctrl, &mut self.data, &mut self.rmw)
+        (
+            &mut self.addr,
+            &mut self.ctrl,
+            &mut self.data,
+            &mut self.rmw,
+        )
     }
 
     /// Mutable access to an event (attribute downgrades).
@@ -509,7 +589,13 @@ impl Execution {
     }
 
     /// Mutable access to the transaction classes.
+    ///
+    /// Invalidates the event→transaction index: subsequent
+    /// [`Execution::txn_of`] calls fall back to a linear scan until a
+    /// constructor ([`Execution::with_txns`], [`Execution::from_parts`],
+    /// ...) rebuilds it.
     pub fn txns_mut(&mut self) -> &mut Vec<TxnClass> {
+        self.txn_index = None;
         &mut self.txns
     }
 }
@@ -678,10 +764,49 @@ mod tests {
         let x = b.build().unwrap();
         assert_eq!(x.len(), 1);
         let mut xt = x.clone();
-        xt.txns_mut().push(TxnClass { events: vec![a], atomic: false });
+        xt.txns_mut().push(TxnClass {
+            events: vec![a],
+            atomic: false,
+        });
         let y = xt.remove_event(a);
         assert!(y.txns().is_empty());
         assert!(y.is_empty());
+    }
+
+    #[test]
+    fn txn_of_index_tracks_mutation() {
+        let mut b = ExecBuilder::new();
+        let t0 = b.new_thread();
+        let a = b.write(t0, 0);
+        let r = b.read(t0, 0);
+        b.rf(a, r);
+        b.txn(&[a, r]);
+        let x = b.build().unwrap();
+        // Constructed path: O(1) index.
+        assert_eq!(x.txn_of(a), Some(0));
+        assert_eq!(x.txn_of(r), Some(0));
+        // with_txns rebuilds the index.
+        let y = x.with_txns(vec![TxnClass {
+            events: vec![r],
+            atomic: true,
+        }]);
+        assert_eq!(y.txn_of(a), None);
+        assert_eq!(y.txn_of(r), Some(0));
+        // erase_txns clears it.
+        assert_eq!(x.erase_txns().txn_of(a), None);
+        // Raw mutation invalidates the index; the linear fallback stays
+        // correct.
+        let mut z = x.clone();
+        z.txns_mut().push(TxnClass {
+            events: vec![],
+            atomic: false,
+        });
+        z.txns_mut()[1].events.push(a);
+        z.txns_mut()[0].events.retain(|&e| e != a);
+        assert_eq!(z.txn_of(a), Some(1));
+        assert_eq!(z.txn_of(r), Some(0));
+        // Equality ignores index state.
+        assert_eq!(x, x.with_txns(x.txns().to_vec()));
     }
 
     #[test]

@@ -13,10 +13,13 @@
 //!
 //! The crate provides:
 //!
-//! * [`rel::Rel`] — dense bit-matrix relations with the full `.cat`
-//!   operator set (`; | & \ ¬ ⁻¹ ? + *`, `[s]`, `acyclic`, ...);
+//! * [`rel::Rel`] — dense, allocation-free bit-matrix relations with
+//!   the full `.cat` operator set (`; | & \ ¬ ⁻¹ ? + *`, `[s]`,
+//!   `acyclic`, ...), rows stored inline;
 //! * [`exec::Execution`] — executions with derived relations (`fr`,
 //!   `com`, `rfe`/`fre`/`coe`, fence relations, `stxn`, `tfence`, `scr`);
+//! * [`analysis::ExecutionAnalysis`] — the shared per-execution cache
+//!   of derived relations every model checks against;
 //! * [`wf`] — the well-formedness conditions;
 //! * [`build::ExecBuilder`] — a fluent constructor;
 //! * [`display`] — text and Graphviz rendering.
@@ -43,14 +46,17 @@
 //! assert!(!lift.is_acyclic());
 //! ```
 
+pub mod analysis;
 pub mod build;
 pub mod display;
 pub mod event;
 pub mod exec;
 pub mod rel;
+pub mod rng;
 pub mod set;
 pub mod wf;
 
+pub use analysis::ExecutionAnalysis;
 pub use build::ExecBuilder;
 pub use event::{loc_name, Attrs, Call, Event, EventId, EventKind, Fence, Loc, Tid};
 pub use exec::{CrClass, Execution, TxnClass};
@@ -60,6 +66,7 @@ pub use wf::WfError;
 
 /// Convenient glob-import surface.
 pub mod prelude {
+    pub use crate::analysis::ExecutionAnalysis;
     pub use crate::build::ExecBuilder;
     pub use crate::event::{loc_name, Attrs, Call, Event, EventId, EventKind, Fence, Loc, Tid};
     pub use crate::exec::{CrClass, Execution, TxnClass};

@@ -9,30 +9,41 @@
 //!
 //! Executions are tiny (the paper's bounds stop at nine events), so a row
 //! of a relation is a single `u64` and every operation is a handful of
-//! word operations.
+//! word operations. Rows live in a fixed inline array rather than a
+//! heap `Vec`: relation algebra is completely allocation-free, which
+//! matters because enumeration and model checking construct millions of
+//! intermediate relations.
 
 use crate::event::EventId;
 use crate::set::{EventSet, MAX_EVENTS};
 use std::fmt;
 
 /// A binary relation over events `0..n`.
-#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+///
+/// Invariant: `rows[n..]` is always all-zero, so the derived `Eq`/`Hash`
+/// agree with the semantic relation.
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
 pub struct Rel {
     n: usize,
-    rows: Vec<u64>,
+    rows: [u64; MAX_EVENTS],
 }
 
 impl Rel {
     /// The empty relation over `n` events.
     pub fn empty(n: usize) -> Rel {
         assert!(n <= MAX_EVENTS, "relation universe too large: {n}");
-        Rel { n, rows: vec![0; n] }
+        Rel {
+            n,
+            rows: [0; MAX_EVENTS],
+        }
     }
 
     /// The full relation `n × n`.
     pub fn full(n: usize) -> Rel {
         let mask = EventSet::universe(n).bits();
-        Rel { n, rows: vec![mask; n] }
+        let mut r = Rel::empty(n);
+        r.rows[..n].fill(mask);
+        r
     }
 
     /// The identity relation over `n` events.
@@ -83,7 +94,11 @@ impl Rel {
 
     /// Add the pair `(a, b)`.
     pub fn add(&mut self, a: EventId, b: EventId) {
-        assert!(a < self.n && b < self.n, "pair ({a},{b}) out of range {}", self.n);
+        assert!(
+            a < self.n && b < self.n,
+            "pair ({a},{b}) out of range {}",
+            self.n
+        );
         self.rows[a] |= 1u64 << b;
     }
 
@@ -105,8 +120,11 @@ impl Rel {
 
     fn zip(&self, other: &Rel, f: impl Fn(u64, u64) -> u64) -> Rel {
         assert_eq!(self.n, other.n, "relation universe mismatch");
-        let rows = self.rows.iter().zip(&other.rows).map(|(&a, &b)| f(a, b)).collect();
-        Rel { n: self.n, rows }
+        let mut r = Rel::empty(self.n);
+        for i in 0..self.n {
+            r.rows[i] = f(self.rows[i], other.rows[i]);
+        }
+        r
     }
 
     /// Union.
@@ -127,7 +145,11 @@ impl Rel {
     /// Complement with respect to the full `n × n` relation (`¬`).
     pub fn complement(&self) -> Rel {
         let mask = EventSet::universe(self.n).bits();
-        Rel { n: self.n, rows: self.rows.iter().map(|&a| !a & mask).collect() }
+        let mut r = Rel::empty(self.n);
+        for i in 0..self.n {
+            r.rows[i] = !self.rows[i] & mask;
+        }
+        r
     }
 
     /// Inverse (`r⁻¹`).
@@ -168,7 +190,7 @@ impl Rel {
 
     /// Transitive closure (`r⁺`), via iterated squaring.
     pub fn plus(&self) -> Rel {
-        let mut closure = self.clone();
+        let mut closure = *self;
         loop {
             let next = closure.union(&closure.seq(&closure));
             if next == closure {
@@ -197,7 +219,11 @@ impl Rel {
     /// Keep only pairs whose target is in `s`.
     pub fn restrict_range(&self, s: EventSet) -> Rel {
         let mask = s.inter(EventSet::universe(self.n)).bits();
-        Rel { n: self.n, rows: self.rows.iter().map(|&a| a & mask).collect() }
+        let mut r = Rel::empty(self.n);
+        for i in 0..self.n {
+            r.rows[i] = self.rows[i] & mask;
+        }
+        r
     }
 
     /// The set of sources.
@@ -214,7 +240,7 @@ impl Rel {
     /// The set of targets.
     pub fn range(&self) -> EventSet {
         let mut bits = 0u64;
-        for &row in &self.rows {
+        for &row in &self.rows[..self.n] {
             bits |= row;
         }
         EventSet::from_bits(bits)
@@ -222,12 +248,15 @@ impl Rel {
 
     /// Is the relation empty? (`empty(r)` in `.cat`.)
     pub fn is_empty(&self) -> bool {
-        self.rows.iter().all(|&r| r == 0)
+        self.rows[..self.n].iter().all(|&r| r == 0)
     }
 
     /// Number of pairs.
     pub fn len(&self) -> usize {
-        self.rows.iter().map(|r| r.count_ones() as usize).sum()
+        self.rows[..self.n]
+            .iter()
+            .map(|r| r.count_ones() as usize)
+            .sum()
     }
 
     /// Does the relation contain a pair `(e, e)`?
@@ -247,7 +276,10 @@ impl Rel {
     /// Is `self ⊆ other`?
     pub fn is_subset(&self, other: &Rel) -> bool {
         assert_eq!(self.n, other.n);
-        self.rows.iter().zip(&other.rows).all(|(&a, &b)| a & !b == 0)
+        self.rows[..self.n]
+            .iter()
+            .zip(&other.rows[..self.n])
+            .all(|(&a, &b)| a & !b == 0)
     }
 
     /// Is the relation symmetric?
@@ -308,6 +340,12 @@ impl fmt::Display for Rel {
             first = false;
         }
         write!(f, "}}")
+    }
+}
+
+impl fmt::Debug for Rel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Rel(n={}, {self})", self.n)
     }
 }
 

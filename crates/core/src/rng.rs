@@ -1,0 +1,70 @@
+//! A small deterministic PRNG (SplitMix64) shared by the randomised
+//! simulator runner and the seeded property tests.
+//!
+//! The build environment has no crate registry, so the `rand` crate is
+//! unavailable; everything in this workspace that needs randomness
+//! needs *reproducible* randomness anyway (campaigns and property
+//! tests report their seed), and SplitMix64 is a well-mixed,
+//! dependency-free fit. Not cryptographic.
+
+/// A SplitMix64 generator.
+#[derive(Debug, Clone)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// Seed the generator. Any seed (including 0) is fine.
+    pub fn seed_from_u64(seed: u64) -> SplitMix64 {
+        SplitMix64 { state: seed }
+    }
+
+    /// The next 64 uniformly distributed bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// A draw from `0..bound` (`bound > 0`), via widening multiply —
+    /// bias is at most 2⁻⁶⁴·bound, negligible for the tiny bounds used
+    /// here.
+    pub fn below(&mut self, bound: usize) -> usize {
+        ((self.next_u64() as u128 * bound as u128) >> 64) as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_and_in_range() {
+        let mut a = SplitMix64::seed_from_u64(42);
+        let mut b = SplitMix64::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = SplitMix64::seed_from_u64(7);
+        for _ in 0..1000 {
+            assert!(c.below(13) < 13);
+        }
+        // Different seeds diverge immediately.
+        assert_ne!(
+            SplitMix64::seed_from_u64(1).next_u64(),
+            SplitMix64::seed_from_u64(2).next_u64()
+        );
+    }
+
+    #[test]
+    fn below_covers_the_range() {
+        let mut r = SplitMix64::seed_from_u64(3);
+        let mut seen = [false; 8];
+        for _ in 0..200 {
+            seen[r.below(8)] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "all residues reached");
+    }
+}

@@ -34,6 +34,11 @@ impl EventSet {
     }
 
     /// Build a set from an iterator of event ids.
+    ///
+    /// Deliberately shadows the trait method's name: `EventSet` also
+    /// implements `FromIterator` (which delegates here), and call sites
+    /// read better without a `<EventSet as FromIterator>` turbofish.
+    #[allow(clippy::should_implement_trait)]
     pub fn from_iter<I: IntoIterator<Item = EventId>>(iter: I) -> EventSet {
         let mut s = EventSet::EMPTY;
         for e in iter {

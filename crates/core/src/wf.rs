@@ -71,7 +71,10 @@ impl fmt::Display for WfError {
             WfError::MultipleRf(e) => write!(f, "read {e} has multiple incoming rf edges"),
             WfError::BadCo(a, b) => write!(f, "ill-formed co edge ({a},{b})"),
             WfError::CoNotTotalOrder(l) => {
-                write!(f, "co is not a strict total order on writes to location {l}")
+                write!(
+                    f,
+                    "co is not a strict total order on writes to location {l}"
+                )
             }
             WfError::EmptyTxn => write!(f, "empty transaction class"),
             WfError::OverlappingTxns => write!(f, "transaction classes overlap"),
@@ -156,9 +159,7 @@ fn check_po(x: &Execution) -> Result<(), WfError> {
     }
     // Strict total per thread.
     for t in 0..x.num_threads() {
-        let s = EventSet::from_iter(
-            (0..x.len()).filter(|&e| x.event(e).tid as usize == t),
-        );
+        let s = EventSet::from_iter((0..x.len()).filter(|&e| x.event(e).tid as usize == t));
         if !po.is_strict_total_order_on(s) {
             return Err(WfError::PoNotTotalOrder);
         }
@@ -177,9 +178,7 @@ fn check_deps(x: &Execution) -> Result<(), WfError> {
             // exception: on Power, ctrl edges can begin at a
             // store-exclusive (footnote 3 of the paper), i.e. at a write
             // in range(rmw).
-            let sx_ctrl = name == "ctrl"
-                && x.event(a).is_write()
-                && x.rmw().range().contains(a);
+            let sx_ctrl = name == "ctrl" && x.event(a).is_write() && x.rmw().range().contains(a);
             if !x.event(a).is_read() && !sx_ctrl {
                 return Err(WfError::DepNotFromRead(name, a, b));
             }
@@ -450,7 +449,10 @@ mod tests {
         let t0 = b.new_thread();
         let _ = b.read(t0, 0);
         let mut x = b.build().unwrap();
-        x.txns_mut().push(TxnClass { events: vec![], atomic: false });
+        x.txns_mut().push(TxnClass {
+            events: vec![],
+            atomic: false,
+        });
         assert_eq!(check(&x), Err(WfError::EmptyTxn));
     }
 

@@ -59,16 +59,10 @@ impl Thread {
 /// The ARMv8 simulator; `in_order_stores` restricts stores to commit
 /// after all earlier loads (a conservatism knob used to mimic cores that
 /// do not exhibit load buffering).
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, Default)]
 pub struct ArmSim {
     /// Forbid store-before-earlier-load commits (load buffering).
     pub in_order_stores: bool,
-}
-
-impl Default for ArmSim {
-    fn default() -> ArmSim {
-        ArmSim { in_order_stores: false }
-    }
 }
 
 fn loc_of(op: &Op) -> Option<u8> {
@@ -79,7 +73,9 @@ fn loc_of(op: &Op) -> Option<u8> {
 }
 
 fn fence_between(instrs: &[Instr], j: usize, i: usize, f: txmm_core::Fence) -> bool {
-    instrs[j + 1..i].iter().any(|x| matches!(x.op, Op::Fence(k, _) if k == f))
+    instrs[j + 1..i]
+        .iter()
+        .any(|x| matches!(x.op, Op::Fence(k, _) if k == f))
 }
 
 impl ArmSim {
@@ -89,7 +85,8 @@ impl ArmSim {
         let oj = &instrs[j].op;
         let oi = &instrs[i].op;
         // Transaction boundaries are full barriers.
-        if matches!(oj, Op::TxBegin { .. } | Op::TxEnd) || matches!(oi, Op::TxBegin { .. } | Op::TxEnd)
+        if matches!(oj, Op::TxBegin { .. } | Op::TxEnd)
+            || matches!(oi, Op::TxBegin { .. } | Op::TxEnd)
         {
             return true;
         }
@@ -134,8 +131,7 @@ impl ArmSim {
             }
         }
         // Conservatism knob: stores never pass earlier loads.
-        if self.in_order_stores && matches!(oj, Op::Load { .. }) && matches!(oi, Op::Store { .. })
-        {
+        if self.in_order_stores && matches!(oj, Op::Load { .. }) && matches!(oi, Op::Store { .. }) {
             return true;
         }
         // Dependencies.
@@ -238,8 +234,7 @@ impl ArmSim {
             Op::Store { loc, value, mode } => {
                 if mode.exclusive {
                     match s.threads[t].monitor.take() {
-                        Some((mloc, mwc))
-                            if mloc == *loc && s.wc[*loc as usize] == mwc => {}
+                        Some((mloc, mwc)) if mloc == *loc && s.wc[*loc as usize] == mwc => {}
                         _ => return None, // store-exclusive failed
                     }
                 }
@@ -303,7 +298,12 @@ impl Simulator for ArmSim {
                     })
                     .max()
                     .unwrap_or(0);
-                Thread { committed: 0, regs: vec![0; nregs], txn: None, monitor: None }
+                Thread {
+                    committed: 0,
+                    regs: vec![0; nregs],
+                    txn: None,
+                    monitor: None,
+                }
             })
             .collect();
         let init = State {
@@ -380,14 +380,20 @@ mod tests {
         let t = make("sb", &catalog::sb(None, false, false));
         assert!(sim().observable(&t));
         let t2 = make("mp+dep", &catalog::mp(None, true, false));
-        assert!(sim().observable(&t2), "dependency alone does not order the writes");
+        assert!(
+            sim().observable(&t2),
+            "dependency alone does not order the writes"
+        );
     }
 
     #[test]
     fn lb_observable_unless_in_order() {
         let t = make("lb", &catalog::lb(false));
         assert!(sim().observable(&t), "ARM cores exhibit load buffering");
-        assert!(!ArmSim { in_order_stores: true }.observable(&t));
+        assert!(!ArmSim {
+            in_order_stores: true
+        }
+        .observable(&t));
     }
 
     #[test]
@@ -428,7 +434,10 @@ mod tests {
     fn fig3_shapes_not_observable() {
         for which in ['a', 'b', 'c', 'd'] {
             let t = make("fig3", &catalog::fig3(which));
-            assert!(!sim().observable(&t), "fig3({which}) violates strong isolation");
+            assert!(
+                !sim().observable(&t),
+                "fig3({which}) violates strong isolation"
+            );
         }
     }
 

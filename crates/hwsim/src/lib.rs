@@ -29,14 +29,14 @@
 
 pub mod armsim;
 pub mod oracle;
-pub mod random;
 pub mod outcome;
 pub mod powersim;
+pub mod random;
 pub mod tso;
 
 pub use armsim::ArmSim;
 pub use oracle::{Conservatism, Oracle};
-pub use random::{Campaign, RandomRunner};
 pub use outcome::{Outcome, OutcomeSet, Simulator};
 pub use powersim::PowerSim;
+pub use random::{Campaign, RandomRunner};
 pub use tso::TsoSim;

@@ -31,7 +31,11 @@ impl Oracle {
     /// An implementation that exactly realises its architecture model.
     pub fn exact(model: Box<dyn Model>) -> Oracle {
         let name = format!("{}-hw", model.name());
-        Oracle { model, rules: Vec::new(), name }
+        Oracle {
+            model,
+            rules: Vec::new(),
+            name,
+        }
     }
 
     /// An implementation with conservatism rules.
@@ -47,11 +51,16 @@ impl Oracle {
 
     /// Would this execution be observable on the simulated machine?
     pub fn admits(&self, x: &Execution) -> bool {
-        if !self.model.consistent(x) {
+        self.admits_analysis(&x.analysis())
+    }
+
+    /// [`Oracle::admits`] against a caller-shared analysis.
+    pub fn admits_analysis(&self, a: &txmm_core::ExecutionAnalysis<'_>) -> bool {
+        if !self.model.consistent_analysis(a) {
             return false;
         }
         self.rules.iter().all(|r| match r {
-            Conservatism::NoLoadBuffering => x.po().union(x.rf()).is_acyclic(),
+            Conservatism::NoLoadBuffering => a.po().union(a.rf()).is_acyclic(),
         })
     }
 }
@@ -72,10 +81,7 @@ mod tests {
     #[test]
     fn power8_oracle_hides_lb() {
         let exact = Oracle::exact(Box::new(Power::tm()));
-        let p8 = Oracle::conservative(
-            Box::new(Power::tm()),
-            vec![Conservatism::NoLoadBuffering],
-        );
+        let p8 = Oracle::conservative(Box::new(Power::tm()), vec![Conservatism::NoLoadBuffering]);
         let lb = catalog::lb(false);
         assert!(exact.admits(&lb), "the model allows LB");
         assert!(!p8.admits(&lb), "the hardware never shows it");

@@ -24,14 +24,22 @@ impl Outcome {
     pub fn passes(&self, test: &LitmusTest) -> bool {
         test.post.iter().all(|c| match c {
             Check::Reg { tid, reg, value } => {
-                self.regs.get(*tid).and_then(|r| r.get(*reg)).copied().unwrap_or(0) == *value
+                self.regs
+                    .get(*tid)
+                    .and_then(|r| r.get(*reg))
+                    .copied()
+                    .unwrap_or(0)
+                    == *value
             }
             Check::Loc { loc, value } => {
                 self.memory.get(*loc as usize).copied().unwrap_or(0) == *value
             }
             Check::TxnOk { txn_id } => self.txn_ok.get(*txn_id).copied().unwrap_or(false),
             Check::CoSeq { loc, values } => {
-                self.co_order.get(*loc as usize).map(Vec::as_slice).unwrap_or(&[])
+                self.co_order
+                    .get(*loc as usize)
+                    .map(Vec::as_slice)
+                    .unwrap_or(&[])
                     == values.as_slice()
             }
         })
@@ -69,7 +77,11 @@ mod tests {
             arch: Arch::X86,
             threads: vec![],
             post: vec![
-                Check::Reg { tid: 0, reg: 0, value: 2 },
+                Check::Reg {
+                    tid: 0,
+                    reg: 0,
+                    value: 2,
+                },
                 Check::Loc { loc: 0, value: 2 },
                 Check::TxnOk { txn_id: 0 },
             ],
@@ -105,7 +117,11 @@ mod tests {
             name: "t".into(),
             arch: Arch::X86,
             threads: vec![],
-            post: vec![Check::Reg { tid: 1, reg: 3, value: 0 }],
+            post: vec![Check::Reg {
+                tid: 1,
+                reg: 3,
+                value: 0,
+            }],
         };
         assert!(Outcome::default().passes(&t));
     }

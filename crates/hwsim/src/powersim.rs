@@ -81,7 +81,9 @@ pub struct PowerSim {
 
 impl Default for PowerSim {
     fn default() -> PowerSim {
-        PowerSim { restrict_load_buffering: true }
+        PowerSim {
+            restrict_load_buffering: true,
+        }
     }
 }
 
@@ -93,7 +95,9 @@ fn loc_of(op: &Op) -> Option<u8> {
 }
 
 fn fence_between(instrs: &[Instr], j: usize, i: usize, f: txmm_core::Fence) -> bool {
-    instrs[j + 1..i].iter().any(|x| matches!(x.op, Op::Fence(k, _) if k == f))
+    instrs[j + 1..i]
+        .iter()
+        .any(|x| matches!(x.op, Op::Fence(k, _) if k == f))
 }
 
 impl PowerSim {
@@ -102,7 +106,8 @@ impl PowerSim {
         use txmm_core::Fence;
         let oj = &instrs[j].op;
         let oi = &instrs[i].op;
-        if matches!(oj, Op::TxBegin { .. } | Op::TxEnd) || matches!(oi, Op::TxBegin { .. } | Op::TxEnd)
+        if matches!(oj, Op::TxBegin { .. } | Op::TxEnd)
+            || matches!(oi, Op::TxBegin { .. } | Op::TxEnd)
         {
             return true;
         }
@@ -264,11 +269,19 @@ impl PowerSim {
                         v
                     } else {
                         let view = s.threads[t].view[li] as usize;
-                        if view == 0 { 0 } else { s.co[li][view - 1].value }
+                        if view == 0 {
+                            0
+                        } else {
+                            s.co[li][view - 1].value
+                        }
                     }
                 } else {
                     let view = s.threads[t].view[li] as usize;
-                    if view == 0 { 0 } else { s.co[li][view - 1].value }
+                    if view == 0 {
+                        0
+                    } else {
+                        s.co[li][view - 1].value
+                    }
                 };
                 s.threads[t].regs[*reg] = v;
                 if mode.exclusive {
@@ -334,8 +347,8 @@ impl PowerSim {
                     // propagates to every thread first...
                     let group_a = s.threads[t].view;
                     for th in &mut s.threads {
-                        for l in 0..MAX_LOCS {
-                            th.view[l] = th.view[l].max(group_a[l]);
+                        for (l, &seen) in group_a.iter().enumerate() {
+                            th.view[l] = th.view[l].max(seen);
                         }
                     }
                     s.threads[t].snapshot = group_a;
@@ -401,7 +414,10 @@ impl Simulator for PowerSim {
             test.locations().iter().all(|&l| (l as usize) < MAX_LOCS),
             "too many locations for the simulator"
         );
-        assert!(test.threads.iter().all(|t| t.len() <= 32), "thread too long");
+        assert!(
+            test.threads.iter().all(|t| t.len() <= 32),
+            "thread too long"
+        );
         let threads: Vec<Thread> = test
             .threads
             .iter()
@@ -424,7 +440,11 @@ impl Simulator for PowerSim {
                 }
             })
             .collect();
-        let init = State { co: vec![Vec::new(); MAX_LOCS], threads, txn_ok: vec![true; test.num_txns()] };
+        let init = State {
+            co: vec![Vec::new(); MAX_LOCS],
+            threads,
+            txn_ok: vec![true; test.num_txns()],
+        };
         let mut outcomes = OutcomeSet::new();
         let mut seen = HashSet::new();
         let mut stack = vec![init];
@@ -500,14 +520,20 @@ mod tests {
 
     #[test]
     fn mp_lwsync_addr_not_observable() {
-        let t = make("mp+lwsync+addr", &catalog::mp(Some(Fence::Lwsync), true, false));
+        let t = make(
+            "mp+lwsync+addr",
+            &catalog::mp(Some(Fence::Lwsync), true, false),
+        );
         assert!(!sim().observable(&t));
     }
 
     #[test]
     fn mp_half_strength_observable() {
         assert!(sim().observable(&make("mp+dep", &catalog::mp(None, true, false))));
-        assert!(sim().observable(&make("mp+sync", &catalog::mp(Some(Fence::Sync), false, false))));
+        assert!(sim().observable(&make(
+            "mp+sync",
+            &catalog::mp(Some(Fence::Sync), false, false)
+        )));
     }
 
     #[test]
@@ -521,7 +547,10 @@ mod tests {
         let t = make("lb", &catalog::lb(false));
         assert!(!sim().observable(&t), "POWER8 hardware never exhibits LB");
         assert!(
-            PowerSim { restrict_load_buffering: false }.observable(&t),
+            PowerSim {
+                restrict_load_buffering: false
+            }
+            .observable(&t),
             "the model itself allows LB"
         );
     }
@@ -558,14 +587,20 @@ mod tests {
     #[test]
     fn iriw_plain_observable() {
         let t = make("iriw", &catalog::power_exec3(true).erase_txns());
-        assert!(sim().observable(&t), "IRIW is the canonical non-MCA behaviour");
+        assert!(
+            sim().observable(&t),
+            "IRIW is the canonical non-MCA behaviour"
+        );
     }
 
     #[test]
     fn fig3_shapes_not_observable() {
         for which in ['a', 'b', 'c', 'd'] {
             let t = make("fig3", &catalog::fig3(which));
-            assert!(!sim().observable(&t), "fig3({which}) violates strong isolation");
+            assert!(
+                !sim().observable(&t),
+                "fig3({which}) violates strong isolation"
+            );
         }
     }
 

@@ -10,8 +10,7 @@
 
 use std::collections::BTreeMap;
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use txmm_core::rng::SplitMix64;
 use txmm_litmus::LitmusTest;
 
 use crate::outcome::{Outcome, Simulator};
@@ -43,13 +42,16 @@ impl Campaign {
 /// exact about reachability while exposing a Litmus-shaped interface.)
 pub struct RandomRunner<S: Simulator> {
     sim: S,
-    rng: StdRng,
+    rng: SplitMix64,
 }
 
 impl<S: Simulator> RandomRunner<S> {
     /// A runner with a fixed seed (campaigns are reproducible).
     pub fn new(sim: S, seed: u64) -> RandomRunner<S> {
-        RandomRunner { sim, rng: StdRng::seed_from_u64(seed) }
+        RandomRunner {
+            sim,
+            rng: SplitMix64::seed_from_u64(seed),
+        }
     }
 
     /// Run the campaign.
@@ -58,13 +60,17 @@ impl<S: Simulator> RandomRunner<S> {
         let mut histogram = BTreeMap::new();
         let mut hits = 0usize;
         for _ in 0..runs {
-            let pick = &outcomes[self.rng.gen_range(0..outcomes.len())];
+            let pick = &outcomes[self.rng.below(outcomes.len())];
             if pick.passes(test) {
                 hits += 1;
             }
             *histogram.entry(pick.clone()).or_insert(0) += 1;
         }
-        Campaign { histogram, runs, hits }
+        Campaign {
+            histogram,
+            runs,
+            hits,
+        }
     }
 }
 
@@ -88,11 +94,7 @@ mod tests {
 
     #[test]
     fn campaign_never_finds_forbidden() {
-        let t = litmus_from_execution(
-            "sb+txns",
-            &catalog::sb(None, true, true),
-            Arch::X86,
-        );
+        let t = litmus_from_execution("sb+txns", &catalog::sb(None, true, true), Arch::X86);
         let mut runner = RandomRunner::new(TsoSim, 7);
         let c = runner.campaign(&t, 5_000);
         assert_eq!(c.hits, 0, "forbidden outcomes never appear");

@@ -62,7 +62,12 @@ impl TsoSim {
                     })
                     .max()
                     .unwrap_or(0);
-                Thread { pc: 0, regs: vec![0; nregs], sb: VecDeque::new(), txn: None }
+                Thread {
+                    pc: 0,
+                    regs: vec![0; nregs],
+                    sb: VecDeque::new(),
+                    txn: None,
+                }
             })
             .collect();
         State {
@@ -142,7 +147,12 @@ impl TsoSim {
                         }
                     }
                     let store = instrs.get(pc + 1).map(|i| &i.op);
-                    let Some(Op::Store { loc: sloc, value, mode: smode }) = store else {
+                    let Some(Op::Store {
+                        loc: sloc,
+                        value,
+                        mode: smode,
+                    }) = store
+                    else {
                         // An rmw pair straddling a transaction boundary
                         // has no single-instruction x86 encoding; the
                         // path is unrealisable.
@@ -311,7 +321,10 @@ mod tests {
     #[test]
     fn sb_observable() {
         let t = make("sb", &catalog::sb(None, false, false));
-        assert!(TsoSim.observable(&t), "store buffering is the hallmark TSO relaxation");
+        assert!(
+            TsoSim.observable(&t),
+            "store buffering is the hallmark TSO relaxation"
+        );
     }
 
     #[test]
@@ -323,13 +336,19 @@ mod tests {
     #[test]
     fn sb_both_txns_not_observable() {
         let t = make("sb+txns", &catalog::sb(None, true, true));
-        assert!(!TsoSim.observable(&t), "transactions forbid SB between them");
+        assert!(
+            !TsoSim.observable(&t),
+            "transactions forbid SB between them"
+        );
     }
 
     #[test]
     fn sb_one_txn_observable() {
         let t = make("sb+txn0", &catalog::sb(None, true, false));
-        assert!(TsoSim.observable(&t), "a single transactional thread leaves SB visible");
+        assert!(
+            TsoSim.observable(&t),
+            "a single transactional thread leaves SB visible"
+        );
     }
 
     #[test]
@@ -356,7 +375,10 @@ mod tests {
     fn fig3_shapes_not_observable() {
         for which in ['a', 'b', 'c', 'd'] {
             let t = make("fig3", &catalog::fig3(which));
-            assert!(!TsoSim.observable(&t), "fig3({which}) violates strong isolation");
+            assert!(
+                !TsoSim.observable(&t),
+                "fig3({which}) violates strong isolation"
+            );
         }
     }
 

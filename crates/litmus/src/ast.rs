@@ -61,9 +61,17 @@ impl AccessMode {
 #[derive(Debug, Clone, PartialEq)]
 pub enum Op {
     /// Load `loc` into `reg`.
-    Load { reg: Reg, loc: Loc, mode: AccessMode },
+    Load {
+        reg: Reg,
+        loc: Loc,
+        mode: AccessMode,
+    },
     /// Store `value` to `loc`.
-    Store { loc: Loc, value: u32, mode: AccessMode },
+    Store {
+        loc: Loc,
+        value: u32,
+        mode: AccessMode,
+    },
     /// A fence; C++ fences carry their mode.
     Fence(Fence, Attrs),
     /// Begin a transaction; on abort, control transfers to the fail
@@ -87,7 +95,10 @@ pub struct Instr {
 impl Instr {
     /// An instruction with no dependencies.
     pub fn plain(op: Op) -> Instr {
-        Instr { op, deps: Vec::new() }
+        Instr {
+            op,
+            deps: Vec::new(),
+        }
     }
 }
 
@@ -180,10 +191,18 @@ mod tests {
             threads: vec![
                 vec![
                     Instr::plain(Op::TxBegin { txn_id: 0 }),
-                    Instr::plain(Op::Store { loc: 0, value: 1, mode: AccessMode::default() }),
+                    Instr::plain(Op::Store {
+                        loc: 0,
+                        value: 1,
+                        mode: AccessMode::default(),
+                    }),
                     Instr::plain(Op::TxEnd),
                 ],
-                vec![Instr::plain(Op::Load { reg: 0, loc: 1, mode: AccessMode::default() })],
+                vec![Instr::plain(Op::Load {
+                    reg: 0,
+                    loc: 1,
+                    mode: AccessMode::default(),
+                })],
             ],
             post: vec![Check::Loc { loc: 0, value: 1 }],
         };

@@ -93,7 +93,10 @@ pub fn litmus_from_execution(name: &str, x: &Execution, arch: Arch) -> LitmusTes
                 ] {
                     for (src, dst) in rel.pairs() {
                         if dst == e {
-                            d.push(Dep { on: instr_index[src].1, kind });
+                            d.push(Dep {
+                                on: instr_index[src].1,
+                                kind,
+                            });
                         }
                     }
                 }
@@ -111,7 +114,11 @@ pub fn litmus_from_execution(name: &str, x: &Execution, arch: Arch) -> LitmusTes
                         .next()
                         .map(|w| wv[w])
                         .unwrap_or(0);
-                    post.push(Check::Reg { tid, reg, value: expected });
+                    post.push(Check::Reg {
+                        tid,
+                        reg,
+                        value: expected,
+                    });
                     Op::Load {
                         reg,
                         loc: ev.loc.expect("read has a location"),
@@ -146,16 +153,27 @@ pub fn litmus_from_execution(name: &str, x: &Execution, arch: Arch) -> LitmusTes
                 .iter()
                 .max_by_key(|&w| wv[w])
                 .expect("non-empty write set");
-            post.push(Check::Loc { loc: l, value: wv[max] });
+            post.push(Check::Loc {
+                loc: l,
+                value: wv[max],
+            });
         }
         if ws.len() >= 3 {
             let mut ordered: Vec<u32> = ws.iter().map(|w| wv[w]).collect();
             ordered.sort_unstable();
-            post.push(Check::CoSeq { loc: l, values: ordered });
+            post.push(Check::CoSeq {
+                loc: l,
+                values: ordered,
+            });
         }
     }
 
-    LitmusTest { name: name.to_string(), arch, threads, post }
+    LitmusTest {
+        name: name.to_string(),
+        arch,
+        threads,
+        post,
+    }
 }
 
 #[cfg(test)]
@@ -173,7 +191,11 @@ mod tests {
         assert_eq!(wv[2], 2);
         let t = litmus_from_execution("fig1", &x, Arch::X86);
         // Postcondition: r0 = 2 ∧ x = 2 (matching the figure).
-        assert!(t.post.contains(&Check::Reg { tid: 0, reg: 0, value: 2 }));
+        assert!(t.post.contains(&Check::Reg {
+            tid: 0,
+            reg: 0,
+            value: 2
+        }));
         assert!(t.post.contains(&Check::Loc { loc: 0, value: 2 }));
         assert_eq!(t.num_txns(), 0);
     }
@@ -209,7 +231,13 @@ mod tests {
         let t = litmus_from_execution("mp+dep", &x, Arch::Power);
         // Thread 1: Ry then Rx with an addr dep on instruction 0.
         let second = &t.threads[1][1];
-        assert_eq!(second.deps, vec![Dep { on: 0, kind: DepKind::Addr }]);
+        assert_eq!(
+            second.deps,
+            vec![Dep {
+                on: 0,
+                kind: DepKind::Addr
+            }]
+        );
     }
 
     #[test]

@@ -34,14 +34,21 @@ pub struct LitmusParseError {
 
 impl fmt::Display for LitmusParseError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "litmus parse error on line {}: {}", self.line, self.message)
+        write!(
+            f,
+            "litmus parse error on line {}: {}",
+            self.line, self.message
+        )
     }
 }
 
 impl std::error::Error for LitmusParseError {}
 
 fn err<T>(line: usize, message: impl Into<String>) -> Result<T, LitmusParseError> {
-    Err(LitmusParseError { line, message: message.into() })
+    Err(LitmusParseError {
+        line,
+        message: message.into(),
+    })
 }
 
 fn parse_loc(s: &str, line: usize) -> Result<Loc, LitmusParseError> {
@@ -65,7 +72,11 @@ fn parse_loc(s: &str, line: usize) -> Result<Loc, LitmusParseError> {
     }
 }
 
-fn parse_mode(suffixes: &str, exclusive_ok: bool, line: usize) -> Result<AccessMode, LitmusParseError> {
+fn parse_mode(
+    suffixes: &str,
+    exclusive_ok: bool,
+    line: usize,
+) -> Result<AccessMode, LitmusParseError> {
     let mut m = AccessMode::default();
     for part in suffixes.split('.').filter(|p| !p.is_empty()) {
         match part {
@@ -85,7 +96,9 @@ fn parse_mode(suffixes: &str, exclusive_ok: bool, line: usize) -> Result<AccessM
 
 fn parse_deps(comment: &str, line: usize) -> Result<Vec<Dep>, LitmusParseError> {
     // "// deps: addr#0,data#2"
-    let Some(idx) = comment.find("deps:") else { return Ok(Vec::new()) };
+    let Some(idx) = comment.find("deps:") else {
+        return Ok(Vec::new());
+    };
     let mut out = Vec::new();
     for part in comment[idx + 5..].split(',') {
         let part = part.trim();
@@ -101,10 +114,10 @@ fn parse_deps(comment: &str, line: usize) -> Result<Vec<Dep>, LitmusParseError> 
             "ctrl" => DepKind::Ctrl,
             _ => return err(line, format!("bad dep kind {kind}")),
         };
-        let on = on
-            .trim()
-            .parse()
-            .map_err(|_| LitmusParseError { line, message: format!("bad dep index {on}") })?;
+        let on = on.trim().parse().map_err(|_| LitmusParseError {
+            line,
+            message: format!("bad dep index {on}"),
+        })?;
         out.push(Dep { on, kind });
     }
     Ok(out)
@@ -120,7 +133,10 @@ fn parse_fence(word: &str) -> Option<(Fence, Attrs)> {
         "DMB LD" => Some((Fence::DmbLd, Attrs::NONE)),
         "DMB ST" => Some((Fence::DmbSt, Attrs::NONE)),
         "ISB" => Some((Fence::Isb, Attrs::NONE)),
-        "fence" => Some((Fence::CppFence, Attrs::SC.union(Attrs::ACQ).union(Attrs::REL))),
+        "fence" => Some((
+            Fence::CppFence,
+            Attrs::SC.union(Attrs::ACQ).union(Attrs::REL),
+        )),
         _ => None,
     }
 }
@@ -139,36 +155,45 @@ fn parse_check(part: &str, line: usize) -> Result<Check, LitmusParseError> {
             .filter(|v| !v.trim().is_empty())
             .map(|v| v.trim().parse::<u32>())
             .collect::<Result<Vec<_>, _>>()
-            .map_err(|_| LitmusParseError { line, message: format!("bad co values {vals}") })?;
+            .map_err(|_| LitmusParseError {
+                line,
+                message: format!("bad co values {vals}"),
+            })?;
         return Ok(Check::CoSeq { loc, values });
     }
     let Some((lhs, rhs)) = part.split_once('=') else {
         return err(line, format!("bad check {part}"));
     };
     let lhs = lhs.trim();
-    let value: u32 = rhs
-        .trim()
-        .parse()
-        .map_err(|_| LitmusParseError { line, message: format!("bad value {rhs}") })?;
+    let value: u32 = rhs.trim().parse().map_err(|_| LitmusParseError {
+        line,
+        message: format!("bad value {rhs}"),
+    })?;
     if let Some(rest) = lhs.strip_prefix("ok") {
-        let txn_id = rest
-            .parse()
-            .map_err(|_| LitmusParseError { line, message: format!("bad ok flag {lhs}") })?;
+        let txn_id = rest.parse().map_err(|_| LitmusParseError {
+            line,
+            message: format!("bad ok flag {lhs}"),
+        })?;
         if value != 1 {
             return err(line, "ok flags are checked against 1");
         }
         return Ok(Check::TxnOk { txn_id });
     }
     if let Some((tid, reg)) = lhs.split_once(":r") {
-        let tid = tid
-            .parse()
-            .map_err(|_| LitmusParseError { line, message: format!("bad thread id {lhs}") })?;
-        let reg = reg
-            .parse()
-            .map_err(|_| LitmusParseError { line, message: format!("bad register {lhs}") })?;
+        let tid = tid.parse().map_err(|_| LitmusParseError {
+            line,
+            message: format!("bad thread id {lhs}"),
+        })?;
+        let reg = reg.parse().map_err(|_| LitmusParseError {
+            line,
+            message: format!("bad register {lhs}"),
+        })?;
         return Ok(Check::Reg { tid, reg, value });
     }
-    Ok(Check::Loc { loc: parse_loc(lhs, line)?, value })
+    Ok(Check::Loc {
+        loc: parse_loc(lhs, line)?,
+        value,
+    })
 }
 
 /// Parse the pseudocode litmus format.
@@ -251,7 +276,11 @@ pub fn parse_litmus(src: &str) -> Result<LitmusTest, LitmusParseError> {
                     };
                     let mode = parse_mode(suffix, true, lineno)?;
                     thread.push(Instr {
-                        op: Op::Load { reg, loc: parse_loc(locname, lineno)?, mode },
+                        op: Op::Load {
+                            reg,
+                            loc: parse_loc(locname, lineno)?,
+                            mode,
+                        },
                         deps,
                     });
                     continue;
@@ -268,7 +297,11 @@ pub fn parse_litmus(src: &str) -> Result<LitmusTest, LitmusParseError> {
                 message: format!("bad store value {rhs}"),
             })?;
             thread.push(Instr {
-                op: Op::Store { loc: parse_loc(locname, lineno)?, value, mode },
+                op: Op::Store {
+                    loc: parse_loc(locname, lineno)?,
+                    value,
+                    mode,
+                },
                 deps,
             });
             continue;
@@ -277,7 +310,12 @@ pub fn parse_litmus(src: &str) -> Result<LitmusTest, LitmusParseError> {
         };
         thread.push(Instr { op, deps });
     }
-    Ok(LitmusTest { name, arch, threads, post })
+    Ok(LitmusTest {
+        name,
+        arch,
+        threads,
+        post,
+    })
 }
 
 #[cfg(test)]
@@ -290,8 +328,7 @@ mod tests {
     fn roundtrip(x: &txmm_core::Execution, arch: Arch, name: &str) {
         let t = litmus_from_execution(name, x, arch);
         let printed = pseudocode(&t);
-        let back = parse_litmus(&printed)
-            .unwrap_or_else(|e| panic!("{name}: {e}\n{printed}"));
+        let back = parse_litmus(&printed).unwrap_or_else(|e| panic!("{name}: {e}\n{printed}"));
         assert_eq!(back, t, "{name} round-trip\n{printed}");
     }
 
@@ -299,8 +336,16 @@ mod tests {
     fn roundtrip_catalog() {
         roundtrip(&catalog::fig1(), Arch::X86, "fig1");
         roundtrip(&catalog::fig2(), Arch::X86, "fig2");
-        roundtrip(&catalog::sb(Some(txmm_core::Fence::MFence), false, false), Arch::X86, "sb+mfence");
-        roundtrip(&catalog::mp(Some(txmm_core::Fence::Sync), true, false), Arch::Power, "mp");
+        roundtrip(
+            &catalog::sb(Some(txmm_core::Fence::MFence), false, false),
+            Arch::X86,
+            "sb+mfence",
+        );
+        roundtrip(
+            &catalog::mp(Some(txmm_core::Fence::Sync), true, false),
+            Arch::Power,
+            "mp",
+        );
         roundtrip(&catalog::power_exec3(true), Arch::Power, "iriw");
         roundtrip(&catalog::armv8_elision(false), Arch::Armv8, "elision");
         roundtrip(&catalog::rmw_txn(true), Arch::Power, "rmw-split");
@@ -337,13 +382,19 @@ mod tests {
         let t = parse_litmus(src).expect("parses");
         assert_eq!(t.num_txns(), 1);
         assert!(t.post.contains(&Check::TxnOk { txn_id: 0 }));
-        assert!(t.post.contains(&Check::CoSeq { loc: 0, values: vec![1, 2] }));
+        assert!(t.post.contains(&Check::CoSeq {
+            loc: 0,
+            values: vec![1, 2]
+        }));
     }
 
     #[test]
     fn parse_errors() {
         assert!(parse_litmus("t (Marvel)\n").is_err());
-        assert!(parse_litmus("t (x86)\n  x <- 1\n").is_err(), "instruction before thread");
+        assert!(
+            parse_litmus("t (x86)\n  x <- 1\n").is_err(),
+            "instruction before thread"
+        );
         let bad = "t (x86)\nthread 0:\n  flibber\n";
         let e = parse_litmus(bad).unwrap_err();
         assert_eq!(e.line, 3);

@@ -17,7 +17,11 @@ fn post_to_string(t: &LitmusTest) -> String {
             Check::CoSeq { loc, values } => format!(
                 "co({}) = [{}]",
                 loc_name(*loc),
-                values.iter().map(u32::to_string).collect::<Vec<_>>().join(",")
+                values
+                    .iter()
+                    .map(u32::to_string)
+                    .collect::<Vec<_>>()
+                    .join(",")
             ),
         })
         .collect();
@@ -45,7 +49,11 @@ fn dep_note(deps: &[Dep]) -> String {
 /// Render as architecture-neutral pseudocode, one thread per block.
 pub fn pseudocode(t: &LitmusTest) -> String {
     let mut out = format!("{} ({})\n", t.name, t.arch.name());
-    let init: Vec<String> = t.locations().iter().map(|&l| format!("{} = 0", loc_name(l))).collect();
+    let init: Vec<String> = t
+        .locations()
+        .iter()
+        .map(|&l| format!("{} = 0", loc_name(l)))
+        .collect();
     out.push_str(&format!("Initially: {}\n", init.join(", ")));
     for (tid, instrs) in t.threads.iter().enumerate() {
         out.push_str(&format!("thread {tid}:\n"));
@@ -93,9 +101,17 @@ pub fn assembly(t: &LitmusTest) -> String {
 }
 
 fn header(t: &LitmusTest) -> String {
-    let init: Vec<String> =
-        t.locations().iter().map(|&l| format!("{} = 0", loc_name(l))).collect();
-    format!("{} \"{}\"\nInitially: {}\n", t.arch.name(), t.name, init.join(", "))
+    let init: Vec<String> = t
+        .locations()
+        .iter()
+        .map(|&l| format!("{} = 0", loc_name(l)))
+        .collect();
+    format!(
+        "{} \"{}\"\nInitially: {}\n",
+        t.arch.name(),
+        t.name,
+        init.join(", ")
+    )
 }
 
 fn footer(t: &LitmusTest) -> String {
@@ -113,7 +129,10 @@ fn x86(t: &LitmusTest) -> String {
                 }
                 Op::Load { reg, loc, .. } => format!("MOV r{reg},[{}]", loc_name(*loc)),
                 Op::Store { loc, value, mode } if mode.exclusive => {
-                    format!("; store half of LOCK'd RMW: [{}] <- {value}", loc_name(*loc))
+                    format!(
+                        "; store half of LOCK'd RMW: [{}] <- {value}",
+                        loc_name(*loc)
+                    )
                 }
                 Op::Store { loc, value, .. } => format!("MOV [{}],{value}", loc_name(*loc)),
                 Op::Fence(Fence::MFence, _) => "MFENCE".to_string(),
@@ -311,7 +330,11 @@ mod tests {
 
     #[test]
     fn power_mnemonics() {
-        let t = litmus_from_execution("mp", &catalog::mp(Some(Fence::Sync), true, false), Arch::Power);
+        let t = litmus_from_execution(
+            "mp",
+            &catalog::mp(Some(Fence::Sync), true, false),
+            Arch::Power,
+        );
         let s = assembly(&t);
         assert!(s.contains("sync"));
         assert!(s.contains("lwz"));

@@ -4,10 +4,10 @@
 //! forbidding. This is the per-axiom justification of §5.2 in
 //! executable form.
 
-use txmm_core::{stronglift, union_all, weaklift, Execution, Rel};
+use txmm_core::{stronglift, union_all, weaklift, ExecutionAnalysis, Rel};
 
 use crate::arch::Arch;
-use crate::model::{Checker, Model, Verdict};
+use crate::model::{Checker, Derived, Model};
 use crate::power::Power;
 
 /// Which Fig. 6 highlight to drop.
@@ -54,28 +54,29 @@ impl Model for PowerAblated {
         true
     }
 
-    fn check(&self, x: &Execution) -> Verdict {
+    fn derived(&self, a: &ExecutionAnalysis<'_>) -> Derived {
         // Reconstruct Fig. 6 with the chosen piece removed. We reuse the
         // baseline machinery for ppo and rebuild the highlighted parts.
         use txmm_core::Fence;
-        let n = x.len();
-        let w = x.writes();
-        let r = x.reads();
-        let stxn = x.stxn();
-        let ppo = Power::ppo(x);
-        let sync = x.fence_rel(Fence::Sync);
-        let lwsync = x.fence_rel(Fence::Lwsync).minus(&Rel::cross(n, w, r));
-        let tfence = x.tfence();
+        let n = a.len();
+        let w = a.writes();
+        let r = a.reads();
+        let stxn = a.stxn();
+        let ppo = Power::ppo(a);
+        let sync = a.fence_rel(Fence::Sync);
+        let lwsync = a.fence_rel(Fence::Lwsync).minus(&Rel::cross(n, w, r));
+        let tfence = a.tfence();
         let mut fence = sync.union(&lwsync);
         if self.drop != PowerAblation::NoTfence {
-            fence = fence.union(&tfence);
+            fence = fence.union(tfence);
         }
-        let sx = x.writes().inter(x.rmw().range());
-        let sx_ctrl_isync =
-            Rel::id_on(n, sx).seq(x.ctrl()).inter(&x.fence_rel(Fence::Isync));
+        let sx = a.writes().inter(a.rmw().range());
+        let sx_ctrl_isync = Rel::id_on(n, sx)
+            .seq(a.ctrl())
+            .inter(a.fence_rel(Fence::Isync));
         let ihb = ppo.union(&fence).union(&sx_ctrl_isync);
-        let rfe = x.rfe();
-        let frecoe = x.fre().union(&x.coe());
+        let rfe = a.rfe();
+        let frecoe = a.fre().union(a.coe());
         let thb = rfe
             .union(&frecoe.star().seq(&ihb))
             .star()
@@ -83,39 +84,52 @@ impl Model for PowerAblated {
             .seq(&rfe.opt());
         let mut hb = rfe.opt().seq(&ihb).seq(&rfe.opt());
         if self.drop != PowerAblation::NoThb {
-            hb = hb.union(&weaklift(&thb, &stxn));
+            hb = hb.union(&weaklift(&thb, stxn));
         }
         let efence = rfe.opt().seq(&fence).seq(&rfe.opt());
         let hbstar = hb.star();
         let idw = Rel::id_on(n, w);
         let prop1 = idw.seq(&efence).seq(&hbstar).seq(&idw);
         let sync_t = if self.drop == PowerAblation::NoTfence {
-            sync.clone()
+            *sync
         } else {
-            sync.union(&tfence)
+            sync.union(tfence)
         };
-        let prop2 =
-            x.come().star().seq(&efence.star()).seq(&hbstar).seq(&sync_t).seq(&hbstar);
+        let prop2 = a
+            .come()
+            .star()
+            .seq(&efence.star())
+            .seq(&hbstar)
+            .seq(&sync_t)
+            .seq(&hbstar);
         let mut prop = prop1.union(&prop2);
         if self.drop != PowerAblation::NoTprop1 {
-            prop = prop.union(&rfe.seq(&stxn).seq(&idw));
+            prop = prop.union(&rfe.seq(stxn).seq(&idw));
         }
         if self.drop != PowerAblation::NoTprop2 {
-            prop = union_all(n, [&prop, &stxn.seq(&rfe)]);
+            prop = union_all(n, [&prop, &stxn.seq(rfe)]);
         }
 
-        let mut c = Checker::new(self.name());
-        c.acyclic("Coherence", &x.po_loc().union(&x.com()));
-        c.empty("RMWIsol", &x.rmw().inter(&x.fre().seq(&x.coe())));
-        c.acyclic("Order", &hb);
-        c.acyclic("Propagation", &x.co().union(&prop));
-        c.irreflexive("Observation", &x.fre().seq(&prop).seq(&hb.star()));
-        c.acyclic("StrongIsol", &stronglift(&x.com(), &stxn));
-        c.acyclic("TxnOrder", &stronglift(&hb, &stxn));
+        let mut d = Derived::new();
+        d.insert("propagation", a.co().union(&prop));
+        d.insert("observation", a.fre().seq(&prop).seq(&hbstar));
+        d.insert("txnorder", stronglift(&hb, stxn));
+        d.insert("prop", prop);
+        d.insert("hb", hb);
+        d
+    }
+
+    fn axioms(&self, a: &ExecutionAnalysis<'_>, d: &Derived, c: &mut Checker) {
+        c.acyclic("Coherence", a.coherence());
+        c.empty("RMWIsol", a.rmw_isol());
+        c.acyclic("Order", d.expect("hb"));
+        c.acyclic("Propagation", d.expect("propagation"));
+        c.irreflexive("Observation", d.expect("observation"));
+        c.acyclic("StrongIsol", a.strong_isol());
+        c.acyclic("TxnOrder", d.expect("txnorder"));
         if self.drop != PowerAblation::NoTxnCancelsRmw {
-            c.empty("TxnCancelsRMW", &x.rmw().inter(&x.tfence().plus()));
+            c.empty("TxnCancelsRMW", a.txn_cancels_rmw());
         }
-        c.finish()
     }
 }
 
@@ -130,8 +144,14 @@ mod tests {
         // have a "drop nothing" variant, so check each variant still
         // forbids the executions its axiom is NOT responsible for.
         let x = catalog::power_exec3(true); // forbidden via thb
-        assert!(!PowerAblated { drop: PowerAblation::NoTprop1 }.consistent(&x));
-        assert!(!PowerAblated { drop: PowerAblation::NoTprop2 }.consistent(&x));
+        assert!(!PowerAblated {
+            drop: PowerAblation::NoTprop1
+        }
+        .consistent(&x));
+        assert!(!PowerAblated {
+            drop: PowerAblation::NoTprop2
+        }
+        .consistent(&x));
     }
 
     #[test]
@@ -141,7 +161,10 @@ mod tests {
         // forbidden.
         let x = catalog::power_exec1();
         assert!(!Power::tm().consistent(&x));
-        assert!(PowerAblated { drop: PowerAblation::NoTprop1 }.consistent(&x));
+        assert!(PowerAblated {
+            drop: PowerAblation::NoTprop1
+        }
+        .consistent(&x));
         for drop in [
             PowerAblation::NoTprop2,
             PowerAblation::NoThb,
@@ -159,7 +182,10 @@ mod tests {
         // §5.2 (2): multicopy-atomic transactional stores.
         let x = catalog::power_exec2();
         assert!(!Power::tm().consistent(&x));
-        assert!(PowerAblated { drop: PowerAblation::NoTprop2 }.consistent(&x));
+        assert!(PowerAblated {
+            drop: PowerAblation::NoTprop2
+        }
+        .consistent(&x));
         for drop in [PowerAblation::NoTprop1, PowerAblation::NoThb] {
             assert!(
                 !PowerAblated { drop }.consistent(&x),
@@ -173,7 +199,10 @@ mod tests {
         // §5.2 (3): transaction serialisation (IRIW between txns).
         let x = catalog::power_exec3(true);
         assert!(!Power::tm().consistent(&x));
-        assert!(PowerAblated { drop: PowerAblation::NoThb }.consistent(&x));
+        assert!(PowerAblated {
+            drop: PowerAblation::NoThb
+        }
+        .consistent(&x));
         for drop in [PowerAblation::NoTprop1, PowerAblation::NoTprop2] {
             assert!(
                 !PowerAblated { drop }.consistent(&x),
@@ -186,8 +215,14 @@ mod tests {
     fn txncancelsrmw_is_what_forbids_split_rmw() {
         let x = catalog::rmw_txn(true);
         assert!(!Power::tm().consistent(&x));
-        assert!(PowerAblated { drop: PowerAblation::NoTxnCancelsRmw }.consistent(&x));
-        assert!(!PowerAblated { drop: PowerAblation::NoTprop1 }.consistent(&x));
+        assert!(PowerAblated {
+            drop: PowerAblation::NoTxnCancelsRmw
+        }
+        .consistent(&x));
+        assert!(!PowerAblated {
+            drop: PowerAblation::NoTprop1
+        }
+        .consistent(&x));
     }
 
     #[test]
@@ -207,9 +242,15 @@ mod tests {
         b.addr(ry, rx);
         b.rf(wy, ry);
         let x = b.build().unwrap();
-        assert!(!Power::tm().consistent(&x), "full model forbids (boundary fence)");
         assert!(
-            PowerAblated { drop: PowerAblation::NoTfence }.consistent(&x),
+            !Power::tm().consistent(&x),
+            "full model forbids (boundary fence)"
+        );
+        assert!(
+            PowerAblated {
+                drop: PowerAblation::NoTfence
+            }
+            .consistent(&x),
             "without tfence the writes propagate independently"
         );
     }

@@ -101,10 +101,7 @@ impl Arch {
                 match self {
                     Arch::Sc | Arch::X86 | Arch::Power => {
                         if !a.is_empty() {
-                            return Err(format!(
-                                "{} accesses carry no attributes",
-                                self.name()
-                            ));
+                            return Err(format!("{} accesses carry no attributes", self.name()));
                         }
                     }
                     Arch::Armv8 => {

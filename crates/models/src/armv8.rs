@@ -7,10 +7,10 @@
 //! Research) adds `tfence` to `ob`, plus `StrongIsol`, `TxnOrder` and
 //! `TxnCancelsRMW`.
 
-use txmm_core::{stronglift, union_all, Attrs, Execution, Fence, Rel};
+use txmm_core::{stronglift, union_all, ExecutionAnalysis, Fence, Rel};
 
 use crate::arch::Arch;
-use crate::model::{Checker, Model, Verdict};
+use crate::model::{Checker, Derived, Model};
 
 /// The ARMv8 model; `tm` selects the transactional extension.
 #[derive(Debug, Clone, Copy)]
@@ -31,18 +31,18 @@ impl Armv8 {
     }
 
     /// Dependency-ordered-before (elided in Fig. 8; from `aarch64.cat`).
-    pub fn dob(x: &Execution) -> Rel {
-        let n = x.len();
-        let po = x.po();
-        let idw = Rel::id_on(n, x.writes());
-        let idr = Rel::id_on(n, x.reads());
-        let idisb = Rel::id_on(n, x.fence_events(Fence::Isb));
-        let addr = x.addr();
-        let data = x.data();
+    pub fn dob(a: &ExecutionAnalysis<'_>) -> Rel {
+        let n = a.len();
+        let po = a.po();
+        let idw = Rel::id_on(n, a.writes());
+        let idr = Rel::id_on(n, a.reads());
+        let idisb = Rel::id_on(n, a.exec().fence_events(Fence::Isb));
+        let addr = a.addr();
+        let data = a.data();
         // ARMv8 dependencies order only when sourced at a read: a ctrl
         // from a store-exclusive's result does NOT order later accesses
         // (that is exactly the Example 1.1 / Appendix B relaxation).
-        let ctrl = &Rel::id_on(n, x.reads()).seq(x.ctrl());
+        let ctrl = &Rel::id_on(n, a.reads()).seq(a.ctrl());
         let addr_po = addr.seq(po);
         union_all(
             n,
@@ -52,31 +52,31 @@ impl Armv8 {
                 &ctrl.seq(&idw),
                 &ctrl.union(&addr_po).seq(&idisb).seq(po).seq(&idr),
                 &addr.seq(po).seq(&idw),
-                &ctrl.union(data).seq(&x.coi()),
-                &addr.union(data).seq(&x.rfi()),
+                &ctrl.union(data).seq(a.coi()),
+                &addr.union(data).seq(a.rfi()),
             ],
         )
     }
 
     /// Atomic-ordered-before: `aob = rmw ∪ [range(rmw)] ; rfi ; [A]`.
-    pub fn aob(x: &Execution) -> Rel {
-        let n = x.len();
-        let idwx = Rel::id_on(n, x.rmw().range());
-        let ida = Rel::id_on(n, x.acq());
-        x.rmw().union(&idwx.seq(&x.rfi()).seq(&ida))
+    pub fn aob(a: &ExecutionAnalysis<'_>) -> Rel {
+        let n = a.len();
+        let idwx = Rel::id_on(n, a.rmw().range());
+        let ida = Rel::id_on(n, a.acq());
+        a.rmw().union(&idwx.seq(a.rfi()).seq(&ida))
     }
 
     /// Barrier-ordered-before (from `aarch64.cat`).
-    pub fn bob(x: &Execution) -> Rel {
-        let n = x.len();
-        let po = x.po();
-        let iddmb = Rel::id_on(n, x.fence_events(Fence::Dmb));
-        let iddmbld = Rel::id_on(n, x.fence_events(Fence::DmbLd));
-        let iddmbst = Rel::id_on(n, x.fence_events(Fence::DmbSt));
-        let ida = Rel::id_on(n, x.acq().inter(x.reads()));
-        let idl = Rel::id_on(n, x.with_attr(Attrs::REL).inter(x.writes()));
-        let idr = Rel::id_on(n, x.reads());
-        let idw = Rel::id_on(n, x.writes());
+    pub fn bob(a: &ExecutionAnalysis<'_>) -> Rel {
+        let n = a.len();
+        let po = a.po();
+        let iddmb = Rel::id_on(n, a.exec().fence_events(Fence::Dmb));
+        let iddmbld = Rel::id_on(n, a.exec().fence_events(Fence::DmbLd));
+        let iddmbst = Rel::id_on(n, a.exec().fence_events(Fence::DmbSt));
+        let ida = Rel::id_on(n, a.acq().inter(a.reads()));
+        let idl = Rel::id_on(n, a.rel_events().inter(a.writes()));
+        let idr = Rel::id_on(n, a.reads());
+        let idw = Rel::id_on(n, a.writes());
         union_all(
             n,
             [
@@ -86,20 +86,20 @@ impl Armv8 {
                 &ida.seq(po),
                 &idw.seq(po).seq(&iddmbst).seq(po).seq(&idw),
                 &po.seq(&idl),
-                &po.seq(&idl).seq(&x.coi()),
+                &po.seq(&idl).seq(a.coi()),
             ],
         )
     }
 
     /// Ordered-before: `ob = come ∪ dob ∪ aob ∪ bob (∪ tfence)`.
-    pub fn ob(&self, x: &Execution) -> Rel {
-        let n = x.len();
+    pub fn ob(&self, a: &ExecutionAnalysis<'_>) -> Rel {
+        let n = a.len();
         let mut ob = union_all(
             n,
-            [&x.come(), &Armv8::dob(x), &Armv8::aob(x), &Armv8::bob(x)],
+            [a.come(), &Armv8::dob(a), &Armv8::aob(a), &Armv8::bob(a)],
         );
         if self.tm {
-            ob = ob.union(&x.tfence());
+            ob = ob.union(a.tfence());
         }
         ob
     }
@@ -122,26 +122,32 @@ impl Model for Armv8 {
         self.tm
     }
 
-    fn check(&self, x: &Execution) -> Verdict {
-        let mut c = Checker::new(self.name());
-        c.acyclic("Coherence", &x.po_loc().union(&x.com()));
-        let ob = self.ob(x);
-        c.acyclic("Order", &ob);
-        c.empty("RMWIsol", &x.rmw().inter(&x.fre().seq(&x.coe())));
+    fn derived(&self, a: &ExecutionAnalysis<'_>) -> Derived {
+        let ob = self.ob(a);
+        let mut d = Derived::new();
         if self.tm {
-            let stxn = x.stxn();
-            c.acyclic("StrongIsol", &stronglift(&x.com(), &stxn));
-            c.acyclic("TxnOrder", &stronglift(&ob, &stxn));
-            c.empty("TxnCancelsRMW", &x.rmw().inter(&x.tfence().plus()));
+            d.insert("txnorder", stronglift(&ob, a.stxn()));
         }
-        c.finish()
+        d.insert("ob", ob);
+        d
+    }
+
+    fn axioms(&self, a: &ExecutionAnalysis<'_>, d: &Derived, c: &mut Checker) {
+        c.acyclic("Coherence", a.coherence());
+        c.acyclic("Order", d.expect("ob"));
+        c.empty("RMWIsol", a.rmw_isol());
+        if self.tm {
+            c.acyclic("StrongIsol", a.strong_isol());
+            c.acyclic("TxnOrder", d.expect("txnorder"));
+            c.empty("TxnCancelsRMW", a.txn_cancels_rmw());
+        }
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use txmm_core::ExecBuilder;
+    use txmm_core::{ExecBuilder, Execution};
 
     fn mp(strength: &str) -> Execution {
         let mut b = ExecBuilder::new();
@@ -254,7 +260,7 @@ mod tests {
     fn ldar_orders_later_accesses() {
         // [A];po ∈ bob: an acquire load orders everything after it.
         let x = mp("acq");
-        let ob = Armv8::base().ob(&x);
+        let ob = Armv8::base().ob(&x.analysis());
         assert!(ob.contains(2, 3));
     }
 
@@ -268,7 +274,7 @@ mod tests {
         let w = b.write_rel(t0, 1);
         let r2 = b.read(t0, 2);
         let x = b.build().unwrap();
-        let ob = Armv8::base().ob(&x);
+        let ob = Armv8::base().ob(&x.analysis());
         assert!(ob.contains(r, w));
         assert!(!ob.contains(w, r2));
     }
@@ -317,7 +323,7 @@ mod tests {
         // it, making MP forbidden when the flag update is transactional.
         let mut b = ExecBuilder::new();
         let t0 = b.new_thread();
-        let wx = b.write(t0, 0);
+        let _wx = b.write(t0, 0);
         let wy = b.write(t0, 1);
         b.txn(&[wy]);
         let t1 = b.new_thread();

@@ -426,7 +426,11 @@ pub fn all() -> Vec<CatalogEntry> {
             paper_ref: "Fig. 1",
             description: "plain execution: Wx; Rx ∥ Wx, read observes the external write",
             exec: fig1(),
-            expect: vec![("SC", Consistent), ("x86", Consistent), ("x86-tm", Consistent)],
+            expect: vec![
+                ("SC", Consistent),
+                ("x86", Consistent),
+                ("x86-tm", Consistent),
+            ],
         },
         CatalogEntry {
             name: "fig2",
@@ -446,28 +450,44 @@ pub fn all() -> Vec<CatalogEntry> {
             paper_ref: "Fig. 3(a)",
             description: "non-interference: external write splits a transaction's two reads",
             exec: fig3('a'),
-            expect: vec![("SC", Consistent), ("TSC", Forbidden), ("x86-tm", Forbidden)],
+            expect: vec![
+                ("SC", Consistent),
+                ("TSC", Forbidden),
+                ("x86-tm", Forbidden),
+            ],
         },
         CatalogEntry {
             name: "fig3b",
             paper_ref: "Fig. 3(b)",
             description: "RMW-style isolation: external write between a txn's read and write",
             exec: fig3('b'),
-            expect: vec![("SC", Consistent), ("TSC", Forbidden), ("x86-tm", Forbidden)],
+            expect: vec![
+                ("SC", Consistent),
+                ("TSC", Forbidden),
+                ("x86-tm", Forbidden),
+            ],
         },
         CatalogEntry {
             name: "fig3c",
             paper_ref: "Fig. 3(c)",
             description: "intermediate-value leak: external read sees a txn's first write",
             exec: fig3('c'),
-            expect: vec![("SC", Consistent), ("TSC", Forbidden), ("x86-tm", Forbidden)],
+            expect: vec![
+                ("SC", Consistent),
+                ("TSC", Forbidden),
+                ("x86-tm", Forbidden),
+            ],
         },
         CatalogEntry {
             name: "fig3d",
             paper_ref: "Fig. 3(d)",
             description: "containment: txn's read observes an external write co-after its own",
             exec: fig3('d'),
-            expect: vec![("SC", Consistent), ("TSC", Forbidden), ("x86-tm", Forbidden)],
+            expect: vec![
+                ("SC", Consistent),
+                ("TSC", Forbidden),
+                ("x86-tm", Forbidden),
+            ],
         },
         CatalogEntry {
             name: "sb",
@@ -537,7 +557,11 @@ pub fn all() -> Vec<CatalogEntry> {
             paper_ref: "§5.3",
             description: "load buffering (allowed by Power, never observed on hardware)",
             exec: lb(false),
-            expect: vec![("power", Consistent), ("armv8", Consistent), ("x86", Forbidden)],
+            expect: vec![
+                ("power", Consistent),
+                ("armv8", Consistent),
+                ("x86", Forbidden),
+            ],
         },
         CatalogEntry {
             name: "lb+deps",
@@ -611,7 +635,11 @@ pub fn all() -> Vec<CatalogEntry> {
             paper_ref: "§9",
             description: "MP with transactional pairs: forbidden here, allowed by Dongol et al.",
             exec: dongol(),
-            expect: vec![("power-tm", Forbidden), ("armv8-tm", Forbidden), ("x86-tm", Forbidden)],
+            expect: vec![
+                ("power-tm", Forbidden),
+                ("armv8-tm", Forbidden),
+                ("x86-tm", Forbidden),
+            ],
         },
         CatalogEntry {
             name: "armv8-elision",
@@ -651,7 +679,8 @@ pub fn all() -> Vec<CatalogEntry> {
         CatalogEntry {
             name: "power-elision",
             paper_ref: "§8.3 / Table 2",
-            description: "Power elision analogue (paper: Unknown after timeout; see EXPERIMENTS.md)",
+            description:
+                "Power elision analogue (paper: Unknown after timeout; see EXPERIMENTS.md)",
             exec: power_elision(),
             expect: vec![("power-tm", Consistent)],
         },
@@ -712,8 +741,8 @@ mod tests {
     fn catalog_matches_paper_verdicts() {
         for entry in all() {
             for (model_name, expect) in &entry.expect {
-                let model = by_name(model_name)
-                    .unwrap_or_else(|| panic!("unknown model {model_name}"));
+                let model =
+                    by_name(model_name).unwrap_or_else(|| panic!("unknown model {model_name}"));
                 let verdict = model.check(&entry.exec);
                 let want = matches!(expect, Expect::Consistent);
                 assert_eq!(
@@ -741,7 +770,10 @@ mod tests {
         use txmm_core::weaklift;
         let x = elision_abstract();
         let lift = weaklift(&x.po().union(&x.com()), &x.scr());
-        assert!(!lift.is_acyclic(), "CROrder must reject the abstract execution");
+        assert!(
+            !lift.is_acyclic(),
+            "CROrder must reject the abstract execution"
+        );
     }
 
     #[test]

@@ -10,12 +10,12 @@
 //! program is undefined; [`Cpp::racy`] reports races separately from the
 //! consistency verdict.
 
-use txmm_core::{stronglift, union_all, weaklift, Execution, Rel};
 #[cfg(test)]
 use txmm_core::Attrs;
+use txmm_core::{union_all, weaklift, Execution, ExecutionAnalysis, Rel};
 
 use crate::arch::Arch;
-use crate::model::{Checker, Model, Verdict};
+use crate::model::{Checker, Derived, Model};
 
 /// The C++ model; `tm` enables the transactional synchronisation rule.
 #[derive(Debug, Clone, Copy)]
@@ -38,25 +38,25 @@ impl Cpp {
     /// The synchronises-with relation (RC11):
     /// `sw = [Rel] ; ([F] ; po)? ; rs ; rf ; [R ∩ Ato] ; (po ; [F])? ; [Acq]`
     /// with the release sequence `rs = [W] ; poloc? ; [W ∩ Ato] ; (rf ; rmw)*`.
-    pub fn sw(x: &Execution) -> Rel {
-        let n = x.len();
-        let po = x.po();
-        let idw = Rel::id_on(n, x.writes());
-        let idwa = Rel::id_on(n, x.writes().inter(x.ato()));
-        let idra = Rel::id_on(n, x.reads().inter(x.ato()));
-        let idf = Rel::id_on(n, x.fences());
-        let idrel = Rel::id_on(n, x.rel_events());
-        let idacq = Rel::id_on(n, x.acq());
+    pub fn sw(a: &ExecutionAnalysis<'_>) -> Rel {
+        let n = a.len();
+        let po = a.po();
+        let idw = Rel::id_on(n, a.writes());
+        let idwa = Rel::id_on(n, a.writes().inter(a.ato()));
+        let idra = Rel::id_on(n, a.reads().inter(a.ato()));
+        let idf = Rel::id_on(n, a.fences());
+        let idrel = Rel::id_on(n, a.rel_events());
+        let idacq = Rel::id_on(n, a.acq());
 
         let rs = idw
-            .seq(&x.po_loc().opt())
+            .seq(&a.po_loc().opt())
             .seq(&idwa)
-            .seq(&x.rf().seq(x.rmw()).star());
+            .seq(&a.rf().seq(a.rmw()).star());
 
         idrel
             .seq(&idf.seq(po).opt())
             .seq(&rs)
-            .seq(x.rf())
+            .seq(a.rf())
             .seq(&idra)
             .seq(&po.seq(&idf).opt())
             .seq(&idacq)
@@ -65,62 +65,67 @@ impl Cpp {
     /// Extended communication: `ecom = com ∪ (co ; rf)` (§7.2). Whenever
     /// two events conflict, they are related by `ecom` one way or the
     /// other.
-    pub fn ecom(x: &Execution) -> Rel {
-        x.com().union(&x.co().seq(x.rf()))
+    pub fn ecom(a: &ExecutionAnalysis<'_>) -> Rel {
+        a.com().union(&a.co().seq(a.rf()))
     }
 
     /// Transactional synchronises-with: `tsw = weaklift(ecom, stxn)`.
-    pub fn tsw(x: &Execution) -> Rel {
-        weaklift(&Cpp::ecom(x), &x.stxn())
+    pub fn tsw(a: &ExecutionAnalysis<'_>) -> Rel {
+        weaklift(&Cpp::ecom(a), a.stxn())
     }
 
     /// Happens-before: `hb = (sw ∪ tsw ∪ po)⁺`.
-    pub fn hb(&self, x: &Execution) -> Rel {
-        let mut base = Cpp::sw(x).union(x.po());
+    pub fn hb(&self, a: &ExecutionAnalysis<'_>) -> Rel {
+        let mut base = Cpp::sw(a).union(a.po());
         if self.tm {
-            base = base.union(&Cpp::tsw(x));
+            base = base.union(&Cpp::tsw(a));
         }
         base.plus()
     }
 
-    /// The RC11 `psc` relation (elided in Fig. 9).
-    pub fn psc(&self, x: &Execution) -> Rel {
-        let n = x.len();
-        let hb = self.hb(x);
+    /// The RC11 `psc` relation (elided in Fig. 9), over a precomputed
+    /// happens-before.
+    pub fn psc_from_hb(&self, a: &ExecutionAnalysis<'_>, hb: &Rel) -> Rel {
+        let n = a.len();
         let hbopt = hb.opt();
-        let sc = x.sc_events();
-        let scf = sc.inter(x.fences());
+        let sc = a.sc_events();
+        let scf = sc.inter(a.fences());
         let idsc = Rel::id_on(n, sc);
         let idscf = Rel::id_on(n, scf);
-        let eco = x.com().plus();
-        let sloc = x.sloc();
-        let po_neq_loc = x.po().minus(&sloc);
+        let eco = a.com().plus();
+        let sloc = a.sloc();
+        let po_neq_loc = a.po().minus(sloc);
 
         // scb = po ∪ (po≠loc ; hb ; po≠loc) ∪ (hb ∩ sloc) ∪ co ∪ fr
         let scb = union_all(
             n,
             [
-                x.po(),
-                &po_neq_loc.seq(&hb).seq(&po_neq_loc),
-                &hb.inter(&sloc),
-                x.co(),
-                &x.fr(),
+                a.po(),
+                &po_neq_loc.seq(hb).seq(&po_neq_loc),
+                &hb.inter(sloc),
+                a.co(),
+                a.fr(),
             ],
         );
 
         let head = idsc.union(&idscf.seq(&hbopt));
         let tail = idsc.union(&hbopt.seq(&idscf));
         let psc_base = head.seq(&scb).seq(&tail);
-        let psc_f = idscf.seq(&hb.union(&hb.seq(&eco).seq(&hb))).seq(&idscf);
+        let psc_f = idscf.seq(&hb.union(&hb.seq(&eco).seq(hb))).seq(&idscf);
         psc_base.union(&psc_f)
+    }
+
+    /// The RC11 `psc` relation.
+    pub fn psc(&self, a: &ExecutionAnalysis<'_>) -> Rel {
+        self.psc_from_hb(a, &self.hb(a))
     }
 
     /// Conflicting event pairs:
     /// `cnf = ((W×W) ∪ (R×W) ∪ (W×R)) ∩ sloc \ id`.
-    pub fn cnf(x: &Execution) -> Rel {
-        let n = x.len();
-        let w = x.writes();
-        let r = x.reads();
+    pub fn cnf(a: &ExecutionAnalysis<'_>) -> Rel {
+        let n = a.len();
+        let w = a.writes();
+        let r = a.reads();
         union_all(
             n,
             [
@@ -129,18 +134,23 @@ impl Cpp {
                 &Rel::cross(n, w, r),
             ],
         )
-        .inter(&x.sloc())
+        .inter(a.sloc())
         .minus(&Rel::id(n))
+    }
+
+    /// Race detection against a shared analysis.
+    pub fn racy_analysis(&self, a: &ExecutionAnalysis<'_>) -> bool {
+        let n = a.len();
+        let hb = self.hb(a);
+        let ato2 = Rel::cross(n, a.ato(), a.ato());
+        let races = Cpp::cnf(a).minus(&ato2).minus(&hb.union(&hb.inverse()));
+        !races.is_empty()
     }
 
     /// Race detection: `NoRace` fails when two conflicting events, not
     /// both atomic, are unordered by happens-before.
     pub fn racy(&self, x: &Execution) -> bool {
-        let n = x.len();
-        let hb = self.hb(x);
-        let ato2 = Rel::cross(n, x.ato(), x.ato());
-        let races = Cpp::cnf(x).minus(&ato2).minus(&hb.union(&hb.inverse()));
-        !races.is_empty()
+        self.racy_analysis(&x.analysis())
     }
 
     /// Does the execution satisfy the TM specification's *vocabulary*
@@ -168,14 +178,21 @@ impl Model for Cpp {
         self.tm
     }
 
-    fn check(&self, x: &Execution) -> Verdict {
-        let mut c = Checker::new(self.name());
-        let hb = self.hb(x);
-        c.irreflexive("HbCom", &hb.seq(&x.com().star()));
-        c.empty("RMWIsol", &x.rmw().inter(&x.fre().seq(&x.coe())));
-        c.acyclic("NoThinAir", &x.po().union(x.rf()));
-        c.acyclic("SeqCst", &self.psc(x));
-        c.finish()
+    fn derived(&self, a: &ExecutionAnalysis<'_>) -> Derived {
+        let hb = self.hb(a);
+        let mut d = Derived::new();
+        d.insert("hbcom", hb.seq(&a.com().star()));
+        d.insert("nothinair", a.po().union(a.rf()));
+        d.insert("psc", self.psc_from_hb(a, &hb));
+        d.insert("hb", hb);
+        d
+    }
+
+    fn axioms(&self, a: &ExecutionAnalysis<'_>, d: &Derived, c: &mut Checker) {
+        c.irreflexive("HbCom", d.expect("hbcom"));
+        c.empty("RMWIsol", a.rmw_isol());
+        c.acyclic("NoThinAir", d.expect("nothinair"));
+        c.acyclic("SeqCst", d.expect("psc"));
     }
 }
 
@@ -186,11 +203,12 @@ impl Model for Cpp {
 /// Checked exhaustively (up to a bound) by `txmm-verify`; exposed here so
 /// property tests can exercise it on arbitrary executions.
 pub fn theorem_7_2_holds(x: &Execution) -> bool {
+    let a = x.analysis();
     let m = Cpp::tm();
-    if !m.consistent(x) || m.racy(x) || !Cpp::atomic_txns_wellformed(x) {
+    if !m.consistent_analysis(&a) || m.racy_analysis(&a) || !Cpp::atomic_txns_wellformed(x) {
         return true; // hypotheses not met: vacuously true
     }
-    stronglift(&x.com(), &x.stxnat()).is_acyclic()
+    a.strong_isol_atomic().is_acyclic()
 }
 
 #[cfg(test)]
@@ -253,7 +271,8 @@ mod tests {
         let _rx = b.read(t1, 0);
         b.rf(wy, ry);
         let x = b.build().unwrap();
-        let sw = Cpp::sw(&x);
+        let a = x.analysis();
+        let sw = Cpp::sw(&a);
         assert!(sw.contains(f0, f1), "fence-to-fence synchronisation");
         assert!(!Cpp::base().racy(&x));
         assert!(!Cpp::base().consistent(&x), "stale read now forbidden");
@@ -276,7 +295,8 @@ mod tests {
         b.rf(w1, r2);
         b.co(w, w1);
         let x = b.build().unwrap();
-        let sw = Cpp::sw(&x);
+        let a = x.analysis();
+        let sw = Cpp::sw(&a);
         assert!(sw.contains(w, r2), "rs climbs the rf;rmw chain");
     }
 
@@ -320,7 +340,10 @@ mod tests {
         b.rf(w1, r0);
         let x = b.build().unwrap();
         let v = Cpp::base().check(&x);
-        assert!(v.violations().contains(&"NoThinAir"), "RC11 forbids po∪rf cycles outright");
+        assert!(
+            v.violations().contains(&"NoThinAir"),
+            "RC11 forbids po∪rf cycles outright"
+        );
     }
 
     #[test]
@@ -401,7 +424,10 @@ mod tests {
         let w2 = b.write_ato(t1, 0, Attrs::SC);
         b.co(w1, w2);
         let x = b.build().unwrap();
-        assert!(Cpp::tm().racy(&x), "non-atomic store in txn races with atomic store");
+        assert!(
+            Cpp::tm().racy(&x),
+            "non-atomic store in txn races with atomic store"
+        );
     }
 
     #[test]

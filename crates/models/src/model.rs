@@ -1,7 +1,19 @@
 //! The [`Model`] trait, consistency [`Verdict`]s, and the axiom checker.
+//!
+//! Checking is split into two stages so shared structure is computed
+//! once per execution rather than once per model:
+//!
+//! 1. [`Model::derived`] turns the shared [`ExecutionAnalysis`] (cached
+//!    `fr`, `com`, lifts, fence relations, ...) into the model-specific
+//!    [`Derived`] relations (`hb`, `ob`, `prop`, `psc`, ...);
+//! 2. [`Model::axioms`] asserts the consistency axioms over the shared
+//!    and derived relations via a [`Checker`].
+//!
+//! Callers that check several models against one execution build a
+//! single analysis and use [`Model::check_analysis`]; the convenience
+//! [`Model::check`] builds a private analysis for one-off checks.
 
-use txmm_core::Execution;
-use txmm_core::Rel;
+use txmm_core::{Execution, ExecutionAnalysis, Rel};
 
 use crate::arch::Arch;
 
@@ -38,7 +50,12 @@ impl std::fmt::Display for Verdict {
         if self.is_consistent() {
             write!(f, "{}: consistent", self.model)
         } else {
-            write!(f, "{}: forbidden by {}", self.model, self.violations.join(", "))
+            write!(
+                f,
+                "{}: forbidden by {}",
+                self.model,
+                self.violations.join(", ")
+            )
         }
     }
 }
@@ -52,7 +69,12 @@ pub struct Checker {
 impl Checker {
     /// Start checking for the named model.
     pub fn new(model: &'static str) -> Checker {
-        Checker { verdict: Verdict { model, violations: Vec::new() } }
+        Checker {
+            verdict: Verdict {
+                model,
+                violations: Vec::new(),
+            },
+        }
     }
 
     /// Assert `acyclic(r)` under the given axiom name.
@@ -85,6 +107,48 @@ impl Checker {
     }
 }
 
+/// The model-specific relations computed by [`Model::derived`]: a small
+/// ordered name→relation table (`hb`, `prop`, `ob`, ...), kept concrete
+/// so the trait stays object-safe and tools can inspect intermediate
+/// relations by name.
+#[derive(Debug, Clone, Default)]
+pub struct Derived {
+    rels: Vec<(&'static str, Rel)>,
+}
+
+impl Derived {
+    /// An empty table.
+    pub fn new() -> Derived {
+        Derived::default()
+    }
+
+    /// Add a named relation (last insert wins on lookup collisions).
+    pub fn insert(&mut self, name: &'static str, rel: Rel) -> &mut Self {
+        self.rels.push((name, rel));
+        self
+    }
+
+    /// Look a relation up by name.
+    pub fn get(&self, name: &str) -> Option<&Rel> {
+        self.rels
+            .iter()
+            .rev()
+            .find(|(n, _)| *n == name)
+            .map(|(_, r)| r)
+    }
+
+    /// Look a relation up, panicking with the missing name.
+    pub fn expect(&self, name: &str) -> &Rel {
+        self.get(name)
+            .unwrap_or_else(|| panic!("derived relation {name} not computed"))
+    }
+
+    /// The names in insertion order.
+    pub fn names(&self) -> impl Iterator<Item = &'static str> + '_ {
+        self.rels.iter().map(|(n, _)| *n)
+    }
+}
+
 /// An axiomatic memory model: a consistency predicate over executions.
 pub trait Model: Sync {
     /// A short, unique name (e.g. `"x86-tm"`).
@@ -97,12 +161,37 @@ pub trait Model: Sync {
     /// ignore `stxn` entirely.
     fn is_tm(&self) -> bool;
 
+    /// Stage 1: compute the model-specific relations from the shared
+    /// analysis. Models must take `fr`/`com`/lift/fence structure from
+    /// the analysis rather than re-deriving it.
+    fn derived(&self, a: &ExecutionAnalysis<'_>) -> Derived;
+
+    /// Stage 2: assert every axiom over the shared and derived
+    /// relations.
+    fn axioms(&self, a: &ExecutionAnalysis<'_>, d: &Derived, c: &mut Checker);
+
+    /// Check against a shared analysis (the fast path when several
+    /// models look at one execution).
+    fn check_analysis(&self, a: &ExecutionAnalysis<'_>) -> Verdict {
+        let d = self.derived(a);
+        let mut c = Checker::new(self.name());
+        self.axioms(a, &d, &mut c);
+        c.finish()
+    }
+
     /// Check every axiom and report which failed.
-    fn check(&self, x: &Execution) -> Verdict;
+    fn check(&self, x: &Execution) -> Verdict {
+        self.check_analysis(&x.analysis())
+    }
 
     /// Convenience: is the execution consistent?
     fn consistent(&self, x: &Execution) -> bool {
         self.check(x).is_consistent()
+    }
+
+    /// Convenience: consistency against a shared analysis.
+    fn consistent_analysis(&self, a: &ExecutionAnalysis<'_>) -> bool {
+        self.check_analysis(a).is_consistent()
     }
 }
 
@@ -133,5 +222,15 @@ mod tests {
         let mut c = Checker::new("demo");
         c.empty("Ax", &Rel::from_pairs(1, [(0, 0)]));
         assert_eq!(c.finish().to_string(), "demo: forbidden by Ax");
+    }
+
+    #[test]
+    fn derived_table_lookup() {
+        let mut d = Derived::new();
+        d.insert("hb", Rel::empty(2));
+        d.insert("hb", Rel::from_pairs(2, [(0, 1)]));
+        assert!(d.expect("hb").contains(0, 1), "last insert wins");
+        assert!(d.get("nope").is_none());
+        assert_eq!(d.names().collect::<Vec<_>>(), ["hb", "hb"]);
     }
 }

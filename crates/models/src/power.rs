@@ -15,10 +15,10 @@
 //!   writes) join `prop`;
 //! * `StrongIsol`, `TxnOrder`, and `TxnCancelsRMW`.
 
-use txmm_core::{stronglift, union_all, weaklift, Execution, Fence, Rel};
+use txmm_core::{stronglift, union_all, weaklift, ExecutionAnalysis, Fence, Rel};
 
 use crate::arch::Arch;
-use crate::model::{Checker, Model, Verdict};
+use crate::model::{Checker, Derived, Model};
 
 /// The Power model; `tm` selects the transactional extension.
 #[derive(Debug, Clone, Copy)]
@@ -58,32 +58,32 @@ impl Power {
 
     /// Preserved program order: the ii/ic/ci/cc least fixpoint of
     /// "Herding cats" §6 (elided in Fig. 6 as it is unchanged by TM).
-    pub fn ppo(x: &Execution) -> Rel {
-        let n = x.len();
-        let po = x.po();
-        let poloc = x.po_loc();
-        let dp = x.addr().union(x.data());
+    pub fn ppo(a: &ExecutionAnalysis<'_>) -> Rel {
+        let n = a.len();
+        let po = a.po();
+        let poloc = a.po_loc();
+        let dp = a.dp();
 
         // rdw: two po-loc reads separated by an external write the second
         // read observes; detour: a po-loc write pair with the second...
         // (herding cats: rdw = poloc ∩ (fre ; rfe), detour = poloc ∩
         // (coe ; rfe)).
-        let rdw = poloc.inter(&x.fre().seq(&x.rfe()));
-        let detour = poloc.inter(&x.coe().seq(&x.rfe()));
+        let rdw = poloc.inter(&a.fre().seq(a.rfe()));
+        let detour = poloc.inter(&a.coe().seq(a.rfe()));
 
         // Herding-cats dependencies are read-sourced; write-sourced ctrl
         // (store-exclusives, footnote 3) is handled separately in ihb.
-        let rctrl = Rel::id_on(n, x.reads()).seq(x.ctrl());
+        let rctrl = Rel::id_on(n, a.reads()).seq(a.ctrl());
 
         // ctrl+isync: control dependencies with an isync before the target.
-        let ctrl_isync = rctrl.inter(&x.fence_rel(Fence::Isync));
+        let ctrl_isync = rctrl.inter(a.fence_rel(Fence::Isync));
 
-        let ii0 = union_all(n, [&dp, &rdw, &x.rfi()]);
+        let ii0 = union_all(n, [dp, &rdw, a.rfi()]);
         let ic0 = Rel::empty(n);
         let ci0 = ctrl_isync.union(&detour);
-        let cc0 = union_all(n, [&dp, &poloc, &rctrl, &x.addr().seq(&po.opt())]);
+        let cc0 = union_all(n, [dp, poloc, &rctrl, &a.addr().seq(&po.opt())]);
 
-        let (mut ii, mut ic, mut ci, mut cc) = (ii0.clone(), ic0, ci0.clone(), cc0.clone());
+        let (mut ii, mut ic, mut ci, mut cc) = (ii0, ic0, ci0, cc0);
         loop {
             let ii2 = union_all(n, [&ii0, &ci, &ic.seq(&ci), &ii.seq(&ii)]);
             let ic2 = union_all(n, [&ii, &cc, &ic.seq(&cc), &ii.seq(&ic), &ic]);
@@ -97,40 +97,40 @@ impl Power {
             ci = ci2;
             cc = cc2;
         }
-        let idr = Rel::id_on(n, x.reads());
-        let idw = Rel::id_on(n, x.writes());
+        let idr = Rel::id_on(n, a.reads());
+        let idw = Rel::id_on(n, a.writes());
         idr.seq(&ii).seq(&idr).union(&idr.seq(&ic).seq(&idw))
     }
 
     /// Compute every intermediate relation of Fig. 6.
-    pub fn relations(&self, x: &Execution) -> PowerRelations {
-        let n = x.len();
-        let w = x.writes();
-        let r = x.reads();
-        let stxn = x.stxn();
+    pub fn relations(&self, a: &ExecutionAnalysis<'_>) -> PowerRelations {
+        let n = a.len();
+        let w = a.writes();
+        let r = a.reads();
+        let stxn = a.stxn();
 
-        let ppo = Power::ppo(x);
+        let ppo = Power::ppo(a);
 
-        let sync = x.fence_rel(Fence::Sync);
-        let lwsync = x.fence_rel(Fence::Lwsync).minus(&Rel::cross(n, w, r));
+        let sync = a.fence_rel(Fence::Sync);
+        let lwsync = a.fence_rel(Fence::Lwsync).minus(&Rel::cross(n, w, r));
         let mut fence = sync.union(&lwsync);
-        let tfence = x.tfence();
+        let tfence = a.tfence();
         if self.tm {
-            fence = fence.union(&tfence);
+            fence = fence.union(tfence);
         }
 
         // Footnote 3: a ctrl+isync sequence may begin at a
         // store-exclusive; this orders the successful lock write before
         // the critical region (the spinlock idiom of [29, §B.2.1.1]).
-        let sx = x.writes().inter(x.rmw().range());
+        let sx = a.writes().inter(a.rmw().range());
         let sx_ctrl_isync = Rel::id_on(n, sx)
-            .seq(x.ctrl())
-            .inter(&x.fence_rel(Fence::Isync));
+            .seq(a.ctrl())
+            .inter(a.fence_rel(Fence::Isync));
 
         let ihb = ppo.union(&fence).union(&sx_ctrl_isync);
 
-        let rfe = x.rfe();
-        let frecoe = x.fre().union(&x.coe());
+        let rfe = a.rfe();
+        let frecoe = a.fre().union(a.coe());
 
         // thb = (rfe ∪ ((fre ∪ coe)* ; ihb))* ; (fre ∪ coe)* ; rfe?
         let thb = rfe
@@ -142,7 +142,7 @@ impl Power {
         // hb = (rfe? ; ihb ; rfe?) ∪ weaklift(thb, stxn)
         let mut hb = rfe.opt().seq(&ihb).seq(&rfe.opt());
         if self.tm {
-            hb = hb.union(&weaklift(&thb, &stxn));
+            hb = hb.union(&weaklift(&thb, stxn));
         }
 
         // prop
@@ -150,8 +150,8 @@ impl Power {
         let hbstar = hb.star();
         let idw = Rel::id_on(n, w);
         let prop1 = idw.seq(&efence).seq(&hbstar).seq(&idw);
-        let sync_t = if self.tm { sync.union(&tfence) } else { sync.clone() };
-        let prop2 = x
+        let sync_t = if self.tm { sync.union(tfence) } else { *sync };
+        let prop2 = a
             .come()
             .star()
             .seq(&efence.star())
@@ -160,12 +160,19 @@ impl Power {
             .seq(&hbstar);
         let mut prop = prop1.union(&prop2);
         if self.tm {
-            let tprop1 = rfe.seq(&stxn).seq(&idw);
-            let tprop2 = stxn.seq(&rfe);
+            let tprop1 = rfe.seq(stxn).seq(&idw);
+            let tprop2 = stxn.seq(rfe);
             prop = union_all(n, [&prop, &tprop1, &tprop2]);
         }
 
-        PowerRelations { ppo, fence, ihb, thb, hb, prop }
+        PowerRelations {
+            ppo,
+            fence,
+            ihb,
+            thb,
+            hb,
+            prop,
+        }
     }
 }
 
@@ -186,28 +193,43 @@ impl Model for Power {
         self.tm
     }
 
-    fn check(&self, x: &Execution) -> Verdict {
-        let rels = self.relations(x);
-        let mut c = Checker::new(self.name());
-        c.acyclic("Coherence", &x.po_loc().union(&x.com()));
-        c.empty("RMWIsol", &x.rmw().inter(&x.fre().seq(&x.coe())));
-        c.acyclic("Order", &rels.hb);
-        c.acyclic("Propagation", &x.co().union(&rels.prop));
-        c.irreflexive("Observation", &x.fre().seq(&rels.prop).seq(&rels.hb.star()));
+    fn derived(&self, a: &ExecutionAnalysis<'_>) -> Derived {
+        let rels = self.relations(a);
+        let hbstar = rels.hb.star();
+        let mut d = Derived::new();
+        d.insert("ppo", rels.ppo);
+        d.insert("fence", rels.fence);
+        d.insert("ihb", rels.ihb);
+        d.insert("thb", rels.thb);
+        d.insert("propagation", a.co().union(&rels.prop));
+        d.insert("observation", a.fre().seq(&rels.prop).seq(&hbstar));
+        d.insert("prop", rels.prop);
         if self.tm {
-            let stxn = x.stxn();
-            c.acyclic("StrongIsol", &stronglift(&x.com(), &stxn));
-            c.acyclic("TxnOrder", &stronglift(&rels.hb, &stxn));
-            c.empty("TxnCancelsRMW", &x.rmw().inter(&x.tfence().plus()));
+            d.insert("txnorder", stronglift(&rels.hb, a.stxn()));
         }
-        c.finish()
+        d.insert("hb", rels.hb);
+        d.insert("hbstar", hbstar);
+        d
+    }
+
+    fn axioms(&self, a: &ExecutionAnalysis<'_>, d: &Derived, c: &mut Checker) {
+        c.acyclic("Coherence", a.coherence());
+        c.empty("RMWIsol", a.rmw_isol());
+        c.acyclic("Order", d.expect("hb"));
+        c.acyclic("Propagation", d.expect("propagation"));
+        c.irreflexive("Observation", d.expect("observation"));
+        if self.tm {
+            c.acyclic("StrongIsol", a.strong_isol());
+            c.acyclic("TxnOrder", d.expect("txnorder"));
+            c.empty("TxnCancelsRMW", a.txn_cancels_rmw());
+        }
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use txmm_core::ExecBuilder;
+    use txmm_core::{ExecBuilder, Execution};
 
     /// Message passing with configurable strength on each side.
     fn mp(sync0: Option<Fence>, dep1: bool) -> Execution {
@@ -411,7 +433,10 @@ mod tests {
         let x = iriw_txn(true);
         let v = Power::tm().check(&x);
         assert!(!v.is_consistent(), "§5.2 (3) must be forbidden");
-        assert!(v.violations().contains(&"Order"), "thb cycle shows up in Order");
+        assert!(
+            v.violations().contains(&"Order"),
+            "thb cycle shows up in Order"
+        );
     }
 
     #[test]
@@ -439,7 +464,7 @@ mod tests {
         let bb = b.read(t1, 0);
         let c = b.read(t1, 1);
         let t2 = b.new_thread();
-        let d = b.write(t2, 1);
+        let _d = b.write(t2, 1);
         b.fence(t2, Fence::Sync);
         let e = b.read(t2, 0);
         b.rf(a, bb);
@@ -457,7 +482,7 @@ mod tests {
         let bb = b.read(t1, 0);
         let c = b.read(t1, 1);
         let t2 = b.new_thread();
-        let d = b.write(t2, 1);
+        let _d = b.write(t2, 1);
         b.fence(t2, Fence::Sync);
         let e = b.write(t2, 0);
         b.rf(a, bb);
@@ -516,7 +541,8 @@ mod tests {
     #[test]
     fn ppo_includes_deps_not_plain_pairs() {
         let x = mp(None, true);
-        let ppo = Power::ppo(&x);
+        let a = x.analysis();
+        let ppo = Power::ppo(&a);
         // addr dependency ry -> rx preserved; plain write pair not.
         assert!(ppo.contains(2, 3));
         assert!(!ppo.contains(0, 1));
@@ -524,7 +550,11 @@ mod tests {
 
     #[test]
     fn tm_equals_base_without_txns() {
-        for x in [mp(None, false), mp(Some(Fence::Sync), true), iriw_txn(true).erase_txns()] {
+        for x in [
+            mp(None, false),
+            mp(Some(Fence::Sync), true),
+            iriw_txn(true).erase_txns(),
+        ] {
             assert_eq!(Power::base().consistent(&x), Power::tm().consistent(&x));
         }
     }

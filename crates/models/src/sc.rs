@@ -1,10 +1,10 @@
 //! Sequential consistency and transactional SC (§3.4, Fig. 4), plus the
 //! weak/strong isolation predicates of §3.3.
 
-use txmm_core::{stronglift, weaklift, Execution, Rel};
+use txmm_core::{stronglift, Execution, ExecutionAnalysis, Rel};
 
 use crate::arch::Arch;
-use crate::model::{Checker, Model, Verdict};
+use crate::model::{Checker, Derived, Model};
 
 /// The SC memory model: `acyclic(po ∪ com)` (Shasha & Snir).
 #[derive(Debug, Clone, Copy, Default)]
@@ -23,11 +23,14 @@ impl Model for Sc {
         false
     }
 
-    fn check(&self, x: &Execution) -> Verdict {
-        let hb = x.po().union(&x.com());
-        let mut c = Checker::new(self.name());
-        c.acyclic("Order", &hb);
-        c.finish()
+    fn derived(&self, a: &ExecutionAnalysis<'_>) -> Derived {
+        let mut d = Derived::new();
+        d.insert("hb", sc_hb(a));
+        d
+    }
+
+    fn axioms(&self, _a: &ExecutionAnalysis<'_>, d: &Derived, c: &mut Checker) {
+        c.acyclic("Order", d.expect("hb"));
     }
 }
 
@@ -52,36 +55,42 @@ impl Model for Tsc {
         true
     }
 
-    fn check(&self, x: &Execution) -> Verdict {
-        let hb = x.po().union(&x.com());
-        let mut c = Checker::new(self.name());
-        c.acyclic("Order", &hb);
-        c.acyclic("TxnOrder", &stronglift(&hb, &x.stxn()));
-        c.finish()
+    fn derived(&self, a: &ExecutionAnalysis<'_>) -> Derived {
+        let hb = sc_hb(a);
+        let txnorder = stronglift(&hb, a.stxn());
+        let mut d = Derived::new();
+        d.insert("hb", hb);
+        d.insert("txnorder", txnorder);
+        d
+    }
+
+    fn axioms(&self, _a: &ExecutionAnalysis<'_>, d: &Derived, c: &mut Checker) {
+        c.acyclic("Order", d.expect("hb"));
+        c.acyclic("TxnOrder", d.expect("txnorder"));
     }
 }
 
 /// Weak isolation (§3.3): transactions are isolated from other
 /// *transactions* — `acyclic(weaklift(com, stxn))`.
 pub fn weak_isolation(x: &Execution) -> bool {
-    weaklift(&x.com(), &x.stxn()).is_acyclic()
+    x.analysis().weak_isol().is_acyclic()
 }
 
 /// Strong isolation (§3.3): transactions are also isolated from
 /// non-transactional code — `acyclic(stronglift(com, stxn))`.
 pub fn strong_isolation(x: &Execution) -> bool {
-    stronglift(&x.com(), &x.stxn()).is_acyclic()
+    x.analysis().strong_isol().is_acyclic()
 }
 
 /// Strong isolation restricted to *atomic* transactions, the property of
 /// Theorem 7.2: `acyclic(stronglift(com, stxnat))`.
 pub fn strong_isolation_atomic(x: &Execution) -> bool {
-    stronglift(&x.com(), &x.stxnat()).is_acyclic()
+    x.analysis().strong_isol_atomic().is_acyclic()
 }
 
 /// The `hb` relation used by SC/TSC (exported for the metatheory code).
-pub fn sc_hb(x: &Execution) -> Rel {
-    x.po().union(&x.com())
+pub fn sc_hb(a: &ExecutionAnalysis<'_>) -> Rel {
+    a.po().union(a.com())
 }
 
 #[cfg(test)]
@@ -164,8 +173,14 @@ mod tests {
             ("c", fig3::c()),
             ("d", fig3::d()),
         ] {
-            assert!(weak_isolation(&x), "fig3({name}) should satisfy weak isolation");
-            assert!(!strong_isolation(&x), "fig3({name}) should violate strong isolation");
+            assert!(
+                weak_isolation(&x),
+                "fig3({name}) should satisfy weak isolation"
+            );
+            assert!(
+                !strong_isolation(&x),
+                "fig3({name}) should violate strong isolation"
+            );
         }
     }
 
@@ -186,7 +201,10 @@ mod tests {
         let x = fig3::c();
         let interferer = 2; // the external read
         let mut y = x.clone();
-        y.txns_mut().push(txmm_core::TxnClass { events: vec![interferer], atomic: false });
+        y.txns_mut().push(txmm_core::TxnClass {
+            events: vec![interferer],
+            atomic: false,
+        });
         assert!(!weak_isolation(&y));
     }
 

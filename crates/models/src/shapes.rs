@@ -20,19 +20,21 @@ pub struct Strength {
 
 impl Strength {
     /// No strengthening.
-    pub const PLAIN: Strength = Strength { fence: None, dep: false, txn: false };
+    pub const PLAIN: Strength = Strength {
+        fence: None,
+        dep: false,
+        txn: false,
+    };
 
     /// Just a transaction.
-    pub const TXN: Strength = Strength { fence: None, dep: false, txn: true };
+    pub const TXN: Strength = Strength {
+        fence: None,
+        dep: false,
+        txn: true,
+    };
 }
 
-fn finish2(
-    b: &mut ExecBuilder,
-    t: u8,
-    first: usize,
-    second: usize,
-    s: Strength,
-) {
+fn finish2(b: &mut ExecBuilder, t: u8, first: usize, second: usize, s: Strength) {
     if s.dep {
         b.addr(first, second);
     }
@@ -245,7 +247,11 @@ mod tests {
                 if m.arch() == crate::Arch::Cpp {
                     continue;
                 }
-                assert!(!m.consistent(&x), "{} must forbid coherence violations", m.name());
+                assert!(
+                    !m.consistent(&x),
+                    "{} must forbid coherence violations",
+                    m.name()
+                );
             }
         }
     }
@@ -296,7 +302,10 @@ mod tests {
     fn one_sided_transactions_differ_by_shape() {
         let t = Strength::TXN;
         let p = Strength::PLAIN;
-        let dep = Strength { dep: true, ..Strength::PLAIN };
+        let dep = Strength {
+            dep: true,
+            ..Strength::PLAIN
+        };
         // SB with one transactional side stays visible everywhere (the
         // W->R relaxation lives on the plain side).
         assert!(X86::tm().consistent(&sb(t, p)));
@@ -320,11 +329,26 @@ mod tests {
 
     #[test]
     fn fence_strengths_match_architectures() {
-        let dep = Strength { dep: true, ..Strength::PLAIN };
-        let sync = Strength { fence: Some(Fence::Sync), ..Strength::PLAIN };
-        let lw = Strength { fence: Some(Fence::Lwsync), ..Strength::PLAIN };
-        let dmb = Strength { fence: Some(Fence::Dmb), ..Strength::PLAIN };
-        let mf = Strength { fence: Some(Fence::MFence), ..Strength::PLAIN };
+        let dep = Strength {
+            dep: true,
+            ..Strength::PLAIN
+        };
+        let sync = Strength {
+            fence: Some(Fence::Sync),
+            ..Strength::PLAIN
+        };
+        let lw = Strength {
+            fence: Some(Fence::Lwsync),
+            ..Strength::PLAIN
+        };
+        let dmb = Strength {
+            fence: Some(Fence::Dmb),
+            ..Strength::PLAIN
+        };
+        let mf = Strength {
+            fence: Some(Fence::MFence),
+            ..Strength::PLAIN
+        };
         // Power: MP needs sync/lwsync + dep.
         assert!(!Power::base().consistent(&mp(sync, dep)));
         assert!(!Power::base().consistent(&mp(lw, dep)));
@@ -341,7 +365,10 @@ mod tests {
 
     #[test]
     fn lb_with_deps_forbidden_everywhere_weak() {
-        let dep = Strength { dep: true, ..Strength::PLAIN };
+        let dep = Strength {
+            dep: true,
+            ..Strength::PLAIN
+        };
         assert!(!Power::base().consistent(&lb(dep, dep)));
         assert!(!Armv8::base().consistent(&lb(dep, dep)));
         // One dependency is not enough.

@@ -7,10 +7,10 @@
 //! * strong isolation (`StrongIsol`), and
 //! * transaction atomicity (`TxnOrder`).
 
-use txmm_core::{stronglift, union_all, Execution, Fence, Rel};
+use txmm_core::{stronglift, union_all, ExecutionAnalysis, Fence, Rel};
 
 use crate::arch::Arch;
-use crate::model::{Checker, Model, Verdict};
+use crate::model::{Checker, Derived, Model};
 
 /// The x86 model. `tm: false` gives the non-transactional baseline used
 /// as the synthesis reference; `tm: true` adds the highlighted axioms.
@@ -33,11 +33,11 @@ impl X86 {
 
     /// The happens-before relation of Fig. 5:
     /// `hb = mfence ∪ ppo ∪ implied ∪ rfe ∪ fr ∪ co`.
-    pub fn hb(&self, x: &Execution) -> Rel {
-        let n = x.len();
-        let po = x.po();
-        let w = x.writes();
-        let r = x.reads();
+    pub fn hb(&self, a: &ExecutionAnalysis<'_>) -> Rel {
+        let n = a.len();
+        let po = a.po();
+        let w = a.writes();
+        let r = a.reads();
 
         // ppo = ((W×W) ∪ (R×W) ∪ (R×R)) ∩ po — everything but W→R.
         let ppo = union_all(
@@ -51,15 +51,15 @@ impl X86 {
         .inter(po);
 
         // implied = [L] ; po ∪ po ; [L] (∪ tfence): LOCK'd RMWs fence.
-        let l = x.rmw().domain().union(x.rmw().range());
+        let l = a.rmw().domain().union(a.rmw().range());
         let idl = Rel::id_on(n, l);
         let mut implied = idl.seq(po).union(&po.seq(&idl));
         if self.tm {
-            implied = implied.union(&x.tfence());
+            implied = implied.union(a.tfence());
         }
 
-        let mfence = x.fence_rel(Fence::MFence);
-        union_all(n, [&mfence, &ppo, &implied, &x.rfe(), &x.fr(), &x.co()])
+        let mfence = a.fence_rel(Fence::MFence);
+        union_all(n, [mfence, &ppo, &implied, a.rfe(), a.fr(), a.co()])
     }
 }
 
@@ -80,25 +80,31 @@ impl Model for X86 {
         self.tm
     }
 
-    fn check(&self, x: &Execution) -> Verdict {
-        let mut c = Checker::new(self.name());
-        c.acyclic("Coherence", &x.po_loc().union(&x.com()));
-        c.empty("RMWIsol", &x.rmw().inter(&x.fre().seq(&x.coe())));
-        let hb = self.hb(x);
-        c.acyclic("Order", &hb);
+    fn derived(&self, a: &ExecutionAnalysis<'_>) -> Derived {
+        let hb = self.hb(a);
+        let mut d = Derived::new();
         if self.tm {
-            let stxn = x.stxn();
-            c.acyclic("StrongIsol", &stronglift(&x.com(), &stxn));
-            c.acyclic("TxnOrder", &stronglift(&hb, &stxn));
+            d.insert("txnorder", stronglift(&hb, a.stxn()));
         }
-        c.finish()
+        d.insert("hb", hb);
+        d
+    }
+
+    fn axioms(&self, a: &ExecutionAnalysis<'_>, d: &Derived, c: &mut Checker) {
+        c.acyclic("Coherence", a.coherence());
+        c.empty("RMWIsol", a.rmw_isol());
+        c.acyclic("Order", d.expect("hb"));
+        if self.tm {
+            c.acyclic("StrongIsol", a.strong_isol());
+            c.acyclic("TxnOrder", d.expect("txnorder"));
+        }
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use txmm_core::ExecBuilder;
+    use txmm_core::{ExecBuilder, Execution};
 
     /// Store buffering: Wx; Ry ∥ Wy; Rx, both reads observing the initial
     /// values. The hallmark TSO relaxation.
@@ -253,7 +259,10 @@ mod tests {
         b.co(a, c);
         b.txn(&[a, r]);
         let x = b.build().unwrap();
-        assert!(X86::base().consistent(&x), "plain TSO allows it (read from other thread)");
+        assert!(
+            X86::base().consistent(&x),
+            "plain TSO allows it (read from other thread)"
+        );
         let v = X86::tm().check(&x);
         assert!(v.violations().contains(&"StrongIsol"));
     }

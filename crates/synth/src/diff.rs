@@ -24,7 +24,8 @@ pub fn distinguish(
                 return;
             }
         }
-        if !m.consistent(x) && n.consistent(x) {
+        let a = x.analysis();
+        if !m.consistent_analysis(&a) && n.consistent_analysis(&a) {
             out.push(x.clone());
         }
     });
@@ -35,7 +36,11 @@ pub fn distinguish(
 pub fn equivalent(cfg: &EnumConfig, m: &dyn Model, n: &dyn Model) -> bool {
     let mut eq = true;
     enumerate(cfg, &mut |x| {
-        if eq && m.consistent(x) != n.consistent(x) {
+        if !eq {
+            return;
+        }
+        let a = x.analysis();
+        if m.consistent_analysis(&a) != n.consistent_analysis(&a) {
             eq = false;
         }
     });
@@ -64,7 +69,10 @@ mod tests {
         let found = distinguish(&cfg, &Tsc, &Sc, Some(5));
         assert!(!found.is_empty());
         for x in &found {
-            assert!(!x.txns().is_empty(), "SC = TSC on transaction-free executions");
+            assert!(
+                !x.txns().is_empty(),
+                "SC = TSC on transaction-free executions"
+            );
         }
     }
 
@@ -106,6 +114,9 @@ mod tests {
             atomic_txns: false,
         };
         assert!(equivalent(&cfg, &X86::base(), &X86::base()));
-        assert!(equivalent(&cfg, &X86::base(), &X86::tm()), "equal without transactions");
+        assert!(
+            equivalent(&cfg, &X86::base(), &X86::tm()),
+            "equal without transactions"
+        );
     }
 }

@@ -4,6 +4,14 @@
 //! This replaces Memalloy's SAT search with explicit generation: every
 //! well-formed execution over the architecture's event vocabulary is
 //! produced exactly once (up to thread and location symmetry).
+//!
+//! The space is sharded by **thread shape** (the non-increasing
+//! partition of the event count across threads): shapes are enumerated
+//! independently, and because a canonical key embeds the multiset of
+//! per-thread event counts, two executions from different shapes can
+//! never collide — so shards dedup locally and merge without
+//! cross-shard coordination. [`enumerate_par`] exploits exactly this to
+//! run shards on every core.
 
 use std::collections::HashSet;
 
@@ -11,6 +19,7 @@ use txmm_core::{Attrs, Event, EventKind, Execution, Fence, Rel, TxnClass};
 use txmm_models::Arch;
 
 use crate::canon::canon_key;
+use crate::par::par_map;
 
 /// What the enumerator may use.
 #[derive(Debug, Clone)]
@@ -148,42 +157,74 @@ fn interval_sets(k: usize) -> Vec<Vec<(usize, usize)>> {
     go(0, k)
 }
 
-/// Enumerate all candidate executions of exactly `cfg.events` events,
-/// invoking `visit` on each (deduplicated up to symmetry).
-pub fn enumerate(cfg: &EnumConfig, visit: &mut dyn FnMut(&Execution)) {
+/// The thread shapes (non-increasing partitions) the enumeration of
+/// `cfg` is sharded over.
+pub fn config_shapes(cfg: &EnumConfig) -> Vec<Vec<usize>> {
+    shapes(cfg.events, cfg.max_threads, cfg.events)
+}
+
+/// Enumerate every candidate execution with the given thread shape,
+/// invoking `visit` on each (deduplicated up to symmetry *within* the
+/// shape — which is total, since canonical keys never collide across
+/// shapes).
+pub fn enumerate_shape(cfg: &EnumConfig, shape: &[usize], visit: &mut dyn FnMut(&Execution)) {
     let n = cfg.events;
     let kinds = kinds_for(cfg);
     let mut seen: HashSet<Vec<u8>> = HashSet::new();
-
-    for shape in shapes(n, cfg.max_threads, n) {
-        // Thread ids per event slot, slots in po order per thread.
-        let mut tids = Vec::with_capacity(n);
-        for (t, &sz) in shape.iter().enumerate() {
-            tids.extend(std::iter::repeat(t as u8).take(sz));
-        }
-        // Kind assignment.
-        let mut kind_choice = vec![0usize; n];
+    // Thread ids per event slot, slots in po order per thread.
+    let mut tids = Vec::with_capacity(n);
+    for (t, &sz) in shape.iter().enumerate() {
+        tids.extend(std::iter::repeat_n(t as u8, sz));
+    }
+    // Kind assignment.
+    let mut kind_choice = vec![0usize; n];
+    loop {
+        let evkinds: Vec<EventKind> = kind_choice.iter().map(|&i| kinds[i]).collect();
+        assign_locs(cfg, &tids, &evkinds, &mut seen, visit);
+        // Odometer.
+        let mut i = 0;
         loop {
-            let evkinds: Vec<EventKind> = kind_choice.iter().map(|&i| kinds[i]).collect();
-            assign_locs(cfg, &tids, &evkinds, &mut seen, visit);
-            // Odometer.
-            let mut i = 0;
-            loop {
-                if i == n {
-                    break;
-                }
-                kind_choice[i] += 1;
-                if kind_choice[i] < kinds.len() {
-                    break;
-                }
-                kind_choice[i] = 0;
-                i += 1;
-            }
             if i == n {
                 break;
             }
+            kind_choice[i] += 1;
+            if kind_choice[i] < kinds.len() {
+                break;
+            }
+            kind_choice[i] = 0;
+            i += 1;
+        }
+        if i == n {
+            break;
         }
     }
+}
+
+/// Enumerate all candidate executions of exactly `cfg.events` events,
+/// invoking `visit` on each (deduplicated up to symmetry).
+pub fn enumerate(cfg: &EnumConfig, visit: &mut dyn FnMut(&Execution)) {
+    for shape in config_shapes(cfg) {
+        enumerate_shape(cfg, &shape, visit);
+    }
+}
+
+/// Parallel enumeration: shard by thread shape across every core and
+/// return the deduplicated executions in the same order the sequential
+/// [`enumerate`] would visit them.
+pub fn enumerate_par(cfg: &EnumConfig) -> Vec<Execution> {
+    let shards = par_map(config_shapes(cfg), |shape| {
+        let mut out = Vec::new();
+        enumerate_shape(cfg, &shape, &mut |x| out.push(x.clone()));
+        out
+    });
+    // Canonical keys cannot collide across shapes (each key embeds the
+    // multiset of per-thread event counts), so merging is concatenation
+    // in shape order; the debug assertion guards the argument.
+    debug_assert!({
+        let mut all = HashSet::new();
+        shards.iter().flatten().all(|x| all.insert(canon_key(x)))
+    });
+    shards.into_iter().flatten().collect()
 }
 
 fn assign_locs(
@@ -240,7 +281,12 @@ fn assign_attrs(
     let mut choice = vec![0usize; n];
     loop {
         let events: Vec<Event> = (0..n)
-            .map(|e| Event { kind: kinds[e], tid: tids[e], loc: locs[e], attrs: options[e][choice[e]] })
+            .map(|e| Event {
+                kind: kinds[e],
+                tid: tids[e],
+                loc: locs[e],
+                attrs: options[e][choice[e]],
+            })
             .collect();
         assign_structure(cfg, &events, seen, visit);
         let mut i = 0;
@@ -318,8 +364,9 @@ fn assign_structure(
     }
 
     // rf options per read: None or any same-loc write.
-    let reads: Vec<usize> =
-        (0..n).filter(|&e| events[e].kind == EventKind::Read).collect();
+    let reads: Vec<usize> = (0..n)
+        .filter(|&e| events[e].kind == EventKind::Read)
+        .collect();
     let rf_options: Vec<Vec<Option<usize>>> = reads
         .iter()
         .map(|&r| {
@@ -356,7 +403,10 @@ fn assign_structure(
         .map(|t| (0..n).filter(|&e| events[e].tid as usize == t).collect())
         .collect();
     let txn_options: Vec<Vec<Vec<(usize, usize)>>> = if cfg.txns {
-        thread_slots.iter().map(|slots| interval_sets(slots.len())).collect()
+        thread_slots
+            .iter()
+            .map(|slots| interval_sets(slots.len()))
+            .collect()
     } else {
         thread_slots.iter().map(|_| vec![vec![]]).collect()
     };
@@ -385,8 +435,11 @@ fn assign_structure(
                         }
                     }
                     for_txns(&thread_slots, &txn_options, &mut |txn_ivs| {
-                        let atomic_opts: &[bool] =
-                            if cfg.atomic_txns { &[false, true] } else { &[false] };
+                        let atomic_opts: &[bool] = if cfg.atomic_txns {
+                            &[false, true]
+                        } else {
+                            &[false]
+                        };
                         for &atomic in atomic_opts {
                             let txns: Vec<TxnClass> = txn_ivs
                                 .iter()
@@ -404,13 +457,13 @@ fn assign_structure(
                             }
                             let x = Execution::from_parts(
                                 events.to_vec(),
-                                po.clone(),
-                                addr.clone(),
-                                ctrl.clone(),
-                                data.clone(),
-                                rmw.clone(),
-                                rf.clone(),
-                                co.clone(),
+                                po,
+                                *addr,
+                                *ctrl,
+                                *data,
+                                rmw,
+                                rf,
+                                co,
                                 txns,
                             );
                             debug_assert!(x.check_wf().is_ok(), "{:?}", x.check_wf());
@@ -511,19 +564,14 @@ fn for_deps(
     }
 }
 
-fn for_rf(
-    reads: &[usize],
-    options: &[Vec<Option<usize>>],
-    k: &mut dyn FnMut(&[Option<usize>]),
-) {
+fn for_rf(reads: &[usize], options: &[Vec<Option<usize>>], k: &mut dyn FnMut(&[Option<usize>])) {
     if reads.is_empty() {
         k(&[]);
         return;
     }
     let mut choice = vec![0usize; reads.len()];
     loop {
-        let picked: Vec<Option<usize>> =
-            (0..reads.len()).map(|i| options[i][choice[i]]).collect();
+        let picked: Vec<Option<usize>> = (0..reads.len()).map(|i| options[i][choice[i]]).collect();
         k(&picked);
         let mut i = 0;
         loop {
@@ -541,7 +589,12 @@ fn for_rf(
 }
 
 fn for_co(options: &[Vec<Vec<usize>>], k: &mut dyn FnMut(&[Vec<usize>])) {
-    fn go(i: usize, options: &[Vec<Vec<usize>>], acc: &mut Vec<Vec<usize>>, k: &mut dyn FnMut(&[Vec<usize>])) {
+    fn go(
+        i: usize,
+        options: &[Vec<Vec<usize>>],
+        acc: &mut Vec<Vec<usize>>,
+        k: &mut dyn FnMut(&[Vec<usize>]),
+    ) {
         if i == options.len() {
             k(acc);
             return;
@@ -556,17 +609,14 @@ fn for_co(options: &[Vec<Vec<usize>>], k: &mut dyn FnMut(&[Vec<usize>])) {
     go(0, options, &mut acc, k);
 }
 
-fn for_txns(
-    threads: &[Vec<usize>],
-    options: &[Vec<Vec<(usize, usize)>>],
-    k: &mut dyn FnMut(&[Vec<(usize, usize)>]),
-) {
-    fn go(
-        i: usize,
-        options: &[Vec<Vec<(usize, usize)>>],
-        acc: &mut Vec<Vec<(usize, usize)>>,
-        k: &mut dyn FnMut(&[Vec<(usize, usize)>]),
-    ) {
+/// Per-thread transaction layouts: for each thread, the chosen list of
+/// member intervals.
+type TxnLayouts = Vec<Vec<(usize, usize)>>;
+
+type TxnVisitor<'k> = &'k mut dyn FnMut(&[Vec<(usize, usize)>]);
+
+fn for_txns(threads: &[Vec<usize>], options: &[TxnLayouts], k: TxnVisitor<'_>) {
+    fn go(i: usize, options: &[TxnLayouts], acc: &mut TxnLayouts, k: TxnVisitor<'_>) {
         if i == options.len() {
             k(acc);
             return;
@@ -587,6 +637,17 @@ pub fn count(cfg: &EnumConfig) -> usize {
     let mut n = 0usize;
     enumerate(cfg, &mut |_| n += 1);
     n
+}
+
+/// Parallel [`count`]: shards the shapes across every core.
+pub fn count_par(cfg: &EnumConfig) -> usize {
+    par_map(config_shapes(cfg), |shape| {
+        let mut n = 0usize;
+        enumerate_shape(cfg, &shape, &mut |_| n += 1);
+        n
+    })
+    .into_iter()
+    .sum()
 }
 
 #[cfg(test)]
@@ -641,6 +702,20 @@ mod tests {
     fn enumeration_deterministic() {
         let cfg = EnumConfig::hw(Arch::X86, 3);
         assert_eq!(count(&cfg), count(&cfg));
+    }
+
+    #[test]
+    fn parallel_enumeration_matches_sequential() {
+        let cfg = EnumConfig::hw(Arch::X86, 3);
+        let mut seq = Vec::new();
+        enumerate(&cfg, &mut |x| seq.push(x.clone()));
+        let par = enumerate_par(&cfg);
+        assert_eq!(seq.len(), par.len());
+        // Same executions in the same (shape-major) order.
+        for (a, b) in seq.iter().zip(&par) {
+            assert_eq!(canon_key(a), canon_key(b));
+        }
+        assert_eq!(count_par(&cfg), count(&cfg));
     }
 
     #[test]

@@ -31,11 +31,15 @@
 pub mod canon;
 pub mod diff;
 pub mod enumerate;
+pub mod par;
 pub mod suites;
 pub mod weaken;
 
 pub use canon::canon_key;
 pub use diff::{distinguish, equivalent};
-pub use enumerate::{count, enumerate, EnumConfig};
-pub use suites::{synthesise, txn_histogram, FoundTest, SuiteResult};
+pub use enumerate::{count, count_par, enumerate, enumerate_par, enumerate_shape, EnumConfig};
+pub use par::par_map;
+pub use suites::{
+    synthesise, synthesise_batched, synthesise_seq, txn_histogram, FoundTest, SuiteResult,
+};
 pub use weaken::weakenings;

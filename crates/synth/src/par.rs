@@ -1,0 +1,102 @@
+//! A tiny scoped-parallelism helper built on [`std::thread::scope`].
+//!
+//! The build environment cannot fetch rayon, and the enumeration
+//! pipeline only needs one shape of parallelism: map a function over a
+//! list of independent work items on every core, preserving item order
+//! in the output. Work is handed out via an atomic cursor so uneven
+//! items (thread-shape shards differ wildly in size) balance across
+//! workers.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// How many worker threads a parallel map uses.
+pub fn worker_count() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Map `f` over `items` in parallel, returning results in item order.
+///
+/// `f` runs on up to [`worker_count`] threads; items are claimed from a
+/// shared atomic cursor, so long items do not serialise behind short
+/// ones. Falls back to a plain sequential map for a single worker or a
+/// single item.
+pub fn par_map<T, R, F>(items: Vec<T>, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    let workers = worker_count().min(items.len());
+    if workers <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+    let n = items.len();
+    // Hand items out by index; collect Option slots so order is kept.
+    let work: Vec<std::sync::Mutex<Option<T>>> = items
+        .into_iter()
+        .map(|t| std::sync::Mutex::new(Some(t)))
+        .collect();
+    let slots: Vec<std::sync::Mutex<Option<R>>> =
+        (0..n).map(|_| std::sync::Mutex::new(None)).collect();
+    let cursor = AtomicUsize::new(0);
+    std::thread::scope(|s| {
+        for _ in 0..workers {
+            s.spawn(|| loop {
+                let i = cursor.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let item = work[i]
+                    .lock()
+                    .expect("work slot")
+                    .take()
+                    .expect("item unclaimed");
+                let r = f(item);
+                *slots[i].lock().expect("result slot") = Some(r);
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|m| {
+            m.into_inner()
+                .expect("result mutex")
+                .expect("worker filled slot")
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preserves_order() {
+        let out = par_map((0..100).collect::<Vec<_>>(), |i| i * 2);
+        assert_eq!(out, (0..100).map(|i| i * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn handles_empty_and_single() {
+        assert_eq!(par_map(Vec::<u32>::new(), |i| i), Vec::<u32>::new());
+        assert_eq!(par_map(vec![7], |i| i + 1), vec![8]);
+    }
+
+    #[test]
+    fn uneven_items_balance() {
+        // Items with wildly different costs still all complete.
+        let out = par_map((0..32usize).collect::<Vec<_>>(), |i| {
+            let mut acc = 0u64;
+            for k in 0..(i * 10_000) {
+                acc = acc.wrapping_add(k as u64);
+            }
+            (i, acc)
+        });
+        assert_eq!(out.len(), 32);
+        for (i, (j, _)) in out.iter().enumerate() {
+            assert_eq!(i, *j);
+        }
+    }
+}

@@ -1,5 +1,15 @@
 //! Conformance-suite synthesis (§4.2): the minimally-forbidden
 //! ("Forbid") and maximally-allowed ("Allow") test sets of Table 1.
+//!
+//! Synthesis is parallel at candidate granularity: enumeration streams
+//! candidates (already deduplicated per thread-shape shard) into fixed
+//! batches, each batch is split across every core, and each worker
+//! filters its slice against the models with one shared
+//! [`ExecutionAnalysis`] per candidate. Batch and slice order are
+//! preserved, so the Forbid suite comes out in the exact order the
+//! sequential pipeline would produce. Model checking dominates
+//! generation by an order of magnitude, so this parallelises the right
+//! stage even when one thread shape holds most of the space.
 
 use std::collections::HashSet;
 use std::time::{Duration, Instant};
@@ -9,7 +19,11 @@ use txmm_models::Model;
 
 use crate::canon::canon_key;
 use crate::enumerate::{enumerate, EnumConfig};
+use crate::par::{par_map, worker_count};
 use crate::weaken::weakenings;
+
+/// Candidates buffered between parallel checking waves.
+const BATCH: usize = 4096;
 
 /// One synthesised test with its discovery time (for Fig. 7).
 pub struct FoundTest {
@@ -35,7 +49,8 @@ pub struct SuiteResult {
 }
 
 /// Synthesise the Forbid and Allow sets for `tm` against its non-TM
-/// baseline, at exactly `cfg.events` events.
+/// baseline, at exactly `cfg.events` events, checking candidates in
+/// parallel on every core.
 ///
 /// A candidate `X` lands in Forbid when (a) it has at least one
 /// transaction, (b) the transactional model forbids it, (c) the baseline
@@ -47,11 +62,48 @@ pub fn synthesise(
     base: &dyn Model,
     budget: Option<Duration>,
 ) -> SuiteResult {
+    if worker_count() <= 1 {
+        // No parallelism available: skip the batching (and its clones)
+        // entirely.
+        return synthesise_seq(cfg, tm, base, budget);
+    }
+    synthesise_batched(cfg, tm, base, budget, worker_count())
+}
+
+/// The batched-parallel implementation behind [`synthesise`], with the
+/// chunk fan-out factor explicit so tests can exercise the
+/// split-and-merge logic deterministically regardless of core count.
+pub fn synthesise_batched(
+    cfg: &EnumConfig,
+    tm: &dyn Model,
+    base: &dyn Model,
+    budget: Option<Duration>,
+    workers: usize,
+) -> SuiteResult {
     let start = Instant::now();
-    let mut forbid = Vec::new();
     let mut candidates = 0usize;
     let mut complete = true;
+    let mut forbid: Vec<FoundTest> = Vec::new();
 
+    // Check one generated batch across every core, preserving order.
+    // Each buffered candidate carries its enumeration timestamp so
+    // `FoundTest::at` reflects discovery order (Fig. 7's input), not
+    // the batch-flush instant.
+    type Stamped = (Duration, Execution);
+    let check_batch = |batch: &[Stamped], forbid: &mut Vec<FoundTest>| {
+        let per_worker = batch.len().div_ceil(workers.max(1)).max(1);
+        let found = par_map(batch.chunks(per_worker).collect(), |slice: &[Stamped]| {
+            slice
+                .iter()
+                .filter_map(|(at, x)| {
+                    forbid_test(cfg, tm, base, x).map(|f| FoundTest { exec: f, at: *at })
+                })
+                .collect::<Vec<_>>()
+        });
+        forbid.extend(found.into_iter().flatten());
+    };
+
+    let mut batch: Vec<Stamped> = Vec::with_capacity(BATCH);
     enumerate(cfg, &mut |x| {
         candidates += 1;
         if let Some(b) = budget {
@@ -60,21 +112,23 @@ pub fn synthesise(
                 return;
             }
         }
+        // Cheap precondition before paying for the clone: a Forbid test
+        // needs a transaction.
         if x.txns().is_empty() {
             return;
         }
-        if tm.consistent(x) {
-            return;
-        }
-        if !base.consistent(&x.erase_txns()) {
-            return;
-        }
-        // Minimality: every one-step weakening is consistent.
-        let minimal = weakenings(x, cfg.arch).iter().all(|w| tm.consistent(w));
-        if minimal {
-            forbid.push(FoundTest { exec: x.clone(), at: start.elapsed() });
+        batch.push((start.elapsed(), x.clone()));
+        if batch.len() >= BATCH {
+            check_batch(&batch, &mut forbid);
+            batch.clear();
         }
     });
+    // Like the sequential path, stop checking once the budget has
+    // expired: candidates still buffered at the deadline are dropped
+    // (the run is already marked non-exhaustive).
+    if complete {
+        check_batch(&batch, &mut forbid);
+    }
 
     // Allow set: consistent one-step weakenings, deduplicated.
     let mut allow = Vec::new();
@@ -87,7 +141,83 @@ pub fn synthesise(
         }
     }
 
-    SuiteResult { forbid, allow, complete, candidates, elapsed: start.elapsed() }
+    SuiteResult {
+        forbid,
+        allow,
+        complete,
+        candidates,
+        elapsed: start.elapsed(),
+    }
+}
+
+/// Is `x` a Forbid test (conditions (a)–(d) above)? Returns the
+/// execution to record.
+fn forbid_test(
+    cfg: &EnumConfig,
+    tm: &dyn Model,
+    base: &dyn Model,
+    x: &Execution,
+) -> Option<Execution> {
+    if x.txns().is_empty() {
+        return None;
+    }
+    if tm.consistent_analysis(&x.analysis()) {
+        return None;
+    }
+    if !base.consistent(&x.erase_txns()) {
+        return None;
+    }
+    // Minimality: every one-step weakening is consistent.
+    let minimal = weakenings(x, cfg.arch).iter().all(|w| tm.consistent(w));
+    minimal.then(|| x.clone())
+}
+
+/// The sequential reference implementation of [`synthesise`]; kept for
+/// differential tests and the parallel-speedup benchmark.
+pub fn synthesise_seq(
+    cfg: &EnumConfig,
+    tm: &dyn Model,
+    base: &dyn Model,
+    budget: Option<Duration>,
+) -> SuiteResult {
+    let start = Instant::now();
+    let mut forbid = Vec::new();
+    let mut candidates = 0usize;
+    let mut complete = true;
+
+    crate::enumerate::enumerate(cfg, &mut |x| {
+        candidates += 1;
+        if let Some(b) = budget {
+            if start.elapsed() > b {
+                complete = false;
+                return;
+            }
+        }
+        if let Some(f) = forbid_test(cfg, tm, base, x) {
+            forbid.push(FoundTest {
+                exec: f,
+                at: start.elapsed(),
+            });
+        }
+    });
+
+    let mut allow = Vec::new();
+    let mut seen = HashSet::new();
+    for f in &forbid {
+        for w in weakenings(&f.exec, cfg.arch) {
+            if tm.consistent(&w) && seen.insert(canon_key(&w)) {
+                allow.push(w);
+            }
+        }
+    }
+
+    SuiteResult {
+        forbid,
+        allow,
+        complete,
+        candidates,
+        elapsed: start.elapsed(),
+    }
 }
 
 /// Count how many transactions each Forbid test has (the paper reports
@@ -169,8 +299,7 @@ mod tests {
             atomic_txns: false,
         };
         let r = synthesise(&cfg, &Tsc, &Sc, None);
-        let keys: HashSet<Vec<u8>> =
-            r.forbid.iter().map(|f| canon_key(&f.exec)).collect();
+        let keys: HashSet<Vec<u8>> = r.forbid.iter().map(|f| canon_key(&f.exec)).collect();
         for which in ['a', 'b', 'c'] {
             let fig = txmm_models::catalog::fig3(which);
             assert!(
@@ -184,6 +313,30 @@ mod tests {
         let figd = txmm_models::catalog::fig3('d');
         assert!(!Tsc.consistent(&figd));
         assert!(!keys.contains(&canon_key(&figd)));
+    }
+
+    #[test]
+    fn parallel_synthesis_matches_sequential() {
+        let cfg = x86_cfg(3);
+        // Force the batched path with a fan-out of 3, so the chunked
+        // split-and-merge logic is exercised even on one core.
+        let par = synthesise_batched(&cfg, &X86::tm(), &X86::base(), None, 3);
+        let seq = synthesise_seq(&cfg, &X86::tm(), &X86::base(), None);
+        assert_eq!(par.candidates, seq.candidates);
+        assert_eq!(par.complete, seq.complete);
+        let keys = |r: &SuiteResult| {
+            r.forbid
+                .iter()
+                .map(|f| canon_key(&f.exec))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(
+            keys(&par),
+            keys(&seq),
+            "same Forbid tests in the same order"
+        );
+        let allow_keys = |r: &SuiteResult| r.allow.iter().map(canon_key).collect::<Vec<_>>();
+        assert_eq!(allow_keys(&par), allow_keys(&seq));
     }
 
     #[test]

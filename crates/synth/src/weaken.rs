@@ -28,7 +28,10 @@ pub fn weakenings(x: &Execution, arch: Arch) -> Vec<Execution> {
     }
 
     // (ii) Remove a dependency edge.
-    for (idx, rel) in [x.addr(), x.ctrl(), x.data(), x.rmw()].into_iter().enumerate() {
+    for (idx, rel) in [x.addr(), x.ctrl(), x.data(), x.rmw()]
+        .into_iter()
+        .enumerate()
+    {
         for (a, b) in rel.pairs() {
             let mut y = x.clone();
             {

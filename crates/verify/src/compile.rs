@@ -187,7 +187,11 @@ pub fn map_execution(x: &Execution, target: Arch) -> Execution {
         .txns()
         .iter()
         .map(|t| TxnClass {
-            events: t.events.iter().flat_map(|&e| emitted[e].iter().copied()).collect(),
+            events: t
+                .events
+                .iter()
+                .flat_map(|&e| emitted[e].iter().copied())
+                .collect(),
             atomic: false,
         })
         .filter(|t| !t.events.is_empty())
@@ -220,11 +224,7 @@ pub struct CompileResult {
 
 /// Search for an unsound compilation: `X` inconsistent and race-free in
 /// C++, `map(X)` consistent on the target.
-pub fn check_compilation(
-    events: usize,
-    target: Arch,
-    budget: Option<Duration>,
-) -> CompileResult {
+pub fn check_compilation(events: usize, target: Arch, budget: Option<Duration>) -> CompileResult {
     let cfg = EnumConfig {
         arch: Arch::Cpp,
         events,
@@ -258,7 +258,8 @@ pub fn check_compilation(
                 return;
             }
         }
-        if cpp.consistent(x) || cpp.racy(x) {
+        let a = x.analysis();
+        if cpp.consistent_analysis(&a) || cpp.racy_analysis(&a) {
             return;
         }
         checked += 1;
@@ -268,7 +269,12 @@ pub fn check_compilation(
             counterexample = Some((x.clone(), y));
         }
     });
-    CompileResult { counterexample, checked, elapsed: start.elapsed(), complete }
+    CompileResult {
+        counterexample,
+        checked,
+        elapsed: start.elapsed(),
+        complete,
+    }
 }
 
 #[cfg(test)]

@@ -56,7 +56,12 @@ impl ElisionTarget {
 /// Does the abstract execution violate `CROrder` (while its underlying
 /// data accesses stay architecture-consistent)?
 pub fn violates_cr_order(x: &Execution) -> bool {
-    !weaklift(&x.po().union(&x.com()), &x.scr()).is_acyclic()
+    violates_cr_order_analysis(&x.analysis())
+}
+
+/// [`violates_cr_order`] over a caller-shared analysis.
+pub fn violates_cr_order_analysis(a: &txmm_core::ExecutionAnalysis<'_>) -> bool {
+    !weaklift(&a.po().union(a.com()), a.scr()).is_acyclic()
 }
 
 /// One access inside a critical region of an abstract execution.
@@ -73,17 +78,35 @@ fn abstract_candidates(visit: &mut dyn FnMut(&Execution)) {
     let bodies: Vec<Vec<BodyAccess>> = {
         let mut out = Vec::new();
         let accs = [
-            BodyAccess { write: false, loc: 0 },
-            BodyAccess { write: true, loc: 0 },
+            BodyAccess {
+                write: false,
+                loc: 0,
+            },
+            BodyAccess {
+                write: true,
+                loc: 0,
+            },
         ];
         for &a in &accs {
             out.push(vec![a]);
         }
         let seconds = [
-            BodyAccess { write: false, loc: 0 },
-            BodyAccess { write: true, loc: 0 },
-            BodyAccess { write: false, loc: 1 },
-            BodyAccess { write: true, loc: 1 },
+            BodyAccess {
+                write: false,
+                loc: 0,
+            },
+            BodyAccess {
+                write: true,
+                loc: 0,
+            },
+            BodyAccess {
+                write: false,
+                loc: 1,
+            },
+            BodyAccess {
+                write: true,
+                loc: 1,
+            },
         ];
         for &a in &accs {
             for &b in &seconds {
@@ -123,14 +146,26 @@ fn build_abstract(
     b.call(t0, Call::Lock);
     let evs0: Vec<usize> = body0
         .iter()
-        .map(|a| if a.write { b.write(t0, a.loc) } else { b.read(t0, a.loc) })
+        .map(|a| {
+            if a.write {
+                b.write(t0, a.loc)
+            } else {
+                b.read(t0, a.loc)
+            }
+        })
         .collect();
     b.call(t0, Call::Unlock);
     let t1 = b.new_thread();
     b.call(t1, Call::TLock);
     let evs1: Vec<usize> = body1
         .iter()
-        .map(|a| if a.write { b.write(t1, a.loc) } else { b.read(t1, a.loc) })
+        .map(|a| {
+            if a.write {
+                b.write(t1, a.loc)
+            } else {
+                b.read(t1, a.loc)
+            }
+        })
         .collect();
     b.call(t1, Call::TUnlock);
     if dep0 {
@@ -142,8 +177,12 @@ fn build_abstract(
     let base = b.build_unchecked();
 
     // Enumerate rf per read and co per location over the data accesses.
-    let reads: Vec<usize> = (0..base.len()).filter(|&e| base.event(e).is_read()).collect();
-    let writes: Vec<usize> = (0..base.len()).filter(|&e| base.event(e).is_write()).collect();
+    let reads: Vec<usize> = (0..base.len())
+        .filter(|&e| base.event(e).is_read())
+        .collect();
+    let writes: Vec<usize> = (0..base.len())
+        .filter(|&e| base.event(e).is_write())
+        .collect();
     let rf_opts: Vec<Vec<Option<usize>>> = reads
         .iter()
         .map(|&r| {
@@ -168,8 +207,11 @@ fn build_abstract(
         let co_perms: Vec<Vec<Vec<usize>>> = locs
             .iter()
             .map(|&l| {
-                let ws: Vec<usize> =
-                    writes.iter().copied().filter(|&w| base.event(w).loc == Some(l)).collect();
+                let ws: Vec<usize> = writes
+                    .iter()
+                    .copied()
+                    .filter(|&w| base.event(w).loc == Some(l))
+                    .collect();
                 perms(&ws)
             })
             .collect();
@@ -194,11 +236,11 @@ fn build_abstract(
             }
             x = Execution::from_parts(
                 x.events().to_vec(),
-                x.po().clone(),
-                x.addr().clone(),
-                x.ctrl().clone(),
-                x.data().clone(),
-                x.rmw().clone(),
+                *x.po(),
+                *x.addr(),
+                *x.ctrl(),
+                *x.data(),
+                *x.rmw(),
                 rf,
                 co,
                 vec![],
@@ -258,7 +300,12 @@ fn perms(items: &[usize]) -> Vec<Vec<usize>> {
 /// The lock variable gets the first location index after the data
 /// locations (`LockVar`: fresh, only touched by introduced events).
 fn lock_loc(x: &Execution) -> u8 {
-    x.locations().iter().copied().max().map(|l| l + 1).unwrap_or(0)
+    x.locations()
+        .iter()
+        .copied()
+        .max()
+        .map(|l| l + 1)
+        .unwrap_or(0)
 }
 
 /// Expand an abstract execution into concrete skeletons per Table 3,
@@ -321,7 +368,11 @@ pub fn expand(x: &Execution, target: ElisionTarget) -> Vec<Execution> {
                             // critical region (footnote 3), via isync.
                             ctrl_pairs.push((r, w));
                             ctrl_sources.push(w);
-                            push(&mut events, Event::fence(ev.tid, Fence::Isync), &mut cur_txn);
+                            push(
+                                &mut events,
+                                Event::fence(ev.tid, Fence::Isync),
+                                &mut cur_txn,
+                            );
                             m_lock_writes.push(w);
                         }
                         ElisionTarget::Armv8 | ElisionTarget::Armv8Fixed => {
@@ -421,8 +472,11 @@ pub fn expand(x: &Execution, target: ElisionTarget) -> Vec<Execution> {
     // Existential completion on the lock variable: rf per m-read
     // (TxnReadsLockFree: Lt reads never observe an L write) and co over
     // the m-writes.
-    let m_writes: Vec<usize> =
-        m_lock_writes.iter().chain(m_unlock_writes.iter()).copied().collect();
+    let m_writes: Vec<usize> = m_lock_writes
+        .iter()
+        .chain(m_unlock_writes.iter())
+        .copied()
+        .collect();
     let rf_opts: Vec<Vec<Option<usize>>> = m_reads
         .iter()
         .map(|&(_, is_lt)| {
@@ -442,13 +496,13 @@ pub fn expand(x: &Execution, target: ElisionTarget) -> Vec<Execution> {
     let mut rf_choice = vec![0usize; m_reads.len()];
     loop {
         for co_perm in &co_options {
-            let mut rf = base_rf.clone();
+            let mut rf = base_rf;
             for (i, &(r, _)) in m_reads.iter().enumerate() {
                 if let Some(w) = rf_opts[i][rf_choice[i]] {
                     rf.add(w, r);
                 }
             }
-            let mut co = base_co.clone();
+            let mut co = base_co;
             for i in 0..co_perm.len() {
                 for j in (i + 1)..co_perm.len() {
                     co.add(co_perm[i], co_perm[j]);
@@ -472,7 +526,7 @@ pub fn expand(x: &Execution, target: ElisionTarget) -> Vec<Execution> {
             }
             let y = Execution::from_parts(
                 events.clone(),
-                po.clone(),
+                po,
                 addr,
                 ctrl,
                 data,
@@ -481,7 +535,10 @@ pub fn expand(x: &Execution, target: ElisionTarget) -> Vec<Execution> {
                 co,
                 txn_classes
                     .iter()
-                    .map(|evs| TxnClass { events: evs.clone(), atomic: false })
+                    .map(|evs| TxnClass {
+                        events: evs.clone(),
+                        atomic: false,
+                    })
                     .collect(),
             );
             if y.check_wf().is_ok() {
@@ -540,10 +597,11 @@ pub fn check_lock_elision(target: ElisionTarget, budget: Option<Duration>) -> El
         abstract_candidates += 1;
         // The abstract execution must break mutual exclusion (CROrder)
         // while being architecture-consistent on its own accesses.
-        if !violates_cr_order(x) {
+        let a = x.analysis();
+        if !violates_cr_order_analysis(&a) {
             return;
         }
-        if !model.consistent(x) {
+        if !model.consistent_analysis(&a) {
             return;
         }
         for y in expand(x, target) {
@@ -587,7 +645,10 @@ mod tests {
     fn fig10_abstract_violates_cr_order() {
         let x = catalog::elision_abstract();
         assert!(violates_cr_order(&x));
-        assert!(Armv8::tm().consistent(&x), "plain model ignores call events");
+        assert!(
+            Armv8::tm().consistent(&x),
+            "plain model ignores call events"
+        );
     }
 
     #[test]
@@ -627,7 +688,10 @@ mod tests {
     #[test]
     fn x86_elision_sound() {
         let r = check_lock_elision(ElisionTarget::X86, None);
-        assert!(r.counterexample.is_none(), "x86 elision is sound in the bounded space");
+        assert!(
+            r.counterexample.is_none(),
+            "x86 elision is sound in the bounded space"
+        );
         assert!(r.complete);
     }
 

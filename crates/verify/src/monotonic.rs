@@ -29,7 +29,10 @@ pub fn txn_extensions(x: &Execution) -> Vec<Execution> {
     for e in 0..n {
         if x.txn_of(e).is_none() {
             let mut y = x.clone();
-            y.txns_mut().push(TxnClass { events: vec![e], atomic: false });
+            y.txns_mut().push(TxnClass {
+                events: vec![e],
+                atomic: false,
+            });
             if y.check_wf().is_ok() {
                 out.push(y);
             }
@@ -41,7 +44,10 @@ pub fn txn_extensions(x: &Execution) -> Vec<Execution> {
         let class = &x.txns()[ti];
         let tid = x.event(class.events[0]).tid;
         let thread = x.thread_events(tid);
-        let first_pos = thread.iter().position(|&e| e == class.events[0]).expect("member");
+        let first_pos = thread
+            .iter()
+            .position(|&e| e == class.events[0])
+            .expect("member");
         let last = *class.events.last().expect("non-empty");
         let last_pos = thread.iter().position(|&e| e == last).expect("member");
         let mut grow = |neighbour: usize, at_front: bool| {
@@ -105,7 +111,7 @@ pub fn check_monotonicity(
             }
         }
         checked += 1;
-        if model.consistent(x) {
+        if model.consistent_analysis(&x.analysis()) {
             return;
         }
         for y in txn_extensions(x) {
@@ -115,7 +121,12 @@ pub fn check_monotonicity(
             }
         }
     });
-    MonotonicityResult { counterexample, checked, elapsed: start.elapsed(), complete }
+    MonotonicityResult {
+        counterexample,
+        checked,
+        elapsed: start.elapsed(),
+        complete,
+    }
 }
 
 #[cfg(test)]
@@ -140,8 +151,9 @@ mod tests {
         // txn{c}; enlarge txn{c} left = coalesce; enlarge txn{c} right
         // onto d.
         assert!(exts.iter().any(|y| y.txns().len() == 3));
-        assert!(exts.iter().any(|y| y.txns().len() == 1
-            && y.txns()[0].events.len() == 2));
+        assert!(exts
+            .iter()
+            .any(|y| y.txns().len() == 1 && y.txns()[0].events.len() == 2));
         assert!(exts
             .iter()
             .any(|y| y.txns().iter().any(|t| t.events == vec![c, d])));
@@ -170,7 +182,10 @@ mod tests {
         assert!(!x.rmw().is_empty());
         assert!(!Power::tm().consistent(&x));
         assert!(Power::tm().consistent(&y));
-        assert!(y.txns().iter().any(|t| t.events.len() == 2), "rmw reunited in one txn");
+        assert!(
+            y.txns().iter().any(|t| t.events.len() == 2),
+            "rmw reunited in one txn"
+        );
     }
 
     #[test]

@@ -6,7 +6,7 @@
 
 use std::time::{Duration, Instant};
 
-use txmm_core::{stronglift, Execution};
+use txmm_core::Execution;
 use txmm_models::{Arch, Cpp, Model, Tsc};
 use txmm_synth::{enumerate, EnumConfig};
 
@@ -52,19 +52,24 @@ pub fn check_theorem_7_2(events: usize, budget: Option<Duration>) -> TheoremResu
                 return;
             }
         }
-        // Hypotheses.
-        if !m.consistent(x) || m.racy(x) || !Cpp::atomic_txns_wellformed(x) {
+        // Hypotheses, all over one shared analysis.
+        let a = x.analysis();
+        if !m.consistent_analysis(&a) || m.racy_analysis(&a) || !Cpp::atomic_txns_wellformed(x) {
             return;
         }
-        if x.stxnat().is_empty() {
+        if a.stxnat().is_empty() {
             return;
         }
         checked += 1;
-        if !stronglift(&x.com(), &x.stxnat()).is_acyclic() {
+        if !a.strong_isol_atomic().is_acyclic() {
             counterexample = Some(x.clone());
         }
     });
-    TheoremResult { counterexample, checked, elapsed: start.elapsed() }
+    TheoremResult {
+        counterexample,
+        checked,
+        elapsed: start.elapsed(),
+    }
 }
 
 /// Theorem 7.3 (transactional SC-DRF): a consistent C++ execution with
@@ -90,30 +95,31 @@ pub fn check_theorem_7_3(events: usize, budget: Option<Duration>) -> TheoremResu
         if x.txns().iter().any(|t| !t.atomic) {
             return;
         }
-        if x.ato() != x.sc_events() {
+        let a = x.analysis();
+        if a.ato() != a.sc_events() {
             return;
         }
         if !Cpp::atomic_txns_wellformed(x) {
             return;
         }
-        if !m.consistent(x) || m.racy(x) {
+        if !m.consistent_analysis(&a) || m.racy_analysis(&a) {
             return;
         }
         checked += 1;
-        if !Tsc.consistent(x) {
+        if !Tsc.consistent_analysis(&a) {
             counterexample = Some(x.clone());
         }
     });
-    TheoremResult { counterexample, checked, elapsed: start.elapsed() }
+    TheoremResult {
+        counterexample,
+        checked,
+        elapsed: start.elapsed(),
+    }
 }
 
 /// The baseline sanity statement of §8: TM models agree with their
 /// baselines on transaction-free executions.
-pub fn check_tm_conservative(
-    cfg: &EnumConfig,
-    tm: &dyn Model,
-    base: &dyn Model,
-) -> TheoremResult {
+pub fn check_tm_conservative(cfg: &EnumConfig, tm: &dyn Model, base: &dyn Model) -> TheoremResult {
     let start = Instant::now();
     let mut checked = 0usize;
     let mut counterexample = None;
@@ -124,11 +130,16 @@ pub fn check_tm_conservative(
             return;
         }
         checked += 1;
-        if tm.consistent(x) != base.consistent(x) {
+        let a = x.analysis();
+        if tm.consistent_analysis(&a) != base.consistent_analysis(&a) {
             counterexample = Some(x.clone());
         }
     });
-    TheoremResult { counterexample, checked, elapsed: start.elapsed() }
+    TheoremResult {
+        counterexample,
+        checked,
+        elapsed: start.elapsed(),
+    }
 }
 
 #[cfg(test)]

@@ -17,21 +17,33 @@ fn main() {
     //    x, the second elided. Its communication edges violate mutual
     //    exclusion — CROrder rejects it.
     let abstract_x = catalog::elision_abstract();
-    println!("== abstract execution (Fig. 10, left) ==\n{}", display::render(&abstract_x));
-    println!("violates CROrder (mutual exclusion): {}\n", violates_cr_order(&abstract_x));
+    println!(
+        "== abstract execution (Fig. 10, left) ==\n{}",
+        display::render(&abstract_x)
+    );
+    println!(
+        "violates CROrder (mutual exclusion): {}\n",
+        violates_cr_order(&abstract_x)
+    );
 
     // 2. The concrete ARMv8 execution (Example 1.1): the recommended
     //    spinlock on thread 0, lock elision on thread 1. CONSISTENT
     //    under the transactional ARMv8 model — the bug.
     let concrete = catalog::armv8_elision(false);
-    println!("== concrete ARMv8 execution (Example 1.1) ==\n{}", display::render(&concrete));
+    println!(
+        "== concrete ARMv8 execution (Example 1.1) ==\n{}",
+        display::render(&concrete)
+    );
     println!("ARMv8-TM verdict: {}", Armv8::tm().check(&concrete));
 
     // 3. It is not just an axiom artefact: the operational ARMv8
     //    simulator executes the forbidden outcome (x = 2).
     let test = litmus_from_execution("example-1.1", &concrete, Arch::Armv8);
     println!("\n== litmus test ==\n{}", render::assembly(&test));
-    println!("observable on the ARMv8 simulator: {}", ArmSim::default().observable(&test));
+    println!(
+        "observable on the ARMv8 simulator: {}",
+        ArmSim::default().observable(&test)
+    );
 
     // 4. The §1.1 repair: append a DMB to lock(). Now the model forbids
     //    the execution and the simulator cannot reach it.

@@ -21,7 +21,10 @@ fn main() {
     let r1 = b.read(t1, 0); //  r1 = x (reads 0)
     let sb = b.build().expect("well-formed");
 
-    println!("== the store-buffering execution ==\n{}", display::render(&sb));
+    println!(
+        "== the store-buffering execution ==\n{}",
+        display::render(&sb)
+    );
 
     // Model verdicts: SC forbids it, every hardware model allows it.
     for model in txmm::models::registry::all_models() {
@@ -55,8 +58,14 @@ fn main() {
     let plain = litmus_from_execution("SB", &sb, Arch::X86);
     let txn = litmus_from_execution("SB+txns", &sb_txn, Arch::X86);
     println!("\n== x86 litmus test ==\n{}", render::assembly(&plain));
-    println!("observable on the x86-TSO+TSX simulator: {}", TsoSim.observable(&plain));
-    println!("transactional version observable:        {}", TsoSim.observable(&txn));
+    println!(
+        "observable on the x86-TSO+TSX simulator: {}",
+        TsoSim.observable(&plain)
+    );
+    println!(
+        "transactional version observable:        {}",
+        TsoSim.observable(&txn)
+    );
 
     let _ = (w0, r0, w1, r1);
 }

@@ -35,7 +35,11 @@ fn main() {
         r.forbid.len(),
         r.allow.len(),
         r.elapsed.as_secs_f64(),
-        if r.complete { "complete" } else { "non-exhaustive" },
+        if r.complete {
+            "complete"
+        } else {
+            "non-exhaustive"
+        },
     );
 
     for (i, f) in r.forbid.iter().enumerate() {

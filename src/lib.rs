@@ -1,0 +1,5 @@
+//! Workspace-root package: hosts the repo-level integration tests in
+//! `tests/` and the runnable tours in `examples/`. All functionality
+//! lives in the `txmm` facade crate and the crates it re-exports.
+
+pub use txmm;

@@ -15,7 +15,10 @@ fn armv8_counterexample_matches_example_1_1() {
     assert!(Armv8::tm().consistent(&conc));
     // The concrete witness is executable on the ARMv8 simulator.
     let t = litmus_from_execution("witness", &conc, Arch::Armv8);
-    assert!(ArmSim::default().observable(&t), "the bug is dynamically reachable");
+    assert!(
+        ArmSim::default().observable(&t),
+        "the bug is dynamically reachable"
+    );
 }
 
 #[test]
@@ -52,7 +55,11 @@ fn x86_expansions_all_forbidden() {
 fn sound_targets_have_no_counterexample() {
     for target in [ElisionTarget::X86, ElisionTarget::Armv8Fixed] {
         let r = check_lock_elision(target, None);
-        assert!(r.counterexample.is_none(), "{} must be sound", target.name());
+        assert!(
+            r.counterexample.is_none(),
+            "{} must be sound",
+            target.name()
+        );
         assert!(r.complete);
     }
 }
@@ -65,7 +72,9 @@ fn power_divergence_documented() {
     // printed axioms, not the hardware, are the weak point. Both facts
     // are part of the reproduction (EXPERIMENTS.md).
     let r = check_lock_elision(ElisionTarget::Power, None);
-    let (_, conc) = r.counterexample.expect("candidate pair under Fig. 6 as printed");
+    let (_, conc) = r
+        .counterexample
+        .expect("candidate pair under Fig. 6 as printed");
     assert!(Power::tm().consistent(&conc));
     let t = litmus_from_execution("power-candidate", &conc, Arch::Power);
     assert!(
@@ -94,6 +103,10 @@ fn elision_witnesses_cross_checked_in_cat() {
     let m = txmm::cat::cat_model("armv8-tm").expect("shipped");
     assert!(m.consistent(&catalog::armv8_elision(false)).unwrap());
     assert!(!m.consistent(&catalog::armv8_elision(true)).unwrap());
-    assert!(m.consistent(&catalog::armv8_elision_appendix_b(false)).unwrap());
-    assert!(!m.consistent(&catalog::armv8_elision_appendix_b(true)).unwrap());
+    assert!(m
+        .consistent(&catalog::armv8_elision_appendix_b(false))
+        .unwrap());
+    assert!(!m
+        .consistent(&catalog::armv8_elision_appendix_b(true))
+        .unwrap());
 }

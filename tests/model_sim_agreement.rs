@@ -39,7 +39,7 @@ fn soundness(arch: Arch, events: usize) {
     let mut total = 0usize;
     enumerate(&cfg, &mut |x| {
         seen += 1;
-        if seen % stride != 0 {
+        if !seen.is_multiple_of(stride) {
             return;
         }
         total += 1;

@@ -49,18 +49,14 @@ fn simulators_respect_model_verdicts() {
         if !entry.exec.calls().is_empty() {
             continue; // abstract executions have no machine semantics
         }
+        type Observable = Box<dyn Fn(&txmm::litmus::LitmusTest) -> bool>;
         for (model_name, expect) in &entry.expect {
-            let (arch, observable): (Arch, Box<dyn Fn(&txmm::litmus::LitmusTest) -> bool>) =
-                match *model_name {
-                    "x86-tm" => (Arch::X86, Box::new(|t| TsoSim.observable(t))),
-                    "armv8-tm" => {
-                        (Arch::Armv8, Box::new(|t| ArmSim::default().observable(t)))
-                    }
-                    "power-tm" => {
-                        (Arch::Power, Box::new(|t| PowerSim::default().observable(t)))
-                    }
-                    _ => continue,
-                };
+            let (arch, observable): (Arch, Observable) = match *model_name {
+                "x86-tm" => (Arch::X86, Box::new(|t| TsoSim.observable(t))),
+                "armv8-tm" => (Arch::Armv8, Box::new(|t| ArmSim::default().observable(t))),
+                "power-tm" => (Arch::Power, Box::new(|t| PowerSim::default().observable(t))),
+                _ => continue,
+            };
             let t = litmus_from_execution(entry.name, &entry.exec, arch);
             let seen = observable(&t);
             match expect {

@@ -1,90 +1,89 @@
 //! Property-based validation of the paper's theorems and of the library
 //! invariants, on randomly generated executions.
+//!
+//! The generator walks a deterministic PRNG
+//! ([`txmm::core::rng::SplitMix64`]) over seeds — the offline build
+//! cannot fetch proptest — so failures reproduce exactly: rerun with
+//! the printed seed.
 
-use proptest::prelude::*;
+use txmm::core::rng::SplitMix64;
 use txmm::core::{Attrs, ExecBuilder, Execution, TxnClass};
 use txmm::models::cpp::theorem_7_2_holds;
 use txmm::prelude::*;
 
-/// A random small execution: up to three threads, up to six events over
+const CASES: u64 = 192;
+
+/// A random small execution: up to three threads, up to five events over
 /// two locations, arbitrary rf/co choices (well-formed by construction),
-/// optional transactions and C++ modes.
-fn arb_execution(cpp: bool) -> impl Strategy<Value = Execution> {
-    // events: per event (thread 0..3, kind read/write, loc 0..2, mode 0..4)
-    let ev = (0u8..3, any::<bool>(), 0u8..2, 0usize..4);
-    (proptest::collection::vec(ev, 1..6), any::<u64>()).prop_map(move |(evs, seed)| {
-        let mut b = ExecBuilder::new();
-        for _ in 0..3 {
-            b.new_thread();
-        }
-        let mut ids = Vec::new();
-        for &(tid, is_write, loc, mode) in &evs {
-            let e = if is_write { b.write(tid, loc) } else { b.read(tid, loc) };
-            if cpp {
-                match mode {
-                    1 => {
-                        b.attr(e, Attrs::ATO);
-                    }
-                    2 => {
-                        b.attr(
-                            e,
-                            Attrs::ATO.union(if is_write { Attrs::REL } else { Attrs::ACQ }),
-                        );
-                    }
-                    3 => {
-                        b.attr(e, Attrs::ATO.union(Attrs::SC));
-                    }
-                    _ => {}
-                }
-            }
-            ids.push(e);
-        }
-        let x = b.build_unchecked();
-        // Deterministic pseudo-random rf/co from the seed.
-        let mut rng = seed | 1;
-        let mut next = move || {
-            rng ^= rng << 13;
-            rng ^= rng >> 7;
-            rng ^= rng << 17;
-            rng
+/// optional C++ modes.
+fn arb_execution(cpp: bool, seed: u64) -> Execution {
+    let mut rng = SplitMix64::seed_from_u64(seed);
+    let mut b = ExecBuilder::new();
+    for _ in 0..3 {
+        b.new_thread();
+    }
+    let n_events = 1 + rng.below(5);
+    for _ in 0..n_events {
+        let tid = rng.below(3) as u8;
+        let is_write = rng.below(2) == 0;
+        let loc = rng.below(2) as u8;
+        let e = if is_write {
+            b.write(tid, loc)
+        } else {
+            b.read(tid, loc)
         };
-        let mut b2 = b.clone();
-        for l in x.locations() {
-            let mut ws: Vec<usize> = x.writes().inter(x.at_loc(l)).iter().collect();
-            // Random coherence permutation.
-            for i in (1..ws.len()).rev() {
-                let j = (next() % (i as u64 + 1)) as usize;
-                ws.swap(i, j);
-            }
-            b2.co_order(&ws);
-            for r in x.reads().inter(x.at_loc(l)).iter() {
-                let pick = (next() % (ws.len() as u64 + 1)) as usize;
-                if pick < ws.len() {
-                    b2.rf(ws[pick], r);
+        if cpp {
+            match rng.below(4) {
+                1 => {
+                    b.attr(e, Attrs::ATO);
                 }
+                2 => {
+                    b.attr(
+                        e,
+                        Attrs::ATO.union(if is_write { Attrs::REL } else { Attrs::ACQ }),
+                    );
+                }
+                3 => {
+                    b.attr(e, Attrs::ATO.union(Attrs::SC));
+                }
+                _ => {}
             }
         }
-        b2.build().expect("well-formed by construction")
-    })
+    }
+    let x = b.build_unchecked();
+    // Random coherence permutation and rf choice per location.
+    let mut b2 = b.clone();
+    for l in x.locations() {
+        let mut ws: Vec<usize> = x.writes().inter(x.at_loc(l)).iter().collect();
+        for i in (1..ws.len()).rev() {
+            let j = rng.below(i + 1);
+            ws.swap(i, j);
+        }
+        b2.co_order(&ws);
+        for r in x.reads().inter(x.at_loc(l)).iter() {
+            let pick = rng.below(ws.len() + 1);
+            if pick < ws.len() {
+                b2.rf(ws[pick], r);
+            }
+        }
+    }
+    b2.build().expect("well-formed by construction")
 }
 
 /// Random transaction layout on top of an execution.
 fn with_random_txns(x: &Execution, seed: u64, atomic: bool) -> Execution {
-    let mut rng = seed | 1;
-    let mut next = move || {
-        rng ^= rng << 13;
-        rng ^= rng >> 7;
-        rng ^= rng << 17;
-        rng
-    };
+    let mut rng = SplitMix64::seed_from_u64(seed ^ 0xdead_beef);
     let mut txns = Vec::new();
     for t in 0..x.num_threads() {
         let evs = x.thread_events(t as u8);
         let mut i = 0;
         while i < evs.len() {
-            if next() % 2 == 0 {
-                let len = 1 + (next() as usize) % (evs.len() - i);
-                txns.push(TxnClass { events: evs[i..i + len].to_vec(), atomic });
+            if rng.below(2) == 0 {
+                let len = 1 + rng.below(evs.len() - i);
+                txns.push(TxnClass {
+                    events: evs[i..i + len].to_vec(),
+                    atomic,
+                });
                 i += len;
             } else {
                 i += 1;
@@ -94,84 +93,107 @@ fn with_random_txns(x: &Execution, seed: u64, atomic: bool) -> Execution {
     x.with_txns(txns)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    /// Theorem 7.2 on random C++ executions with atomic transactions.
-    #[test]
-    fn theorem_7_2_random((x, seed) in (arb_execution(true), any::<u64>())) {
+/// Theorem 7.2 on random C++ executions with atomic transactions.
+#[test]
+fn theorem_7_2_random() {
+    for seed in 0..CASES {
+        let x = arb_execution(true, seed);
         let y = with_random_txns(&x, seed, true);
-        prop_assert!(y.check_wf().is_ok());
-        prop_assert!(theorem_7_2_holds(&y));
+        assert!(y.check_wf().is_ok(), "seed {seed}");
+        assert!(theorem_7_2_holds(&y), "seed {seed}");
     }
+}
 
-    /// Theorem 7.3 on random executions: all-SC atomics, atomic txns,
-    /// race-free, consistent => TSC-consistent.
-    #[test]
-    fn theorem_7_3_random((x, seed) in (arb_execution(true), any::<u64>())) {
-        let y = with_random_txns(&x, seed, true);
+/// Theorem 7.3 on random executions: all-SC atomics, atomic txns,
+/// race-free, consistent => TSC-consistent.
+#[test]
+fn theorem_7_3_random() {
+    for seed in 0..CASES {
+        let y = with_random_txns(&arb_execution(true, seed), seed, true);
         let m = Cpp::tm();
         let hypotheses = y.ato() == y.sc_events()
             && Cpp::atomic_txns_wellformed(&y)
             && m.consistent(&y)
             && !m.racy(&y);
         if hypotheses {
-            prop_assert!(Tsc.consistent(&y), "Theorem 7.3 violated");
+            assert!(Tsc.consistent(&y), "Theorem 7.3 violated at seed {seed}");
         }
     }
+}
 
-    /// x86 monotonicity (§8.1) on random executions: growing stxn never
-    /// resurrects a forbidden execution.
-    #[test]
-    fn x86_monotone_random((x, seed) in (arb_execution(false), any::<u64>())) {
-        let y = with_random_txns(&x, seed, false);
+/// x86 monotonicity (§8.1) on random executions: growing stxn never
+/// resurrects a forbidden execution.
+#[test]
+fn x86_monotone_random() {
+    for seed in 0..CASES {
+        let y = with_random_txns(&arb_execution(false, seed), seed, false);
         if !X86::tm().consistent(&y) {
             for z in txmm::verify::txn_extensions(&y) {
-                prop_assert!(
+                assert!(
                     !X86::tm().consistent(&z),
-                    "adding stxn edges made an inconsistent x86 execution consistent"
+                    "seed {seed}: adding stxn edges made an inconsistent x86 execution consistent"
                 );
             }
         }
     }
+}
 
-    /// TSC is stronger than SC; strong isolation is stronger than weak.
-    #[test]
-    fn model_strength_random((x, seed) in (arb_execution(false), any::<u64>())) {
-        let y = with_random_txns(&x, seed, false);
+/// TSC is stronger than SC; strong isolation is stronger than weak.
+#[test]
+fn model_strength_random() {
+    for seed in 0..CASES {
+        let y = with_random_txns(&arb_execution(false, seed), seed, false);
         if Tsc.consistent(&y) {
-            prop_assert!(Sc.consistent(&y));
-            prop_assert!(txmm::models::strong_isolation(&y));
+            assert!(Sc.consistent(&y), "seed {seed}");
+            assert!(txmm::models::strong_isolation(&y), "seed {seed}");
         }
         if txmm::models::strong_isolation(&y) {
-            prop_assert!(txmm::models::weak_isolation(&y));
+            assert!(txmm::models::weak_isolation(&y), "seed {seed}");
         }
     }
+}
 
-    /// Baselines ignore transactions entirely.
-    #[test]
-    fn baselines_ignore_txns((x, seed) in (arb_execution(false), any::<u64>())) {
-        let y = with_random_txns(&x, seed, false);
-        for (tm, base) in [
-            (X86::base().consistent(&y), X86::base().consistent(&y.erase_txns())),
-            (Power::base().consistent(&y), Power::base().consistent(&y.erase_txns())),
-            (Armv8::base().consistent(&y), Armv8::base().consistent(&y.erase_txns())),
+/// Baselines ignore transactions entirely.
+#[test]
+fn baselines_ignore_txns() {
+    for seed in 0..CASES {
+        let y = with_random_txns(&arb_execution(false, seed), seed, false);
+        for (with_txns, without) in [
+            (
+                X86::base().consistent(&y),
+                X86::base().consistent(&y.erase_txns()),
+            ),
+            (
+                Power::base().consistent(&y),
+                Power::base().consistent(&y.erase_txns()),
+            ),
+            (
+                Armv8::base().consistent(&y),
+                Armv8::base().consistent(&y.erase_txns()),
+            ),
         ] {
-            prop_assert_eq!(tm, base);
+            assert_eq!(with_txns, without, "seed {seed}");
         }
     }
+}
 
-    /// Litmus construction invariants: per-location write values are
-    /// unique and contiguous; every read gains a register check.
-    #[test]
-    fn litmus_invariants(x in arb_execution(false)) {
+/// Litmus construction invariants: per-location write values are
+/// unique and contiguous; every read gains a register check.
+#[test]
+fn litmus_invariants() {
+    for seed in 0..CASES {
+        let x = arb_execution(false, seed);
         let wv = txmm::litmus::write_values(&x);
         for l in x.locations() {
-            let mut vals: Vec<u32> =
-                x.writes().inter(x.at_loc(l)).iter().map(|w| wv[w]).collect();
+            let mut vals: Vec<u32> = x
+                .writes()
+                .inter(x.at_loc(l))
+                .iter()
+                .map(|w| wv[w])
+                .collect();
             vals.sort_unstable();
             let expect: Vec<u32> = (1..=vals.len() as u32).collect();
-            prop_assert_eq!(vals, expect);
+            assert_eq!(vals, expect, "seed {seed}");
         }
         let t = litmus_from_execution("t", &x, Arch::X86);
         let reg_checks = t
@@ -179,19 +201,22 @@ proptest! {
             .iter()
             .filter(|c| matches!(c, txmm::litmus::Check::Reg { .. }))
             .count();
-        prop_assert_eq!(reg_checks, x.reads().len());
+        assert_eq!(reg_checks, x.reads().len(), "seed {seed}");
     }
+}
 
-    /// The relational algebra obeys its laws on derived relations.
-    #[test]
-    fn relation_laws(x in arb_execution(false)) {
+/// The relational algebra obeys its laws on derived relations.
+#[test]
+fn relation_laws() {
+    for seed in 0..CASES {
+        let x = arb_execution(false, seed);
         let com = x.com();
-        prop_assert!(com.plus().is_transitive());
-        prop_assert_eq!(com.inverse().inverse(), com.clone());
-        prop_assert!(com.is_subset(&com.star()));
+        assert!(com.plus().is_transitive(), "seed {seed}");
+        assert_eq!(com.inverse().inverse(), com, "seed {seed}");
+        assert!(com.is_subset(&com.star()), "seed {seed}");
         let fr = x.fr();
-        // fr never disagrees with coherence direction: fr ; co^-1 has no
-        // reflexive pair... stronger: fr ∩ co^-1 empty on wf executions.
-        prop_assert!(fr.inter(&x.co().inverse()).is_empty());
+        // fr never disagrees with coherence direction on well-formed
+        // executions: fr ∩ co⁻¹ is empty.
+        assert!(fr.inter(&x.co().inverse()).is_empty(), "seed {seed}");
     }
 }
