@@ -7,9 +7,9 @@
 //! the same front-loaded shape; the curve is printed as an ASCII plot
 //! plus the percentile table.
 
+use txmm::session::Session;
 use txmm_bench::table1_config;
-use txmm_models::{Arch, X86};
-use txmm_synth::synthesise;
+use txmm_models::Arch;
 
 fn main() {
     let events: usize = std::env::var("TXMM_MAX_EVENTS")
@@ -17,8 +17,14 @@ fn main() {
         .and_then(|s| s.parse().ok())
         .unwrap_or(4);
     println!("== Fig. 7: distribution of synthesis times ({events}-event x86 Forbid tests) ==\n");
+    let session = Session::new();
     let cfg = table1_config(Arch::X86, events);
-    let r = synthesise(&cfg, &X86::tm(), &X86::base(), None);
+    let r = session.synthesise(
+        &cfg,
+        session.resolve("x86-tm").expect("registered"),
+        session.resolve("x86").expect("registered"),
+        None,
+    );
     let total = r.elapsed;
     let mut times: Vec<f64> = r.forbid.iter().map(|f| f.at.as_secs_f64()).collect();
     times.sort_by(|a, b| a.partial_cmp(b).expect("finite"));

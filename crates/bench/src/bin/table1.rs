@@ -12,36 +12,31 @@
 //! observed; most Allow tests are observed, with the Power gap coming
 //! from load-buffering shapes (§5.3).
 
+use txmm::session::Session;
 use txmm_bench::{secs, table1_config};
-use txmm_hwsim::{ArmSim, PowerSim, Simulator, TsoSim};
-use txmm_litmus::litmus_from_execution;
-use txmm_models::{Arch, Model, Power, X86};
-use txmm_synth::{synthesise, txn_histogram, FoundTest};
+use txmm_models::Arch;
+use txmm_synth::{txn_histogram, FoundTest};
 
-fn observable(arch: Arch, x: &txmm_core::Execution) -> bool {
-    let t = litmus_from_execution("t", x, arch);
-    match arch {
-        Arch::X86 => TsoSim.observable(&t),
-        Arch::Power => PowerSim::default().observable(&t),
-        Arch::Armv8 => ArmSim::default().observable(&t),
-        _ => unreachable!("hardware archs only"),
-    }
-}
-
-fn run_arch(arch: Arch, tm: &dyn Model, base: &dyn Model, max_events: usize) {
+fn run_arch(session: &mut Session, arch: Arch, tm: &str, base: &str, max_events: usize) {
+    let tm = session.resolve(tm).expect("registered model");
+    let base = session.resolve(base).expect("registered model");
     println!("Arch.  |E|  Synth(s)  Forbid:  T    S   ¬S   Allow:  T    S   ¬S");
     let mut totals = [0usize; 6];
     let mut all_forbid: Vec<FoundTest> = Vec::new();
     for events in 2..=max_events {
         let cfg = table1_config(arch, events);
-        let r = synthesise(&cfg, tm, base, None);
+        let r = session.synthesise(&cfg, tm, base, None);
         let fs = r.forbid.len();
         let f_seen = r
             .forbid
             .iter()
-            .filter(|f| observable(arch, &f.exec))
+            .filter(|f| session.observable(&f.exec, arch) == Some(true))
             .count();
-        let a_seen = r.allow.iter().filter(|a| observable(arch, a)).count();
+        let a_seen = r
+            .allow
+            .iter()
+            .filter(|a| session.observable(a, arch) == Some(true))
+            .count();
         let als = r.allow.len();
         println!(
             "{:<6} {:<4} {:<9} {:>10} {:>4} {:>4} {:>10} {:>4} {:>4}{}",
@@ -108,6 +103,7 @@ fn main() {
         .unwrap_or(4);
     println!("== Table 1: testing the transactional x86 and Power models ==");
     println!("   (paper bounds: |E| ≤ 7/6 with SAT + hours; ours: |E| ≤ {max_events})\n");
-    run_arch(Arch::X86, &X86::tm(), &X86::base(), max_events);
-    run_arch(Arch::Power, &Power::tm(), &Power::base(), max_events);
+    let mut session = Session::new();
+    run_arch(&mut session, Arch::X86, "x86-tm", "x86", max_events);
+    run_arch(&mut session, Arch::Power, "power-tm", "power", max_events);
 }

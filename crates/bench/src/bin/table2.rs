@@ -8,11 +8,12 @@
 //! timed out (Unknown), while our bounded checker finds a candidate pair
 //! under Fig. 6 as printed (see EXPERIMENTS.md).
 
+use txmm::session::Session;
 use txmm_bench::secs;
 use txmm_core::display;
-use txmm_models::{Arch, Armv8, Cpp, Model, Power, X86};
+use txmm_models::Arch;
 use txmm_synth::EnumConfig;
-use txmm_verify::{check_compilation, check_lock_elision, check_monotonicity, ElisionTarget};
+use txmm_verify::ElisionTarget;
 
 fn mono_cfg(arch: Arch, events: usize) -> EnumConfig {
     EnumConfig {
@@ -36,16 +37,18 @@ fn main() {
         "{:<14} {:<14} {:>7} {:>10}   C'ex?",
         "Property", "Target", "Events", "Time"
     );
+    let session = Session::new();
 
     // Monotonicity (paper: x86@6 ✗, Power@2 ✓, ARMv8@2 ✓, C++@6 ✗).
-    let mono: Vec<(&str, Box<dyn Model>, Arch, usize)> = vec![
-        ("Monotonicity", Box::new(X86::tm()), Arch::X86, 4),
-        ("Monotonicity", Box::new(Power::tm()), Arch::Power, 2),
-        ("Monotonicity", Box::new(Armv8::tm()), Arch::Armv8, 2),
-        ("Monotonicity", Box::new(Cpp::tm()), Arch::Cpp, 3),
+    let mono: Vec<(&str, &str, Arch, usize)> = vec![
+        ("Monotonicity", "x86-tm", Arch::X86, 4),
+        ("Monotonicity", "power-tm", Arch::Power, 2),
+        ("Monotonicity", "armv8-tm", Arch::Armv8, 2),
+        ("Monotonicity", "cpp-tm", Arch::Cpp, 3),
     ];
     for (prop, model, arch, events) in mono {
-        let r = check_monotonicity(&mono_cfg(arch, events), model.as_ref(), None);
+        let model = session.resolve(model).expect("registered model");
+        let r = session.check_monotonicity(&mono_cfg(arch, events), model, None);
         println!(
             "{:<14} {:<14} {:>7} {:>10}   {}",
             prop,
@@ -67,7 +70,7 @@ fn main() {
 
     // Compilation (paper: sound to all three at 6 events).
     for target in [Arch::X86, Arch::Power, Arch::Armv8] {
-        let r = check_compilation(3, target, None);
+        let r = session.check_compilation(3, target, None);
         println!(
             "{:<14} {:<14} {:>7} {:>10}   {}",
             "Compilation",
@@ -89,7 +92,7 @@ fn main() {
         ElisionTarget::Armv8,
         ElisionTarget::Armv8Fixed,
     ] {
-        let r = check_lock_elision(target, None);
+        let r = session.check_lock_elision(target, None);
         let verdict = match (&r.counterexample, target) {
             (Some(_), ElisionTarget::Armv8) => "YES — Example 1.1 (paper: YES, 63s)",
             (Some(_), ElisionTarget::Power) => {

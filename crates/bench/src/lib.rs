@@ -18,7 +18,8 @@
 
 use std::time::Duration;
 
-use txmm_models::{Arch, Model};
+use txmm::session::{ModelRef, Session};
+use txmm_models::Arch;
 use txmm_synth::EnumConfig;
 
 /// The synthesis configuration used for Table 1 rows.
@@ -42,15 +43,10 @@ pub fn secs(d: Duration) -> String {
     format!("{:.2}s", d.as_secs_f64())
 }
 
-/// Format a consistency verdict like the paper's tables.
-pub fn verdict_str(m: &dyn Model, x: &txmm_core::Execution) -> String {
-    verdict_str_analysis(m, &x.analysis())
-}
-
-/// [`verdict_str`] against a shared analysis (tools print several
-/// models' verdicts per execution; derived relations are computed once).
-pub fn verdict_str_analysis(m: &dyn Model, a: &txmm_core::ExecutionAnalysis<'_>) -> String {
-    let v = m.check_analysis(a);
+/// Format a consistency verdict like the paper's tables, served (and
+/// cached) by the session.
+pub fn verdict_str(session: &mut Session, x: &txmm_core::Execution, m: ModelRef) -> String {
+    let v = session.verdict(x, m);
     if v.is_consistent() {
         "consistent".to_string()
     } else {
@@ -73,9 +69,11 @@ mod tests {
     #[test]
     fn helpers() {
         assert_eq!(secs(Duration::from_millis(1500)), "1.50s");
+        let mut s = Session::new();
+        let sc = s.resolve("SC").unwrap();
         let x = txmm_models::catalog::fig1();
-        assert!(verdict_str(&txmm_models::Sc, &x).contains("consistent"));
+        assert!(verdict_str(&mut s, &x, sc).contains("consistent"));
         let y = txmm_models::catalog::sb(None, false, false);
-        assert!(verdict_str(&txmm_models::Sc, &y).contains("Order"));
+        assert!(verdict_str(&mut s, &y, sc).contains("Order"));
     }
 }

@@ -79,9 +79,12 @@ pub fn dot(x: &Execution) -> String {
     }
     // Immediate po edges only, to keep diagrams readable.
     for t in 0..x.num_threads() {
-        let evs = x.thread_events(t as u8);
-        for pair in evs.windows(2) {
-            out.push_str(&format!("  e{} -> e{} [label=\"po\"];\n", pair[0], pair[1]));
+        let mut prev: Option<usize> = None;
+        for e in x.thread_events(t as u8) {
+            if let Some(p) = prev {
+                out.push_str(&format!("  e{p} -> e{e} [label=\"po\"];\n"));
+            }
+            prev = Some(e);
         }
     }
     for (name, rel) in [

@@ -2,8 +2,153 @@
 
 use crate::event::{Attrs, Call, Event, EventId, EventKind, Fence, Loc, Tid};
 use crate::rel::Rel;
-use crate::set::EventSet;
+use crate::set::{EventSet, MAX_EVENTS};
 use crate::wf::{self, WfError};
+
+/// The event ids of one thread in program order: an allocation-free
+/// iterator whose backing store is a fixed inline array (this type sits
+/// on the enumeration hot path, where a heap `Vec` per call dominated).
+///
+/// Also supports random access via [`ThreadEvents::get`] /
+/// [`ThreadEvents::index_of`] for callers that need positions.
+///
+/// Deliberately `Clone` but not `Copy`: a `Copy` iterator makes
+/// `for e in it` consume an implicit copy, silently restarting a later
+/// `it.next()` from the beginning (the reason `std::ops::Range` is not
+/// `Copy` either).
+#[derive(Debug, Clone)]
+pub struct ThreadEvents {
+    ids: [u8; MAX_EVENTS],
+    len: u8,
+    pos: u8,
+}
+
+impl ThreadEvents {
+    fn new(x: &Execution, tid: Tid) -> ThreadEvents {
+        let mut ids = [0u8; MAX_EVENTS];
+        let mut len = 0usize;
+        for e in 0..x.len() {
+            if x.events[e].tid == tid {
+                ids[len] = e as u8;
+                len += 1;
+            }
+        }
+        // Order by po (insertion sort over ≤ 64 inline slots). Ids are
+        // id-ordered already in every constructor this crate ships, but
+        // `from_parts` accepts any per-thread total order.
+        for i in 1..len {
+            let mut j = i;
+            while j > 0 && x.po.contains(ids[j] as usize, ids[j - 1] as usize) {
+                ids.swap(j, j - 1);
+                j -= 1;
+            }
+        }
+        ThreadEvents {
+            ids,
+            len: len as u8,
+            pos: 0,
+        }
+    }
+
+    /// Remaining events.
+    #[allow(clippy::len_without_is_empty)]
+    pub fn len(&self) -> usize {
+        (self.len - self.pos) as usize
+    }
+
+    /// True when no events remain.
+    pub fn is_empty(&self) -> bool {
+        self.pos == self.len
+    }
+
+    /// The `i`-th remaining event (program order).
+    pub fn get(&self, i: usize) -> EventId {
+        assert!(i < self.len(), "thread event index out of range");
+        self.ids[self.pos as usize + i] as EventId
+    }
+
+    /// The position of `e` among the remaining events, if present.
+    pub fn index_of(&self, e: EventId) -> Option<usize> {
+        (self.pos as usize..self.len as usize).position(|i| self.ids[i] as EventId == e)
+    }
+}
+
+impl Iterator for ThreadEvents {
+    type Item = EventId;
+
+    fn next(&mut self) -> Option<EventId> {
+        if self.pos < self.len {
+            let e = self.ids[self.pos as usize] as EventId;
+            self.pos += 1;
+            Some(e)
+        } else {
+            None
+        }
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let n = self.len();
+        (n, Some(n))
+    }
+}
+
+impl ExactSizeIterator for ThreadEvents {}
+
+/// The set of locations an execution accesses, iterated in ascending
+/// order: an allocation-free bit-set iterator (replaces a sorted,
+/// deduplicated `Vec` built per call on hot enumeration paths).
+///
+/// `Clone` but not `Copy`, for the same implicit-restart reason as
+/// [`ThreadEvents`].
+#[derive(Debug, Clone, Default)]
+pub struct LocSet {
+    bits: [u64; 4],
+}
+
+impl LocSet {
+    /// Insert a location.
+    pub fn insert(&mut self, l: Loc) {
+        self.bits[(l / 64) as usize] |= 1u64 << (l % 64);
+    }
+
+    /// Membership test.
+    pub fn contains(&self, l: Loc) -> bool {
+        self.bits[(l / 64) as usize] & (1u64 << (l % 64)) != 0
+    }
+
+    /// Number of locations.
+    #[allow(clippy::len_without_is_empty)]
+    pub fn len(&self) -> usize {
+        self.bits.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// True when no locations remain.
+    pub fn is_empty(&self) -> bool {
+        self.bits.iter().all(|&w| w == 0)
+    }
+}
+
+impl Iterator for LocSet {
+    type Item = Loc;
+
+    fn next(&mut self) -> Option<Loc> {
+        for (w, word) in self.bits.iter_mut().enumerate() {
+            if *word != 0 {
+                let b = word.trailing_zeros();
+                *word &= *word - 1;
+                return Some((w as u32 * 64 + b) as Loc);
+            }
+        }
+        None
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let n = self.len();
+        (n, Some(n))
+    }
+}
+
+impl ExactSizeIterator for LocSet {}
 
 /// One successful transaction: a contiguous run of events on one thread.
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
@@ -127,28 +272,23 @@ impl Execution {
     }
 
     /// Event ids on thread `tid`, in program order.
-    pub fn thread_events(&self, tid: Tid) -> Vec<EventId> {
-        let mut ids: Vec<EventId> = (0..self.len())
-            .filter(|&e| self.events[e].tid == tid)
-            .collect();
-        ids.sort_by(|&a, &b| {
-            if self.po.contains(a, b) {
-                std::cmp::Ordering::Less
-            } else if self.po.contains(b, a) {
-                std::cmp::Ordering::Greater
-            } else {
-                std::cmp::Ordering::Equal
-            }
-        });
-        ids
+    ///
+    /// Returns an allocation-free inline iterator; collect it only when
+    /// a `Vec` is genuinely needed.
+    pub fn thread_events(&self, tid: Tid) -> ThreadEvents {
+        ThreadEvents::new(self, tid)
     }
 
-    /// The set of locations accessed.
-    pub fn locations(&self) -> Vec<Loc> {
-        let mut locs: Vec<Loc> = self.events.iter().filter_map(|e| e.loc).collect();
-        locs.sort_unstable();
-        locs.dedup();
-        locs
+    /// The set of locations accessed, iterated in ascending order
+    /// (allocation-free).
+    pub fn locations(&self) -> LocSet {
+        let mut s = LocSet::default();
+        for e in &self.events {
+            if let Some(l) = e.loc {
+                s.insert(l);
+            }
+        }
+        s
     }
 
     // ---- Event sets ------------------------------------------------------

@@ -20,6 +20,9 @@
 //!   `com`, `rfe`/`fre`/`coe`, fence relations, `stxn`, `tfence`, `scr`);
 //! * [`analysis::ExecutionAnalysis`] — the shared per-execution cache
 //!   of derived relations every model checks against;
+//! * [`arena::PackedExecution`] / [`arena::ExecArena`] — whole
+//!   executions as inline `Copy` values, interned for long-lived
+//!   serving (events/txns in fixed arrays mirroring `Rel`'s rows);
 //! * [`wf`] — the well-formedness conditions;
 //! * [`build::ExecBuilder`] — a fluent constructor;
 //! * [`display`] — text and Graphviz rendering.
@@ -47,6 +50,7 @@
 //! ```
 
 pub mod analysis;
+pub mod arena;
 pub mod build;
 pub mod display;
 pub mod event;
@@ -57,9 +61,10 @@ pub mod set;
 pub mod wf;
 
 pub use analysis::ExecutionAnalysis;
+pub use arena::{ExecArena, ExecId, PackedExecution};
 pub use build::ExecBuilder;
 pub use event::{loc_name, Attrs, Call, Event, EventId, EventKind, Fence, Loc, Tid};
-pub use exec::{CrClass, Execution, TxnClass};
+pub use exec::{CrClass, Execution, LocSet, ThreadEvents, TxnClass};
 pub use rel::{stronglift, union_all, weaklift, Rel};
 pub use set::{EventSet, MAX_EVENTS};
 pub use wf::WfError;
@@ -69,7 +74,7 @@ pub mod prelude {
     pub use crate::analysis::ExecutionAnalysis;
     pub use crate::build::ExecBuilder;
     pub use crate::event::{loc_name, Attrs, Call, Event, EventId, EventKind, Fence, Loc, Tid};
-    pub use crate::exec::{CrClass, Execution, TxnClass};
+    pub use crate::exec::{CrClass, Execution, LocSet, ThreadEvents, TxnClass};
     pub use crate::rel::{stronglift, union_all, weaklift, Rel};
     pub use crate::set::EventSet;
     pub use crate::wf::WfError;

@@ -60,9 +60,8 @@ pub fn litmus_from_execution(name: &str, x: &Execution, arch: Arch) -> LitmusTes
     for tid in 0..x.num_threads() {
         let mut instrs: Vec<Instr> = Vec::new();
         let mut next_reg = 0usize;
-        let events = x.thread_events(tid as u8);
         let mut open_txn: Option<usize> = None;
-        for &e in &events {
+        for e in x.thread_events(tid as u8) {
             // Close/open transactions at class boundaries (adjacent
             // transactions need an explicit TxEnd before the next
             // TxBegin).

@@ -22,7 +22,9 @@ pub mod ast;
 pub mod from_exec;
 pub mod parse;
 pub mod render;
+pub mod to_exec;
 
 pub use ast::{AccessMode, Check, Dep, DepKind, Instr, LitmusTest, Op, Reg};
 pub use from_exec::{litmus_from_execution, read_values, write_values};
 pub use parse::{parse_litmus, LitmusParseError};
+pub use to_exec::{execution_from_litmus, LitmusConvertError};

@@ -1,0 +1,518 @@
+//! Reconstructing the candidate execution a litmus test pins down —
+//! the inverse of [`crate::from_exec::litmus_from_execution`].
+//!
+//! A litmus test in this workspace's format identifies exactly one
+//! candidate execution (§2.2/§3.2 of the paper): write values are
+//! unique per location, so a passing register check names the write a
+//! read observed (`rf`), the sorted value order per location gives the
+//! coherence order (`co`), dependency annotations give `addr`/`ctrl`/
+//! `data`, exclusive access pairs give `rmw`, and `txbegin`/`txend`
+//! brackets give the transaction classes. This module rebuilds that
+//! execution, which is what lets a long-lived serving process answer
+//! model verdicts for litmus *files* rather than only for in-memory
+//! executions.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use txmm_core::{Attrs, Event, EventId, Execution, Loc, Rel, TxnClass, WfError, MAX_EVENTS};
+
+use crate::ast::{AccessMode, Check, DepKind, LitmusTest, Op};
+
+/// Why a litmus test does not determine a well-formed execution.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LitmusConvertError {
+    /// The program has more events than [`MAX_EVENTS`].
+    TooManyEvents(usize),
+    /// Two stores to one location share a value, so register checks
+    /// cannot identify which write a read observed.
+    AmbiguousWriteValue(Loc, u32),
+    /// A store writes 0, the reserved initial value — a register check
+    /// of 0 could then mean either the store or the initial value.
+    ZeroWriteValue(Loc),
+    /// A register check expects a value no store to that location
+    /// writes.
+    NoWriteWithValue(Loc, u32),
+    /// A register check names a thread/register with no matching load.
+    NoSuchRegister(usize, usize),
+    /// A final-state check disagrees with the coherence order implied
+    /// by the write values.
+    InconsistentFinalState(Loc),
+    /// A dependency annotation points at an instruction that is not an
+    /// event (or not present).
+    BadDepTarget(usize, usize),
+    /// Exclusive accesses on a thread do not pair into rmw edges: a
+    /// store-exclusive with no matching same-location load-exclusive,
+    /// two load-exclusives in a row, or a load-exclusive never
+    /// completed by a store-exclusive.
+    UnpairedExclusive(usize),
+    /// The reconstructed graph fails well-formedness.
+    IllFormed(WfError),
+}
+
+impl fmt::Display for LitmusConvertError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LitmusConvertError::TooManyEvents(n) => {
+                write!(f, "program has {n} events (max {MAX_EVENTS})")
+            }
+            LitmusConvertError::AmbiguousWriteValue(l, v) => {
+                write!(f, "two stores write {v} to location {l}")
+            }
+            LitmusConvertError::ZeroWriteValue(l) => {
+                write!(
+                    f,
+                    "a store writes the reserved initial value 0 to location {l}"
+                )
+            }
+            LitmusConvertError::NoWriteWithValue(l, v) => {
+                write!(f, "no store writes {v} to location {l}")
+            }
+            LitmusConvertError::NoSuchRegister(t, r) => {
+                write!(f, "check names unknown register {t}:r{r}")
+            }
+            LitmusConvertError::InconsistentFinalState(l) => {
+                write!(
+                    f,
+                    "final-state check contradicts write values at location {l}"
+                )
+            }
+            LitmusConvertError::BadDepTarget(t, i) => {
+                write!(f, "dependency on non-event instruction {i} of thread {t}")
+            }
+            LitmusConvertError::UnpairedExclusive(t) => {
+                write!(
+                    f,
+                    "exclusive accesses on thread {t} do not pair into rmw edges"
+                )
+            }
+            LitmusConvertError::IllFormed(e) => write!(f, "reconstructed execution: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for LitmusConvertError {}
+
+/// Rebuild the candidate execution a litmus test identifies.
+///
+/// Reads with no register check observe the initial value (the
+/// generator checks every read, so this default only applies to
+/// hand-written tests). Transactions are reconstructed as successful,
+/// non-atomic classes — the litmus AST does not distinguish C++ atomic
+/// blocks.
+pub fn execution_from_litmus(t: &LitmusTest) -> Result<Execution, LitmusConvertError> {
+    // Event-producing instructions (txbegin/txend brackets are not
+    // events).
+    let num_events = t
+        .threads
+        .iter()
+        .flatten()
+        .filter(|i| !matches!(i.op, Op::TxBegin { .. } | Op::TxEnd))
+        .count();
+    if num_events > MAX_EVENTS {
+        return Err(LitmusConvertError::TooManyEvents(num_events));
+    }
+
+    // Pass 1: create events thread by thread in program order.
+    let mut events: Vec<Event> = Vec::new();
+    // (tid, reg) -> read event.
+    let mut reg_event: HashMap<(usize, usize), EventId> = HashMap::new();
+    // Per location: value -> write event.
+    let mut writes_by_loc: HashMap<Loc, Vec<(u32, EventId)>> = HashMap::new();
+    // (tid, instruction index) -> event id, for dependency targets.
+    let mut instr_event: HashMap<(usize, usize), EventId> = HashMap::new();
+    let mut txns: Vec<TxnClass> = Vec::new();
+    let mut deps: Vec<(DepKind, EventId, EventId)> = Vec::new();
+    // Exclusive accesses per thread, in program order, for rmw pairing.
+    let mut rmw_pairs: Vec<(EventId, EventId)> = Vec::new();
+
+    let attrs_of = |m: &AccessMode| {
+        let mut a = Attrs::NONE;
+        if m.acquire {
+            a = a.union(Attrs::ACQ);
+        }
+        if m.release {
+            a = a.union(Attrs::REL);
+        }
+        if m.sc {
+            a = a.union(Attrs::SC);
+        }
+        if m.atomic {
+            a = a.union(Attrs::ATO);
+        }
+        a
+    };
+
+    for (tid, instrs) in t.threads.iter().enumerate() {
+        let mut open_txn: Option<Vec<EventId>> = None;
+        let mut pending_exclusive: Option<(EventId, Loc)> = None;
+        for (idx, instr) in instrs.iter().enumerate() {
+            let ev = match &instr.op {
+                Op::Load { reg, loc, mode } => {
+                    let e = events.len();
+                    reg_event.insert((tid, *reg), e);
+                    if mode.exclusive {
+                        if pending_exclusive.is_some() {
+                            return Err(LitmusConvertError::UnpairedExclusive(tid));
+                        }
+                        pending_exclusive = Some((e, *loc));
+                    }
+                    Some(Event {
+                        kind: txmm_core::EventKind::Read,
+                        tid: tid as u8,
+                        loc: Some(*loc),
+                        attrs: attrs_of(mode),
+                    })
+                }
+                Op::Store { loc, value, mode } => {
+                    let e = events.len();
+                    if *value == 0 {
+                        return Err(LitmusConvertError::ZeroWriteValue(*loc));
+                    }
+                    let per_loc = writes_by_loc.entry(*loc).or_default();
+                    if per_loc.iter().any(|&(v, _)| v == *value) {
+                        return Err(LitmusConvertError::AmbiguousWriteValue(*loc, *value));
+                    }
+                    per_loc.push((*value, e));
+                    if mode.exclusive {
+                        match pending_exclusive.take() {
+                            Some((r, l)) if l == *loc => rmw_pairs.push((r, e)),
+                            _ => return Err(LitmusConvertError::UnpairedExclusive(tid)),
+                        }
+                    }
+                    Some(Event {
+                        kind: txmm_core::EventKind::Write,
+                        tid: tid as u8,
+                        loc: Some(*loc),
+                        attrs: attrs_of(mode),
+                    })
+                }
+                Op::Fence(f, attrs) => Some(Event {
+                    kind: txmm_core::EventKind::Fence(*f),
+                    tid: tid as u8,
+                    loc: None,
+                    attrs: *attrs,
+                }),
+                Op::LockCall(sym) => {
+                    let call = match *sym {
+                        "L" => txmm_core::Call::Lock,
+                        "U" => txmm_core::Call::Unlock,
+                        "Lt" => txmm_core::Call::TLock,
+                        _ => txmm_core::Call::TUnlock,
+                    };
+                    Some(Event::call(tid as u8, call))
+                }
+                Op::TxBegin { .. } => {
+                    open_txn = Some(Vec::new());
+                    None
+                }
+                Op::TxEnd => {
+                    if let Some(evs) = open_txn.take() {
+                        if !evs.is_empty() {
+                            txns.push(TxnClass {
+                                events: evs,
+                                atomic: false,
+                            });
+                        }
+                    }
+                    None
+                }
+            };
+            if let Some(ev) = ev {
+                let e = events.len();
+                instr_event.insert((tid, idx), e);
+                if let Some(evs) = open_txn.as_mut() {
+                    evs.push(e);
+                }
+                for d in &instr.deps {
+                    let src = *instr_event
+                        .get(&(tid, d.on))
+                        .ok_or(LitmusConvertError::BadDepTarget(tid, d.on))?;
+                    deps.push((d.kind, src, e));
+                }
+                events.push(ev);
+            }
+        }
+        if pending_exclusive.is_some() {
+            return Err(LitmusConvertError::UnpairedExclusive(tid));
+        }
+        // An unterminated transaction still closes at thread end.
+        if let Some(evs) = open_txn.take() {
+            if !evs.is_empty() {
+                txns.push(TxnClass {
+                    events: evs,
+                    atomic: false,
+                });
+            }
+        }
+    }
+
+    let n = events.len();
+
+    // po: same thread, earlier event (events were created thread-major
+    // in program order).
+    let mut po = Rel::empty(n);
+    for a in 0..n {
+        for b in (a + 1)..n {
+            if events[a].tid == events[b].tid {
+                po.add(a, b);
+            }
+        }
+    }
+
+    // co: writes per location ordered by ascending value (the generator
+    // assigns 1 + coherence position).
+    let mut co = Rel::empty(n);
+    for per_loc in writes_by_loc.values_mut() {
+        per_loc.sort_unstable_by_key(|&(v, _)| v);
+        for i in 0..per_loc.len() {
+            for j in (i + 1)..per_loc.len() {
+                co.add(per_loc[i].1, per_loc[j].1);
+            }
+        }
+    }
+
+    // rf: register checks name the observed write by value; 0 = initial.
+    let mut rf = Rel::empty(n);
+    for check in &t.post {
+        match check {
+            Check::Reg { tid, reg, value } => {
+                let &r = reg_event
+                    .get(&(*tid, *reg))
+                    .ok_or(LitmusConvertError::NoSuchRegister(*tid, *reg))?;
+                if *value == 0 {
+                    continue; // initial value: no incoming rf edge
+                }
+                let loc = events[r].loc.expect("read has a location");
+                let w = writes_by_loc
+                    .get(&loc)
+                    .and_then(|ws| ws.iter().find(|&&(v, _)| v == *value))
+                    .ok_or(LitmusConvertError::NoWriteWithValue(loc, *value))?
+                    .1;
+                rf.add(w, r);
+            }
+            Check::Loc { loc, value } => {
+                // Must name the co-maximal write's value, or 0 (the
+                // initial value) for a location nothing writes.
+                let ok = match writes_by_loc.get(loc).and_then(|ws| ws.last()) {
+                    Some(&(v, _)) => v == *value,
+                    None => *value == 0,
+                };
+                if !ok {
+                    return Err(LitmusConvertError::InconsistentFinalState(*loc));
+                }
+            }
+            Check::CoSeq { loc, values } => {
+                let written = writes_by_loc.get(loc).map(Vec::as_slice).unwrap_or(&[]);
+                if !written.iter().map(|&(v, _)| v).eq(values.iter().copied()) {
+                    return Err(LitmusConvertError::InconsistentFinalState(*loc));
+                }
+            }
+            Check::TxnOk { .. } => {} // all reconstructed txns committed
+        }
+    }
+
+    // Dependencies.
+    let mut addr = Rel::empty(n);
+    let mut ctrl = Rel::empty(n);
+    let mut data = Rel::empty(n);
+    for (kind, a, b) in deps {
+        match kind {
+            DepKind::Addr => addr.add(a, b),
+            DepKind::Ctrl => ctrl.add(a, b),
+            DepKind::Data => data.add(a, b),
+        }
+    }
+
+    let mut rmw = Rel::empty(n);
+    for (r, w) in rmw_pairs {
+        rmw.add(r, w);
+    }
+
+    let x = Execution::from_parts(events, po, addr, ctrl, data, rmw, rf, co, txns);
+    x.check_wf().map_err(LitmusConvertError::IllFormed)?;
+    Ok(x)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::from_exec::litmus_from_execution;
+    use crate::parse::parse_litmus;
+    use txmm_core::ExecBuilder;
+    use txmm_models::{catalog, Arch};
+
+    fn roundtrip(x: &Execution, arch: Arch, name: &str) {
+        let t = litmus_from_execution(name, x, arch);
+        let back = execution_from_litmus(&t).unwrap_or_else(|e| panic!("{name}: {e}"));
+        assert_eq!(&back, x, "{name}: litmus round-trip changed the execution");
+    }
+
+    #[test]
+    fn roundtrip_catalog_shapes() {
+        roundtrip(&catalog::fig1(), Arch::X86, "fig1");
+        roundtrip(&catalog::fig2(), Arch::X86, "fig2");
+        roundtrip(&catalog::sb(None, false, false), Arch::X86, "sb");
+        roundtrip(
+            &catalog::sb(Some(txmm_core::Fence::MFence), false, false),
+            Arch::X86,
+            "sb+mfence",
+        );
+        roundtrip(
+            &catalog::mp(Some(txmm_core::Fence::Sync), true, false),
+            Arch::Power,
+            "mp+sync+dep",
+        );
+        roundtrip(&catalog::power_exec3(true), Arch::Power, "iriw");
+        roundtrip(&catalog::armv8_elision(false), Arch::Armv8, "elision");
+        roundtrip(&catalog::rmw_txn(true), Arch::Power, "rmw-split");
+    }
+
+    #[test]
+    fn roundtrip_through_text() {
+        // render -> parse -> execution equals the original execution.
+        let x = catalog::fig2();
+        let t = litmus_from_execution("fig2", &x, Arch::X86);
+        let printed = crate::render::pseudocode(&t);
+        let parsed = parse_litmus(&printed).expect("parses");
+        assert_eq!(execution_from_litmus(&parsed).expect("converts"), x);
+    }
+
+    #[test]
+    fn unchecked_read_defaults_to_initial_value() {
+        let src = "t (x86)\n\
+                   thread 0:\n\
+                   \u{20} x <- 1\n\
+                   \u{20} r0 <- x\n\
+                   Test: x = 1\n";
+        let t = parse_litmus(src).expect("parses");
+        let x = execution_from_litmus(&t).expect("converts");
+        assert!(
+            x.rf().is_empty(),
+            "unchecked read observes the initial value"
+        );
+        assert!(!x.fr().is_empty());
+    }
+
+    #[test]
+    fn unpaired_exclusives_rejected() {
+        // Store-exclusive to a different location than the pending
+        // load-exclusive.
+        let src = "t (ARMv8)\n\
+                   thread 0:\n\
+                   \u{20} r0 <- x.ex\n\
+                   \u{20} y.ex <- 1\n\
+                   Test: 0:r0 = 0\n";
+        let t = parse_litmus(src).expect("parses");
+        assert_eq!(
+            execution_from_litmus(&t),
+            Err(LitmusConvertError::UnpairedExclusive(0))
+        );
+        // Load-exclusive never completed.
+        let src = "t (ARMv8)\n\
+                   thread 0:\n\
+                   \u{20} r0 <- x.ex\n\
+                   Test: 0:r0 = 0\n";
+        let t = parse_litmus(src).expect("parses");
+        assert_eq!(
+            execution_from_litmus(&t),
+            Err(LitmusConvertError::UnpairedExclusive(0))
+        );
+    }
+
+    #[test]
+    fn zero_write_value_rejected() {
+        // A store of 0 would collide with the reserved initial value in
+        // register checks; the conversion refuses rather than guessing.
+        let src = "t (x86)\n\
+                   thread 0:\n\
+                   \u{20} x <- 0\n\
+                   \u{20} r0 <- x\n\
+                   Test: 0:r0 = 0\n";
+        let t = parse_litmus(src).expect("parses");
+        assert_eq!(
+            execution_from_litmus(&t),
+            Err(LitmusConvertError::ZeroWriteValue(0))
+        );
+    }
+
+    #[test]
+    fn final_state_zero_accepted_for_unwritten_location() {
+        let src = "t (x86)\n\
+                   thread 0:\n\
+                   \u{20} r0 <- x\n\
+                   Test: 0:r0 = 0 /\\ x = 0\n";
+        let t = parse_litmus(src).expect("parses");
+        let x = execution_from_litmus(&t).expect("x = 0 is the initial value");
+        assert_eq!(x.len(), 1);
+        assert!(x.rf().is_empty());
+    }
+
+    #[test]
+    fn ambiguous_values_rejected() {
+        let src = "t (x86)\n\
+                   thread 0:\n\
+                   \u{20} x <- 1\n\
+                   thread 1:\n\
+                   \u{20} x <- 1\n\
+                   Test: x = 1\n";
+        let t = parse_litmus(src).expect("parses");
+        assert_eq!(
+            execution_from_litmus(&t),
+            Err(LitmusConvertError::AmbiguousWriteValue(0, 1))
+        );
+    }
+
+    #[test]
+    fn missing_write_value_rejected() {
+        let src = "t (x86)\n\
+                   thread 0:\n\
+                   \u{20} r0 <- x\n\
+                   Test: 0:r0 = 7\n";
+        let t = parse_litmus(src).expect("parses");
+        assert_eq!(
+            execution_from_litmus(&t),
+            Err(LitmusConvertError::NoWriteWithValue(0, 7))
+        );
+    }
+
+    #[test]
+    fn final_state_contradiction_rejected() {
+        let src = "t (x86)\n\
+                   thread 0:\n\
+                   \u{20} x <- 1\n\
+                   \u{20} x <- 2\n\
+                   Test: x = 1\n";
+        let t = parse_litmus(src).expect("parses");
+        assert_eq!(
+            execution_from_litmus(&t),
+            Err(LitmusConvertError::InconsistentFinalState(0))
+        );
+    }
+
+    #[test]
+    fn txn_brackets_reconstructed() {
+        let mut b = ExecBuilder::new();
+        let t0 = b.new_thread();
+        let w = b.write(t0, 0);
+        let r = b.read(t0, 1);
+        b.txn(&[w, r]);
+        let t1 = b.new_thread();
+        let w1 = b.write(t1, 1);
+        b.rf(w1, r);
+        let x = b.build().unwrap();
+        roundtrip(&x, Arch::X86, "txn");
+    }
+
+    #[test]
+    fn converted_executions_get_model_verdicts() {
+        // End to end: the SB litmus test's execution is forbidden under
+        // SC and allowed under x86.
+        use txmm_models::Model;
+        let x = catalog::sb(None, false, false);
+        let t = litmus_from_execution("sb", &x, Arch::X86);
+        let back = execution_from_litmus(&t).unwrap();
+        assert!(!txmm_models::Sc.consistent(&back));
+        assert!(txmm_models::X86::base().consistent(&back));
+    }
+}

@@ -43,7 +43,7 @@ pub use ablation::{PowerAblated, PowerAblation};
 pub use arch::{Arch, VocabError};
 pub use armv8::Armv8;
 pub use cpp::Cpp;
-pub use model::{Checker, Derived, Model, Verdict};
+pub use model::{check_models, consistent_pair, Checker, Derived, Model, Verdict};
 pub use power::Power;
 pub use sc::{strong_isolation, strong_isolation_atomic, weak_isolation, Sc, Tsc};
 pub use x86::X86;

@@ -101,6 +101,14 @@ impl Checker {
         self
     }
 
+    /// Record a violation directly. Adapters wrapping externally
+    /// evaluated models (the `.cat` backend of the unified registry)
+    /// translate their own failed checks through this.
+    pub fn fail(&mut self, axiom: &'static str) -> &mut Self {
+        self.verdict.violations.push(axiom);
+        self
+    }
+
     /// The final verdict.
     pub fn finish(self) -> Verdict {
         self.verdict
@@ -193,6 +201,24 @@ pub trait Model: Sync {
     fn consistent_analysis(&self, a: &ExecutionAnalysis<'_>) -> bool {
         self.check_analysis(a).is_consistent()
     }
+}
+
+/// Check several models against one execution, sharing a single
+/// [`ExecutionAnalysis`] across all of them.
+///
+/// This is the one sanctioned way for drivers to check more than one
+/// model per execution: derived structure (`fr`, `com`, lifts, fence
+/// relations) is computed once here instead of once per model.
+pub fn check_models(models: &[&dyn Model], x: &Execution) -> Vec<Verdict> {
+    let a = x.analysis();
+    models.iter().map(|m| m.check_analysis(&a)).collect()
+}
+
+/// Consistency of a `(m, n)` model pair on one execution over one
+/// shared analysis (the model-difference search's inner loop).
+pub fn consistent_pair(m: &dyn Model, n: &dyn Model, x: &Execution) -> (bool, bool) {
+    let a = x.analysis();
+    (m.consistent_analysis(&a), n.consistent_analysis(&a))
 }
 
 #[cfg(test)]

@@ -3,15 +3,57 @@
 //! Given two models `M` and `N`, find executions that are inconsistent
 //! under `M` but consistent under `N` — the seed operation behind axiom
 //! refinement (§4.1).
+//!
+//! The search is sharded by thread shape like the enumerator itself:
+//! shards run on every core via [`crate::par`], results merge in shape
+//! order, so the parallel search returns exactly the witnesses the
+//! sequential one would (the sequential versions are kept as
+//! differential references).
+
+use std::sync::atomic::{AtomicBool, Ordering};
 
 use txmm_core::Execution;
-use txmm_models::Model;
+use txmm_models::{consistent_pair, Model};
 
-use crate::enumerate::{enumerate, EnumConfig};
+use crate::enumerate::{config_shapes, enumerate, enumerate_shape, EnumConfig};
+use crate::par::par_map;
 
 /// Executions distinguishing `m` (forbids) from `n` (allows), up to the
 /// configured size; stops after `limit` witnesses when given.
+///
+/// Runs shape shards in parallel on every core; the result lists the
+/// same witnesses in the same (shape-major) order as
+/// [`distinguish_seq`].
 pub fn distinguish(
+    cfg: &EnumConfig,
+    m: &dyn Model,
+    n: &dyn Model,
+    limit: Option<usize>,
+) -> Vec<Execution> {
+    let shards = par_map(config_shapes(cfg), |shape| {
+        let mut out = Vec::new();
+        enumerate_shape(cfg, &shape, &mut |x| {
+            if let Some(l) = limit {
+                if out.len() >= l {
+                    return;
+                }
+            }
+            let (mc, nc) = consistent_pair(m, n, x);
+            if !mc && nc {
+                out.push(x.clone());
+            }
+        });
+        out
+    });
+    let mut out: Vec<Execution> = shards.into_iter().flatten().collect();
+    if let Some(l) = limit {
+        out.truncate(l);
+    }
+    out
+}
+
+/// The sequential reference implementation of [`distinguish`].
+pub fn distinguish_seq(
     cfg: &EnumConfig,
     m: &dyn Model,
     n: &dyn Model,
@@ -24,8 +66,8 @@ pub fn distinguish(
                 return;
             }
         }
-        let a = x.analysis();
-        if !m.consistent_analysis(&a) && n.consistent_analysis(&a) {
+        let (mc, nc) = consistent_pair(m, n, x);
+        if !mc && nc {
             out.push(x.clone());
         }
     });
@@ -33,14 +75,34 @@ pub fn distinguish(
 }
 
 /// Are the two models equivalent on every execution up to the bound?
+///
+/// Shards run in parallel; the first disagreement anywhere stops every
+/// other shard early.
 pub fn equivalent(cfg: &EnumConfig, m: &dyn Model, n: &dyn Model) -> bool {
+    let diverged = AtomicBool::new(false);
+    par_map(config_shapes(cfg), |shape| {
+        enumerate_shape(cfg, &shape, &mut |x| {
+            if diverged.load(Ordering::Relaxed) {
+                return;
+            }
+            let (mc, nc) = consistent_pair(m, n, x);
+            if mc != nc {
+                diverged.store(true, Ordering::Relaxed);
+            }
+        });
+    });
+    !diverged.load(Ordering::Relaxed)
+}
+
+/// The sequential reference implementation of [`equivalent`].
+pub fn equivalent_seq(cfg: &EnumConfig, m: &dyn Model, n: &dyn Model) -> bool {
     let mut eq = true;
     enumerate(cfg, &mut |x| {
         if !eq {
             return;
         }
-        let a = x.analysis();
-        if m.consistent_analysis(&a) != n.consistent_analysis(&a) {
+        let (mc, nc) = consistent_pair(m, n, x);
+        if mc != nc {
             eq = false;
         }
     });
@@ -50,6 +112,7 @@ pub fn equivalent(cfg: &EnumConfig, m: &dyn Model, n: &dyn Model) -> bool {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::canon::canon_key;
     use txmm_models::{Arch, Sc, Tsc, X86};
 
     #[test]
@@ -118,5 +181,38 @@ mod tests {
             equivalent(&cfg, &X86::base(), &X86::tm()),
             "equal without transactions"
         );
+    }
+
+    #[test]
+    fn parallel_matches_sequential() {
+        let cfg = EnumConfig {
+            arch: Arch::Sc,
+            events: 3,
+            max_threads: 2,
+            max_locs: 2,
+            fences: false,
+            deps: false,
+            rmws: false,
+            txns: true,
+            attrs: false,
+            atomic_txns: false,
+        };
+        let par: Vec<_> = distinguish(&cfg, &Tsc, &Sc, None)
+            .iter()
+            .map(canon_key)
+            .collect();
+        let seq: Vec<_> = distinguish_seq(&cfg, &Tsc, &Sc, None)
+            .iter()
+            .map(canon_key)
+            .collect();
+        assert_eq!(par, seq, "same witnesses in the same shape-major order");
+        // Limits truncate the same prefix.
+        let par2: Vec<_> = distinguish(&cfg, &Tsc, &Sc, Some(3))
+            .iter()
+            .map(canon_key)
+            .collect();
+        assert_eq!(par2, seq[..3]);
+        assert_eq!(equivalent(&cfg, &Tsc, &Sc), equivalent_seq(&cfg, &Tsc, &Sc));
+        assert_eq!(equivalent(&cfg, &Sc, &Sc), equivalent_seq(&cfg, &Sc, &Sc));
     }
 }

@@ -36,7 +36,7 @@ pub mod suites;
 pub mod weaken;
 
 pub use canon::canon_key;
-pub use diff::{distinguish, equivalent};
+pub use diff::{distinguish, distinguish_seq, equivalent, equivalent_seq};
 pub use enumerate::{count, count_par, enumerate, enumerate_par, enumerate_shape, EnumConfig};
 pub use par::par_map;
 pub use suites::{

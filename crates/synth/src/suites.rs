@@ -161,7 +161,7 @@ fn forbid_test(
     if x.txns().is_empty() {
         return None;
     }
-    if tm.consistent_analysis(&x.analysis()) {
+    if tm.consistent(x) {
         return None;
     }
     if !base.consistent(&x.erase_txns()) {

@@ -1,0 +1,243 @@
+//! The `txmm` command-line front-end: batch litmus serving on top of a
+//! long-lived [`Session`] (ROADMAP "batch litmus serving").
+//!
+//! ```text
+//! txmm models                        list every registered model
+//! txmm gen <dir> [--events N]        write a litmus corpus (catalog +
+//!                                    synthesised Forbid/Allow tests)
+//! txmm serve <dir|file...> [opts]    answer verdicts + observability
+//!                                    as JSONL, one line per test
+//! txmm check <file...> [opts]        alias for serve
+//!
+//! serve/check options:
+//!   --model NAME   restrict verdicts to NAME (repeatable)
+//!   --cat FILE     register a user-supplied .cat model (repeatable)
+//!   --with-cat     also register the shipped .cat twins (<name>.cat)
+//!   --warm         serve the corpus twice and report cold-vs-warm
+//!                  timing (the analysis-cache speedup) on stderr
+//! ```
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+use std::time::Instant;
+
+use txmm::serve::{collect_litmus_files, jsonl_line, serve_file, Served};
+use txmm::session::{ModelRef, Session};
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: txmm <command>\n\
+         \n\
+         commands:\n\
+         \u{20} models                        list registered models\n\
+         \u{20} gen <dir> [--events N]        generate a litmus corpus\n\
+         \u{20} serve <dir|file...> [opts]    serve verdicts as JSONL\n\
+         \u{20} check <file...> [opts]        alias for serve\n\
+         \n\
+         serve options: --model NAME, --cat FILE, --with-cat, --warm"
+    );
+    ExitCode::FAILURE
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("models") => cmd_models(&args[1..]),
+        Some("gen") => cmd_gen(&args[1..]),
+        Some("serve") | Some("check") => cmd_serve(&args[1..]),
+        _ => usage(),
+    }
+}
+
+fn cmd_models(args: &[String]) -> ExitCode {
+    let mut session = Session::with_shipped_cat();
+    for path in flag_values(args, "--cat") {
+        if let Err(e) = session.register_cat_file(&PathBuf::from(path)) {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+    for m in session.models().collect::<Vec<_>>() {
+        let model = session.model(m);
+        println!(
+            "{:<14} arch={:<6} tm={}",
+            model.name(),
+            model.arch().name(),
+            model.is_tm()
+        );
+    }
+    ExitCode::SUCCESS
+}
+
+/// Positional (non-flag) arguments: skips `--flag value` pairs for the
+/// value-taking flags and bare `--flags` entirely.
+fn positionals(args: &[String]) -> Vec<&str> {
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--model" | "--cat" | "--events" => i += 2,
+            a if a.starts_with("--") => i += 1,
+            a => {
+                out.push(a);
+                i += 1;
+            }
+        }
+    }
+    out
+}
+
+fn cmd_gen(args: &[String]) -> ExitCode {
+    let Some(&dir) = positionals(args).first() else {
+        eprintln!("usage: txmm gen <dir> [--events N]");
+        return ExitCode::FAILURE;
+    };
+    let events: usize = flag_values(args, "--events")
+        .first()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(3);
+    let dir = PathBuf::from(dir);
+    if let Err(e) = std::fs::create_dir_all(&dir) {
+        eprintln!("error: cannot create {}: {e}", dir.display());
+        return ExitCode::FAILURE;
+    }
+    let corpus = txmm::corpus::generate(events);
+    for (i, (name, text)) in corpus.iter().enumerate() {
+        let path = dir.join(format!("{i:02}-{name}.litmus"));
+        if let Err(e) = std::fs::write(&path, text) {
+            eprintln!("error: cannot write {}: {e}", path.display());
+            return ExitCode::FAILURE;
+        }
+    }
+    eprintln!("wrote {} litmus files to {}", corpus.len(), dir.display());
+    ExitCode::SUCCESS
+}
+
+fn flag_values<'a>(args: &'a [String], flag: &str) -> Vec<&'a str> {
+    let mut out = Vec::new();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        if a == flag {
+            if let Some(v) = it.next() {
+                out.push(v.as_str());
+            }
+        }
+    }
+    out
+}
+
+fn has_flag(args: &[String], flag: &str) -> bool {
+    args.iter().any(|a| a == flag)
+}
+
+fn cmd_serve(args: &[String]) -> ExitCode {
+    // Positional arguments are directories or litmus files.
+    let paths: Vec<PathBuf> = positionals(args).into_iter().map(PathBuf::from).collect();
+    if paths.is_empty() {
+        eprintln!(
+            "usage: txmm serve <dir|file...> [--model NAME] [--cat FILE] [--with-cat] [--warm]"
+        );
+        return ExitCode::FAILURE;
+    }
+
+    let mut session = if has_flag(args, "--with-cat") {
+        Session::with_shipped_cat()
+    } else {
+        Session::new()
+    };
+    for path in flag_values(args, "--cat") {
+        if let Err(e) = session.register_cat_file(&PathBuf::from(path)) {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+    let model_names = flag_values(args, "--model");
+    let filter: Option<Vec<ModelRef>> = if model_names.is_empty() {
+        None
+    } else {
+        let mut ms = Vec::new();
+        for name in model_names {
+            match session.resolve(name) {
+                Some(m) => ms.push(m),
+                None => {
+                    eprintln!("error: unknown model {name} (try `txmm models`)");
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+        Some(ms)
+    };
+
+    // Expand directories into their .litmus files.
+    let mut files: Vec<PathBuf> = Vec::new();
+    for p in paths {
+        if p.is_dir() {
+            match collect_litmus_files(&p) {
+                Ok(fs) => files.extend(fs),
+                Err(e) => {
+                    eprintln!("error: cannot read {}: {e}", p.display());
+                    return ExitCode::FAILURE;
+                }
+            }
+        } else {
+            files.push(p);
+        }
+    }
+    if files.is_empty() {
+        eprintln!("error: no .litmus files found");
+        return ExitCode::FAILURE;
+    }
+
+    let mut failures = 0usize;
+    // Each pass times ONLY the serving work (parse, convert, check,
+    // observe) so the cold/warm comparison measures the caches, not
+    // JSONL formatting or stdout throughput; a --warm rerun serves the
+    // same files, so failures are counted in the first pass only.
+    let mut pass = |session: &mut Session, print: bool| -> u128 {
+        let mut serving = 0u128;
+        for f in &files {
+            let start = Instant::now();
+            let served = serve_file(session, f, filter.as_deref());
+            serving += start.elapsed().as_micros();
+            if print {
+                if matches!(served, Served::Failure(_)) {
+                    failures += 1;
+                }
+                println!("{}", jsonl_line(&served));
+            }
+        }
+        serving
+    };
+
+    let cold = pass(&mut session, true);
+    if has_flag(args, "--warm") {
+        let warm = pass(&mut session, false);
+        let s = session.stats();
+        eprintln!(
+            "served {} tests: cold {}us, warm {}us ({:.1}x speedup); \
+             {} interned, {} verdict hits / {} misses",
+            files.len(),
+            cold,
+            warm,
+            cold as f64 / warm.max(1) as f64,
+            s.interned,
+            s.verdict_hits,
+            s.verdict_misses,
+        );
+    } else {
+        let s = session.stats();
+        eprintln!(
+            "served {} tests in {}us; {} interned, {} verdict hits / {} misses",
+            files.len(),
+            cold,
+            s.interned,
+            s.verdict_hits,
+            s.verdict_misses,
+        );
+    }
+    if failures > 0 {
+        eprintln!("{failures} tests failed to serve");
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}

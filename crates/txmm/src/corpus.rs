@@ -1,0 +1,107 @@
+//! Litmus-corpus generation: the shared builder behind `txmm gen`, the
+//! CI smoke corpus, and the serving integration tests (one definition,
+//! so they cannot silently diverge).
+
+use txmm_litmus::{litmus_from_execution, render};
+use txmm_models::{catalog, Arch};
+use txmm_synth::EnumConfig;
+
+use crate::session::Session;
+
+/// The serving architecture of a catalog entry: the first hardware
+/// model it states expectations for, C++ if only C++ models do, SC
+/// otherwise.
+pub fn entry_arch(expect: &[(&str, catalog::Expect)]) -> Arch {
+    for (m, _) in expect {
+        match *m {
+            "x86" | "x86-tm" => return Arch::X86,
+            "power" | "power-tm" => return Arch::Power,
+            "armv8" | "armv8-tm" => return Arch::Armv8,
+            _ => {}
+        }
+    }
+    if expect.iter().any(|(m, _)| m.starts_with("cpp")) {
+        Arch::Cpp
+    } else {
+        Arch::Sc
+    }
+}
+
+/// File-system-safe test name.
+pub fn sanitise(name: &str) -> String {
+    name.chars()
+        .map(|c| if c.is_ascii_alphanumeric() { c } else { '-' })
+        .collect()
+}
+
+/// The standard generated corpus as `(file-stem, litmus source)` pairs:
+/// every named execution of the paper plus the synthesised x86
+/// Forbid/Allow suites at `events` events. At the default `events = 3`
+/// this is 50 tests.
+pub fn generate(events: usize) -> Vec<(String, String)> {
+    let mut out = Vec::new();
+    for entry in catalog::all() {
+        let arch = entry_arch(&entry.expect);
+        let t = litmus_from_execution(entry.name, &entry.exec, arch);
+        out.push((sanitise(entry.name), render::pseudocode(&t)));
+    }
+    // Synthesised conformance tests, via the same Session pipeline the
+    // server uses.
+    let session = Session::new();
+    let tm = session.resolve("x86-tm").expect("registered");
+    let base = session.resolve("x86").expect("registered");
+    let cfg = EnumConfig {
+        arch: Arch::X86,
+        events,
+        max_threads: 3,
+        max_locs: 2,
+        fences: true,
+        deps: false,
+        rmws: true,
+        txns: true,
+        attrs: false,
+        atomic_txns: false,
+    };
+    let suite = session.synthesise(&cfg, tm, base, None);
+    for (i, f) in suite.forbid.iter().enumerate() {
+        let name = format!("x86-forbid-{i}");
+        let t = litmus_from_execution(&name, &f.exec, Arch::X86);
+        out.push((name, render::pseudocode(&t)));
+    }
+    for (i, a) in suite.allow.iter().enumerate() {
+        let name = format!("x86-allow-{i}");
+        let t = litmus_from_execution(&name, a, Arch::X86);
+        out.push((name, render::pseudocode(&t)));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generated_corpus_meets_the_serving_floor() {
+        let corpus = generate(3);
+        assert!(corpus.len() >= 20, "got {}", corpus.len());
+        // Names are filesystem-safe and unique.
+        let mut names: Vec<&String> = corpus.iter().map(|(n, _)| n).collect();
+        assert!(names
+            .iter()
+            .all(|n| n.chars().all(|c| c.is_ascii_alphanumeric() || c == '-')));
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), corpus.len());
+    }
+
+    #[test]
+    fn entry_arch_prefers_hardware_models() {
+        use txmm_models::catalog::Expect;
+        assert_eq!(
+            entry_arch(&[("SC", Expect::Consistent), ("power", Expect::Forbidden)]),
+            Arch::Power
+        );
+        assert_eq!(entry_arch(&[("cpp-tm", Expect::Consistent)]), Arch::Cpp);
+        assert_eq!(entry_arch(&[("TSC", Expect::Consistent)]), Arch::Sc);
+    }
+}

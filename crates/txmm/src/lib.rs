@@ -42,11 +42,20 @@ pub use txmm_models as models;
 pub use txmm_synth as synth;
 pub use txmm_verify as verify;
 
+pub mod corpus;
+pub mod serve;
+pub mod session;
+
+pub use serve::{collect_litmus_files, jsonl_line, serve_file, serve_source, Served, TestReport};
+pub use session::{ModelRef, Session, SessionStats};
+
 /// Everything most programs need.
 pub mod prelude {
+    pub use crate::serve::{serve_file, serve_source, Served};
+    pub use crate::session::{ModelRef, Session, SessionStats};
     pub use txmm_core::prelude::*;
     pub use txmm_hwsim::{ArmSim, Oracle, PowerSim, Simulator, TsoSim};
-    pub use txmm_litmus::{litmus_from_execution, LitmusTest};
+    pub use txmm_litmus::{execution_from_litmus, litmus_from_execution, LitmusTest};
     pub use txmm_models::prelude::*;
     pub use txmm_synth::{synthesise, EnumConfig};
     pub use txmm_verify::{

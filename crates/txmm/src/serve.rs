@@ -1,0 +1,275 @@
+//! Batch litmus serving: answer model verdicts and hardware-oracle
+//! observability for whole directories of litmus files from one
+//! long-lived [`Session`], streaming results as JSONL.
+//!
+//! One line per test:
+//!
+//! ```json
+//! {"file":"01-sb.litmus","name":"sb","arch":"x86","events":4,
+//!  "verdicts":{"SC":{"consistent":false,"violations":["Order"]},
+//!              "x86":{"consistent":true,"violations":[]}},
+//!  "observable":true,"cached":false,"micros":123}
+//! ```
+//!
+//! Failures (unreadable file, parse error, test not identifying a
+//! well-formed execution) keep the stream going:
+//!
+//! ```json
+//! {"file":"broken.litmus","error":"litmus parse error on line 3: ..."}
+//! ```
+
+use std::path::{Path, PathBuf};
+use std::time::Instant;
+
+use txmm_litmus::{execution_from_litmus, parse_litmus};
+use txmm_models::{Arch, Verdict};
+
+use crate::session::{ModelRef, Session};
+
+/// The served result for one litmus file.
+pub struct TestReport {
+    /// File name (as given).
+    pub file: String,
+    /// Test name from the header line.
+    pub name: String,
+    /// Architecture from the header line.
+    pub arch: Arch,
+    /// Event count of the reconstructed execution.
+    pub events: usize,
+    /// Per-model verdicts, in registry order.
+    pub verdicts: Vec<(String, Verdict)>,
+    /// Hardware-simulator observability (`None` when no simulator
+    /// exists for the architecture).
+    pub observable: Option<bool>,
+    /// Was the execution already interned when this test arrived?
+    pub cached: bool,
+    /// Wall-clock serving time for this test, in microseconds.
+    pub micros: u128,
+}
+
+/// A test that could not be served, with the failing stage's message.
+pub struct TestFailure {
+    /// File name (as given).
+    pub file: String,
+    /// What went wrong.
+    pub error: String,
+}
+
+/// One line of the JSONL stream.
+pub enum Served {
+    /// The test was answered.
+    Report(TestReport),
+    /// The test could not be served.
+    Failure(TestFailure),
+}
+
+/// Serve one litmus source text.
+pub fn serve_source(
+    session: &mut Session,
+    file: &str,
+    src: &str,
+    models: Option<&[ModelRef]>,
+) -> Served {
+    let start = Instant::now();
+    let t = match parse_litmus(src) {
+        Ok(t) => t,
+        Err(e) => {
+            return Served::Failure(TestFailure {
+                file: file.to_string(),
+                error: e.to_string(),
+            })
+        }
+    };
+    let x = match execution_from_litmus(&t) {
+        Ok(x) => x,
+        Err(e) => {
+            return Served::Failure(TestFailure {
+                file: file.to_string(),
+                error: e.to_string(),
+            })
+        }
+    };
+    let interned_before = session.stats().interned;
+    // Selected (or all) models share one analysis for their cache
+    // misses inside verdicts_for.
+    let verdicts: Vec<(String, Verdict)> = match models {
+        Some(ms) => session.verdicts_for(&x, ms),
+        None => session.verdicts(&x),
+    }
+    .into_iter()
+    .map(|(m, v)| (session.model(m).name().to_string(), v))
+    .collect();
+    let cached = session.stats().interned == interned_before;
+    let observable = session.observable(&x, t.arch);
+    Served::Report(TestReport {
+        file: file.to_string(),
+        name: t.name.clone(),
+        arch: t.arch,
+        events: x.len(),
+        verdicts,
+        observable,
+        cached,
+        micros: start.elapsed().as_micros(),
+    })
+}
+
+/// Serve one litmus file from disk.
+pub fn serve_file(session: &mut Session, path: &Path, models: Option<&[ModelRef]>) -> Served {
+    let file = path.display().to_string();
+    match std::fs::read_to_string(path) {
+        Ok(src) => serve_source(session, &file, &src, models),
+        Err(e) => Served::Failure(TestFailure {
+            file,
+            error: e.to_string(),
+        }),
+    }
+}
+
+/// The `.litmus` files directly inside a directory, sorted by name.
+pub fn collect_litmus_files(dir: &Path) -> std::io::Result<Vec<PathBuf>> {
+    let mut files: Vec<PathBuf> = std::fs::read_dir(dir)?
+        .filter_map(|e| e.ok())
+        .map(|e| e.path())
+        .filter(|p| p.extension().is_some_and(|x| x == "litmus"))
+        .collect();
+    files.sort();
+    Ok(files)
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Render one served result as a JSONL line (no trailing newline).
+pub fn jsonl_line(served: &Served) -> String {
+    match served {
+        Served::Failure(f) => format!(
+            "{{\"file\":\"{}\",\"error\":\"{}\"}}",
+            json_escape(&f.file),
+            json_escape(&f.error)
+        ),
+        Served::Report(r) => {
+            let verdicts = r
+                .verdicts
+                .iter()
+                .map(|(name, v)| {
+                    let violations = v
+                        .violations()
+                        .iter()
+                        .map(|a| format!("\"{}\"", json_escape(a)))
+                        .collect::<Vec<_>>()
+                        .join(",");
+                    format!(
+                        "\"{}\":{{\"consistent\":{},\"violations\":[{}]}}",
+                        json_escape(name),
+                        v.is_consistent(),
+                        violations
+                    )
+                })
+                .collect::<Vec<_>>()
+                .join(",");
+            let observable = match r.observable {
+                Some(b) => b.to_string(),
+                None => "null".to_string(),
+            };
+            format!(
+                "{{\"file\":\"{}\",\"name\":\"{}\",\"arch\":\"{}\",\"events\":{},\
+                 \"verdicts\":{{{}}},\"observable\":{},\"cached\":{},\"micros\":{}}}",
+                json_escape(&r.file),
+                json_escape(&r.name),
+                json_escape(r.arch.name()),
+                r.events,
+                verdicts,
+                observable,
+                r.cached,
+                r.micros
+            )
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use txmm_litmus::litmus_from_execution;
+    use txmm_litmus::render::pseudocode;
+    use txmm_models::catalog;
+
+    fn sb_source() -> String {
+        let t = litmus_from_execution("sb", &catalog::sb(None, false, false), Arch::X86);
+        pseudocode(&t)
+    }
+
+    #[test]
+    fn serves_generated_source() {
+        let mut s = Session::new();
+        let served = serve_source(&mut s, "sb.litmus", &sb_source(), None);
+        let Served::Report(r) = served else {
+            panic!("sb must serve");
+        };
+        assert_eq!(r.name, "sb");
+        assert_eq!(r.arch, Arch::X86);
+        assert_eq!(r.events, 4);
+        assert!(!r.cached);
+        assert_eq!(r.observable, Some(true));
+        let sc = r.verdicts.iter().find(|(n, _)| n == "SC").unwrap();
+        assert!(!sc.1.is_consistent());
+        let x86 = r.verdicts.iter().find(|(n, _)| n == "x86").unwrap();
+        assert!(x86.1.is_consistent());
+        // Second serving of the same test hits the cache.
+        let Served::Report(r2) = serve_source(&mut s, "sb.litmus", &sb_source(), None) else {
+            panic!("sb must serve twice");
+        };
+        assert!(r2.cached);
+        assert_eq!(r.verdicts.len(), r2.verdicts.len());
+    }
+
+    #[test]
+    fn failure_lines_keep_streaming() {
+        let mut s = Session::new();
+        let served = serve_source(&mut s, "bad.litmus", "t (Marvel)\n", None);
+        let Served::Failure(f) = served else {
+            panic!("must fail");
+        };
+        assert!(f.error.contains("unknown architecture"));
+        let line = jsonl_line(&Served::Failure(f));
+        assert!(line.starts_with("{\"file\":\"bad.litmus\",\"error\":"));
+    }
+
+    #[test]
+    fn jsonl_shape() {
+        let mut s = Session::new();
+        let served = serve_source(&mut s, "sb.litmus", &sb_source(), None);
+        let line = jsonl_line(&served);
+        assert!(line.contains("\"name\":\"sb\""));
+        assert!(line.contains("\"arch\":\"x86\""));
+        assert!(line.contains("\"observable\":true"));
+        assert!(line.contains("\"verdicts\":{"));
+        assert!(line.contains("\"SC\":{\"consistent\":false"));
+        assert!(!line.contains('\n'));
+    }
+
+    #[test]
+    fn model_filter_restricts_verdicts() {
+        let mut s = Session::new();
+        let filter = [s.resolve("SC").unwrap(), s.resolve("TSC").unwrap()];
+        let served = serve_source(&mut s, "sb.litmus", &sb_source(), Some(&filter));
+        let Served::Report(r) = served else {
+            panic!("serves")
+        };
+        assert_eq!(r.verdicts.len(), 2);
+        assert_eq!(r.verdicts[0].0, "SC");
+    }
+}

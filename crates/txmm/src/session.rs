@@ -1,0 +1,534 @@
+//! The long-lived checking engine: one pipeline, many drivers.
+//!
+//! Chong–Sorensen–Wickerson's methodology is a single pipeline —
+//! enumerate or parse executions, derive their relations, check them
+//! against models and the hardware oracle — that the paper runs in many
+//! configurations. [`Session`] is that pipeline as a value:
+//!
+//! * a **unified model registry**: the native Rust models, the shipped
+//!   `.cat` sources, and user-supplied `.cat` files all resolve to
+//!   `dyn Model`s and are checked identically;
+//! * an **arena of executions** ([`txmm_core::arena`]): every execution
+//!   the session sees is interned as a flat `Copy` value, keyed by its
+//!   *canonical* (symmetry-reduced) form, so structurally different but
+//!   symmetric tests share one entry;
+//! * **per-execution caches**: model verdicts and hardware-simulator
+//!   observability are computed once per (interned execution, model /
+//!   architecture) pair and served from the cache afterwards — the warm
+//!   path of batch litmus serving never rebuilds an analysis;
+//! * the **sweep drivers**: synthesis, model-difference search,
+//!   monotonicity / compilation / lock-elision / theorem checking are
+//!   exposed as methods, so binaries configure one `Session` instead of
+//!   hand-wiring enumerate-and-check loops.
+//!
+//! ```
+//! use txmm::session::Session;
+//! use txmm::models::catalog;
+//!
+//! let mut s = Session::new();
+//! let tsc = s.resolve("TSC").unwrap();
+//! let v = s.verdict(&catalog::fig2(), tsc);
+//! assert!(!v.is_consistent());
+//! // Same execution again: served from the verdict cache.
+//! let v2 = s.verdict(&catalog::fig2(), tsc);
+//! assert_eq!(v, v2);
+//! assert_eq!(s.stats().verdict_hits, 1);
+//! ```
+
+use std::collections::HashMap;
+use std::time::Duration;
+
+use txmm_cat::{parse as parse_cat, CatModel};
+use txmm_core::arena::{ExecArena, ExecId};
+use txmm_core::{Execution, ExecutionAnalysis};
+use txmm_hwsim::{ArmSim, PowerSim, Simulator, TsoSim};
+use txmm_litmus::litmus_from_execution;
+use txmm_models::{registry, Arch, Checker, Derived, Model, Verdict};
+use txmm_synth::{canon_key, EnumConfig, SuiteResult};
+use txmm_verify::{CompileResult, ElisionResult, ElisionTarget, MonotonicityResult, TheoremResult};
+
+/// Handle of a registered model within one [`Session`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ModelRef(usize);
+
+/// A `.cat` model adapted to the [`Model`] trait, which is what lets
+/// the registry treat native and `.cat`-defined models uniformly. The
+/// whole `.cat` evaluation runs in [`Model::axioms`]; evaluation errors
+/// surface as a `cat-eval-error: ...` violation rather than a panic, so
+/// a broken user model cannot take the serving process down.
+struct CatBackend {
+    name: &'static str,
+    model: CatModel,
+    arch: Arch,
+    tm: bool,
+    /// First evaluation error, leaked once: a broken model fails the
+    /// same way on every execution, and a long-lived serving process
+    /// must not leak per-verdict.
+    eval_error: std::sync::OnceLock<&'static str>,
+}
+
+/// Guess the architecture and transactionality of a `.cat` model from
+/// its name (used for user-supplied files; the vocabulary only matters
+/// for sweeps, never for plain verdict serving).
+fn classify_cat_name(name: &str) -> (Arch, bool) {
+    let lower = name.to_ascii_lowercase();
+    let arch = if lower.starts_with("x86") {
+        Arch::X86
+    } else if lower.starts_with("power") {
+        Arch::Power
+    } else if lower.starts_with("armv8") || lower.starts_with("arm") {
+        Arch::Armv8
+    } else if lower.starts_with("cpp") || lower.starts_with("c++") {
+        Arch::Cpp
+    } else {
+        Arch::Sc
+    };
+    let tm = lower.contains("-tm") || lower.contains("tsc");
+    (arch, tm)
+}
+
+impl Model for CatBackend {
+    fn name(&self) -> &'static str {
+        self.name
+    }
+
+    fn arch(&self) -> Arch {
+        self.arch
+    }
+
+    fn is_tm(&self) -> bool {
+        self.tm
+    }
+
+    fn derived(&self, _a: &ExecutionAnalysis<'_>) -> Derived {
+        Derived::new()
+    }
+
+    fn axioms(&self, a: &ExecutionAnalysis<'_>, _d: &Derived, c: &mut Checker) {
+        match self.model.check_analysis(a) {
+            Ok(v) => {
+                for axiom in v.violations() {
+                    c.fail(axiom);
+                }
+            }
+            Err(e) => {
+                let msg = self
+                    .eval_error
+                    .get_or_init(|| Box::leak(format!("cat-eval-error: {e}").into_boxed_str()));
+                c.fail(msg);
+            }
+        }
+    }
+}
+
+/// Cache and arena counters of one [`Session`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SessionStats {
+    /// Distinct executions interned (after canonical aliasing).
+    pub interned: usize,
+    /// Verdicts served from the cache.
+    pub verdict_hits: u64,
+    /// Verdicts computed fresh.
+    pub verdict_misses: u64,
+    /// Observability answers served from the cache.
+    pub observability_hits: u64,
+    /// Observability answers computed fresh.
+    pub observability_misses: u64,
+}
+
+/// The long-lived engine described in the module docs.
+pub struct Session {
+    models: Vec<Box<dyn Model>>,
+    arena: ExecArena,
+    /// Canonical (symmetry-reduced) key → interned representative.
+    canon_ids: HashMap<Vec<u8>, ExecId>,
+    verdicts: HashMap<(ExecId, usize), Verdict>,
+    observability: HashMap<(ExecId, Arch), bool>,
+    stats: SessionStats,
+}
+
+impl Default for Session {
+    fn default() -> Session {
+        Session::new()
+    }
+}
+
+impl Session {
+    /// A session with every native model registered.
+    pub fn new() -> Session {
+        let mut s = Session {
+            models: Vec::new(),
+            arena: ExecArena::new(),
+            canon_ids: HashMap::new(),
+            verdicts: HashMap::new(),
+            observability: HashMap::new(),
+            stats: SessionStats::default(),
+        };
+        for m in registry::all_models() {
+            s.register_model(m);
+        }
+        s
+    }
+
+    /// A session with the native models plus every shipped `.cat` model
+    /// registered under `<name>.cat` (the differential twin set).
+    pub fn with_shipped_cat() -> Session {
+        let mut s = Session::new();
+        for (name, src) in txmm_cat::SOURCES {
+            s.register_cat_source(&format!("{name}.cat"), src)
+                .expect("shipped model compiles");
+        }
+        s
+    }
+
+    // ---- Registry --------------------------------------------------------
+
+    /// Register any [`Model`]; returns its handle. Later registrations
+    /// shadow earlier ones in [`Session::resolve`] lookups.
+    pub fn register_model(&mut self, m: Box<dyn Model>) -> ModelRef {
+        self.models.push(m);
+        ModelRef(self.models.len() - 1)
+    }
+
+    /// Compile and register a `.cat` model from source text.
+    pub fn register_cat_source(&mut self, name: &str, src: &str) -> Result<ModelRef, String> {
+        let file = parse_cat(src).map_err(|e| format!("{name}: {e}"))?;
+        let leaked: &'static str = Box::leak(name.to_string().into_boxed_str());
+        let (arch, tm) = classify_cat_name(name);
+        Ok(self.register_model(Box::new(CatBackend {
+            name: leaked,
+            model: CatModel::new(leaked, file),
+            arch,
+            tm,
+            eval_error: std::sync::OnceLock::new(),
+        })))
+    }
+
+    /// Load, compile and register a user-supplied `.cat` file; the model
+    /// is named after the file stem.
+    pub fn register_cat_file(&mut self, path: &std::path::Path) -> Result<ModelRef, String> {
+        let src = std::fs::read_to_string(path).map_err(|e| format!("{}: {e}", path.display()))?;
+        let name = path
+            .file_stem()
+            .and_then(|s| s.to_str())
+            .unwrap_or("user-model")
+            .to_string();
+        self.register_cat_source(&name, &src)
+    }
+
+    /// Every registered model handle, in registration order.
+    pub fn models(&self) -> impl Iterator<Item = ModelRef> {
+        (0..self.models.len()).map(ModelRef)
+    }
+
+    /// The model behind a handle.
+    pub fn model(&self, m: ModelRef) -> &dyn Model {
+        self.models[m.0].as_ref()
+    }
+
+    /// Resolve a model by name (native and `.cat` models uniformly;
+    /// the most recent registration wins).
+    pub fn resolve(&self, name: &str) -> Option<ModelRef> {
+        self.models
+            .iter()
+            .rposition(|m| m.name() == name)
+            .map(ModelRef)
+    }
+
+    // ---- Arena -----------------------------------------------------------
+
+    /// Intern an execution, aliasing it to the representative of its
+    /// canonical (thread/location symmetry-reduced) class. Verdicts and
+    /// observability are symmetric under those permutations, so
+    /// symmetric variants share every cache entry.
+    pub fn intern(&mut self, x: &Execution) -> ExecId {
+        let key = canon_key(x);
+        if let Some(&id) = self.canon_ids.get(&key) {
+            return id;
+        }
+        let (id, _fresh) = self.arena.intern(x);
+        self.canon_ids.insert(key, id);
+        self.stats.interned = self.arena.len();
+        id
+    }
+
+    /// The interned execution behind an id.
+    pub fn execution(&self, id: ExecId) -> Execution {
+        self.arena.unpack(id)
+    }
+
+    // ---- Cached checking -------------------------------------------------
+
+    /// The verdict of one model on one execution, cached by interned id.
+    pub fn verdict(&mut self, x: &Execution, m: ModelRef) -> Verdict {
+        let id = self.intern(x);
+        self.verdict_interned(id, m)
+    }
+
+    /// [`Session::verdict`] for an already-interned execution.
+    pub fn verdict_interned(&mut self, id: ExecId, m: ModelRef) -> Verdict {
+        if let Some(v) = self.verdicts.get(&(id, m.0)) {
+            self.stats.verdict_hits += 1;
+            return v.clone();
+        }
+        self.stats.verdict_misses += 1;
+        let x = self.arena.unpack(id);
+        let v = self.models[m.0].check_analysis(&x.analysis());
+        self.verdicts.insert((id, m.0), v.clone());
+        v
+    }
+
+    /// Convenience: is the execution consistent under the model?
+    pub fn consistent(&mut self, x: &Execution, m: ModelRef) -> bool {
+        self.verdict(x, m).is_consistent()
+    }
+
+    /// Verdicts of every registered model on one execution; see
+    /// [`Session::verdicts_for`].
+    pub fn verdicts(&mut self, x: &Execution) -> Vec<(ModelRef, Verdict)> {
+        let all: Vec<ModelRef> = self.models().collect();
+        self.verdicts_for(x, &all)
+    }
+
+    /// Verdicts of the given models on one execution. Uncached models
+    /// share a single analysis built here — the only place the serving
+    /// path constructs one — so derived relations are computed once per
+    /// execution regardless of how many models look at it.
+    pub fn verdicts_for(&mut self, x: &Execution, models: &[ModelRef]) -> Vec<(ModelRef, Verdict)> {
+        let id = self.intern(x);
+        let missing: Vec<usize> = models
+            .iter()
+            .map(|m| m.0)
+            .filter(|&i| !self.verdicts.contains_key(&(id, i)))
+            .collect();
+        self.stats.verdict_hits += (models.len() - missing.len()) as u64;
+        self.stats.verdict_misses += missing.len() as u64;
+        if !missing.is_empty() {
+            let y = self.arena.unpack(id);
+            let a = y.analysis();
+            for i in missing {
+                let v = self.models[i].check_analysis(&a);
+                self.verdicts.insert((id, i), v);
+            }
+        }
+        models
+            .iter()
+            .map(|&m| (m, self.verdicts[&(id, m.0)].clone()))
+            .collect()
+    }
+
+    /// Would the execution be observable on the simulated hardware of
+    /// `arch`? Answers come from the exhaustive operational simulators
+    /// and are cached per (execution, architecture). `None` for
+    /// architectures without a simulator (SC, C++) and for executions
+    /// using lock/unlock call events (abstract, not runnable).
+    pub fn observable(&mut self, x: &Execution, arch: Arch) -> Option<bool> {
+        if !matches!(arch, Arch::X86 | Arch::Power | Arch::Armv8) || !x.calls().is_empty() {
+            return None;
+        }
+        let id = self.intern(x);
+        if let Some(&seen) = self.observability.get(&(id, arch)) {
+            self.stats.observability_hits += 1;
+            return Some(seen);
+        }
+        self.stats.observability_misses += 1;
+        let y = self.arena.unpack(id);
+        let t = litmus_from_execution("session", &y, arch);
+        let seen = match arch {
+            Arch::X86 => TsoSim.observable(&t),
+            Arch::Power => PowerSim::default().observable(&t),
+            Arch::Armv8 => ArmSim::default().observable(&t),
+            _ => unreachable!("guarded above"),
+        };
+        self.observability.insert((id, arch), seen);
+        Some(seen)
+    }
+
+    /// Current cache and arena counters.
+    pub fn stats(&self) -> SessionStats {
+        self.stats
+    }
+
+    // ---- Sweep drivers ---------------------------------------------------
+    //
+    // The bounded enumerate-and-check pipelines, exposed here so driver
+    // binaries configure one Session rather than wiring synth/verify by
+    // hand. Sweeps stream fresh candidates (every execution distinct),
+    // so they bypass the verdict cache by design and parallelise over
+    // thread-shape shards internally.
+
+    /// Forbid/Allow conformance-suite synthesis (Table 1, Fig. 7).
+    pub fn synthesise(
+        &self,
+        cfg: &EnumConfig,
+        tm: ModelRef,
+        base: ModelRef,
+        budget: Option<Duration>,
+    ) -> SuiteResult {
+        txmm_synth::synthesise(cfg, self.model(tm), self.model(base), budget)
+    }
+
+    /// Model-difference search (§4.1).
+    pub fn distinguish(
+        &self,
+        cfg: &EnumConfig,
+        m: ModelRef,
+        n: ModelRef,
+        limit: Option<usize>,
+    ) -> Vec<Execution> {
+        txmm_synth::distinguish(cfg, self.model(m), self.model(n), limit)
+    }
+
+    /// Bounded monotonicity check (§8.1).
+    pub fn check_monotonicity(
+        &self,
+        cfg: &EnumConfig,
+        m: ModelRef,
+        budget: Option<Duration>,
+    ) -> MonotonicityResult {
+        txmm_verify::check_monotonicity(cfg, self.model(m), budget)
+    }
+
+    /// Bounded C++-to-hardware compilation soundness (§8.2).
+    pub fn check_compilation(
+        &self,
+        events: usize,
+        target: Arch,
+        budget: Option<Duration>,
+    ) -> CompileResult {
+        txmm_verify::check_compilation(events, target, budget)
+    }
+
+    /// Bounded lock-elision soundness (§8.3).
+    pub fn check_lock_elision(
+        &self,
+        target: ElisionTarget,
+        budget: Option<Duration>,
+    ) -> ElisionResult {
+        txmm_verify::check_lock_elision(target, budget)
+    }
+
+    /// Bounded validation of Theorem 7.2.
+    pub fn check_theorem_7_2(&self, events: usize, budget: Option<Duration>) -> TheoremResult {
+        txmm_verify::check_theorem_7_2(events, budget)
+    }
+
+    /// Bounded validation of Theorem 7.3.
+    pub fn check_theorem_7_3(&self, events: usize, budget: Option<Duration>) -> TheoremResult {
+        txmm_verify::check_theorem_7_3(events, budget)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use txmm_models::catalog;
+
+    #[test]
+    fn registry_resolves_native_and_cat_uniformly() {
+        let mut s = Session::with_shipped_cat();
+        let native = s.resolve("x86-tm").expect("native model");
+        let cat = s.resolve("x86-tm.cat").expect("cat twin");
+        assert_ne!(native, cat);
+        let x = catalog::fig2();
+        assert_eq!(
+            s.verdict(&x, native).is_consistent(),
+            s.verdict(&x, cat).is_consistent()
+        );
+        assert!(s.resolve("no-such-model").is_none());
+    }
+
+    #[test]
+    fn user_cat_source_registers_and_checks() {
+        let mut s = Session::new();
+        let m = s
+            .register_cat_source("my-sc", "acyclic po | com as Order")
+            .expect("compiles");
+        assert_eq!(s.model(m).name(), "my-sc");
+        assert!(s.consistent(&catalog::fig1(), m));
+        assert!(!s.consistent(&catalog::sb(None, false, false), m));
+        assert!(s.register_cat_source("broken", "acyclic ((").is_err());
+    }
+
+    #[test]
+    fn broken_cat_builtin_reports_eval_error_not_panic() {
+        let mut s = Session::new();
+        let m = s
+            .register_cat_source("bad-ref", "acyclic nosuchrel as Oops")
+            .expect("parses");
+        let v = s.verdict(&catalog::fig1(), m);
+        assert!(!v.is_consistent());
+        assert!(v.violations()[0].starts_with("cat-eval-error"));
+    }
+
+    #[test]
+    fn verdicts_cached_per_interned_execution() {
+        let mut s = Session::new();
+        let x = catalog::sb(None, false, false);
+        let cold: Vec<_> = s.verdicts(&x);
+        let misses = s.stats().verdict_misses;
+        assert_eq!(misses, cold.len() as u64);
+        let warm: Vec<_> = s.verdicts(&x);
+        assert_eq!(s.stats().verdict_misses, misses, "no recomputation");
+        assert_eq!(s.stats().verdict_hits, cold.len() as u64);
+        assert_eq!(cold, warm);
+        assert_eq!(s.stats().interned, 1);
+    }
+
+    #[test]
+    fn symmetric_executions_share_cache_entries() {
+        use txmm_core::ExecBuilder;
+        // Message passing with the two locations swapped: canonically
+        // identical, so the second intern aliases the first.
+        let build = |first: u8, second: u8| {
+            let mut b = ExecBuilder::new();
+            let t0 = b.new_thread();
+            b.write(t0, first);
+            b.write(t0, second);
+            let t1 = b.new_thread();
+            b.read(t1, second);
+            b.read(t1, first);
+            b.build().unwrap()
+        };
+        let mut s = Session::new();
+        let a = s.intern(&build(0, 1));
+        let b = s.intern(&build(1, 0));
+        assert_eq!(a, b, "location-symmetric variants intern to one id");
+        assert_eq!(s.stats().interned, 1);
+    }
+
+    #[test]
+    fn observability_cached_and_arch_guarded() {
+        let mut s = Session::new();
+        let sb = catalog::sb(None, false, false);
+        assert_eq!(s.observable(&sb, Arch::X86), Some(true));
+        assert_eq!(s.observable(&sb, Arch::X86), Some(true));
+        assert_eq!(s.stats().observability_hits, 1);
+        assert_eq!(s.stats().observability_misses, 1);
+        assert_eq!(s.observable(&sb, Arch::Sc), None);
+        let sb_fenced = catalog::sb(Some(txmm_core::Fence::MFence), false, false);
+        assert_eq!(s.observable(&sb_fenced, Arch::X86), Some(false));
+    }
+
+    #[test]
+    fn sweeps_route_through_session() {
+        let s = Session::new();
+        let tsc = s.resolve("TSC").unwrap();
+        let sc = s.resolve("SC").unwrap();
+        let cfg = EnumConfig {
+            arch: Arch::Sc,
+            events: 3,
+            max_threads: 2,
+            max_locs: 2,
+            fences: false,
+            deps: false,
+            rmws: false,
+            txns: true,
+            attrs: false,
+            atomic_txns: false,
+        };
+        let r = s.synthesise(&cfg, tsc, sc, None);
+        assert!(r.forbid.len() >= 4);
+        assert!(!s.distinguish(&cfg, tsc, sc, Some(1)).is_empty());
+    }
+}

@@ -8,11 +8,14 @@
 //! Soundness is checked by bounded search for a pair `(X, Y)` with `X`
 //! C++-inconsistent (and race-free), `Y = map(X)` target-consistent.
 
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::time::{Duration, Instant};
 
 use txmm_core::{Attrs, Event, EventKind, Execution, Fence, Rel, TxnClass};
 use txmm_models::{Arch, Cpp, Model};
-use txmm_synth::{enumerate, EnumConfig};
+use txmm_synth::enumerate::config_shapes;
+use txmm_synth::par::par_map;
+use txmm_synth::{enumerate, enumerate_shape, EnumConfig};
 
 /// Emit the target instruction sequence for one C++ event.
 ///
@@ -129,7 +132,7 @@ pub fn map_execution(x: &Execution, target: Arch) -> Execution {
     let mut acq_tails: Vec<usize> = Vec::new(); // new ids of Power acquire loads
 
     for t in 0..x.num_threads() {
-        for &e in &x.thread_events(t as u8) {
+        for e in x.thread_events(t as u8) {
             let ev = x.event(e);
             if fence_vanishes(ev, target) {
                 // Identity-less: the fence compiles to nothing. Keep
@@ -222,10 +225,8 @@ pub struct CompileResult {
     pub complete: bool,
 }
 
-/// Search for an unsound compilation: `X` inconsistent and race-free in
-/// C++, `map(X)` consistent on the target.
-pub fn check_compilation(events: usize, target: Arch, budget: Option<Duration>) -> CompileResult {
-    let cfg = EnumConfig {
+fn compile_cfg(events: usize) -> EnumConfig {
+    EnumConfig {
         arch: Arch::Cpp,
         events,
         max_threads: 2,
@@ -236,14 +237,99 @@ pub fn check_compilation(events: usize, target: Arch, budget: Option<Duration>) 
         txns: true,
         attrs: true,
         atomic_txns: false,
-    };
-    let cpp = Cpp::tm();
-    let tgt: Box<dyn Model> = match target {
+    }
+}
+
+fn compile_target(target: Arch) -> Box<dyn Model> {
+    match target {
         Arch::X86 => Box::new(txmm_models::X86::tm()),
         Arch::Power => Box::new(txmm_models::Power::tm()),
         Arch::Armv8 => Box::new(txmm_models::Armv8::tm()),
         _ => panic!("hardware targets only"),
-    };
+    }
+}
+
+/// Does mapping `x` to the target expose an unsound compilation? The
+/// candidate counts (`checked`) only when the hypotheses hold.
+fn compile_violation(
+    cpp: &Cpp,
+    tgt: &dyn Model,
+    target: Arch,
+    x: &Execution,
+    checked: &mut usize,
+) -> Option<(Execution, Execution)> {
+    let a = x.analysis();
+    if cpp.consistent_analysis(&a) || cpp.racy_analysis(&a) {
+        return None;
+    }
+    *checked += 1;
+    let y = map_execution(x, target);
+    debug_assert!(y.check_wf().is_ok());
+    if tgt.consistent(&y) {
+        Some((x.clone(), y))
+    } else {
+        None
+    }
+}
+
+/// Search for an unsound compilation: `X` inconsistent and race-free in
+/// C++, `map(X)` consistent on the target. Sharded by thread shape
+/// across every core; a counterexample in any shard stops the others.
+pub fn check_compilation(events: usize, target: Arch, budget: Option<Duration>) -> CompileResult {
+    let cfg = compile_cfg(events);
+    let cpp = Cpp::tm();
+    let tgt = compile_target(target);
+    let start = Instant::now();
+    let stop = AtomicBool::new(false);
+    let shards = par_map(config_shapes(&cfg), |shape| {
+        let mut checked = 0usize;
+        let mut counterexample = None;
+        let mut complete = true;
+        enumerate_shape(&cfg, &shape, &mut |x| {
+            if counterexample.is_some() || stop.load(Ordering::Relaxed) {
+                return;
+            }
+            if let Some(b) = budget {
+                if start.elapsed() > b {
+                    complete = false;
+                    stop.store(true, Ordering::Relaxed);
+                    return;
+                }
+            }
+            if let Some(pair) = compile_violation(&cpp, tgt.as_ref(), target, x, &mut checked) {
+                counterexample = Some(pair);
+                stop.store(true, Ordering::Relaxed);
+            }
+        });
+        (checked, counterexample, complete)
+    });
+    let mut checked = 0usize;
+    let mut counterexample = None;
+    let mut complete = true;
+    for (c, cex, comp) in shards {
+        checked += c;
+        complete &= comp;
+        if counterexample.is_none() {
+            counterexample = cex;
+        }
+    }
+    CompileResult {
+        counterexample,
+        checked,
+        elapsed: start.elapsed(),
+        complete,
+    }
+}
+
+/// The sequential reference implementation of [`check_compilation`].
+pub fn check_compilation_seq(
+    events: usize,
+    target: Arch,
+    budget: Option<Duration>,
+) -> CompileResult {
+    let cfg = compile_cfg(events);
+    let cpp = Cpp::tm();
+    let tgt = compile_target(target);
     let start = Instant::now();
     let mut checked = 0usize;
     let mut counterexample = None;
@@ -258,16 +344,7 @@ pub fn check_compilation(events: usize, target: Arch, budget: Option<Duration>) 
                 return;
             }
         }
-        let a = x.analysis();
-        if cpp.consistent_analysis(&a) || cpp.racy_analysis(&a) {
-            return;
-        }
-        checked += 1;
-        let y = map_execution(x, target);
-        debug_assert!(y.check_wf().is_ok());
-        if tgt.consistent(&y) {
-            counterexample = Some((x.clone(), y));
-        }
+        counterexample = compile_violation(&cpp, tgt.as_ref(), target, x, &mut checked);
     });
     CompileResult {
         counterexample,
@@ -342,9 +419,9 @@ mod tests {
         let y = map_execution(&x, Arch::X86);
         assert_eq!(y.fence_events(Fence::MFence).len(), 1);
         let order = y.thread_events(0);
-        assert!(y.event(order[0]).is_write());
-        assert!(y.event(order[1]).kind.is_fence());
-        assert!(y.event(order[2]).is_read());
+        assert!(y.event(order.get(0)).is_write());
+        assert!(y.event(order.get(1)).kind.is_fence());
+        assert!(y.event(order.get(2)).is_read());
     }
 
     #[test]
@@ -372,5 +449,14 @@ mod tests {
             );
             assert!(r.complete);
         }
+    }
+
+    #[test]
+    fn parallel_matches_sequential_reference() {
+        let par = check_compilation(3, Arch::X86, None);
+        let seq = check_compilation_seq(3, Arch::X86, None);
+        assert_eq!(par.checked, seq.checked);
+        assert_eq!(par.complete, seq.complete);
+        assert_eq!(par.counterexample.is_some(), seq.counterexample.is_some());
     }
 }

@@ -300,12 +300,7 @@ fn perms(items: &[usize]) -> Vec<Vec<usize>> {
 /// The lock variable gets the first location index after the data
 /// locations (`LockVar`: fresh, only touched by introduced events).
 fn lock_loc(x: &Execution) -> u8 {
-    x.locations()
-        .iter()
-        .copied()
-        .max()
-        .map(|l| l + 1)
-        .unwrap_or(0)
+    x.locations().max().map(|l| l + 1).unwrap_or(0)
 }
 
 /// Expand an abstract execution into concrete skeletons per Table 3,
@@ -330,12 +325,11 @@ pub fn expand(x: &Execution, target: ElisionTarget) -> Vec<Execution> {
     let mut m_unlock_writes: Vec<usize> = Vec::new();
 
     for t in 0..x.num_threads() {
-        let thread = x.thread_events(t as u8);
         let mut cur_txn: Option<Vec<usize>> = None;
         // ctrl sources pending: (source new id) — extends to all later
         // events of the thread.
         let mut ctrl_sources: Vec<usize> = Vec::new();
-        for &e in &thread {
+        for e in x.thread_events(t as u8) {
             let ev = x.event(e);
             let push = |events: &mut Vec<Event>, ev2: Event, txn: &mut Option<Vec<usize>>| {
                 let id = events.len();

@@ -1,11 +1,19 @@
 //! Monotonicity checking (§8.1): introducing, enlarging or coalescing
 //! transactions must never make an inconsistent execution consistent.
+//!
+//! The bounded check is sharded by thread shape and runs on every core
+//! (the same decomposition the enumerator itself parallelises over); a
+//! counterexample found in any shard stops the others early. The
+//! sequential version is kept as the differential reference.
 
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::time::{Duration, Instant};
 
 use txmm_core::{Execution, TxnClass};
 use txmm_models::Model;
-use txmm_synth::{enumerate, EnumConfig};
+use txmm_synth::enumerate::config_shapes;
+use txmm_synth::par::par_map;
+use txmm_synth::{enumerate, enumerate_shape, EnumConfig};
 
 /// The outcome of a bounded monotonicity check.
 pub struct MonotonicityResult {
@@ -44,12 +52,9 @@ pub fn txn_extensions(x: &Execution) -> Vec<Execution> {
         let class = &x.txns()[ti];
         let tid = x.event(class.events[0]).tid;
         let thread = x.thread_events(tid);
-        let first_pos = thread
-            .iter()
-            .position(|&e| e == class.events[0])
-            .expect("member");
+        let first_pos = thread.index_of(class.events[0]).expect("member");
         let last = *class.events.last().expect("non-empty");
-        let last_pos = thread.iter().position(|&e| e == last).expect("member");
+        let last_pos = thread.index_of(last).expect("member");
         let mut grow = |neighbour: usize, at_front: bool| {
             let mut y = x.clone();
             match x.txn_of(neighbour) {
@@ -81,17 +86,86 @@ pub fn txn_extensions(x: &Execution) -> Vec<Execution> {
             }
         };
         if first_pos > 0 {
-            grow(thread[first_pos - 1], true);
+            grow(thread.get(first_pos - 1), true);
         }
         if last_pos + 1 < thread.len() {
-            grow(thread[last_pos + 1], false);
+            grow(thread.get(last_pos + 1), false);
         }
     }
     out
 }
 
-/// Bounded monotonicity check for one model at one event count.
+/// One candidate's worth of monotonicity checking; returns a violating
+/// pair when the model is non-monotone at `x`.
+fn violation_at(model: &dyn Model, x: &Execution) -> Option<(Execution, Execution)> {
+    if model.consistent(x) {
+        return None;
+    }
+    for y in txn_extensions(x) {
+        if model.consistent(&y) {
+            return Some((x.clone(), y));
+        }
+    }
+    None
+}
+
+/// Bounded monotonicity check for one model at one event count, sharded
+/// by thread shape across every core.
+///
+/// A counterexample in any shard stops the others at their next
+/// candidate, so `checked` can undercount relative to
+/// [`check_monotonicity_seq`] once a violation exists; on violation-free
+/// (and unbudgeted) runs the two agree exactly.
 pub fn check_monotonicity(
+    cfg: &EnumConfig,
+    model: &dyn Model,
+    budget: Option<Duration>,
+) -> MonotonicityResult {
+    let start = Instant::now();
+    let stop = AtomicBool::new(false);
+    let shards = par_map(config_shapes(cfg), |shape| {
+        let mut checked = 0usize;
+        let mut counterexample = None;
+        let mut complete = true;
+        enumerate_shape(cfg, &shape, &mut |x| {
+            if counterexample.is_some() || stop.load(Ordering::Relaxed) {
+                return;
+            }
+            if let Some(b) = budget {
+                if start.elapsed() > b {
+                    complete = false;
+                    stop.store(true, Ordering::Relaxed);
+                    return;
+                }
+            }
+            checked += 1;
+            if let Some(pair) = violation_at(model, x) {
+                counterexample = Some(pair);
+                stop.store(true, Ordering::Relaxed);
+            }
+        });
+        (checked, counterexample, complete)
+    });
+    let mut checked = 0usize;
+    let mut counterexample = None;
+    let mut complete = true;
+    for (c, cex, comp) in shards {
+        checked += c;
+        complete &= comp;
+        if counterexample.is_none() {
+            counterexample = cex;
+        }
+    }
+    MonotonicityResult {
+        counterexample,
+        checked,
+        elapsed: start.elapsed(),
+        complete,
+    }
+}
+
+/// The sequential reference implementation of [`check_monotonicity`].
+pub fn check_monotonicity_seq(
     cfg: &EnumConfig,
     model: &dyn Model,
     budget: Option<Duration>,
@@ -111,15 +185,7 @@ pub fn check_monotonicity(
             }
         }
         checked += 1;
-        if model.consistent_analysis(&x.analysis()) {
-            return;
-        }
-        for y in txn_extensions(x) {
-            if model.consistent(&y) {
-                counterexample = Some((x.clone(), y));
-                return;
-            }
-        }
+        counterexample = violation_at(model, x);
     });
     MonotonicityResult {
         counterexample,
@@ -204,6 +270,48 @@ mod tests {
         };
         let r = check_monotonicity(&cfg, &Armv8::tm(), None);
         assert!(r.counterexample.is_some());
+    }
+
+    #[test]
+    fn parallel_matches_sequential_reference() {
+        // Violation-free sweep: the sharded and sequential checkers
+        // examine the same space and agree exactly.
+        let cfg = EnumConfig {
+            arch: Arch::X86,
+            events: 3,
+            max_threads: 2,
+            max_locs: 2,
+            fences: false,
+            deps: false,
+            rmws: true,
+            txns: true,
+            attrs: false,
+            atomic_txns: false,
+        };
+        let par = check_monotonicity(&cfg, &X86::tm(), None);
+        let seq = check_monotonicity_seq(&cfg, &X86::tm(), None);
+        assert_eq!(par.checked, seq.checked);
+        assert_eq!(par.complete, seq.complete);
+        assert!(par.counterexample.is_none() && seq.counterexample.is_none());
+        // Violating sweep: both find a counterexample.
+        let cfg = EnumConfig {
+            arch: Arch::Power,
+            events: 2,
+            max_threads: 1,
+            max_locs: 1,
+            fences: false,
+            deps: false,
+            rmws: true,
+            txns: true,
+            attrs: false,
+            atomic_txns: false,
+        };
+        assert!(check_monotonicity(&cfg, &Power::tm(), None)
+            .counterexample
+            .is_some());
+        assert!(check_monotonicity_seq(&cfg, &Power::tm(), None)
+            .counterexample
+            .is_some());
     }
 
     #[test]

@@ -3,12 +3,20 @@
 //! The paper proves these in Isabelle; we validate them exhaustively up
 //! to a bound (the same regime Memalloy uses for Table 2) and leave
 //! random deeper exploration to the proptest suites.
+//!
+//! Every sweep is sharded by thread shape across every core (the same
+//! decomposition the enumerator parallelises over); a counterexample in
+//! any shard stops the others. Sequential references are kept for
+//! differential testing.
 
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::time::{Duration, Instant};
 
-use txmm_core::Execution;
+use txmm_core::{Execution, ExecutionAnalysis};
 use txmm_models::{Arch, Cpp, Model, Tsc};
-use txmm_synth::{enumerate, EnumConfig};
+use txmm_synth::enumerate::config_shapes;
+use txmm_synth::par::par_map;
+use txmm_synth::{enumerate, enumerate_shape, EnumConfig};
 
 /// The outcome of a bounded theorem check.
 pub struct TheoremResult {
@@ -35,15 +43,69 @@ fn cpp_cfg(events: usize) -> EnumConfig {
     }
 }
 
-/// Theorem 7.2: in race-free C++ executions whose atomic transactions
-/// contain no atomic operations, atomic transactions are strongly
-/// isolated: `acyclic(stronglift(com, stxnat))`.
-pub fn check_theorem_7_2(events: usize, budget: Option<Duration>) -> TheoremResult {
-    let m = Cpp::tm();
+/// Run one theorem's per-candidate predicate over the sharded space.
+///
+/// `test` returns `None` when the hypotheses fail, `Some(false)` for a
+/// checked candidate that satisfies the conclusion, and `Some(true)`
+/// for a counterexample.
+fn sharded_sweep(
+    cfg: &EnumConfig,
+    budget: Option<Duration>,
+    test: impl Fn(&Execution, &ExecutionAnalysis<'_>) -> Option<bool> + Sync,
+) -> TheoremResult {
+    let start = Instant::now();
+    let stop = AtomicBool::new(false);
+    let shards = par_map(config_shapes(cfg), |shape| {
+        let mut checked = 0usize;
+        let mut counterexample = None;
+        enumerate_shape(cfg, &shape, &mut |x| {
+            if counterexample.is_some() || stop.load(Ordering::Relaxed) {
+                return;
+            }
+            if let Some(b) = budget {
+                if start.elapsed() > b {
+                    stop.store(true, Ordering::Relaxed);
+                    return;
+                }
+            }
+            let a = x.analysis();
+            match test(x, &a) {
+                None => {}
+                Some(false) => checked += 1,
+                Some(true) => {
+                    checked += 1;
+                    counterexample = Some(x.clone());
+                    stop.store(true, Ordering::Relaxed);
+                }
+            }
+        });
+        (checked, counterexample)
+    });
+    let mut checked = 0usize;
+    let mut counterexample = None;
+    for (c, cex) in shards {
+        checked += c;
+        if counterexample.is_none() {
+            counterexample = cex;
+        }
+    }
+    TheoremResult {
+        counterexample,
+        checked,
+        elapsed: start.elapsed(),
+    }
+}
+
+/// The sequential counterpart of [`sharded_sweep`].
+fn sequential_sweep(
+    cfg: &EnumConfig,
+    budget: Option<Duration>,
+    mut test: impl FnMut(&Execution, &ExecutionAnalysis<'_>) -> Option<bool>,
+) -> TheoremResult {
     let start = Instant::now();
     let mut checked = 0usize;
     let mut counterexample = None;
-    enumerate(&cpp_cfg(events), &mut |x| {
+    enumerate(cfg, &mut |x| {
         if counterexample.is_some() {
             return;
         }
@@ -52,17 +114,14 @@ pub fn check_theorem_7_2(events: usize, budget: Option<Duration>) -> TheoremResu
                 return;
             }
         }
-        // Hypotheses, all over one shared analysis.
         let a = x.analysis();
-        if !m.consistent_analysis(&a) || m.racy_analysis(&a) || !Cpp::atomic_txns_wellformed(x) {
-            return;
-        }
-        if a.stxnat().is_empty() {
-            return;
-        }
-        checked += 1;
-        if !a.strong_isol_atomic().is_acyclic() {
-            counterexample = Some(x.clone());
+        match test(x, &a) {
+            None => {}
+            Some(false) => checked += 1,
+            Some(true) => {
+                checked += 1;
+                counterexample = Some(x.clone());
+            }
         }
     });
     TheoremResult {
@@ -70,6 +129,50 @@ pub fn check_theorem_7_2(events: usize, budget: Option<Duration>) -> TheoremResu
         checked,
         elapsed: start.elapsed(),
     }
+}
+
+/// Theorem 7.2's per-candidate predicate.
+fn theorem_7_2_test(m: &Cpp, x: &Execution, a: &ExecutionAnalysis<'_>) -> Option<bool> {
+    if !m.consistent_analysis(a) || m.racy_analysis(a) || !Cpp::atomic_txns_wellformed(x) {
+        return None;
+    }
+    if a.stxnat().is_empty() {
+        return None;
+    }
+    Some(!a.strong_isol_atomic().is_acyclic())
+}
+
+/// Theorem 7.2: in race-free C++ executions whose atomic transactions
+/// contain no atomic operations, atomic transactions are strongly
+/// isolated: `acyclic(stronglift(com, stxnat))`.
+pub fn check_theorem_7_2(events: usize, budget: Option<Duration>) -> TheoremResult {
+    let m = Cpp::tm();
+    sharded_sweep(&cpp_cfg(events), budget, |x, a| theorem_7_2_test(&m, x, a))
+}
+
+/// The sequential reference implementation of [`check_theorem_7_2`].
+pub fn check_theorem_7_2_seq(events: usize, budget: Option<Duration>) -> TheoremResult {
+    let m = Cpp::tm();
+    sequential_sweep(&cpp_cfg(events), budget, |x, a| theorem_7_2_test(&m, x, a))
+}
+
+/// Theorem 7.3's per-candidate predicate.
+fn theorem_7_3_test(m: &Cpp, x: &Execution, a: &ExecutionAnalysis<'_>) -> Option<bool> {
+    // Hypotheses: stxn = stxnat, Ato = SC, NoRace, consistency, plus
+    // the specification's vocabulary condition on atomic transactions.
+    if x.txns().iter().any(|t| !t.atomic) {
+        return None;
+    }
+    if a.ato() != a.sc_events() {
+        return None;
+    }
+    if !Cpp::atomic_txns_wellformed(x) {
+        return None;
+    }
+    if !m.consistent_analysis(a) || m.racy_analysis(a) {
+        return None;
+    }
+    Some(!Tsc.consistent_analysis(a))
 }
 
 /// Theorem 7.3 (transactional SC-DRF): a consistent C++ execution with
@@ -77,69 +180,23 @@ pub fn check_theorem_7_2(events: usize, budget: Option<Duration>) -> TheoremResu
 /// under TSC.
 pub fn check_theorem_7_3(events: usize, budget: Option<Duration>) -> TheoremResult {
     let m = Cpp::tm();
-    let start = Instant::now();
-    let mut checked = 0usize;
-    let mut counterexample = None;
-    enumerate(&cpp_cfg(events), &mut |x| {
-        if counterexample.is_some() {
-            return;
-        }
-        if let Some(b) = budget {
-            if start.elapsed() > b {
-                return;
-            }
-        }
-        // Hypotheses: stxn = stxnat, Ato = SC, NoRace, consistency,
-        // plus the specification's vocabulary condition on atomic
-        // transactions.
-        if x.txns().iter().any(|t| !t.atomic) {
-            return;
-        }
-        let a = x.analysis();
-        if a.ato() != a.sc_events() {
-            return;
-        }
-        if !Cpp::atomic_txns_wellformed(x) {
-            return;
-        }
-        if !m.consistent_analysis(&a) || m.racy_analysis(&a) {
-            return;
-        }
-        checked += 1;
-        if !Tsc.consistent_analysis(&a) {
-            counterexample = Some(x.clone());
-        }
-    });
-    TheoremResult {
-        counterexample,
-        checked,
-        elapsed: start.elapsed(),
-    }
+    sharded_sweep(&cpp_cfg(events), budget, |x, a| theorem_7_3_test(&m, x, a))
+}
+
+/// The sequential reference implementation of [`check_theorem_7_3`].
+pub fn check_theorem_7_3_seq(events: usize, budget: Option<Duration>) -> TheoremResult {
+    let m = Cpp::tm();
+    sequential_sweep(&cpp_cfg(events), budget, |x, a| theorem_7_3_test(&m, x, a))
 }
 
 /// The baseline sanity statement of §8: TM models agree with their
 /// baselines on transaction-free executions.
 pub fn check_tm_conservative(cfg: &EnumConfig, tm: &dyn Model, base: &dyn Model) -> TheoremResult {
-    let start = Instant::now();
-    let mut checked = 0usize;
-    let mut counterexample = None;
     let mut cfg = cfg.clone();
     cfg.txns = false;
-    enumerate(&cfg, &mut |x| {
-        if counterexample.is_some() {
-            return;
-        }
-        checked += 1;
-        let a = x.analysis();
-        if tm.consistent_analysis(&a) != base.consistent_analysis(&a) {
-            counterexample = Some(x.clone());
-        }
-    });
-    TheoremResult {
-        counterexample,
-        checked,
-        elapsed: start.elapsed(),
-    }
+    sharded_sweep(&cfg, None, |_, a| {
+        Some(tm.consistent_analysis(a) != base.consistent_analysis(a))
+    })
 }
 
 #[cfg(test)]
@@ -159,6 +216,18 @@ mod tests {
         let r = check_theorem_7_3(3, None);
         assert!(r.counterexample.is_none(), "Theorem 7.3 must hold");
         assert!(r.checked > 0);
+    }
+
+    #[test]
+    fn parallel_matches_sequential_reference() {
+        let par = check_theorem_7_2(3, None);
+        let seq = check_theorem_7_2_seq(3, None);
+        assert_eq!(par.checked, seq.checked);
+        assert_eq!(par.counterexample, seq.counterexample);
+        let par = check_theorem_7_3(3, None);
+        let seq = check_theorem_7_3_seq(3, None);
+        assert_eq!(par.checked, seq.checked);
+        assert_eq!(par.counterexample, seq.counterexample);
     }
 
     #[test]

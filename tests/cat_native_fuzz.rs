@@ -1,0 +1,121 @@
+//! Differential fuzzing between the `.cat` evaluator and the native
+//! models at |E| = 4 — one event past the per-crate differential tests,
+//! on the full enumerated candidate space.
+//!
+//! Release builds sweep every enumerated execution; debug builds sample
+//! the space with a SplitMix64-driven coin so the suite stays fast. The
+//! sampler also drives a second pass with independently randomised
+//! transaction layouts, exercising `.cat` lift combinators on shapes the
+//! interval enumerator visits in a different order.
+
+use txmm::cat::cat_model;
+use txmm::core::rng::SplitMix64;
+use txmm::core::TxnClass;
+use txmm::models::registry::by_name;
+use txmm::models::Arch;
+use txmm::synth::{enumerate, EnumConfig};
+
+fn fuzz_config(arch: Arch, fences: bool, rmws: bool) -> EnumConfig {
+    EnumConfig {
+        arch,
+        events: 4,
+        max_threads: 2,
+        max_locs: 2,
+        fences,
+        deps: false,
+        rmws,
+        txns: true,
+        attrs: false,
+        atomic_txns: false,
+    }
+}
+
+/// Sweep (or sample) the enumerated space, asserting verdict agreement
+/// between a `.cat` model and its native twin on every visited
+/// execution.
+fn differential_fuzz(cfg: &EnumConfig, names: &[&str], seed: u64) {
+    for name in names {
+        let cat = cat_model(name).expect("shipped model");
+        let native = by_name(name).expect("native model");
+        // Debug builds sample ~1/24 of the space; release sweeps it all.
+        let mut rng = SplitMix64::seed_from_u64(seed);
+        let sample = cfg!(debug_assertions);
+        let mut checked = 0usize;
+        enumerate(cfg, &mut |x| {
+            if sample && rng.below(24) != 0 {
+                return;
+            }
+            checked += 1;
+            let c = cat.consistent(x).expect("cat evaluates");
+            let n = native.consistent(x);
+            assert_eq!(
+                c,
+                n,
+                "cat vs native {name} disagree on:\n{}",
+                txmm::core::display::render(x)
+            );
+        });
+        assert!(checked > 100, "{name}: sampled too little ({checked})");
+    }
+}
+
+#[test]
+fn x86_cat_matches_native_at_four_events() {
+    differential_fuzz(
+        &fuzz_config(Arch::X86, true, true),
+        &["x86", "x86-tm"],
+        0x1234,
+    );
+}
+
+#[test]
+fn sc_cat_matches_native_at_four_events() {
+    differential_fuzz(&fuzz_config(Arch::Sc, false, false), &["SC", "TSC"], 0x5678);
+}
+
+/// SplitMix64-randomised transaction relayouts on top of enumerated
+/// transaction-free executions: a different distribution over `stxn`
+/// shapes than the interval enumerator's, checked against both models.
+#[test]
+fn randomised_txn_layouts_agree() {
+    let mut cfg = fuzz_config(Arch::X86, false, false);
+    cfg.txns = false;
+    let cat = cat_model("x86-tm").expect("shipped model");
+    let native = by_name("x86-tm").expect("native model");
+    let mut rng = SplitMix64::seed_from_u64(0x9abc);
+    let mut checked = 0usize;
+    let budget = if cfg!(debug_assertions) { 400 } else { 4000 };
+    enumerate(&cfg, &mut |x| {
+        if checked >= budget || rng.below(8) != 0 {
+            return;
+        }
+        // Random per-thread transaction brackets.
+        let mut txns = Vec::new();
+        for t in 0..x.num_threads() {
+            let evs: Vec<usize> = x.thread_events(t as u8).collect();
+            let mut i = 0;
+            while i < evs.len() {
+                if rng.below(2) == 0 {
+                    let len = 1 + rng.below(evs.len() - i);
+                    txns.push(TxnClass {
+                        events: evs[i..i + len].to_vec(),
+                        atomic: false,
+                    });
+                    i += len;
+                } else {
+                    i += 1;
+                }
+            }
+        }
+        let y = x.with_txns(txns);
+        assert!(y.check_wf().is_ok());
+        checked += 1;
+        assert_eq!(
+            cat.consistent(&y).expect("cat evaluates"),
+            native.consistent(&y),
+            "cat vs native x86-tm disagree on randomised txn layout:\n{}",
+            txmm::core::display::render(&y)
+        );
+    });
+    assert!(checked > 100, "sampled too little ({checked})");
+}

@@ -75,7 +75,7 @@ fn with_random_txns(x: &Execution, seed: u64, atomic: bool) -> Execution {
     let mut rng = SplitMix64::seed_from_u64(seed ^ 0xdead_beef);
     let mut txns = Vec::new();
     for t in 0..x.num_threads() {
-        let evs = x.thread_events(t as u8);
+        let evs: Vec<usize> = x.thread_events(t as u8).collect();
         let mut i = 0;
         while i < evs.len() {
             if rng.below(2) == 0 {
