@@ -1,0 +1,149 @@
+//! `txmm-serverd` throughput over a real socket: requests/sec on the
+//! generated 50-test corpus, cold vs warm and 1 vs N concurrent
+//! clients.
+//!
+//! Before the criterion measurements, a headline comparison is printed:
+//! a warm sharded pool against a cold single-shard pass over the same
+//! corpus (the acceptance number — warm-pool throughput should be well
+//! over 5x the cold single-shard pass, since every verdict and
+//! observability answer comes from the shard caches).
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::thread;
+use std::time::{Duration, Instant};
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use txmm::daemon::{Daemon, ListenAddr, PoolConfig, SessionPool};
+use txmm::protocol::Request;
+
+fn corpus() -> Vec<(String, String)> {
+    txmm::corpus::generate(3)
+        .into_iter()
+        .map(|(name, src)| (format!("{name}.litmus"), src))
+        .collect()
+}
+
+/// Start a daemon; returns its address and the server thread (joined by
+/// [`stop`]).
+fn start(shards: usize) -> (String, thread::JoinHandle<()>) {
+    let pool = SessionPool::new(&PoolConfig {
+        shards,
+        ..PoolConfig::default()
+    })
+    .expect("pool builds");
+    let daemon = Daemon::bind(&ListenAddr::Tcp("127.0.0.1:0".into()), pool).expect("binds");
+    let addr = daemon.local_addr().to_string();
+    let server = thread::spawn(move || daemon.run().expect("daemon runs"));
+    (addr, server)
+}
+
+fn stop(addr: &str, server: thread::JoinHandle<()>) {
+    let mut stream = BufReader::new(TcpStream::connect(addr).expect("connect"));
+    send(&mut stream, &Request::Shutdown);
+    server.join().expect("clean shutdown");
+}
+
+fn send(stream: &mut BufReader<TcpStream>, req: &Request) -> usize {
+    stream
+        .get_mut()
+        .write_all(format!("{}\n", req.to_line()).as_bytes())
+        .expect("send");
+    let mut lines = 0usize;
+    let mut line = String::new();
+    loop {
+        line.clear();
+        let n = stream.read_line(&mut line).expect("read");
+        assert!(n > 0, "server closed mid-frame");
+        if line == "\n" {
+            return lines;
+        }
+        lines += 1;
+    }
+}
+
+/// One client pass: every corpus test as a `check` over one connection.
+fn pass(addr: &str, corpus: &[(String, String)]) {
+    let mut stream = BufReader::new(TcpStream::connect(addr).expect("connect"));
+    for (file, src) in corpus {
+        let req = Request::Check {
+            file: file.clone(),
+            src: src.clone(),
+            models: None,
+        };
+        assert_eq!(send(&mut stream, &req), 1);
+    }
+}
+
+/// `clients` concurrent passes; returns the wall-clock duration.
+fn concurrent_passes(addr: &str, corpus: &[(String, String)], clients: usize) -> Duration {
+    let start = Instant::now();
+    thread::scope(|scope| {
+        for _ in 0..clients {
+            scope.spawn(|| pass(addr, corpus));
+        }
+    });
+    start.elapsed()
+}
+
+fn headline(corpus: &[(String, String)]) {
+    // Cold single-shard: fresh caches, every verdict computed.
+    let (addr, server) = start(1);
+    let cold = concurrent_passes(&addr, corpus, 1);
+    stop(&addr, server);
+
+    // Warm pool: one priming pass, then measured warm passes.
+    let (addr, server) = start(0);
+    pass(&addr, corpus);
+    let reps = 5;
+    let mut warm1 = Duration::ZERO;
+    for _ in 0..reps {
+        warm1 += concurrent_passes(&addr, corpus, 1);
+    }
+    let warm1 = warm1 / reps;
+    let warm4 = concurrent_passes(&addr, corpus, 4);
+    stop(&addr, server);
+
+    let n = corpus.len() as f64;
+    let rps = |d: Duration, requests: f64| requests / d.as_secs_f64();
+    println!(
+        "daemon-throughput/headline: corpus={} cold-1-shard {:.0} req/s | \
+         warm-pool 1-client {:.0} req/s ({:.1}x cold) | \
+         warm-pool 4-clients {:.0} req/s ({:.1}x cold)",
+        corpus.len(),
+        rps(cold, n),
+        rps(warm1, n),
+        cold.as_secs_f64() / warm1.as_secs_f64(),
+        rps(warm4, 4.0 * n),
+        (4.0 * n / warm4.as_secs_f64()) / (n / cold.as_secs_f64()),
+    );
+}
+
+fn bench_daemon(c: &mut Criterion) {
+    let corpus = corpus();
+    headline(&corpus);
+
+    // A persistent warm daemon for the criterion measurements.
+    let (addr, server) = start(0);
+    pass(&addr, &corpus);
+    let mut g = c.benchmark_group("daemon");
+    g.bench_function("warm-pass-1-client", |b| b.iter(|| pass(&addr, &corpus)));
+    g.bench_function("warm-pass-4-clients", |b| {
+        b.iter(|| concurrent_passes(&addr, &corpus, 4))
+    });
+    g.finish();
+    stop(&addr, server);
+
+    // Cold single shard, daemon lifecycle included (what a fresh
+    // one-shot serve pays).
+    c.bench_function("daemon/cold-pass-single-shard", |b| {
+        b.iter(|| {
+            let (addr, server) = start(1);
+            pass(&addr, &corpus);
+            stop(&addr, server);
+        })
+    });
+}
+
+criterion_group!(benches, bench_daemon);
+criterion_main!(benches);

@@ -22,16 +22,22 @@ pub enum Value {
     Rel(Rel),
 }
 
-/// An evaluation error.
+/// An evaluation error, pointing at the source line of the construct
+/// that failed (e.g. `unsupported operator 'fencerel' at line 12`).
 #[derive(Debug, Clone, PartialEq)]
 pub struct EvalError {
-    /// Description.
+    /// Description, naming the offending construct.
     pub message: String,
+    /// 1-based source line of the construct, when known.
+    pub line: Option<u32>,
 }
 
 impl fmt::Display for EvalError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "eval error: {}", self.message)
+        match self.line {
+            Some(l) => write!(f, "{} at line {l}", self.message),
+            None => write!(f, "{}", self.message),
+        }
     }
 }
 
@@ -40,6 +46,14 @@ impl std::error::Error for EvalError {}
 fn err<T>(message: impl Into<String>) -> Result<T, EvalError> {
     Err(EvalError {
         message: message.into(),
+        line: None,
+    })
+}
+
+fn err_at<T>(line: u32, message: impl Into<String>) -> Result<T, EvalError> {
+    Err(EvalError {
+        message: message.into(),
+        line: Some(line),
     })
 }
 
@@ -136,13 +150,13 @@ impl<'a, 'x> Env<'a, 'x> {
         }
     }
 
-    fn lookup(&self, name: &str) -> Result<Value, EvalError> {
+    fn lookup(&self, name: &str, line: u32) -> Result<Value, EvalError> {
         if let Some(v) = self.vars.get(name) {
             return Ok(v.clone());
         }
         match self.builtin(name) {
             Some(v) => Ok(v),
-            None => err(format!("unbound identifier {name}")),
+            None => err_at(line, format!("unbound identifier '{name}'")),
         }
     }
 
@@ -160,7 +174,7 @@ impl<'a, 'x> Env<'a, 'x> {
     pub fn eval(&self, e: &Expr) -> Result<Value, EvalError> {
         let n = self.a.len();
         Ok(match e {
-            Expr::Ident(name) => self.lookup(name)?,
+            Expr::Ident(name, line) => self.lookup(name, *line)?,
             Expr::Universe => Value::Set(EventSet::universe(n)),
             Expr::Union(a, b) => match (self.eval(a)?, self.eval(b)?) {
                 (Value::Set(x), Value::Set(y)) => Value::Set(x.union(y)),
@@ -193,11 +207,20 @@ impl<'a, 'x> Env<'a, 'x> {
                 Value::Set(s) => Value::Rel(Rel::id_on(n, s)),
                 Value::Rel(_) => return err("[_] needs a set"),
             },
-            Expr::Call(f, args) => self.call(f, args)?,
+            Expr::Call(f, args, line) => self.call(f, args, *line)?,
         })
     }
 
-    fn call(&self, f: &str, args: &[Expr]) -> Result<Value, EvalError> {
+    /// The operators (herd "functions") the evaluator implements, with
+    /// their arities. Anything else is an unsupported construct.
+    const OPERATORS: [(&'static str, usize); 4] = [
+        ("weaklift", 2),
+        ("stronglift", 2),
+        ("domain", 1),
+        ("range", 1),
+    ];
+
+    fn call(&self, f: &str, args: &[Expr], line: u32) -> Result<Value, EvalError> {
         let rel_arg =
             |i: usize| -> Result<Rel, EvalError> { Ok(self.as_rel(self.eval(&args[i])?)) };
         match (f, args.len()) {
@@ -205,7 +228,16 @@ impl<'a, 'x> Env<'a, 'x> {
             ("stronglift", 2) => Ok(Value::Rel(stronglift(&rel_arg(0)?, &rel_arg(1)?))),
             ("domain", 1) => Ok(Value::Set(rel_arg(0)?.domain())),
             ("range", 1) => Ok(Value::Set(rel_arg(0)?.range())),
-            _ => err(format!("unknown function {f}/{}", args.len())),
+            _ => match Self::OPERATORS.iter().find(|(name, _)| *name == f) {
+                Some((_, arity)) => err_at(
+                    line,
+                    format!(
+                        "operator '{f}' expects {arity} arguments, got {}",
+                        args.len()
+                    ),
+                ),
+                None => err_at(line, format!("unsupported operator '{f}'")),
+            },
         }
     }
 }
@@ -367,8 +399,33 @@ mod tests {
 
     #[test]
     fn unbound_identifier_errors() {
-        let m = CatModel::new("bad", parse("acyclic nonsense as X").unwrap());
-        assert!(m.check(&catalog::fig1()).is_err());
+        // Class: reference to a relation/set the subset doesn't define.
+        let m = CatModel::new(
+            "bad",
+            parse("let hb = po | com\nacyclic hb ; nonsense as X").unwrap(),
+        );
+        let e = m.check(&catalog::fig1()).unwrap_err();
+        assert_eq!(e.to_string(), "unbound identifier 'nonsense' at line 2");
+    }
+
+    #[test]
+    fn unsupported_operator_reports_name_and_line() {
+        // Class: herd operator (function) outside the subset.
+        let src = "let hb = po | com\nlet f = fencerel(MFENCE)\nacyclic hb as Order";
+        let m = CatModel::new("bad", parse(src).unwrap());
+        let e = m.check(&catalog::fig1()).unwrap_err();
+        assert_eq!(e.to_string(), "unsupported operator 'fencerel' at line 2");
+    }
+
+    #[test]
+    fn wrong_operator_arity_reports_line() {
+        // Class: supported operator applied at the wrong arity.
+        let m = CatModel::new("bad", parse("acyclic stronglift(po) as X").unwrap());
+        let e = m.check(&catalog::fig1()).unwrap_err();
+        assert_eq!(
+            e.to_string(),
+            "operator 'stronglift' expects 2 arguments, got 1 at line 1"
+        );
     }
 
     #[test]

@@ -26,10 +26,15 @@ use crate::lexer::{lex, LexError, Token};
 use std::fmt;
 
 /// An expression of the `.cat` subset.
+///
+/// Name references ([`Expr::Ident`]) and operator applications
+/// ([`Expr::Call`]) carry their 1-based source line, so evaluation
+/// errors — the place unsupported constructs surface — can point back
+/// into the user's `.cat` file.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Expr {
-    /// A name (set or relation).
-    Ident(String),
+    /// A name (set or relation) and its source line.
+    Ident(String, u32),
     /// `e1 | e2`.
     Union(Box<Expr>, Box<Expr>),
     /// `e1 & e2`.
@@ -54,8 +59,8 @@ pub enum Expr {
     IdOn(Box<Expr>),
     /// `_`.
     Universe,
-    /// `f(e1, ..., en)`.
-    Call(String, Vec<Expr>),
+    /// `f(e1, ..., en)` and its source line.
+    Call(String, Vec<Expr>, u32),
 }
 
 /// What a check asserts.
@@ -92,16 +97,18 @@ pub struct CatFile {
     pub decls: Vec<Decl>,
 }
 
-/// A parse error.
+/// A parse error with its 1-based source line.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ParseError {
+    /// 1-based source line.
+    pub line: u32,
     /// Description.
     pub message: String,
 }
 
 impl fmt::Display for ParseError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "parse error: {}", self.message)
+        write!(f, "{} at line {}", self.message, self.line)
     }
 }
 
@@ -110,42 +117,78 @@ impl std::error::Error for ParseError {}
 impl From<LexError> for ParseError {
     fn from(e: LexError) -> ParseError {
         ParseError {
-            message: e.to_string(),
+            line: e.line,
+            message: e.message,
         }
     }
 }
 
+/// Herd-language declaration keywords outside our subset; recognised so
+/// the error can name the construct rather than calling it garbage.
+const UNSUPPORTED_DECLS: &[&str] = &[
+    "include",
+    "procedure",
+    "call",
+    "flag",
+    "show",
+    "unshow",
+    "with",
+    "forall",
+    "enum",
+    "instructions",
+    "deadness",
+];
+
 struct Parser {
-    tokens: Vec<Token>,
+    tokens: Vec<(Token, u32)>,
     pos: usize,
 }
 
 impl Parser {
     fn peek(&self) -> Option<&Token> {
-        self.tokens.get(self.pos)
+        self.tokens.get(self.pos).map(|(t, _)| t)
+    }
+
+    /// The line of the current token (or of the last one at EOF).
+    fn line(&self) -> u32 {
+        self.tokens
+            .get(self.pos.min(self.tokens.len().saturating_sub(1)))
+            .map(|&(_, l)| l)
+            .unwrap_or(1)
     }
 
     fn next(&mut self) -> Option<Token> {
-        let t = self.tokens.get(self.pos).cloned();
+        let t = self.tokens.get(self.pos).map(|(t, _)| t.clone());
         if t.is_some() {
             self.pos += 1;
         }
         t
     }
 
+    fn err<T>(&self, message: impl Into<String>) -> Result<T, ParseError> {
+        Err(ParseError {
+            line: self.line(),
+            message: message.into(),
+        })
+    }
+
     fn expect(&mut self, t: &Token) -> Result<(), ParseError> {
+        let line = self.line();
         match self.next() {
             Some(got) if got == *t => Ok(()),
             got => Err(ParseError {
+                line,
                 message: format!("expected {t}, got {got:?}"),
             }),
         }
     }
 
     fn ident(&mut self) -> Result<String, ParseError> {
+        let line = self.line();
         match self.next() {
             Some(Token::Ident(s)) => Ok(s),
             got => Err(ParseError {
+                line,
                 message: format!("expected identifier, got {got:?}"),
             }),
         }
@@ -188,10 +231,12 @@ impl Parser {
                     };
                     decls.push(Decl::Check { kind, expr, name });
                 }
+                Token::Ident(w) if UNSUPPORTED_DECLS.contains(&w.as_str()) => {
+                    return self.err(format!("unsupported declaration '{w}'"));
+                }
                 other => {
-                    return Err(ParseError {
-                        message: format!("unexpected token {other}"),
-                    })
+                    let msg = format!("unexpected token {other}");
+                    return self.err(msg);
                 }
             }
         }
@@ -260,7 +305,7 @@ impl Parser {
         let mut e = self.postfix()?;
         loop {
             if matches!(self.peek(), Some(Token::Star))
-                && Self::starts_primary(self.tokens.get(self.pos + 1))
+                && Self::starts_primary(self.tokens.get(self.pos + 1).map(|(t, _)| t))
             {
                 self.next();
                 e = Expr::Cross(Box::new(e), Box::new(self.postfix()?));
@@ -279,7 +324,9 @@ impl Parser {
                     self.next();
                     e = Expr::Plus(Box::new(e));
                 }
-                Some(Token::Star) if !Self::starts_primary(self.tokens.get(self.pos + 1)) => {
+                Some(Token::Star)
+                    if !Self::starts_primary(self.tokens.get(self.pos + 1).map(|(t, _)| t)) =>
+                {
                     self.next();
                     e = Expr::Star(Box::new(e));
                 }
@@ -306,6 +353,7 @@ impl Parser {
     }
 
     fn primary(&mut self) -> Result<Expr, ParseError> {
+        let line = self.line();
         match self.next() {
             Some(Token::Ident(name)) => {
                 if matches!(self.peek(), Some(Token::LParen)) {
@@ -316,9 +364,9 @@ impl Parser {
                         args.push(self.expr()?);
                     }
                     self.expect(&Token::RParen)?;
-                    Ok(Expr::Call(name, args))
+                    Ok(Expr::Call(name, args, line))
                 } else {
-                    Ok(Expr::Ident(name))
+                    Ok(Expr::Ident(name, line))
                 }
             }
             Some(Token::LBracket) => {
@@ -332,7 +380,12 @@ impl Parser {
                 Ok(e)
             }
             Some(Token::Underscore) => Ok(Expr::Universe),
+            Some(Token::Str(_)) => Err(ParseError {
+                line,
+                message: "unsupported construct: string literal in expression".into(),
+            }),
             got => Err(ParseError {
+                line,
                 message: format!("expected expression, got {got:?}"),
             }),
         }
@@ -359,7 +412,7 @@ mod tests {
         };
         match &bindings[0].1 {
             Expr::Union(l, r) => {
-                assert_eq!(**l, Expr::Ident("a".into()));
+                assert_eq!(**l, Expr::Ident("a".into(), 1));
                 assert!(matches!(**r, Expr::Seq(_, _)));
             }
             e => panic!("{e:?}"),
@@ -414,8 +467,33 @@ mod tests {
             panic!()
         };
         assert!(
-            matches!(&bindings[0].1, Expr::Call(n, args) if n == "stronglift" && args.len() == 2)
+            matches!(&bindings[0].1, Expr::Call(n, args, _) if n == "stronglift" && args.len() == 2)
         );
+    }
+
+    #[test]
+    fn unsupported_declarations_named_with_line() {
+        let e =
+            parse("let hb = po | com\nacyclic hb as Order\ninclude \"x86fences.cat\"").unwrap_err();
+        assert_eq!(e.line, 3);
+        assert_eq!(e.to_string(), "unsupported declaration 'include' at line 3");
+        let e = parse("procedure f(x) = x end").unwrap_err();
+        assert!(e
+            .to_string()
+            .contains("unsupported declaration 'procedure' at line 1"));
+    }
+
+    #[test]
+    fn idents_and_calls_carry_lines() {
+        let f = parse("let a = po\nlet b = stronglift(com, stxn)").unwrap();
+        let Decl::Let { bindings, .. } = &f.decls[0] else {
+            panic!()
+        };
+        assert_eq!(bindings[0].1, Expr::Ident("po".into(), 1));
+        let Decl::Let { bindings, .. } = &f.decls[1] else {
+            panic!()
+        };
+        assert!(matches!(&bindings[0].1, Expr::Call(_, _, 2)));
     }
 
     #[test]

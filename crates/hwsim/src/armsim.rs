@@ -246,7 +246,7 @@ impl ArmSim {
                 }
             }
             Op::Fence(_, _) => {}
-            Op::TxBegin { txn_id } => {
+            Op::TxBegin { txn_id, .. } => {
                 // A transactional/non-transactional state change cancels
                 // the exclusive reservation (TxnCancelsRMW).
                 s.threads[t].monitor = None;

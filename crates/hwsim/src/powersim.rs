@@ -320,7 +320,7 @@ impl PowerSim {
             Op::Fence(_, _) => {
                 s.threads[t].commit(i);
             }
-            Op::TxBegin { txn_id } => {
+            Op::TxBegin { txn_id, .. } => {
                 // tbegin is a cumulative barrier, like sync; the
                 // transactional state change also cancels any exclusive
                 // reservation (TxnCancelsRMW).

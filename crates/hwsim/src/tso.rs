@@ -232,7 +232,7 @@ impl TsoSim {
                         out.push(s);
                     }
                 }
-                Op::TxBegin { txn_id } => {
+                Op::TxBegin { txn_id, .. } => {
                     // Fence semantics: wait for the buffer to drain.
                     if state.threads[t].sb.is_empty() {
                         let mut s = state.clone();

@@ -76,7 +76,10 @@ pub enum Op {
     Fence(Fence, Attrs),
     /// Begin a transaction; on abort, control transfers to the fail
     /// handler which zeroes the `ok` flag for transaction `txn_id`.
-    TxBegin { txn_id: usize },
+    /// `atomic` marks a C++ `atomic { ... }` block (the paper's
+    /// `stxnat` strengthening) as opposed to a relaxed /
+    /// `synchronized` transaction.
+    TxBegin { txn_id: usize, atomic: bool },
     /// Commit the current transaction.
     TxEnd,
     /// `lock()` / `unlock()` pseudo-calls (abstract executions, §8.3).
@@ -190,7 +193,10 @@ mod tests {
             arch: Arch::X86,
             threads: vec![
                 vec![
-                    Instr::plain(Op::TxBegin { txn_id: 0 }),
+                    Instr::plain(Op::TxBegin {
+                        txn_id: 0,
+                        atomic: false,
+                    }),
                     Instr::plain(Op::Store {
                         loc: 0,
                         value: 1,

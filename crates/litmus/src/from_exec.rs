@@ -72,7 +72,10 @@ pub fn litmus_from_execution(name: &str, x: &Execution, arch: Arch) -> LitmusTes
                     }
                     let txn_id = next_txn;
                     next_txn += 1;
-                    instrs.push(Instr::plain(Op::TxBegin { txn_id }));
+                    instrs.push(Instr::plain(Op::TxBegin {
+                        txn_id,
+                        atomic: x.txns()[ti].atomic,
+                    }));
                     post.push(Check::TxnOk { txn_id });
                     open_txn = Some(ti);
                 }

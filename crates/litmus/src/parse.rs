@@ -246,10 +246,10 @@ pub fn parse_litmus(src: &str) -> Result<LitmusTest, LitmusParseError> {
         };
         let deps = parse_deps(comment, lineno)?;
         let op = if let Some(rest) = code.strip_prefix("txbegin") {
-            let _ = rest;
+            let atomic = rest.starts_with(".atomic");
             let txn_id = next_txn;
             next_txn += 1;
-            Op::TxBegin { txn_id }
+            Op::TxBegin { txn_id, atomic }
         } else if code == "txend" {
             Op::TxEnd
         } else if let Some((f, a)) = parse_fence(code) {
@@ -386,6 +386,28 @@ mod tests {
             loc: 0,
             values: vec![1, 2]
         }));
+    }
+
+    #[test]
+    fn parse_atomic_txn_marker() {
+        let src = "t (C++)\n\
+                   thread 0:\n\
+                   \u{20} txbegin.atomic (fail: ok0 <- 0)\n\
+                   \u{20} x <- 1\n\
+                   \u{20} txend\n\
+                   \u{20} txbegin (fail: ok1 <- 0)\n\
+                   \u{20} y <- 1\n\
+                   \u{20} txend\n\
+                   Test: ok0 = 1 /\\ ok1 = 1\n";
+        let t = parse_litmus(src).expect("parses");
+        assert!(matches!(
+            t.threads[0][0].op,
+            Op::TxBegin { atomic: true, .. }
+        ));
+        assert!(matches!(
+            t.threads[0][3].op,
+            Op::TxBegin { atomic: false, .. }
+        ));
     }
 
     #[test]

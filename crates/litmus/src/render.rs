@@ -66,7 +66,10 @@ pub fn pseudocode(t: &LitmusTest) -> String {
                     format!("{}{} <- {value}", loc_name(*loc), mode_suffix(mode))
                 }
                 Op::Fence(f, _) => f.mnemonic().to_string(),
-                Op::TxBegin { txn_id } => format!("txbegin (fail: ok{txn_id} <- 0)"),
+                Op::TxBegin { txn_id, atomic } => {
+                    let marker = if *atomic { ".atomic" } else { "" };
+                    format!("txbegin{marker} (fail: ok{txn_id} <- 0)")
+                }
                 Op::TxEnd => "txend".to_string(),
                 Op::LockCall(sym) => format!("{sym}()"),
             };
@@ -137,7 +140,7 @@ fn x86(t: &LitmusTest) -> String {
                 Op::Store { loc, value, .. } => format!("MOV [{}],{value}", loc_name(*loc)),
                 Op::Fence(Fence::MFence, _) => "MFENCE".to_string(),
                 Op::Fence(f, _) => format!("; unsupported fence {f:?}"),
-                Op::TxBegin { txn_id } => format!("XBEGIN Lfail{txn_id}"),
+                Op::TxBegin { txn_id, .. } => format!("XBEGIN Lfail{txn_id}"),
                 Op::TxEnd => "XEND".to_string(),
                 Op::LockCall(sym) => format!("{sym}()"),
             };
@@ -166,7 +169,7 @@ fn power(t: &LitmusTest) -> String {
                 Op::Fence(Fence::Lwsync, _) => "lwsync".to_string(),
                 Op::Fence(Fence::Isync, _) => "isync".to_string(),
                 Op::Fence(f, _) => format!("# unsupported fence {f:?}"),
-                Op::TxBegin { txn_id } => format!("tbegin. # fail -> Lfail{txn_id}"),
+                Op::TxBegin { txn_id, .. } => format!("tbegin. # fail -> Lfail{txn_id}"),
                 Op::TxEnd => "tend.".to_string(),
                 Op::LockCall(sym) => format!("{sym}()"),
             };
@@ -206,7 +209,7 @@ fn armv8(t: &LitmusTest) -> String {
                 Op::Fence(Fence::DmbSt, _) => "DMB ST".to_string(),
                 Op::Fence(Fence::Isb, _) => "ISB".to_string(),
                 Op::Fence(f, _) => format!("// unsupported fence {f:?}"),
-                Op::TxBegin { txn_id } => format!("TXBEGIN Lfail{txn_id}"),
+                Op::TxBegin { txn_id, .. } => format!("TXBEGIN Lfail{txn_id}"),
                 Op::TxEnd => "TXEND".to_string(),
                 Op::LockCall(sym) => format!("{sym}()"),
             };
@@ -254,9 +257,14 @@ fn cpp(t: &LitmusTest) -> String {
                     format!("atomic_thread_fence({m});")
                 }
                 Op::Fence(f, _) => format!("// unsupported fence {f:?}"),
-                Op::TxBegin { .. } => {
+                Op::TxBegin { atomic, .. } => {
                     depth += 1;
-                    "atomic {".to_string()
+                    if *atomic {
+                        "atomic {"
+                    } else {
+                        "synchronized {"
+                    }
+                    .to_string()
                 }
                 Op::TxEnd => {
                     depth -= 1;
@@ -378,6 +386,22 @@ mod tests {
         assert!(s.contains("atomic {"));
         assert!(s.contains("x = 1;"));
         assert!(s.contains("atomic_load_explicit(&x, memory_order_seq_cst)"));
+        let p = pseudocode(&t);
+        assert!(p.contains("txbegin.atomic (fail: ok0 <- 0)"));
+    }
+
+    #[test]
+    fn cpp_relaxed_txn_renders_synchronized() {
+        let mut b = ExecBuilder::new();
+        let t0 = b.new_thread();
+        let w = b.write(t0, 0);
+        b.txn(&[w]);
+        let x = b.build().unwrap();
+        let t = litmus_from_execution("sync", &x, Arch::Cpp);
+        let s = assembly(&t);
+        assert!(s.contains("synchronized {"));
+        assert!(!s.contains("atomic {"));
+        assert!(pseudocode(&t).contains("txbegin (fail: ok0 <- 0)"));
     }
 
     use txmm_core::Fence;

@@ -97,9 +97,9 @@ impl std::error::Error for LitmusConvertError {}
 ///
 /// Reads with no register check observe the initial value (the
 /// generator checks every read, so this default only applies to
-/// hand-written tests). Transactions are reconstructed as successful,
-/// non-atomic classes — the litmus AST does not distinguish C++ atomic
-/// blocks.
+/// hand-written tests). Transactions are reconstructed as successful
+/// classes, preserving the C++ `atomic { ... }` marker so `stxnat`
+/// round-trips.
 pub fn execution_from_litmus(t: &LitmusTest) -> Result<Execution, LitmusConvertError> {
     // Event-producing instructions (txbegin/txend brackets are not
     // events).
@@ -144,7 +144,7 @@ pub fn execution_from_litmus(t: &LitmusTest) -> Result<Execution, LitmusConvertE
     };
 
     for (tid, instrs) in t.threads.iter().enumerate() {
-        let mut open_txn: Option<Vec<EventId>> = None;
+        let mut open_txn: Option<(Vec<EventId>, bool)> = None;
         let mut pending_exclusive: Option<(EventId, Loc)> = None;
         for (idx, instr) in instrs.iter().enumerate() {
             let ev = match &instr.op {
@@ -202,16 +202,16 @@ pub fn execution_from_litmus(t: &LitmusTest) -> Result<Execution, LitmusConvertE
                     };
                     Some(Event::call(tid as u8, call))
                 }
-                Op::TxBegin { .. } => {
-                    open_txn = Some(Vec::new());
+                Op::TxBegin { atomic, .. } => {
+                    open_txn = Some((Vec::new(), *atomic));
                     None
                 }
                 Op::TxEnd => {
-                    if let Some(evs) = open_txn.take() {
+                    if let Some((evs, atomic)) = open_txn.take() {
                         if !evs.is_empty() {
                             txns.push(TxnClass {
                                 events: evs,
-                                atomic: false,
+                                atomic,
                             });
                         }
                     }
@@ -221,7 +221,7 @@ pub fn execution_from_litmus(t: &LitmusTest) -> Result<Execution, LitmusConvertE
             if let Some(ev) = ev {
                 let e = events.len();
                 instr_event.insert((tid, idx), e);
-                if let Some(evs) = open_txn.as_mut() {
+                if let Some((evs, _)) = open_txn.as_mut() {
                     evs.push(e);
                 }
                 for d in &instr.deps {
@@ -237,11 +237,11 @@ pub fn execution_from_litmus(t: &LitmusTest) -> Result<Execution, LitmusConvertE
             return Err(LitmusConvertError::UnpairedExclusive(tid));
         }
         // An unterminated transaction still closes at thread end.
-        if let Some(evs) = open_txn.take() {
+        if let Some((evs, atomic)) = open_txn.take() {
             if !evs.is_empty() {
                 txns.push(TxnClass {
                     events: evs,
-                    atomic: false,
+                    atomic,
                 });
             }
         }
@@ -488,6 +488,39 @@ mod tests {
             execution_from_litmus(&t),
             Err(LitmusConvertError::InconsistentFinalState(0))
         );
+    }
+
+    #[test]
+    fn atomic_txn_blocks_roundtrip() {
+        // C++ atomic{} blocks survive render -> parse -> execution:
+        // `stxnat` is preserved rather than degrading to relaxed
+        // transactions.
+        let x = catalog::cpp_mp(true, true);
+        assert!(x.txns().iter().all(|t| t.atomic));
+        roundtrip(&x, Arch::Cpp, "cpp-mp-atomic");
+        let t = litmus_from_execution("cpp-mp-atomic", &x, Arch::Cpp);
+        let printed = crate::render::pseudocode(&t);
+        let back =
+            execution_from_litmus(&parse_litmus(&printed).expect("parses")).expect("converts");
+        assert!(back.txns().iter().all(|t| t.atomic));
+        assert!(!back.analysis().stxnat().is_empty());
+    }
+
+    #[test]
+    fn mixed_atomic_and_relaxed_txns_roundtrip() {
+        let mut b = ExecBuilder::new();
+        let t0 = b.new_thread();
+        let w = b.write(t0, 0);
+        b.txn_atomic(&[w]);
+        let t1 = b.new_thread();
+        let r = b.read(t1, 0);
+        b.txn(&[r]);
+        let x = b.build().unwrap();
+        roundtrip(&x, Arch::Cpp, "mixed-txns");
+        let t = litmus_from_execution("mixed-txns", &x, Arch::Cpp);
+        let back = execution_from_litmus(&t).unwrap();
+        let atomics: Vec<bool> = back.txns().iter().map(|t| t.atomic).collect();
+        assert_eq!(atomics, vec![true, false]);
     }
 
     #[test]

@@ -158,7 +158,10 @@ impl Derived {
 }
 
 /// An axiomatic memory model: a consistency predicate over executions.
-pub trait Model: Sync {
+///
+/// `Send + Sync` so registries of `Box<dyn Model>` (and the `Session`s
+/// owning them) can move into worker threads of a sharded serving pool.
+pub trait Model: Send + Sync {
     /// A short, unique name (e.g. `"x86-tm"`).
     fn name(&self) -> &'static str;
 

@@ -1,5 +1,6 @@
 //! The `txmm` command-line front-end: batch litmus serving on top of a
-//! long-lived [`Session`] (ROADMAP "batch litmus serving").
+//! long-lived [`Session`], one-shot or as a socket daemon over the
+//! sharded Session pool.
 //!
 //! ```text
 //! txmm models                        list every registered model
@@ -7,7 +8,13 @@
 //!                                    synthesised Forbid/Allow tests)
 //! txmm serve <dir|file...> [opts]    answer verdicts + observability
 //!                                    as JSONL, one line per test
+//! txmm serve --listen <addr> [opts]  run the txmm-serverd daemon on a
+//!                                    TCP (host:port) or unix:<path>
+//!                                    socket; --shards N sets the pool
 //! txmm check <file...> [opts]        alias for serve
+//! txmm client <addr> <request>       talk to a running daemon:
+//!                                    check <file> | batch <dir> |
+//!                                    models | stats | shutdown
 //!
 //! serve/check options:
 //!   --model NAME   restrict verdicts to NAME (repeatable)
@@ -17,10 +24,13 @@
 //!                  timing (the analysis-cache speedup) on stderr
 //! ```
 
+use std::io::{BufRead, BufReader, Read, Write};
 use std::path::PathBuf;
 use std::process::ExitCode;
 use std::time::Instant;
 
+use txmm::daemon::{Daemon, ListenAddr, PoolConfig, SessionPool};
+use txmm::protocol::Request;
 use txmm::serve::{collect_litmus_files, jsonl_line, serve_file, Served};
 use txmm::session::{ModelRef, Session};
 
@@ -32,9 +42,13 @@ fn usage() -> ExitCode {
          \u{20} models                        list registered models\n\
          \u{20} gen <dir> [--events N]        generate a litmus corpus\n\
          \u{20} serve <dir|file...> [opts]    serve verdicts as JSONL\n\
+         \u{20} serve --listen <addr> [opts]  run the socket daemon\n\
          \u{20} check <file...> [opts]        alias for serve\n\
+         \u{20} client <addr> <request>       query a running daemon\n\
          \n\
-         serve options: --model NAME, --cat FILE, --with-cat, --warm"
+         serve options: --model NAME, --cat FILE, --with-cat, --warm,\n\
+         \u{20}               --listen ADDR, --shards N\n\
+         client requests: check <file>, batch <dir>, models, stats, shutdown"
     );
     ExitCode::FAILURE
 }
@@ -45,6 +59,7 @@ fn main() -> ExitCode {
         Some("models") => cmd_models(&args[1..]),
         Some("gen") => cmd_gen(&args[1..]),
         Some("serve") | Some("check") => cmd_serve(&args[1..]),
+        Some("client") => cmd_client(&args[1..]),
         _ => usage(),
     }
 }
@@ -76,7 +91,7 @@ fn positionals(args: &[String]) -> Vec<&str> {
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
-            "--model" | "--cat" | "--events" => i += 2,
+            "--model" | "--cat" | "--events" | "--listen" | "--shards" => i += 2,
             a if a.starts_with("--") => i += 1,
             a => {
                 out.push(a);
@@ -130,12 +145,165 @@ fn has_flag(args: &[String], flag: &str) -> bool {
     args.iter().any(|a| a == flag)
 }
 
+/// Daemon mode: `txmm serve --listen <addr>`.
+fn cmd_serve_daemon(args: &[String], listen: &str) -> ExitCode {
+    let shards: usize = flag_values(args, "--shards")
+        .first()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0);
+    let cfg = PoolConfig {
+        shards,
+        with_cat: has_flag(args, "--with-cat"),
+        cat_files: flag_values(args, "--cat")
+            .iter()
+            .map(PathBuf::from)
+            .collect(),
+    };
+    let pool = match SessionPool::new(&cfg) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let shards = pool.shard_count();
+    let daemon = match Daemon::bind(&ListenAddr::parse(listen), pool) {
+        Ok(d) => d,
+        Err(e) => {
+            eprintln!("error: cannot listen on {listen}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    eprintln!(
+        "txmm-serverd listening on {} ({} shards)",
+        daemon.local_addr(),
+        shards
+    );
+    match daemon.run() {
+        Ok(()) => {
+            eprintln!("txmm-serverd: clean shutdown");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// Connect to a daemon at `addr` (`host:port` or `unix:<path>`).
+fn connect(addr: &str) -> std::io::Result<Box<dyn ReadWrite>> {
+    #[cfg(unix)]
+    if let Some(path) = addr.strip_prefix("unix:") {
+        return Ok(Box::new(std::os::unix::net::UnixStream::connect(path)?));
+    }
+    Ok(Box::new(std::net::TcpStream::connect(addr)?))
+}
+
+trait ReadWrite: Read + Write {}
+impl<T: Read + Write> ReadWrite for T {}
+
+fn cmd_client(args: &[String]) -> ExitCode {
+    let pos = positionals(args);
+    let (addr, what, arg) = match pos.as_slice() {
+        [addr, what] => (*addr, *what, None),
+        [addr, what, arg] => (*addr, *what, Some(*arg)),
+        _ => {
+            eprintln!(
+                "usage: txmm client <addr> check <file> | batch <dir> | models | stats | shutdown \
+                 [--model NAME]"
+            );
+            return ExitCode::FAILURE;
+        }
+    };
+    let model_names = flag_values(args, "--model");
+    let models = if model_names.is_empty() {
+        None
+    } else {
+        Some(model_names.iter().map(|s| s.to_string()).collect())
+    };
+    let request = match (what, arg) {
+        ("check", Some(file)) => {
+            let src = match std::fs::read_to_string(file) {
+                Ok(s) => s,
+                Err(e) => {
+                    eprintln!("error: cannot read {file}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            Request::Check {
+                file: file.to_string(),
+                src,
+                models,
+            }
+        }
+        ("batch", Some(dir)) => Request::Batch {
+            dir: dir.to_string(),
+            models,
+        },
+        ("models", None) => Request::Models,
+        ("stats", None) => Request::Stats,
+        ("shutdown", None) => Request::Shutdown,
+        _ => {
+            eprintln!("error: unknown client request {what} {arg:?}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let stream = match connect(addr) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("error: cannot connect to {addr}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let mut stream = BufReader::new(stream);
+    if stream
+        .get_mut()
+        .write_all(format!("{}\n", request.to_line()).as_bytes())
+        .is_err()
+    {
+        eprintln!("error: cannot send request to {addr}");
+        return ExitCode::FAILURE;
+    }
+    let mut failures = 0usize;
+    let mut line = String::new();
+    loop {
+        line.clear();
+        match stream.read_line(&mut line) {
+            Ok(0) => break, // server closed
+            Ok(_) => {
+                let l = line.trim_end_matches('\n');
+                if l.is_empty() {
+                    break; // frame terminator
+                }
+                if l.starts_with("{\"error\"") || l.contains("\"error\":") {
+                    failures += 1;
+                }
+                println!("{l}");
+            }
+            Err(e) => {
+                eprintln!("error: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    if failures > 0 {
+        eprintln!("{failures} error responses");
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}
+
 fn cmd_serve(args: &[String]) -> ExitCode {
+    if let Some(listen) = flag_values(args, "--listen").first() {
+        return cmd_serve_daemon(args, listen);
+    }
     // Positional arguments are directories or litmus files.
     let paths: Vec<PathBuf> = positionals(args).into_iter().map(PathBuf::from).collect();
     if paths.is_empty() {
         eprintln!(
-            "usage: txmm serve <dir|file...> [--model NAME] [--cat FILE] [--with-cat] [--warm]"
+            "usage: txmm serve <dir|file...> [--model NAME] [--cat FILE] [--with-cat] [--warm]\n\
+             \u{20}      txmm serve --listen <addr> [--shards N] [--cat FILE] [--with-cat]"
         );
         return ExitCode::FAILURE;
     }

@@ -1,0 +1,817 @@
+//! `txmm-serverd`: a concurrent socket daemon over a **sharded
+//! [`Session`] pool**.
+//!
+//! The Session engine is long-lived by design; this module adds the
+//! missing transport (ROADMAP: "a daemon/socket mode for `txmm serve`")
+//! without a global lock around the engine:
+//!
+//! * **Sharded pool** ([`SessionPool`]): N worker threads, each owning
+//!   one `Session`. Work reaches a shard over its own
+//!   `std::sync::mpsc` channel, so concurrent clients batch into
+//!   shards without contending on a shared mutex.
+//! * **Canonical-key dispatch**: a request's litmus text is parsed and
+//!   converted on the *connection handler* thread (the cheap,
+//!   embarrassingly-parallel stages), then routed by a hash of the
+//!   execution's canonical (symmetry-reduced) key. Repeats of a test —
+//!   and all its thread/location-symmetric variants — always land on
+//!   the same shard, so the pool's caches collectively behave like one
+//!   warm cache even though no state is shared between shards.
+//! * **JSONL wire protocol** ([`crate::protocol`]): `check`, `batch`,
+//!   `models`, `stats` and graceful `shutdown` requests, each answered
+//!   by JSONL lines and a blank-line terminator. Payload lines reuse
+//!   [`crate::serve::jsonl_line`], so daemon answers are byte-identical
+//!   to one-shot `txmm serve` output over the same tests.
+//!
+//! ```text
+//! clients ──TCP/Unix──► handler threads ──parse/convert──► shard channels
+//!                                                             │ │ │
+//!                                             Session ◄───────┘ │ │
+//!                                             Session ◄─────────┘ │
+//!                                             Session ◄───────────┘
+//! ```
+
+use std::io::{self, Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{mpsc, Arc, Mutex};
+use std::thread;
+use std::time::Duration;
+
+use txmm_synth::canon_key;
+
+use crate::protocol::{error_line, Request};
+use crate::serve::{
+    check_parsed, collect_litmus_files, jsonl_line, parse_request, ParsedTest, Served, StageMicros,
+};
+use crate::session::{ModelRef, Session, SessionStats};
+
+/// How to build the pool's Sessions.
+#[derive(Debug, Clone, Default)]
+pub struct PoolConfig {
+    /// Worker count; 0 means one per available core (capped at 8).
+    pub shards: usize,
+    /// Also register the shipped `.cat` twins (`<name>.cat`).
+    pub with_cat: bool,
+    /// User-supplied `.cat` model files, registered on every shard.
+    pub cat_files: Vec<PathBuf>,
+}
+
+impl PoolConfig {
+    fn shard_count(&self) -> usize {
+        if self.shards > 0 {
+            return self.shards;
+        }
+        thread::available_parallelism()
+            .map(|n| n.get().min(8))
+            .unwrap_or(2)
+    }
+}
+
+/// One unit of shard work.
+enum Job {
+    /// Run the verdict/observe stages and reply with the finished
+    /// JSONL payload line for response slot `seq`.
+    Check {
+        seq: usize,
+        parsed: Box<ParsedTest>,
+        models: Option<Vec<String>>,
+        reply: mpsc::Sender<(usize, String)>,
+    },
+    /// Snapshot this shard's counters.
+    Stats { reply: mpsc::Sender<ShardSnapshot> },
+}
+
+/// One shard's counters, as reported by the `stats` request.
+#[derive(Debug, Clone, Copy)]
+pub struct ShardSnapshot {
+    /// Shard index.
+    pub shard: usize,
+    /// Check jobs completed by this shard.
+    pub served: u64,
+    /// Jobs enqueued but not yet completed at snapshot time.
+    pub depth: u64,
+    /// The shard Session's cache and arena counters.
+    pub session: SessionStats,
+    /// Accumulated per-stage serving time across this shard's jobs
+    /// (parse/convert ticked on handler threads, verdict/observe here).
+    pub stages: StageMicros,
+}
+
+struct Shard {
+    tx: mpsc::Sender<Job>,
+    enqueued: Arc<AtomicU64>,
+    completed: Arc<AtomicU64>,
+}
+
+/// The sharded Session pool. See the module docs for the dispatch
+/// rules; all methods take `&self` and are safe to call from many
+/// handler threads at once.
+pub struct SessionPool {
+    shards: Vec<Shard>,
+    workers: Vec<thread::JoinHandle<()>>,
+    /// Requests that failed before reaching a shard (parse/convert
+    /// failures, unknown models).
+    failures: AtomicU64,
+    /// `(name, arch, is_tm)` of every registered model, in registry
+    /// order (identical on every shard).
+    models: Vec<(String, String, bool)>,
+}
+
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf29ce484222325u64;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    h
+}
+
+fn build_session(cfg: &PoolConfig) -> Result<Session, String> {
+    let mut s = if cfg.with_cat {
+        Session::with_shipped_cat()
+    } else {
+        Session::new()
+    };
+    for path in &cfg.cat_files {
+        s.register_cat_file(path)?;
+    }
+    Ok(s)
+}
+
+fn worker(shard: usize, mut session: Session, rx: mpsc::Receiver<Job>, completed: Arc<AtomicU64>) {
+    let mut served = 0u64;
+    let mut stages = StageMicros::default();
+    for job in rx {
+        match job {
+            Job::Check {
+                seq,
+                parsed,
+                models,
+                reply,
+            } => {
+                let resolved: Result<Option<Vec<ModelRef>>, String> = match &models {
+                    None => Ok(None),
+                    Some(names) => names
+                        .iter()
+                        .map(|n| {
+                            session
+                                .resolve(n)
+                                .ok_or_else(|| format!("unknown model {n} (try `models`)"))
+                        })
+                        .collect::<Result<Vec<_>, _>>()
+                        .map(Some),
+                };
+                let line = match resolved {
+                    Ok(filter) => {
+                        let report = check_parsed(&mut session, &parsed, filter.as_deref());
+                        stages.parse += report.stages.parse;
+                        stages.convert += report.stages.convert;
+                        stages.verdict += report.stages.verdict;
+                        stages.observe += report.stages.observe;
+                        served += 1;
+                        jsonl_line(&Served::Report(report))
+                    }
+                    Err(e) => error_line(&e),
+                };
+                completed.fetch_add(1, Ordering::Relaxed);
+                let _ = reply.send((seq, line));
+            }
+            Job::Stats { reply } => {
+                let _ = reply.send(ShardSnapshot {
+                    shard,
+                    served,
+                    depth: 0, // filled in by the pool from its counters
+                    session: session.stats(),
+                    stages,
+                });
+            }
+        }
+    }
+}
+
+impl SessionPool {
+    /// Build the shard Sessions (surfacing `.cat` registration errors
+    /// synchronously) and start one worker thread per shard.
+    pub fn new(cfg: &PoolConfig) -> Result<SessionPool, String> {
+        let n = cfg.shard_count();
+        let mut shards = Vec::with_capacity(n);
+        let mut workers = Vec::with_capacity(n);
+        let mut models = Vec::new();
+        for i in 0..n {
+            let session = build_session(cfg)?;
+            if i == 0 {
+                models = session
+                    .models()
+                    .map(|m| {
+                        let m = session.model(m);
+                        (m.name().to_string(), m.arch().name().to_string(), m.is_tm())
+                    })
+                    .collect();
+            }
+            let (tx, rx) = mpsc::channel();
+            let enqueued = Arc::new(AtomicU64::new(0));
+            let completed = Arc::new(AtomicU64::new(0));
+            let done = Arc::clone(&completed);
+            workers.push(thread::spawn(move || worker(i, session, rx, done)));
+            shards.push(Shard {
+                tx,
+                enqueued,
+                completed,
+            });
+        }
+        Ok(SessionPool {
+            shards,
+            workers,
+            failures: AtomicU64::new(0),
+            models,
+        })
+    }
+
+    /// Number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// `(name, arch, is_tm)` for every registered model.
+    pub fn models(&self) -> &[(String, String, bool)] {
+        &self.models
+    }
+
+    /// Serve one litmus source; returns the response payload line.
+    pub fn check(&self, file: &str, src: &str, models: Option<Vec<String>>) -> String {
+        self.check_many(vec![(file.to_string(), src.to_string())], models)
+            .pop()
+            .expect("one response per request")
+    }
+
+    /// Serve many litmus sources concurrently across the shards,
+    /// returning one payload line per input, in input order.
+    pub fn check_many(
+        &self,
+        items: Vec<(String, String)>,
+        models: Option<Vec<String>>,
+    ) -> Vec<String> {
+        let n = items.len();
+        let mut out: Vec<Option<String>> = Vec::new();
+        out.resize_with(n, || None);
+        let (reply, replies) = mpsc::channel();
+        let mut pending = 0usize;
+        for (seq, (file, src)) in items.into_iter().enumerate() {
+            // Parse/convert on this (handler) thread; only well-formed
+            // executions travel to a shard.
+            match parse_request(&file, &src) {
+                Err(f) => {
+                    self.failures.fetch_add(1, Ordering::Relaxed);
+                    out[seq] = Some(jsonl_line(&Served::Failure(f)));
+                }
+                Ok(parsed) => {
+                    let shard = &self.shards
+                        [(fnv1a(&canon_key(&parsed.exec)) as usize) % self.shards.len()];
+                    let parsed = Box::new(parsed);
+                    shard.enqueued.fetch_add(1, Ordering::Relaxed);
+                    let job = Job::Check {
+                        seq,
+                        parsed,
+                        models: models.clone(),
+                        reply: reply.clone(),
+                    };
+                    if shard.tx.send(job).is_err() {
+                        out[seq] = Some(error_line("shard worker unavailable"));
+                    } else {
+                        pending += 1;
+                    }
+                }
+            }
+        }
+        drop(reply);
+        for (seq, line) in replies.iter().take(pending) {
+            if line.starts_with("{\"error\"") {
+                self.failures.fetch_add(1, Ordering::Relaxed);
+            }
+            out[seq] = Some(line);
+        }
+        out.into_iter()
+            .map(|slot| slot.unwrap_or_else(|| error_line("shard worker died")))
+            .collect()
+    }
+
+    /// Snapshot every shard (in shard order) plus the dispatch-level
+    /// failure count.
+    pub fn stats(&self) -> (Vec<ShardSnapshot>, u64) {
+        let mut out = Vec::with_capacity(self.shards.len());
+        for shard in &self.shards {
+            let (reply, rx) = mpsc::channel();
+            if shard.tx.send(Job::Stats { reply }).is_err() {
+                continue;
+            }
+            if let Ok(mut snap) = rx.recv() {
+                let enq = shard.enqueued.load(Ordering::Relaxed);
+                let done = shard.completed.load(Ordering::Relaxed);
+                snap.depth = enq.saturating_sub(done);
+                out.push(snap);
+            }
+        }
+        (out, self.failures.load(Ordering::Relaxed))
+    }
+
+    /// Render the `stats` response line.
+    pub fn stats_line(&self) -> String {
+        let (shards, failures) = self.stats();
+        let mut total = SessionStats::default();
+        let mut stages = StageMicros::default();
+        let mut served = 0u64;
+        for s in &shards {
+            served += s.served;
+            total.interned += s.session.interned;
+            total.verdict_hits += s.session.verdict_hits;
+            total.verdict_misses += s.session.verdict_misses;
+            total.observability_hits += s.session.observability_hits;
+            total.observability_misses += s.session.observability_misses;
+            stages.parse += s.stages.parse;
+            stages.convert += s.stages.convert;
+            stages.verdict += s.stages.verdict;
+            stages.observe += s.stages.observe;
+        }
+        let rate = |hits: u64, misses: u64| -> String {
+            let total = hits + misses;
+            if total == 0 {
+                "null".to_string()
+            } else {
+                format!("{:.4}", hits as f64 / total as f64)
+            }
+        };
+        let per_shard = shards
+            .iter()
+            .map(|s| {
+                format!(
+                    "{{\"shard\":{},\"served\":{},\"depth\":{},\"interned\":{},\
+                     \"verdict_hits\":{},\"verdict_misses\":{}}}",
+                    s.shard,
+                    s.served,
+                    s.depth,
+                    s.session.interned,
+                    s.session.verdict_hits,
+                    s.session.verdict_misses
+                )
+            })
+            .collect::<Vec<_>>()
+            .join(",");
+        format!(
+            "{{\"shards\":{},\"served\":{served},\"failures\":{failures},\
+             \"interned\":{},\"verdict_hits\":{},\"verdict_misses\":{},\
+             \"verdict_hit_rate\":{},\"observability_hits\":{},\
+             \"observability_misses\":{},\"observability_hit_rate\":{},\
+             \"stage_micros\":{{\"parse\":{},\"convert\":{},\"verdict\":{},\
+             \"observe\":{}}},\"per_shard\":[{per_shard}]}}",
+            self.shards.len(),
+            total.interned,
+            total.verdict_hits,
+            total.verdict_misses,
+            rate(total.verdict_hits, total.verdict_misses),
+            total.observability_hits,
+            total.observability_misses,
+            rate(total.observability_hits, total.observability_misses),
+            stages.parse,
+            stages.convert,
+            stages.verdict,
+            stages.observe,
+        )
+    }
+
+    /// Render the `models` response lines.
+    pub fn model_lines(&self) -> Vec<String> {
+        self.models
+            .iter()
+            .map(|(name, arch, tm)| {
+                format!(
+                    "{{\"model\":\"{}\",\"arch\":\"{}\",\"tm\":{tm}}}",
+                    crate::serve::json_escape(name),
+                    crate::serve::json_escape(arch)
+                )
+            })
+            .collect()
+    }
+
+    /// Drain the shard channels and join the workers.
+    pub fn shutdown(self) {
+        drop(self.shards);
+        for w in self.workers {
+            let _ = w.join();
+        }
+    }
+}
+
+// ---- The socket front-end ---------------------------------------------
+
+/// Where the daemon listens: `host:port` TCP, or `unix:<path>`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ListenAddr {
+    /// A TCP socket address (use port 0 for an ephemeral port).
+    Tcp(String),
+    /// A Unix-domain stream socket path.
+    Unix(PathBuf),
+}
+
+impl ListenAddr {
+    /// Parse a `--listen` argument.
+    pub fn parse(s: &str) -> ListenAddr {
+        match s.strip_prefix("unix:") {
+            Some(path) => ListenAddr::Unix(PathBuf::from(path)),
+            None => ListenAddr::Tcp(s.to_string()),
+        }
+    }
+}
+
+enum Listener {
+    Tcp(TcpListener),
+    #[cfg(unix)]
+    Unix(std::os::unix::net::UnixListener),
+}
+
+/// One accepted client connection.
+enum Conn {
+    Tcp(TcpStream),
+    #[cfg(unix)]
+    Unix(std::os::unix::net::UnixStream),
+}
+
+impl Conn {
+    fn set_read_timeout(&self, d: Option<Duration>) -> io::Result<()> {
+        match self {
+            Conn::Tcp(s) => s.set_read_timeout(d),
+            #[cfg(unix)]
+            Conn::Unix(s) => s.set_read_timeout(d),
+        }
+    }
+}
+
+impl Read for Conn {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        match self {
+            Conn::Tcp(s) => s.read(buf),
+            #[cfg(unix)]
+            Conn::Unix(s) => s.read(buf),
+        }
+    }
+}
+
+impl Write for Conn {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        match self {
+            Conn::Tcp(s) => s.write(buf),
+            #[cfg(unix)]
+            Conn::Unix(s) => s.write(buf),
+        }
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        match self {
+            Conn::Tcp(s) => s.flush(),
+            #[cfg(unix)]
+            Conn::Unix(s) => s.flush(),
+        }
+    }
+}
+
+/// The serving daemon: a listener plus the shard pool.
+pub struct Daemon {
+    listener: Listener,
+    pool: Arc<SessionPool>,
+    stop: Arc<AtomicBool>,
+    local_addr: String,
+}
+
+impl Daemon {
+    /// Bind the listener (leaving the pool ready) without accepting
+    /// yet. For `Tcp("127.0.0.1:0")` the ephemeral port is resolved
+    /// here and visible through [`Daemon::local_addr`].
+    pub fn bind(addr: &ListenAddr, pool: SessionPool) -> io::Result<Daemon> {
+        let (listener, local_addr) = match addr {
+            ListenAddr::Tcp(a) => {
+                let l = TcpListener::bind(a)?;
+                let local = l.local_addr()?.to_string();
+                (Listener::Tcp(l), local)
+            }
+            #[cfg(unix)]
+            ListenAddr::Unix(path) => {
+                // A stale socket file from a dead daemon blocks bind —
+                // but only remove it after probing that nothing
+                // answers, so binding over a *live* daemon's socket
+                // fails instead of silently stealing its address.
+                if path.exists() {
+                    if std::os::unix::net::UnixStream::connect(path).is_ok() {
+                        return Err(io::Error::new(
+                            io::ErrorKind::AddrInUse,
+                            format!("a daemon is already listening on {}", path.display()),
+                        ));
+                    }
+                    let _ = std::fs::remove_file(path);
+                }
+                let l = std::os::unix::net::UnixListener::bind(path)?;
+                (Listener::Unix(l), format!("unix:{}", path.display()))
+            }
+            #[cfg(not(unix))]
+            ListenAddr::Unix(_) => {
+                return Err(io::Error::new(
+                    io::ErrorKind::Unsupported,
+                    "unix sockets are not available on this platform",
+                ))
+            }
+        };
+        Ok(Daemon {
+            listener,
+            pool: Arc::new(pool),
+            stop: Arc::new(AtomicBool::new(false)),
+            local_addr,
+        })
+    }
+
+    /// The bound address (`ip:port`, or `unix:<path>`).
+    pub fn local_addr(&self) -> &str {
+        &self.local_addr
+    }
+
+    /// Accept and serve clients until a `shutdown` request, then drain
+    /// in-flight connections and tear the pool down.
+    pub fn run(self) -> io::Result<()> {
+        match &self.listener {
+            Listener::Tcp(l) => l.set_nonblocking(true)?,
+            #[cfg(unix)]
+            Listener::Unix(l) => l.set_nonblocking(true)?,
+        }
+        let handlers: Arc<Mutex<Vec<thread::JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
+        loop {
+            if self.stop.load(Ordering::SeqCst) {
+                break;
+            }
+            let accepted = match &self.listener {
+                Listener::Tcp(l) => l.accept().map(|(s, _)| Conn::Tcp(s)),
+                #[cfg(unix)]
+                Listener::Unix(l) => l.accept().map(|(s, _)| Conn::Unix(s)),
+            };
+            match accepted {
+                Ok(conn) => {
+                    let pool = Arc::clone(&self.pool);
+                    let stop = Arc::clone(&self.stop);
+                    let mut handlers = handlers.lock().unwrap();
+                    // Reap finished handlers as new connections arrive,
+                    // so a long-lived daemon doesn't accumulate one
+                    // joinable thread per connection ever accepted.
+                    let (done, live): (Vec<_>, Vec<_>) = std::mem::take(&mut *handlers)
+                        .into_iter()
+                        .partition(|h| h.is_finished());
+                    *handlers = live;
+                    for h in done {
+                        let _ = h.join();
+                    }
+                    handlers.push(thread::spawn(move || handle_client(conn, &pool, &stop)));
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                    thread::sleep(Duration::from_millis(5));
+                }
+                Err(e) => return Err(e),
+            }
+        }
+        // Drain: finish every accepted connection, then stop the pool.
+        let handlers = std::mem::take(&mut *handlers.lock().unwrap());
+        for h in handlers {
+            let _ = h.join();
+        }
+        if let Ok(pool) = Arc::try_unwrap(self.pool) {
+            pool.shutdown();
+        }
+        #[cfg(unix)]
+        if let Listener::Unix(_) = &self.listener {
+            if let Some(path) = self.local_addr.strip_prefix("unix:") {
+                let _ = std::fs::remove_file(path);
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Answer one request with its response lines (without the blank-line
+/// terminator); `true` in the second slot means shutdown was requested.
+fn answer(pool: &SessionPool, req: Request) -> (Vec<String>, bool) {
+    match req {
+        Request::Check { file, src, models } => (vec![pool.check(&file, &src, models)], false),
+        Request::Batch { dir, models } => {
+            let files = match collect_litmus_files(std::path::Path::new(&dir)) {
+                Ok(fs) => fs,
+                Err(e) => return (vec![error_line(&format!("cannot read {dir}: {e}"))], false),
+            };
+            if files.is_empty() {
+                return (
+                    vec![error_line(&format!("no .litmus files in {dir}"))],
+                    false,
+                );
+            }
+            let mut items = Vec::with_capacity(files.len());
+            let mut out: Vec<Option<String>> = Vec::new();
+            out.resize_with(files.len(), || None);
+            let mut indices = Vec::new();
+            for (i, path) in files.iter().enumerate() {
+                let file = path.display().to_string();
+                match std::fs::read_to_string(path) {
+                    Ok(src) => {
+                        indices.push(i);
+                        items.push((file, src));
+                    }
+                    Err(e) => {
+                        out[i] = Some(jsonl_line(&Served::Failure(crate::serve::TestFailure {
+                            file,
+                            error: e.to_string(),
+                        })));
+                    }
+                }
+            }
+            for (i, line) in indices.into_iter().zip(pool.check_many(items, models)) {
+                out[i] = Some(line);
+            }
+            (
+                out.into_iter()
+                    .map(|slot| slot.expect("every file answered"))
+                    .collect(),
+                false,
+            )
+        }
+        Request::Models => (pool.model_lines(), false),
+        Request::Stats => (vec![pool.stats_line()], false),
+        Request::Shutdown => (vec!["{\"ok\":\"shutdown\"}".to_string()], true),
+    }
+}
+
+/// Serve one connection: request lines in, framed responses out.
+fn handle_client(mut conn: Conn, pool: &SessionPool, stop: &AtomicBool) {
+    // A finite read timeout lets an idle connection notice shutdown
+    // instead of pinning the drain phase forever.
+    let _ = conn.set_read_timeout(Some(Duration::from_millis(250)));
+    /// Longest accepted request line; a client streaming more without a
+    /// newline is answered with an error and disconnected rather than
+    /// growing the buffer without bound.
+    const MAX_LINE: usize = 16 << 20;
+    let mut buf = Vec::new();
+    let mut chunk = [0u8; 4096];
+    loop {
+        // Process every complete line already buffered. A shutdown
+        // requested on another connection cuts this one off between
+        // requests, so drain only waits for in-flight work.
+        while let Some(nl) = buf.iter().position(|&b| b == b'\n') {
+            if stop.load(Ordering::SeqCst) {
+                return;
+            }
+            let line: Vec<u8> = buf.drain(..=nl).collect();
+            let line = String::from_utf8_lossy(&line[..nl]);
+            let line = line.trim();
+            if line.is_empty() {
+                continue;
+            }
+            let (lines, shutdown) = match Request::parse(line) {
+                Ok(req) => answer(pool, req),
+                Err(e) => (vec![error_line(&e.to_string())], false),
+            };
+            let mut response = String::new();
+            for l in &lines {
+                response.push_str(l);
+                response.push('\n');
+            }
+            response.push('\n');
+            if conn.write_all(response.as_bytes()).is_err() || conn.flush().is_err() {
+                return;
+            }
+            if shutdown {
+                stop.store(true, Ordering::SeqCst);
+                return;
+            }
+        }
+        if buf.len() > MAX_LINE {
+            let msg = format!("{}\n\n", error_line("request line too long"));
+            let _ = conn.write_all(msg.as_bytes());
+            return;
+        }
+        match conn.read(&mut chunk) {
+            Ok(0) => return, // client closed
+            Ok(n) => buf.extend_from_slice(&chunk[..n]),
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+                ) =>
+            {
+                if stop.load(Ordering::SeqCst) {
+                    return;
+                }
+            }
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(_) => return,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::serve::serve_source;
+
+    fn small_corpus() -> Vec<(String, String)> {
+        crate::corpus::generate(3)
+            .into_iter()
+            .take(12)
+            .map(|(name, src)| (format!("{name}.litmus"), src))
+            .collect()
+    }
+
+    #[test]
+    fn pool_matches_one_shot_serving_bytes() {
+        let corpus = small_corpus();
+        let pool = SessionPool::new(&PoolConfig {
+            shards: 3,
+            ..PoolConfig::default()
+        })
+        .unwrap();
+        let pooled = pool.check_many(corpus.clone(), None);
+        let mut session = Session::new();
+        for ((file, src), line) in corpus.iter().zip(&pooled) {
+            let expect = jsonl_line(&serve_source(&mut session, file, src, None));
+            assert_eq!(line, &expect, "{file}");
+        }
+        pool.shutdown();
+    }
+
+    #[test]
+    fn repeated_checks_hit_the_same_shard_cache() {
+        let corpus = small_corpus();
+        let pool = SessionPool::new(&PoolConfig {
+            shards: 4,
+            ..PoolConfig::default()
+        })
+        .unwrap();
+        let cold = pool.check_many(corpus.clone(), None);
+        let (snaps, _) = pool.stats();
+        let cold_misses: u64 = snaps.iter().map(|s| s.session.verdict_misses).sum();
+        let warm = pool.check_many(corpus, None);
+        assert_eq!(cold, warm, "warm answers byte-identical");
+        let (snaps, failures) = pool.stats();
+        let warm_misses: u64 = snaps.iter().map(|s| s.session.verdict_misses).sum();
+        assert_eq!(cold_misses, warm_misses, "warm pass computes nothing");
+        assert_eq!(failures, 0);
+        assert!(snaps.iter().all(|s| s.depth == 0));
+        pool.shutdown();
+    }
+
+    #[test]
+    fn unknown_model_and_bad_source_are_error_lines() {
+        let pool = SessionPool::new(&PoolConfig {
+            shards: 1,
+            ..PoolConfig::default()
+        })
+        .unwrap();
+        let (file, src) = small_corpus().remove(0);
+        let line = pool.check(&file, &src, Some(vec!["no-such".into()]));
+        assert!(line.contains("\"error\""), "{line}");
+        let bad = pool.check("bad.litmus", "t (Marvel)\n", None);
+        assert!(
+            bad.starts_with("{\"file\":\"bad.litmus\",\"error\""),
+            "{bad}"
+        );
+        let (_, failures) = pool.stats();
+        assert_eq!(failures, 2);
+        pool.shutdown();
+    }
+
+    #[test]
+    fn stats_line_shape() {
+        let pool = SessionPool::new(&PoolConfig {
+            shards: 2,
+            ..PoolConfig::default()
+        })
+        .unwrap();
+        let corpus = small_corpus();
+        let _ = pool.check_many(corpus.clone(), None);
+        let _ = pool.check_many(corpus, None);
+        let line = pool.stats_line();
+        assert!(line.contains("\"shards\":2"), "{line}");
+        // The warm pass at least doubles the hits, so the rate is a
+        // real number (not the no-traffic `null`).
+        assert!(line.contains("\"verdict_hit_rate\":0."), "{line}");
+        assert!(line.contains("\"stage_micros\":{\"parse\":"), "{line}");
+        assert!(line.contains("\"per_shard\":[{\"shard\":0,"), "{line}");
+        assert!(crate::protocol::parse_json(&line).is_ok(), "{line}");
+        pool.shutdown();
+    }
+
+    #[test]
+    fn model_lines_cover_the_registry() {
+        let pool = SessionPool::new(&PoolConfig {
+            shards: 1,
+            with_cat: true,
+            ..PoolConfig::default()
+        })
+        .unwrap();
+        let lines = pool.model_lines();
+        assert!(lines.iter().any(|l| l.contains("\"model\":\"x86-tm\"")));
+        assert!(lines.iter().any(|l| l.contains("\"model\":\"x86-tm.cat\"")));
+        pool.shutdown();
+    }
+}

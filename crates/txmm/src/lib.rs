@@ -43,10 +43,17 @@ pub use txmm_synth as synth;
 pub use txmm_verify as verify;
 
 pub mod corpus;
+pub mod daemon;
+pub mod protocol;
 pub mod serve;
 pub mod session;
 
-pub use serve::{collect_litmus_files, jsonl_line, serve_file, serve_source, Served, TestReport};
+pub use daemon::{Daemon, ListenAddr, PoolConfig, SessionPool};
+pub use protocol::Request;
+pub use serve::{
+    check_parsed, collect_litmus_files, jsonl_line, parse_request, serve_file, serve_source,
+    ParsedTest, Served, StageMicros, TestFailure, TestReport,
+};
 pub use session::{ModelRef, Session, SessionStats};
 
 /// Everything most programs need.

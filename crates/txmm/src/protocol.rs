@@ -1,0 +1,463 @@
+//! The daemon's wire protocol: line-delimited JSON requests over a TCP
+//! or Unix stream socket.
+//!
+//! One request per line; each request is answered with one or more
+//! JSONL lines followed by an **empty line** (the frame terminator), so
+//! clients can stream responses without knowing their length up front:
+//!
+//! ```json
+//! {"cmd":"check","file":"sb.litmus","src":"sb (x86)\n..."}
+//! {"cmd":"batch","dir":"target/litmus-corpus","models":["SC","x86"]}
+//! {"cmd":"models"}
+//! {"cmd":"stats"}
+//! {"cmd":"shutdown"}
+//! ```
+//!
+//! `check` and `batch` payload lines are produced by
+//! [`crate::serve::jsonl_line`], so they are byte-identical to the
+//! stdout of one-shot `txmm serve` over the same tests. Malformed
+//! requests answer a single `{"error":"..."}` line (plus terminator)
+//! and leave the connection open.
+//!
+//! The protocol layer is dependency-free: requests are parsed with the
+//! small JSON reader below rather than an external serializer.
+
+use std::fmt;
+
+use crate::serve::json_escape;
+
+/// A parsed JSON value (the subset a request can contain).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any JSON number.
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object, in source order.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Object field lookup.
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The string payload, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The elements, if this is an array.
+    pub fn as_arr(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(v) => Some(v),
+            _ => None,
+        }
+    }
+}
+
+/// A wire-protocol error (malformed JSON or a malformed request).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProtocolError(pub String);
+
+impl fmt::Display for ProtocolError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for ProtocolError {}
+
+fn err<T>(msg: impl Into<String>) -> Result<T, ProtocolError> {
+    Err(ProtocolError(msg.into()))
+}
+
+struct Reader<'a> {
+    b: &'a [u8],
+    i: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn skip_ws(&mut self) {
+        while self
+            .b
+            .get(self.i)
+            .is_some_and(|c| matches!(c, b' ' | b'\t' | b'\r' | b'\n'))
+        {
+            self.i += 1;
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.b.get(self.i).copied()
+    }
+
+    fn eat(&mut self, c: u8) -> Result<(), ProtocolError> {
+        if self.peek() == Some(c) {
+            self.i += 1;
+            Ok(())
+        } else {
+            err(format!("expected {:?} at byte {}", c as char, self.i))
+        }
+    }
+
+    fn literal(&mut self, word: &str, v: Json) -> Result<Json, ProtocolError> {
+        if self.b[self.i..].starts_with(word.as_bytes()) {
+            self.i += word.len();
+            Ok(v)
+        } else {
+            err(format!("bad literal at byte {}", self.i))
+        }
+    }
+
+    fn string(&mut self) -> Result<String, ProtocolError> {
+        self.eat(b'"')?;
+        let mut out = String::new();
+        loop {
+            let Some(c) = self.peek() else {
+                return err("unterminated string");
+            };
+            self.i += 1;
+            match c {
+                b'"' => return Ok(out),
+                b'\\' => {
+                    let Some(e) = self.peek() else {
+                        return err("unterminated escape");
+                    };
+                    self.i += 1;
+                    match e {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'u' => {
+                            let hex = self
+                                .b
+                                .get(self.i..self.i + 4)
+                                .and_then(|h| std::str::from_utf8(h).ok())
+                                .ok_or_else(|| ProtocolError("bad \\u escape".into()))?;
+                            let code = u32::from_str_radix(hex, 16)
+                                .map_err(|_| ProtocolError("bad \\u escape".into()))?;
+                            self.i += 4;
+                            // Surrogate pairs are outside what our own
+                            // encoder emits; reject rather than decode.
+                            let c = char::from_u32(code)
+                                .ok_or_else(|| ProtocolError("bad \\u code point".into()))?;
+                            out.push(c);
+                        }
+                        other => return err(format!("bad escape \\{}", other as char)),
+                    }
+                }
+                _ => {
+                    // Collect the full UTF-8 sequence starting here.
+                    let start = self.i - 1;
+                    let mut end = self.i;
+                    while end < self.b.len() && self.b[end] & 0xc0 == 0x80 {
+                        end += 1;
+                    }
+                    let s = std::str::from_utf8(&self.b[start..end])
+                        .map_err(|_| ProtocolError("invalid UTF-8 in string".into()))?;
+                    out.push_str(s);
+                    self.i = end;
+                }
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<Json, ProtocolError> {
+        let start = self.i;
+        while self
+            .peek()
+            .is_some_and(|c| matches!(c, b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E'))
+        {
+            self.i += 1;
+        }
+        std::str::from_utf8(&self.b[start..self.i])
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .map(Json::Num)
+            .ok_or_else(|| ProtocolError(format!("bad number at byte {start}")))
+    }
+
+    fn value(&mut self) -> Result<Json, ProtocolError> {
+        self.skip_ws();
+        match self.peek() {
+            Some(b'{') => {
+                self.i += 1;
+                let mut fields = Vec::new();
+                self.skip_ws();
+                if self.peek() == Some(b'}') {
+                    self.i += 1;
+                    return Ok(Json::Obj(fields));
+                }
+                loop {
+                    self.skip_ws();
+                    let k = self.string()?;
+                    self.skip_ws();
+                    self.eat(b':')?;
+                    fields.push((k, self.value()?));
+                    self.skip_ws();
+                    match self.peek() {
+                        Some(b',') => self.i += 1,
+                        Some(b'}') => {
+                            self.i += 1;
+                            return Ok(Json::Obj(fields));
+                        }
+                        _ => return err("expected ',' or '}'"),
+                    }
+                }
+            }
+            Some(b'[') => {
+                self.i += 1;
+                let mut items = Vec::new();
+                self.skip_ws();
+                if self.peek() == Some(b']') {
+                    self.i += 1;
+                    return Ok(Json::Arr(items));
+                }
+                loop {
+                    items.push(self.value()?);
+                    self.skip_ws();
+                    match self.peek() {
+                        Some(b',') => self.i += 1,
+                        Some(b']') => {
+                            self.i += 1;
+                            return Ok(Json::Arr(items));
+                        }
+                        _ => return err("expected ',' or ']'"),
+                    }
+                }
+            }
+            Some(b'"') => Ok(Json::Str(self.string()?)),
+            Some(b't') => self.literal("true", Json::Bool(true)),
+            Some(b'f') => self.literal("false", Json::Bool(false)),
+            Some(b'n') => self.literal("null", Json::Null),
+            Some(b'0'..=b'9' | b'-') => self.number(),
+            _ => err(format!("unexpected input at byte {}", self.i)),
+        }
+    }
+}
+
+/// Parse one JSON value from a string (trailing whitespace allowed).
+pub fn parse_json(s: &str) -> Result<Json, ProtocolError> {
+    let mut r = Reader {
+        b: s.as_bytes(),
+        i: 0,
+    };
+    let v = r.value()?;
+    r.skip_ws();
+    if r.i != s.len() {
+        return err(format!("trailing input at byte {}", r.i));
+    }
+    Ok(v)
+}
+
+/// A request from a client, one per line.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// Serve one litmus source; answers one `jsonl_line` payload line.
+    Check {
+        /// File name used in the response line.
+        file: String,
+        /// Litmus source text.
+        src: String,
+        /// Restrict verdicts to these model names (all when absent).
+        models: Option<Vec<String>>,
+    },
+    /// Serve every `.litmus` file in a server-side directory; answers
+    /// one payload line per file, in sorted file order.
+    Batch {
+        /// Directory path, resolved on the server.
+        dir: String,
+        /// Restrict verdicts to these model names (all when absent).
+        models: Option<Vec<String>>,
+    },
+    /// List the registered models.
+    Models,
+    /// Cache hit-rates, per-shard queue depths and stage timings.
+    Stats,
+    /// Stop accepting connections and exit once in-flight requests
+    /// drain.
+    Shutdown,
+}
+
+fn models_field(v: &Json) -> Result<Option<Vec<String>>, ProtocolError> {
+    match v.get("models") {
+        None | Some(Json::Null) => Ok(None),
+        Some(m) => {
+            let arr = m
+                .as_arr()
+                .ok_or_else(|| ProtocolError("\"models\" must be an array".into()))?;
+            arr.iter()
+                .map(|x| {
+                    x.as_str()
+                        .map(str::to_string)
+                        .ok_or_else(|| ProtocolError("\"models\" entries must be strings".into()))
+                })
+                .collect::<Result<Vec<_>, _>>()
+                .map(Some)
+        }
+    }
+}
+
+fn str_field(v: &Json, key: &str) -> Result<String, ProtocolError> {
+    v.get(key)
+        .and_then(Json::as_str)
+        .map(str::to_string)
+        .ok_or_else(|| ProtocolError(format!("missing string field \"{key}\"")))
+}
+
+impl Request {
+    /// Parse one request line.
+    pub fn parse(line: &str) -> Result<Request, ProtocolError> {
+        let v = parse_json(line)?;
+        let cmd = str_field(&v, "cmd")?;
+        match cmd.as_str() {
+            "check" => Ok(Request::Check {
+                file: str_field(&v, "file")?,
+                src: str_field(&v, "src")?,
+                models: models_field(&v)?,
+            }),
+            "batch" => Ok(Request::Batch {
+                dir: str_field(&v, "dir")?,
+                models: models_field(&v)?,
+            }),
+            "models" => Ok(Request::Models),
+            "stats" => Ok(Request::Stats),
+            "shutdown" => Ok(Request::Shutdown),
+            other => err(format!("unknown command {other:?}")),
+        }
+    }
+
+    /// Render as a request line (no trailing newline) — the client
+    /// half of [`Request::parse`].
+    pub fn to_line(&self) -> String {
+        fn models_suffix(models: &Option<Vec<String>>) -> String {
+            match models {
+                None => String::new(),
+                Some(ms) => format!(
+                    ",\"models\":[{}]",
+                    ms.iter()
+                        .map(|m| format!("\"{}\"", json_escape(m)))
+                        .collect::<Vec<_>>()
+                        .join(",")
+                ),
+            }
+        }
+        match self {
+            Request::Check { file, src, models } => format!(
+                "{{\"cmd\":\"check\",\"file\":\"{}\",\"src\":\"{}\"{}}}",
+                json_escape(file),
+                json_escape(src),
+                models_suffix(models)
+            ),
+            Request::Batch { dir, models } => format!(
+                "{{\"cmd\":\"batch\",\"dir\":\"{}\"{}}}",
+                json_escape(dir),
+                models_suffix(models)
+            ),
+            Request::Models => "{\"cmd\":\"models\"}".into(),
+            Request::Stats => "{\"cmd\":\"stats\"}".into(),
+            Request::Shutdown => "{\"cmd\":\"shutdown\"}".into(),
+        }
+    }
+}
+
+/// An `{"error":...}` response line.
+pub fn error_line(msg: &str) -> String {
+    format!("{{\"error\":\"{}\"}}", json_escape(msg))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_roundtrip_values() {
+        let v = parse_json(r#"{"a":[1,2.5,-3],"b":"x\n\"y\"","c":true,"d":null}"#).unwrap();
+        assert_eq!(v.get("c"), Some(&Json::Bool(true)));
+        assert_eq!(v.get("d"), Some(&Json::Null));
+        assert_eq!(v.get("b").and_then(Json::as_str), Some("x\n\"y\""));
+        let arr = v.get("a").and_then(Json::as_arr).unwrap();
+        assert_eq!(arr[2], Json::Num(-3.0));
+        assert!(parse_json("{\"a\":}").is_err());
+        assert!(parse_json("{} trailing").is_err());
+        assert!(parse_json("").is_err());
+    }
+
+    #[test]
+    fn unicode_and_escapes() {
+        let v = parse_json("\"caf\u{e9} \\u0041\"").unwrap();
+        assert_eq!(v.as_str(), Some("café A"));
+    }
+
+    #[test]
+    fn request_roundtrips_through_its_own_renderer() {
+        let reqs = [
+            Request::Check {
+                file: "a b.litmus".into(),
+                src: "sb (x86)\nthread 0:\n  x <- 1\nTest: x = 1\n".into(),
+                models: Some(vec!["SC".into(), "x86-tm.cat".into()]),
+            },
+            Request::Check {
+                file: "plain".into(),
+                src: "s".into(),
+                models: None,
+            },
+            Request::Batch {
+                dir: "target/corpus".into(),
+                models: None,
+            },
+            Request::Models,
+            Request::Stats,
+            Request::Shutdown,
+        ];
+        for r in reqs {
+            let line = r.to_line();
+            assert!(!line.contains('\n'), "{line}");
+            assert_eq!(Request::parse(&line).unwrap(), r, "{line}");
+        }
+    }
+
+    #[test]
+    fn malformed_requests_are_named() {
+        assert!(Request::parse("{\"cmd\":\"fly\"}")
+            .unwrap_err()
+            .to_string()
+            .contains("unknown command"));
+        assert!(Request::parse("{\"cmd\":\"check\"}")
+            .unwrap_err()
+            .to_string()
+            .contains("missing string field \"file\""));
+        assert!(Request::parse("not json").is_err());
+        assert!(
+            Request::parse("{\"cmd\":\"check\",\"file\":\"f\",\"src\":\"s\",\"models\":3}")
+                .is_err()
+        );
+    }
+
+    #[test]
+    fn error_lines_escape() {
+        assert_eq!(
+            error_line("bad \"thing\"\n"),
+            "{\"error\":\"bad \\\"thing\\\"\\n\"}"
+        );
+    }
+}

@@ -2,13 +2,15 @@
 //! observability for whole directories of litmus files from one
 //! long-lived [`Session`], streaming results as JSONL.
 //!
-//! One line per test:
+//! One line per test (deterministic — timing and cache metadata live in
+//! [`TestReport`] and the daemon's `stats` answer, not on the data
+//! line, so repeated and concurrently-served runs are byte-identical):
 //!
 //! ```json
 //! {"file":"01-sb.litmus","name":"sb","arch":"x86","events":4,
 //!  "verdicts":{"SC":{"consistent":false,"violations":["Order"]},
 //!              "x86":{"consistent":true,"violations":[]}},
-//!  "observable":true,"cached":false,"micros":123}
+//!  "observable":true}
 //! ```
 //!
 //! Failures (unreadable file, parse error, test not identifying a
@@ -17,14 +19,63 @@
 //! ```json
 //! {"file":"broken.litmus","error":"litmus parse error on line 3: ..."}
 //! ```
+//!
+//! Serving one test is a four-stage pipeline — *parse* (litmus text →
+//! AST), *convert* (AST → pinned candidate execution), *verdict*
+//! (cached model checking) and *observe* (cached hardware simulation) —
+//! and the stages are exposed separately ([`parse_request`] /
+//! [`check_parsed`]) so the socket daemon can run parse/convert on
+//! connection-handler threads and dispatch the execution to a Session
+//! shard. Each stage is timed on its own; under the sharded pool the
+//! parse/convert clock and the verdict/observe clock tick on different
+//! threads, and a whole-call wall clock would double-count queueing.
 
 use std::path::{Path, PathBuf};
 use std::time::Instant;
 
+use txmm_core::Execution;
 use txmm_litmus::{execution_from_litmus, parse_litmus};
 use txmm_models::{Arch, Verdict};
 
 use crate::session::{ModelRef, Session};
+
+/// Per-stage serving times for one test, in microseconds.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StageMicros {
+    /// Litmus text → AST.
+    pub parse: u64,
+    /// AST → pinned candidate execution.
+    pub convert: u64,
+    /// Model checking (including verdict-cache lookups).
+    pub verdict: u64,
+    /// Hardware-simulator observability (including its cache lookups).
+    pub observe: u64,
+}
+
+impl StageMicros {
+    /// Total serving time across all four stages.
+    pub fn total(&self) -> u64 {
+        self.parse + self.convert + self.verdict + self.observe
+    }
+}
+
+/// A litmus test parsed and converted, ready for the checking stages.
+/// This is the value the daemon ships from connection handlers to
+/// Session shards.
+pub struct ParsedTest {
+    /// File name (as given).
+    pub file: String,
+    /// Test name from the header line.
+    pub name: String,
+    /// Architecture from the header line.
+    pub arch: Arch,
+    /// The candidate execution the test pins down.
+    pub exec: Execution,
+    /// Parse-stage time, in microseconds.
+    pub parse_micros: u64,
+    /// Convert-stage time, in microseconds.
+    pub convert_micros: u64,
+}
 
 /// The served result for one litmus file.
 pub struct TestReport {
@@ -41,13 +92,23 @@ pub struct TestReport {
     /// Hardware-simulator observability (`None` when no simulator
     /// exists for the architecture).
     pub observable: Option<bool>,
-    /// Was the execution already interned when this test arrived?
+    /// Did every requested verdict come from the verdict cache? (The
+    /// stage-accurate meaning of "warm": no model was re-checked,
+    /// regardless of which shard or pass interned the execution.)
     pub cached: bool,
-    /// Wall-clock serving time for this test, in microseconds.
-    pub micros: u128,
+    /// Per-stage serving times.
+    pub stages: StageMicros,
+}
+
+impl TestReport {
+    /// Total serving time across all stages, in microseconds.
+    pub fn micros(&self) -> u64 {
+        self.stages.total()
+    }
 }
 
 /// A test that could not be served, with the failing stage's message.
+#[derive(Debug, Clone)]
 pub struct TestFailure {
     /// File name (as given).
     pub file: String,
@@ -63,54 +124,93 @@ pub enum Served {
     Failure(TestFailure),
 }
 
-/// Serve one litmus source text.
+/// The parse and convert stages: litmus text → pinned candidate
+/// execution, each stage timed separately.
+pub fn parse_request(file: &str, src: &str) -> Result<ParsedTest, TestFailure> {
+    let start = Instant::now();
+    let t = match parse_litmus(src) {
+        Ok(t) => t,
+        Err(e) => {
+            return Err(TestFailure {
+                file: file.to_string(),
+                error: e.to_string(),
+            })
+        }
+    };
+    let parse_micros = start.elapsed().as_micros() as u64;
+    let start = Instant::now();
+    let x = match execution_from_litmus(&t) {
+        Ok(x) => x,
+        Err(e) => {
+            return Err(TestFailure {
+                file: file.to_string(),
+                error: e.to_string(),
+            })
+        }
+    };
+    Ok(ParsedTest {
+        file: file.to_string(),
+        name: t.name,
+        arch: t.arch,
+        exec: x,
+        parse_micros,
+        convert_micros: start.elapsed().as_micros() as u64,
+    })
+}
+
+/// The verdict and observe stages against one [`Session`] (or Session
+/// shard). `cached` is derived from the verdict-miss delta of exactly
+/// this call, so it stays accurate when many tests interleave on a
+/// shared pool.
+pub fn check_parsed(
+    session: &mut Session,
+    t: &ParsedTest,
+    models: Option<&[ModelRef]>,
+) -> TestReport {
+    let start = Instant::now();
+    let misses_before = session.stats().verdict_misses;
+    // Selected (or all) models share one analysis for their cache
+    // misses inside verdicts_for.
+    let verdicts: Vec<(String, Verdict)> = match models {
+        Some(ms) => session.verdicts_for(&t.exec, ms),
+        None => session.verdicts(&t.exec),
+    }
+    .into_iter()
+    .map(|(m, v)| (session.model(m).name().to_string(), v))
+    .collect();
+    let cached = session.stats().verdict_misses == misses_before;
+    let verdict_micros = start.elapsed().as_micros() as u64;
+    let start = Instant::now();
+    let observable = session.observable(&t.exec, t.arch);
+    TestReport {
+        file: t.file.clone(),
+        name: t.name.clone(),
+        arch: t.arch,
+        events: t.exec.len(),
+        verdicts,
+        observable,
+        cached,
+        stages: StageMicros {
+            parse: t.parse_micros,
+            convert: t.convert_micros,
+            verdict: verdict_micros,
+            observe: start.elapsed().as_micros() as u64,
+        },
+    }
+}
+
+/// Serve one litmus source text: all four stages on the caller's
+/// thread.
 pub fn serve_source(
     session: &mut Session,
     file: &str,
     src: &str,
     models: Option<&[ModelRef]>,
 ) -> Served {
-    let start = Instant::now();
-    let t = match parse_litmus(src) {
-        Ok(t) => t,
-        Err(e) => {
-            return Served::Failure(TestFailure {
-                file: file.to_string(),
-                error: e.to_string(),
-            })
-        }
-    };
-    let x = match execution_from_litmus(&t) {
-        Ok(x) => x,
-        Err(e) => {
-            return Served::Failure(TestFailure {
-                file: file.to_string(),
-                error: e.to_string(),
-            })
-        }
-    };
-    let interned_before = session.stats().interned;
-    // Selected (or all) models share one analysis for their cache
-    // misses inside verdicts_for.
-    let verdicts: Vec<(String, Verdict)> = match models {
-        Some(ms) => session.verdicts_for(&x, ms),
-        None => session.verdicts(&x),
+    match parse_request(file, src) {
+        Ok(t) => Served::Report(check_parsed(session, &t, models)),
+        Err(f) => Served::Failure(f),
     }
-    .into_iter()
-    .map(|(m, v)| (session.model(m).name().to_string(), v))
-    .collect();
-    let cached = session.stats().interned == interned_before;
-    let observable = session.observable(&x, t.arch);
-    Served::Report(TestReport {
-        file: file.to_string(),
-        name: t.name.clone(),
-        arch: t.arch,
-        events: x.len(),
-        verdicts,
-        observable,
-        cached,
-        micros: start.elapsed().as_micros(),
-    })
 }
 
 /// Serve one litmus file from disk.
@@ -136,7 +236,9 @@ pub fn collect_litmus_files(dir: &Path) -> std::io::Result<Vec<PathBuf>> {
     Ok(files)
 }
 
-fn json_escape(s: &str) -> String {
+/// Escape a string for embedding in a JSON literal (shared with the
+/// daemon's wire protocol).
+pub(crate) fn json_escape(s: &str) -> String {
     let mut out = String::with_capacity(s.len() + 2);
     for c in s.chars() {
         match c {
@@ -186,15 +288,13 @@ pub fn jsonl_line(served: &Served) -> String {
             };
             format!(
                 "{{\"file\":\"{}\",\"name\":\"{}\",\"arch\":\"{}\",\"events\":{},\
-                 \"verdicts\":{{{}}},\"observable\":{},\"cached\":{},\"micros\":{}}}",
+                 \"verdicts\":{{{}}},\"observable\":{}}}",
                 json_escape(&r.file),
                 json_escape(&r.name),
                 json_escape(r.arch.name()),
                 r.events,
                 verdicts,
-                observable,
-                r.cached,
-                r.micros
+                observable
             )
         }
     }
@@ -237,6 +337,41 @@ mod tests {
     }
 
     #[test]
+    fn stage_timings_cover_the_whole_serve() {
+        let mut s = Session::new();
+        let t = parse_request("sb.litmus", &sb_source()).expect("parses");
+        let r = check_parsed(&mut s, &t, None);
+        assert_eq!(r.stages.parse, t.parse_micros);
+        assert_eq!(r.stages.convert, t.convert_micros);
+        assert_eq!(
+            r.micros(),
+            r.stages.parse + r.stages.convert + r.stages.verdict + r.stages.observe
+        );
+        // `cached` is per-call: checking the same parsed test again on
+        // the same session is a pure cache hit.
+        let r2 = check_parsed(&mut s, &t, None);
+        assert!(!r.cached);
+        assert!(r2.cached);
+    }
+
+    #[test]
+    fn cached_tracks_the_model_filter_not_the_arena() {
+        // A test whose execution is already interned but whose
+        // requested model has not been checked yet must NOT count as
+        // cached — the old interned-delta definition got this wrong.
+        let mut s = Session::new();
+        let sc = [s.resolve("SC").unwrap()];
+        let tsc = [s.resolve("TSC").unwrap()];
+        let t = parse_request("sb.litmus", &sb_source()).expect("parses");
+        let first = check_parsed(&mut s, &t, Some(&sc));
+        assert!(!first.cached);
+        let other_model = check_parsed(&mut s, &t, Some(&tsc));
+        assert!(!other_model.cached, "TSC verdict was computed fresh");
+        let warm = check_parsed(&mut s, &t, Some(&tsc));
+        assert!(warm.cached);
+    }
+
+    #[test]
     fn failure_lines_keep_streaming() {
         let mut s = Session::new();
         let served = serve_source(&mut s, "bad.litmus", "t (Marvel)\n", None);
@@ -259,6 +394,10 @@ mod tests {
         assert!(line.contains("\"verdicts\":{"));
         assert!(line.contains("\"SC\":{\"consistent\":false"));
         assert!(!line.contains('\n'));
+        // Timing/cache metadata stays off the data line so output is
+        // deterministic (the daemon relies on byte-identity).
+        assert!(!line.contains("micros"));
+        assert!(!line.contains("cached"));
     }
 
     #[test]

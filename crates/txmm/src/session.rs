@@ -147,6 +147,14 @@ pub struct Session {
     stats: SessionStats,
 }
 
+/// A `Session` moves whole into a shard worker thread of the serving
+/// pool; this fails to compile if any registry or cache member stops
+/// being `Send`.
+const _: fn() = || {
+    fn requires_send<T: Send>() {}
+    requires_send::<Session>();
+};
+
 impl Default for Session {
     fn default() -> Session {
         Session::new()
@@ -459,6 +467,25 @@ mod tests {
         let v = s.verdict(&catalog::fig1(), m);
         assert!(!v.is_consistent());
         assert!(v.violations()[0].starts_with("cat-eval-error"));
+    }
+
+    #[test]
+    fn cat_diagnostics_name_construct_and_line() {
+        // End to end: an unsupported construct in a user-supplied model
+        // surfaces with its name and source line, not a generic error.
+        let mut s = Session::new();
+        let src = "let hb = po | com\nacyclic hb as Order\nlet f = fencerel(MFENCE)\nempty f as F";
+        let m = s.register_cat_source("diag", src).expect("parses");
+        let v = s.verdict(&catalog::fig1(), m);
+        assert_eq!(
+            v.violations(),
+            ["cat-eval-error: unsupported operator 'fencerel' at line 3"]
+        );
+        // Unsupported declarations are caught at registration instead.
+        let e = s
+            .register_cat_source("inc", "include \"x86fences.cat\"")
+            .unwrap_err();
+        assert_eq!(e, "inc: unsupported declaration 'include' at line 1");
     }
 
     #[test]

@@ -1,0 +1,208 @@
+//! Integration tests for `txmm-serverd`: the socket daemon over the
+//! sharded Session pool must answer concurrent clients byte-identically
+//! to one-shot `txmm serve`, and shut down cleanly on request.
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+use std::path::PathBuf;
+use std::thread;
+
+use txmm::daemon::{Daemon, ListenAddr, PoolConfig, SessionPool};
+use txmm::protocol::Request;
+use txmm::serve::{jsonl_line, serve_file, serve_source};
+use txmm::session::Session;
+
+/// The standard generated corpus (50 tests at the default events=3).
+fn corpus() -> Vec<(String, String)> {
+    txmm::corpus::generate(3)
+        .into_iter()
+        .map(|(name, src)| (format!("{name}.litmus"), src))
+        .collect()
+}
+
+/// Send one request and read its response frame (lines up to the blank
+/// terminator).
+fn roundtrip<S: Read + Write>(stream: &mut BufReader<S>, req: &Request) -> Vec<String> {
+    stream
+        .get_mut()
+        .write_all(format!("{}\n", req.to_line()).as_bytes())
+        .expect("send request");
+    let mut lines = Vec::new();
+    let mut line = String::new();
+    loop {
+        line.clear();
+        let n = stream.read_line(&mut line).expect("read response");
+        assert!(n > 0, "server closed mid-frame (got {lines:?})");
+        let l = line.trim_end_matches('\n');
+        if l.is_empty() {
+            return lines;
+        }
+        lines.push(l.to_string());
+    }
+}
+
+fn start_daemon(shards: usize) -> (String, thread::JoinHandle<()>) {
+    let pool = SessionPool::new(&PoolConfig {
+        shards,
+        ..PoolConfig::default()
+    })
+    .expect("pool builds");
+    let daemon = Daemon::bind(&ListenAddr::Tcp("127.0.0.1:0".into()), pool).expect("binds");
+    let addr = daemon.local_addr().to_string();
+    let server = thread::spawn(move || daemon.run().expect("daemon runs"));
+    (addr, server)
+}
+
+#[test]
+fn concurrent_clients_byte_identical_to_one_shot_serve() {
+    let corpus = corpus();
+    assert!(corpus.len() >= 50, "the full generated corpus");
+
+    // One-shot reference lines, from a plain sequential Session.
+    let mut session = Session::new();
+    let expect: Vec<String> = corpus
+        .iter()
+        .map(|(f, s)| jsonl_line(&serve_source(&mut session, f, s, None)))
+        .collect();
+
+    let (addr, server) = start_daemon(4);
+
+    // >= 4 concurrent clients, each checking the whole corpus over one
+    // connection (interleaving shard traffic).
+    let mut clients = Vec::new();
+    for c in 0..5 {
+        let addr = addr.clone();
+        let corpus = corpus.clone();
+        let expect = expect.clone();
+        clients.push(thread::spawn(move || {
+            let mut stream = BufReader::new(TcpStream::connect(&addr).expect("connect"));
+            for ((file, src), want) in corpus.iter().zip(&expect) {
+                let got = roundtrip(
+                    &mut stream,
+                    &Request::Check {
+                        file: file.clone(),
+                        src: src.clone(),
+                        models: None,
+                    },
+                );
+                assert_eq!(got, vec![want.clone()], "client {c}: {file}");
+            }
+        }));
+    }
+    for c in clients {
+        c.join().expect("client succeeds");
+    }
+
+    // stats reflects the traffic; models lists the registry.
+    let mut stream = BufReader::new(TcpStream::connect(&addr).expect("connect"));
+    let stats = roundtrip(&mut stream, &Request::Stats);
+    assert_eq!(stats.len(), 1);
+    assert!(stats[0].contains("\"shards\":4"), "{}", stats[0]);
+    assert!(stats[0].contains("\"failures\":0"), "{}", stats[0]);
+    assert!(
+        txmm::protocol::parse_json(&stats[0]).is_ok(),
+        "stats is JSON: {}",
+        stats[0]
+    );
+    let models = roundtrip(&mut stream, &Request::Models);
+    assert!(models.iter().any(|l| l.contains("\"model\":\"x86-tm\"")));
+
+    // Clean shutdown: acknowledged, and the accept loop exits.
+    let bye = roundtrip(&mut stream, &Request::Shutdown);
+    assert_eq!(bye, vec!["{\"ok\":\"shutdown\"}".to_string()]);
+    server.join().expect("daemon thread exits cleanly");
+}
+
+#[test]
+fn batch_request_matches_one_shot_directory_serve() {
+    let dir = std::env::temp_dir().join(format!("txmm-daemon-batch-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("mkdir");
+    for (i, (name, src)) in corpus().into_iter().enumerate() {
+        std::fs::write(dir.join(format!("{i:02}-{name}")), src).expect("write");
+    }
+
+    // One-shot reference: serve_file over the sorted directory listing,
+    // exactly what `txmm serve <dir>` prints.
+    let files = txmm::serve::collect_litmus_files(&dir).expect("listing");
+    let mut session = Session::new();
+    let expect: Vec<String> = files
+        .iter()
+        .map(|f| jsonl_line(&serve_file(&mut session, f, None)))
+        .collect();
+
+    let (addr, server) = start_daemon(3);
+    let mut stream = BufReader::new(TcpStream::connect(&addr).expect("connect"));
+    let got = roundtrip(
+        &mut stream,
+        &Request::Batch {
+            dir: dir.display().to_string(),
+            models: None,
+        },
+    );
+    assert_eq!(got, expect, "batch output is byte-identical");
+
+    let bye = roundtrip(&mut stream, &Request::Shutdown);
+    assert_eq!(bye, vec!["{\"ok\":\"shutdown\"}".to_string()]);
+    server.join().expect("clean shutdown");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn malformed_requests_keep_the_connection_alive() {
+    let (addr, server) = start_daemon(1);
+    let mut stream = BufReader::new(TcpStream::connect(&addr).expect("connect"));
+    stream
+        .get_mut()
+        .write_all(b"this is not json\n")
+        .expect("send garbage");
+    let mut line = String::new();
+    stream.read_line(&mut line).expect("error line");
+    assert!(line.starts_with("{\"error\""), "{line}");
+    line.clear();
+    stream.read_line(&mut line).expect("terminator");
+    assert_eq!(line, "\n");
+    // The same connection still serves real requests.
+    let models = roundtrip(&mut stream, &Request::Models);
+    assert!(!models.is_empty());
+    let bye = roundtrip(&mut stream, &Request::Shutdown);
+    assert_eq!(bye, vec!["{\"ok\":\"shutdown\"}".to_string()]);
+    server.join().expect("clean shutdown");
+}
+
+#[cfg(unix)]
+#[test]
+fn unix_socket_transport() {
+    let path = std::env::temp_dir().join(format!("txmm-daemon-{}.sock", std::process::id()));
+    let pool = SessionPool::new(&PoolConfig {
+        shards: 2,
+        ..PoolConfig::default()
+    })
+    .expect("pool builds");
+    let daemon = Daemon::bind(&ListenAddr::Unix(path.clone()), pool).expect("binds");
+    assert_eq!(daemon.local_addr(), format!("unix:{}", path.display()));
+    let server = thread::spawn(move || daemon.run().expect("runs"));
+
+    let (file, src) = corpus().remove(0);
+    let mut session = Session::new();
+    let want = jsonl_line(&serve_source(&mut session, &file, &src, None));
+
+    let mut stream = BufReader::new(
+        std::os::unix::net::UnixStream::connect(&path).expect("connect over unix socket"),
+    );
+    let got = roundtrip(
+        &mut stream,
+        &Request::Check {
+            file,
+            src,
+            models: None,
+        },
+    );
+    assert_eq!(got, vec![want]);
+    let bye = roundtrip(&mut stream, &Request::Shutdown);
+    assert_eq!(bye, vec!["{\"ok\":\"shutdown\"}".to_string()]);
+    server.join().expect("clean shutdown");
+    assert!(
+        !PathBuf::from(&path).exists(),
+        "socket file removed on shutdown"
+    );
+}
