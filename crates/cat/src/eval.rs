@@ -213,11 +213,12 @@ impl<'a, 'x> Env<'a, 'x> {
 
     /// The operators (herd "functions") the evaluator implements, with
     /// their arities. Anything else is an unsupported construct.
-    const OPERATORS: [(&'static str, usize); 4] = [
+    const OPERATORS: [(&'static str, usize); 5] = [
         ("weaklift", 2),
         ("stronglift", 2),
         ("domain", 1),
         ("range", 1),
+        ("fencerel", 1),
     ];
 
     fn call(&self, f: &str, args: &[Expr], line: u32) -> Result<Value, EvalError> {
@@ -228,6 +229,20 @@ impl<'a, 'x> Env<'a, 'x> {
             ("stronglift", 2) => Ok(Value::Rel(stronglift(&rel_arg(0)?, &rel_arg(1)?))),
             ("domain", 1) => Ok(Value::Set(rel_arg(0)?.domain())),
             ("range", 1) => Ok(Value::Set(rel_arg(0)?.range())),
+            ("fencerel", 1) => {
+                // herd's fencerel(S) = po ; [S] ; po — the ordering
+                // induced by the fence events in S. The argument is a
+                // set; a relation argument is an arity-class error the
+                // same way a set in seq position would be.
+                let id = match self.eval(&args[0])? {
+                    Value::Set(s) => Rel::id_on(self.a.len(), s),
+                    Value::Rel(_) => {
+                        return err_at(line, "operator 'fencerel' expects a set of fence events")
+                    }
+                };
+                let po = self.a.exec().po();
+                Ok(Value::Rel(po.seq(&id).seq(po)))
+            }
             _ => match Self::OPERATORS.iter().find(|(name, _)| *name == f) {
                 Some((_, arity)) => err_at(
                     line,
@@ -411,10 +426,72 @@ mod tests {
     #[test]
     fn unsupported_operator_reports_name_and_line() {
         // Class: herd operator (function) outside the subset.
-        let src = "let hb = po | com\nlet f = fencerel(MFENCE)\nacyclic hb as Order";
+        let src = "let hb = po | com\nlet f = fold(MFENCE)\nacyclic hb as Order";
         let m = CatModel::new("bad", parse(src).unwrap());
         let e = m.check(&catalog::fig1()).unwrap_err();
-        assert_eq!(e.to_string(), "unsupported operator 'fencerel' at line 2");
+        assert_eq!(e.to_string(), "unsupported operator 'fold' at line 2");
+    }
+
+    #[test]
+    fn fencerel_matches_native_derivation() {
+        // fencerel(MFENCE) must equal the native analysis derivation
+        // po ; [F_mfence] ; po on a fence-bearing execution.
+        use txmm_core::Fence;
+        let mut b = ExecBuilder::new();
+        let t0 = b.new_thread();
+        b.write(t0, 0);
+        b.fence(t0, Fence::MFence);
+        b.read(t0, 1);
+        let t1 = b.new_thread();
+        b.write(t1, 1);
+        let x = b.build().unwrap();
+        let a = x.analysis();
+        let env = Env::new(&a);
+        let e = parse("let f = fencerel(MFENCE)").unwrap();
+        let Decl::Let { bindings, .. } = &e.decls[0] else {
+            panic!()
+        };
+        let Value::Rel(r) = env.eval(&bindings[0].1).unwrap() else {
+            panic!()
+        };
+        assert_eq!(&r, a.fence_rel(Fence::MFence), "cat = native derivation");
+        assert!(r.contains(0, 2), "write before the fence orders the read");
+        assert!(!r.contains(0, 3), "no cross-thread fence ordering");
+    }
+
+    #[test]
+    fn fencerel_models_check_like_builtin_fence_relations() {
+        // A model phrased through fencerel (the herd idiom) must agree
+        // with the same model phrased through the builtin alias.
+        use txmm_core::Fence;
+        let via_fencerel = CatModel::new(
+            "fencerel-sc",
+            parse("acyclic po | com as Order\nacyclic fencerel(MFENCE) | com as Fenced").unwrap(),
+        );
+        let via_builtin = CatModel::new(
+            "builtin-sc",
+            parse("acyclic po | com as Order\nacyclic mfence | com as Fenced").unwrap(),
+        );
+        for x in [
+            catalog::fig1(),
+            catalog::sb(Some(Fence::MFence), false, false),
+            catalog::sb(None, false, false),
+        ] {
+            assert_eq!(
+                via_fencerel.check(&x).unwrap().violations(),
+                via_builtin.check(&x).unwrap().violations()
+            );
+        }
+    }
+
+    #[test]
+    fn fencerel_rejects_relation_arguments() {
+        let m = CatModel::new("bad", parse("acyclic fencerel(po) as X").unwrap());
+        let e = m.check(&catalog::fig1()).unwrap_err();
+        assert_eq!(
+            e.to_string(),
+            "operator 'fencerel' expects a set of fence events at line 1"
+        );
     }
 
     #[test]

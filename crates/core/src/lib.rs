@@ -52,6 +52,7 @@
 pub mod analysis;
 pub mod arena;
 pub mod build;
+pub mod canon;
 pub mod display;
 pub mod event;
 pub mod exec;
@@ -63,6 +64,7 @@ pub mod wf;
 pub use analysis::ExecutionAnalysis;
 pub use arena::{ExecArena, ExecId, PackedExecution};
 pub use build::ExecBuilder;
+pub use canon::canon_key;
 pub use event::{loc_name, Attrs, Call, Event, EventId, EventKind, Fence, Loc, Tid};
 pub use exec::{CrClass, Execution, LocSet, ThreadEvents, TxnClass};
 pub use rel::{stronglift, union_all, weaklift, Rel};

@@ -1,227 +1,9 @@
-//! Canonical forms for executions, used to deduplicate enumerator
-//! output under thread and location symmetry.
+//! Canonical forms for executions.
+//!
+//! The implementation moved into [`txmm_core::canon`] so the arena /
+//! canonicalisation layer and the enumerator share one definition —
+//! including the *incremental* (prefix) machinery the streaming
+//! enumerator prunes with. This module re-exports the stable surface
+//! under its historical path.
 
-use txmm_core::{EventKind, Execution, Fence};
-
-fn kind_tag(k: EventKind) -> u8 {
-    match k {
-        EventKind::Read => 0,
-        EventKind::Write => 1,
-        EventKind::Fence(f) => {
-            2 + match f {
-                Fence::MFence => 0,
-                Fence::Sync => 1,
-                Fence::Lwsync => 2,
-                Fence::Isync => 3,
-                Fence::Dmb => 4,
-                Fence::DmbLd => 5,
-                Fence::DmbSt => 6,
-                Fence::Isb => 7,
-                Fence::CppFence => 8,
-            }
-        }
-        EventKind::Call(c) => 11 + c as u8,
-    }
-}
-
-/// Serialise the execution under one thread permutation, relabelling
-/// locations by first occurrence.
-fn serialise(x: &Execution, perm: &[usize]) -> Vec<u8> {
-    let nt = x.num_threads();
-    // New event order: threads in `perm` order, po order within.
-    let mut order: Vec<usize> = Vec::with_capacity(x.len());
-    for &t in perm {
-        order.extend(x.thread_events(t as u8));
-    }
-    let mut newid = vec![0usize; x.len()];
-    for (new, &old) in order.iter().enumerate() {
-        newid[old] = new;
-    }
-    // Location relabelling by first occurrence in the new order.
-    let mut locmap = [u8::MAX; 64];
-    let mut next = 0u8;
-    let mut out = Vec::with_capacity(x.len() * 4 + 64);
-    out.push(nt as u8);
-    for &old in &order {
-        let ev = x.event(old);
-        out.push(ev.tid);
-        out.push(kind_tag(ev.kind));
-        out.push(ev.attrs.bits());
-        match ev.loc {
-            Some(l) => {
-                if locmap[l as usize] == u8::MAX {
-                    locmap[l as usize] = next;
-                    next += 1;
-                }
-                out.push(locmap[l as usize] + 1);
-            }
-            None => out.push(0),
-        }
-    }
-    // Wait: thread ids themselves must be relabelled, not raw.
-    // (Positions already encode the permuted order; patch tids.)
-    for (i, &old) in order.iter().enumerate() {
-        let t_old = x.event(old).tid as usize;
-        let t_new = perm.iter().position(|&p| p == t_old).expect("tid in perm");
-        out[1 + i * 4] = t_new as u8;
-    }
-    let mut push_rel = |tag: u8, rel: &txmm_core::Rel| {
-        let mut pairs: Vec<(usize, usize)> =
-            rel.pairs().map(|(a, b)| (newid[a], newid[b])).collect();
-        pairs.sort_unstable();
-        out.push(255);
-        out.push(tag);
-        for (a, b) in pairs {
-            out.push(a as u8);
-            out.push(b as u8);
-        }
-    };
-    push_rel(0, x.rf());
-    push_rel(1, x.co());
-    push_rel(2, x.addr());
-    push_rel(3, x.ctrl());
-    push_rel(4, x.data());
-    push_rel(5, x.rmw());
-    // Transactions: sorted class lists with atomic flags.
-    let mut classes: Vec<(Vec<usize>, bool)> = x
-        .txns()
-        .iter()
-        .map(|t| {
-            let mut evs: Vec<usize> = t.events.iter().map(|&e| newid[e]).collect();
-            evs.sort_unstable();
-            (evs, t.atomic)
-        })
-        .collect();
-    classes.sort();
-    out.push(255);
-    out.push(6);
-    for (evs, atomic) in classes {
-        out.push(254);
-        out.push(atomic as u8);
-        for e in evs {
-            out.push(e as u8);
-        }
-    }
-    out
-}
-
-fn permutations(n: usize) -> Vec<Vec<usize>> {
-    if n == 0 {
-        return vec![vec![]];
-    }
-    let mut out = Vec::new();
-    for rest in permutations(n - 1) {
-        for pos in 0..=rest.len() {
-            let mut p = rest.clone();
-            p.insert(pos, n - 1);
-            out.push(p);
-        }
-    }
-    out
-}
-
-/// The canonical key: the lexicographically smallest serialisation over
-/// all thread permutations.
-pub fn canon_key(x: &Execution) -> Vec<u8> {
-    let nt = x.num_threads();
-    permutations(nt)
-        .into_iter()
-        .map(|p| serialise(x, &p))
-        .min()
-        .unwrap_or_default()
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-    use txmm_core::ExecBuilder;
-
-    #[test]
-    fn thread_symmetry_collapses() {
-        // SB written with threads in either order has the same key.
-        let mut b = ExecBuilder::new();
-        let t0 = b.new_thread();
-        b.write(t0, 0);
-        b.read(t0, 1);
-        let t1 = b.new_thread();
-        b.write(t1, 1);
-        b.read(t1, 0);
-        let x1 = b.build().unwrap();
-
-        let mut b = ExecBuilder::new();
-        let t0 = b.new_thread();
-        b.write(t0, 1);
-        b.read(t0, 0);
-        let t1 = b.new_thread();
-        b.write(t1, 0);
-        b.read(t1, 1);
-        let x2 = b.build().unwrap();
-
-        assert_eq!(canon_key(&x1), canon_key(&x2));
-    }
-
-    #[test]
-    fn location_relabelling() {
-        // Same shape with locations renamed: same key.
-        let mut b = ExecBuilder::new();
-        let t0 = b.new_thread();
-        b.write(t0, 2);
-        b.read(t0, 2);
-        let x1 = b.build().unwrap();
-        let mut b = ExecBuilder::new();
-        let t0 = b.new_thread();
-        b.write(t0, 0);
-        b.read(t0, 0);
-        let x2 = b.build().unwrap();
-        assert_eq!(canon_key(&x1), canon_key(&x2));
-    }
-
-    #[test]
-    fn different_rf_distinct() {
-        let mut b = ExecBuilder::new();
-        let t0 = b.new_thread();
-        let w = b.write(t0, 0);
-        let r = b.read(t0, 0);
-        b.rf(w, r);
-        let x1 = b.build().unwrap();
-        let mut b = ExecBuilder::new();
-        let t0 = b.new_thread();
-        b.write(t0, 0);
-        b.read(t0, 0); // reads init instead
-        let x2 = b.build().unwrap();
-        assert_ne!(canon_key(&x1), canon_key(&x2));
-    }
-
-    #[test]
-    fn txn_membership_distinct() {
-        let mut b = ExecBuilder::new();
-        let t0 = b.new_thread();
-        let w = b.write(t0, 0);
-        let r = b.read(t0, 0);
-        b.rf(w, r);
-        b.txn(&[w, r]);
-        let x1 = b.build().unwrap();
-        let mut b = ExecBuilder::new();
-        let t0 = b.new_thread();
-        let w = b.write(t0, 0);
-        let r = b.read(t0, 0);
-        b.rf(w, r);
-        let x2 = b.build().unwrap();
-        assert_ne!(canon_key(&x1), canon_key(&x2));
-        // Atomic vs relaxed transactions are distinct too.
-        let mut b = ExecBuilder::new();
-        let t0 = b.new_thread();
-        let w = b.write(t0, 0);
-        let r = b.read(t0, 0);
-        b.rf(w, r);
-        b.txn_atomic(&[w, r]);
-        let x3 = b.build().unwrap();
-        assert_ne!(canon_key(&x1), canon_key(&x3));
-    }
-
-    #[test]
-    fn permutation_count() {
-        assert_eq!(permutations(3).len(), 6);
-        assert_eq!(permutations(0).len(), 1);
-    }
-}
+pub use txmm_core::canon::{canon_key, kind_rows_sorted, label_canonical, struct_canonical, Label};

@@ -4,52 +4,50 @@
 //! under `M` but consistent under `N` — the seed operation behind axiom
 //! refinement (§4.1).
 //!
-//! The search is sharded by thread shape like the enumerator itself:
-//! shards run on every core via [`crate::par`], results merge in shape
-//! order, so the parallel search returns exactly the witnesses the
-//! sequential one would (the sequential versions are kept as
-//! differential references).
+//! The search consumes the streaming enumerator on the work-stealing
+//! pool ([`crate::enumerate::visit_par`]): candidates are checked on
+//! whichever worker enumerates them, witnesses carry their position in
+//! the sequential enumeration order, and a final sort makes the
+//! parallel result identical to the sequential one (the sequential
+//! versions are kept as differential references).
 
 use std::sync::atomic::{AtomicBool, Ordering};
 
 use txmm_core::Execution;
 use txmm_models::{consistent_pair, Model};
 
-use crate::enumerate::{config_shapes, enumerate, enumerate_shape, EnumConfig};
-use crate::par::par_map;
+use crate::enumerate::{enumerate, visit_par, CandSeq, EnumConfig};
+use crate::par::worker_count;
 
 /// Executions distinguishing `m` (forbids) from `n` (allows), up to the
-/// configured size; stops after `limit` witnesses when given.
+/// configured size; keeps the first `limit` witnesses (in enumeration
+/// order) when given.
 ///
-/// Runs shape shards in parallel on every core; the result lists the
-/// same witnesses in the same (shape-major) order as
-/// [`distinguish_seq`].
+/// Runs on the work-stealing pool; the result lists the same witnesses
+/// in the same order as [`distinguish_seq`].
 pub fn distinguish(
     cfg: &EnumConfig,
     m: &dyn Model,
     n: &dyn Model,
     limit: Option<usize>,
 ) -> Vec<Execution> {
-    let shards = par_map(config_shapes(cfg), |shape| {
-        let mut out = Vec::new();
-        enumerate_shape(cfg, &shape, &mut |x| {
-            if let Some(l) = limit {
-                if out.len() >= l {
-                    return;
-                }
-            }
+    let (states, _) = visit_par(
+        cfg,
+        worker_count(),
+        |_| Vec::new(),
+        |seq, x, found: &mut Vec<(CandSeq, Execution)>| {
             let (mc, nc) = consistent_pair(m, n, x);
             if !mc && nc {
-                out.push(x.clone());
+                found.push((seq, x.clone()));
             }
-        });
-        out
-    });
-    let mut out: Vec<Execution> = shards.into_iter().flatten().collect();
+        },
+    );
+    let mut all: Vec<(CandSeq, Execution)> = states.into_iter().flatten().collect();
+    all.sort_by_key(|(seq, _)| *seq);
     if let Some(l) = limit {
-        out.truncate(l);
+        all.truncate(l);
     }
-    out
+    all.into_iter().map(|(_, x)| x).collect()
 }
 
 /// The sequential reference implementation of [`distinguish`].
@@ -76,20 +74,18 @@ pub fn distinguish_seq(
 
 /// Are the two models equivalent on every execution up to the bound?
 ///
-/// Shards run in parallel; the first disagreement anywhere stops every
-/// other shard early.
+/// Candidates stream across the work-stealing pool; the first
+/// disagreement anywhere stops every worker at its next candidate.
 pub fn equivalent(cfg: &EnumConfig, m: &dyn Model, n: &dyn Model) -> bool {
     let diverged = AtomicBool::new(false);
-    par_map(config_shapes(cfg), |shape| {
-        enumerate_shape(cfg, &shape, &mut |x| {
-            if diverged.load(Ordering::Relaxed) {
-                return;
-            }
-            let (mc, nc) = consistent_pair(m, n, x);
-            if mc != nc {
-                diverged.store(true, Ordering::Relaxed);
-            }
-        });
+    crate::enumerate::for_each_par(cfg, |x| {
+        if diverged.load(Ordering::Relaxed) {
+            return;
+        }
+        let (mc, nc) = consistent_pair(m, n, x);
+        if mc != nc {
+            diverged.store(true, Ordering::Relaxed);
+        }
     });
     !diverged.load(Ordering::Relaxed)
 }
@@ -205,7 +201,7 @@ mod tests {
             .iter()
             .map(canon_key)
             .collect();
-        assert_eq!(par, seq, "same witnesses in the same shape-major order");
+        assert_eq!(par, seq, "same witnesses in the same enumeration order");
         // Limits truncate the same prefix.
         let par2: Vec<_> = distinguish(&cfg, &Tsc, &Sc, Some(3))
             .iter()

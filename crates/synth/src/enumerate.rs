@@ -5,21 +5,41 @@
 //! well-formed execution over the architecture's event vocabulary is
 //! produced exactly once (up to thread and location symmetry).
 //!
+//! ## The streaming engine
+//!
 //! The space is sharded by **thread shape** (the non-increasing
-//! partition of the event count across threads): shapes are enumerated
-//! independently, and because a canonical key embeds the multiset of
-//! per-thread event counts, two executions from different shapes can
-//! never collide — so shards dedup locally and merge without
-//! cross-shard coordination. [`enumerate_par`] exploits exactly this to
-//! run shards on every core.
+//! partition of the event count across threads) and, within a shape, by
+//! **kind assignment**: one [`Subtree`] per canonical choice of event
+//! kinds. Canonicalisation is *incremental* (see [`txmm_core::canon`]):
+//! symmetry-duplicate prefixes are rejected mid-construction — at the
+//! kind stage, again when the per-event labels complete, and finally by
+//! a stateless automorphism-minimality test on the finished candidate —
+//! so the engine streams exactly one representative per symmetry class
+//! while carrying **no dedup set and no candidate buffer**.
+//!
+//! [`Frontier`] is the resumable form of that decomposition: a lazy
+//! iterator of subtree jobs. The sequential drivers ([`enumerate`],
+//! [`count`]) walk it in order; the parallel drivers ([`visit_par`],
+//! [`for_each_par`], [`count_par`], [`stream_par`]) feed it to the
+//! work-stealing pool ([`crate::steal`]), which splits *within* a shape
+//! — one huge shape no longer serialises a core's worth of work the way
+//! the seed shape-shard `par_map` split did.
+//!
+//! The seed generate-then-dedup pipeline survives as
+//! [`enumerate_reference`] / [`count_reference`]: the differential
+//! suite checks the streaming engine emits exactly the same canonical
+//! classes.
 
 use std::collections::HashSet;
 
+use txmm_core::canon::{
+    canon_key, kind_rows_sorted, kind_tag, label_canonical, struct_canonical, Label,
+};
 use txmm_core::{Attrs, Event, EventKind, Execution, Fence, Rel, TxnClass};
 use txmm_models::Arch;
 
-use crate::canon::canon_key;
-use crate::par::par_map;
+use crate::par::worker_count;
+use crate::steal::{run_with, StealStats};
 
 /// What the enumerator may use.
 #[derive(Debug, Clone)]
@@ -163,76 +183,275 @@ pub fn config_shapes(cfg: &EnumConfig) -> Vec<Vec<usize>> {
     shapes(cfg.events, cfg.max_threads, cfg.events)
 }
 
+// ---- The resumable frontier --------------------------------------------
+
+/// One unit of stealable work: all candidates of one shape with one
+/// (canonical) kind assignment. The location × attribute × relation ×
+/// transaction subtree below it is enumerated by whichever worker
+/// claims the job.
+#[derive(Debug, Clone)]
+pub struct Subtree {
+    /// Position in the sequential enumeration order (strictly
+    /// increasing across the frontier).
+    pub seq: u64,
+    /// Index into [`config_shapes`].
+    pub shape_idx: usize,
+    /// Kind index per event slot (into the config's kind vocabulary).
+    kind_choice: Vec<u8>,
+}
+
+/// The lazy stream of [`Subtree`] jobs, in sequential enumeration
+/// order: shapes outermost, the kind odometer within a shape. Only
+/// stage-1-canonical kind assignments (sorted kind rows) are yielded —
+/// symmetry-duplicate subtrees are pruned before they ever become work.
+///
+/// The iterator *is* the resumable enumeration state: the parallel
+/// drivers pull from it under a lock, so splitting work is `next()`.
+pub struct Frontier {
+    shapes: Vec<Vec<usize>>,
+    kinds: Vec<EventKind>,
+    tags: Vec<u8>,
+    /// (shape index, next kind choice); `None` when exhausted.
+    state: Option<(usize, Vec<u8>)>,
+    seq: u64,
+}
+
+impl Frontier {
+    /// The frontier over the whole configuration.
+    pub fn new(cfg: &EnumConfig) -> Frontier {
+        Frontier::over_shapes(cfg, config_shapes(cfg))
+    }
+
+    /// A frontier restricted to the given shapes (shape-shard callers).
+    fn over_shapes(cfg: &EnumConfig, shapes: Vec<Vec<usize>>) -> Frontier {
+        let kinds = kinds_for(cfg);
+        let tags = kinds.iter().map(|&k| kind_tag(k)).collect();
+        let state = if shapes.is_empty() {
+            None
+        } else {
+            Some((0, vec![0u8; cfg.events]))
+        };
+        Frontier {
+            shapes,
+            kinds,
+            tags,
+            state,
+            seq: 0,
+        }
+    }
+
+    /// The shape of a subtree this frontier yielded.
+    pub fn shape(&self, sub: &Subtree) -> &[usize] {
+        &self.shapes[sub.shape_idx]
+    }
+
+    fn advance(&mut self) {
+        let Some((shape_idx, choice)) = self.state.as_mut() else {
+            return;
+        };
+        let n = choice.len();
+        let mut i = 0;
+        loop {
+            if i == n {
+                // Odometer wrapped: next shape.
+                *shape_idx += 1;
+                if *shape_idx >= self.shapes.len() {
+                    self.state = None;
+                }
+                return;
+            }
+            choice[i] += 1;
+            if (choice[i] as usize) < self.kinds.len() {
+                return;
+            }
+            choice[i] = 0;
+            i += 1;
+        }
+    }
+}
+
+impl Iterator for Frontier {
+    type Item = Subtree;
+
+    fn next(&mut self) -> Option<Subtree> {
+        loop {
+            let (shape_idx, choice) = self.state.as_ref()?;
+            let shape = &self.shapes[*shape_idx];
+            let tag_row: Vec<u8> = choice.iter().map(|&i| self.tags[i as usize]).collect();
+            if kind_rows_sorted(shape, &tag_row) {
+                let sub = Subtree {
+                    seq: self.seq,
+                    shape_idx: *shape_idx,
+                    kind_choice: choice.clone(),
+                };
+                self.seq += 1;
+                self.advance();
+                return Some(sub);
+            }
+            self.advance();
+        }
+    }
+}
+
+/// Enumerate one subtree, streaming exactly one representative per
+/// symmetry class through `visit`.
+pub fn enumerate_subtree(
+    cfg: &EnumConfig,
+    shape: &[usize],
+    sub: &Subtree,
+    visit: &mut dyn FnMut(&Execution),
+) {
+    let kinds = kinds_for(cfg);
+    let evkinds: Vec<EventKind> = sub.kind_choice.iter().map(|&i| kinds[i as usize]).collect();
+    let tids = shape_tids(shape);
+    enumerate_labels(cfg, &tids, &evkinds, &mut |events| {
+        let labels: Vec<Label> = events
+            .iter()
+            .map(|ev| Label {
+                tag: kind_tag(ev.kind),
+                attrs: ev.attrs.bits(),
+                loc: ev.loc,
+            })
+            .collect();
+        let Some(auts) = label_canonical(shape, &labels) else {
+            return; // Symmetry-duplicate label prefix: prune the
+                    // whole relation/transaction subtree.
+        };
+        assign_structure(cfg, events, &mut |x| struct_canonical(x, &auts), visit);
+    });
+}
+
+fn shape_tids(shape: &[usize]) -> Vec<u8> {
+    let mut tids = Vec::with_capacity(shape.iter().sum());
+    for (t, &sz) in shape.iter().enumerate() {
+        tids.extend(std::iter::repeat_n(t as u8, sz));
+    }
+    tids
+}
+
 /// Enumerate every candidate execution with the given thread shape,
 /// invoking `visit` on each (deduplicated up to symmetry *within* the
 /// shape — which is total, since canonical keys never collide across
 /// shapes).
 pub fn enumerate_shape(cfg: &EnumConfig, shape: &[usize], visit: &mut dyn FnMut(&Execution)) {
-    let n = cfg.events;
-    let kinds = kinds_for(cfg);
-    let mut seen: HashSet<Vec<u8>> = HashSet::new();
-    // Thread ids per event slot, slots in po order per thread.
-    let mut tids = Vec::with_capacity(n);
-    for (t, &sz) in shape.iter().enumerate() {
-        tids.extend(std::iter::repeat_n(t as u8, sz));
-    }
-    // Kind assignment.
-    let mut kind_choice = vec![0usize; n];
-    loop {
-        let evkinds: Vec<EventKind> = kind_choice.iter().map(|&i| kinds[i]).collect();
-        assign_locs(cfg, &tids, &evkinds, &mut seen, visit);
-        // Odometer.
-        let mut i = 0;
-        loop {
-            if i == n {
-                break;
-            }
-            kind_choice[i] += 1;
-            if kind_choice[i] < kinds.len() {
-                break;
-            }
-            kind_choice[i] = 0;
-            i += 1;
-        }
-        if i == n {
-            break;
-        }
+    for sub in Frontier::over_shapes(cfg, vec![shape.to_vec()]) {
+        enumerate_subtree(cfg, shape, &sub, visit);
     }
 }
 
 /// Enumerate all candidate executions of exactly `cfg.events` events,
-/// invoking `visit` on each (deduplicated up to symmetry).
+/// invoking `visit` on each (deduplicated up to symmetry). Streaming
+/// and allocation-bounded: no candidate buffer, no dedup set.
 pub fn enumerate(cfg: &EnumConfig, visit: &mut dyn FnMut(&Execution)) {
-    for shape in config_shapes(cfg) {
-        enumerate_shape(cfg, &shape, visit);
+    let frontier = Frontier::new(cfg);
+    let shapes = frontier.shapes.clone();
+    for sub in frontier {
+        enumerate_subtree(cfg, &shapes[sub.shape_idx], &sub, visit);
     }
 }
 
-/// Parallel enumeration: shard by thread shape across every core and
-/// return the deduplicated executions in the same order the sequential
-/// [`enumerate`] would visit them.
-pub fn enumerate_par(cfg: &EnumConfig) -> Vec<Execution> {
-    let shards = par_map(config_shapes(cfg), |shape| {
-        let mut out = Vec::new();
-        enumerate_shape(cfg, &shape, &mut |x| out.push(x.clone()));
-        out
-    });
-    // Canonical keys cannot collide across shapes (each key embeds the
-    // multiset of per-thread event counts), so merging is concatenation
-    // in shape order; the debug assertion guards the argument.
-    debug_assert!({
-        let mut all = HashSet::new();
-        shards.iter().flatten().all(|x| all.insert(canon_key(x)))
-    });
-    shards.into_iter().flatten().collect()
+// ---- Parallel drivers ---------------------------------------------------
+
+/// Position of a candidate in the sequential enumeration order:
+/// (subtree sequence number, emit index within the subtree). Sorting
+/// parallel results by this key reproduces [`enumerate`]'s order
+/// exactly.
+pub type CandSeq = (u64, u32);
+
+/// Run `visit` over every candidate on `workers` work-stealing threads.
+///
+/// Each worker owns a private state built by `init`; the states come
+/// back in worker order together with the pool counters, so callers
+/// merge (and, via [`CandSeq`], order) results deterministically.
+pub fn visit_par<S, FI, FV>(
+    cfg: &EnumConfig,
+    workers: usize,
+    init: FI,
+    visit: FV,
+) -> (Vec<S>, StealStats)
+where
+    S: Send,
+    FI: Fn(usize) -> S + Sync,
+    FV: Fn(CandSeq, &Execution, &mut S) + Sync,
+{
+    let shapes = config_shapes(cfg);
+    let frontier = Frontier::over_shapes(cfg, shapes.clone());
+    run_with(frontier, workers, init, |sub: Subtree, state: &mut S| {
+        let mut emit = 0u32;
+        enumerate_subtree(cfg, &shapes[sub.shape_idx], &sub, &mut |x| {
+            visit((sub.seq, emit), x, state);
+            emit += 1;
+        });
+    })
 }
 
-fn assign_locs(
+/// Streaming parallel enumeration: `f` runs on the pool's workers, one
+/// call per candidate, in no particular order.
+pub fn for_each_par<F: Fn(&Execution) + Sync>(cfg: &EnumConfig, f: F) -> StealStats {
+    let (_, stats) = visit_par(cfg, worker_count(), |_| (), |_, x, _| f(x));
+    stats
+}
+
+/// A bounded stream of enumerated candidates: workers enumerate on a
+/// background pool and block once `capacity` candidates are in flight,
+/// so a slow consumer never buffers the space (the memory bound the
+/// seed `enumerate_par -> Vec<Execution>` materialisation lacked).
+///
+/// Dropping the iterator aborts the producers: subtrees already being
+/// enumerated finish generating (emitting nothing), every remaining
+/// frontier subtree is skipped with one atomic load, and the pool
+/// drains promptly instead of walking the rest of the space.
+pub fn stream_par(cfg: EnumConfig, capacity: usize) -> impl Iterator<Item = Execution> {
+    use std::sync::atomic::{AtomicBool, Ordering};
+    let (tx, rx) = std::sync::mpsc::sync_channel::<Execution>(capacity.max(1));
+    std::thread::spawn(move || {
+        let gone = AtomicBool::new(false);
+        let shapes = config_shapes(&cfg);
+        let frontier = Frontier::over_shapes(&cfg, shapes.clone());
+        run_with(
+            frontier,
+            worker_count(),
+            |_| tx.clone(),
+            |sub: Subtree, tx| {
+                if gone.load(Ordering::Relaxed) {
+                    return; // Receiver hung up: skip the whole subtree.
+                }
+                enumerate_subtree(&cfg, &shapes[sub.shape_idx], &sub, &mut |x| {
+                    if gone.load(Ordering::Relaxed) {
+                        return;
+                    }
+                    if tx.send(x.clone()).is_err() {
+                        gone.store(true, Ordering::Relaxed);
+                    }
+                });
+            },
+        );
+    });
+    rx.into_iter()
+}
+
+/// Count the executions the enumerator produces (test/diagnostic aid).
+pub fn count(cfg: &EnumConfig) -> usize {
+    let mut n = 0usize;
+    enumerate(cfg, &mut |_| n += 1);
+    n
+}
+
+/// Parallel [`count`] on the work-stealing pool.
+pub fn count_par(cfg: &EnumConfig) -> usize {
+    let (counts, _) = visit_par(cfg, worker_count(), |_| 0usize, |_, _, n| *n += 1);
+    counts.into_iter().sum()
+}
+
+// ---- Label enumeration --------------------------------------------------
+
+/// Enumerate locations × attributes for a fixed kind assignment,
+/// invoking `sink` with each completed per-event label vector.
+fn enumerate_labels(
     cfg: &EnumConfig,
     tids: &[u8],
     kinds: &[EventKind],
-    seen: &mut HashSet<Vec<u8>>,
-    visit: &mut dyn FnMut(&Execution),
+    sink: &mut dyn FnMut(&[Event]),
 ) {
     let n = tids.len();
     let access: Vec<usize> = (0..n).filter(|&e| kinds[e].is_access()).collect();
@@ -264,7 +483,7 @@ fn assign_locs(
         for (i, &e) in access.iter().enumerate() {
             ev_locs[e] = Some(locs[i]);
         }
-        assign_attrs(cfg, tids, kinds, &ev_locs, seen, visit);
+        assign_attrs(cfg, tids, kinds, &ev_locs, sink);
     });
 }
 
@@ -273,8 +492,7 @@ fn assign_attrs(
     tids: &[u8],
     kinds: &[EventKind],
     locs: &[Option<u8>],
-    seen: &mut HashSet<Vec<u8>>,
-    visit: &mut dyn FnMut(&Execution),
+    sink: &mut dyn FnMut(&[Event]),
 ) {
     let n = tids.len();
     let options: Vec<Vec<Attrs>> = (0..n).map(|e| attr_options(cfg, kinds[e])).collect();
@@ -288,7 +506,7 @@ fn assign_attrs(
                 attrs: options[e][choice[e]],
             })
             .collect();
-        assign_structure(cfg, &events, seen, visit);
+        sink(&events);
         let mut i = 0;
         loop {
             if i == n {
@@ -304,12 +522,16 @@ fn assign_attrs(
     }
 }
 
-/// Enumerate rmw pairs, dependencies, rf, co and transactions, build
-/// executions, deduplicate and visit.
+// ---- Structure enumeration ---------------------------------------------
+
+/// Enumerate rmw pairs, dependencies, rf, co and transactions over
+/// fully labelled events; `keep` decides whether a finished candidate
+/// is the class representative (the streaming engine's stateless
+/// automorphism test, or the reference path's canon-key dedup set).
 fn assign_structure(
     cfg: &EnumConfig,
     events: &[Event],
-    seen: &mut HashSet<Vec<u8>>,
+    keep: &mut dyn FnMut(&Execution) -> bool,
     visit: &mut dyn FnMut(&Execution),
 ) {
     let n = events.len();
@@ -467,7 +689,7 @@ fn assign_structure(
                                 txns,
                             );
                             debug_assert!(x.check_wf().is_ok(), "{:?}", x.check_wf());
-                            if seen.insert(canon_key(&x)) {
+                            if keep(&x) {
                                 visit(&x);
                             }
                         }
@@ -477,6 +699,55 @@ fn assign_structure(
         });
     }
 }
+
+// ---- The seed reference path -------------------------------------------
+
+/// The seed generate-then-dedup enumeration: every kind / label /
+/// structure combination is built and deduplicated after the fact
+/// through a per-shape [`canon_key`] set. Kept as the differential
+/// reference for the streaming engine (same canonical classes, in
+/// whatever representative the seed path met first) and as the bench
+/// baseline the incremental canonicalisation is measured against.
+pub fn enumerate_reference(cfg: &EnumConfig, visit: &mut dyn FnMut(&Execution)) {
+    let kinds = kinds_for(cfg);
+    for shape in config_shapes(cfg) {
+        let tids = shape_tids(&shape);
+        let n = cfg.events;
+        let mut seen: HashSet<Vec<u8>> = HashSet::new();
+        let mut kind_choice = vec![0usize; n];
+        loop {
+            let evkinds: Vec<EventKind> = kind_choice.iter().map(|&i| kinds[i]).collect();
+            enumerate_labels(cfg, &tids, &evkinds, &mut |events| {
+                assign_structure(cfg, events, &mut |x| seen.insert(canon_key(x)), visit);
+            });
+            // Odometer.
+            let mut i = 0;
+            loop {
+                if i == n {
+                    break;
+                }
+                kind_choice[i] += 1;
+                if kind_choice[i] < kinds.len() {
+                    break;
+                }
+                kind_choice[i] = 0;
+                i += 1;
+            }
+            if i == n {
+                break;
+            }
+        }
+    }
+}
+
+/// Count over [`enumerate_reference`].
+pub fn count_reference(cfg: &EnumConfig) -> usize {
+    let mut n = 0usize;
+    enumerate_reference(cfg, &mut |_| n += 1);
+    n
+}
+
+// ---- Structure helpers --------------------------------------------------
 
 fn subsets<T: Clone>(items: &[T]) -> Vec<Vec<T>> {
     let mut out = vec![vec![]];
@@ -632,24 +903,6 @@ fn for_txns(threads: &[Vec<usize>], options: &[TxnLayouts], k: TxnVisitor<'_>) {
     go(0, options, &mut acc, k);
 }
 
-/// Count the executions the enumerator produces (test/diagnostic aid).
-pub fn count(cfg: &EnumConfig) -> usize {
-    let mut n = 0usize;
-    enumerate(cfg, &mut |_| n += 1);
-    n
-}
-
-/// Parallel [`count`]: shards the shapes across every core.
-pub fn count_par(cfg: &EnumConfig) -> usize {
-    par_map(config_shapes(cfg), |shape| {
-        let mut n = 0usize;
-        enumerate_shape(cfg, &shape, &mut |_| n += 1);
-        n
-    })
-    .into_iter()
-    .sum()
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -705,17 +958,88 @@ mod tests {
     }
 
     #[test]
+    fn streaming_emits_no_duplicates() {
+        // The stateless incremental canonicalisation must emit exactly
+        // one representative per canonical class.
+        for cfg in [EnumConfig::hw(Arch::X86, 3), EnumConfig::hw(Arch::Sc, 3)] {
+            let mut keys = HashSet::new();
+            enumerate(&cfg, &mut |x| {
+                assert!(keys.insert(canon_key(x)), "duplicate class emitted");
+            });
+        }
+    }
+
+    #[test]
+    fn streaming_matches_reference_classes() {
+        // The streaming engine and the seed generate-then-dedup path
+        // emit the same canonical-key set (representatives may differ).
+        let cfg = EnumConfig::hw(Arch::X86, 3);
+        let mut stream_keys = HashSet::new();
+        enumerate(&cfg, &mut |x| {
+            stream_keys.insert(canon_key(x));
+        });
+        let mut ref_keys = HashSet::new();
+        enumerate_reference(&cfg, &mut |x| {
+            ref_keys.insert(canon_key(x));
+        });
+        assert_eq!(stream_keys.len(), ref_keys.len());
+        assert_eq!(stream_keys, ref_keys);
+        assert_eq!(count(&cfg), count_reference(&cfg));
+    }
+
+    #[test]
     fn parallel_enumeration_matches_sequential() {
         let cfg = EnumConfig::hw(Arch::X86, 3);
         let mut seq = Vec::new();
-        enumerate(&cfg, &mut |x| seq.push(x.clone()));
-        let par = enumerate_par(&cfg);
-        assert_eq!(seq.len(), par.len());
-        // Same executions in the same (shape-major) order.
-        for (a, b) in seq.iter().zip(&par) {
-            assert_eq!(canon_key(a), canon_key(b));
+        enumerate(&cfg, &mut |x| seq.push(canon_key(x)));
+        // Work-stealing drivers: same candidates, and sorting by CandSeq
+        // reproduces the sequential order exactly.
+        let (mut states, _) = visit_par(
+            &cfg,
+            3,
+            |_| Vec::new(),
+            |seq, x, s: &mut Vec<(CandSeq, Vec<u8>)>| s.push((seq, canon_key(x))),
+        );
+        let mut par: Vec<(CandSeq, Vec<u8>)> = states.drain(..).flatten().collect();
+        par.sort();
+        assert_eq!(par.len(), seq.len());
+        for ((_, a), b) in par.iter().zip(&seq) {
+            assert_eq!(a, b);
         }
         assert_eq!(count_par(&cfg), count(&cfg));
+    }
+
+    #[test]
+    fn stream_par_is_bounded_and_complete() {
+        let cfg = EnumConfig::hw(Arch::X86, 3);
+        let expect = count(&cfg);
+        // A tiny channel forces producer back-pressure; the stream still
+        // delivers the whole space.
+        let got = stream_par(cfg.clone(), 4).count();
+        assert_eq!(got, expect);
+        // Dropping the stream early stops the producers (no hang, no
+        // panic) — take a prefix and let the iterator fall.
+        let some: Vec<Execution> = stream_par(cfg, 2).take(5).collect();
+        assert_eq!(some.len(), 5);
+    }
+
+    #[test]
+    fn frontier_is_resumable_and_ordered() {
+        let cfg = EnumConfig::hw(Arch::X86, 3);
+        let mut frontier = Frontier::new(&cfg);
+        let first: Vec<Subtree> = frontier.by_ref().take(3).collect();
+        // Subtree sequence numbers are the resume position: pulling the
+        // rest later continues exactly where the prefix stopped.
+        let rest: Vec<Subtree> = frontier.collect();
+        let seqs: Vec<u64> = first.iter().chain(&rest).map(|s| s.seq).collect();
+        assert_eq!(seqs, (0..seqs.len() as u64).collect::<Vec<_>>());
+        // Walking the subtrees reproduces the sequential enumeration.
+        let shapes = config_shapes(&cfg);
+        let mut n = 0usize;
+        for sub in first.iter().chain(&rest) {
+            enumerate_subtree(&cfg, &shapes[sub.shape_idx], sub, &mut |_| n += 1);
+        }
+        assert_eq!(n, count(&cfg));
     }
 
     #[test]

@@ -32,14 +32,19 @@ pub mod canon;
 pub mod diff;
 pub mod enumerate;
 pub mod par;
+pub mod steal;
 pub mod suites;
 pub mod weaken;
 
 pub use canon::canon_key;
 pub use diff::{distinguish, distinguish_seq, equivalent, equivalent_seq};
-pub use enumerate::{count, count_par, enumerate, enumerate_par, enumerate_shape, EnumConfig};
+pub use enumerate::{
+    count, count_par, count_reference, enumerate, enumerate_reference, enumerate_shape,
+    for_each_par, stream_par, visit_par, CandSeq, EnumConfig, Frontier, Subtree,
+};
 pub use par::par_map;
+pub use steal::{run_with, StealStats};
 pub use suites::{
-    synthesise, synthesise_batched, synthesise_seq, txn_histogram, FoundTest, SuiteResult,
+    synthesise, synthesise_seq, synthesise_streamed, txn_histogram, FoundTest, SuiteResult,
 };
 pub use weaken::weakenings;

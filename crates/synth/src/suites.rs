@@ -1,29 +1,26 @@
 //! Conformance-suite synthesis (§4.2): the minimally-forbidden
 //! ("Forbid") and maximally-allowed ("Allow") test sets of Table 1.
 //!
-//! Synthesis is parallel at candidate granularity: enumeration streams
-//! candidates (already deduplicated per thread-shape shard) into fixed
-//! batches, each batch is split across every core, and each worker
-//! filters its slice against the models with one shared
-//! [`ExecutionAnalysis`] per candidate. Batch and slice order are
-//! preserved, so the Forbid suite comes out in the exact order the
-//! sequential pipeline would produce. Model checking dominates
-//! generation by an order of magnitude, so this parallelises the right
-//! stage even when one thread shape holds most of the space.
+//! Synthesis consumes the streaming enumerator on the work-stealing
+//! pool: candidates are checked against the models on whichever worker
+//! enumerates them — no buffering wave, no per-candidate clone of the
+//! space, and one shared [`txmm_core::ExecutionAnalysis`] per
+//! candidate. Found tests carry their position in the sequential
+//! enumeration order, so the Forbid suite comes out in the exact order
+//! the sequential pipeline would produce after a final sort of the
+//! (tiny) result set.
 
 use std::collections::HashSet;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::time::{Duration, Instant};
 
 use txmm_core::Execution;
 use txmm_models::Model;
 
 use crate::canon::canon_key;
-use crate::enumerate::{enumerate, EnumConfig};
-use crate::par::{par_map, worker_count};
+use crate::enumerate::{enumerate, visit_par, CandSeq, EnumConfig};
+use crate::par::worker_count;
 use crate::weaken::weakenings;
-
-/// Candidates buffered between parallel checking waves.
-const BATCH: usize = 4096;
 
 /// One synthesised test with its discovery time (for Fig. 7).
 pub struct FoundTest {
@@ -49,8 +46,8 @@ pub struct SuiteResult {
 }
 
 /// Synthesise the Forbid and Allow sets for `tm` against its non-TM
-/// baseline, at exactly `cfg.events` events, checking candidates in
-/// parallel on every core.
+/// baseline, at exactly `cfg.events` events, checking candidates on the
+/// work-stealing pool.
 ///
 /// A candidate `X` lands in Forbid when (a) it has at least one
 /// transaction, (b) the transactional model forbids it, (c) the baseline
@@ -62,18 +59,13 @@ pub fn synthesise(
     base: &dyn Model,
     budget: Option<Duration>,
 ) -> SuiteResult {
-    if worker_count() <= 1 {
-        // No parallelism available: skip the batching (and its clones)
-        // entirely.
-        return synthesise_seq(cfg, tm, base, budget);
-    }
-    synthesise_batched(cfg, tm, base, budget, worker_count())
+    synthesise_streamed(cfg, tm, base, budget, worker_count())
 }
 
-/// The batched-parallel implementation behind [`synthesise`], with the
-/// chunk fan-out factor explicit so tests can exercise the
+/// The streamed work-stealing implementation behind [`synthesise`],
+/// with the worker count explicit so tests can exercise the
 /// split-and-merge logic deterministically regardless of core count.
-pub fn synthesise_batched(
+pub fn synthesise_streamed(
     cfg: &EnumConfig,
     tm: &dyn Model,
     base: &dyn Model,
@@ -81,54 +73,36 @@ pub fn synthesise_batched(
     workers: usize,
 ) -> SuiteResult {
     let start = Instant::now();
-    let mut candidates = 0usize;
-    let mut complete = true;
-    let mut forbid: Vec<FoundTest> = Vec::new();
+    let candidates = AtomicUsize::new(0);
+    let overrun = AtomicBool::new(false);
 
-    // Check one generated batch across every core, preserving order.
-    // Each buffered candidate carries its enumeration timestamp so
-    // `FoundTest::at` reflects discovery order (Fig. 7's input), not
-    // the batch-flush instant.
-    type Stamped = (Duration, Execution);
-    let check_batch = |batch: &[Stamped], forbid: &mut Vec<FoundTest>| {
-        let per_worker = batch.len().div_ceil(workers.max(1)).max(1);
-        let found = par_map(batch.chunks(per_worker).collect(), |slice: &[Stamped]| {
-            slice
-                .iter()
-                .filter_map(|(at, x)| {
-                    forbid_test(cfg, tm, base, x).map(|f| FoundTest { exec: f, at: *at })
-                })
-                .collect::<Vec<_>>()
-        });
-        forbid.extend(found.into_iter().flatten());
-    };
-
-    let mut batch: Vec<Stamped> = Vec::with_capacity(BATCH);
-    enumerate(cfg, &mut |x| {
-        candidates += 1;
-        if let Some(b) = budget {
-            if start.elapsed() > b {
-                complete = false;
-                return;
+    let (states, _) = visit_par(
+        cfg,
+        workers.max(1),
+        |_| Vec::new(),
+        |seq, x, found: &mut Vec<(CandSeq, FoundTest)>| {
+            candidates.fetch_add(1, Ordering::Relaxed);
+            if let Some(b) = budget {
+                if overrun.load(Ordering::Relaxed) || start.elapsed() > b {
+                    overrun.store(true, Ordering::Relaxed);
+                    return;
+                }
             }
-        }
-        // Cheap precondition before paying for the clone: a Forbid test
-        // needs a transaction.
-        if x.txns().is_empty() {
-            return;
-        }
-        batch.push((start.elapsed(), x.clone()));
-        if batch.len() >= BATCH {
-            check_batch(&batch, &mut forbid);
-            batch.clear();
-        }
-    });
-    // Like the sequential path, stop checking once the budget has
-    // expired: candidates still buffered at the deadline are dropped
-    // (the run is already marked non-exhaustive).
-    if complete {
-        check_batch(&batch, &mut forbid);
-    }
+            if let Some(f) = forbid_test(cfg, tm, base, x) {
+                found.push((
+                    seq,
+                    FoundTest {
+                        exec: f,
+                        at: start.elapsed(),
+                    },
+                ));
+            }
+        },
+    );
+    let mut stamped: Vec<(CandSeq, FoundTest)> = states.into_iter().flatten().collect();
+    stamped.sort_by_key(|(seq, _)| *seq);
+    let forbid: Vec<FoundTest> = stamped.into_iter().map(|(_, f)| f).collect();
+    let complete = !overrun.load(Ordering::Relaxed);
 
     // Allow set: consistent one-step weakenings, deduplicated.
     let mut allow = Vec::new();
@@ -145,7 +119,7 @@ pub fn synthesise_batched(
         forbid,
         allow,
         complete,
-        candidates,
+        candidates: candidates.into_inner(),
         elapsed: start.elapsed(),
     }
 }
@@ -185,7 +159,7 @@ pub fn synthesise_seq(
     let mut candidates = 0usize;
     let mut complete = true;
 
-    crate::enumerate::enumerate(cfg, &mut |x| {
+    enumerate(cfg, &mut |x| {
         candidates += 1;
         if let Some(b) = budget {
             if start.elapsed() > b {
@@ -318,9 +292,9 @@ mod tests {
     #[test]
     fn parallel_synthesis_matches_sequential() {
         let cfg = x86_cfg(3);
-        // Force the batched path with a fan-out of 3, so the chunked
-        // split-and-merge logic is exercised even on one core.
-        let par = synthesise_batched(&cfg, &X86::tm(), &X86::base(), None, 3);
+        // Force multiple workers, so the work-stealing split-and-merge
+        // logic is exercised even on one core.
+        let par = synthesise_streamed(&cfg, &X86::tm(), &X86::base(), None, 3);
         let seq = synthesise_seq(&cfg, &X86::tm(), &X86::base(), None);
         assert_eq!(par.candidates, seq.candidates);
         assert_eq!(par.complete, seq.complete);

@@ -10,7 +10,9 @@
 //!                                    as JSONL, one line per test
 //! txmm serve --listen <addr> [opts]  run the txmm-serverd daemon on a
 //!                                    TCP (host:port) or unix:<path>
-//!                                    socket; --shards N sets the pool
+//!                                    socket; --shards N sets the pool,
+//!                                    --max-conns N caps concurrent
+//!                                    connections (busy error past it)
 //! txmm check <file...> [opts]        alias for serve
 //! txmm client <addr> <request>       talk to a running daemon:
 //!                                    check <file> | batch <dir> |
@@ -47,7 +49,7 @@ fn usage() -> ExitCode {
          \u{20} client <addr> <request>       query a running daemon\n\
          \n\
          serve options: --model NAME, --cat FILE, --with-cat, --warm,\n\
-         \u{20}               --listen ADDR, --shards N\n\
+         \u{20}               --listen ADDR, --shards N, --max-conns N\n\
          client requests: check <file>, batch <dir>, models, stats, shutdown"
     );
     ExitCode::FAILURE
@@ -91,7 +93,7 @@ fn positionals(args: &[String]) -> Vec<&str> {
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
-            "--model" | "--cat" | "--events" | "--listen" | "--shards" => i += 2,
+            "--model" | "--cat" | "--events" | "--listen" | "--shards" | "--max-conns" => i += 2,
             a if a.starts_with("--") => i += 1,
             a => {
                 out.push(a);
@@ -167,8 +169,12 @@ fn cmd_serve_daemon(args: &[String], listen: &str) -> ExitCode {
         }
     };
     let shards = pool.shard_count();
+    let max_conns: usize = flag_values(args, "--max-conns")
+        .first()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0);
     let daemon = match Daemon::bind(&ListenAddr::parse(listen), pool) {
-        Ok(d) => d,
+        Ok(d) => d.with_max_conns(max_conns),
         Err(e) => {
             eprintln!("error: cannot listen on {listen}: {e}");
             return ExitCode::FAILURE;
@@ -303,7 +309,7 @@ fn cmd_serve(args: &[String]) -> ExitCode {
     if paths.is_empty() {
         eprintln!(
             "usage: txmm serve <dir|file...> [--model NAME] [--cat FILE] [--with-cat] [--warm]\n\
-             \u{20}      txmm serve --listen <addr> [--shards N] [--cat FILE] [--with-cat]"
+             \u{20}      txmm serve --listen <addr> [--shards N] [--max-conns N] [--cat FILE] [--with-cat]"
         );
         return ExitCode::FAILURE;
     }

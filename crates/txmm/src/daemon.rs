@@ -33,7 +33,7 @@
 use std::io::{self, Read, Write};
 use std::net::{TcpListener, TcpStream};
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{mpsc, Arc, Mutex};
 use std::thread;
 use std::time::Duration;
@@ -480,6 +480,19 @@ pub struct Daemon {
     pool: Arc<SessionPool>,
     stop: Arc<AtomicBool>,
     local_addr: String,
+    /// Connection limit; `None` means unbounded (the seed behaviour:
+    /// every connection gets a handler thread).
+    max_conns: Option<usize>,
+}
+
+/// Decrements the live-connection gauge when a handler exits, however
+/// it exits.
+struct ConnGuard(Arc<AtomicUsize>);
+
+impl Drop for ConnGuard {
+    fn drop(&mut self) {
+        self.0.fetch_sub(1, Ordering::SeqCst);
+    }
 }
 
 impl Daemon {
@@ -524,7 +537,18 @@ impl Daemon {
             pool: Arc::new(pool),
             stop: Arc::new(AtomicBool::new(false)),
             local_addr,
+            max_conns: None,
         })
+    }
+
+    /// Limit concurrent connections: connections past the limit are
+    /// answered with one structured [`crate::protocol::busy_line`]
+    /// frame and closed instead of getting a handler thread, which
+    /// back-pressures clients while in-flight requests keep their
+    /// resources. `0` means unbounded.
+    pub fn with_max_conns(mut self, max_conns: usize) -> Daemon {
+        self.max_conns = (max_conns > 0).then_some(max_conns);
+        self
     }
 
     /// The bound address (`ip:port`, or `unix:<path>`).
@@ -541,6 +565,7 @@ impl Daemon {
             Listener::Unix(l) => l.set_nonblocking(true)?,
         }
         let handlers: Arc<Mutex<Vec<thread::JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
+        let live_conns = Arc::new(AtomicUsize::new(0));
         loop {
             if self.stop.load(Ordering::SeqCst) {
                 break;
@@ -551,7 +576,21 @@ impl Daemon {
                 Listener::Unix(l) => l.accept().map(|(s, _)| Conn::Unix(s)),
             };
             match accepted {
-                Ok(conn) => {
+                Ok(mut conn) => {
+                    // Connection limit: refuse past the cap with one
+                    // structured busy frame instead of spawning a
+                    // handler, so a connection flood cannot exhaust
+                    // threads and in-flight clients keep their shards.
+                    if let Some(max) = self.max_conns {
+                        if live_conns.load(Ordering::SeqCst) >= max {
+                            let frame = format!("{}\n\n", crate::protocol::busy_line(max));
+                            let _ = conn.write_all(frame.as_bytes());
+                            let _ = conn.flush();
+                            continue;
+                        }
+                    }
+                    live_conns.fetch_add(1, Ordering::SeqCst);
+                    let guard = ConnGuard(Arc::clone(&live_conns));
                     let pool = Arc::clone(&self.pool);
                     let stop = Arc::clone(&self.stop);
                     let mut handlers = handlers.lock().unwrap();
@@ -565,7 +604,10 @@ impl Daemon {
                     for h in done {
                         let _ = h.join();
                     }
-                    handlers.push(thread::spawn(move || handle_client(conn, &pool, &stop)));
+                    handlers.push(thread::spawn(move || {
+                        let _guard = guard;
+                        handle_client(conn, &pool, &stop)
+                    }));
                 }
                 Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
                     thread::sleep(Duration::from_millis(5));

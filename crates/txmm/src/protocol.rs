@@ -385,6 +385,17 @@ pub fn error_line(msg: &str) -> String {
     format!("{{\"error\":\"{}\"}}", json_escape(msg))
 }
 
+/// The structured busy response a connection-limited daemon answers
+/// (and immediately closes) an over-limit connection with: machine
+/// code, human message, and the limit so clients can size their retry
+/// policy.
+pub fn busy_line(max_conns: usize) -> String {
+    format!(
+        "{{\"error\":\"server busy: connection limit {max_conns} reached\",\
+         \"code\":\"busy\",\"max_conns\":{max_conns}}}"
+    )
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -265,6 +265,24 @@ impl Session {
         self.arena.unpack(id)
     }
 
+    /// Intern an entire bounded enumeration into the arena by consuming
+    /// the streaming work-stealing enumerator: candidates are produced
+    /// on a background pool and flow through a bounded channel, so the
+    /// space is never materialised as a `Vec<Execution>` — memory stays
+    /// at the channel capacity plus the arena itself. Returns the ids
+    /// of the interned executions (one per canonical class, since the
+    /// streaming enumerator already emits exactly one representative
+    /// each).
+    pub fn intern_enumeration(&mut self, cfg: &EnumConfig) -> Vec<ExecId> {
+        /// In-flight candidates between the enumeration pool and the
+        /// interning loop; small, so a slow intern path back-pressures
+        /// the producers instead of buffering the space.
+        const STREAM_CAPACITY: usize = 256;
+        txmm_synth::stream_par(cfg.clone(), STREAM_CAPACITY)
+            .map(|x| self.intern(&x))
+            .collect()
+    }
+
     // ---- Cached checking -------------------------------------------------
 
     /// The verdict of one model on one execution, cached by interned id.
@@ -474,18 +492,45 @@ mod tests {
         // End to end: an unsupported construct in a user-supplied model
         // surfaces with its name and source line, not a generic error.
         let mut s = Session::new();
-        let src = "let hb = po | com\nacyclic hb as Order\nlet f = fencerel(MFENCE)\nempty f as F";
+        let src = "let hb = po | com\nacyclic hb as Order\nlet f = fold(MFENCE)\nempty f as F";
         let m = s.register_cat_source("diag", src).expect("parses");
         let v = s.verdict(&catalog::fig1(), m);
         assert_eq!(
             v.violations(),
-            ["cat-eval-error: unsupported operator 'fencerel' at line 3"]
+            ["cat-eval-error: unsupported operator 'fold' at line 3"]
         );
         // Unsupported declarations are caught at registration instead.
         let e = s
             .register_cat_source("inc", "include \"x86fences.cat\"")
             .unwrap_err();
         assert_eq!(e, "inc: unsupported declaration 'include' at line 1");
+    }
+
+    #[test]
+    fn fencerel_models_serve_through_the_registry() {
+        // fencerel-based herd models no longer degrade to eval errors:
+        // an x86-style model phrased through fencerel(MFENCE) agrees
+        // with the native x86 model on the fenced/unfenced SB pair.
+        let mut s = Session::new();
+        let m = s
+            .register_cat_source(
+                "x86-fencerel",
+                "let ppo = po \\ (W * R)\nlet ord = ppo | fencerel(MFENCE) | rfe | co | fr\n\
+                 acyclic ord as Tso",
+            )
+            .expect("compiles");
+        let native = s.resolve("x86").expect("native model");
+        let fenced = catalog::sb(Some(txmm_core::Fence::MFence), false, false);
+        let unfenced = catalog::sb(None, false, false);
+        assert!(!s.consistent(&fenced, m));
+        assert_eq!(
+            s.verdict(&fenced, m).is_consistent(),
+            s.verdict(&fenced, native).is_consistent()
+        );
+        assert_eq!(
+            s.verdict(&unfenced, m).is_consistent(),
+            s.verdict(&unfenced, native).is_consistent()
+        );
     }
 
     #[test]
@@ -535,6 +580,37 @@ mod tests {
         assert_eq!(s.observable(&sb, Arch::Sc), None);
         let sb_fenced = catalog::sb(Some(txmm_core::Fence::MFence), false, false);
         assert_eq!(s.observable(&sb_fenced, Arch::X86), Some(false));
+    }
+
+    #[test]
+    fn enumeration_streams_into_the_arena() {
+        let mut s = Session::new();
+        let cfg = EnumConfig {
+            arch: Arch::X86,
+            events: 2,
+            max_threads: 2,
+            max_locs: 2,
+            fences: true,
+            deps: false,
+            rmws: true,
+            txns: true,
+            attrs: false,
+            atomic_txns: false,
+        };
+        let ids = s.intern_enumeration(&cfg);
+        // One id per streamed candidate, all distinct: the streaming
+        // enumerator emits one representative per canonical class and
+        // the arena keys by that class.
+        assert_eq!(ids.len(), txmm_synth::count(&cfg));
+        let mut uniq = ids.clone();
+        uniq.sort_unstable();
+        uniq.dedup();
+        assert_eq!(uniq.len(), ids.len(), "no canonical aliasing collisions");
+        assert_eq!(s.stats().interned, ids.len());
+        // Re-running the stream interns nothing new.
+        let again = s.intern_enumeration(&cfg);
+        assert_eq!(s.stats().interned, ids.len());
+        assert_eq!(again.len(), ids.len());
     }
 
     #[test]

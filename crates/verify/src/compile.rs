@@ -8,14 +8,14 @@
 //! Soundness is checked by bounded search for a pair `(X, Y)` with `X`
 //! C++-inconsistent (and race-free), `Y = map(X)` target-consistent.
 
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::time::{Duration, Instant};
 
 use txmm_core::{Attrs, Event, EventKind, Execution, Fence, Rel, TxnClass};
 use txmm_models::{Arch, Cpp, Model};
-use txmm_synth::enumerate::config_shapes;
-use txmm_synth::par::par_map;
-use txmm_synth::{enumerate, enumerate_shape, EnumConfig};
+use txmm_synth::enumerate::{visit_par, CandSeq};
+use txmm_synth::par::worker_count;
+use txmm_synth::{enumerate, EnumConfig};
 
 /// Emit the target instruction sequence for one C++ event.
 ///
@@ -273,51 +273,51 @@ fn compile_violation(
 }
 
 /// Search for an unsound compilation: `X` inconsistent and race-free in
-/// C++, `map(X)` consistent on the target. Sharded by thread shape
-/// across every core; a counterexample in any shard stops the others.
+/// C++, `map(X)` consistent on the target. Candidates stream across the
+/// work-stealing pool; a counterexample on any worker stops the others
+/// (the earliest in enumeration order is reported).
 pub fn check_compilation(events: usize, target: Arch, budget: Option<Duration>) -> CompileResult {
+    type Found = (CandSeq, (Execution, Execution));
     let cfg = compile_cfg(events);
     let cpp = Cpp::tm();
     let tgt = compile_target(target);
     let start = Instant::now();
     let stop = AtomicBool::new(false);
-    let shards = par_map(config_shapes(&cfg), |shape| {
-        let mut checked = 0usize;
-        let mut counterexample = None;
-        let mut complete = true;
-        enumerate_shape(&cfg, &shape, &mut |x| {
+    let overrun = AtomicBool::new(false);
+    let checked_total = AtomicUsize::new(0);
+    let (states, _) = visit_par(
+        &cfg,
+        worker_count(),
+        |_| None::<Found>,
+        |seq, x, counterexample| {
             if counterexample.is_some() || stop.load(Ordering::Relaxed) {
                 return;
             }
             if let Some(b) = budget {
                 if start.elapsed() > b {
-                    complete = false;
+                    overrun.store(true, Ordering::Relaxed);
                     stop.store(true, Ordering::Relaxed);
                     return;
                 }
             }
+            let mut checked = 0usize;
             if let Some(pair) = compile_violation(&cpp, tgt.as_ref(), target, x, &mut checked) {
-                counterexample = Some(pair);
+                *counterexample = Some((seq, pair));
                 stop.store(true, Ordering::Relaxed);
             }
-        });
-        (checked, counterexample, complete)
-    });
-    let mut checked = 0usize;
-    let mut counterexample = None;
-    let mut complete = true;
-    for (c, cex, comp) in shards {
-        checked += c;
-        complete &= comp;
-        if counterexample.is_none() {
-            counterexample = cex;
-        }
-    }
+            checked_total.fetch_add(checked, Ordering::Relaxed);
+        },
+    );
+    let best = states
+        .into_iter()
+        .flatten()
+        .min_by_key(|(seq, _)| *seq)
+        .map(|(_, pair)| pair);
     CompileResult {
-        counterexample,
-        checked,
+        counterexample: best,
+        checked: checked_total.into_inner(),
         elapsed: start.elapsed(),
-        complete,
+        complete: !overrun.load(Ordering::Relaxed),
     }
 }
 

@@ -1,19 +1,20 @@
 //! Monotonicity checking (§8.1): introducing, enlarging or coalescing
 //! transactions must never make an inconsistent execution consistent.
 //!
-//! The bounded check is sharded by thread shape and runs on every core
-//! (the same decomposition the enumerator itself parallelises over); a
-//! counterexample found in any shard stops the others early. The
-//! sequential version is kept as the differential reference.
+//! The bounded check consumes the streaming enumerator on the
+//! work-stealing pool (candidates checked on whichever worker
+//! enumerates them, so one big thread shape spreads across every
+//! core); a counterexample found anywhere stops the other workers
+//! early. The sequential version is kept as the differential reference.
 
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::time::{Duration, Instant};
 
 use txmm_core::{Execution, TxnClass};
 use txmm_models::Model;
-use txmm_synth::enumerate::config_shapes;
-use txmm_synth::par::par_map;
-use txmm_synth::{enumerate, enumerate_shape, EnumConfig};
+use txmm_synth::enumerate::{visit_par, CandSeq};
+use txmm_synth::par::worker_count;
+use txmm_synth::{enumerate, EnumConfig};
 
 /// The outcome of a bounded monotonicity check.
 pub struct MonotonicityResult {
@@ -109,58 +110,60 @@ fn violation_at(model: &dyn Model, x: &Execution) -> Option<(Execution, Executio
     None
 }
 
-/// Bounded monotonicity check for one model at one event count, sharded
-/// by thread shape across every core.
+/// Bounded monotonicity check for one model at one event count, run on
+/// the work-stealing candidate stream across every core.
 ///
-/// A counterexample in any shard stops the others at their next
+/// A counterexample on any worker stops the others at their next
 /// candidate, so `checked` can undercount relative to
 /// [`check_monotonicity_seq`] once a violation exists; on violation-free
-/// (and unbudgeted) runs the two agree exactly.
+/// (and unbudgeted) runs the two agree exactly. When several workers
+/// find violations, the earliest in enumeration order is reported.
 pub fn check_monotonicity(
     cfg: &EnumConfig,
     model: &dyn Model,
     budget: Option<Duration>,
 ) -> MonotonicityResult {
+    type Found = (CandSeq, (Execution, Execution));
     let start = Instant::now();
     let stop = AtomicBool::new(false);
-    let shards = par_map(config_shapes(cfg), |shape| {
-        let mut checked = 0usize;
-        let mut counterexample = None;
-        let mut complete = true;
-        enumerate_shape(cfg, &shape, &mut |x| {
+    let overrun = AtomicBool::new(false);
+    let (states, _) = visit_par(
+        cfg,
+        worker_count(),
+        |_| (0usize, None::<Found>),
+        |seq, x, (checked, counterexample)| {
             if counterexample.is_some() || stop.load(Ordering::Relaxed) {
                 return;
             }
             if let Some(b) = budget {
                 if start.elapsed() > b {
-                    complete = false;
+                    overrun.store(true, Ordering::Relaxed);
                     stop.store(true, Ordering::Relaxed);
                     return;
                 }
             }
-            checked += 1;
+            *checked += 1;
             if let Some(pair) = violation_at(model, x) {
-                counterexample = Some(pair);
+                *counterexample = Some((seq, pair));
                 stop.store(true, Ordering::Relaxed);
             }
-        });
-        (checked, counterexample, complete)
-    });
+        },
+    );
     let mut checked = 0usize;
-    let mut counterexample = None;
-    let mut complete = true;
-    for (c, cex, comp) in shards {
+    let mut best: Option<Found> = None;
+    for (c, cex) in states {
         checked += c;
-        complete &= comp;
-        if counterexample.is_none() {
-            counterexample = cex;
+        if let Some((seq, pair)) = cex {
+            if best.as_ref().is_none_or(|(s, _)| seq < *s) {
+                best = Some((seq, pair));
+            }
         }
     }
     MonotonicityResult {
-        counterexample,
+        counterexample: best.map(|(_, pair)| pair),
         checked,
         elapsed: start.elapsed(),
-        complete,
+        complete: !overrun.load(Ordering::Relaxed),
     }
 }
 

@@ -4,19 +4,19 @@
 //! to a bound (the same regime Memalloy uses for Table 2) and leave
 //! random deeper exploration to the proptest suites.
 //!
-//! Every sweep is sharded by thread shape across every core (the same
-//! decomposition the enumerator parallelises over); a counterexample in
-//! any shard stops the others. Sequential references are kept for
-//! differential testing.
+//! Every sweep consumes the streaming enumerator on the work-stealing
+//! pool (candidates checked on whichever worker enumerates them); a
+//! counterexample on any worker stops the others. Sequential references
+//! are kept for differential testing.
 
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::time::{Duration, Instant};
 
 use txmm_core::{Execution, ExecutionAnalysis};
 use txmm_models::{Arch, Cpp, Model, Tsc};
-use txmm_synth::enumerate::config_shapes;
-use txmm_synth::par::par_map;
-use txmm_synth::{enumerate, enumerate_shape, EnumConfig};
+use txmm_synth::enumerate::{visit_par, CandSeq};
+use txmm_synth::par::worker_count;
+use txmm_synth::{enumerate, EnumConfig};
 
 /// The outcome of a bounded theorem check.
 pub struct TheoremResult {
@@ -43,22 +43,26 @@ fn cpp_cfg(events: usize) -> EnumConfig {
     }
 }
 
-/// Run one theorem's per-candidate predicate over the sharded space.
+/// Run one theorem's per-candidate predicate over the work-stealing
+/// candidate stream.
 ///
 /// `test` returns `None` when the hypotheses fail, `Some(false)` for a
 /// checked candidate that satisfies the conclusion, and `Some(true)`
-/// for a counterexample.
+/// for a counterexample. When several workers find counterexamples, the
+/// earliest in enumeration order is reported.
 fn sharded_sweep(
     cfg: &EnumConfig,
     budget: Option<Duration>,
     test: impl Fn(&Execution, &ExecutionAnalysis<'_>) -> Option<bool> + Sync,
 ) -> TheoremResult {
+    type Found = (CandSeq, Execution);
     let start = Instant::now();
     let stop = AtomicBool::new(false);
-    let shards = par_map(config_shapes(cfg), |shape| {
-        let mut checked = 0usize;
-        let mut counterexample = None;
-        enumerate_shape(cfg, &shape, &mut |x| {
+    let (states, _) = visit_par(
+        cfg,
+        worker_count(),
+        |_| (0usize, None::<Found>),
+        |seq, x, (checked, counterexample)| {
             if counterexample.is_some() || stop.load(Ordering::Relaxed) {
                 return;
             }
@@ -71,26 +75,27 @@ fn sharded_sweep(
             let a = x.analysis();
             match test(x, &a) {
                 None => {}
-                Some(false) => checked += 1,
+                Some(false) => *checked += 1,
                 Some(true) => {
-                    checked += 1;
-                    counterexample = Some(x.clone());
+                    *checked += 1;
+                    *counterexample = Some((seq, x.clone()));
                     stop.store(true, Ordering::Relaxed);
                 }
             }
-        });
-        (checked, counterexample)
-    });
+        },
+    );
     let mut checked = 0usize;
-    let mut counterexample = None;
-    for (c, cex) in shards {
+    let mut best: Option<Found> = None;
+    for (c, cex) in states {
         checked += c;
-        if counterexample.is_none() {
-            counterexample = cex;
+        if let Some((seq, x)) = cex {
+            if best.as_ref().is_none_or(|(s, _)| seq < *s) {
+                best = Some((seq, x));
+            }
         }
     }
     TheoremResult {
-        counterexample,
+        counterexample: best.map(|(_, x)| x),
         checked,
         elapsed: start.elapsed(),
     }

@@ -1,0 +1,54 @@
+//! Golden `count_par` values per architecture, pinned so canonicalisation
+//! regressions — over-pruning (counts drop) or under-pruning (counts
+//! rise) — fail fast. The counts equal the number of canonical
+//! (symmetry-reduced) classes of the default hardware spaces, and were
+//! cross-checked against the seed generate-then-dedup path by the
+//! differential suite.
+//!
+//! The CI `enumeration-smoke` job runs this in release mode including
+//! the `#[ignore]`d heavyweight bounds.
+
+use txmm::models::Arch;
+use txmm::synth::{count_par, EnumConfig};
+
+fn golden(arch: Arch, events: usize, expect: usize) {
+    let got = count_par(&EnumConfig::hw(arch, events));
+    assert_eq!(
+        got, expect,
+        "{arch:?} |E|={events}: canonical class count drifted (over- or under-pruning)"
+    );
+}
+
+#[test]
+fn three_event_counts() {
+    golden(Arch::Sc, 3, 2_641);
+    golden(Arch::X86, 3, 3_699);
+    golden(Arch::Power, 3, 33_193);
+    golden(Arch::Armv8, 3, 232_796);
+    golden(Arch::Cpp, 3, 3_123);
+}
+
+#[test]
+fn four_event_counts_cheap_spaces() {
+    golden(Arch::Sc, 4, 97_898);
+    golden(Arch::X86, 4, 138_678);
+    golden(Arch::Cpp, 4, 107_350);
+}
+
+#[test]
+#[ignore = "seconds in release, minutes in debug; CI runs it in release"]
+fn four_event_count_power() {
+    golden(Arch::Power, 4, 11_221_961);
+}
+
+#[test]
+#[ignore = "about a minute in release on one core; CI runs it in release"]
+fn four_event_count_armv8() {
+    golden(Arch::Armv8, 4, 168_076_198);
+}
+
+#[test]
+#[ignore = "the |E| = 5 bound the streaming engine unlocks; CI runs it in release"]
+fn five_event_count_x86() {
+    golden(Arch::X86, 5, 6_094_392);
+}
