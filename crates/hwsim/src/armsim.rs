@@ -16,9 +16,7 @@ use std::collections::HashSet;
 
 use txmm_litmus::{DepKind, Instr, LitmusTest, Op};
 
-use crate::outcome::{Outcome, OutcomeSet, Simulator};
-
-const MAX_LOCS: usize = 8;
+use crate::outcome::{Outcome, OutcomeSet, Simulator, MAX_LOCS};
 
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
 struct Txn {

@@ -36,7 +36,7 @@ pub mod tso;
 
 pub use armsim::ArmSim;
 pub use oracle::{Conservatism, Oracle};
-pub use outcome::{Outcome, OutcomeSet, Simulator};
+pub use outcome::{Outcome, OutcomeSet, Simulator, MAX_LOCS};
 pub use powersim::PowerSim;
 pub use random::{Campaign, RandomRunner};
 pub use tso::TsoSim;

@@ -4,6 +4,12 @@ use std::collections::BTreeSet;
 
 use txmm_litmus::{Check, LitmusTest};
 
+/// Locations the simulators model: every [`Outcome`] has `memory` and
+/// `co_order` of exactly this length, so outcomes from different
+/// explorers (and the axiomatic outcome engine padding to the same
+/// width) compare structurally.
+pub const MAX_LOCS: usize = 8;
+
 /// A final state: registers, memory, and per-transaction commit flags.
 #[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct Outcome {

@@ -18,9 +18,7 @@ use std::collections::HashSet;
 
 use txmm_litmus::{DepKind, Instr, LitmusTest, Op};
 
-use crate::outcome::{Outcome, OutcomeSet, Simulator};
-
-const MAX_LOCS: usize = 8;
+use crate::outcome::{Outcome, OutcomeSet, Simulator, MAX_LOCS};
 
 /// A committed write in a coherence list.
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]

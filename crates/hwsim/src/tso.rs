@@ -15,9 +15,7 @@ use std::collections::{HashSet, VecDeque};
 
 use txmm_litmus::{LitmusTest, Op};
 
-use crate::outcome::{Outcome, OutcomeSet, Simulator};
-
-const MAX_LOCS: usize = 8;
+use crate::outcome::{Outcome, OutcomeSet, Simulator, MAX_LOCS};
 
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
 struct Txn {

@@ -12,12 +12,11 @@
 //! model verdicts for litmus *files* rather than only for in-memory
 //! executions.
 
-use std::collections::HashMap;
 use std::fmt;
 
-use txmm_core::{Attrs, Event, EventId, Execution, Loc, Rel, TxnClass, WfError, MAX_EVENTS};
+use txmm_core::{Execution, Loc, Rel, TxnClass, WfError, MAX_EVENTS};
 
-use crate::ast::{AccessMode, Check, DepKind, LitmusTest, Op};
+use crate::ast::{Check, LitmusTest};
 
 /// Why a litmus test does not determine a well-formed execution.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -101,164 +100,17 @@ impl std::error::Error for LitmusConvertError {}
 /// classes, preserving the C++ `atomic { ... }` marker so `stxnat`
 /// round-trips.
 pub fn execution_from_litmus(t: &LitmusTest) -> Result<Execution, LitmusConvertError> {
-    // Event-producing instructions (txbegin/txend brackets are not
-    // events).
-    let num_events = t
-        .threads
-        .iter()
-        .flatten()
-        .filter(|i| !matches!(i.op, Op::TxBegin { .. } | Op::TxEnd))
-        .count();
-    if num_events > MAX_EVENTS {
-        return Err(LitmusConvertError::TooManyEvents(num_events));
-    }
-
-    // Pass 1: create events thread by thread in program order.
-    let mut events: Vec<Event> = Vec::new();
-    // (tid, reg) -> read event.
-    let mut reg_event: HashMap<(usize, usize), EventId> = HashMap::new();
-    // Per location: value -> write event.
-    let mut writes_by_loc: HashMap<Loc, Vec<(u32, EventId)>> = HashMap::new();
-    // (tid, instruction index) -> event id, for dependency targets.
-    let mut instr_event: HashMap<(usize, usize), EventId> = HashMap::new();
-    let mut txns: Vec<TxnClass> = Vec::new();
-    let mut deps: Vec<(DepKind, EventId, EventId)> = Vec::new();
-    // Exclusive accesses per thread, in program order, for rmw pairing.
-    let mut rmw_pairs: Vec<(EventId, EventId)> = Vec::new();
-
-    let attrs_of = |m: &AccessMode| {
-        let mut a = Attrs::NONE;
-        if m.acquire {
-            a = a.union(Attrs::ACQ);
-        }
-        if m.release {
-            a = a.union(Attrs::REL);
-        }
-        if m.sc {
-            a = a.union(Attrs::SC);
-        }
-        if m.atomic {
-            a = a.union(Attrs::ATO);
-        }
-        a
-    };
-
-    for (tid, instrs) in t.threads.iter().enumerate() {
-        let mut open_txn: Option<(Vec<EventId>, bool)> = None;
-        let mut pending_exclusive: Option<(EventId, Loc)> = None;
-        for (idx, instr) in instrs.iter().enumerate() {
-            let ev = match &instr.op {
-                Op::Load { reg, loc, mode } => {
-                    let e = events.len();
-                    reg_event.insert((tid, *reg), e);
-                    if mode.exclusive {
-                        if pending_exclusive.is_some() {
-                            return Err(LitmusConvertError::UnpairedExclusive(tid));
-                        }
-                        pending_exclusive = Some((e, *loc));
-                    }
-                    Some(Event {
-                        kind: txmm_core::EventKind::Read,
-                        tid: tid as u8,
-                        loc: Some(*loc),
-                        attrs: attrs_of(mode),
-                    })
-                }
-                Op::Store { loc, value, mode } => {
-                    let e = events.len();
-                    if *value == 0 {
-                        return Err(LitmusConvertError::ZeroWriteValue(*loc));
-                    }
-                    let per_loc = writes_by_loc.entry(*loc).or_default();
-                    if per_loc.iter().any(|&(v, _)| v == *value) {
-                        return Err(LitmusConvertError::AmbiguousWriteValue(*loc, *value));
-                    }
-                    per_loc.push((*value, e));
-                    if mode.exclusive {
-                        match pending_exclusive.take() {
-                            Some((r, l)) if l == *loc => rmw_pairs.push((r, e)),
-                            _ => return Err(LitmusConvertError::UnpairedExclusive(tid)),
-                        }
-                    }
-                    Some(Event {
-                        kind: txmm_core::EventKind::Write,
-                        tid: tid as u8,
-                        loc: Some(*loc),
-                        attrs: attrs_of(mode),
-                    })
-                }
-                Op::Fence(f, attrs) => Some(Event {
-                    kind: txmm_core::EventKind::Fence(*f),
-                    tid: tid as u8,
-                    loc: None,
-                    attrs: *attrs,
-                }),
-                Op::LockCall(sym) => {
-                    let call = match *sym {
-                        "L" => txmm_core::Call::Lock,
-                        "U" => txmm_core::Call::Unlock,
-                        "Lt" => txmm_core::Call::TLock,
-                        _ => txmm_core::Call::TUnlock,
-                    };
-                    Some(Event::call(tid as u8, call))
-                }
-                Op::TxBegin { atomic, .. } => {
-                    open_txn = Some((Vec::new(), *atomic));
-                    None
-                }
-                Op::TxEnd => {
-                    if let Some((evs, atomic)) = open_txn.take() {
-                        if !evs.is_empty() {
-                            txns.push(TxnClass {
-                                events: evs,
-                                atomic,
-                            });
-                        }
-                    }
-                    None
-                }
-            };
-            if let Some(ev) = ev {
-                let e = events.len();
-                instr_event.insert((tid, idx), e);
-                if let Some((evs, _)) = open_txn.as_mut() {
-                    evs.push(e);
-                }
-                for d in &instr.deps {
-                    let src = *instr_event
-                        .get(&(tid, d.on))
-                        .ok_or(LitmusConvertError::BadDepTarget(tid, d.on))?;
-                    deps.push((d.kind, src, e));
-                }
-                events.push(ev);
-            }
-        }
-        if pending_exclusive.is_some() {
-            return Err(LitmusConvertError::UnpairedExclusive(tid));
-        }
-        // An unterminated transaction still closes at thread end.
-        if let Some((evs, atomic)) = open_txn.take() {
-            if !evs.is_empty() {
-                txns.push(TxnClass {
-                    events: evs,
-                    atomic,
-                });
-            }
-        }
-    }
+    // Pass 1 is shared with the exhaustive candidate enumerator
+    // (`crate::outcomes`): events, program-given relations, transaction
+    // classes and the write-value bookkeeping.
+    let sk = crate::outcomes::ProgramSkeleton::from_litmus(t)?;
+    let events = sk.events;
+    let (po, addr, ctrl, data, rmw) = (sk.po, sk.addr, sk.ctrl, sk.data, sk.rmw);
+    let txns: Vec<TxnClass> = sk.txns.into_iter().map(|(_, class)| class).collect();
+    let mut writes_by_loc = sk.writes_by_loc;
+    let reg_event = sk.reg_event;
 
     let n = events.len();
-
-    // po: same thread, earlier event (events were created thread-major
-    // in program order).
-    let mut po = Rel::empty(n);
-    for a in 0..n {
-        for b in (a + 1)..n {
-            if events[a].tid == events[b].tid {
-                po.add(a, b);
-            }
-        }
-    }
 
     // co: writes per location ordered by ascending value (the generator
     // assigns 1 + coherence position).
@@ -310,23 +162,6 @@ pub fn execution_from_litmus(t: &LitmusTest) -> Result<Execution, LitmusConvertE
             }
             Check::TxnOk { .. } => {} // all reconstructed txns committed
         }
-    }
-
-    // Dependencies.
-    let mut addr = Rel::empty(n);
-    let mut ctrl = Rel::empty(n);
-    let mut data = Rel::empty(n);
-    for (kind, a, b) in deps {
-        match kind {
-            DepKind::Addr => addr.add(a, b),
-            DepKind::Ctrl => ctrl.add(a, b),
-            DepKind::Data => data.add(a, b),
-        }
-    }
-
-    let mut rmw = Rel::empty(n);
-    for (r, w) in rmw_pairs {
-        rmw.add(r, w);
     }
 
     let x = Execution::from_parts(events, po, addr, ctrl, data, rmw, rf, co, txns);

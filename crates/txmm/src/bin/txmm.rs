@@ -8,6 +8,10 @@
 //!                                    synthesised Forbid/Allow tests)
 //! txmm serve <dir|file...> [opts]    answer verdicts + observability
 //!                                    as JSONL, one line per test
+//! txmm outcomes <dir|file...> [opts] enumerate every candidate
+//!                                    execution per program and answer
+//!                                    the per-model allowed final-state
+//!                                    table as JSONL
 //! txmm serve --listen <addr> [opts]  run the txmm-serverd daemon on a
 //!                                    TCP (host:port) or unix:<path>
 //!                                    socket; --shards N sets the pool,
@@ -16,6 +20,7 @@
 //! txmm check <file...> [opts]        alias for serve
 //! txmm client <addr> <request>       talk to a running daemon:
 //!                                    check <file> | batch <dir> |
+//!                                    outcomes <file|dir> | reload |
 //!                                    models | stats | shutdown
 //!
 //! serve/check options:
@@ -45,12 +50,15 @@ fn usage() -> ExitCode {
          \u{20} gen <dir> [--events N]        generate a litmus corpus\n\
          \u{20} serve <dir|file...> [opts]    serve verdicts as JSONL\n\
          \u{20} serve --listen <addr> [opts]  run the socket daemon\n\
+         \u{20} outcomes <dir|file...> [opts] serve allowed-outcome tables\n\
          \u{20} check <file...> [opts]        alias for serve\n\
          \u{20} client <addr> <request>       query a running daemon\n\
          \n\
          serve options: --model NAME, --cat FILE, --with-cat, --warm,\n\
          \u{20}               --listen ADDR, --shards N, --max-conns N\n\
-         client requests: check <file>, batch <dir>, models, stats, shutdown"
+         outcomes options: serve options plus --workers N\n\
+         client requests: check <file>, batch <dir>, outcomes <file|dir>,\n\
+         \u{20}                reload, models, stats, shutdown"
     );
     ExitCode::FAILURE
 }
@@ -61,6 +69,7 @@ fn main() -> ExitCode {
         Some("models") => cmd_models(&args[1..]),
         Some("gen") => cmd_gen(&args[1..]),
         Some("serve") | Some("check") => cmd_serve(&args[1..]),
+        Some("outcomes") => cmd_outcomes(&args[1..]),
         Some("client") => cmd_client(&args[1..]),
         _ => usage(),
     }
@@ -93,7 +102,8 @@ fn positionals(args: &[String]) -> Vec<&str> {
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
-            "--model" | "--cat" | "--events" | "--listen" | "--shards" | "--max-conns" => i += 2,
+            "--model" | "--cat" | "--events" | "--listen" | "--shards" | "--max-conns"
+            | "--workers" => i += 2,
             a if a.starts_with("--") => i += 1,
             a => {
                 out.push(a);
@@ -247,6 +257,27 @@ fn cmd_client(args: &[String]) -> ExitCode {
             dir: dir.to_string(),
             models,
         },
+        // A directory asks the server to batch over it; a file ships
+        // its source inline.
+        ("outcomes", Some(path)) if std::path::Path::new(path).is_dir() => Request::OutcomesBatch {
+            dir: path.to_string(),
+            models,
+        },
+        ("outcomes", Some(file)) => {
+            let src = match std::fs::read_to_string(file) {
+                Ok(s) => s,
+                Err(e) => {
+                    eprintln!("error: cannot read {file}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            Request::Outcomes {
+                file: file.to_string(),
+                src,
+                models,
+            }
+        }
+        ("reload", None) => Request::Reload,
         ("models", None) => Request::Models,
         ("stats", None) => Request::Stats,
         ("shutdown", None) => Request::Shutdown,
@@ -295,6 +326,133 @@ fn cmd_client(args: &[String]) -> ExitCode {
     }
     if failures > 0 {
         eprintln!("{failures} error responses");
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}
+
+/// One-shot outcome serving: `txmm outcomes <dir|file...>` — the
+/// program-level twin of `cmd_serve`, enumerating every candidate
+/// execution per test and printing the per-model allowed-outcome table,
+/// one JSONL line per test (byte-identical to the daemon's `outcomes`
+/// answers over the same tests).
+fn cmd_outcomes(args: &[String]) -> ExitCode {
+    use txmm::serve::{outcomes_jsonl_line, serve_outcomes_file, ServedOutcomes};
+
+    let paths: Vec<PathBuf> = positionals(args).into_iter().map(PathBuf::from).collect();
+    if paths.is_empty() {
+        eprintln!(
+            "usage: txmm outcomes <dir|file...> [--model NAME] [--cat FILE] [--with-cat] \
+             [--warm] [--workers N]"
+        );
+        return ExitCode::FAILURE;
+    }
+
+    let mut session = if has_flag(args, "--with-cat") {
+        Session::with_shipped_cat()
+    } else {
+        Session::new()
+    };
+    let workers: usize = flag_values(args, "--workers")
+        .first()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(|n| n.get().min(8))
+                .unwrap_or(1)
+        });
+    session.set_outcome_workers(workers);
+    for path in flag_values(args, "--cat") {
+        if let Err(e) = session.register_cat_file(&PathBuf::from(path)) {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+    let model_names = flag_values(args, "--model");
+    let filter: Option<Vec<ModelRef>> = if model_names.is_empty() {
+        None
+    } else {
+        let mut ms = Vec::new();
+        for name in model_names {
+            match session.resolve(name) {
+                Some(m) => ms.push(m),
+                None => {
+                    eprintln!("error: unknown model {name} (try `txmm models`)");
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+        Some(ms)
+    };
+
+    let mut files: Vec<PathBuf> = Vec::new();
+    for p in paths {
+        if p.is_dir() {
+            match collect_litmus_files(&p) {
+                Ok(fs) => files.extend(fs),
+                Err(e) => {
+                    eprintln!("error: cannot read {}: {e}", p.display());
+                    return ExitCode::FAILURE;
+                }
+            }
+        } else {
+            files.push(p);
+        }
+    }
+    if files.is_empty() {
+        eprintln!("error: no .litmus files found");
+        return ExitCode::FAILURE;
+    }
+
+    let mut failures = 0usize;
+    let mut pass = |session: &mut Session, print: bool| -> u128 {
+        let mut serving = 0u128;
+        for f in &files {
+            let start = Instant::now();
+            let served = serve_outcomes_file(session, f, filter.as_deref());
+            serving += start.elapsed().as_micros();
+            if print {
+                if matches!(served, ServedOutcomes::Failure(_)) {
+                    failures += 1;
+                }
+                println!("{}", outcomes_jsonl_line(&served));
+            }
+        }
+        serving
+    };
+
+    let cold = pass(&mut session, true);
+    let s = session.stats();
+    if has_flag(args, "--warm") {
+        let warm = pass(&mut session, false);
+        let s = session.stats();
+        eprintln!(
+            "served {} outcome tables: cold {}us, warm {}us ({:.1}x speedup); \
+             {} candidates in {} classes, {} outcome entries, \
+             {} outcome hits / {} misses",
+            files.len(),
+            cold,
+            warm,
+            cold as f64 / warm.max(1) as f64,
+            s.outcome_candidates,
+            s.outcome_classes,
+            s.outcome_entries,
+            s.outcome_hits,
+            s.outcome_misses,
+        );
+    } else {
+        eprintln!(
+            "served {} outcome tables in {}us; {} candidates in {} classes \
+             ({} outcome entries)",
+            files.len(),
+            cold,
+            s.outcome_candidates,
+            s.outcome_classes,
+            s.outcome_entries,
+        );
+    }
+    if failures > 0 {
+        eprintln!("{failures} tests failed to serve");
         return ExitCode::FAILURE;
     }
     ExitCode::SUCCESS

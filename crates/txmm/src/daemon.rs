@@ -38,11 +38,13 @@ use std::sync::{mpsc, Arc, Mutex};
 use std::thread;
 use std::time::Duration;
 
+use txmm_litmus::LitmusTest;
 use txmm_synth::canon_key;
 
 use crate::protocol::{error_line, Request};
 use crate::serve::{
-    check_parsed, collect_litmus_files, jsonl_line, parse_request, ParsedTest, Served, StageMicros,
+    check_parsed, collect_litmus_files, jsonl_line, outcomes_jsonl_line, parse_outcomes_request,
+    parse_request, ParsedTest, Served, ServedOutcomes, StageMicros, TestFailure,
 };
 use crate::session::{ModelRef, Session, SessionStats};
 
@@ -77,6 +79,20 @@ enum Job {
         parsed: Box<ParsedTest>,
         models: Option<Vec<String>>,
         reply: mpsc::Sender<(usize, String)>,
+    },
+    /// Enumerate a program's candidate executions and reply with the
+    /// outcome-table payload line for response slot `seq`.
+    Outcomes {
+        seq: usize,
+        file: String,
+        test: Box<LitmusTest>,
+        models: Option<Vec<String>>,
+        reply: mpsc::Sender<(usize, String)>,
+    },
+    /// Replace the shard's user `.cat` models in place (hot reload).
+    Reload {
+        sources: Arc<Vec<(String, String)>>,
+        reply: mpsc::Sender<Result<Vec<String>, String>>,
     },
     /// Snapshot this shard's counters.
     Stats { reply: mpsc::Sender<ShardSnapshot> },
@@ -116,6 +132,8 @@ pub struct SessionPool {
     /// `(name, arch, is_tm)` of every registered model, in registry
     /// order (identical on every shard).
     models: Vec<(String, String, bool)>,
+    /// User `.cat` files from the pool config, kept for hot reload.
+    cat_files: Vec<PathBuf>,
 }
 
 fn fnv1a(bytes: &[u8]) -> u64 {
@@ -139,6 +157,25 @@ fn build_session(cfg: &PoolConfig) -> Result<Session, String> {
     Ok(s)
 }
 
+/// Resolve a model-name filter against a shard Session.
+fn resolve_filter(
+    session: &Session,
+    models: &Option<Vec<String>>,
+) -> Result<Option<Vec<ModelRef>>, String> {
+    match models {
+        None => Ok(None),
+        Some(names) => names
+            .iter()
+            .map(|n| {
+                session
+                    .resolve(n)
+                    .ok_or_else(|| format!("unknown model {n} (try `models`)"))
+            })
+            .collect::<Result<Vec<_>, _>>()
+            .map(Some),
+    }
+}
+
 fn worker(shard: usize, mut session: Session, rx: mpsc::Receiver<Job>, completed: Arc<AtomicU64>) {
     let mut served = 0u64;
     let mut stages = StageMicros::default();
@@ -150,19 +187,7 @@ fn worker(shard: usize, mut session: Session, rx: mpsc::Receiver<Job>, completed
                 models,
                 reply,
             } => {
-                let resolved: Result<Option<Vec<ModelRef>>, String> = match &models {
-                    None => Ok(None),
-                    Some(names) => names
-                        .iter()
-                        .map(|n| {
-                            session
-                                .resolve(n)
-                                .ok_or_else(|| format!("unknown model {n} (try `models`)"))
-                        })
-                        .collect::<Result<Vec<_>, _>>()
-                        .map(Some),
-                };
-                let line = match resolved {
+                let line = match resolve_filter(&session, &models) {
                     Ok(filter) => {
                         let report = check_parsed(&mut session, &parsed, filter.as_deref());
                         stages.parse += report.stages.parse;
@@ -176,6 +201,44 @@ fn worker(shard: usize, mut session: Session, rx: mpsc::Receiver<Job>, completed
                 };
                 completed.fetch_add(1, Ordering::Relaxed);
                 let _ = reply.send((seq, line));
+            }
+            Job::Outcomes {
+                seq,
+                file,
+                test,
+                models,
+                reply,
+            } => {
+                let line = match resolve_filter(&session, &models) {
+                    Ok(filter) => {
+                        let s = match session.outcomes(&file, &test, filter.as_deref()) {
+                            Ok(r) => {
+                                served += 1;
+                                ServedOutcomes::Report(r)
+                            }
+                            Err(e) => ServedOutcomes::Failure(TestFailure { file, error: e }),
+                        };
+                        outcomes_jsonl_line(&s)
+                    }
+                    Err(e) => error_line(&e),
+                };
+                completed.fetch_add(1, Ordering::Relaxed);
+                let _ = reply.send((seq, line));
+            }
+            Job::Reload { sources, reply } => {
+                let mut reloaded = Vec::with_capacity(sources.len());
+                let mut result = Ok(());
+                for (name, src) in sources.iter() {
+                    match session.reload_cat_source(name, src) {
+                        Ok(_) => reloaded.push(name.clone()),
+                        Err(e) => {
+                            result = Err(e);
+                            break;
+                        }
+                    }
+                }
+                completed.fetch_add(1, Ordering::Relaxed);
+                let _ = reply.send(result.map(|()| reloaded));
             }
             Job::Stats { reply } => {
                 let _ = reply.send(ShardSnapshot {
@@ -225,6 +288,7 @@ impl SessionPool {
             workers,
             failures: AtomicU64::new(0),
             models,
+            cat_files: cfg.cat_files.clone(),
         })
     }
 
@@ -296,6 +360,126 @@ impl SessionPool {
             .collect()
     }
 
+    /// Serve one litmus source through the outcome engine; returns the
+    /// response payload line.
+    pub fn outcomes(&self, file: &str, src: &str, models: Option<Vec<String>>) -> String {
+        self.outcomes_many(vec![(file.to_string(), src.to_string())], models)
+            .pop()
+            .expect("one response per request")
+    }
+
+    /// Serve many litmus sources through the outcome engine,
+    /// concurrently across the shards, one payload line per input in
+    /// input order. Dispatch is keyed by a hash of the *program* key
+    /// ([`txmm_litmus::program_key`]) — there is no pinned execution to
+    /// key by — so repeats of a program (under any postcondition)
+    /// always land on the shard holding its warm outcome table.
+    pub fn outcomes_many(
+        &self,
+        items: Vec<(String, String)>,
+        models: Option<Vec<String>>,
+    ) -> Vec<String> {
+        let n = items.len();
+        let mut out: Vec<Option<String>> = Vec::new();
+        out.resize_with(n, || None);
+        let (reply, replies) = mpsc::channel();
+        let mut pending = 0usize;
+        for (seq, (file, src)) in items.into_iter().enumerate() {
+            match parse_outcomes_request(&file, &src) {
+                Err(f) => {
+                    self.failures.fetch_add(1, Ordering::Relaxed);
+                    out[seq] = Some(outcomes_jsonl_line(&ServedOutcomes::Failure(f)));
+                }
+                Ok(test) => {
+                    let key = txmm_litmus::program_key(&test);
+                    let shard = &self.shards[(fnv1a(&key) as usize) % self.shards.len()];
+                    shard.enqueued.fetch_add(1, Ordering::Relaxed);
+                    let job = Job::Outcomes {
+                        seq,
+                        file,
+                        test: Box::new(test),
+                        models: models.clone(),
+                        reply: reply.clone(),
+                    };
+                    if shard.tx.send(job).is_err() {
+                        out[seq] = Some(error_line("shard worker unavailable"));
+                    } else {
+                        pending += 1;
+                    }
+                }
+            }
+        }
+        drop(reply);
+        for (seq, line) in replies.iter().take(pending) {
+            if line.contains("\"error\"") {
+                self.failures.fetch_add(1, Ordering::Relaxed);
+            }
+            out[seq] = Some(line);
+        }
+        out.into_iter()
+            .map(|slot| slot.unwrap_or_else(|| error_line("shard worker died")))
+            .collect()
+    }
+
+    /// Hot-reload the pool's user `.cat` files into every shard: files
+    /// are re-read and re-parsed once here (a parse failure aborts the
+    /// reload with a structured error and leaves every shard serving
+    /// the old models), then each shard replaces its registrations in
+    /// place. Returns the reloaded model names.
+    pub fn reload(&self) -> Result<Vec<String>, String> {
+        let mut sources = Vec::with_capacity(self.cat_files.len());
+        for path in &self.cat_files {
+            let src =
+                std::fs::read_to_string(path).map_err(|e| format!("{}: {e}", path.display()))?;
+            let name = path
+                .file_stem()
+                .and_then(|s| s.to_str())
+                .unwrap_or("user-model")
+                .to_string();
+            // Validate before touching any shard.
+            txmm_cat::parse(&src).map_err(|e| format!("{name}: {e}"))?;
+            sources.push((name, src));
+        }
+        let sources = Arc::new(sources);
+        let mut names = Vec::new();
+        for shard in &self.shards {
+            let (reply, rx) = mpsc::channel();
+            shard.enqueued.fetch_add(1, Ordering::Relaxed);
+            shard
+                .tx
+                .send(Job::Reload {
+                    sources: Arc::clone(&sources),
+                    reply,
+                })
+                .map_err(|_| "shard worker unavailable".to_string())?;
+            names = rx
+                .recv()
+                .map_err(|_| "shard worker died during reload".to_string())??;
+        }
+        Ok(names)
+    }
+
+    /// Render the `reload` response line.
+    pub fn reload_line(&self) -> String {
+        match self.reload() {
+            Ok(names) => {
+                let list = names
+                    .iter()
+                    .map(|n| format!("\"{}\"", crate::serve::json_escape(n)))
+                    .collect::<Vec<_>>()
+                    .join(",");
+                format!(
+                    "{{\"ok\":\"reload\",\"models\":[{list}],\"shards\":{}}}",
+                    self.shards.len()
+                )
+            }
+            Err(e) => format!(
+                "{{\"error\":\"{}\",\"code\":\"reload\"}}",
+                crate::serve::json_escape(&e)
+            ),
+        }
+    }
+
     /// Snapshot every shard (in shard order) plus the dispatch-level
     /// failure count.
     pub fn stats(&self) -> (Vec<ShardSnapshot>, u64) {
@@ -328,6 +512,11 @@ impl SessionPool {
             total.verdict_misses += s.session.verdict_misses;
             total.observability_hits += s.session.observability_hits;
             total.observability_misses += s.session.observability_misses;
+            total.outcome_hits += s.session.outcome_hits;
+            total.outcome_misses += s.session.outcome_misses;
+            total.outcome_entries += s.session.outcome_entries;
+            total.outcome_candidates += s.session.outcome_candidates;
+            total.outcome_classes += s.session.outcome_classes;
             stages.parse += s.stages.parse;
             stages.convert += s.stages.convert;
             stages.verdict += s.stages.verdict;
@@ -346,13 +535,17 @@ impl SessionPool {
             .map(|s| {
                 format!(
                     "{{\"shard\":{},\"served\":{},\"depth\":{},\"interned\":{},\
-                     \"verdict_hits\":{},\"verdict_misses\":{}}}",
+                     \"verdict_hits\":{},\"verdict_misses\":{},\"outcome_entries\":{},\
+                     \"outcome_hits\":{},\"outcome_misses\":{}}}",
                     s.shard,
                     s.served,
                     s.depth,
                     s.session.interned,
                     s.session.verdict_hits,
-                    s.session.verdict_misses
+                    s.session.verdict_misses,
+                    s.session.outcome_entries,
+                    s.session.outcome_hits,
+                    s.session.outcome_misses
                 )
             })
             .collect::<Vec<_>>()
@@ -362,6 +555,8 @@ impl SessionPool {
              \"interned\":{},\"verdict_hits\":{},\"verdict_misses\":{},\
              \"verdict_hit_rate\":{},\"observability_hits\":{},\
              \"observability_misses\":{},\"observability_hit_rate\":{},\
+             \"outcome_entries\":{},\"outcome_hits\":{},\"outcome_misses\":{},\
+             \"outcome_hit_rate\":{},\"outcome_candidates\":{},\"outcome_classes\":{},\
              \"stage_micros\":{{\"parse\":{},\"convert\":{},\"verdict\":{},\
              \"observe\":{}}},\"per_shard\":[{per_shard}]}}",
             self.shards.len(),
@@ -372,6 +567,12 @@ impl SessionPool {
             total.observability_hits,
             total.observability_misses,
             rate(total.observability_hits, total.observability_misses),
+            total.outcome_entries,
+            total.outcome_hits,
+            total.outcome_misses,
+            rate(total.outcome_hits, total.outcome_misses),
+            total.outcome_candidates,
+            total.outcome_classes,
             stages.parse,
             stages.convert,
             stages.verdict,
@@ -678,6 +879,50 @@ fn answer(pool: &SessionPool, req: Request) -> (Vec<String>, bool) {
                 false,
             )
         }
+        Request::Outcomes { file, src, models } => {
+            (vec![pool.outcomes(&file, &src, models)], false)
+        }
+        Request::OutcomesBatch { dir, models } => {
+            let files = match collect_litmus_files(std::path::Path::new(&dir)) {
+                Ok(fs) => fs,
+                Err(e) => return (vec![error_line(&format!("cannot read {dir}: {e}"))], false),
+            };
+            if files.is_empty() {
+                return (
+                    vec![error_line(&format!("no .litmus files in {dir}"))],
+                    false,
+                );
+            }
+            let mut items = Vec::with_capacity(files.len());
+            let mut out: Vec<Option<String>> = Vec::new();
+            out.resize_with(files.len(), || None);
+            let mut indices = Vec::new();
+            for (i, path) in files.iter().enumerate() {
+                let file = path.display().to_string();
+                match std::fs::read_to_string(path) {
+                    Ok(src) => {
+                        indices.push(i);
+                        items.push((file, src));
+                    }
+                    Err(e) => {
+                        out[i] = Some(outcomes_jsonl_line(&ServedOutcomes::Failure(TestFailure {
+                            file,
+                            error: e.to_string(),
+                        })));
+                    }
+                }
+            }
+            for (i, line) in indices.into_iter().zip(pool.outcomes_many(items, models)) {
+                out[i] = Some(line);
+            }
+            (
+                out.into_iter()
+                    .map(|slot| slot.expect("every file answered"))
+                    .collect(),
+                false,
+            )
+        }
+        Request::Reload => (vec![pool.reload_line()], false),
         Request::Models => (pool.model_lines(), false),
         Request::Stats => (vec![pool.stats_line()], false),
         Request::Shutdown => (vec!["{\"ok\":\"shutdown\"}".to_string()], true),

@@ -44,11 +44,15 @@ pub use txmm_verify as verify;
 
 pub mod corpus;
 pub mod daemon;
+pub mod outcomes;
 pub mod protocol;
 pub mod serve;
 pub mod session;
 
 pub use daemon::{Daemon, ListenAddr, PoolConfig, SessionPool};
+pub use outcomes::{
+    normalise_outcome, simulator_for, unsound_sim_outcomes, ModelOutcomes, OutcomeReport,
+};
 pub use protocol::Request;
 pub use serve::{
     check_parsed, collect_litmus_files, jsonl_line, parse_request, serve_file, serve_source,

@@ -1,0 +1,618 @@
+//! The outcome engine's checking half: per-model **allowed final-state
+//! sets** for litmus programs, served from a [`Session`].
+//!
+//! `txmm_litmus::outcomes` enumerates every candidate execution of a
+//! program (all rf assignments, all per-location coherence orders, all
+//! transaction commit/abort splits). This module turns that stream into
+//! herd-style answers:
+//!
+//! * candidates are grouped into **canonical classes** through the
+//!   Session arena (thread/location-symmetric candidates share one
+//!   interned representative), so each model checks one execution per
+//!   class instead of one per candidate — the same symmetry machinery
+//!   `txmm_core::canon` gives the enumerator, reused as a pruning
+//!   stage;
+//! * class checking **fans out over the `txmm_synth::steal`
+//!   work-stealing pool** when the class count is worth it, and lands
+//!   in the Session's verdict cache either way;
+//! * the resulting allowed outcome set per `(program, model)` is cached
+//!   under the program's canonical key ([`txmm_litmus::program_key`]),
+//!   so re-serving a test — or the same program under a different
+//!   postcondition — is a lookup;
+//! * each model's verdict on the test's postcondition (`Allowed` /
+//!   `Forbidden`) is derived from the allowed set, which is the
+//!   program-level answer the paper's modified-herd evaluation gives,
+//!   rather than the single-execution answer `check` gives.
+//!
+//! The final states reuse [`txmm_hwsim::Outcome`], so hardware-simulator
+//! observations can be cross-checked to be a **subset** of a sound
+//! model's allowed set ([`unsound_sim_outcomes`]).
+
+use std::collections::HashMap;
+
+use txmm_hwsim::{Outcome, OutcomeSet, Simulator, MAX_LOCS};
+use txmm_litmus::{enumerate_candidates, program_key, LitmusTest, Op};
+use txmm_models::Arch;
+
+use crate::session::{ModelRef, Session};
+
+/// Refuse programs with more candidate executions than this (the
+/// serving layers surface the refusal as a structured error). The cap
+/// covers every corpus test by orders of magnitude while bounding a
+/// daemon's per-request work.
+pub const MAX_CANDIDATES: u128 = 1 << 16;
+
+/// One program's enumerated candidate table, cached per program key.
+pub(crate) struct OutcomeTable {
+    /// Final state + canonical class per candidate.
+    pub(crate) candidates: Vec<(Outcome, usize)>,
+    /// Interned representative execution per class.
+    pub(crate) classes: Vec<txmm_core::arena::ExecId>,
+}
+
+/// A model's program-level answer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ModelOutcomes {
+    /// The model's registry name.
+    pub model: String,
+    /// Every final state some consistent candidate produces.
+    pub allowed: OutcomeSet,
+    /// Does the model allow the test's postcondition — i.e. does some
+    /// allowed final state pass it? `None` when the test has no
+    /// postcondition.
+    pub post_allowed: Option<bool>,
+}
+
+/// The outcome engine's answer for one litmus test.
+#[derive(Debug, Clone)]
+pub struct OutcomeReport {
+    /// File name (as given).
+    pub file: String,
+    /// Test name from the header line.
+    pub name: String,
+    /// Architecture from the header line.
+    pub arch: Arch,
+    /// Events in the fully-committed program.
+    pub events: usize,
+    /// Transactions in the program.
+    pub txns: usize,
+    /// Candidate executions enumerated.
+    pub candidates: usize,
+    /// Canonical candidate classes (what models actually checked).
+    pub classes: usize,
+    /// Per requested model, in request order.
+    pub per_model: Vec<ModelOutcomes>,
+    /// Did every requested model's outcome set come from the cache?
+    pub cached: bool,
+}
+
+/// Pad a location-indexed vector to the simulators' fixed width so
+/// axiomatic and operational outcomes compare structurally.
+fn pad_locs<T: Clone + Default>(mut v: Vec<T>) -> Vec<T> {
+    v.resize(MAX_LOCS, T::default());
+    v
+}
+
+impl Session {
+    /// Program-level outcome enumeration: build (or fetch) the
+    /// program's candidate table, check every canonical class under the
+    /// requested models (all registered models when `models` is
+    /// `None`), and return the allowed final-state set plus the
+    /// postcondition verdict per model.
+    pub fn outcomes(
+        &mut self,
+        file: &str,
+        t: &LitmusTest,
+        models: Option<&[ModelRef]>,
+    ) -> Result<OutcomeReport, String> {
+        let key = program_key(t);
+        if !self.outcome_tables.contains_key(&key) {
+            let table = self.build_table(t)?;
+            self.outcome_tables.insert(key.clone(), table);
+        }
+        let (n_candidates, n_classes) = {
+            let table = &self.outcome_tables[&key];
+            (table.candidates.len(), table.classes.len())
+        };
+
+        let requested: Vec<ModelRef> = match models {
+            Some(ms) => ms.to_vec(),
+            None => self.models().collect(),
+        };
+        let mut per_model = Vec::with_capacity(requested.len());
+        let mut cached = true;
+        for m in requested {
+            let slot = m.index();
+            let allowed = match self.outcome_sets.get(&(key.clone(), slot)) {
+                Some(s) => {
+                    self.stats.outcome_hits += 1;
+                    s.clone()
+                }
+                None => {
+                    self.stats.outcome_misses += 1;
+                    cached = false;
+                    let consistent = self.class_consistency(&key, m);
+                    let table = &self.outcome_tables[&key];
+                    let allowed: OutcomeSet = table
+                        .candidates
+                        .iter()
+                        .filter(|(_, class)| consistent[*class])
+                        .map(|(o, _)| o.clone())
+                        .collect();
+                    self.outcome_sets
+                        .insert((key.clone(), slot), allowed.clone());
+                    self.stats.outcome_entries = self.outcome_sets.len();
+                    allowed
+                }
+            };
+            let post_allowed = if t.post.is_empty() {
+                None
+            } else {
+                Some(allowed.iter().any(|o| o.passes(t)))
+            };
+            per_model.push(ModelOutcomes {
+                model: self.model(m).name().to_string(),
+                allowed,
+                post_allowed,
+            });
+        }
+        Ok(OutcomeReport {
+            file: file.to_string(),
+            name: t.name.clone(),
+            arch: t.arch,
+            events: t
+                .threads
+                .iter()
+                .flatten()
+                .filter(|i| !matches!(i.op, Op::TxBegin { .. } | Op::TxEnd))
+                .count(),
+            txns: t.num_txns(),
+            candidates: n_candidates,
+            classes: n_classes,
+            per_model,
+            cached,
+        })
+    }
+
+    /// Enumerate the program's candidates into a table, interning one
+    /// representative execution per canonical class.
+    fn build_table(&mut self, t: &LitmusTest) -> Result<OutcomeTable, String> {
+        // Outcomes are exchanged with the operational simulators in
+        // their fixed-width memory layout; a location past that width
+        // would be silently truncated, so refuse it up front (the
+        // `check` path has no such limit, which is why this is enforced
+        // here and not in the parser).
+        if let Some(max_loc) = t.locations().last().copied() {
+            if max_loc as usize >= MAX_LOCS {
+                return Err(format!(
+                    "program uses location {max_loc}; the outcome engine models \
+                     locations 0..{MAX_LOCS}"
+                ));
+            }
+        }
+        let count = txmm_litmus::candidate_count(t).map_err(|e| e.to_string())?;
+        if count > MAX_CANDIDATES {
+            return Err(format!(
+                "program has {count} candidate executions (limit {MAX_CANDIDATES})"
+            ));
+        }
+        let mut candidates = Vec::with_capacity(count as usize);
+        let mut classes: Vec<txmm_core::arena::ExecId> = Vec::new();
+        let mut class_of: HashMap<txmm_core::arena::ExecId, usize> = HashMap::new();
+        enumerate_candidates(t, &mut |c| {
+            let id = self.intern(&c.exec);
+            let next = classes.len();
+            let class = *class_of.entry(id).or_insert_with(|| {
+                classes.push(id);
+                next
+            });
+            candidates.push((
+                Outcome {
+                    regs: c.regs,
+                    memory: pad_locs(c.memory),
+                    txn_ok: c.txn_ok,
+                    co_order: pad_locs(c.co_order),
+                },
+                class,
+            ));
+        })
+        .map_err(|e| e.to_string())?;
+        self.stats.outcome_candidates += candidates.len() as u64;
+        self.stats.outcome_classes += classes.len() as u64;
+        Ok(OutcomeTable {
+            candidates,
+            classes,
+        })
+    }
+
+    /// Per-class consistency of one model over a table, landing in (and
+    /// served from) the Session verdict cache. Classes missing from the
+    /// cache fan out over the work-stealing pool when there are enough
+    /// of them to pay for the threads.
+    fn class_consistency(&mut self, key: &[u8], m: ModelRef) -> Vec<bool> {
+        /// Below this many uncached classes the pool's thread setup
+        /// costs more than the checking.
+        const PAR_THRESHOLD: usize = 32;
+        let slot = m.index();
+        let class_ids: Vec<txmm_core::arena::ExecId> = self.outcome_tables[key].classes.clone();
+        let missing: Vec<(usize, txmm_core::arena::ExecId)> = class_ids
+            .iter()
+            .copied()
+            .enumerate()
+            .filter(|&(_, id)| !self.verdicts.contains_key(&(id, slot)))
+            .collect();
+        self.stats.verdict_hits += (class_ids.len() - missing.len()) as u64;
+        self.stats.verdict_misses += missing.len() as u64;
+        if !missing.is_empty() {
+            let jobs: Vec<(txmm_core::arena::ExecId, txmm_core::Execution)> = missing
+                .iter()
+                .map(|&(_, id)| (id, self.arena.unpack(id)))
+                .collect();
+            let model = self.models[slot].as_ref();
+            let workers = if jobs.len() >= PAR_THRESHOLD {
+                self.outcome_workers
+            } else {
+                1
+            };
+            let (states, _stats) = txmm_synth::steal::run_with(
+                jobs.into_iter(),
+                workers,
+                |_| Vec::new(),
+                |(id, x), out: &mut Vec<(txmm_core::arena::ExecId, txmm_models::Verdict)>| {
+                    out.push((id, model.check_analysis(&x.analysis())));
+                },
+            );
+            for (id, v) in states.into_iter().flatten() {
+                self.verdicts.insert((id, slot), v);
+            }
+        }
+        class_ids
+            .iter()
+            .map(|id| self.verdicts[&(*id, slot)].is_consistent())
+            .collect()
+    }
+}
+
+/// Normalise an outcome for axiomatic-vs-operational comparison: zero
+/// every register that *some* load inside an aborted transaction
+/// targets. The axiomatic engine drops aborted events entirely (their
+/// loads never happen), while the operational simulators model the
+/// hardware reality that pre-abort loads may leave values in registers;
+/// quotienting both sides by aborted-load registers makes the subset
+/// relation well-defined.
+pub fn normalise_outcome(t: &LitmusTest, o: &Outcome) -> Outcome {
+    let mut out = o.clone();
+    for (tid, instrs) in t.threads.iter().enumerate() {
+        let mut open: Option<usize> = None;
+        for i in instrs {
+            match &i.op {
+                Op::TxBegin { txn_id, .. } => open = Some(*txn_id),
+                Op::TxEnd => open = None,
+                Op::Load { reg, .. } => {
+                    if let Some(txn_id) = open {
+                        if !o.txn_ok.get(txn_id).copied().unwrap_or(true) {
+                            if let Some(r) = out.regs.get_mut(tid).and_then(|r| r.get_mut(*reg)) {
+                                *r = 0;
+                            }
+                        }
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+    out
+}
+
+/// The operational simulator for an architecture, if one exists.
+pub fn simulator_for(arch: Arch) -> Option<Box<dyn Simulator>> {
+    match arch {
+        Arch::X86 => Some(Box::new(txmm_hwsim::TsoSim)),
+        Arch::Power => Some(Box::new(txmm_hwsim::PowerSim::default())),
+        Arch::Armv8 => Some(Box::new(txmm_hwsim::ArmSim::default())),
+        _ => None,
+    }
+}
+
+/// Soundness cross-check: run the architecture's operational simulator
+/// and return every observed outcome **not** in the model's allowed set
+/// (both sides normalised per [`normalise_outcome`]). An empty result
+/// means the simulator's observations are a subset of the axiomatic
+/// allowed set — the direction soundness requires. `None` when the
+/// architecture has no simulator or the program uses abstract lock
+/// calls the simulators cannot run.
+pub fn unsound_sim_outcomes(t: &LitmusTest, allowed: &OutcomeSet) -> Option<Vec<Outcome>> {
+    let uses_calls = t
+        .threads
+        .iter()
+        .flatten()
+        .any(|i| matches!(i.op, Op::LockCall(_)));
+    if uses_calls {
+        return None;
+    }
+    let sim = simulator_for(t.arch)?;
+    let normalised_allowed: OutcomeSet = allowed.iter().map(|o| normalise_outcome(t, o)).collect();
+    Some(
+        sim.run(t)
+            .iter()
+            .map(|o| normalise_outcome(t, o))
+            .filter(|o| !normalised_allowed.contains(o))
+            .collect(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use txmm_litmus::litmus_from_execution;
+    use txmm_models::catalog;
+
+    fn sb() -> LitmusTest {
+        litmus_from_execution("sb", &catalog::sb(None, false, false), Arch::X86)
+    }
+
+    #[test]
+    fn sb_outcome_matrix() {
+        let mut s = Session::new();
+        let sc = s.resolve("SC").unwrap();
+        let x86 = s.resolve("x86").unwrap();
+        let r = s.outcomes("sb.litmus", &sb(), Some(&[sc, x86])).unwrap();
+        assert_eq!(r.candidates, 4);
+        assert!(r.classes <= r.candidates);
+        // SC forbids the both-stale outcome, x86 allows it.
+        assert_eq!(r.per_model[0].post_allowed, Some(false));
+        assert_eq!(r.per_model[1].post_allowed, Some(true));
+        // SC allows exactly 3 final states (the interleavings), x86 4.
+        assert_eq!(r.per_model[0].allowed.len(), 3);
+        assert_eq!(r.per_model[1].allowed.len(), 4);
+    }
+
+    #[test]
+    fn outcome_sets_cached_by_program_key() {
+        let mut s = Session::new();
+        let sc = s.resolve("SC").unwrap();
+        let cold = s.outcomes("sb.litmus", &sb(), Some(&[sc])).unwrap();
+        assert!(!cold.cached);
+        assert_eq!(s.stats().outcome_misses, 1);
+        let warm = s.outcomes("sb.litmus", &sb(), Some(&[sc])).unwrap();
+        assert!(warm.cached);
+        assert_eq!(s.stats().outcome_hits, 1);
+        assert_eq!(cold.per_model, warm.per_model);
+        // A different postcondition over the same program still hits the
+        // program-keyed caches.
+        let mut other = sb();
+        other.post.clear();
+        let r = s.outcomes("sb2.litmus", &other, Some(&[sc])).unwrap();
+        assert!(r.cached);
+        assert_eq!(r.per_model[0].post_allowed, None);
+        assert_eq!(s.stats().outcome_hits, 2);
+        assert_eq!(s.stats().outcome_entries, 1);
+    }
+
+    #[test]
+    fn symmetry_prunes_classes() {
+        // SB is symmetric under (t0 ↔ t1, x ↔ y): the two one-stale-read
+        // candidates share a canonical class, so 4 candidates check as
+        // 3 classes.
+        let mut s = Session::new();
+        let x86 = s.resolve("x86").unwrap();
+        let r = s.outcomes("sb.litmus", &sb(), Some(&[x86])).unwrap();
+        assert_eq!(r.candidates, 4);
+        assert_eq!(r.classes, 3, "symmetric rf choices share one class");
+        assert_eq!(s.stats().outcome_candidates, r.candidates as u64);
+        assert_eq!(s.stats().outcome_classes, r.classes as u64);
+        // The pruned class still contributes both candidates' outcomes.
+        assert_eq!(r.per_model[0].allowed.len(), 4);
+    }
+
+    #[test]
+    fn program_level_agrees_with_pinned_execution() {
+        // The postcondition verdict from exhaustive enumeration must
+        // match the single pinned execution's consistency for tests
+        // whose postcondition pins one candidate.
+        let mut s = Session::new();
+        let all: Vec<ModelRef> = s.models().collect();
+        for x in [
+            catalog::sb(None, false, false),
+            catalog::mp(None, false, false),
+            catalog::lb(false),
+            catalog::fig2(),
+        ] {
+            let t = litmus_from_execution("t", &x, Arch::X86);
+            let pinned = txmm_litmus::execution_from_litmus(&t).unwrap();
+            let r = s.outcomes("t.litmus", &t, Some(&all)).unwrap();
+            for (m, mo) in all.iter().zip(&r.per_model) {
+                let direct = s.verdict(&pinned, *m).is_consistent();
+                assert_eq!(
+                    mo.post_allowed,
+                    Some(direct),
+                    "{} on pinned-vs-program",
+                    mo.model
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_and_sequential_checking_agree() {
+        // 5 same-location writes on one thread: 120 coherence classes —
+        // enough to engage the work-stealing pool on the parallel
+        // session. Answers must be identical either way.
+        use txmm_litmus::Instr;
+        let t = LitmusTest {
+            name: "5w".into(),
+            arch: Arch::X86,
+            threads: vec![(1..=5u32)
+                .map(|v| {
+                    Instr::plain(Op::Store {
+                        loc: 0,
+                        value: v,
+                        mode: Default::default(),
+                    })
+                })
+                .collect()],
+            post: vec![txmm_litmus::Check::Loc { loc: 0, value: 5 }],
+        };
+        let mut seq = Session::new();
+        let mut par = Session::new();
+        par.set_outcome_workers(4);
+        let m_seq = seq.resolve("x86").unwrap();
+        let m_par = par.resolve("x86").unwrap();
+        let a = seq.outcomes("5w", &t, Some(&[m_seq])).unwrap();
+        let b = par.outcomes("5w", &t, Some(&[m_par])).unwrap();
+        assert!(
+            a.classes >= 32,
+            "classes {} must engage the pool",
+            a.classes
+        );
+        assert_eq!(a.per_model, b.per_model);
+        // x86 keeps same-thread writes in program order: exactly one
+        // coherence order survives, so the postcondition x = 5 is
+        // allowed and x = anything else is not.
+        assert_eq!(a.per_model[0].post_allowed, Some(true));
+        assert_eq!(a.per_model[0].allowed.len(), 1);
+    }
+
+    #[test]
+    fn oversized_programs_refused() {
+        // 6 writes to one location: 720 coherence orders per rf split —
+        // fine; but 9 writes (362880 co orders) blows the cap.
+        use txmm_litmus::{Instr, Op};
+        let mut t = LitmusTest {
+            name: "big".into(),
+            arch: Arch::X86,
+            threads: vec![(1..=9u32)
+                .map(|v| {
+                    Instr::plain(Op::Store {
+                        loc: 0,
+                        value: v,
+                        mode: Default::default(),
+                    })
+                })
+                .collect()],
+            post: vec![],
+        };
+        // One thread: co is pinned by po? No — co choices are still
+        // enumerated; the count is 9! = 362880 > 65536.
+        let mut s = Session::new();
+        let e = s.outcomes("big", &t, None).unwrap_err();
+        assert!(e.contains("limit"), "{e}");
+        // Within the cap it serves.
+        t.threads[0].truncate(6);
+        assert!(s.outcomes("small", &t, None).is_ok());
+    }
+
+    #[test]
+    fn high_locations_refused_not_truncated() {
+        // Locations past the simulators' width would be silently
+        // dropped by the fixed-width outcome layout; the engine must
+        // refuse instead of answering wrongly.
+        let src = "hi (x86)\nthread 0:\n  l8 <- 1\nTest: l8 = 1\n";
+        let t = txmm_litmus::parse_litmus(src).expect("parses");
+        let mut s = Session::new();
+        let e = s.outcomes("hi", &t, None).unwrap_err();
+        assert!(e.contains("location 8"), "{e}");
+        // The widest in-range location still serves.
+        let src = "ok (x86)\nthread 0:\n  l7 <- 1\nTest: l7 = 1\n";
+        let t = txmm_litmus::parse_litmus(src).expect("parses");
+        let r = s.outcomes("ok", &t, None).expect("serves");
+        assert_eq!(r.candidates, 1);
+    }
+
+    #[test]
+    fn pathological_programs_refused_without_panic() {
+        use txmm_litmus::{Instr, Op};
+        let mode = txmm_litmus::AccessMode::default();
+        // Wide: 7 stores + 42 loads of one location (count saturates).
+        let stores: Vec<Instr> = (1..=7u32)
+            .map(|v| {
+                Instr::plain(Op::Store {
+                    loc: 0,
+                    value: v,
+                    mode,
+                })
+            })
+            .collect();
+        let loads: Vec<Instr> = (0..42usize)
+            .map(|r| {
+                Instr::plain(Op::Load {
+                    reg: r,
+                    loc: 0,
+                    mode,
+                })
+            })
+            .collect();
+        let wide = LitmusTest {
+            name: "wide".into(),
+            arch: Arch::X86,
+            threads: vec![stores, loads],
+            post: vec![],
+        };
+        // Deep: 33 single-store transactions (mask wider than u32).
+        let mut instrs = Vec::new();
+        for v in 1..=33u32 {
+            instrs.push(Instr::plain(Op::TxBegin {
+                txn_id: (v - 1) as usize,
+                atomic: false,
+            }));
+            instrs.push(Instr::plain(Op::Store {
+                loc: 0,
+                value: v,
+                mode,
+            }));
+            instrs.push(Instr::plain(Op::TxEnd));
+        }
+        let deep = LitmusTest {
+            name: "deep".into(),
+            arch: Arch::X86,
+            threads: vec![instrs],
+            post: vec![],
+        };
+        let mut s = Session::new();
+        for t in [wide, deep] {
+            let e = s.outcomes(&t.name.clone(), &t, None).unwrap_err();
+            assert!(e.contains("limit"), "{e}");
+        }
+    }
+
+    #[test]
+    fn sim_subset_holds_for_sb_family() {
+        let mut s = Session::new();
+        let x86tm = s.resolve("x86-tm").unwrap();
+        for x in [
+            catalog::sb(None, false, false),
+            catalog::sb(None, true, false),
+            catalog::sb(None, true, true),
+        ] {
+            let t = litmus_from_execution("sb", &x, Arch::X86);
+            let r = s.outcomes("sb", &t, Some(&[x86tm])).unwrap();
+            let extra = unsound_sim_outcomes(&t, &r.per_model[0].allowed).unwrap();
+            assert!(
+                extra.is_empty(),
+                "simulator observed outcomes outside x86-tm's allowed set: {extra:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn reload_invalidates_outcome_sets() {
+        let mut s = Session::new();
+        let m = s
+            .register_cat_source("probe", "acyclic po | com as Order")
+            .unwrap();
+        let r = s.outcomes("sb", &sb(), Some(&[m])).unwrap();
+        assert_eq!(r.per_model[0].post_allowed, Some(false), "SC forbids SB");
+        // Reload the same name with a weaker model: the cached outcome
+        // set must not survive.
+        let m2 = s
+            .reload_cat_source("probe", "acyclic poloc | com as Coherence")
+            .unwrap();
+        assert_eq!(m, m2, "reload keeps the registry slot");
+        let r2 = s.outcomes("sb", &sb(), Some(&[m2])).unwrap();
+        assert_eq!(
+            r2.per_model[0].post_allowed,
+            Some(true),
+            "coherence-only model allows SB"
+        );
+    }
+}

@@ -289,6 +289,28 @@ pub enum Request {
         /// Restrict verdicts to these model names (all when absent).
         models: Option<Vec<String>>,
     },
+    /// Enumerate a program's candidate executions and answer the
+    /// per-model allowed final-state table; one payload line.
+    Outcomes {
+        /// File name used in the response line.
+        file: String,
+        /// Litmus source text.
+        src: String,
+        /// Restrict the table to these model names (all when absent).
+        models: Option<Vec<String>>,
+    },
+    /// [`Request::Outcomes`] over every `.litmus` file in a server-side
+    /// directory, in sorted file order.
+    OutcomesBatch {
+        /// Directory path, resolved on the server.
+        dir: String,
+        /// Restrict the table to these model names (all when absent).
+        models: Option<Vec<String>>,
+    },
+    /// Re-resolve the daemon's `--cat` files into every shard Session
+    /// without a restart; answers one `{"ok":"reload",...}` line, or a
+    /// structured `{"error":...,"code":"reload"}` frame on failure.
+    Reload,
     /// List the registered models.
     Models,
     /// Cache hit-rates, per-shard queue depths and stage timings.
@@ -339,6 +361,23 @@ impl Request {
                 dir: str_field(&v, "dir")?,
                 models: models_field(&v)?,
             }),
+            // `outcomes` carries either a source (`file` + `src`) or a
+            // server-side directory (`dir`).
+            "outcomes" => {
+                if v.get("dir").is_some() {
+                    Ok(Request::OutcomesBatch {
+                        dir: str_field(&v, "dir")?,
+                        models: models_field(&v)?,
+                    })
+                } else {
+                    Ok(Request::Outcomes {
+                        file: str_field(&v, "file")?,
+                        src: str_field(&v, "src")?,
+                        models: models_field(&v)?,
+                    })
+                }
+            }
+            "reload" => Ok(Request::Reload),
             "models" => Ok(Request::Models),
             "stats" => Ok(Request::Stats),
             "shutdown" => Ok(Request::Shutdown),
@@ -373,6 +412,18 @@ impl Request {
                 json_escape(dir),
                 models_suffix(models)
             ),
+            Request::Outcomes { file, src, models } => format!(
+                "{{\"cmd\":\"outcomes\",\"file\":\"{}\",\"src\":\"{}\"{}}}",
+                json_escape(file),
+                json_escape(src),
+                models_suffix(models)
+            ),
+            Request::OutcomesBatch { dir, models } => format!(
+                "{{\"cmd\":\"outcomes\",\"dir\":\"{}\"{}}}",
+                json_escape(dir),
+                models_suffix(models)
+            ),
+            Request::Reload => "{\"cmd\":\"reload\"}".into(),
             Request::Models => "{\"cmd\":\"models\"}".into(),
             Request::Stats => "{\"cmd\":\"stats\"}".into(),
             Request::Shutdown => "{\"cmd\":\"shutdown\"}".into(),
@@ -436,6 +487,16 @@ mod tests {
                 dir: "target/corpus".into(),
                 models: None,
             },
+            Request::Outcomes {
+                file: "sb.litmus".into(),
+                src: "sb (x86)\nthread 0:\n  x <- 1\n".into(),
+                models: Some(vec!["SC".into()]),
+            },
+            Request::OutcomesBatch {
+                dir: "target/corpus".into(),
+                models: None,
+            },
+            Request::Reload,
             Request::Models,
             Request::Stats,
             Request::Shutdown,

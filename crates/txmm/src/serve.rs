@@ -34,9 +34,11 @@ use std::path::{Path, PathBuf};
 use std::time::Instant;
 
 use txmm_core::Execution;
-use txmm_litmus::{execution_from_litmus, parse_litmus};
+use txmm_hwsim::Outcome;
+use txmm_litmus::{execution_from_litmus, parse_litmus, LitmusTest};
 use txmm_models::{Arch, Verdict};
 
+use crate::outcomes::OutcomeReport;
 use crate::session::{ModelRef, Session};
 
 /// Per-stage serving times for one test, in microseconds.
@@ -300,6 +302,168 @@ pub fn jsonl_line(served: &Served) -> String {
     }
 }
 
+// ---- Outcome serving ---------------------------------------------------
+
+/// One line of the outcome JSONL stream (the `outcomes` twin of
+/// [`Served`]).
+pub enum ServedOutcomes {
+    /// The program was enumerated and checked.
+    Report(OutcomeReport),
+    /// The test could not be served (parse error, oversized candidate
+    /// space, unknown model).
+    Failure(TestFailure),
+}
+
+/// Parse a litmus source for the outcome engine. Unlike
+/// [`parse_request`] this does **not** reconstruct a pinned execution —
+/// the outcome engine answers programs whose postcondition pins
+/// nothing (or is absent entirely).
+pub fn parse_outcomes_request(file: &str, src: &str) -> Result<LitmusTest, TestFailure> {
+    parse_litmus(src).map_err(|e| TestFailure {
+        file: file.to_string(),
+        error: e.to_string(),
+    })
+}
+
+/// Serve one litmus source through the outcome engine.
+pub fn serve_outcomes_source(
+    session: &mut Session,
+    file: &str,
+    src: &str,
+    models: Option<&[ModelRef]>,
+) -> ServedOutcomes {
+    let t = match parse_outcomes_request(file, src) {
+        Ok(t) => t,
+        Err(f) => return ServedOutcomes::Failure(f),
+    };
+    match session.outcomes(file, &t, models) {
+        Ok(r) => ServedOutcomes::Report(r),
+        Err(e) => ServedOutcomes::Failure(TestFailure {
+            file: file.to_string(),
+            error: e,
+        }),
+    }
+}
+
+/// Serve one litmus file from disk through the outcome engine.
+pub fn serve_outcomes_file(
+    session: &mut Session,
+    path: &Path,
+    models: Option<&[ModelRef]>,
+) -> ServedOutcomes {
+    let file = path.display().to_string();
+    match std::fs::read_to_string(path) {
+        Ok(src) => serve_outcomes_source(session, &file, &src, models),
+        Err(e) => ServedOutcomes::Failure(TestFailure {
+            file,
+            error: e.to_string(),
+        }),
+    }
+}
+
+/// Render one final state as a compact JSON object: register files,
+/// memory (trailing zeros trimmed), and — only when present —
+/// transaction commit flags and multi-write coherence orders.
+fn outcome_json(o: &Outcome) -> String {
+    let regs = o
+        .regs
+        .iter()
+        .map(|r| {
+            format!(
+                "[{}]",
+                r.iter().map(u32::to_string).collect::<Vec<_>>().join(",")
+            )
+        })
+        .collect::<Vec<_>>()
+        .join(",");
+    let mem_len = o
+        .memory
+        .iter()
+        .rposition(|&v| v != 0)
+        .map(|i| i + 1)
+        .unwrap_or(0);
+    let mem = o.memory[..mem_len]
+        .iter()
+        .map(u32::to_string)
+        .collect::<Vec<_>>()
+        .join(",");
+    let mut out = format!("{{\"regs\":[{regs}],\"mem\":[{mem}]");
+    if !o.txn_ok.is_empty() {
+        let ok = o
+            .txn_ok
+            .iter()
+            .map(|b| b.to_string())
+            .collect::<Vec<_>>()
+            .join(",");
+        out.push_str(&format!(",\"ok\":[{ok}]"));
+    }
+    let co: Vec<String> = o
+        .co_order
+        .iter()
+        .enumerate()
+        .filter(|(_, vs)| vs.len() >= 2)
+        .map(|(l, vs)| {
+            format!(
+                "\"{l}\":[{}]",
+                vs.iter().map(u32::to_string).collect::<Vec<_>>().join(",")
+            )
+        })
+        .collect();
+    if !co.is_empty() {
+        out.push_str(&format!(",\"co\":{{{}}}", co.join(",")));
+    }
+    out.push('}');
+    out
+}
+
+/// Render one outcome-engine result as a JSONL line (no trailing
+/// newline) — deterministic, so daemon `outcomes` answers are
+/// byte-identical to one-shot `txmm outcomes` over the same tests.
+pub fn outcomes_jsonl_line(served: &ServedOutcomes) -> String {
+    match served {
+        ServedOutcomes::Failure(f) => format!(
+            "{{\"file\":\"{}\",\"error\":\"{}\"}}",
+            json_escape(&f.file),
+            json_escape(&f.error)
+        ),
+        ServedOutcomes::Report(r) => {
+            let models = r
+                .per_model
+                .iter()
+                .map(|m| {
+                    let post = match m.post_allowed {
+                        Some(true) => "\"allowed\"",
+                        Some(false) => "\"forbidden\"",
+                        None => "null",
+                    };
+                    let outcomes = m
+                        .allowed
+                        .iter()
+                        .map(outcome_json)
+                        .collect::<Vec<_>>()
+                        .join(",");
+                    format!(
+                        "\"{}\":{{\"post\":{post},\"outcomes\":[{outcomes}]}}",
+                        json_escape(&m.model)
+                    )
+                })
+                .collect::<Vec<_>>()
+                .join(",");
+            format!(
+                "{{\"file\":\"{}\",\"name\":\"{}\",\"arch\":\"{}\",\"events\":{},\
+                 \"txns\":{},\"candidates\":{},\"classes\":{},\"models\":{{{models}}}}}",
+                json_escape(&r.file),
+                json_escape(&r.name),
+                json_escape(r.arch.name()),
+                r.events,
+                r.txns,
+                r.candidates,
+                r.classes,
+            )
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -398,6 +562,42 @@ mod tests {
         // deterministic (the daemon relies on byte-identity).
         assert!(!line.contains("micros"));
         assert!(!line.contains("cached"));
+    }
+
+    #[test]
+    fn outcomes_jsonl_shape() {
+        let mut s = Session::new();
+        let filter = [s.resolve("SC").unwrap(), s.resolve("x86").unwrap()];
+        let served = serve_outcomes_source(&mut s, "sb.litmus", &sb_source(), Some(&filter));
+        let line = outcomes_jsonl_line(&served);
+        assert!(line.contains("\"name\":\"sb\""), "{line}");
+        assert!(line.contains("\"candidates\":4"), "{line}");
+        assert!(line.contains("\"classes\":3"), "{line}");
+        assert!(line.contains("\"SC\":{\"post\":\"forbidden\""), "{line}");
+        assert!(line.contains("\"x86\":{\"post\":\"allowed\""), "{line}");
+        assert!(line.contains("\"regs\":[[0],[0]],\"mem\":[1,1]"), "{line}");
+        assert!(!line.contains('\n'));
+        assert!(crate::protocol::parse_json(&line).is_ok(), "{line}");
+        // Deterministic: serving again renders the same bytes.
+        let again = serve_outcomes_source(&mut s, "sb.litmus", &sb_source(), Some(&filter));
+        assert_eq!(line, outcomes_jsonl_line(&again));
+    }
+
+    #[test]
+    fn outcomes_serves_postcondition_free_sources() {
+        // A program with no Test: line cannot be pinned (`check` path)
+        // but the outcome engine still answers.
+        let src = "free (x86)\nthread 0:\n  x <- 1\nthread 1:\n  r0 <- x\n";
+        let mut s = Session::new();
+        let sc = [s.resolve("SC").unwrap()];
+        let served = serve_outcomes_source(&mut s, "free.litmus", src, Some(&sc));
+        let ServedOutcomes::Report(r) = served else {
+            panic!("must serve");
+        };
+        assert_eq!(r.per_model[0].post_allowed, None);
+        assert_eq!(r.per_model[0].allowed.len(), 2, "r0 ∈ {{0, 1}}");
+        let line = outcomes_jsonl_line(&ServedOutcomes::Report(r));
+        assert!(line.contains("\"post\":null"), "{line}");
     }
 
     #[test]

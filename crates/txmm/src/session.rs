@@ -51,6 +51,13 @@ use txmm_verify::{CompileResult, ElisionResult, ElisionTarget, MonotonicityResul
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct ModelRef(usize);
 
+impl ModelRef {
+    /// The registry slot behind the handle (cache keys use this).
+    pub(crate) fn index(self) -> usize {
+        self.0
+    }
+}
+
 /// A `.cat` model adapted to the [`Model`] trait, which is what lets
 /// the registry treat native and `.cat`-defined models uniformly. The
 /// whole `.cat` evaluation runs in [`Model::axioms`]; evaluation errors
@@ -134,17 +141,38 @@ pub struct SessionStats {
     pub observability_hits: u64,
     /// Observability answers computed fresh.
     pub observability_misses: u64,
+    /// Per-(program, model) outcome sets served from the cache.
+    pub outcome_hits: u64,
+    /// Per-(program, model) outcome sets computed fresh.
+    pub outcome_misses: u64,
+    /// Entries in the outcome-set cache.
+    pub outcome_entries: usize,
+    /// Candidate executions enumerated by the outcome engine (before
+    /// canonical pruning), cumulative.
+    pub outcome_candidates: u64,
+    /// Canonical candidate classes actually checked, cumulative — the
+    /// gap to `outcome_candidates` is the work symmetry pruning saved.
+    pub outcome_classes: u64,
 }
 
-/// The long-lived engine described in the module docs.
+/// The long-lived engine described in the module docs. Fields are
+/// crate-visible so the outcome engine (`crate::outcomes`) can split
+/// borrows across the registry, arena and caches.
 pub struct Session {
-    models: Vec<Box<dyn Model>>,
-    arena: ExecArena,
+    pub(crate) models: Vec<Box<dyn Model>>,
+    pub(crate) arena: ExecArena,
     /// Canonical (symmetry-reduced) key → interned representative.
-    canon_ids: HashMap<Vec<u8>, ExecId>,
-    verdicts: HashMap<(ExecId, usize), Verdict>,
-    observability: HashMap<(ExecId, Arch), bool>,
-    stats: SessionStats,
+    pub(crate) canon_ids: HashMap<Vec<u8>, ExecId>,
+    pub(crate) verdicts: HashMap<(ExecId, usize), Verdict>,
+    pub(crate) observability: HashMap<(ExecId, Arch), bool>,
+    /// Program key → enumerated candidate table (see `crate::outcomes`).
+    pub(crate) outcome_tables: HashMap<Vec<u8>, crate::outcomes::OutcomeTable>,
+    /// (program key, model slot) → allowed final states.
+    pub(crate) outcome_sets: HashMap<(Vec<u8>, usize), txmm_hwsim::OutcomeSet>,
+    /// Worker threads for fanning candidate checking out over the
+    /// work-stealing pool (1 = sequential).
+    pub(crate) outcome_workers: usize,
+    pub(crate) stats: SessionStats,
 }
 
 /// A `Session` moves whole into a shard worker thread of the serving
@@ -170,6 +198,9 @@ impl Session {
             canon_ids: HashMap::new(),
             verdicts: HashMap::new(),
             observability: HashMap::new(),
+            outcome_tables: HashMap::new(),
+            outcome_sets: HashMap::new(),
+            outcome_workers: 1,
             stats: SessionStats::default(),
         };
         for m in registry::all_models() {
@@ -222,6 +253,54 @@ impl Session {
             .unwrap_or("user-model")
             .to_string();
         self.register_cat_source(&name, &src)
+    }
+
+    /// Hot-reload a `.cat` model: if `name` is already registered, the
+    /// model is **replaced in its existing slot** (so `ModelRef`s stay
+    /// valid) and every cached verdict and outcome set for that slot is
+    /// invalidated; otherwise this is a plain registration. Parse
+    /// errors leave the old model serving.
+    pub fn reload_cat_source(&mut self, name: &str, src: &str) -> Result<ModelRef, String> {
+        let file = parse_cat(src).map_err(|e| format!("{name}: {e}"))?;
+        let Some(slot) = self.models.iter().rposition(|m| m.name() == name) else {
+            return self.register_cat_source(name, src);
+        };
+        // Reuse the slot's already-leaked name: a daemon reloads
+        // arbitrarily often, and leaking a fresh copy per reload would
+        // grow without bound.
+        let leaked: &'static str = self.models[slot].name();
+        let (arch, tm) = classify_cat_name(name);
+        self.models[slot] = Box::new(CatBackend {
+            name: leaked,
+            model: CatModel::new(leaked, file),
+            arch,
+            tm,
+            eval_error: std::sync::OnceLock::new(),
+        });
+        // The replaced model may answer differently: drop its caches.
+        self.verdicts.retain(|&(_, m), _| m != slot);
+        self.outcome_sets.retain(|(_, m), _| *m != slot);
+        self.stats.outcome_entries = self.outcome_sets.len();
+        Ok(ModelRef(slot))
+    }
+
+    /// Hot-reload a `.cat` model from a file (see
+    /// [`Session::reload_cat_source`]).
+    pub fn reload_cat_file(&mut self, path: &std::path::Path) -> Result<ModelRef, String> {
+        let src = std::fs::read_to_string(path).map_err(|e| format!("{}: {e}", path.display()))?;
+        let name = path
+            .file_stem()
+            .and_then(|s| s.to_str())
+            .unwrap_or("user-model")
+            .to_string();
+        self.reload_cat_source(&name, &src)
+    }
+
+    /// Set the worker-thread count the outcome engine fans candidate
+    /// checking out over (via the `txmm-synth` work-stealing pool);
+    /// 1 keeps checking on the calling thread.
+    pub fn set_outcome_workers(&mut self, workers: usize) {
+        self.outcome_workers = workers.max(1);
     }
 
     /// Every registered model handle, in registration order.

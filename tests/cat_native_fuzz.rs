@@ -32,17 +32,16 @@ fn fuzz_config(arch: Arch, fences: bool, rmws: bool) -> EnumConfig {
 
 /// Sweep (or sample) the enumerated space, asserting verdict agreement
 /// between a `.cat` model and its native twin on every visited
-/// execution.
-fn differential_fuzz(cfg: &EnumConfig, names: &[&str], seed: u64) {
+/// execution. `denominator = 1` sweeps the space; larger values sample
+/// ~1/denominator of it with the seeded coin.
+fn differential_fuzz_sampled(cfg: &EnumConfig, names: &[&str], seed: u64, denominator: usize) {
     for name in names {
         let cat = cat_model(name).expect("shipped model");
         let native = by_name(name).expect("native model");
-        // Debug builds sample ~1/24 of the space; release sweeps it all.
         let mut rng = SplitMix64::seed_from_u64(seed);
-        let sample = cfg!(debug_assertions);
         let mut checked = 0usize;
         enumerate(cfg, &mut |x| {
-            if sample && rng.below(24) != 0 {
+            if denominator > 1 && rng.below(denominator) != 0 {
                 return;
             }
             checked += 1;
@@ -59,6 +58,12 @@ fn differential_fuzz(cfg: &EnumConfig, names: &[&str], seed: u64) {
     }
 }
 
+/// The seed behaviour: debug builds sample ~1/24, release sweeps all.
+fn differential_fuzz(cfg: &EnumConfig, names: &[&str], seed: u64) {
+    let denominator = if cfg!(debug_assertions) { 24 } else { 1 };
+    differential_fuzz_sampled(cfg, names, seed, denominator);
+}
+
 #[test]
 fn x86_cat_matches_native_at_four_events() {
     differential_fuzz(
@@ -73,18 +78,95 @@ fn sc_cat_matches_native_at_four_events() {
     differential_fuzz(&fuzz_config(Arch::Sc, false, false), &["SC", "TSC"], 0x5678);
 }
 
+#[test]
+fn power_cat_matches_native_at_four_events() {
+    // The Power pair carries the recursive ppo fixpoint on both sides,
+    // so even release builds sample (densely) rather than sweep.
+    let denominator = if cfg!(debug_assertions) { 48 } else { 6 };
+    differential_fuzz_sampled(
+        &fuzz_config(Arch::Power, true, true),
+        &["power", "power-tm"],
+        0x7001,
+        denominator,
+    );
+}
+
+#[test]
+fn armv8_cat_matches_native_at_four_events() {
+    let denominator = if cfg!(debug_assertions) { 48 } else { 6 };
+    differential_fuzz_sampled(
+        &fuzz_config(Arch::Armv8, true, true),
+        &["armv8", "armv8-tm"],
+        0x7002,
+        denominator,
+    );
+}
+
+/// Replace standalone occurrences of `ident` (herd builtin fence
+/// relations) with a `fencerel(...)` phrasing, leaving compound
+/// identifiers like `ctrlisync` or `synct` alone.
+fn replace_ident(src: &str, ident: &str, with: &str) -> String {
+    let bytes = src.as_bytes();
+    let is_word = |b: u8| b.is_ascii_alphanumeric() || b == b'_';
+    let mut out = String::new();
+    let mut i = 0;
+    while i < src.len() {
+        if src[i..].starts_with(ident)
+            && (i == 0 || !is_word(bytes[i - 1]))
+            && (i + ident.len() >= src.len() || !is_word(bytes[i + ident.len()]))
+        {
+            out.push_str(with);
+            i += ident.len();
+        } else {
+            out.push(bytes[i] as char);
+            i += 1;
+        }
+    }
+    out
+}
+
+/// The shipped `.cat` source rewritten through herd's `fencerel`
+/// combinator — `sync` becomes `fencerel(SYNC)` and so on — asserting
+/// that the rewrite actually fired.
+fn fencerel_twin_source(name: &str) -> String {
+    let (_, src) = txmm::cat::SOURCES
+        .iter()
+        .find(|(n, _)| *n == name)
+        .expect("shipped model");
+    let mut s = src.to_string();
+    if name.starts_with("power") {
+        s = replace_ident(&s, "sync", "fencerel(SYNC)");
+        s = replace_ident(&s, "lwsync", "fencerel(LWSYNC)");
+        s = replace_ident(&s, "isync", "fencerel(ISYNC)");
+    } else {
+        s = s.replace("(po ; [DMB] ; po)", "fencerel(DMB)");
+        s = s.replace("([R] ; po ; [DMBLD] ; po)", "([R] ; fencerel(DMBLD))");
+        s = s.replace(
+            "([W] ; po ; [DMBST] ; po ; [W])",
+            "([W] ; fencerel(DMBST) ; [W])",
+        );
+    }
+    assert!(s.contains("fencerel("), "{name}: rewrite must fire\n{s}");
+    assert_ne!(s, *src);
+    s
+}
+
 /// SplitMix64-randomised transaction relayouts on top of enumerated
 /// transaction-free executions: a different distribution over `stxn`
 /// shapes than the interval enumerator's, checked against both models.
-#[test]
-fn randomised_txn_layouts_agree() {
-    let mut cfg = fuzz_config(Arch::X86, false, false);
+fn randomised_txn_fuzz(
+    arch: Arch,
+    fences: bool,
+    cat: &txmm::cat::CatModel,
+    native_name: &str,
+    seed: u64,
+    budget: usize,
+) {
+    let mut cfg = fuzz_config(arch, fences, false);
     cfg.txns = false;
-    let cat = cat_model("x86-tm").expect("shipped model");
-    let native = by_name("x86-tm").expect("native model");
-    let mut rng = SplitMix64::seed_from_u64(0x9abc);
+    let native = by_name(native_name).expect("native model");
+    let mut rng = SplitMix64::seed_from_u64(seed);
     let mut checked = 0usize;
-    let budget = if cfg!(debug_assertions) { 400 } else { 4000 };
     enumerate(&cfg, &mut |x| {
         if checked >= budget || rng.below(8) != 0 {
             return;
@@ -113,9 +195,35 @@ fn randomised_txn_layouts_agree() {
         assert_eq!(
             cat.consistent(&y).expect("cat evaluates"),
             native.consistent(&y),
-            "cat vs native x86-tm disagree on randomised txn layout:\n{}",
+            "cat vs native {native_name} disagree on randomised txn layout:\n{}",
             txmm::core::display::render(&y)
         );
     });
     assert!(checked > 100, "sampled too little ({checked})");
+}
+
+#[test]
+fn randomised_txn_layouts_agree() {
+    let cat = cat_model("x86-tm").expect("shipped model");
+    let budget = if cfg!(debug_assertions) { 400 } else { 4000 };
+    randomised_txn_fuzz(Arch::X86, false, &cat, "x86-tm", 0x9abc, budget);
+}
+
+/// The PR 4 `fencerel` evaluation path under randomised transaction
+/// layouts: the shipped Power/ARMv8 transactional models re-phrased
+/// through `fencerel(SYNC)` / `fencerel(DMB)` (the herd idiom) must
+/// agree with the native models on fence-heavy executions carrying
+/// arbitrary `stxn` shapes.
+#[test]
+fn fencerel_twins_agree_under_randomised_txn_layouts() {
+    let budget = if cfg!(debug_assertions) { 150 } else { 600 };
+    for (arch, name, leaked) in [
+        (Arch::Power, "power-tm", "power-tm-fencerel"),
+        (Arch::Armv8, "armv8-tm", "armv8-tm-fencerel"),
+    ] {
+        let twin_src = fencerel_twin_source(name);
+        let file = txmm::cat::parse(&twin_src).expect("fencerel twin parses");
+        let cat = txmm::cat::CatModel::new(leaked, file);
+        randomised_txn_fuzz(arch, true, &cat, name, 0xfe7c + arch as u64, budget);
+    }
 }

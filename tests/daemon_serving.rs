@@ -9,7 +9,9 @@ use std::thread;
 
 use txmm::daemon::{Daemon, ListenAddr, PoolConfig, SessionPool};
 use txmm::protocol::Request;
-use txmm::serve::{jsonl_line, serve_file, serve_source};
+use txmm::serve::{
+    jsonl_line, outcomes_jsonl_line, serve_file, serve_outcomes_source, serve_source,
+};
 use txmm::session::Session;
 
 /// The standard generated corpus (50 tests at the default events=3).
@@ -140,6 +142,127 @@ fn batch_request_matches_one_shot_directory_serve() {
         },
     );
     assert_eq!(got, expect, "batch output is byte-identical");
+
+    let bye = roundtrip(&mut stream, &Request::Shutdown);
+    assert_eq!(bye, vec!["{\"ok\":\"shutdown\"}".to_string()]);
+    server.join().expect("clean shutdown");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn outcomes_requests_byte_identical_to_one_shot() {
+    // The daemon's `outcomes` answers must be byte-identical to the
+    // one-shot engine over the same sources, including the stats the
+    // outcome-set cache accumulates along the way.
+    let corpus: Vec<(String, String)> = corpus().into_iter().take(16).collect();
+    let mut session = Session::new();
+    let expect: Vec<String> = corpus
+        .iter()
+        .map(|(f, s)| outcomes_jsonl_line(&serve_outcomes_source(&mut session, f, s, None)))
+        .collect();
+
+    let (addr, server) = start_daemon(3);
+    let mut stream = BufReader::new(TcpStream::connect(&addr).expect("connect"));
+    for pass in 0..2 {
+        for ((file, src), want) in corpus.iter().zip(&expect) {
+            let got = roundtrip(
+                &mut stream,
+                &Request::Outcomes {
+                    file: file.clone(),
+                    src: src.clone(),
+                    models: None,
+                },
+            );
+            assert_eq!(got, vec![want.clone()], "pass {pass}: {file}");
+        }
+    }
+    // The second pass served every table from the outcome-set cache.
+    let stats = roundtrip(&mut stream, &Request::Stats);
+    let v = txmm::protocol::parse_json(&stats[0]).expect("stats is JSON");
+    let num = |k: &str| match v.get(k) {
+        Some(txmm::protocol::Json::Num(n)) => *n,
+        other => panic!("stats[{k}] = {other:?}"),
+    };
+    assert!(num("outcome_entries") > 0.0, "{}", stats[0]);
+    assert!(
+        num("outcome_hits") >= num("outcome_misses"),
+        "warm pass must hit: {}",
+        stats[0]
+    );
+    assert!(
+        num("outcome_candidates") >= num("outcome_classes"),
+        "{}",
+        stats[0]
+    );
+    assert!(stats[0].contains("\"outcome_hit_rate\":0."), "{}", stats[0]);
+
+    let bye = roundtrip(&mut stream, &Request::Shutdown);
+    assert_eq!(bye, vec!["{\"ok\":\"shutdown\"}".to_string()]);
+    server.join().expect("clean shutdown");
+}
+
+#[test]
+fn reload_swaps_cat_models_without_restart() {
+    // A daemon started with --cat answers with the file's semantics;
+    // rewriting the file and sending `reload` swaps the model in every
+    // shard without dropping the connection, and a broken rewrite
+    // answers a structured error while the old model keeps serving.
+    let dir = std::env::temp_dir().join(format!("txmm-daemon-reload-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("mkdir");
+    let cat = dir.join("probe.cat");
+    std::fs::write(&cat, "acyclic po | com as Order\n").expect("write cat");
+
+    let pool = SessionPool::new(&PoolConfig {
+        shards: 2,
+        cat_files: vec![cat.clone()],
+        ..PoolConfig::default()
+    })
+    .expect("pool builds");
+    let daemon = Daemon::bind(&ListenAddr::Tcp("127.0.0.1:0".into()), pool).expect("binds");
+    let addr = daemon.local_addr().to_string();
+    let server = thread::spawn(move || daemon.run().expect("daemon runs"));
+
+    let (file, src) = corpus()
+        .into_iter()
+        .find(|(f, _)| f.contains("sb") && !f.contains("mfence") && !f.contains("txn"))
+        .expect("sb test in the corpus");
+    let check = Request::Outcomes {
+        file: file.clone(),
+        src: src.clone(),
+        models: Some(vec!["probe".into()]),
+    };
+    let mut stream = BufReader::new(TcpStream::connect(&addr).expect("connect"));
+    let before = roundtrip(&mut stream, &check);
+    assert!(
+        before[0].contains("\"probe\":{\"post\":\"forbidden\""),
+        "SC-strength probe forbids SB: {}",
+        before[0]
+    );
+
+    // Weaken the model on disk and hot-reload.
+    std::fs::write(&cat, "acyclic poloc | com as Coherence\n").expect("rewrite cat");
+    let ok = roundtrip(&mut stream, &Request::Reload);
+    assert_eq!(
+        ok,
+        vec![format!(
+            "{{\"ok\":\"reload\",\"models\":[\"probe\"],\"shards\":2}}"
+        )]
+    );
+    let after = roundtrip(&mut stream, &check);
+    assert!(
+        after[0].contains("\"probe\":{\"post\":\"allowed\""),
+        "coherence-only probe allows SB: {}",
+        after[0]
+    );
+
+    // A parse error aborts the reload with a structured frame...
+    std::fs::write(&cat, "acyclic ((\n").expect("break cat");
+    let err = roundtrip(&mut stream, &Request::Reload);
+    assert!(err[0].starts_with("{\"error\""), "{}", err[0]);
+    assert!(err[0].contains("\"code\":\"reload\""), "{}", err[0]);
+    // ...and the previous model keeps serving, byte-identically.
+    let still = roundtrip(&mut stream, &check);
+    assert_eq!(still, after, "old model keeps serving after failed reload");
 
     let bye = roundtrip(&mut stream, &Request::Shutdown);
     assert_eq!(bye, vec!["{\"ok\":\"shutdown\"}".to_string()]);

@@ -1,0 +1,273 @@
+//! Golden program-level outcome sets: the herd-style engine's
+//! allowed/forbidden answers on the paper's classic shapes must
+//! reproduce the verdict matrix the unit tests in `crates/models`
+//! assert on pinned executions — but derived by exhaustive candidate
+//! enumeration over the *program* — and the operational hardware
+//! simulators' observed outcomes must always be a **subset** of the
+//! corresponding sound (transactional) model's allowed set.
+
+use txmm::core::ExecBuilder;
+use txmm::litmus::litmus_from_execution;
+use txmm::models::shapes::{self, Strength};
+use txmm::models::{catalog, Arch};
+use txmm::outcomes::unsound_sim_outcomes;
+use txmm::session::{ModelRef, Session};
+
+/// The six models the golden matrix ranges over: the SC/TSC pair plus
+/// the transactional hardware models (their baselines are asserted via
+/// the pinned-execution cross-check below).
+const MATRIX_MODELS: [&str; 6] = ["SC", "TSC", "x86-tm", "power-tm", "armv8-tm", "x86"];
+
+fn litmus(name: &str, x: &txmm::core::Execution, arch: Arch) -> txmm::litmus::LitmusTest {
+    litmus_from_execution(name, x, arch)
+}
+
+/// Plain IRIW: Wx ∥ Rx;Ry ∥ Ry;Rx ∥ Wy, first reads fresh, second reads
+/// stale (the non-multicopy-atomicity witness).
+fn iriw(txn_writers: bool) -> txmm::core::Execution {
+    let mut b = ExecBuilder::new();
+    let t0 = b.new_thread();
+    let wx = b.write(t0, 0);
+    let t1 = b.new_thread();
+    let r1 = b.read(t1, 0);
+    let _r2 = b.read(t1, 1);
+    let t2 = b.new_thread();
+    let r3 = b.read(t2, 1);
+    let _r4 = b.read(t2, 0);
+    let t3 = b.new_thread();
+    let wy = b.write(t3, 1);
+    b.rf(wx, r1);
+    b.rf(wy, r3);
+    if txn_writers {
+        b.txn(&[wx]);
+        b.txn(&[wy]);
+    }
+    b.build().expect("iriw well-formed")
+}
+
+/// Assert the program-level postcondition verdict for every named model
+/// against the expected allowed/forbidden bit.
+fn assert_matrix(
+    session: &mut Session,
+    name: &str,
+    x: &txmm::core::Execution,
+    arch: Arch,
+    expect: &[(&str, bool)],
+) {
+    let t = litmus(name, x, arch);
+    let models: Vec<ModelRef> = expect
+        .iter()
+        .map(|(m, _)| session.resolve(m).unwrap_or_else(|| panic!("model {m}")))
+        .collect();
+    let r = session
+        .outcomes(&format!("{name}.litmus"), &t, Some(&models))
+        .unwrap_or_else(|e| panic!("{name}: {e}"));
+    for ((mname, allowed), mo) in expect.iter().zip(&r.per_model) {
+        assert_eq!(
+            mo.post_allowed,
+            Some(*allowed),
+            "{name} under {mname}: program-level verdict"
+        );
+    }
+}
+
+/// One golden row: shape name, execution, serving arch, and the
+/// per-model allowed/forbidden expectations.
+type MatrixRow = (
+    &'static str,
+    txmm::core::Execution,
+    Arch,
+    Vec<(&'static str, bool)>,
+);
+
+#[test]
+fn classic_shapes_reproduce_the_model_matrix() {
+    // The canonical rows from crates/models/src/shapes.rs
+    // (`verdict_matrix_plain_shapes`), answered program-level.
+    let p = Strength::PLAIN;
+    let mut s = Session::new();
+    let rows: Vec<MatrixRow> = vec![
+        (
+            "sb",
+            shapes::sb(p, p),
+            Arch::X86,
+            vec![
+                ("SC", false),
+                ("TSC", false),
+                ("x86", true),
+                ("x86-tm", true),
+                ("power", true),
+                ("armv8", true),
+            ],
+        ),
+        (
+            "mp",
+            shapes::mp(p, p),
+            Arch::Power,
+            vec![
+                ("SC", false),
+                ("x86", false),
+                ("power", true),
+                ("power-tm", true),
+                ("armv8", true),
+            ],
+        ),
+        (
+            "lb",
+            shapes::lb(p, p),
+            Arch::Power,
+            vec![
+                ("SC", false),
+                ("x86", false),
+                ("power", true),
+                ("armv8", true),
+                ("armv8-tm", true),
+            ],
+        ),
+    ];
+    for (name, x, arch, expect) in rows {
+        assert_matrix(&mut s, name, &x, arch, &expect);
+    }
+}
+
+#[test]
+fn transactions_restore_sc_program_level() {
+    // Wrapping both sides in transactions forbids every shape under
+    // every transactional model (`transactions_restore_sc_for_all_shapes`,
+    // program-level this time).
+    let t = Strength::TXN;
+    let mut s = Session::new();
+    for (name, x) in [
+        ("sb+txns", shapes::sb(t, t)),
+        ("mp+txns", shapes::mp(t, t)),
+        ("lb+txns", shapes::lb(t, t)),
+    ] {
+        assert_matrix(
+            &mut s,
+            name,
+            &x,
+            Arch::X86,
+            &[
+                ("TSC", false),
+                ("x86-tm", false),
+                ("power-tm", false),
+                ("armv8-tm", false),
+            ],
+        );
+    }
+    // One transactional side leaves SB visible everywhere
+    // (`one_sided_transactions_differ_by_shape`).
+    let p = Strength::PLAIN;
+    assert_matrix(
+        &mut s,
+        "sb+txn0",
+        &shapes::sb(t, p),
+        Arch::X86,
+        &[("x86-tm", true), ("power-tm", true)],
+    );
+    // Writer-txn + reader-dependency MP is forbidden on Power-TM while
+    // the dependency-free variant stays allowed.
+    let dep = Strength {
+        dep: true,
+        ..Strength::PLAIN
+    };
+    assert_matrix(
+        &mut s,
+        "mp+wtxn+dep",
+        &shapes::mp(t, dep),
+        Arch::Power,
+        &[("power-tm", false)],
+    );
+    assert_matrix(
+        &mut s,
+        "mp+wtxn",
+        &shapes::mp(t, p),
+        Arch::Power,
+        &[("power-tm", true)],
+    );
+}
+
+#[test]
+fn iriw_program_level() {
+    // IRIW distinguishes the multicopy-atomic architectures (x86, ARMv8
+    // needs no help from fences to *allow* it without deps) from SC;
+    // transactional writers make the writes multicopy-atomic on Power.
+    let mut s = Session::new();
+    assert_matrix(
+        &mut s,
+        "iriw",
+        &iriw(false),
+        Arch::Power,
+        &[("SC", false), ("x86", false), ("power", true)],
+    );
+    // Cross-check every registered model against the pinned execution.
+    for txn in [false, true] {
+        let x = iriw(txn);
+        let t = litmus("iriw", &x, Arch::Power);
+        let pinned = txmm::litmus::execution_from_litmus(&t).expect("pins");
+        let all: Vec<ModelRef> = s.models().collect();
+        let r = s.outcomes("iriw.litmus", &t, Some(&all)).unwrap();
+        for (m, mo) in all.iter().zip(&r.per_model) {
+            let direct = s.verdict(&pinned, *m).is_consistent();
+            assert_eq!(
+                mo.post_allowed,
+                Some(direct),
+                "iriw(txn={txn}) under {}: program-level vs pinned",
+                mo.model
+            );
+        }
+    }
+}
+
+#[test]
+fn matrix_models_all_resolve() {
+    let s = Session::new();
+    for m in MATRIX_MODELS {
+        assert!(s.resolve(m).is_some(), "{m} registered");
+    }
+}
+
+#[test]
+fn hwsim_observations_subset_of_sound_models() {
+    // Soundness direction: everything the operational simulator can
+    // observe, the architecture's transactional axiomatic model must
+    // allow. Runs the classic shapes ± transactions on all three
+    // simulated architectures.
+    let p = Strength::PLAIN;
+    let t = Strength::TXN;
+    let mut s = Session::new();
+    let mut checked = 0usize;
+    for (arch, model) in [
+        (Arch::X86, "x86-tm"),
+        (Arch::Power, "power-tm"),
+        (Arch::Armv8, "armv8-tm"),
+    ] {
+        let shapes_list: Vec<(&str, txmm::core::Execution)> = vec![
+            ("sb", shapes::sb(p, p)),
+            ("sb+txn0", shapes::sb(t, p)),
+            ("sb+txns", shapes::sb(t, t)),
+            ("mp", shapes::mp(p, p)),
+            ("mp+txns", shapes::mp(t, t)),
+            ("lb", shapes::lb(p, p)),
+            ("lb+txns", shapes::lb(t, t)),
+            ("iriw", iriw(false)),
+            ("iriw+txnw", iriw(true)),
+            ("fig2", catalog::fig2()),
+        ];
+        let m = s.resolve(model).unwrap();
+        for (name, x) in shapes_list {
+            let test = litmus(name, &x, arch);
+            let r = s
+                .outcomes(&format!("{name}.litmus"), &test, Some(&[m]))
+                .unwrap_or_else(|e| panic!("{name}@{model}: {e}"));
+            let extra = unsound_sim_outcomes(&test, &r.per_model[0].allowed)
+                .expect("hardware architectures have simulators");
+            assert!(
+                extra.is_empty(),
+                "{name}@{model}: simulator observed outcomes outside the allowed set: {extra:#?}"
+            );
+            checked += 1;
+        }
+    }
+    assert_eq!(checked, 30);
+}
