@@ -57,6 +57,17 @@ fn err_at<T>(line: u32, message: impl Into<String>) -> Result<T, EvalError> {
     })
 }
 
+/// The operators (herd "functions") the evaluator and the compiler
+/// implement, with their arities. Anything else is an unsupported
+/// construct; both pipelines phrase the diagnostic off this table.
+pub(crate) const OPERATORS: [(&str, usize); 5] = [
+    ("weaklift", 2),
+    ("stronglift", 2),
+    ("domain", 1),
+    ("range", 1),
+    ("fencerel", 1),
+];
+
 /// The evaluation environment: builtin sets/relations of the execution
 /// plus user `let` bindings.
 ///
@@ -211,16 +222,6 @@ impl<'a, 'x> Env<'a, 'x> {
         })
     }
 
-    /// The operators (herd "functions") the evaluator implements, with
-    /// their arities. Anything else is an unsupported construct.
-    const OPERATORS: [(&'static str, usize); 5] = [
-        ("weaklift", 2),
-        ("stronglift", 2),
-        ("domain", 1),
-        ("range", 1),
-        ("fencerel", 1),
-    ];
-
     fn call(&self, f: &str, args: &[Expr], line: u32) -> Result<Value, EvalError> {
         let rel_arg =
             |i: usize| -> Result<Rel, EvalError> { Ok(self.as_rel(self.eval(&args[i])?)) };
@@ -243,7 +244,7 @@ impl<'a, 'x> Env<'a, 'x> {
                 let po = self.a.exec().po();
                 Ok(Value::Rel(po.seq(&id).seq(po)))
             }
-            _ => match Self::OPERATORS.iter().find(|(name, _)| *name == f) {
+            _ => match OPERATORS.iter().find(|(name, _)| *name == f) {
                 Some((_, arity)) => err_at(
                     line,
                     format!(
@@ -257,17 +258,126 @@ impl<'a, 'x> Env<'a, 'x> {
     }
 }
 
+/// Per-model compile-cache counters, aggregated into the daemon stats.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CompileStats {
+    /// Checks served by an already-specialised tier.
+    pub hits: u64,
+    /// Checks that had to specialise their tier first.
+    pub misses: u64,
+    /// Specialised tiers currently resident.
+    pub entries: u64,
+    /// Cumulative compile + specialise time, in microseconds.
+    pub micros: u64,
+}
+
+impl CompileStats {
+    /// Component-wise sum, for per-shard aggregation.
+    pub fn merge(&mut self, other: CompileStats) {
+        self.hits += other.hits;
+        self.misses += other.misses;
+        self.entries += other.entries;
+        self.micros += other.micros;
+    }
+}
+
+thread_local! {
+    /// One register file per thread: checking a stream of executions
+    /// allocates nothing after the banks first grow to fit.
+    static VM: std::cell::RefCell<crate::vm::Vm> = std::cell::RefCell::new(crate::vm::Vm::new());
+}
+
 /// A compiled `.cat` model ready to check executions.
+///
+/// Construction lowers and optimises the parsed file into a generic
+/// bytecode program once; checking specialises it per event count into
+/// a tier cache (`OnceLock` per count, so concurrent shards share each
+/// tier) and runs the VM. Compile-time diagnostics are stored and
+/// returned from every check, preserving the interpreter's
+/// construct-plus-line error quality. The AST interpreter survives as
+/// the `*_reference` methods for differential checking.
 pub struct CatModel {
     /// The display name.
     pub name: &'static str,
     file: CatFile,
+    /// The optimised generic program, or the compile diagnostic.
+    program: Result<crate::chunk::Chunk, EvalError>,
+    /// Per-event-count specialised programs, built on first use.
+    tiers: Vec<std::sync::OnceLock<crate::chunk::Chunk>>,
+    hits: std::sync::atomic::AtomicU64,
+    misses: std::sync::atomic::AtomicU64,
+    compile_nanos: std::sync::atomic::AtomicU64,
+    /// Check labels leaked once, for the reference interpreter path.
+    check_names: Vec<&'static str>,
 }
 
 impl CatModel {
-    /// Wrap a parsed file.
+    /// Compile a parsed file. Lowering errors are deferred: they come
+    /// back from every check, exactly like interpreter errors did.
     pub fn new(name: &'static str, file: CatFile) -> CatModel {
-        CatModel { name, file }
+        let start = std::time::Instant::now();
+        let program = crate::compile::compile(&file);
+        let compile_nanos = start.elapsed().as_nanos() as u64;
+        let check_names = file
+            .decls
+            .iter()
+            .filter_map(|d| match d {
+                Decl::Check { name, .. } => {
+                    let leaked: &'static str = Box::leak(name.clone().into_boxed_str());
+                    Some(leaked)
+                }
+                _ => None,
+            })
+            .collect();
+        CatModel {
+            name,
+            file,
+            program,
+            tiers: (0..=txmm_core::MAX_EVENTS)
+                .map(|_| std::sync::OnceLock::new())
+                .collect(),
+            hits: std::sync::atomic::AtomicU64::new(0),
+            misses: std::sync::atomic::AtomicU64::new(0),
+            compile_nanos: std::sync::atomic::AtomicU64::new(compile_nanos),
+            check_names,
+        }
+    }
+
+    /// The optimised generic program, or the compile diagnostic.
+    pub fn program(&self) -> Result<&crate::chunk::Chunk, &EvalError> {
+        self.program.as_ref()
+    }
+
+    /// The specialised program for event count `n`, compiling it on
+    /// first use.
+    fn tier<'p>(&'p self, program: &'p crate::chunk::Chunk, n: usize) -> &'p crate::chunk::Chunk {
+        use std::sync::atomic::Ordering::Relaxed;
+        let Some(slot) = self.tiers.get(n) else {
+            return program;
+        };
+        if let Some(t) = slot.get() {
+            self.hits.fetch_add(1, Relaxed);
+            return t;
+        }
+        slot.get_or_init(|| {
+            self.misses.fetch_add(1, Relaxed);
+            let start = std::time::Instant::now();
+            let t = crate::opt::specialise(program, n);
+            self.compile_nanos
+                .fetch_add(start.elapsed().as_nanos() as u64, Relaxed);
+            t
+        })
+    }
+
+    /// Compile-cache counters since construction.
+    pub fn compile_stats(&self) -> CompileStats {
+        use std::sync::atomic::Ordering::Relaxed;
+        CompileStats {
+            hits: self.hits.load(Relaxed),
+            misses: self.misses.load(Relaxed),
+            entries: self.tiers.iter().filter(|t| t.get().is_some()).count() as u64,
+            micros: self.compile_nanos.load(Relaxed) / 1_000,
+        }
     }
 
     /// Evaluate every check over an execution (private analysis).
@@ -275,11 +385,45 @@ impl CatModel {
         self.check_analysis(&x.analysis())
     }
 
-    /// Evaluate every check against a caller-shared analysis.
+    /// Run the compiled program against a caller-shared analysis.
     pub fn check_analysis(&self, a: &ExecutionAnalysis<'_>) -> Result<Verdict, EvalError> {
+        let program = self.program.as_ref().map_err(Clone::clone)?;
+        let chunk = self.tier(program, a.len());
+        let mut checker = Checker::new(self.name);
+        VM.with(|vm| vm.borrow_mut().run(chunk, a, &mut checker));
+        Ok(checker.finish())
+    }
+
+    /// Convenience: is the execution consistent under this model?
+    pub fn consistent(&self, x: &Execution) -> Result<bool, EvalError> {
+        Ok(self.check(x)?.is_consistent())
+    }
+
+    /// Convenience: consistency against a caller-shared analysis.
+    pub fn consistent_analysis(&self, a: &ExecutionAnalysis<'_>) -> Result<bool, EvalError> {
+        Ok(self.check_analysis(a)?.is_consistent())
+    }
+
+    /// The AST-walking interpreter over a private analysis, kept for
+    /// differential checking against the VM.
+    pub fn check_reference(&self, x: &Execution) -> Result<Verdict, EvalError> {
+        self.check_analysis_reference(&x.analysis())
+    }
+
+    /// Convenience: reference-interpreter consistency.
+    pub fn consistent_reference(&self, x: &Execution) -> Result<bool, EvalError> {
+        Ok(self.check_reference(x)?.is_consistent())
+    }
+
+    /// The AST-walking interpreter against a caller-shared analysis.
+    pub fn check_analysis_reference(
+        &self,
+        a: &ExecutionAnalysis<'_>,
+    ) -> Result<Verdict, EvalError> {
         let x = a.exec();
         let mut env = Env::new(a);
         let mut checker = Checker::new(self.name);
+        let mut next_check = 0usize;
         for decl in &self.file.decls {
             match decl {
                 Decl::Let {
@@ -315,11 +459,12 @@ impl CatModel {
                         }
                     }
                 }
-                Decl::Check { kind, expr, name } => {
+                Decl::Check { kind, expr, .. } => {
                     let r = env.as_rel(env.eval(expr)?);
-                    // Leak the name: check names come from static model
-                    // sources and bench tables; the set is tiny.
-                    let static_name: &'static str = Box::leak(name.clone().into_boxed_str());
+                    // Labels were leaked once at construction; the
+                    // interpreter used to leak one copy per evaluation.
+                    let static_name = self.check_names[next_check];
+                    next_check += 1;
                     match kind {
                         CheckKind::Acyclic => checker.acyclic(static_name, &r),
                         CheckKind::Irreflexive => checker.irreflexive(static_name, &r),
@@ -329,16 +474,6 @@ impl CatModel {
             }
         }
         Ok(checker.finish())
-    }
-
-    /// Convenience: is the execution consistent under this model?
-    pub fn consistent(&self, x: &Execution) -> Result<bool, EvalError> {
-        Ok(self.check(x)?.is_consistent())
-    }
-
-    /// Convenience: consistency against a caller-shared analysis.
-    pub fn consistent_analysis(&self, a: &ExecutionAnalysis<'_>) -> Result<bool, EvalError> {
-        Ok(self.check_analysis(a)?.is_consistent())
     }
 }
 

@@ -10,6 +10,12 @@
 //! fixpoint), the `weaklift`/`stronglift` combinators of §3.3, and the
 //! `acyclic`/`irreflexive`/`empty` checks.
 //!
+//! Models compile to a relation-algebra bytecode ([`chunk`]) through a
+//! lowering pass ([`compile`]) and an optimiser ([`opt`]), and checks
+//! execute on a register VM ([`vm`]) specialised per event count. The
+//! AST interpreter survives as `CatModel::check_reference` for
+//! differential testing.
+//!
 //! ```
 //! use txmm_cat::{cat_model, parse, CatModel};
 //! use txmm_models::catalog;
@@ -23,12 +29,20 @@
 //! assert!(sc.consistent(&catalog::fig1()).unwrap());
 //! ```
 
+pub mod chunk;
+pub mod compile;
 pub mod eval;
 pub mod lexer;
 pub mod models;
+pub mod opt;
 pub mod parser;
+pub mod vm;
 
-pub use eval::{CatModel, Env, EvalError, Value};
+pub use chunk::{Chunk, Op, RelBuiltin, SetBuiltin};
+pub use compile::{compile, lower};
+pub use eval::{CatModel, CompileStats, Env, EvalError, Value};
 pub use lexer::{lex, LexError, Token};
 pub use models::{all_cat_models, cat_model, SOURCES};
+pub use opt::{optimise, specialise};
 pub use parser::{parse, CatFile, CheckKind, Decl, Expr, ParseError};
+pub use vm::Vm;

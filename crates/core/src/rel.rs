@@ -20,12 +20,29 @@ use std::fmt;
 
 /// A binary relation over events `0..n`.
 ///
-/// Invariant: `rows[n..]` is always all-zero, so the derived `Eq`/`Hash`
-/// agree with the semantic relation.
-#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+/// Invariant: `rows[n..]` is always all-zero, so equality and hashing
+/// over the first `n` rows agree with the semantic relation.
+#[derive(Clone, Copy, Eq)]
 pub struct Rel {
     n: usize,
     rows: [u64; MAX_EVENTS],
+}
+
+// Manual impls so comparison and hashing touch only the `n` live rows
+// (the zero-tail invariant makes them equivalent to whole-array
+// versions): fixpoint convergence tests and verdict-cache lookups run
+// these on every check, and `n` is typically 4–6 of the 64 rows.
+impl PartialEq for Rel {
+    fn eq(&self, other: &Rel) -> bool {
+        self.n == other.n && self.rows[..self.n] == other.rows[..other.n]
+    }
+}
+
+impl std::hash::Hash for Rel {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        self.n.hash(state);
+        self.rows[..self.n].hash(state);
+    }
 }
 
 impl Rel {
@@ -118,6 +135,30 @@ impl Rel {
         EventSet::from_bits(self.rows[a])
     }
 
+    /// The raw bit-row `i` (`i < n`). With [`Rel::set_word`], lets hot
+    /// interpreters (the `.cat` VM) compute row-wise into an existing
+    /// relation instead of materialising 520-byte temporaries.
+    #[inline]
+    pub fn word(&self, i: usize) -> u64 {
+        debug_assert!(i < self.n);
+        self.rows[i]
+    }
+
+    /// Overwrite bit-row `i`. Restricted to `i < n` so the zero-tail
+    /// invariant is preserved.
+    #[inline]
+    pub fn set_word(&mut self, i: usize, w: u64) {
+        debug_assert!(i < self.n);
+        self.rows[i] = w;
+    }
+
+    /// Copy another relation's live rows into this one (same universe).
+    #[inline]
+    pub fn copy_from(&mut self, src: &Rel) {
+        debug_assert_eq!(self.n, src.n);
+        self.rows[..self.n].copy_from_slice(&src.rows[..self.n]);
+    }
+
     fn zip(&self, other: &Rel, f: impl Fn(u64, u64) -> u64) -> Rel {
         assert_eq!(self.n, other.n, "relation universe mismatch");
         let mut r = Rel::empty(self.n);
@@ -188,21 +229,40 @@ impl Rel {
         self.union(&Rel::id(self.n))
     }
 
-    /// Transitive closure (`r⁺`), via iterated squaring.
+    /// Reflexive closure, in place.
+    pub fn reflexive_close(&mut self) {
+        for e in 0..self.n {
+            self.rows[e] |= 1u64 << e;
+        }
+    }
+
+    /// Transitive closure (`r⁺`), via bit-parallel Warshall: `n²` word
+    /// operations, no intermediate relations.
     pub fn plus(&self) -> Rel {
-        let mut closure = *self;
-        loop {
-            let next = closure.union(&closure.seq(&closure));
-            if next == closure {
-                return closure;
+        let mut r = *self;
+        r.transitive_close();
+        r
+    }
+
+    /// Transitive closure, in place.
+    pub fn transitive_close(&mut self) {
+        for k in 0..self.n {
+            let through_k = self.rows[k];
+            let bit = 1u64 << k;
+            for i in 0..self.n {
+                if self.rows[i] & bit != 0 {
+                    self.rows[i] |= through_k;
+                }
             }
-            closure = next;
         }
     }
 
     /// Reflexive-transitive closure (`r*`).
     pub fn star(&self) -> Rel {
-        self.plus().opt()
+        let mut r = *self;
+        r.transitive_close();
+        r.reflexive_close();
+        r
     }
 
     /// Keep only pairs whose source is in `s`.
@@ -265,12 +325,28 @@ impl Rel {
     }
 
     /// Is the relation free of cycles? (`acyclic(r)` ⟺ `irreflexive(r⁺)`.)
+    ///
+    /// Warshall over a scratch copy of the live rows, bailing out the
+    /// moment any diagonal bit appears.
     pub fn is_acyclic(&self) -> bool {
         // Cheap pre-check: a reflexive pair is already a cycle.
         if !self.is_irreflexive() {
             return false;
         }
-        self.plus().is_irreflexive()
+        let mut rows = self.rows;
+        for k in 0..self.n {
+            let through_k = rows[k];
+            let bit = 1u64 << k;
+            for (i, row) in rows.iter_mut().enumerate().take(self.n) {
+                if *row & bit != 0 {
+                    *row |= through_k;
+                    if *row & (1u64 << i) != 0 {
+                        return false;
+                    }
+                }
+            }
+        }
+        true
     }
 
     /// Is `self ⊆ other`?

@@ -517,6 +517,10 @@ impl SessionPool {
             total.outcome_entries += s.session.outcome_entries;
             total.outcome_candidates += s.session.outcome_candidates;
             total.outcome_classes += s.session.outcome_classes;
+            total.compile_hits += s.session.compile_hits;
+            total.compile_misses += s.session.compile_misses;
+            total.compile_entries += s.session.compile_entries;
+            total.compile_micros += s.session.compile_micros;
             stages.parse += s.stages.parse;
             stages.convert += s.stages.convert;
             stages.verdict += s.stages.verdict;
@@ -536,7 +540,8 @@ impl SessionPool {
                 format!(
                     "{{\"shard\":{},\"served\":{},\"depth\":{},\"interned\":{},\
                      \"verdict_hits\":{},\"verdict_misses\":{},\"outcome_entries\":{},\
-                     \"outcome_hits\":{},\"outcome_misses\":{}}}",
+                     \"outcome_hits\":{},\"outcome_misses\":{},\"compile_hits\":{},\
+                     \"compile_misses\":{},\"compile_entries\":{},\"compile_micros\":{}}}",
                     s.shard,
                     s.served,
                     s.depth,
@@ -545,7 +550,11 @@ impl SessionPool {
                     s.session.verdict_misses,
                     s.session.outcome_entries,
                     s.session.outcome_hits,
-                    s.session.outcome_misses
+                    s.session.outcome_misses,
+                    s.session.compile_hits,
+                    s.session.compile_misses,
+                    s.session.compile_entries,
+                    s.session.compile_micros
                 )
             })
             .collect::<Vec<_>>()
@@ -557,6 +566,8 @@ impl SessionPool {
              \"observability_misses\":{},\"observability_hit_rate\":{},\
              \"outcome_entries\":{},\"outcome_hits\":{},\"outcome_misses\":{},\
              \"outcome_hit_rate\":{},\"outcome_candidates\":{},\"outcome_classes\":{},\
+             \"compile_hits\":{},\"compile_misses\":{},\"compile_hit_rate\":{},\
+             \"compile_entries\":{},\"compile_micros\":{},\
              \"stage_micros\":{{\"parse\":{},\"convert\":{},\"verdict\":{},\
              \"observe\":{}}},\"per_shard\":[{per_shard}]}}",
             self.shards.len(),
@@ -573,6 +584,11 @@ impl SessionPool {
             rate(total.outcome_hits, total.outcome_misses),
             total.outcome_candidates,
             total.outcome_classes,
+            total.compile_hits,
+            total.compile_misses,
+            rate(total.compile_hits, total.compile_misses),
+            total.compile_entries,
+            total.compile_micros,
             stages.parse,
             stages.convert,
             stages.verdict,

@@ -65,7 +65,9 @@ impl ModelRef {
 /// a broken user model cannot take the serving process down.
 struct CatBackend {
     name: &'static str,
-    model: CatModel,
+    /// Shared with [`Session::cat_models`], so stats snapshots read the
+    /// same compile-cache counters the serving path bumps.
+    model: std::sync::Arc<CatModel>,
     arch: Arch,
     tm: bool,
     /// First evaluation error, leaked once: a broken model fails the
@@ -153,6 +155,14 @@ pub struct SessionStats {
     /// Canonical candidate classes actually checked, cumulative — the
     /// gap to `outcome_candidates` is the work symmetry pruning saved.
     pub outcome_classes: u64,
+    /// `.cat` checks served by an already-specialised program tier.
+    pub compile_hits: u64,
+    /// `.cat` checks that specialised their program tier first.
+    pub compile_misses: u64,
+    /// Specialised program tiers resident across all `.cat` models.
+    pub compile_entries: u64,
+    /// Cumulative `.cat` compile + specialise time, microseconds.
+    pub compile_micros: u64,
 }
 
 /// The long-lived engine described in the module docs. Fields are
@@ -172,6 +182,9 @@ pub struct Session {
     /// Worker threads for fanning candidate checking out over the
     /// work-stealing pool (1 = sequential).
     pub(crate) outcome_workers: usize,
+    /// Registry slot → compiled `.cat` model, for aggregating
+    /// compile-cache stats; reload replaces the slot's entry.
+    pub(crate) cat_models: Vec<(usize, std::sync::Arc<CatModel>)>,
     pub(crate) stats: SessionStats,
 }
 
@@ -201,6 +214,7 @@ impl Session {
             outcome_tables: HashMap::new(),
             outcome_sets: HashMap::new(),
             outcome_workers: 1,
+            cat_models: Vec::new(),
             stats: SessionStats::default(),
         };
         for m in registry::all_models() {
@@ -234,13 +248,16 @@ impl Session {
         let file = parse_cat(src).map_err(|e| format!("{name}: {e}"))?;
         let leaked: &'static str = Box::leak(name.to_string().into_boxed_str());
         let (arch, tm) = classify_cat_name(name);
-        Ok(self.register_model(Box::new(CatBackend {
+        let model = std::sync::Arc::new(CatModel::new(leaked, file));
+        let m = self.register_model(Box::new(CatBackend {
             name: leaked,
-            model: CatModel::new(leaked, file),
+            model: model.clone(),
             arch,
             tm,
             eval_error: std::sync::OnceLock::new(),
-        })))
+        }));
+        self.cat_models.push((m.index(), model));
+        Ok(m)
     }
 
     /// Load, compile and register a user-supplied `.cat` file; the model
@@ -270,13 +287,22 @@ impl Session {
         // grow without bound.
         let leaked: &'static str = self.models[slot].name();
         let (arch, tm) = classify_cat_name(name);
+        // The swap is of the *compiled program*, not the AST: the new
+        // `CatModel` arrives fully lowered and optimised, and replacing
+        // the boxed backend is one pointer store. In-flight requests on
+        // other shards keep their own `Arc` until they finish.
+        let model = std::sync::Arc::new(CatModel::new(leaked, file));
         self.models[slot] = Box::new(CatBackend {
             name: leaked,
-            model: CatModel::new(leaked, file),
+            model: model.clone(),
             arch,
             tm,
             eval_error: std::sync::OnceLock::new(),
         });
+        match self.cat_models.iter_mut().find(|(s, _)| *s == slot) {
+            Some(entry) => entry.1 = model,
+            None => self.cat_models.push((slot, model)),
+        }
         // The replaced model may answer differently: drop its caches.
         self.verdicts.retain(|&(_, m), _| m != slot);
         self.outcome_sets.retain(|(_, m), _| *m != slot);
@@ -449,9 +475,18 @@ impl Session {
         Some(seen)
     }
 
-    /// Current cache and arena counters.
+    /// Current cache and arena counters. Compile-cache numbers are
+    /// aggregated from the registered `.cat` models at snapshot time.
     pub fn stats(&self) -> SessionStats {
-        self.stats
+        let mut s = self.stats;
+        for (_, model) in &self.cat_models {
+            let c = model.compile_stats();
+            s.compile_hits += c.hits;
+            s.compile_misses += c.misses;
+            s.compile_entries += c.entries;
+            s.compile_micros += c.micros;
+        }
+        s
     }
 
     // ---- Sweep drivers ---------------------------------------------------
@@ -583,6 +618,34 @@ mod tests {
             .register_cat_source("inc", "include \"x86fences.cat\"")
             .unwrap_err();
         assert_eq!(e, "inc: unsupported declaration 'include' at line 1");
+    }
+
+    #[test]
+    fn compile_cache_stats_aggregate_over_cat_models() {
+        let mut s = Session::new();
+        assert_eq!(s.stats().compile_entries, 0, "no cat models yet");
+        let m = s
+            .register_cat_source("my-sc", "acyclic po | com as Order")
+            .expect("compiles");
+        // Two different executions with the same event count: the first
+        // check specialises the tier, the second reuses it.
+        assert!(!s.consistent(&catalog::sb(None, false, false), m));
+        assert!(!s.consistent(&catalog::sb(None, true, true), m));
+        let st = s.stats();
+        assert_eq!(st.compile_misses, 1, "one tier specialised");
+        assert_eq!(st.compile_hits, 1, "second check reused it");
+        assert_eq!(st.compile_entries, 1);
+        assert!(st.compile_micros > 0, "compilation took measurable time");
+        // Reload swaps the compiled program: the fresh model starts
+        // with an empty tier cache but keeps serving.
+        s.reload_cat_source("my-sc", "acyclic poloc | com as Coherence")
+            .expect("reloads");
+        let st = s.stats();
+        assert_eq!(st.compile_entries, 0, "tiers recompile after reload");
+        assert!(s.consistent(&catalog::sb(None, false, false), m));
+        let st = s.stats();
+        assert_eq!(st.compile_entries, 1);
+        assert_eq!(st.compile_misses, 1, "reload resets the slot's counters");
     }
 
     #[test]

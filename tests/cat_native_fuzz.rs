@@ -7,6 +7,13 @@
 //! sampler also drives a second pass with independently randomised
 //! transaction layouts, exercising `.cat` lift combinators on shapes the
 //! interval enumerator visits in a different order.
+//!
+//! Since the compile pipeline landed, `CatModel::consistent` runs the
+//! bytecode VM, so the native twins above already fuzz the compiled
+//! path. The compiled-vs-reference tests below close the loop the other
+//! way: every shipped model (and the fencerel twins) must be
+//! byte-identical — violation labels included — to the retained AST
+//! reference interpreter on the same sampled space.
 
 use txmm::cat::cat_model;
 use txmm::core::rng::SplitMix64;
@@ -200,6 +207,87 @@ fn randomised_txn_fuzz(
         );
     });
     assert!(checked > 100, "sampled too little ({checked})");
+}
+
+/// An enumeration config exercising the architecture a shipped model
+/// targets, attrs included where the model reads access modes.
+fn config_for(name: &str) -> EnumConfig {
+    match name {
+        "SC" | "TSC" => fuzz_config(Arch::Sc, false, false),
+        n if n.starts_with("x86") => fuzz_config(Arch::X86, true, true),
+        n if n.starts_with("power") => fuzz_config(Arch::Power, true, true),
+        n if n.starts_with("armv8") => {
+            let mut cfg = fuzz_config(Arch::Armv8, true, true);
+            cfg.attrs = true;
+            cfg
+        }
+        _ => {
+            // C++ access modes multiply the space by 4 per event; three
+            // events keep the sweep tractable while still driving every
+            // mode-dependent builtin set through the compiled path.
+            let mut cfg = fuzz_config(Arch::Cpp, true, false);
+            cfg.attrs = true;
+            cfg.events = 3;
+            cfg
+        }
+    }
+}
+
+/// Sample the enumerated space and assert the compiled pipeline (via
+/// the tiered program cache and VM) reproduces the reference AST
+/// interpreter's verdict byte-for-byte, violation lists included.
+fn vm_reference_differential(
+    cfg: &EnumConfig,
+    cat: &txmm::cat::CatModel,
+    seed: u64,
+    denominator: usize,
+) {
+    let mut rng = SplitMix64::seed_from_u64(seed);
+    let mut checked = 0usize;
+    enumerate(cfg, &mut |x| {
+        if denominator > 1 && rng.below(denominator) != 0 {
+            return;
+        }
+        checked += 1;
+        let a = x.analysis();
+        let got = cat.check_analysis(&a).expect("compiled model evaluates");
+        let want = cat
+            .check_analysis_reference(&a)
+            .expect("reference interpreter evaluates");
+        assert_eq!(
+            got.violations(),
+            want.violations(),
+            "compiled vs reference disagree on:\n{}",
+            txmm::core::display::render(x)
+        );
+    });
+    assert!(checked > 100, "sampled too little ({checked})");
+}
+
+#[test]
+fn compiled_verdicts_match_reference_on_all_shipped_models() {
+    let denominator = if cfg!(debug_assertions) { 48 } else { 6 };
+    for (i, (name, _)) in txmm::cat::SOURCES.iter().enumerate() {
+        let cat = cat_model(name).expect("shipped model");
+        vm_reference_differential(&config_for(name), &cat, 0xbeef + i as u64, denominator);
+    }
+}
+
+/// The fencerel twins go through a different lowering (the dedicated
+/// `Fencerel` opcode) than the shipped sources; they too must match the
+/// reference interpreter exactly.
+#[test]
+fn compiled_fencerel_twins_match_reference() {
+    let denominator = if cfg!(debug_assertions) { 64 } else { 8 };
+    for (name, leaked) in [
+        ("power-tm", "power-tm-fencerel-vm"),
+        ("armv8-tm", "armv8-tm-fencerel-vm"),
+    ] {
+        let twin_src = fencerel_twin_source(name);
+        let file = txmm::cat::parse(&twin_src).expect("fencerel twin parses");
+        let cat = txmm::cat::CatModel::new(leaked, file);
+        vm_reference_differential(&config_for(name), &cat, 0x77aa, denominator);
+    }
 }
 
 #[test]
