@@ -36,6 +36,7 @@ pub mod lexer;
 pub mod models;
 pub mod opt;
 pub mod parser;
+pub mod prune;
 pub mod vm;
 
 pub use chunk::{Chunk, Op, RelBuiltin, SetBuiltin};
@@ -45,4 +46,5 @@ pub use lexer::{lex, LexError, Token};
 pub use models::{all_cat_models, cat_model, SOURCES};
 pub use opt::{optimise, specialise};
 pub use parser::{parse, CatFile, CheckKind, Decl, Expr, ParseError};
+pub use prune::{prune_program, CatPruneOracle};
 pub use vm::Vm;

@@ -80,6 +80,21 @@ fn sorted(a: u16, b: u16) -> (u16, u16) {
     }
 }
 
+/// Does this value-number key read the given register? Used to evict
+/// available expressions whose *operands* are redefined.
+fn key_uses(key: &Key, reg: AnyReg) -> bool {
+    use Key::*;
+    match (*key, reg) {
+        (UnionR(a, b) | InterR(a, b) | DiffR(a, b) | SeqR(a, b), AnyReg::R(x))
+        | (Weaklift(a, b) | Stronglift(a, b), AnyReg::R(x)) => a == x || b == x,
+        (UnionS(a, b) | InterS(a, b) | DiffS(a, b) | Cross(a, b), AnyReg::S(x)) => a == x || b == x,
+        (Plus(s) | Star(s) | Opt(s) | Inverse(s) | ComplementR(s), AnyReg::R(x))
+        | (Domain(s) | Range(s), AnyReg::R(x)) => s == x,
+        (IdOn(s) | ComplementS(s) | Fencerel(s), AnyReg::S(x)) => s == x,
+        _ => false,
+    }
+}
+
 fn key_of(op: &Op) -> Option<Key> {
     Some(match *op {
         Op::LoadR { b, .. } => Key::LoadR(b),
@@ -226,6 +241,38 @@ fn cse(mut c: Chunk) -> Chunk {
     for i in 0..c.ops.len() {
         let mut op = c.ops[i];
         op.rewrite_uses(&|x| sub_r[x as usize], &|x| sub_s[x as usize]);
+        // A redefinition kills the register's old value: evict the
+        // available expressions it holds or feeds, and any substitution
+        // still pointing at it. The compiler's output is nearly SSA so
+        // this rarely fires there, but re-optimising a *compacted*
+        // chunk (as the prune-oracle derivation does) reuses registers
+        // heavily and is unsound without it.
+        let redefined = match op {
+            Op::FixUpdate { bound, .. } => Some(AnyReg::R(bound.0)),
+            Op::FixLoop { .. } | Op::Check { .. } => None,
+            _ => op.def(),
+        };
+        if let Some(def) = redefined {
+            avail.retain(|key, &mut (reg, _)| reg != def && !key_uses(key, def));
+            match def {
+                AnyReg::R(d) => {
+                    for (x, slot) in sub_r.iter_mut().enumerate() {
+                        if *slot == d {
+                            *slot = x as u16;
+                        }
+                    }
+                    desc_r[d as usize] = None;
+                    key_r[d as usize] = None;
+                }
+                AnyReg::S(d) => {
+                    for (x, slot) in sub_s.iter_mut().enumerate() {
+                        if *slot == d {
+                            *slot = x as u16;
+                        }
+                    }
+                }
+            }
+        }
         match op {
             Op::FixUpdate { bound, .. } => {
                 let bit = 1u64 << bound_bit[&bound.0];

@@ -1,0 +1,458 @@
+//! Conservative prune oracles extracted from compiled `.cat` programs.
+//!
+//! A compiled model is a straight-line bytecode program ending in
+//! `acyclic`/`irreflexive`/`empty` checks. On a *partial* execution —
+//! `rf`/`co` still growing, `fr` maintained explicitly (see
+//! `txmm_core::incr`) — a check is a sound pruning test exactly when
+//! the relation it inspects can only **grow** as the candidate is
+//! extended: a cycle, reflexive pair or inhabitant found now persists
+//! in every completion.
+//!
+//! [`prune_program`] classifies every register of the generic program
+//! into a three-point lattice
+//!
+//! > `Fixed` (value equals the complete execution's) ⊑ `Grows`
+//! > (partial value ⊑ complete value) ⊑ `Unknown`
+//!
+//! by an abstract interpretation of the op list: structure builtins (`po`,
+//! `addr`, label sets, ...) are `Fixed`; the communication builtins
+//! (`rf`, `co`, `fr` and their views) are `Grows`; monotone operators
+//! (`| & ; + * ? ⁻¹`, cross, lifts-with-fixed-second-argument,
+//! `fencerel`, domain/range) propagate the join of their inputs;
+//! non-monotone positions (`\` or `¬` over a non-`Fixed` operand, a
+//! lift whose *transaction* argument may change) poison the result to
+//! `Unknown`. `let rec` bodies iterate to a join-semantics fixpoint —
+//! Tarski: a least fixpoint of a monotone body is monotone in its
+//! parameters. Checks over `Unknown` registers are dropped; what
+//! remains (re-optimised, so dead code feeding dropped checks goes
+//! too) is the oracle program.
+//!
+//! The transaction builtins flip with the caller's phase: while abort
+//! splits / transaction classes are still being chosen
+//! (`txns_known == false`), `stxn` itself may grow *and shrink*
+//! derived relations, so every transaction-derived builtin is
+//! `Unknown`; once the classes are fixed they are `Fixed`, and the
+//! communication lifts become `Grows`.
+//!
+//! A model none of whose checks survive yields no oracle ([`None`]),
+//! and compile errors never prune — both degrade to plain enumeration.
+
+use std::cell::RefCell;
+use std::sync::OnceLock;
+
+use txmm_core::incr::PruneOracle;
+use txmm_core::{ExecutionAnalysis, MAX_EVENTS};
+use txmm_models::Checker;
+
+use crate::chunk::{Chunk, Op, RelBuiltin};
+use crate::eval::CatModel;
+use crate::opt;
+use crate::vm::Vm;
+
+/// How a register's value behaves as a partial candidate is extended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+enum Growth {
+    /// Equal to its value on every completion.
+    Fixed,
+    /// A subset of its value on every completion.
+    Grows,
+    /// No monotonicity guarantee — checks over it must not prune.
+    Unknown,
+}
+
+fn builtin_growth(b: RelBuiltin, txns_known: bool) -> Growth {
+    use RelBuiltin::*;
+    match b {
+        Id | Unv | Po | Addr | Ctrl | Data | Rmw | Sloc | Sthd | Ext | PoLoc | FenceOrder(_)
+        | Dp => Growth::Fixed,
+        Rf | Co | Fr | Com | Rfe | Rfi | Coe | Coi | Fre | Fri | Come | Coherence | RmwIsol => {
+            Growth::Grows
+        }
+        // Derived purely from the transaction/critical-region classes:
+        // fixed once those are chosen, unusable before.
+        Stxn | Stxnat | Tfence | TfencePlus | Scr | Scrt => {
+            if txns_known {
+                Growth::Fixed
+            } else {
+                Growth::Unknown
+            }
+        }
+        // rmw ∩ tfence⁺: structure only, once txns are known.
+        TxnCancelsRmw => {
+            if txns_known {
+                Growth::Fixed
+            } else {
+                Growth::Unknown
+            }
+        }
+        // Lifts of com by a transaction equivalence: monotone in com
+        // with the equivalence fixed.
+        WeakIsol | StrongIsol | StrongIsolAtomic => {
+            if txns_known {
+                Growth::Grows
+            } else {
+                Growth::Unknown
+            }
+        }
+    }
+}
+
+/// One op's effect on the register classes. Straight-line code
+/// *overwrites* the destination (the compiler reuses registers, so a
+/// register's class is a property of the program point, not the
+/// register); inside a `let rec` body (`join == true`) classes only
+/// rise, so iterating the body to fixpoint over-approximates every
+/// round — sound by Tarski, since a least fixpoint of a monotone body
+/// is monotone in its parameters.
+fn step(
+    op: &Op,
+    rel: &mut [Growth],
+    set: &mut [Growth],
+    txns_known: bool,
+    join: bool,
+    changed: &mut bool,
+) {
+    fn write(slot: &mut Growth, g: Growth, join: bool, changed: &mut bool) {
+        let next = if join { g.max(*slot) } else { g };
+        if next != *slot {
+            *slot = next;
+            *changed = true;
+        }
+    }
+    use Op::*;
+    match *op {
+        LoadR { dst, b } => write(
+            &mut rel[dst.0 as usize],
+            builtin_growth(b, txns_known),
+            join,
+            changed,
+        ),
+        // Event sets from labels, constants and the fixpoint seed are
+        // all structure-fixed (the lattice bottom).
+        LoadS { dst, .. } => write(&mut set[dst.0 as usize], Growth::Fixed, join, changed),
+        ConstR { dst, .. } | EmptyR { dst } => {
+            write(&mut rel[dst.0 as usize], Growth::Fixed, join, changed)
+        }
+        ConstS { dst, .. } | Universe { dst } => {
+            write(&mut set[dst.0 as usize], Growth::Fixed, join, changed)
+        }
+        // Monotone in both operands.
+        UnionR { dst, a, b } | InterR { dst, a, b } | SeqR { dst, a, b } => {
+            let g = rel[a.0 as usize].max(rel[b.0 as usize]);
+            write(&mut rel[dst.0 as usize], g, join, changed);
+        }
+        // a \ b is monotone in a only when b cannot change.
+        DiffR { dst, a, b } => {
+            let g = if rel[b.0 as usize] == Growth::Fixed {
+                rel[a.0 as usize]
+            } else {
+                Growth::Unknown
+            };
+            write(&mut rel[dst.0 as usize], g, join, changed);
+        }
+        UnionS { dst, a, b } | InterS { dst, a, b } => {
+            let g = set[a.0 as usize].max(set[b.0 as usize]);
+            write(&mut set[dst.0 as usize], g, join, changed);
+        }
+        DiffS { dst, a, b } => {
+            let g = if set[b.0 as usize] == Growth::Fixed {
+                set[a.0 as usize]
+            } else {
+                Growth::Unknown
+            };
+            write(&mut set[dst.0 as usize], g, join, changed);
+        }
+        Cross { dst, a, b } => {
+            let g = set[a.0 as usize].max(set[b.0 as usize]);
+            write(&mut rel[dst.0 as usize], g, join, changed);
+        }
+        IdOn { dst, src } | Fencerel { dst, src } => {
+            let g = set[src.0 as usize];
+            write(&mut rel[dst.0 as usize], g, join, changed);
+        }
+        Plus { dst, src } | Star { dst, src } | Opt { dst, src } | Inverse { dst, src } => {
+            let g = rel[src.0 as usize];
+            write(&mut rel[dst.0 as usize], g, join, changed);
+        }
+        ComplementR { dst, src } => {
+            let g = if rel[src.0 as usize] == Growth::Fixed {
+                Growth::Fixed
+            } else {
+                Growth::Unknown
+            };
+            write(&mut rel[dst.0 as usize], g, join, changed);
+        }
+        ComplementS { dst, src } => {
+            let g = if set[src.0 as usize] == Growth::Fixed {
+                Growth::Fixed
+            } else {
+                Growth::Unknown
+            };
+            write(&mut set[dst.0 as usize], g, join, changed);
+        }
+        Domain { dst, src } | Range { dst, src } => {
+            let g = rel[src.0 as usize];
+            write(&mut set[dst.0 as usize], g, join, changed);
+        }
+        Weaklift { dst, a, b } | Stronglift { dst, a, b } => {
+            let g = if rel[b.0 as usize] == Growth::Fixed {
+                rel[a.0 as usize]
+            } else {
+                Growth::Unknown
+            };
+            write(&mut rel[dst.0 as usize], g, join, changed);
+        }
+        // The VM copies `bound <- src` with a convergence test; under
+        // join it lubs, over-approximating whichever round last wrote.
+        FixUpdate { bound, src } => {
+            let g = rel[src.0 as usize];
+            write(&mut rel[bound.0 as usize], g, join, changed);
+        }
+        FixLoop { .. } | Check { .. } => {}
+    }
+}
+
+/// Abstract-interpret the program, recording each check's growth class
+/// at its own program point. `let rec` bodies iterate to fixpoint with
+/// join semantics; everything else runs once, in order.
+fn classify(chunk: &Chunk, txns_known: bool) -> Vec<Growth> {
+    let mut rel = vec![Growth::Fixed; chunk.rel_regs as usize];
+    let mut set = vec![Growth::Fixed; chunk.set_regs as usize];
+    let mut class = vec![Growth::Fixed; chunk.ops.len()];
+    let mut i = 0;
+    while i < chunk.ops.len() {
+        if let Some(&(s, e)) = chunk.fix_groups.iter().find(|&&(s, _)| s as usize == i) {
+            loop {
+                let mut changed = false;
+                for op in &chunk.ops[s as usize..e as usize] {
+                    step(op, &mut rel, &mut set, txns_known, true, &mut changed);
+                }
+                if !changed {
+                    break;
+                }
+            }
+            i = e as usize;
+        } else {
+            let op = &chunk.ops[i];
+            if let Op::Check { src, .. } = *op {
+                class[i] = rel[src.0 as usize];
+            } else {
+                let mut sink = false;
+                step(op, &mut rel, &mut set, txns_known, false, &mut sink);
+            }
+            i += 1;
+        }
+    }
+    class
+}
+
+/// The monotone core of a compiled model: the program with every check
+/// over an `Unknown` register removed (then re-optimised). `None` when
+/// no check survives — the model offers nothing sound to prune on.
+pub fn prune_program(generic: &Chunk, txns_known: bool) -> Option<Chunk> {
+    let class = classify(generic, txns_known);
+    let keep: Vec<bool> = generic
+        .ops
+        .iter()
+        .enumerate()
+        .map(|(i, op)| match op {
+            Op::Check { .. } => class[i] != Growth::Unknown,
+            _ => true,
+        })
+        .collect();
+    if !generic
+        .ops
+        .iter()
+        .zip(&keep)
+        .any(|(op, &k)| k && matches!(op, Op::Check { .. }))
+    {
+        return None;
+    }
+    // Dropping ops shifts indices; remap the fixpoint ranges and
+    // back-jump targets (checks never sit inside a `let rec` body, but
+    // ones *before* a group still shift it).
+    let removed_before =
+        |idx: u32| -> u32 { keep.iter().take(idx as usize).filter(|&&k| !k).count() as u32 };
+    let ops: Vec<Op> = generic
+        .ops
+        .iter()
+        .zip(&keep)
+        .filter(|(_, &k)| k)
+        .map(|(op, _)| match *op {
+            Op::FixLoop { start } => Op::FixLoop {
+                start: start - removed_before(start),
+            },
+            other => other,
+        })
+        .collect();
+    let fix_groups = generic
+        .fix_groups
+        .iter()
+        .map(|&(s, e)| (s - removed_before(s), e - removed_before(e)))
+        .collect();
+    Some(opt::optimise(Chunk {
+        ops,
+        fix_groups,
+        rel_regs: generic.rel_regs,
+        set_regs: generic.set_regs,
+        names: generic.names.clone(),
+        rel_consts: generic.rel_consts.clone(),
+        set_consts: generic.set_consts.clone(),
+        events: generic.events,
+    }))
+}
+
+thread_local! {
+    /// A register file for oracle runs, separate from the full-check
+    /// VM so the two workloads don't thrash each other's bank shapes.
+    static PRUNE_VM: RefCell<Vm> = RefCell::new(Vm::new());
+}
+
+/// A [`PruneOracle`] running a model's monotone core on partial
+/// executions, specialised per event count like the full pipeline.
+pub struct CatPruneOracle {
+    name: &'static str,
+    generic: Chunk,
+    tiers: Vec<OnceLock<Chunk>>,
+}
+
+impl CatPruneOracle {
+    /// Derive the oracle for `model` in the given phase. `None` when
+    /// the model failed to compile or keeps no monotone check —
+    /// callers then simply don't prune.
+    pub fn derive(
+        name: &'static str,
+        model: &CatModel,
+        txns_known: bool,
+    ) -> Option<CatPruneOracle> {
+        let generic = prune_program(model.program().ok()?, txns_known)?;
+        Some(CatPruneOracle {
+            name,
+            generic,
+            tiers: (0..=MAX_EVENTS).map(|_| OnceLock::new()).collect(),
+        })
+    }
+
+    /// Number of checks the monotone core retained (observability).
+    pub fn checks(&self) -> usize {
+        self.generic
+            .ops
+            .iter()
+            .filter(|op| matches!(op, Op::Check { .. }))
+            .count()
+    }
+
+    fn tier(&self, n: usize) -> &Chunk {
+        match self.tiers.get(n) {
+            Some(slot) => slot.get_or_init(|| opt::specialise(&self.generic, n)),
+            None => &self.generic,
+        }
+    }
+}
+
+impl PruneOracle for CatPruneOracle {
+    fn viable(&self, a: &ExecutionAnalysis<'_>) -> bool {
+        let chunk = self.tier(a.len());
+        let mut checker = Checker::new(self.name);
+        PRUNE_VM.with(|vm| vm.borrow_mut().run(chunk, a, &mut checker));
+        checker.finish().is_consistent()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+
+    fn compiled(src: &str) -> CatModel {
+        CatModel::new("probe", parse(src).expect("parse"))
+    }
+
+    fn survivors(src: &str, txns_known: bool) -> Vec<&'static str> {
+        let m = compiled(src);
+        match prune_program(m.program().expect("compile"), txns_known) {
+            None => Vec::new(),
+            Some(chunk) => chunk
+                .ops
+                .iter()
+                .filter_map(|op| match op {
+                    Op::Check { name, .. } => Some(chunk.names[*name as usize]),
+                    _ => None,
+                })
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn monotone_checks_survive() {
+        assert_eq!(
+            survivors("acyclic po | com as Order", false),
+            ["Order"],
+            "po ∪ com only grows"
+        );
+        assert_eq!(
+            survivors("empty rmw & (fre ; coe) as RMWIsol", false),
+            ["RMWIsol"]
+        );
+    }
+
+    #[test]
+    fn txn_checks_survive_only_once_txns_are_known() {
+        let src = "acyclic stronglift(com, stxn) as StrongIsol";
+        assert_eq!(survivors(src, false), Vec::<&str>::new());
+        assert_eq!(survivors(src, true), ["StrongIsol"]);
+    }
+
+    #[test]
+    fn complement_and_difference_poison() {
+        // `~rf` and `po \ rf` can shrink as rf grows: never prune.
+        assert_eq!(survivors("acyclic ~rf as No", true), Vec::<&str>::new());
+        assert_eq!(
+            survivors("irreflexive (po \\ rf) ; com as No", true),
+            Vec::<&str>::new()
+        );
+        // ...but a difference with a fixed subtrahend is monotone.
+        assert_eq!(survivors("acyclic (rf \\ sthd) | co as Ok", true), ["Ok"]);
+    }
+
+    #[test]
+    fn mixed_models_keep_only_monotone_checks() {
+        let src = "acyclic po | com as Order\nempty ~(po | rf) & rf as Weird";
+        assert_eq!(survivors(src, false), ["Order"]);
+    }
+
+    #[test]
+    fn recursive_groups_classify_through_the_fixpoint() {
+        // The bound grows from rf: monotone, so the check survives —
+        // and the fixpoint ranges survive the index remap.
+        let src = "let rec r = rf | (r ; po)\nacyclic r as Rec";
+        assert_eq!(survivors(src, false), ["Rec"]);
+        // Poison an input and the bound poisons too.
+        let src = "let rec r = ~rf | (r ; po)\nacyclic r as Rec";
+        assert_eq!(survivors(src, false), Vec::<&str>::new());
+    }
+
+    #[test]
+    fn oracle_agrees_with_full_check_on_complete_executions() {
+        use txmm_models::catalog;
+        let m = compiled("acyclic po | com as Order\nacyclic stronglift(com, stxn) as Iso");
+        let oracle = CatPruneOracle::derive("probe", &m, true).expect("oracle");
+        assert_eq!(oracle.checks(), 2);
+        for x in [catalog::fig1(), catalog::fig2()] {
+            let full = m.check(&x).expect("eval").is_consistent();
+            let a = ExecutionAnalysis::with_fr(&x, x.fr());
+            // On a complete execution the monotone core is a subset of
+            // the checks: it may accept more, never less.
+            assert!(oracle.viable(&a) || !full);
+            if !oracle.viable(&a) {
+                assert!(!full);
+            }
+        }
+    }
+
+    #[test]
+    fn no_monotone_check_means_no_oracle() {
+        let m = compiled("empty ~rf as No");
+        assert!(CatPruneOracle::derive("probe", &m, true).is_none());
+    }
+}

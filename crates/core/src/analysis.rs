@@ -131,6 +131,20 @@ impl<'x> ExecutionAnalysis<'x> {
         }
     }
 
+    /// An analysis whose `fr` slot is pre-seeded instead of derived
+    /// from the closed form.
+    ///
+    /// The incremental engine ([`crate::incr`]) grows executions edge
+    /// by edge and maintains the *partial* `fr` explicitly — the
+    /// closed form misreads unassigned reads as init reads on partial
+    /// executions. Every derived relation downstream of `fr` then
+    /// reflects the seeded value.
+    pub fn with_fr(x: &'x Execution, fr: Rel) -> ExecutionAnalysis<'x> {
+        let a = ExecutionAnalysis::new(x);
+        let _ = a.fr.0.set(Box::new(fr));
+        a
+    }
+
     /// The underlying execution.
     pub fn exec(&self) -> &'x Execution {
         self.x

@@ -56,6 +56,7 @@ pub mod canon;
 pub mod display;
 pub mod event;
 pub mod exec;
+pub mod incr;
 pub mod rel;
 pub mod rng;
 pub mod set;
@@ -67,6 +68,7 @@ pub use build::ExecBuilder;
 pub use canon::canon_key;
 pub use event::{loc_name, Attrs, Call, Event, EventId, EventKind, Fence, Loc, Tid};
 pub use exec::{CrClass, Execution, LocSet, ThreadEvents, TxnClass};
+pub use incr::{Checkpoint, IncrOrder, NoPrune, PartialCandidate, PruneOracle, PruneStats};
 pub use rel::{stronglift, union_all, weaklift, Rel};
 pub use set::{EventSet, MAX_EVENTS};
 pub use wf::WfError;

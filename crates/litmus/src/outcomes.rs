@@ -30,7 +30,10 @@
 
 use std::collections::HashMap;
 
-use txmm_core::{Event, EventId, Execution, Loc, Rel, TxnClass, MAX_EVENTS};
+use txmm_core::{
+    Event, EventId, EventSet, Execution, Loc, PartialCandidate, PruneOracle, PruneStats, Rel,
+    TxnClass, MAX_EVENTS,
+};
 
 use crate::ast::{AccessMode, DepKind, LitmusTest, Op};
 use crate::to_exec::LitmusConvertError;
@@ -381,27 +384,34 @@ fn count_for_mask(sk: &ProgramSkeleton, mask: u64) -> u128 {
     total
 }
 
-/// Enumerate every candidate execution of the program, calling `f` once
-/// per candidate; returns the number visited. Candidates stream in a
-/// deterministic order: abort masks ascending, then coherence
-/// permutations, then rf assignments (each in a fixed lexicographic
-/// order).
-pub fn enumerate_candidates(
-    t: &LitmusTest,
-    f: &mut dyn FnMut(Candidate),
-) -> Result<usize, LitmusConvertError> {
-    let sk = ProgramSkeleton::from_litmus(t)?;
-    let nthreads = t.threads.len();
-    let nlocs = sk.max_loc().map(|l| l as usize + 1).unwrap_or(0);
-    // At most MAX_EVENTS (64) single-event classes fit a program, so
-    // u64 masks cover every split; the u128 shift keeps the count of
-    // splits representable at exactly 64 classes.
-    let splits: u128 = 1u128 << sk.txns.len();
-    let mut visited = 0usize;
+/// One abort split of a program, projected onto its committed events:
+/// the fixed structure both enumerators (plain and pruned) walk.
+struct MaskedProgram {
+    n: usize,
+    events: Vec<Event>,
+    po: Rel,
+    addr: Rel,
+    ctrl: Rel,
+    data: Rel,
+    rmw: Rel,
+    txns: Vec<TxnClass>,
+    /// Per litmus-level transaction: committed under this mask?
+    txn_ok: Vec<bool>,
+    /// Committed writes per location (value, new id), program order,
+    /// locations ascending.
+    live_writes: Vec<(Loc, Vec<(u32, EventId)>)>,
+    /// Committed reads (new id, loc, old id), program order.
+    reads: Vec<(EventId, Loc, EventId)>,
+    /// Per read: index into `live_writes` of its location, if any.
+    read_lw: Vec<Option<usize>>,
+    /// Per read: rf choice count — 1 (initial value) + live writes at
+    /// its location.
+    rf_arity: Vec<usize>,
+}
 
-    for mask in 0..splits {
-        let mask = mask as u64;
-        let dead = aborted_events(&sk, mask);
+impl MaskedProgram {
+    fn project(sk: &ProgramSkeleton, mask: u64) -> MaskedProgram {
+        let dead = aborted_events(sk, mask);
         // Old → new event ids over the committed events.
         let mut remap = vec![None; sk.len()];
         let mut events = Vec::new();
@@ -421,11 +431,6 @@ pub fn enumerate_candidates(
             }
             out
         };
-        let po = project(&sk.po);
-        let addr = project(&sk.addr);
-        let ctrl = project(&sk.ctrl);
-        let data = project(&sk.data);
-        let rmw = project(&sk.rmw);
         let txns: Vec<TxnClass> = sk
             .txns
             .iter()
@@ -447,7 +452,6 @@ pub fn enumerate_candidates(
             }
         }
 
-        // Committed writes per location (new id, value), program order.
         let mut locs: Vec<Loc> = sk.writes_by_loc.keys().copied().collect();
         locs.sort_unstable();
         let live_writes: Vec<(Loc, Vec<(u32, EventId)>)> = locs
@@ -463,7 +467,6 @@ pub fn enumerate_candidates(
                 )
             })
             .collect();
-        // Committed reads (new id, loc, old id), program order.
         let reads: Vec<(EventId, Loc, EventId)> = sk
             .events
             .iter()
@@ -484,6 +487,76 @@ pub fn enumerate_candidates(
             .iter()
             .map(|lw| lw.map(|i| live_writes[i].1.len()).unwrap_or(0) + 1)
             .collect();
+
+        MaskedProgram {
+            n,
+            events,
+            po: project(&sk.po),
+            addr: project(&sk.addr),
+            ctrl: project(&sk.ctrl),
+            data: project(&sk.data),
+            rmw: project(&sk.rmw),
+            txns,
+            txn_ok,
+            live_writes,
+            reads,
+            read_lw,
+            rf_arity,
+        }
+    }
+
+    /// The split's execution with `rf` and `co` still empty — the root
+    /// of the candidate subtree this mask contributes.
+    fn base_execution(&self) -> Execution {
+        Execution::from_parts(
+            self.events.clone(),
+            self.po,
+            self.addr,
+            self.ctrl,
+            self.data,
+            self.rmw,
+            Rel::empty(self.n),
+            Rel::empty(self.n),
+            self.txns.clone(),
+        )
+    }
+}
+
+/// Enumerate every candidate execution of the program, calling `f` once
+/// per candidate; returns the number visited. Candidates stream in a
+/// deterministic order: abort masks ascending, then coherence
+/// permutations, then rf assignments (each in a fixed lexicographic
+/// order).
+pub fn enumerate_candidates(
+    t: &LitmusTest,
+    f: &mut dyn FnMut(Candidate),
+) -> Result<usize, LitmusConvertError> {
+    let sk = ProgramSkeleton::from_litmus(t)?;
+    let nthreads = t.threads.len();
+    let nlocs = sk.max_loc().map(|l| l as usize + 1).unwrap_or(0);
+    // At most MAX_EVENTS (64) single-event classes fit a program, so
+    // u64 masks cover every split; the u128 shift keeps the count of
+    // splits representable at exactly 64 classes.
+    let splits: u128 = 1u128 << sk.txns.len();
+    let mut visited = 0usize;
+
+    for mask in 0..splits {
+        let mask = mask as u64;
+        let MaskedProgram {
+            n,
+            events,
+            po,
+            addr,
+            ctrl,
+            data,
+            rmw,
+            txns,
+            txn_ok,
+            live_writes,
+            reads,
+            read_lw,
+            rf_arity,
+        } = MaskedProgram::project(&sk, mask);
 
         // Per-location coherence permutations, then per-read rf choices.
         let mut perms: Vec<Vec<usize>> = live_writes
@@ -607,6 +680,248 @@ pub fn candidates(t: &LitmusTest) -> Result<Vec<Candidate>, LitmusConvertError> 
     let mut out = Vec::new();
     enumerate_candidates(t, &mut |c| out.push(c))?;
     Ok(out)
+}
+
+/// Saturating `n!` in the skip-count arithmetic's width.
+fn fact64(n: usize) -> u64 {
+    let mut out = 1u64;
+    for k in 1..=n as u64 {
+        out = out.saturating_mul(k);
+    }
+    out
+}
+
+/// Enumerate only the candidates the model's [`PruneOracle`] cannot
+/// rule out, abandoning doomed subtrees the moment a partial
+/// `rf`/`co` assignment (or a whole abort split) closes a forbidden
+/// cycle. Every candidate the oracle's model finds consistent **is**
+/// visited — oracles are conservative, so pruning never loses an
+/// allowed outcome — but `f` may also see candidates a full check
+/// would reject (the oracle only runs the monotone fragment), so
+/// callers must still verdict what they keep. Returns the visit count
+/// and the [`PruneStats`] describing the work avoided.
+///
+/// The walk differs from [`enumerate_candidates`] in order (abort
+/// masks *descending*, coherence placements and rf choices depth-
+/// first) but visits a subset of the same candidates: with
+/// [`txmm_core::NoPrune`] it is exactly the plain enumeration,
+/// reordered.
+///
+/// Abort splits are checked once at their root (`rf = co = ∅`); for
+/// [event-monotone](PruneOracle::event_monotone) oracles a dead
+/// split's rejection also kills every split that commits a superset
+/// of its events — those masks are skipped without projecting the
+/// program, which is why masks descend (a superset-committing mask is
+/// numerically smaller).
+pub fn enumerate_candidates_pruned(
+    t: &LitmusTest,
+    oracle: &dyn PruneOracle,
+    f: &mut dyn FnMut(Candidate),
+) -> Result<(usize, PruneStats), LitmusConvertError> {
+    let sk = ProgramSkeleton::from_litmus(t)?;
+    let nthreads = t.threads.len();
+    let nlocs = sk.max_loc().map(|l| l as usize + 1).unwrap_or(0);
+    let splits: u128 = 1u128 << sk.txns.len();
+    let mut visited = 0usize;
+    let mut stats = PruneStats::default();
+    let mut dead_masks: Vec<u64> = Vec::new();
+
+    for mask in (0..splits).rev() {
+        let mask = mask as u64;
+        let skip_count = || count_for_mask(&sk, mask).min(u64::MAX as u128) as u64;
+        // `mask | d == d` ⟺ aborted(mask) ⊆ aborted(d) ⟺ this split
+        // commits every event (and transaction) the dead split `d`
+        // committed, so `d`'s root rejection carries over. (The
+        // `manual_contains` suggestion is a false positive: `d` is the
+        // closure binding, not a free variable.)
+        #[allow(clippy::manual_contains)]
+        if dead_masks.iter().any(|&d| mask | d == d) {
+            stats.subtrees_cut += 1;
+            stats.candidates_skipped = stats.candidates_skipped.saturating_add(skip_count());
+            continue;
+        }
+        let mp = MaskedProgram::project(&sk, mask);
+        let mut pc = PartialCandidate::new(mp.base_execution());
+        if !pc.viable(oracle, &mut stats) {
+            stats.subtrees_cut += 1;
+            stats.candidates_skipped = stats.candidates_skipped.saturating_add(skip_count());
+            if oracle.event_monotone() {
+                dead_masks.push(mask);
+            }
+            continue;
+        }
+
+        // Suffix products for exact skip counts: cutting after the
+        // (k+1)-th placement at location `li` abandons
+        // `(m_li-k-1)! × co_tail[li] × rf_all` complete candidates;
+        // cutting at read `i` abandons `rf_tail[i]`.
+        let nlw = mp.live_writes.len();
+        let mut co_tail = vec![1u64; nlw + 1];
+        for li in (0..nlw).rev() {
+            co_tail[li] = co_tail[li + 1].saturating_mul(fact64(mp.live_writes[li].1.len()));
+        }
+        let nreads = mp.reads.len();
+        let mut rf_tail = vec![1u64; nreads + 1];
+        for i in (0..nreads).rev() {
+            rf_tail[i] = rf_tail[i + 1].saturating_mul(mp.rf_arity[i] as u64);
+        }
+        let read_ws: Vec<EventSet> = mp
+            .read_lw
+            .iter()
+            .map(|lw| match lw {
+                Some(i) => EventSet::from_iter(mp.live_writes[*i].1.iter().map(|&(_, e)| e)),
+                None => EventSet::default(),
+            })
+            .collect();
+
+        let mut walk = PrunedWalk {
+            sk: &sk,
+            mp: &mp,
+            oracle,
+            mask,
+            nthreads,
+            co_tail,
+            rf_tail,
+            read_ws,
+            co_orders: vec![Vec::new(); nlocs],
+            rf_val: vec![0u32; nreads],
+            visited: &mut visited,
+            stats: &mut stats,
+            f,
+        };
+        walk.place(&mut pc, 0, 0, EventSet::default());
+    }
+    Ok((visited, stats))
+}
+
+/// The per-split depth-first state of [`enumerate_candidates_pruned`]:
+/// coherence placements first (location by location, write by write),
+/// then rf choices read by read, one viability check per edge batch.
+struct PrunedWalk<'a> {
+    sk: &'a ProgramSkeleton,
+    mp: &'a MaskedProgram,
+    oracle: &'a dyn PruneOracle,
+    mask: u64,
+    nthreads: usize,
+    co_tail: Vec<u64>,
+    rf_tail: Vec<u64>,
+    /// Per read: the committed writes at its location.
+    read_ws: Vec<EventSet>,
+    /// Values placed so far, per location — the `co_order` under
+    /// construction.
+    co_orders: Vec<Vec<u32>>,
+    /// Value each read currently observes.
+    rf_val: Vec<u32>,
+    visited: &'a mut usize,
+    stats: &'a mut PruneStats,
+    f: &'a mut dyn FnMut(Candidate),
+}
+
+impl PrunedWalk<'_> {
+    /// Choose the write ranked `k` in location `li`'s coherence order
+    /// (`used` = already-ranked writes as a bitmask over the
+    /// live-write list, `placed` = their event ids).
+    fn place(&mut self, pc: &mut PartialCandidate, li: usize, used: u64, placed: EventSet) {
+        if li == self.mp.live_writes.len() {
+            return self.rf(pc, 0);
+        }
+        let (loc, ref ws) = self.mp.live_writes[li];
+        let k = used.count_ones() as usize;
+        if k == ws.len() {
+            return self.place(pc, li + 1, 0, EventSet::default());
+        }
+        for j in 0..ws.len() {
+            if used & (1 << j) != 0 {
+                continue;
+            }
+            let (v, e) = ws[j];
+            let snap = pc.snapshot();
+            pc.push_co(placed, e);
+            self.co_orders[loc as usize].push(v);
+            // The first write at a location adds no edges: nothing to
+            // check yet.
+            if placed.is_empty() || pc.viable(self.oracle, self.stats) {
+                let mut placed2 = placed;
+                placed2.insert(e);
+                self.place(pc, li, used | (1 << j), placed2);
+            } else {
+                self.stats.subtrees_cut += 1;
+                let below = fact64(ws.len() - k - 1)
+                    .saturating_mul(self.co_tail[li + 1])
+                    .saturating_mul(self.rf_tail[0]);
+                self.stats.candidates_skipped = self.stats.candidates_skipped.saturating_add(below);
+            }
+            self.co_orders[loc as usize].pop();
+            pc.restore(&snap);
+        }
+    }
+
+    /// Choose where read `i` reads from (0 = initial value).
+    fn rf(&mut self, pc: &mut PartialCandidate, i: usize) {
+        if i == self.mp.reads.len() {
+            return self.leaf(pc);
+        }
+        let (rnew, _, _) = self.mp.reads[i];
+        for choice in 0..self.mp.rf_arity[i] {
+            let snap = pc.snapshot();
+            let changed = if choice == 0 {
+                // Reading the initial value forces fr to every
+                // committed write at the location (none ⇒ no-op).
+                pc.assign_init_read(rnew, self.read_ws[i]);
+                self.rf_val[i] = 0;
+                !self.read_ws[i].is_empty()
+            } else {
+                let lw = self.mp.read_lw[i].expect("choice > 0 needs live writes");
+                let (v, w) = self.mp.live_writes[lw].1[choice - 1];
+                pc.assign_rf(w, rnew);
+                self.rf_val[i] = v;
+                true
+            };
+            if !changed || pc.viable(self.oracle, self.stats) {
+                self.rf(pc, i + 1);
+            } else {
+                self.stats.subtrees_cut += 1;
+                self.stats.candidates_skipped = self
+                    .stats
+                    .candidates_skipped
+                    .saturating_add(self.rf_tail[i + 1]);
+            }
+            pc.restore(&snap);
+        }
+    }
+
+    /// Every choice made and every check passed: materialise the
+    /// candidate.
+    fn leaf(&mut self, pc: &mut PartialCandidate) {
+        *self.visited += 1;
+        let exec = pc.exec().clone();
+        debug_assert!(exec.check_wf().is_ok(), "candidate must be well-formed");
+        let nlocs = self.co_orders.len();
+        let mut memory = vec![0u32; nlocs];
+        for (loc, order) in self.co_orders.iter().enumerate() {
+            if let Some(&v) = order.last() {
+                memory[loc] = v;
+            }
+        }
+        let mut regs: Vec<Vec<u32>> = (0..self.nthreads)
+            .map(|t| vec![0u32; self.sk.nregs[t]])
+            .collect();
+        for (ri, &(_, _, rold)) in self.mp.reads.iter().enumerate() {
+            if let Some((tid, reg)) = self.sk.reg_of[rold] {
+                if self.sk.reg_event.get(&(tid, reg)) == Some(&rold) {
+                    regs[tid][reg] = self.rf_val[ri];
+                }
+            }
+        }
+        (self.f)(Candidate {
+            exec,
+            regs,
+            memory,
+            txn_ok: self.mp.txn_ok.clone(),
+            co_order: self.co_orders.clone(),
+            aborted: self.mask,
+        });
+    }
 }
 
 /// A deterministic byte key identifying the *program* of a litmus test:
@@ -881,6 +1196,88 @@ mod tests {
             post: vec![],
         };
         assert_eq!(candidate_count(&t).expect("counts"), u128::MAX);
+    }
+
+    /// A stable identity for a candidate: the full graph plus the
+    /// final state, insensitive to enumeration order.
+    fn cand_key(c: &Candidate) -> String {
+        format!(
+            "{:?}",
+            (
+                c.aborted,
+                &c.regs,
+                &c.memory,
+                &c.co_order,
+                &c.txn_ok,
+                c.exec.rf().pairs().collect::<Vec<_>>(),
+                c.exec.co().pairs().collect::<Vec<_>>(),
+            )
+        )
+    }
+
+    #[test]
+    fn pruned_enumeration_with_noprune_is_plain_enumeration() {
+        use txmm_core::NoPrune;
+        for x in [
+            catalog::sb(None, true, false),
+            catalog::mp(None, true, false),
+            catalog::fig2(),
+        ] {
+            let t = litmus_from_execution("t", &x, Arch::X86);
+            let mut plain: Vec<String> = candidates(&t).unwrap().iter().map(cand_key).collect();
+            let mut pruned = Vec::new();
+            let (visited, stats) =
+                enumerate_candidates_pruned(&t, &NoPrune, &mut |c| pruned.push(cand_key(&c)))
+                    .unwrap();
+            assert_eq!(visited as u128, candidate_count(&t).unwrap());
+            assert_eq!(stats.subtrees_cut, 0);
+            assert_eq!(stats.candidates_skipped, 0);
+            plain.sort();
+            pruned.sort();
+            assert_eq!(plain, pruned, "NoPrune must reorder, not drop");
+        }
+    }
+
+    #[test]
+    fn pruning_never_loses_a_consistent_candidate() {
+        use std::collections::BTreeSet;
+        // Every native model doubles as its own oracle; the pruned
+        // stream filtered by the full check must equal the plain
+        // stream filtered the same way, and skip counts must be exact.
+        for x in [
+            catalog::sb(None, false, false),
+            catalog::sb(None, true, true),
+            catalog::mp(None, true, false),
+            catalog::power_exec3(true),
+        ] {
+            let t = litmus_from_execution("t", &x, Arch::X86);
+            let all = candidates(&t).unwrap();
+            for m in txmm_models::registry::all_models() {
+                let Some(oracle) = m.prune_oracle(true) else {
+                    continue;
+                };
+                let mut kept = Vec::new();
+                let (visited, stats) =
+                    enumerate_candidates_pruned(&t, oracle, &mut |c| kept.push(c)).unwrap();
+                assert_eq!(
+                    visited as u64 + stats.candidates_skipped,
+                    all.len() as u64,
+                    "{}: every candidate is visited or accounted skipped",
+                    m.name()
+                );
+                let plain_ok: BTreeSet<String> = all
+                    .iter()
+                    .filter(|c| m.consistent(&c.exec))
+                    .map(cand_key)
+                    .collect();
+                let pruned_ok: BTreeSet<String> = kept
+                    .iter()
+                    .filter(|c| m.consistent(&c.exec))
+                    .map(cand_key)
+                    .collect();
+                assert_eq!(plain_ok, pruned_ok, "{}", m.name());
+            }
+        }
     }
 
     #[test]

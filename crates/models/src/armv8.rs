@@ -7,6 +7,7 @@
 //! Research) adds `tfence` to `ob`, plus `StrongIsol`, `TxnOrder` and
 //! `TxnCancelsRMW`.
 
+use txmm_core::incr::PruneOracle;
 use txmm_core::{stronglift, union_all, ExecutionAnalysis, Fence, Rel};
 
 use crate::arch::Arch;
@@ -141,6 +142,25 @@ impl Model for Armv8 {
             c.acyclic("TxnOrder", d.expect("txnorder"));
             c.empty("TxnCancelsRMW", a.txn_cancels_rmw());
         }
+    }
+
+    fn prune_oracle(&self, _txns_known: bool) -> Option<&dyn PruneOracle> {
+        Some(self)
+    }
+}
+
+// `ob` and the TM additions are monotone in (rf, co, fr); as for
+// Power, the lifts cannot fire spuriously while txns are unassigned.
+impl PruneOracle for Armv8 {
+    fn viable(&self, a: &ExecutionAnalysis<'_>) -> bool {
+        self.check_analysis(a).is_consistent()
+    }
+
+    fn coherence_gate(&self) -> bool {
+        true
+    }
+    fn event_monotone(&self) -> bool {
+        true // pairwise builtins and monotone compositions only
     }
 }
 

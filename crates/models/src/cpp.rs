@@ -10,6 +10,7 @@
 //! program is undefined; [`Cpp::racy`] reports races separately from the
 //! consistency verdict.
 
+use txmm_core::incr::PruneOracle;
 #[cfg(test)]
 use txmm_core::Attrs;
 use txmm_core::{union_all, weaklift, Execution, ExecutionAnalysis, Rel};
@@ -193,6 +194,21 @@ impl Model for Cpp {
         c.empty("RMWIsol", a.rmw_isol());
         c.acyclic("NoThinAir", d.expect("nothinair"));
         c.acyclic("SeqCst", d.expect("psc"));
+    }
+
+    fn prune_oracle(&self, _txns_known: bool) -> Option<&dyn PruneOracle> {
+        Some(self)
+    }
+}
+
+// hb, psc and the axiom bodies are monotone in (rf, co, fr): every
+// `minus` in their definitions has a fixed (label-derived) right-hand
+// side, and `tsw` is empty while txns are unassigned. No coherence
+// gate — RC11 does not entail `acyclic(po_loc ∪ com)` (races aside,
+// only `hb ∩ sloc` of it enters an axiom).
+impl PruneOracle for Cpp {
+    fn viable(&self, a: &ExecutionAnalysis<'_>) -> bool {
+        self.check_analysis(a).is_consistent()
     }
 }
 

@@ -13,6 +13,7 @@
 //! single analysis and use [`Model::check_analysis`]; the convenience
 //! [`Model::check`] builds a private analysis for one-off checks.
 
+use txmm_core::incr::PruneOracle;
 use txmm_core::{Execution, ExecutionAnalysis, Rel};
 
 use crate::arch::Arch;
@@ -203,6 +204,25 @@ pub trait Model: Send + Sync {
     /// Convenience: consistency against a shared analysis.
     fn consistent_analysis(&self, a: &ExecutionAnalysis<'_>) -> bool {
         self.check_analysis(a).is_consistent()
+    }
+
+    /// A conservative viability oracle over *partial* executions, or
+    /// `None` when the model cannot vouch for one (pruning then
+    /// degrades to plain enumeration — always sound).
+    ///
+    /// `txns_known` says whether the candidate's transaction classes
+    /// are already fixed. When they are still to be chosen
+    /// (`txns_known == false`, the enumerator's rf/co stage), an
+    /// oracle must ignore — or be insensitive to — every
+    /// transaction-derived relation, since `stxn` can only grow.
+    ///
+    /// The native models are monotone in `(rf, co, fr)` with the
+    /// structure fixed, so their full axiom check *is* a valid oracle
+    /// in both modes; `.cat` backends derive a filtered program (see
+    /// `txmm-cat`'s prune module). Default: no oracle.
+    fn prune_oracle(&self, txns_known: bool) -> Option<&dyn PruneOracle> {
+        let _ = txns_known;
+        None
     }
 }
 

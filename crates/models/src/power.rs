@@ -15,6 +15,7 @@
 //!   writes) join `prop`;
 //! * `StrongIsol`, `TxnOrder`, and `TxnCancelsRMW`.
 
+use txmm_core::incr::PruneOracle;
 use txmm_core::{stronglift, union_all, weaklift, ExecutionAnalysis, Fence, Rel};
 
 use crate::arch::Arch;
@@ -223,6 +224,26 @@ impl Model for Power {
             c.acyclic("TxnOrder", d.expect("txnorder"));
             c.empty("TxnCancelsRMW", a.txn_cancels_rmw());
         }
+    }
+
+    fn prune_oracle(&self, _txns_known: bool) -> Option<&dyn PruneOracle> {
+        Some(self)
+    }
+}
+
+// The ppo fixpoint, hb, prop and the observation body are all monotone
+// in (rf, co, fr); the transaction lifts are empty (weaklift) or
+// subsumed by Order (stronglift of hb) while txns are unassigned.
+impl PruneOracle for Power {
+    fn viable(&self, a: &ExecutionAnalysis<'_>) -> bool {
+        self.check_analysis(a).is_consistent()
+    }
+
+    fn coherence_gate(&self) -> bool {
+        true
+    }
+    fn event_monotone(&self) -> bool {
+        true // pairwise builtins and monotone compositions only
     }
 }
 

@@ -1,6 +1,7 @@
 //! Sequential consistency and transactional SC (§3.4, Fig. 4), plus the
 //! weak/strong isolation predicates of §3.3.
 
+use txmm_core::incr::PruneOracle;
 use txmm_core::{stronglift, Execution, ExecutionAnalysis, Rel};
 
 use crate::arch::Arch;
@@ -31,6 +32,26 @@ impl Model for Sc {
 
     fn axioms(&self, _a: &ExecutionAnalysis<'_>, d: &Derived, c: &mut Checker) {
         c.acyclic("Order", d.expect("hb"));
+    }
+
+    fn prune_oracle(&self, _txns_known: bool) -> Option<&dyn PruneOracle> {
+        Some(self)
+    }
+}
+
+// `po ∪ com` only grows with (rf, co, fr), so the full check prunes
+// partial executions soundly.
+impl PruneOracle for Sc {
+    fn viable(&self, a: &ExecutionAnalysis<'_>) -> bool {
+        self.check_analysis(a).is_consistent()
+    }
+
+    fn coherence_gate(&self) -> bool {
+        true // acyclic(po ∪ com) subsumes acyclic(po_loc ∪ com)
+    }
+
+    fn event_monotone(&self) -> bool {
+        true // po and com are preserved pointwise under event growth
     }
 }
 
@@ -67,6 +88,26 @@ impl Model for Tsc {
     fn axioms(&self, _a: &ExecutionAnalysis<'_>, d: &Derived, c: &mut Checker) {
         c.acyclic("Order", d.expect("hb"));
         c.acyclic("TxnOrder", d.expect("txnorder"));
+    }
+
+    fn prune_oracle(&self, _txns_known: bool) -> Option<&dyn PruneOracle> {
+        Some(self)
+    }
+}
+
+// As for [`Sc`]; the TxnOrder lift is monotone in `hb` with `stxn`
+// fixed, and empty while transactions are still unassigned.
+impl PruneOracle for Tsc {
+    fn viable(&self, a: &ExecutionAnalysis<'_>) -> bool {
+        self.check_analysis(a).is_consistent()
+    }
+
+    fn coherence_gate(&self) -> bool {
+        true
+    }
+
+    fn event_monotone(&self) -> bool {
+        true // as Sc; the lift only grows with hb and the txn classes
     }
 }
 

@@ -7,6 +7,7 @@
 //! * strong isolation (`StrongIsol`), and
 //! * transaction atomicity (`TxnOrder`).
 
+use txmm_core::incr::PruneOracle;
 use txmm_core::{stronglift, union_all, ExecutionAnalysis, Fence, Rel};
 
 use crate::arch::Arch;
@@ -98,6 +99,27 @@ impl Model for X86 {
             c.acyclic("StrongIsol", a.strong_isol());
             c.acyclic("TxnOrder", d.expect("txnorder"));
         }
+    }
+
+    fn prune_oracle(&self, _txns_known: bool) -> Option<&dyn PruneOracle> {
+        Some(self)
+    }
+}
+
+// Every axiom relation (hb, its stronglift, coherence, rmw ∩ fre;coe)
+// is monotone in (rf, co, fr) with the structure fixed, and — with
+// txns still empty — under adding transaction classes too, so the full
+// check doubles as a partial-execution oracle in both modes.
+impl PruneOracle for X86 {
+    fn viable(&self, a: &ExecutionAnalysis<'_>) -> bool {
+        self.check_analysis(a).is_consistent()
+    }
+
+    fn coherence_gate(&self) -> bool {
+        true // the Coherence axiom is exactly the gate relation
+    }
+    fn event_monotone(&self) -> bool {
+        true // pairwise builtins and monotone compositions only
     }
 }
 

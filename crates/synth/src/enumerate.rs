@@ -104,7 +104,7 @@ fn shapes(n: usize, k: usize, max_part: usize) -> Vec<Vec<usize>> {
     out
 }
 
-fn kinds_for(cfg: &EnumConfig) -> Vec<EventKind> {
+pub(crate) fn kinds_for(cfg: &EnumConfig) -> Vec<EventKind> {
     let mut ks = vec![EventKind::Read, EventKind::Write];
     if cfg.fences {
         for &f in cfg.arch.fences() {
@@ -197,7 +197,7 @@ pub struct Subtree {
     /// Index into [`config_shapes`].
     pub shape_idx: usize,
     /// Kind index per event slot (into the config's kind vocabulary).
-    kind_choice: Vec<u8>,
+    pub(crate) kind_choice: Vec<u8>,
 }
 
 /// The lazy stream of [`Subtree`] jobs, in sequential enumeration
@@ -321,7 +321,7 @@ pub fn enumerate_subtree(
     });
 }
 
-fn shape_tids(shape: &[usize]) -> Vec<u8> {
+pub(crate) fn shape_tids(shape: &[usize]) -> Vec<u8> {
     let mut tids = Vec::with_capacity(shape.iter().sum());
     for (t, &sz) in shape.iter().enumerate() {
         tids.extend(std::iter::repeat_n(t as u8, sz));
@@ -447,7 +447,7 @@ pub fn count_par(cfg: &EnumConfig) -> usize {
 
 /// Enumerate locations × attributes for a fixed kind assignment,
 /// invoking `sink` with each completed per-event label vector.
-fn enumerate_labels(
+pub(crate) fn enumerate_labels(
     cfg: &EnumConfig,
     tids: &[u8],
     kinds: &[EventKind],
@@ -524,6 +524,148 @@ fn assign_attrs(
 
 // ---- Structure enumeration ---------------------------------------------
 
+/// The structure choice space over one fully labelled event vector:
+/// everything [`assign_structure`] and the pruned walker
+/// ([`crate::consistent`]) enumerate once kinds, locations and
+/// attributes are fixed.
+pub(crate) struct StructureSpace {
+    /// Program order: same thread, earlier slot.
+    pub(crate) po: Rel,
+    /// Subsets of the candidate (po-adjacent same-loc read→write) rmw
+    /// pairs.
+    pub(crate) rmw_sets: Vec<Vec<(usize, usize)>>,
+    /// Dependency slots: (read, po-later event) pairs.
+    pub(crate) dep_slots: Vec<(usize, usize)>,
+    /// Read events, in slot order.
+    pub(crate) reads: Vec<usize>,
+    /// Per read: the initial write (`None`) or any same-loc write.
+    pub(crate) rf_options: Vec<Vec<Option<usize>>>,
+    /// Write events per distinct location, in slot order.
+    pub(crate) loc_writes: Vec<Vec<usize>>,
+    /// Event slots per thread.
+    pub(crate) thread_slots: Vec<Vec<usize>>,
+    /// Per thread: the candidate transaction interval layouts.
+    pub(crate) txn_options: Vec<Vec<Vec<(usize, usize)>>>,
+}
+
+impl StructureSpace {
+    pub(crate) fn new(cfg: &EnumConfig, events: &[Event]) -> StructureSpace {
+        let n = events.len();
+        let mut po = Rel::empty(n);
+        for a in 0..n {
+            for b in (a + 1)..n {
+                if events[a].tid == events[b].tid {
+                    po.add(a, b);
+                }
+            }
+        }
+
+        let mut rmw_candidates: Vec<(usize, usize)> = Vec::new();
+        if cfg.rmws {
+            for a in 0..n {
+                if events[a].kind == EventKind::Read
+                    && a + 1 < n
+                    && events[a + 1].kind == EventKind::Write
+                    && events[a].tid == events[a + 1].tid
+                    && events[a].loc == events[a + 1].loc
+                {
+                    // C++ rmw events must be atomic.
+                    if cfg.arch == Arch::Cpp
+                        && !(events[a].attrs.contains(Attrs::ATO)
+                            && events[a + 1].attrs.contains(Attrs::ATO))
+                    {
+                        continue;
+                    }
+                    rmw_candidates.push((a, a + 1));
+                }
+            }
+        }
+        // Subsets of non-overlapping rmw pairs ((a,a+1) and (a+1,a+2)
+        // cannot both be candidates since a+1 is a write; safe).
+        let rmw_sets: Vec<Vec<(usize, usize)>> = subsets(&rmw_candidates);
+
+        let mut dep_slots: Vec<(usize, usize)> = Vec::new();
+        if cfg.deps {
+            for a in 0..n {
+                if events[a].kind == EventKind::Read {
+                    for b in (a + 1)..n {
+                        if events[a].tid == events[b].tid {
+                            dep_slots.push((a, b));
+                        }
+                    }
+                }
+            }
+        }
+
+        let reads: Vec<usize> = (0..n)
+            .filter(|&e| events[e].kind == EventKind::Read)
+            .collect();
+        let rf_options: Vec<Vec<Option<usize>>> = reads
+            .iter()
+            .map(|&r| {
+                let mut opts = vec![None];
+                for w in 0..n {
+                    if events[w].kind == EventKind::Write && events[w].loc == events[r].loc {
+                        opts.push(Some(w));
+                    }
+                }
+                opts
+            })
+            .collect();
+
+        let locs: Vec<u8> = {
+            let mut ls: Vec<u8> = events.iter().filter_map(|e| e.loc).collect();
+            ls.sort_unstable();
+            ls.dedup();
+            ls
+        };
+        let loc_writes: Vec<Vec<usize>> = locs
+            .iter()
+            .map(|&l| {
+                (0..n)
+                    .filter(|&e| events[e].kind == EventKind::Write && events[e].loc == Some(l))
+                    .collect()
+            })
+            .collect();
+
+        let nthreads = events.iter().map(|e| e.tid as usize + 1).max().unwrap_or(0);
+        let thread_slots: Vec<Vec<usize>> = (0..nthreads)
+            .map(|t| (0..n).filter(|&e| events[e].tid as usize == t).collect())
+            .collect();
+        let txn_options: Vec<Vec<Vec<(usize, usize)>>> = if cfg.txns {
+            thread_slots
+                .iter()
+                .map(|slots| interval_sets(slots.len()))
+                .collect()
+        } else {
+            thread_slots.iter().map(|_| vec![vec![]]).collect()
+        };
+
+        StructureSpace {
+            po,
+            rmw_sets,
+            dep_slots,
+            reads,
+            rf_options,
+            loc_writes,
+            thread_slots,
+            txn_options,
+        }
+    }
+
+    /// Leaf candidates per complete rf/co assignment: transaction
+    /// layout combinations times the atomic flag (the all-empty layout
+    /// is enumerated once, never with `atomic` set).
+    pub(crate) fn txn_leaves(&self, cfg: &EnumConfig) -> u64 {
+        let t: u64 = self.txn_options.iter().map(|o| o.len() as u64).product();
+        if cfg.atomic_txns {
+            t.saturating_mul(2).saturating_sub(1)
+        } else {
+            t
+        }
+    }
+}
+
 /// Enumerate rmw pairs, dependencies, rf, co and transactions over
 /// fully labelled events; `keep` decides whether a finished candidate
 /// is the class representative (the streaming engine's stateless
@@ -535,112 +677,30 @@ fn assign_structure(
     visit: &mut dyn FnMut(&Execution),
 ) {
     let n = events.len();
-    // po: same thread, earlier slot.
-    let mut po = Rel::empty(n);
-    for a in 0..n {
-        for b in (a + 1)..n {
-            if events[a].tid == events[b].tid {
-                po.add(a, b);
-            }
-        }
-    }
-
-    // Candidate rmw pairs: po-adjacent same-loc read->write.
-    let mut rmw_candidates: Vec<(usize, usize)> = Vec::new();
-    if cfg.rmws {
-        for a in 0..n {
-            if events[a].kind == EventKind::Read
-                && a + 1 < n
-                && events[a + 1].kind == EventKind::Write
-                && events[a].tid == events[a + 1].tid
-                && events[a].loc == events[a + 1].loc
-            {
-                // C++ rmw events must be atomic.
-                if cfg.arch == Arch::Cpp
-                    && !(events[a].attrs.contains(Attrs::ATO)
-                        && events[a + 1].attrs.contains(Attrs::ATO))
-                {
-                    continue;
-                }
-                rmw_candidates.push((a, a + 1));
-            }
-        }
-    }
-    // Subsets of non-overlapping rmw pairs (adjacent pairs never share
-    // an event with the next candidate unless ... they can: (a,a+1) and
-    // (a+1,a+2) cannot both be candidates since a+1 is a write; safe).
-    let rmw_sets: Vec<Vec<(usize, usize)>> = subsets(&rmw_candidates);
-
-    // Dependency slots: (read, po-later event) pairs.
-    let mut dep_slots: Vec<(usize, usize)> = Vec::new();
-    if cfg.deps {
-        for a in 0..n {
-            if events[a].kind == EventKind::Read {
-                for b in (a + 1)..n {
-                    if events[a].tid == events[b].tid {
-                        dep_slots.push((a, b));
-                    }
-                }
-            }
-        }
-    }
-
-    // rf options per read: None or any same-loc write.
-    let reads: Vec<usize> = (0..n)
-        .filter(|&e| events[e].kind == EventKind::Read)
-        .collect();
-    let rf_options: Vec<Vec<Option<usize>>> = reads
-        .iter()
-        .map(|&r| {
-            let mut opts = vec![None];
-            for w in 0..n {
-                if events[w].kind == EventKind::Write && events[w].loc == events[r].loc {
-                    opts.push(Some(w));
-                }
-            }
-            opts
-        })
-        .collect();
-
+    let space = StructureSpace::new(cfg, events);
+    let StructureSpace {
+        po,
+        rmw_sets,
+        dep_slots,
+        reads,
+        rf_options,
+        loc_writes,
+        thread_slots,
+        txn_options,
+    } = &space;
+    let po = *po;
     // co: permutations of writes per location.
-    let locs: Vec<u8> = {
-        let mut ls: Vec<u8> = events.iter().filter_map(|e| e.loc).collect();
-        ls.sort_unstable();
-        ls.dedup();
-        ls
-    };
-    let co_options: Vec<Vec<Vec<usize>>> = locs
-        .iter()
-        .map(|&l| {
-            let ws: Vec<usize> = (0..n)
-                .filter(|&e| events[e].kind == EventKind::Write && events[e].loc == Some(l))
-                .collect();
-            permutations_of(&ws)
-        })
-        .collect();
-
-    // Transactions: interval covers per thread.
-    let nthreads = events.iter().map(|e| e.tid as usize + 1).max().unwrap_or(0);
-    let thread_slots: Vec<Vec<usize>> = (0..nthreads)
-        .map(|t| (0..n).filter(|&e| events[e].tid as usize == t).collect())
-        .collect();
-    let txn_options: Vec<Vec<Vec<(usize, usize)>>> = if cfg.txns {
-        thread_slots
-            .iter()
-            .map(|slots| interval_sets(slots.len()))
-            .collect()
-    } else {
-        thread_slots.iter().map(|_| vec![vec![]]).collect()
-    };
+    let co_options: Vec<Vec<Vec<usize>>> =
+        loc_writes.iter().map(|ws| permutations_of(ws)).collect();
 
     // Iterate the cross product.
-    for rmws in &rmw_sets {
+    for rmws in rmw_sets {
         let mut rmw = Rel::empty(n);
         for &(a, b) in rmws {
             rmw.add(a, b);
         }
-        for_deps(cfg, events, &dep_slots, &mut |addr, ctrl, data| {
-            for_rf(&reads, &rf_options, &mut |rf_choice| {
+        for_deps(cfg, events, dep_slots, &mut |addr, ctrl, data| {
+            for_rf(reads, rf_options, &mut |rf_choice| {
                 for_co(&co_options, &mut |co_perms| {
                     let mut rf = Rel::empty(n);
                     for (i, &r) in reads.iter().enumerate() {
@@ -656,7 +716,7 @@ fn assign_structure(
                             }
                         }
                     }
-                    for_txns(&thread_slots, &txn_options, &mut |txn_ivs| {
+                    for_txns(thread_slots, txn_options, &mut |txn_ivs| {
                         let atomic_opts: &[bool] = if cfg.atomic_txns {
                             &[false, true]
                         } else {
@@ -779,7 +839,7 @@ fn permutations_of(items: &[usize]) -> Vec<Vec<usize>> {
     out
 }
 
-fn for_deps(
+pub(crate) fn for_deps(
     _cfg: &EnumConfig,
     events: &[Event],
     slots: &[(usize, usize)],
@@ -884,9 +944,9 @@ fn for_co(options: &[Vec<Vec<usize>>], k: &mut dyn FnMut(&[Vec<usize>])) {
 /// member intervals.
 type TxnLayouts = Vec<Vec<(usize, usize)>>;
 
-type TxnVisitor<'k> = &'k mut dyn FnMut(&[Vec<(usize, usize)>]);
+pub(crate) type TxnVisitor<'k> = &'k mut dyn FnMut(&[Vec<(usize, usize)>]);
 
-fn for_txns(threads: &[Vec<usize>], options: &[TxnLayouts], k: TxnVisitor<'_>) {
+pub(crate) fn for_txns(threads: &[Vec<usize>], options: &[TxnLayouts], k: TxnVisitor<'_>) {
     fn go(i: usize, options: &[TxnLayouts], acc: &mut TxnLayouts, k: TxnVisitor<'_>) {
         if i == options.len() {
             k(acc);

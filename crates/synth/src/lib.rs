@@ -29,6 +29,7 @@
 //! ```
 
 pub mod canon;
+pub mod consistent;
 pub mod diff;
 pub mod enumerate;
 pub mod par;
@@ -37,6 +38,10 @@ pub mod suites;
 pub mod weaken;
 
 pub use canon::canon_key;
+pub use consistent::{
+    count_consistent, count_consistent_par, enumerate_consistent, enumerate_pruned, oracle_for,
+    visit_pruned_par,
+};
 pub use diff::{distinguish, distinguish_seq, equivalent, equivalent_seq};
 pub use enumerate::{
     count, count_par, count_reference, enumerate, enumerate_reference, enumerate_shape,
@@ -45,6 +50,7 @@ pub use enumerate::{
 pub use par::par_map;
 pub use steal::{run_with, StealStats};
 pub use suites::{
-    synthesise, synthesise_seq, synthesise_streamed, txn_histogram, FoundTest, SuiteResult,
+    synthesise, synthesise_pruned, synthesise_seq, synthesise_streamed, txn_histogram, FoundTest,
+    SuiteResult,
 };
 pub use weaken::weakenings;

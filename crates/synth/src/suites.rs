@@ -14,10 +14,12 @@ use std::collections::HashSet;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::time::{Duration, Instant};
 
+use txmm_core::incr::PruneStats;
 use txmm_core::Execution;
 use txmm_models::Model;
 
 use crate::canon::canon_key;
+use crate::consistent::{oracle_for, visit_pruned_par};
 use crate::enumerate::{enumerate, visit_par, CandSeq, EnumConfig};
 use crate::par::worker_count;
 use crate::weaken::weakenings;
@@ -144,6 +146,76 @@ fn forbid_test(
     // Minimality: every one-step weakening is consistent.
     let minimal = weakenings(x, cfg.arch).iter().all(|w| tm.consistent(w));
     minimal.then(|| x.clone())
+}
+
+/// [`synthesise`] over the consistency-pruned stream: the *baseline*
+/// model's transaction-agnostic prune oracle cuts rf/co subtrees no
+/// completion can rescue. Sound for Forbid search because condition
+/// (c) requires the transaction-erased candidate to be baseline-
+/// consistent — a candidate whose partial communication relations
+/// already violate the baseline's monotone core fails (c) under every
+/// transaction layout. Returns the suite together with the prune
+/// counters; `candidates` counts the *surviving* candidates examined.
+pub fn synthesise_pruned(
+    cfg: &EnumConfig,
+    tm: &dyn Model,
+    base: &dyn Model,
+    budget: Option<Duration>,
+) -> (SuiteResult, PruneStats) {
+    let start = Instant::now();
+    let candidates = AtomicUsize::new(0);
+    let overrun = AtomicBool::new(false);
+
+    let oracle = oracle_for(base, false);
+    let (states, prune, _) = visit_pruned_par(
+        cfg,
+        oracle,
+        worker_count(),
+        |_| Vec::new(),
+        |seq, x, found: &mut Vec<(CandSeq, FoundTest)>| {
+            candidates.fetch_add(1, Ordering::Relaxed);
+            if let Some(b) = budget {
+                if overrun.load(Ordering::Relaxed) || start.elapsed() > b {
+                    overrun.store(true, Ordering::Relaxed);
+                    return;
+                }
+            }
+            if let Some(f) = forbid_test(cfg, tm, base, x) {
+                found.push((
+                    seq,
+                    FoundTest {
+                        exec: f,
+                        at: start.elapsed(),
+                    },
+                ));
+            }
+        },
+    );
+    let mut stamped: Vec<(CandSeq, FoundTest)> = states.into_iter().flatten().collect();
+    stamped.sort_by_key(|(seq, _)| *seq);
+    let forbid: Vec<FoundTest> = stamped.into_iter().map(|(_, f)| f).collect();
+    let complete = !overrun.load(Ordering::Relaxed);
+
+    let mut allow = Vec::new();
+    let mut seen = HashSet::new();
+    for f in &forbid {
+        for w in weakenings(&f.exec, cfg.arch) {
+            if tm.consistent(&w) && seen.insert(canon_key(&w)) {
+                allow.push(w);
+            }
+        }
+    }
+
+    (
+        SuiteResult {
+            forbid,
+            allow,
+            complete,
+            candidates: candidates.into_inner(),
+            elapsed: start.elapsed(),
+        },
+        prune,
+    )
 }
 
 /// The sequential reference implementation of [`synthesise`]; kept for
@@ -311,6 +383,26 @@ mod tests {
         );
         let allow_keys = |r: &SuiteResult| r.allow.iter().map(canon_key).collect::<Vec<_>>();
         assert_eq!(allow_keys(&par), allow_keys(&seq));
+    }
+
+    #[test]
+    fn pruned_synthesis_matches_plain() {
+        let cfg = x86_cfg(3);
+        let plain = synthesise(&cfg, &X86::tm(), &X86::base(), None);
+        let (pruned, st) = synthesise_pruned(&cfg, &X86::tm(), &X86::base(), None);
+        assert!(pruned.complete);
+        let keys = |r: &SuiteResult| {
+            r.forbid
+                .iter()
+                .map(|f| canon_key(&f.exec))
+                .collect::<HashSet<_>>()
+        };
+        assert_eq!(keys(&plain), keys(&pruned), "same Forbid tests");
+        let allow_keys = |r: &SuiteResult| r.allow.iter().map(canon_key).collect::<HashSet<_>>();
+        assert_eq!(allow_keys(&plain), allow_keys(&pruned));
+        // The oracle must have cut real work.
+        assert!(st.subtrees_cut > 0);
+        assert!(pruned.candidates < plain.candidates);
     }
 
     #[test]

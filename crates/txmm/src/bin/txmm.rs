@@ -29,6 +29,10 @@
 //!   --with-cat     also register the shipped .cat twins (<name>.cat)
 //!   --warm         serve the corpus twice and report cold-vs-warm
 //!                  timing (the analysis-cache speedup) on stderr
+//!
+//! outcomes options (also accepted by `client ... outcomes`):
+//!   --max-candidates N  raise (or lower) the candidate-count refusal
+//!                       threshold from its default of 65536
 //! ```
 
 use std::io::{BufRead, BufReader, Read, Write};
@@ -56,7 +60,7 @@ fn usage() -> ExitCode {
          \n\
          serve options: --model NAME, --cat FILE, --with-cat, --warm,\n\
          \u{20}               --listen ADDR, --shards N, --max-conns N\n\
-         outcomes options: serve options plus --workers N\n\
+         outcomes options: serve options plus --workers N, --max-candidates N\n\
          client requests: check <file>, batch <dir>, outcomes <file|dir>,\n\
          \u{20}                reload, models, stats, shutdown"
     );
@@ -103,7 +107,7 @@ fn positionals(args: &[String]) -> Vec<&str> {
     while i < args.len() {
         match args[i].as_str() {
             "--model" | "--cat" | "--events" | "--listen" | "--shards" | "--max-conns"
-            | "--workers" => i += 2,
+            | "--workers" | "--max-candidates" => i += 2,
             a if a.starts_with("--") => i += 1,
             a => {
                 out.push(a);
@@ -155,6 +159,20 @@ fn flag_values<'a>(args: &'a [String], flag: &str) -> Vec<&'a str> {
 
 fn has_flag(args: &[String], flag: &str) -> bool {
     args.iter().any(|a| a == flag)
+}
+
+/// Parse `--max-candidates N` into an enumeration cap; `None` when the
+/// flag is absent (keep the session default of 2^16).
+fn parse_max_candidates(args: &[String]) -> Result<Option<u128>, String> {
+    match flag_values(args, "--max-candidates").last() {
+        None => Ok(None),
+        Some(v) => match v.parse::<u128>() {
+            Ok(n) if n >= 1 => Ok(Some(n)),
+            _ => Err(format!(
+                "--max-candidates must be a positive integer, got {v:?}"
+            )),
+        },
+    }
 }
 
 /// Daemon mode: `txmm serve --listen <addr>`.
@@ -238,6 +256,13 @@ fn cmd_client(args: &[String]) -> ExitCode {
     } else {
         Some(model_names.iter().map(|s| s.to_string()).collect())
     };
+    let max_candidates = match parse_max_candidates(args) {
+        Ok(cap) => cap,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
     let request = match (what, arg) {
         ("check", Some(file)) => {
             let src = match std::fs::read_to_string(file) {
@@ -262,6 +287,7 @@ fn cmd_client(args: &[String]) -> ExitCode {
         ("outcomes", Some(path)) if std::path::Path::new(path).is_dir() => Request::OutcomesBatch {
             dir: path.to_string(),
             models,
+            max_candidates,
         },
         ("outcomes", Some(file)) => {
             let src = match std::fs::read_to_string(file) {
@@ -275,6 +301,7 @@ fn cmd_client(args: &[String]) -> ExitCode {
                 file: file.to_string(),
                 src,
                 models,
+                max_candidates,
             }
         }
         ("reload", None) => Request::Reload,
@@ -343,7 +370,7 @@ fn cmd_outcomes(args: &[String]) -> ExitCode {
     if paths.is_empty() {
         eprintln!(
             "usage: txmm outcomes <dir|file...> [--model NAME] [--cat FILE] [--with-cat] \
-             [--warm] [--workers N]"
+             [--warm] [--workers N] [--max-candidates N]"
         );
         return ExitCode::FAILURE;
     }
@@ -362,6 +389,14 @@ fn cmd_outcomes(args: &[String]) -> ExitCode {
                 .unwrap_or(1)
         });
     session.set_outcome_workers(workers);
+    match parse_max_candidates(args) {
+        Ok(Some(cap)) => session.set_max_candidates(cap),
+        Ok(None) => {}
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
     for path in flag_values(args, "--cat") {
         if let Err(e) = session.register_cat_file(&PathBuf::from(path)) {
             eprintln!("error: {e}");

@@ -87,6 +87,7 @@ enum Job {
         file: String,
         test: Box<LitmusTest>,
         models: Option<Vec<String>>,
+        max_candidates: Option<u128>,
         reply: mpsc::Sender<(usize, String)>,
     },
     /// Replace the shard's user `.cat` models in place (hot reload).
@@ -207,11 +208,17 @@ fn worker(shard: usize, mut session: Session, rx: mpsc::Receiver<Job>, completed
                 file,
                 test,
                 models,
+                max_candidates,
                 reply,
             } => {
                 let line = match resolve_filter(&session, &models) {
                     Ok(filter) => {
-                        let s = match session.outcomes(&file, &test, filter.as_deref()) {
+                        let s = match session.outcomes_capped(
+                            &file,
+                            &test,
+                            filter.as_deref(),
+                            max_candidates,
+                        ) {
                             Ok(r) => {
                                 served += 1;
                                 ServedOutcomes::Report(r)
@@ -362,10 +369,20 @@ impl SessionPool {
 
     /// Serve one litmus source through the outcome engine; returns the
     /// response payload line.
-    pub fn outcomes(&self, file: &str, src: &str, models: Option<Vec<String>>) -> String {
-        self.outcomes_many(vec![(file.to_string(), src.to_string())], models)
-            .pop()
-            .expect("one response per request")
+    pub fn outcomes(
+        &self,
+        file: &str,
+        src: &str,
+        models: Option<Vec<String>>,
+        max_candidates: Option<u128>,
+    ) -> String {
+        self.outcomes_many(
+            vec![(file.to_string(), src.to_string())],
+            models,
+            max_candidates,
+        )
+        .pop()
+        .expect("one response per request")
     }
 
     /// Serve many litmus sources through the outcome engine,
@@ -378,6 +395,7 @@ impl SessionPool {
         &self,
         items: Vec<(String, String)>,
         models: Option<Vec<String>>,
+        max_candidates: Option<u128>,
     ) -> Vec<String> {
         let n = items.len();
         let mut out: Vec<Option<String>> = Vec::new();
@@ -399,6 +417,7 @@ impl SessionPool {
                         file,
                         test: Box::new(test),
                         models: models.clone(),
+                        max_candidates,
                         reply: reply.clone(),
                     };
                     if shard.tx.send(job).is_err() {
@@ -521,6 +540,10 @@ impl SessionPool {
             total.compile_misses += s.session.compile_misses;
             total.compile_entries += s.session.compile_entries;
             total.compile_micros += s.session.compile_micros;
+            total.prune_subtrees_cut += s.session.prune_subtrees_cut;
+            total.prune_candidates_skipped += s.session.prune_candidates_skipped;
+            total.prune_oracle_calls += s.session.prune_oracle_calls;
+            total.prune_oracle_micros += s.session.prune_oracle_micros;
             stages.parse += s.stages.parse;
             stages.convert += s.stages.convert;
             stages.verdict += s.stages.verdict;
@@ -541,7 +564,9 @@ impl SessionPool {
                     "{{\"shard\":{},\"served\":{},\"depth\":{},\"interned\":{},\
                      \"verdict_hits\":{},\"verdict_misses\":{},\"outcome_entries\":{},\
                      \"outcome_hits\":{},\"outcome_misses\":{},\"compile_hits\":{},\
-                     \"compile_misses\":{},\"compile_entries\":{},\"compile_micros\":{}}}",
+                     \"compile_misses\":{},\"compile_entries\":{},\"compile_micros\":{},\
+                     \"prune_subtrees_cut\":{},\"prune_candidates_skipped\":{},\
+                     \"prune_oracle_calls\":{},\"prune_oracle_micros\":{}}}",
                     s.shard,
                     s.served,
                     s.depth,
@@ -554,7 +579,11 @@ impl SessionPool {
                     s.session.compile_hits,
                     s.session.compile_misses,
                     s.session.compile_entries,
-                    s.session.compile_micros
+                    s.session.compile_micros,
+                    s.session.prune_subtrees_cut,
+                    s.session.prune_candidates_skipped,
+                    s.session.prune_oracle_calls,
+                    s.session.prune_oracle_micros
                 )
             })
             .collect::<Vec<_>>()
@@ -568,6 +597,8 @@ impl SessionPool {
              \"outcome_hit_rate\":{},\"outcome_candidates\":{},\"outcome_classes\":{},\
              \"compile_hits\":{},\"compile_misses\":{},\"compile_hit_rate\":{},\
              \"compile_entries\":{},\"compile_micros\":{},\
+             \"prune_subtrees_cut\":{},\"prune_candidates_skipped\":{},\
+             \"prune_oracle_calls\":{},\"prune_oracle_micros\":{},\
              \"stage_micros\":{{\"parse\":{},\"convert\":{},\"verdict\":{},\
              \"observe\":{}}},\"per_shard\":[{per_shard}]}}",
             self.shards.len(),
@@ -589,6 +620,10 @@ impl SessionPool {
             rate(total.compile_hits, total.compile_misses),
             total.compile_entries,
             total.compile_micros,
+            total.prune_subtrees_cut,
+            total.prune_candidates_skipped,
+            total.prune_oracle_calls,
+            total.prune_oracle_micros,
             stages.parse,
             stages.convert,
             stages.verdict,
@@ -895,10 +930,20 @@ fn answer(pool: &SessionPool, req: Request) -> (Vec<String>, bool) {
                 false,
             )
         }
-        Request::Outcomes { file, src, models } => {
-            (vec![pool.outcomes(&file, &src, models)], false)
-        }
-        Request::OutcomesBatch { dir, models } => {
+        Request::Outcomes {
+            file,
+            src,
+            models,
+            max_candidates,
+        } => (
+            vec![pool.outcomes(&file, &src, models, max_candidates)],
+            false,
+        ),
+        Request::OutcomesBatch {
+            dir,
+            models,
+            max_candidates,
+        } => {
             let files = match collect_litmus_files(std::path::Path::new(&dir)) {
                 Ok(fs) => fs,
                 Err(e) => return (vec![error_line(&format!("cannot read {dir}: {e}"))], false),
@@ -928,7 +973,11 @@ fn answer(pool: &SessionPool, req: Request) -> (Vec<String>, bool) {
                     }
                 }
             }
-            for (i, line) in indices.into_iter().zip(pool.outcomes_many(items, models)) {
+            for (i, line) in
+                indices
+                    .into_iter()
+                    .zip(pool.outcomes_many(items, models, max_candidates))
+            {
                 out[i] = Some(line);
             }
             (

@@ -28,26 +28,40 @@
 //! observations can be cross-checked to be a **subset** of a sound
 //! model's allowed set ([`unsound_sim_outcomes`]).
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 
+use txmm_core::arena::ExecId;
 use txmm_hwsim::{Outcome, OutcomeSet, Simulator, MAX_LOCS};
 use txmm_litmus::{enumerate_candidates, program_key, LitmusTest, Op};
 use txmm_models::Arch;
 
-use crate::session::{ModelRef, Session};
+use crate::session::{intern_into, ModelRef, Session};
 
-/// Refuse programs with more candidate executions than this (the
-/// serving layers surface the refusal as a structured error). The cap
-/// covers every corpus test by orders of magnitude while bounding a
-/// daemon's per-request work.
+/// Default cap on a program's candidate executions (the serving layers
+/// surface the refusal as a structured error). The cap covers every
+/// corpus test by orders of magnitude while bounding a daemon's
+/// per-request work; [`Session::set_max_candidates`] (or a request's
+/// `max_candidates` field) raises it for deliberately larger tables,
+/// which consistency-guided pruning keeps affordable.
 pub const MAX_CANDIDATES: u128 = 1 << 16;
 
-/// One program's enumerated candidate table, cached per program key.
+/// One program's enumerated candidate table, cached per program key —
+/// the unpruned reference path, used for models without a prune oracle
+/// (and for every model when [`Session::set_prune`] turns pruning off).
 pub(crate) struct OutcomeTable {
     /// Final state + canonical class per candidate.
     pub(crate) candidates: Vec<(Outcome, usize)>,
     /// Interned representative execution per class.
-    pub(crate) classes: Vec<txmm_core::arena::ExecId>,
+    pub(crate) classes: Vec<ExecId>,
+}
+
+/// What one `(program, model)` outcome computation actually walked:
+/// the pruned path visits a per-model subset of the candidate space,
+/// the table path all of it. Cached alongside the allowed set so
+/// repeat requests can report class counts without re-walking.
+pub(crate) struct OutcomeVisit {
+    /// Distinct canonical classes visited, in first-visit order.
+    pub(crate) classes: Vec<ExecId>,
 }
 
 /// A model's program-level answer.
@@ -76,9 +90,11 @@ pub struct OutcomeReport {
     pub events: usize,
     /// Transactions in the program.
     pub txns: usize,
-    /// Candidate executions enumerated.
+    /// Candidate executions of the program (closed form — pruned walks
+    /// materialise only the subset their oracle cannot refute).
     pub candidates: usize,
-    /// Canonical candidate classes (what models actually checked).
+    /// Distinct canonical candidate classes visited across the
+    /// requested models (what was actually checked).
     pub classes: usize,
     /// Per requested model, in request order.
     pub per_model: Vec<ModelOutcomes>,
@@ -105,46 +121,69 @@ impl Session {
         t: &LitmusTest,
         models: Option<&[ModelRef]>,
     ) -> Result<OutcomeReport, String> {
-        let key = program_key(t);
-        if !self.outcome_tables.contains_key(&key) {
-            let table = self.build_table(t)?;
-            self.outcome_tables.insert(key.clone(), table);
-        }
-        let (n_candidates, n_classes) = {
-            let table = &self.outcome_tables[&key];
-            (table.candidates.len(), table.classes.len())
-        };
+        self.outcomes_capped(file, t, models, None)
+    }
 
+    /// [`Session::outcomes`] with a per-request candidate cap
+    /// overriding the session default — how the daemon honours a
+    /// request's `max_candidates` field without perturbing the
+    /// session-wide setting.
+    pub fn outcomes_capped(
+        &mut self,
+        file: &str,
+        t: &LitmusTest,
+        models: Option<&[ModelRef]>,
+        cap: Option<u128>,
+    ) -> Result<OutcomeReport, String> {
+        // Outcomes are exchanged with the operational simulators in
+        // their fixed-width memory layout; a location past that width
+        // would be silently truncated, so refuse it up front (the
+        // `check` path has no such limit, which is why this is enforced
+        // here and not in the parser).
+        if let Some(max_loc) = t.locations().last().copied() {
+            if max_loc as usize >= MAX_LOCS {
+                return Err(format!(
+                    "program uses location {max_loc}; the outcome engine models \
+                     locations 0..{MAX_LOCS}"
+                ));
+            }
+        }
+        let cap = cap.unwrap_or(self.max_candidates);
+        let count = txmm_litmus::candidate_count(t).map_err(|e| e.to_string())?;
+        if count > cap {
+            return Err(format!(
+                "program has {count} candidate executions (limit {cap})"
+            ));
+        }
+
+        let key = program_key(t);
         let requested: Vec<ModelRef> = match models {
             Some(ms) => ms.to_vec(),
             None => self.models().collect(),
         };
         let mut per_model = Vec::with_capacity(requested.len());
         let mut cached = true;
+        let mut class_union: HashSet<ExecId> = HashSet::new();
         for m in requested {
             let slot = m.index();
-            let allowed = match self.outcome_sets.get(&(key.clone(), slot)) {
-                Some(s) => {
-                    self.stats.outcome_hits += 1;
-                    s.clone()
+            let ck = (key.clone(), slot);
+            if self.outcome_sets.contains_key(&ck) {
+                self.stats.outcome_hits += 1;
+            } else {
+                self.stats.outcome_misses += 1;
+                cached = false;
+                // Oracle-backed models walk the candidate space with
+                // consistency-guided pruning, one walk per model;
+                // oracle-less models share the unpruned table.
+                if self.prune && self.models[slot].prune_oracle(true).is_some() {
+                    self.pruned_model_outcomes(&key, t, m)?;
+                } else {
+                    self.table_model_outcomes(&key, t, m)?;
                 }
-                None => {
-                    self.stats.outcome_misses += 1;
-                    cached = false;
-                    let consistent = self.class_consistency(&key, m);
-                    let table = &self.outcome_tables[&key];
-                    let allowed: OutcomeSet = table
-                        .candidates
-                        .iter()
-                        .filter(|(_, class)| consistent[*class])
-                        .map(|(o, _)| o.clone())
-                        .collect();
-                    self.outcome_sets
-                        .insert((key.clone(), slot), allowed.clone());
-                    self.stats.outcome_entries = self.outcome_sets.len();
-                    allowed
-                }
-            };
+                self.stats.outcome_entries = self.outcome_sets.len();
+            }
+            let allowed = self.outcome_sets[&ck].clone();
+            class_union.extend(self.outcome_visits[&ck].classes.iter().copied());
             let post_allowed = if t.post.is_empty() {
                 None
             } else {
@@ -167,38 +206,117 @@ impl Session {
                 .filter(|i| !matches!(i.op, Op::TxBegin { .. } | Op::TxEnd))
                 .count(),
             txns: t.num_txns(),
-            candidates: n_candidates,
-            classes: n_classes,
+            candidates: count.min(usize::MAX as u128) as usize,
+            classes: class_union.len(),
             per_model,
             cached,
         })
     }
 
-    /// Enumerate the program's candidates into a table, interning one
-    /// representative execution per canonical class.
-    fn build_table(&mut self, t: &LitmusTest) -> Result<OutcomeTable, String> {
-        // Outcomes are exchanged with the operational simulators in
-        // their fixed-width memory layout; a location past that width
-        // would be silently truncated, so refuse it up front (the
-        // `check` path has no such limit, which is why this is enforced
-        // here and not in the parser).
-        if let Some(max_loc) = t.locations().last().copied() {
-            if max_loc as usize >= MAX_LOCS {
-                return Err(format!(
-                    "program uses location {max_loc}; the outcome engine models \
-                     locations 0..{MAX_LOCS}"
-                ));
+    /// One model's allowed set via the pruned candidate walk: the
+    /// model's oracle kills doomed subtrees (and whole abort splits)
+    /// during construction, surviving candidates are interned and
+    /// verdict-checked class by class, and the allowed set plus the
+    /// visit record land in the per-`(program, model)` caches.
+    fn pruned_model_outcomes(
+        &mut self,
+        key: &[u8],
+        t: &LitmusTest,
+        m: ModelRef,
+    ) -> Result<(), String> {
+        let slot = m.index();
+        // The oracle borrows the model registry for the whole walk;
+        // split the borrows so candidates can still be interned and
+        // verdict-cached.
+        let Session {
+            models,
+            arena,
+            canon_ids,
+            verdicts,
+            stats,
+            ..
+        } = self;
+        let model = models[slot].as_ref();
+        let oracle = model
+            .prune_oracle(true)
+            .expect("caller checked the oracle exists");
+        let mut allowed = OutcomeSet::new();
+        let mut classes: Vec<ExecId> = Vec::new();
+        let mut seen: HashSet<ExecId> = HashSet::new();
+        let (visited, pstats) = txmm_litmus::enumerate_candidates_pruned(t, oracle, &mut |c| {
+            let id = intern_into(arena, canon_ids, &c.exec);
+            if seen.insert(id) {
+                classes.push(id);
             }
+            // The oracle's leaf check is not the full model (compiled
+            // `.cat` oracles run only the monotone fragment), so the
+            // class still goes through the verdict cache.
+            if let std::collections::hash_map::Entry::Vacant(e) = verdicts.entry((id, slot)) {
+                stats.verdict_misses += 1;
+                e.insert(model.check_analysis(&arena.unpack(id).analysis()));
+            } else {
+                stats.verdict_hits += 1;
+            }
+            if verdicts[&(id, slot)].is_consistent() {
+                allowed.insert(Outcome {
+                    regs: c.regs,
+                    memory: pad_locs(c.memory),
+                    txn_ok: c.txn_ok,
+                    co_order: pad_locs(c.co_order),
+                });
+            }
+        })
+        .map_err(|e| e.to_string())?;
+        self.stats.interned = self.arena.len();
+        self.stats.outcome_candidates += visited as u64;
+        self.stats.outcome_classes += classes.len() as u64;
+        self.stats.prune_subtrees_cut += pstats.subtrees_cut;
+        self.stats.prune_candidates_skipped += pstats.candidates_skipped;
+        self.stats.prune_oracle_calls += pstats.oracle_calls;
+        self.stats.prune_oracle_micros += pstats.oracle_micros;
+        self.outcome_sets.insert((key.to_vec(), slot), allowed);
+        self.outcome_visits
+            .insert((key.to_vec(), slot), OutcomeVisit { classes });
+        Ok(())
+    }
+
+    /// One model's allowed set from the shared unpruned table — the
+    /// reference path, and the only one for models without an oracle.
+    fn table_model_outcomes(
+        &mut self,
+        key: &[u8],
+        t: &LitmusTest,
+        m: ModelRef,
+    ) -> Result<(), String> {
+        if !self.outcome_tables.contains_key(key) {
+            let table = self.build_table(t)?;
+            self.outcome_tables.insert(key.to_vec(), table);
         }
+        let consistent = self.class_consistency(key, m);
+        let table = &self.outcome_tables[key];
+        let allowed: OutcomeSet = table
+            .candidates
+            .iter()
+            .filter(|(_, class)| consistent[*class])
+            .map(|(o, _)| o.clone())
+            .collect();
+        let visit = OutcomeVisit {
+            classes: table.classes.clone(),
+        };
+        self.outcome_sets.insert((key.to_vec(), m.index()), allowed);
+        self.outcome_visits.insert((key.to_vec(), m.index()), visit);
+        Ok(())
+    }
+
+    /// Enumerate the program's candidates into a table, interning one
+    /// representative execution per canonical class. Size refusals
+    /// happened in [`Session::outcomes_capped`]; the capacity clamp
+    /// only guards allocation under deliberately raised caps.
+    fn build_table(&mut self, t: &LitmusTest) -> Result<OutcomeTable, String> {
         let count = txmm_litmus::candidate_count(t).map_err(|e| e.to_string())?;
-        if count > MAX_CANDIDATES {
-            return Err(format!(
-                "program has {count} candidate executions (limit {MAX_CANDIDATES})"
-            ));
-        }
-        let mut candidates = Vec::with_capacity(count as usize);
-        let mut classes: Vec<txmm_core::arena::ExecId> = Vec::new();
-        let mut class_of: HashMap<txmm_core::arena::ExecId, usize> = HashMap::new();
+        let mut candidates = Vec::with_capacity(count.min(1 << 20) as usize);
+        let mut classes: Vec<ExecId> = Vec::new();
+        let mut class_of: HashMap<ExecId, usize> = HashMap::new();
         enumerate_candidates(t, &mut |c| {
             let id = self.intern(&c.exec);
             let next = classes.len();
@@ -453,8 +571,13 @@ mod tests {
                 .collect()],
             post: vec![txmm_litmus::Check::Loc { loc: 0, value: 5 }],
         };
+        // Pruning would collapse the program to its one po-consistent
+        // coherence order before any class reaches the pool; pin it
+        // off so the table path's fan-out is what gets exercised.
         let mut seq = Session::new();
+        seq.set_prune(false);
         let mut par = Session::new();
+        par.set_prune(false);
         par.set_outcome_workers(4);
         let m_seq = seq.resolve("x86").unwrap();
         let m_par = par.resolve("x86").unwrap();
@@ -471,6 +594,23 @@ mod tests {
         // allowed and x = anything else is not.
         assert_eq!(a.per_model[0].post_allowed, Some(true));
         assert_eq!(a.per_model[0].allowed.len(), 1);
+        // The pruned walk abandons the other 119 coherence orders
+        // during construction and still answers identically.
+        let mut pruned = Session::new();
+        let m = pruned.resolve("x86").unwrap();
+        let c = pruned.outcomes("5w", &t, Some(&[m])).unwrap();
+        assert_eq!(a.per_model[0].allowed, c.per_model[0].allowed);
+        assert_eq!(
+            a.candidates, c.candidates,
+            "closed-form count is path-independent"
+        );
+        assert_eq!(c.classes, 1, "only the surviving order is visited");
+        assert!(pruned.stats().prune_subtrees_cut > 0);
+        assert_eq!(
+            pruned.stats().outcome_candidates + pruned.stats().prune_candidates_skipped,
+            a.candidates as u64,
+            "visited + skipped covers the whole space"
+        );
     }
 
     #[test]

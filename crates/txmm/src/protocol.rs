@@ -298,6 +298,10 @@ pub enum Request {
         src: String,
         /// Restrict the table to these model names (all when absent).
         models: Option<Vec<String>>,
+        /// Raise (or lower) the candidate-execution cap for this
+        /// request; the server default applies when absent. Oversized
+        /// programs still answer the same structured refusal.
+        max_candidates: Option<u128>,
     },
     /// [`Request::Outcomes`] over every `.litmus` file in a server-side
     /// directory, in sorted file order.
@@ -306,6 +310,9 @@ pub enum Request {
         dir: String,
         /// Restrict the table to these model names (all when absent).
         models: Option<Vec<String>>,
+        /// Per-request candidate-execution cap (server default when
+        /// absent).
+        max_candidates: Option<u128>,
     },
     /// Re-resolve the daemon's `--cat` files into every shard Session
     /// without a restart; answers one `{"ok":"reload",...}` line, or a
@@ -339,6 +346,20 @@ fn models_field(v: &Json) -> Result<Option<Vec<String>>, ProtocolError> {
     }
 }
 
+fn max_candidates_field(v: &Json) -> Result<Option<u128>, ProtocolError> {
+    match v.get("max_candidates") {
+        None | Some(Json::Null) => Ok(None),
+        // The reader parses numbers as f64; integers stay exact up to
+        // 2^53, far beyond any cap a server could serve anyway.
+        Some(Json::Num(n)) if *n >= 1.0 && n.fract() == 0.0 && *n <= 9.007199254740992e15 => {
+            Ok(Some(*n as u128))
+        }
+        Some(_) => Err(ProtocolError(
+            "\"max_candidates\" must be a positive integer".into(),
+        )),
+    }
+}
+
 fn str_field(v: &Json, key: &str) -> Result<String, ProtocolError> {
     v.get(key)
         .and_then(Json::as_str)
@@ -368,12 +389,14 @@ impl Request {
                     Ok(Request::OutcomesBatch {
                         dir: str_field(&v, "dir")?,
                         models: models_field(&v)?,
+                        max_candidates: max_candidates_field(&v)?,
                     })
                 } else {
                     Ok(Request::Outcomes {
                         file: str_field(&v, "file")?,
                         src: str_field(&v, "src")?,
                         models: models_field(&v)?,
+                        max_candidates: max_candidates_field(&v)?,
                     })
                 }
             }
@@ -400,6 +423,12 @@ impl Request {
                 ),
             }
         }
+        fn cap_suffix(cap: &Option<u128>) -> String {
+            match cap {
+                None => String::new(),
+                Some(c) => format!(",\"max_candidates\":{c}"),
+            }
+        }
         match self {
             Request::Check { file, src, models } => format!(
                 "{{\"cmd\":\"check\",\"file\":\"{}\",\"src\":\"{}\"{}}}",
@@ -412,16 +441,27 @@ impl Request {
                 json_escape(dir),
                 models_suffix(models)
             ),
-            Request::Outcomes { file, src, models } => format!(
-                "{{\"cmd\":\"outcomes\",\"file\":\"{}\",\"src\":\"{}\"{}}}",
+            Request::Outcomes {
+                file,
+                src,
+                models,
+                max_candidates,
+            } => format!(
+                "{{\"cmd\":\"outcomes\",\"file\":\"{}\",\"src\":\"{}\"{}{}}}",
                 json_escape(file),
                 json_escape(src),
-                models_suffix(models)
+                models_suffix(models),
+                cap_suffix(max_candidates)
             ),
-            Request::OutcomesBatch { dir, models } => format!(
-                "{{\"cmd\":\"outcomes\",\"dir\":\"{}\"{}}}",
+            Request::OutcomesBatch {
+                dir,
+                models,
+                max_candidates,
+            } => format!(
+                "{{\"cmd\":\"outcomes\",\"dir\":\"{}\"{}{}}}",
                 json_escape(dir),
-                models_suffix(models)
+                models_suffix(models),
+                cap_suffix(max_candidates)
             ),
             Request::Reload => "{\"cmd\":\"reload\"}".into(),
             Request::Models => "{\"cmd\":\"models\"}".into(),
@@ -491,10 +531,18 @@ mod tests {
                 file: "sb.litmus".into(),
                 src: "sb (x86)\nthread 0:\n  x <- 1\n".into(),
                 models: Some(vec!["SC".into()]),
+                max_candidates: None,
+            },
+            Request::Outcomes {
+                file: "big.litmus".into(),
+                src: "big (x86)\nthread 0:\n  x <- 1\n".into(),
+                models: None,
+                max_candidates: Some(1 << 20),
             },
             Request::OutcomesBatch {
                 dir: "target/corpus".into(),
                 models: None,
+                max_candidates: Some(131072),
             },
             Request::Reload,
             Request::Models,
@@ -523,6 +571,18 @@ mod tests {
             Request::parse("{\"cmd\":\"check\",\"file\":\"f\",\"src\":\"s\",\"models\":3}")
                 .is_err()
         );
+        for bad in ["0", "-4", "1.5", "\"many\"", "1e300"] {
+            let line = format!(
+                "{{\"cmd\":\"outcomes\",\"file\":\"f\",\"src\":\"s\",\"max_candidates\":{bad}}}"
+            );
+            assert!(
+                Request::parse(&line)
+                    .unwrap_err()
+                    .to_string()
+                    .contains("max_candidates"),
+                "{bad}"
+            );
+        }
     }
 
     #[test]

@@ -74,6 +74,11 @@ struct CatBackend {
     /// same way on every execution, and a long-lived serving process
     /// must not leak per-verdict.
     eval_error: std::sync::OnceLock<&'static str>,
+    /// Lazily derived monotone-core prune oracles, indexed by the
+    /// transactions-known phase. `None` caches "no check survives";
+    /// hot-reload replaces the whole backend, so stale oracles cannot
+    /// outlive the program they were extracted from.
+    oracles: [std::sync::OnceLock<Option<txmm_cat::CatPruneOracle>>; 2],
 }
 
 /// Guess the architecture and transactionality of a `.cat` model from
@@ -128,6 +133,13 @@ impl Model for CatBackend {
             }
         }
     }
+
+    fn prune_oracle(&self, txns_known: bool) -> Option<&dyn txmm_core::incr::PruneOracle> {
+        self.oracles[txns_known as usize]
+            .get_or_init(|| txmm_cat::CatPruneOracle::derive(self.name, &self.model, txns_known))
+            .as_ref()
+            .map(|o| o as &dyn txmm_core::incr::PruneOracle)
+    }
 }
 
 /// Cache and arena counters of one [`Session`].
@@ -155,6 +167,17 @@ pub struct SessionStats {
     /// Canonical candidate classes actually checked, cumulative — the
     /// gap to `outcome_candidates` is the work symmetry pruning saved.
     pub outcome_classes: u64,
+    /// Construction subtrees the consistency oracles cut, cumulative.
+    pub prune_subtrees_cut: u64,
+    /// Complete candidates those cuts skipped before they were built,
+    /// cumulative.
+    pub prune_candidates_skipped: u64,
+    /// Prune-oracle invocations (coherence-gate fast rejects not
+    /// included), cumulative.
+    pub prune_oracle_calls: u64,
+    /// Wall-clock microseconds spent inside prune-oracle calls,
+    /// cumulative.
+    pub prune_oracle_micros: u64,
     /// `.cat` checks served by an already-specialised program tier.
     pub compile_hits: u64,
     /// `.cat` checks that specialised their program tier first.
@@ -179,6 +202,14 @@ pub struct Session {
     pub(crate) outcome_tables: HashMap<Vec<u8>, crate::outcomes::OutcomeTable>,
     /// (program key, model slot) → allowed final states.
     pub(crate) outcome_sets: HashMap<(Vec<u8>, usize), txmm_hwsim::OutcomeSet>,
+    /// (program key, model slot) → what that model's outcome walk
+    /// actually visited (see `crate::outcomes`).
+    pub(crate) outcome_visits: HashMap<(Vec<u8>, usize), crate::outcomes::OutcomeVisit>,
+    /// Consistency-guided pruning in the outcome engine (default on;
+    /// models without an oracle always take the unpruned table path).
+    pub(crate) prune: bool,
+    /// Refuse programs with more candidate executions than this.
+    pub(crate) max_candidates: u128,
     /// Worker threads for fanning candidate checking out over the
     /// work-stealing pool (1 = sequential).
     pub(crate) outcome_workers: usize,
@@ -195,6 +226,23 @@ const _: fn() = || {
     fn requires_send<T: Send>() {}
     requires_send::<Session>();
 };
+
+/// [`Session::intern`] with the arena and canonical-key map borrowed
+/// apart, so the outcome engine can intern candidates while a model
+/// borrowed from the registry (its prune oracle) is live.
+pub(crate) fn intern_into(
+    arena: &mut ExecArena,
+    canon_ids: &mut HashMap<Vec<u8>, ExecId>,
+    x: &Execution,
+) -> ExecId {
+    let key = canon_key(x);
+    if let Some(&id) = canon_ids.get(&key) {
+        return id;
+    }
+    let (id, _fresh) = arena.intern(x);
+    canon_ids.insert(key, id);
+    id
+}
 
 impl Default for Session {
     fn default() -> Session {
@@ -213,6 +261,9 @@ impl Session {
             observability: HashMap::new(),
             outcome_tables: HashMap::new(),
             outcome_sets: HashMap::new(),
+            outcome_visits: HashMap::new(),
+            prune: true,
+            max_candidates: crate::outcomes::MAX_CANDIDATES,
             outcome_workers: 1,
             cat_models: Vec::new(),
             stats: SessionStats::default(),
@@ -255,6 +306,7 @@ impl Session {
             arch,
             tm,
             eval_error: std::sync::OnceLock::new(),
+            oracles: Default::default(),
         }));
         self.cat_models.push((m.index(), model));
         Ok(m)
@@ -298,6 +350,7 @@ impl Session {
             arch,
             tm,
             eval_error: std::sync::OnceLock::new(),
+            oracles: Default::default(),
         });
         match self.cat_models.iter_mut().find(|(s, _)| *s == slot) {
             Some(entry) => entry.1 = model,
@@ -306,6 +359,7 @@ impl Session {
         // The replaced model may answer differently: drop its caches.
         self.verdicts.retain(|&(_, m), _| m != slot);
         self.outcome_sets.retain(|(_, m), _| *m != slot);
+        self.outcome_visits.retain(|(_, m), _| *m != slot);
         self.stats.outcome_entries = self.outcome_sets.len();
         Ok(ModelRef(slot))
     }
@@ -327,6 +381,25 @@ impl Session {
     /// 1 keeps checking on the calling thread.
     pub fn set_outcome_workers(&mut self, workers: usize) {
         self.outcome_workers = workers.max(1);
+    }
+
+    /// Enable or disable consistency-guided pruning in the outcome
+    /// engine. Off, every model is answered from the shared unpruned
+    /// candidate table — the differential reference the pruned path is
+    /// tested against.
+    pub fn set_prune(&mut self, prune: bool) {
+        self.prune = prune;
+    }
+
+    /// Replace the candidate-execution cap the outcome engine refuses
+    /// programs above (default [`crate::outcomes::MAX_CANDIDATES`]).
+    pub fn set_max_candidates(&mut self, cap: u128) {
+        self.max_candidates = cap;
+    }
+
+    /// The current candidate-execution cap.
+    pub fn max_candidates(&self) -> u128 {
+        self.max_candidates
     }
 
     /// Every registered model handle, in registration order.
@@ -355,12 +428,7 @@ impl Session {
     /// observability are symmetric under those permutations, so
     /// symmetric variants share every cache entry.
     pub fn intern(&mut self, x: &Execution) -> ExecId {
-        let key = canon_key(x);
-        if let Some(&id) = self.canon_ids.get(&key) {
-            return id;
-        }
-        let (id, _fresh) = self.arena.intern(x);
-        self.canon_ids.insert(key, id);
+        let id = intern_into(&mut self.arena, &mut self.canon_ids, x);
         self.stats.interned = self.arena.len();
         id
     }

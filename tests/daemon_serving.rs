@@ -171,6 +171,7 @@ fn outcomes_requests_byte_identical_to_one_shot() {
                     file: file.clone(),
                     src: src.clone(),
                     models: None,
+                    max_candidates: None,
                 },
             );
             assert_eq!(got, vec![want.clone()], "pass {pass}: {file}");
@@ -195,6 +196,92 @@ fn outcomes_requests_byte_identical_to_one_shot() {
         stats[0]
     );
     assert!(stats[0].contains("\"outcome_hit_rate\":0."), "{}", stats[0]);
+    // The oracle-backed models served their tables through the pruned
+    // walk, so the prune counters tick and every shard reports them
+    // (aggregate + 3 shards).
+    assert!(num("prune_oracle_calls") > 0.0, "{}", stats[0]);
+    assert!(num("prune_oracle_micros") > 0.0, "{}", stats[0]);
+    for key in [
+        "\"prune_subtrees_cut\"",
+        "\"prune_candidates_skipped\"",
+        "\"prune_oracle_calls\"",
+        "\"prune_oracle_micros\"",
+    ] {
+        assert_eq!(stats[0].matches(key).count(), 4, "{key}: {}", stats[0]);
+    }
+
+    let bye = roundtrip(&mut stream, &Request::Shutdown);
+    assert_eq!(bye, vec!["{\"ok\":\"shutdown\"}".to_string()]);
+    server.join().expect("clean shutdown");
+}
+
+/// Four competing writes to one location plus five reads: 4! coherence
+/// orders × 5^5 rf choices = 75,000 candidate executions — past the
+/// default 65,536 enumeration cap, so it can only be served by raising
+/// `max_candidates` over the wire.
+fn post_litmus_scale_source() -> String {
+    "big (x86)\n\
+     Initially: x = 0\n\
+     thread 0:\n  x <- 1\n\
+     thread 1:\n  x <- 2\n\
+     thread 2:\n  x <- 3\n\
+     thread 3:\n  x <- 4\n\
+     thread 4:\n  r0 <- x\n  r1 <- x\n  r2 <- x\n  r3 <- x\n  r4 <- x\n\
+     Test: 4:r0 = 0\n"
+        .to_string()
+}
+
+#[test]
+fn max_candidates_unlocks_post_litmus_scale_outcome_tables() {
+    let (addr, server) = start_daemon(1);
+    let mut stream = BufReader::new(TcpStream::connect(&addr).expect("connect"));
+
+    // At the default cap the daemon refuses with a structured failure
+    // naming both the program size and the limit.
+    let refused = roundtrip(
+        &mut stream,
+        &Request::Outcomes {
+            file: "big.litmus".into(),
+            src: post_litmus_scale_source(),
+            models: Some(vec!["x86".into()]),
+            max_candidates: None,
+        },
+    );
+    assert!(refused[0].contains("\"error\""), "{}", refused[0]);
+    assert!(refused[0].contains("75000"), "{}", refused[0]);
+    assert!(refused[0].contains("65536"), "{}", refused[0]);
+
+    // Raising the per-request cap serves the full table: the pruned
+    // walk only materialises the coherent sliver of the 75,000-strong
+    // candidate space.
+    let served = roundtrip(
+        &mut stream,
+        &Request::Outcomes {
+            file: "big.litmus".into(),
+            src: post_litmus_scale_source(),
+            models: Some(vec!["x86".into()]),
+            max_candidates: Some(100_000),
+        },
+    );
+    assert!(!served[0].contains("\"error\""), "{}", served[0]);
+    assert!(served[0].contains("\"candidates\":75000"), "{}", served[0]);
+    assert!(served[0].contains("\"x86\":{"), "{}", served[0]);
+
+    // The prune counters account for the part of the space the walk
+    // never had to materialise.
+    let stats = roundtrip(&mut stream, &Request::Stats);
+    let v = txmm::protocol::parse_json(&stats[0]).expect("stats is JSON");
+    let num = |k: &str| match v.get(k) {
+        Some(txmm::protocol::Json::Num(n)) => *n,
+        other => panic!("stats[{k}] = {other:?}"),
+    };
+    assert!(num("prune_subtrees_cut") > 0.0, "{}", stats[0]);
+    assert_eq!(
+        num("outcome_candidates") + num("prune_candidates_skipped"),
+        75000.0,
+        "{}",
+        stats[0]
+    );
 
     let bye = roundtrip(&mut stream, &Request::Shutdown);
     assert_eq!(bye, vec!["{\"ok\":\"shutdown\"}".to_string()]);
@@ -230,6 +317,7 @@ fn reload_swaps_cat_models_without_restart() {
         file: file.clone(),
         src: src.clone(),
         models: Some(vec!["probe".into()]),
+        max_candidates: None,
     };
     let mut stream = BufReader::new(TcpStream::connect(&addr).expect("connect"));
     let before = roundtrip(&mut stream, &check);

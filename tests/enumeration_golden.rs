@@ -8,14 +8,24 @@
 //! The CI `enumeration-smoke` job runs this in release mode including
 //! the `#[ignore]`d heavyweight bounds.
 
-use txmm::models::Arch;
-use txmm::synth::{count_par, EnumConfig};
+use txmm::models::{Arch, Model, X86};
+use txmm::synth::{count_consistent_par, count_par, EnumConfig};
 
 fn golden(arch: Arch, events: usize, expect: usize) {
     let got = count_par(&EnumConfig::hw(arch, events));
     assert_eq!(
         got, expect,
         "{arch:?} |E|={events}: canonical class count drifted (over- or under-pruning)"
+    );
+}
+
+/// Golden *consistent*-class counts through the pruned walk: drops
+/// mean over-pruning, rises mean the oracle or the model weakened.
+fn golden_consistent(arch: Arch, model: &dyn Model, events: usize, expect: usize) {
+    let (got, _) = count_consistent_par(&EnumConfig::hw(arch, events), model);
+    assert_eq!(
+        got, expect,
+        "{arch:?} |E|={events}: consistent class count drifted"
     );
 }
 
@@ -51,4 +61,22 @@ fn four_event_count_armv8() {
 #[ignore = "the |E| = 5 bound the streaming engine unlocks; CI runs it in release"]
 fn five_event_count_x86() {
     golden(Arch::X86, 5, 6_094_392);
+}
+
+#[test]
+fn four_event_consistent_count_x86() {
+    golden_consistent(Arch::X86, &X86::tm(), 4, 60_352);
+}
+
+#[test]
+#[ignore = "seconds in release; the CI prune-smoke job runs it"]
+fn five_event_consistent_count_x86() {
+    golden_consistent(Arch::X86, &X86::tm(), 5, 1_715_002);
+}
+
+#[test]
+#[ignore = "the |E| = 6 bound consistency-guided pruning unlocks (~2 min \
+            single-core in release); the CI prune-smoke job runs it"]
+fn six_event_consistent_count_x86() {
+    golden_consistent(Arch::X86, &X86::tm(), 6, 51_415_611);
 }
