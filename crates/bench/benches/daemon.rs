@@ -70,6 +70,7 @@ fn pass(addr: &str, corpus: &[(String, String)]) {
             file: file.clone(),
             src: src.clone(),
             models: None,
+            trace: None,
         };
         assert_eq!(send(&mut stream, &req), 1);
     }

@@ -304,9 +304,13 @@ pub struct CatModel {
     program: Result<crate::chunk::Chunk, EvalError>,
     /// Per-event-count specialised programs, built on first use.
     tiers: Vec<std::sync::OnceLock<crate::chunk::Chunk>>,
-    hits: std::sync::atomic::AtomicU64,
-    misses: std::sync::atomic::AtomicU64,
-    compile_nanos: std::sync::atomic::AtomicU64,
+    /// Compile-cache telemetry: registry handles labelled by model
+    /// name, so every `CatModel` shows up in the metrics exposition
+    /// while `compile_stats()` keeps reading this instance's own
+    /// counts.
+    hits: txmm_obs::Counter,
+    misses: txmm_obs::Counter,
+    compile_nanos: txmm_obs::Counter,
     /// Check labels leaked once, for the reference interpreter path.
     check_names: Vec<&'static str>,
 }
@@ -329,6 +333,14 @@ impl CatModel {
                 _ => None,
             })
             .collect();
+        let obs = txmm_obs::global();
+        let labels = [("model", name)];
+        let nanos = obs.counter_with(
+            "txmm_cat_compile_nanoseconds_total",
+            "Cumulative .cat compile + specialise time.",
+            &labels,
+        );
+        nanos.add(compile_nanos);
         CatModel {
             name,
             file,
@@ -336,9 +348,17 @@ impl CatModel {
             tiers: (0..=txmm_core::MAX_EVENTS)
                 .map(|_| std::sync::OnceLock::new())
                 .collect(),
-            hits: std::sync::atomic::AtomicU64::new(0),
-            misses: std::sync::atomic::AtomicU64::new(0),
-            compile_nanos: std::sync::atomic::AtomicU64::new(compile_nanos),
+            hits: obs.counter_with(
+                "txmm_cat_compile_cache_hits_total",
+                "Checks served by an already-specialised .cat tier.",
+                &labels,
+            ),
+            misses: obs.counter_with(
+                "txmm_cat_compile_cache_misses_total",
+                "Checks that had to specialise their .cat tier first.",
+                &labels,
+            ),
+            compile_nanos: nanos,
             check_names,
         }
     }
@@ -351,32 +371,29 @@ impl CatModel {
     /// The specialised program for event count `n`, compiling it on
     /// first use.
     fn tier<'p>(&'p self, program: &'p crate::chunk::Chunk, n: usize) -> &'p crate::chunk::Chunk {
-        use std::sync::atomic::Ordering::Relaxed;
         let Some(slot) = self.tiers.get(n) else {
             return program;
         };
         if let Some(t) = slot.get() {
-            self.hits.fetch_add(1, Relaxed);
+            self.hits.inc();
             return t;
         }
         slot.get_or_init(|| {
-            self.misses.fetch_add(1, Relaxed);
+            self.misses.inc();
             let start = std::time::Instant::now();
             let t = crate::opt::specialise(program, n);
-            self.compile_nanos
-                .fetch_add(start.elapsed().as_nanos() as u64, Relaxed);
+            self.compile_nanos.add(start.elapsed().as_nanos() as u64);
             t
         })
     }
 
     /// Compile-cache counters since construction.
     pub fn compile_stats(&self) -> CompileStats {
-        use std::sync::atomic::Ordering::Relaxed;
         CompileStats {
-            hits: self.hits.load(Relaxed),
-            misses: self.misses.load(Relaxed),
+            hits: self.hits.get(),
+            misses: self.misses.get(),
             entries: self.tiers.iter().filter(|t| t.get().is_some()).count() as u64,
-            micros: self.compile_nanos.load(Relaxed) / 1_000,
+            micros: self.compile_nanos.get() / 1_000,
         }
     }
 
@@ -387,6 +404,7 @@ impl CatModel {
 
     /// Run the compiled program against a caller-shared analysis.
     pub fn check_analysis(&self, a: &ExecutionAnalysis<'_>) -> Result<Verdict, EvalError> {
+        let _span = txmm_obs::span!("vm.check");
         let program = self.program.as_ref().map_err(Clone::clone)?;
         let chunk = self.tier(program, a.len());
         let mut checker = Checker::new(self.name);

@@ -1,0 +1,85 @@
+//! A bounded ring of the slowest requests seen so far, kept sorted by
+//! duration (descending) for cheap `stats` dumps.
+
+use std::sync::Mutex;
+
+/// One slow-request record.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SlowEntry {
+    /// What was served, e.g. `"check tests/sb.litmus"`.
+    pub what: String,
+    pub micros: u64,
+    pub trace_id: Option<String>,
+}
+
+/// Keeps the `cap` slowest entries recorded so far.
+pub struct Slowest {
+    cap: usize,
+    entries: Mutex<Vec<SlowEntry>>,
+}
+
+impl Slowest {
+    pub fn new(cap: usize) -> Slowest {
+        Slowest {
+            cap,
+            entries: Mutex::new(Vec::new()),
+        }
+    }
+
+    pub fn record(&self, what: &str, micros: u64, trace_id: Option<&str>) {
+        let mut entries = self.entries.lock().unwrap();
+        if entries.len() == self.cap {
+            match entries.last() {
+                Some(last) if last.micros >= micros => return,
+                _ => {
+                    entries.pop();
+                }
+            }
+        }
+        let entry = SlowEntry {
+            what: what.to_string(),
+            micros,
+            trace_id: trace_id.map(|t| t.to_string()),
+        };
+        let at = entries.partition_point(|e| e.micros >= micros);
+        entries.insert(at, entry);
+    }
+
+    /// Slowest-first snapshot.
+    pub fn snapshot(&self) -> Vec<SlowEntry> {
+        self.entries.lock().unwrap().clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keeps_the_slowest_cap_entries_sorted() {
+        let ring = Slowest::new(3);
+        for (what, micros) in [("a", 5), ("b", 50), ("c", 10), ("d", 40), ("e", 1)] {
+            ring.record(what, micros, None);
+        }
+        let snap = ring.snapshot();
+        let got: Vec<(&str, u64)> = snap.iter().map(|e| (e.what.as_str(), e.micros)).collect();
+        assert_eq!(got, [("b", 50), ("d", 40), ("c", 10)]);
+    }
+
+    #[test]
+    fn records_trace_ids_and_handles_ties() {
+        let ring = Slowest::new(2);
+        ring.record("a", 7, Some("t-1"));
+        ring.record("b", 7, None);
+        ring.record("c", 7, Some("t-3"));
+        let snap = ring.snapshot();
+        assert_eq!(snap.len(), 2);
+        assert!(snap.iter().all(|e| e.micros == 7));
+        assert_eq!(snap[0].trace_id.as_deref(), Some("t-1"));
+    }
+
+    #[test]
+    fn empty_ring_snapshots_empty() {
+        assert!(Slowest::new(4).snapshot().is_empty());
+    }
+}

@@ -39,6 +39,35 @@ use crate::enumerate::{
 use crate::par::worker_count;
 use crate::steal::{run_with, StealStats};
 
+/// Process-wide prune telemetry, published once per completed walk
+/// (the walks run per request, so handles are created exactly once).
+fn publish_prune(st: &PruneStats) {
+    use std::sync::OnceLock;
+    static COUNTERS: OnceLock<[txmm_obs::Counter; 4]> = OnceLock::new();
+    let [cut, skipped, calls, micros] = COUNTERS.get_or_init(|| {
+        let obs = txmm_obs::global();
+        [
+            obs.counter(
+                "txmm_prune_subtrees_cut_total",
+                "Construction subtrees abandoned on a non-viable partial.",
+            ),
+            obs.counter(
+                "txmm_prune_candidates_skipped_total",
+                "Complete candidates pruned subtrees would have materialised.",
+            ),
+            obs.counter("txmm_prune_oracle_calls_total", "Prune-oracle invocations."),
+            obs.counter(
+                "txmm_prune_oracle_microseconds_total",
+                "Wall-clock time spent inside prune-oracle calls.",
+            ),
+        ]
+    });
+    cut.add(st.subtrees_cut);
+    skipped.add(st.candidates_skipped);
+    calls.add(st.oracle_calls);
+    micros.add(st.oracle_micros);
+}
+
 /// The model's pruning oracle for the given phase, degraded to
 /// [`NoPrune`] (plain enumeration) when the model offers nothing sound.
 pub fn oracle_for(model: &dyn Model, txns_known: bool) -> &dyn PruneOracle {
@@ -340,6 +369,7 @@ pub fn enumerate_pruned(
     for sub in Frontier::new(cfg) {
         pruned_subtree(cfg, &shapes[sub.shape_idx], &sub, oracle, &mut st, visit);
     }
+    publish_prune(&st);
     st
 }
 
@@ -378,6 +408,7 @@ where
         states.push(s);
         st.merge(&ps);
     }
+    publish_prune(&st);
     (states, st, steal)
 }
 

@@ -17,7 +17,7 @@
 
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::Mutex;
+use std::sync::{Mutex, OnceLock};
 
 /// How many jobs a worker pulls from the frontier per refill. Small
 /// enough that late-arriving thieves find work at the frontier, large
@@ -33,6 +33,36 @@ pub struct StealStats {
     pub jobs: u64,
     /// Jobs taken from another worker's deque.
     pub steals: u64,
+}
+
+/// Process-wide pool telemetry: one handle pair for every run (the
+/// pool is invoked per request, so handles must not be re-registered
+/// per call).
+fn pool_counters() -> &'static (txmm_obs::Counter, txmm_obs::Counter) {
+    static COUNTERS: OnceLock<(txmm_obs::Counter, txmm_obs::Counter)> = OnceLock::new();
+    COUNTERS.get_or_init(|| {
+        let obs = txmm_obs::global();
+        (
+            obs.counter(
+                "txmm_steal_jobs_total",
+                "Jobs executed by the work-stealing pool.",
+            ),
+            obs.counter(
+                "txmm_steal_steals_total",
+                "Jobs taken from another worker's deque.",
+            ),
+        )
+    })
+}
+
+impl StealStats {
+    /// Fold this run into the global registry.
+    fn publish(self) -> StealStats {
+        let (jobs, steals) = pool_counters();
+        jobs.add(self.jobs);
+        steals.add(self.steals);
+        self
+    }
 }
 
 /// Run every job from `jobs` on `workers` work-stealing threads.
@@ -68,7 +98,8 @@ where
                 workers: 1,
                 jobs: jobs_run,
                 steals: 0,
-            },
+            }
+            .publish(),
         );
     }
 
@@ -157,7 +188,8 @@ where
             workers,
             jobs: jobs_run.load(Ordering::Relaxed),
             steals: steals.load(Ordering::Relaxed),
-        },
+        }
+        .publish(),
     )
 }
 

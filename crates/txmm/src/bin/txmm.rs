@@ -21,7 +21,8 @@
 //! txmm client <addr> <request>       talk to a running daemon:
 //!                                    check <file> | batch <dir> |
 //!                                    outcomes <file|dir> | reload |
-//!                                    models | stats | shutdown
+//!                                    models | stats | metrics |
+//!                                    shutdown
 //!
 //! serve/check options:
 //!   --model NAME   restrict verdicts to NAME (repeatable)
@@ -29,10 +30,18 @@
 //!   --with-cat     also register the shipped .cat twins (<name>.cat)
 //!   --warm         serve the corpus twice and report cold-vs-warm
 //!                  timing (the analysis-cache speedup) on stderr
+//!   --prom         dump the process metrics registry as Prometheus
+//!                  text exposition on stderr after the run
 //!
 //! outcomes options (also accepted by `client ... outcomes`):
 //!   --max-candidates N  raise (or lower) the candidate-count refusal
 //!                       threshold from its default of 65536
+//!
+//! client options:
+//!   --trace ID     (check/outcomes) ask the daemon to echo ID back
+//!                  with a per-stage span timeline on the response
+//!   --prom         (metrics) fetch Prometheus text exposition instead
+//!                  of the one-line JSON dump
 //! ```
 
 use std::io::{BufRead, BufReader, Read, Write};
@@ -58,11 +67,12 @@ fn usage() -> ExitCode {
          \u{20} check <file...> [opts]        alias for serve\n\
          \u{20} client <addr> <request>       query a running daemon\n\
          \n\
-         serve options: --model NAME, --cat FILE, --with-cat, --warm,\n\
+         serve options: --model NAME, --cat FILE, --with-cat, --warm, --prom,\n\
          \u{20}               --listen ADDR, --shards N, --max-conns N\n\
          outcomes options: serve options plus --workers N, --max-candidates N\n\
          client requests: check <file>, batch <dir>, outcomes <file|dir>,\n\
-         \u{20}                reload, models, stats, shutdown"
+         \u{20}                reload, models, stats, metrics [--prom], shutdown\n\
+         client options: --trace ID (check/outcomes span timeline)"
     );
     ExitCode::FAILURE
 }
@@ -107,7 +117,7 @@ fn positionals(args: &[String]) -> Vec<&str> {
     while i < args.len() {
         match args[i].as_str() {
             "--model" | "--cat" | "--events" | "--listen" | "--shards" | "--max-conns"
-            | "--workers" | "--max-candidates" => i += 2,
+            | "--workers" | "--max-candidates" | "--trace" => i += 2,
             a if a.starts_with("--") => i += 1,
             a => {
                 out.push(a);
@@ -244,12 +254,13 @@ fn cmd_client(args: &[String]) -> ExitCode {
         [addr, what, arg] => (*addr, *what, Some(*arg)),
         _ => {
             eprintln!(
-                "usage: txmm client <addr> check <file> | batch <dir> | models | stats | shutdown \
-                 [--model NAME]"
+                "usage: txmm client <addr> check <file> | batch <dir> | models | stats | \
+                 metrics [--prom] | shutdown [--model NAME] [--trace ID]"
             );
             return ExitCode::FAILURE;
         }
     };
+    let trace = flag_values(args, "--trace").last().map(|s| s.to_string());
     let model_names = flag_values(args, "--model");
     let models = if model_names.is_empty() {
         None
@@ -276,6 +287,7 @@ fn cmd_client(args: &[String]) -> ExitCode {
                 file: file.to_string(),
                 src,
                 models,
+                trace,
             }
         }
         ("batch", Some(dir)) => Request::Batch {
@@ -302,11 +314,15 @@ fn cmd_client(args: &[String]) -> ExitCode {
                 src,
                 models,
                 max_candidates,
+                trace,
             }
         }
         ("reload", None) => Request::Reload,
         ("models", None) => Request::Models,
         ("stats", None) => Request::Stats,
+        ("metrics", None) => Request::Metrics {
+            prom: has_flag(args, "--prom"),
+        },
         ("shutdown", None) => Request::Shutdown,
         _ => {
             eprintln!("error: unknown client request {what} {arg:?}");
@@ -486,6 +502,9 @@ fn cmd_outcomes(args: &[String]) -> ExitCode {
             s.outcome_entries,
         );
     }
+    if has_flag(args, "--prom") {
+        eprint!("{}", txmm::obs::global().render_prom());
+    }
     if failures > 0 {
         eprintln!("{failures} tests failed to serve");
         return ExitCode::FAILURE;
@@ -601,6 +620,9 @@ fn cmd_serve(args: &[String]) -> ExitCode {
             s.verdict_hits,
             s.verdict_misses,
         );
+    }
+    if has_flag(args, "--prom") {
+        eprint!("{}", txmm::obs::global().render_prom());
     }
     if failures > 0 {
         eprintln!("{failures} tests failed to serve");

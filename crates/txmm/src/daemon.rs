@@ -36,7 +36,7 @@ use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{mpsc, Arc, Mutex};
 use std::thread;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use txmm_litmus::LitmusTest;
 use txmm_synth::canon_key;
@@ -79,6 +79,8 @@ enum Job {
         parsed: Box<ParsedTest>,
         models: Option<Vec<String>>,
         reply: mpsc::Sender<(usize, String)>,
+        queued: Instant,
+        trace: Option<Arc<txmm_obs::Trace>>,
     },
     /// Enumerate a program's candidate executions and reply with the
     /// outcome-table payload line for response slot `seq`.
@@ -89,6 +91,8 @@ enum Job {
         models: Option<Vec<String>>,
         max_candidates: Option<u128>,
         reply: mpsc::Sender<(usize, String)>,
+        queued: Instant,
+        trace: Option<Arc<txmm_obs::Trace>>,
     },
     /// Replace the shard's user `.cat` models in place (hot reload).
     Reload {
@@ -121,6 +125,67 @@ struct Shard {
     completed: Arc<AtomicU64>,
 }
 
+/// How many of the slowest requests the daemon remembers for `stats`.
+const SLOWEST_CAP: usize = 8;
+
+/// Request commands the pool pre-registers counters and latency
+/// histograms for (handles are created once here, never per request;
+/// `error` covers lines that failed to parse as any command).
+const REQUEST_CMDS: [&str; 10] = [
+    "check",
+    "batch",
+    "outcomes",
+    "outcomes_batch",
+    "reload",
+    "models",
+    "stats",
+    "metrics",
+    "shutdown",
+    "error",
+];
+
+/// Pre-registered request-level observability: one counter + latency
+/// histogram per command, and the slowest-requests ring.
+struct PoolObs {
+    cmds: Vec<(&'static str, txmm_obs::Counter, txmm_obs::Histogram)>,
+    slowest: txmm_obs::Slowest,
+}
+
+impl PoolObs {
+    fn new() -> PoolObs {
+        let reg = txmm_obs::global();
+        PoolObs {
+            cmds: REQUEST_CMDS
+                .iter()
+                .map(|&cmd| {
+                    (
+                        cmd,
+                        reg.counter_with(
+                            "txmm_requests_total",
+                            "Requests answered by the daemon, by command.",
+                            &[("cmd", cmd)],
+                        ),
+                        reg.histogram_with(
+                            "txmm_request_duration_microseconds",
+                            "End-to-end request latency as seen by the daemon, by command.",
+                            &[("cmd", cmd)],
+                        ),
+                    )
+                })
+                .collect(),
+            slowest: txmm_obs::Slowest::new(SLOWEST_CAP),
+        }
+    }
+
+    fn observe(&self, cmd: &str, what: &str, trace_id: Option<&str>, micros: u64) {
+        if let Some((_, requests, durations)) = self.cmds.iter().find(|(c, _, _)| *c == cmd) {
+            requests.inc();
+            durations.record(micros);
+        }
+        self.slowest.record(what, micros, trace_id);
+    }
+}
+
 /// The sharded Session pool. See the module docs for the dispatch
 /// rules; all methods take `&self` and are safe to call from many
 /// handler threads at once.
@@ -128,13 +193,16 @@ pub struct SessionPool {
     shards: Vec<Shard>,
     workers: Vec<thread::JoinHandle<()>>,
     /// Requests that failed before reaching a shard (parse/convert
-    /// failures, unknown models).
-    failures: AtomicU64,
+    /// failures, unknown models), mirrored into
+    /// `txmm_dispatch_failures_total`.
+    failures: txmm_obs::Counter,
     /// `(name, arch, is_tm)` of every registered model, in registry
     /// order (identical on every shard).
     models: Vec<(String, String, bool)>,
     /// User `.cat` files from the pool config, kept for hot reload.
     cat_files: Vec<PathBuf>,
+    /// Request-level counters, latency histograms and the slowest ring.
+    obs: PoolObs,
 }
 
 fn fnv1a(bytes: &[u8]) -> u64 {
@@ -177,7 +245,13 @@ fn resolve_filter(
     }
 }
 
-fn worker(shard: usize, mut session: Session, rx: mpsc::Receiver<Job>, completed: Arc<AtomicU64>) {
+fn worker(
+    shard: usize,
+    mut session: Session,
+    rx: mpsc::Receiver<Job>,
+    completed: Arc<AtomicU64>,
+    queue_wait: txmm_obs::Histogram,
+) {
     let mut served = 0u64;
     let mut stages = StageMicros::default();
     for job in rx {
@@ -187,19 +261,28 @@ fn worker(shard: usize, mut session: Session, rx: mpsc::Receiver<Job>, completed
                 parsed,
                 models,
                 reply,
+                queued,
+                trace,
             } => {
-                let line = match resolve_filter(&session, &models) {
-                    Ok(filter) => {
-                        let report = check_parsed(&mut session, &parsed, filter.as_deref());
-                        stages.parse += report.stages.parse;
-                        stages.convert += report.stages.convert;
-                        stages.verdict += report.stages.verdict;
-                        stages.observe += report.stages.observe;
-                        served += 1;
-                        jsonl_line(&Served::Report(report))
+                let wait_micros = queued.elapsed().as_micros() as u64;
+                queue_wait.record(wait_micros);
+                let line = txmm_obs::with_trace(trace.as_ref(), || {
+                    match resolve_filter(&session, &models) {
+                        Ok(filter) => {
+                            let report = check_parsed(&mut session, &parsed, filter.as_deref());
+                            stages.parse += report.stages.parse;
+                            stages.convert += report.stages.convert;
+                            stages.verdict += report.stages.verdict;
+                            stages.observe += report.stages.observe;
+                            // Queue wait is part of the request's wall
+                            // time but not of any compute stage.
+                            stages.other += report.stages.other + wait_micros;
+                            served += 1;
+                            jsonl_line(&Served::Report(report))
+                        }
+                        Err(e) => error_line(&e),
                     }
-                    Err(e) => error_line(&e),
-                };
+                });
                 completed.fetch_add(1, Ordering::Relaxed);
                 let _ = reply.send((seq, line));
             }
@@ -210,25 +293,33 @@ fn worker(shard: usize, mut session: Session, rx: mpsc::Receiver<Job>, completed
                 models,
                 max_candidates,
                 reply,
+                queued,
+                trace,
             } => {
-                let line = match resolve_filter(&session, &models) {
-                    Ok(filter) => {
-                        let s = match session.outcomes_capped(
-                            &file,
-                            &test,
-                            filter.as_deref(),
-                            max_candidates,
-                        ) {
-                            Ok(r) => {
-                                served += 1;
-                                ServedOutcomes::Report(r)
-                            }
-                            Err(e) => ServedOutcomes::Failure(TestFailure { file, error: e }),
-                        };
-                        outcomes_jsonl_line(&s)
+                let wait_micros = queued.elapsed().as_micros() as u64;
+                queue_wait.record(wait_micros);
+                let line = txmm_obs::with_trace(trace.as_ref(), || {
+                    match resolve_filter(&session, &models) {
+                        Ok(filter) => {
+                            let _span = txmm_obs::span!("serve.outcomes");
+                            let s = match session.outcomes_capped(
+                                &file,
+                                &test,
+                                filter.as_deref(),
+                                max_candidates,
+                            ) {
+                                Ok(r) => {
+                                    served += 1;
+                                    ServedOutcomes::Report(r)
+                                }
+                                Err(e) => ServedOutcomes::Failure(TestFailure { file, error: e }),
+                            };
+                            outcomes_jsonl_line(&s)
+                        }
+                        Err(e) => error_line(&e),
                     }
-                    Err(e) => error_line(&e),
-                };
+                });
+                stages.other += wait_micros;
                 completed.fetch_add(1, Ordering::Relaxed);
                 let _ = reply.send((seq, line));
             }
@@ -283,7 +374,14 @@ impl SessionPool {
             let enqueued = Arc::new(AtomicU64::new(0));
             let completed = Arc::new(AtomicU64::new(0));
             let done = Arc::clone(&completed);
-            workers.push(thread::spawn(move || worker(i, session, rx, done)));
+            let queue_wait = txmm_obs::global().histogram_with(
+                "txmm_shard_queue_wait_microseconds",
+                "Time a job waited on its shard channel before a worker picked it up.",
+                &[("shard", &i.to_string())],
+            );
+            workers.push(thread::spawn(move || {
+                worker(i, session, rx, done, queue_wait)
+            }));
             shards.push(Shard {
                 tx,
                 enqueued,
@@ -293,9 +391,13 @@ impl SessionPool {
         Ok(SessionPool {
             shards,
             workers,
-            failures: AtomicU64::new(0),
+            failures: txmm_obs::global().counter(
+                "txmm_dispatch_failures_total",
+                "Requests that failed before or at a shard (parse errors, unknown models).",
+            ),
             models,
             cat_files: cfg.cat_files.clone(),
+            obs: PoolObs::new(),
         })
     }
 
@@ -316,12 +418,40 @@ impl SessionPool {
             .expect("one response per request")
     }
 
+    /// [`SessionPool::check`] with a client trace: spans from the
+    /// handler-side parse/convert and the shard-side verdict/observe
+    /// both land on `trace`.
+    pub fn check_traced(
+        &self,
+        file: &str,
+        src: &str,
+        models: Option<Vec<String>>,
+        trace: &Arc<txmm_obs::Trace>,
+    ) -> String {
+        self.check_many_traced(
+            vec![(file.to_string(), src.to_string())],
+            models,
+            Some(trace),
+        )
+        .pop()
+        .expect("one response per request")
+    }
+
     /// Serve many litmus sources concurrently across the shards,
     /// returning one payload line per input, in input order.
     pub fn check_many(
         &self,
         items: Vec<(String, String)>,
         models: Option<Vec<String>>,
+    ) -> Vec<String> {
+        self.check_many_traced(items, models, None)
+    }
+
+    fn check_many_traced(
+        &self,
+        items: Vec<(String, String)>,
+        models: Option<Vec<String>>,
+        trace: Option<&Arc<txmm_obs::Trace>>,
     ) -> Vec<String> {
         let n = items.len();
         let mut out: Vec<Option<String>> = Vec::new();
@@ -331,9 +461,9 @@ impl SessionPool {
         for (seq, (file, src)) in items.into_iter().enumerate() {
             // Parse/convert on this (handler) thread; only well-formed
             // executions travel to a shard.
-            match parse_request(&file, &src) {
+            match txmm_obs::with_trace(trace, || parse_request(&file, &src)) {
                 Err(f) => {
-                    self.failures.fetch_add(1, Ordering::Relaxed);
+                    self.failures.inc();
                     out[seq] = Some(jsonl_line(&Served::Failure(f)));
                 }
                 Ok(parsed) => {
@@ -346,6 +476,8 @@ impl SessionPool {
                         parsed,
                         models: models.clone(),
                         reply: reply.clone(),
+                        queued: Instant::now(),
+                        trace: trace.cloned(),
                     };
                     if shard.tx.send(job).is_err() {
                         out[seq] = Some(error_line("shard worker unavailable"));
@@ -358,7 +490,7 @@ impl SessionPool {
         drop(reply);
         for (seq, line) in replies.iter().take(pending) {
             if line.starts_with("{\"error\"") {
-                self.failures.fetch_add(1, Ordering::Relaxed);
+                self.failures.inc();
             }
             out[seq] = Some(line);
         }
@@ -385,6 +517,26 @@ impl SessionPool {
         .expect("one response per request")
     }
 
+    /// [`SessionPool::outcomes`] with a client trace installed on both
+    /// sides of the shard hop.
+    pub fn outcomes_traced(
+        &self,
+        file: &str,
+        src: &str,
+        models: Option<Vec<String>>,
+        max_candidates: Option<u128>,
+        trace: &Arc<txmm_obs::Trace>,
+    ) -> String {
+        self.outcomes_many_traced(
+            vec![(file.to_string(), src.to_string())],
+            models,
+            max_candidates,
+            Some(trace),
+        )
+        .pop()
+        .expect("one response per request")
+    }
+
     /// Serve many litmus sources through the outcome engine,
     /// concurrently across the shards, one payload line per input in
     /// input order. Dispatch is keyed by a hash of the *program* key
@@ -397,15 +549,25 @@ impl SessionPool {
         models: Option<Vec<String>>,
         max_candidates: Option<u128>,
     ) -> Vec<String> {
+        self.outcomes_many_traced(items, models, max_candidates, None)
+    }
+
+    fn outcomes_many_traced(
+        &self,
+        items: Vec<(String, String)>,
+        models: Option<Vec<String>>,
+        max_candidates: Option<u128>,
+        trace: Option<&Arc<txmm_obs::Trace>>,
+    ) -> Vec<String> {
         let n = items.len();
         let mut out: Vec<Option<String>> = Vec::new();
         out.resize_with(n, || None);
         let (reply, replies) = mpsc::channel();
         let mut pending = 0usize;
         for (seq, (file, src)) in items.into_iter().enumerate() {
-            match parse_outcomes_request(&file, &src) {
+            match txmm_obs::with_trace(trace, || parse_outcomes_request(&file, &src)) {
                 Err(f) => {
-                    self.failures.fetch_add(1, Ordering::Relaxed);
+                    self.failures.inc();
                     out[seq] = Some(outcomes_jsonl_line(&ServedOutcomes::Failure(f)));
                 }
                 Ok(test) => {
@@ -419,6 +581,8 @@ impl SessionPool {
                         models: models.clone(),
                         max_candidates,
                         reply: reply.clone(),
+                        queued: Instant::now(),
+                        trace: trace.cloned(),
                     };
                     if shard.tx.send(job).is_err() {
                         out[seq] = Some(error_line("shard worker unavailable"));
@@ -431,7 +595,7 @@ impl SessionPool {
         drop(reply);
         for (seq, line) in replies.iter().take(pending) {
             if line.contains("\"error\"") {
-                self.failures.fetch_add(1, Ordering::Relaxed);
+                self.failures.inc();
             }
             out[seq] = Some(line);
         }
@@ -515,7 +679,7 @@ impl SessionPool {
                 out.push(snap);
             }
         }
-        (out, self.failures.load(Ordering::Relaxed))
+        (out, self.failures.get())
     }
 
     /// Render the `stats` response line.
@@ -548,6 +712,7 @@ impl SessionPool {
             stages.convert += s.stages.convert;
             stages.verdict += s.stages.verdict;
             stages.observe += s.stages.observe;
+            stages.other += s.stages.other;
         }
         let rate = |hits: u64, misses: u64| -> String {
             let total = hits + misses;
@@ -588,6 +753,24 @@ impl SessionPool {
             })
             .collect::<Vec<_>>()
             .join(",");
+        let slowest = self
+            .obs
+            .slowest
+            .snapshot()
+            .iter()
+            .map(|e| {
+                let trace_id = match &e.trace_id {
+                    Some(t) => format!("\"{}\"", crate::serve::json_escape(t)),
+                    None => "null".to_string(),
+                };
+                format!(
+                    "{{\"what\":\"{}\",\"micros\":{},\"trace_id\":{trace_id}}}",
+                    crate::serve::json_escape(&e.what),
+                    e.micros
+                )
+            })
+            .collect::<Vec<_>>()
+            .join(",");
         format!(
             "{{\"shards\":{},\"served\":{served},\"failures\":{failures},\
              \"interned\":{},\"verdict_hits\":{},\"verdict_misses\":{},\
@@ -600,7 +783,8 @@ impl SessionPool {
              \"prune_subtrees_cut\":{},\"prune_candidates_skipped\":{},\
              \"prune_oracle_calls\":{},\"prune_oracle_micros\":{},\
              \"stage_micros\":{{\"parse\":{},\"convert\":{},\"verdict\":{},\
-             \"observe\":{}}},\"per_shard\":[{per_shard}]}}",
+             \"observe\":{},\"other\":{}}},\"slowest\":[{slowest}],\
+             \"per_shard\":[{per_shard}]}}",
             self.shards.len(),
             total.interned,
             total.verdict_hits,
@@ -628,6 +812,7 @@ impl SessionPool {
             stages.convert,
             stages.verdict,
             stages.observe,
+            stages.other,
         )
     }
 
@@ -885,11 +1070,48 @@ impl Daemon {
     }
 }
 
+/// `(cmd, what, trace_id)` used for request-level observability: the
+/// command's metric labels, a human label for the slowest-requests
+/// ring, and the client trace ID if one was sent.
+fn request_meta(req: &Request) -> (&'static str, String, Option<String>) {
+    match req {
+        Request::Check { file, trace, .. } => ("check", format!("check {file}"), trace.clone()),
+        Request::Batch { dir, .. } => ("batch", format!("batch {dir}"), None),
+        Request::Outcomes { file, trace, .. } => {
+            ("outcomes", format!("outcomes {file}"), trace.clone())
+        }
+        Request::OutcomesBatch { dir, .. } => ("outcomes_batch", format!("outcomes {dir}"), None),
+        Request::Reload => ("reload", "reload".to_string(), None),
+        Request::Models => ("models", "models".to_string(), None),
+        Request::Stats => ("stats", "stats".to_string(), None),
+        Request::Metrics { .. } => ("metrics", "metrics".to_string(), None),
+        Request::Shutdown => ("shutdown", "shutdown".to_string(), None),
+    }
+}
+
 /// Answer one request with its response lines (without the blank-line
 /// terminator); `true` in the second slot means shutdown was requested.
 fn answer(pool: &SessionPool, req: Request) -> (Vec<String>, bool) {
     match req {
-        Request::Check { file, src, models } => (vec![pool.check(&file, &src, models)], false),
+        Request::Check {
+            file,
+            src,
+            models,
+            trace,
+        } => {
+            let line = match &trace {
+                // The trace echo (`trace_id` + span timeline) goes on
+                // every traced response, error lines included; untraced
+                // responses stay byte-identical to one-shot serving.
+                Some(id) => {
+                    let tr = txmm_obs::Trace::new(id);
+                    let line = pool.check_traced(&file, &src, models, &tr);
+                    crate::serve::attach_trace(&line, &tr)
+                }
+                None => pool.check(&file, &src, models),
+            };
+            (vec![line], false)
+        }
         Request::Batch { dir, models } => {
             let files = match collect_litmus_files(std::path::Path::new(&dir)) {
                 Ok(fs) => fs,
@@ -935,10 +1157,18 @@ fn answer(pool: &SessionPool, req: Request) -> (Vec<String>, bool) {
             src,
             models,
             max_candidates,
-        } => (
-            vec![pool.outcomes(&file, &src, models, max_candidates)],
-            false,
-        ),
+            trace,
+        } => {
+            let line = match &trace {
+                Some(id) => {
+                    let tr = txmm_obs::Trace::new(id);
+                    let line = pool.outcomes_traced(&file, &src, models, max_candidates, &tr);
+                    crate::serve::attach_trace(&line, &tr)
+                }
+                None => pool.outcomes(&file, &src, models, max_candidates),
+            };
+            (vec![line], false)
+        }
         Request::OutcomesBatch {
             dir,
             models,
@@ -990,6 +1220,22 @@ fn answer(pool: &SessionPool, req: Request) -> (Vec<String>, bool) {
         Request::Reload => (vec![pool.reload_line()], false),
         Request::Models => (pool.model_lines(), false),
         Request::Stats => (vec![pool.stats_line()], false),
+        Request::Metrics { prom } => {
+            let lines = if prom {
+                // Prometheus exposition is multi-line; ship each line of
+                // the page in the frame (none are blank, so the frame
+                // terminator stays unambiguous).
+                txmm_obs::global()
+                    .render_prom()
+                    .lines()
+                    .filter(|l| !l.trim().is_empty())
+                    .map(str::to_string)
+                    .collect()
+            } else {
+                vec![txmm_obs::global().render_json()]
+            };
+            (lines, false)
+        }
         Request::Shutdown => (vec!["{\"ok\":\"shutdown\"}".to_string()], true),
     }
 }
@@ -1019,9 +1265,28 @@ fn handle_client(mut conn: Conn, pool: &SessionPool, stop: &AtomicBool) {
             if line.is_empty() {
                 continue;
             }
+            let started = Instant::now();
             let (lines, shutdown) = match Request::parse(line) {
-                Ok(req) => answer(pool, req),
-                Err(e) => (vec![error_line(&e.to_string())], false),
+                Ok(req) => {
+                    let (cmd, what, trace_id) = request_meta(&req);
+                    let result = answer(pool, req);
+                    pool.obs.observe(
+                        cmd,
+                        &what,
+                        trace_id.as_deref(),
+                        started.elapsed().as_micros() as u64,
+                    );
+                    result
+                }
+                Err(e) => {
+                    pool.obs.observe(
+                        "error",
+                        "malformed request",
+                        None,
+                        started.elapsed().as_micros() as u64,
+                    );
+                    (vec![error_line(&e.to_string())], false)
+                }
             };
             let mut response = String::new();
             for l in &lines {

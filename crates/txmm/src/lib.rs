@@ -18,6 +18,7 @@
 //! | [`hwsim`] | `txmm-hwsim` | x86/ARMv8/Power simulators + oracle |
 //! | [`synth`] | `txmm-synth` | Forbid/Allow synthesis (Table 1, Fig. 7) |
 //! | [`verify`] | `txmm-verify` | metatheory (Table 2) |
+//! | [`obs`] | `txmm-obs` | metrics registry, request spans, Prometheus |
 //!
 //! ## Quick start
 //!
@@ -39,6 +40,7 @@ pub use txmm_core as core;
 pub use txmm_hwsim as hwsim;
 pub use txmm_litmus as litmus;
 pub use txmm_models as models;
+pub use txmm_obs as obs;
 pub use txmm_synth as synth;
 pub use txmm_verify as verify;
 

@@ -168,9 +168,9 @@ impl Session {
             let slot = m.index();
             let ck = (key.clone(), slot);
             if self.outcome_sets.contains_key(&ck) {
-                self.stats.outcome_hits += 1;
+                self.stats.outcome_hits.inc();
             } else {
-                self.stats.outcome_misses += 1;
+                self.stats.outcome_misses.inc();
                 cached = false;
                 // Oracle-backed models walk the candidate space with
                 // consistency-guided pruning, one walk per model;
@@ -180,7 +180,9 @@ impl Session {
                 } else {
                     self.table_model_outcomes(&key, t, m)?;
                 }
-                self.stats.outcome_entries = self.outcome_sets.len();
+                self.stats
+                    .outcome_entries
+                    .set(self.outcome_sets.len() as i64);
             }
             let allowed = self.outcome_sets[&ck].clone();
             class_union.extend(self.outcome_visits[&ck].classes.iter().copied());
@@ -252,10 +254,10 @@ impl Session {
             // `.cat` oracles run only the monotone fragment), so the
             // class still goes through the verdict cache.
             if let std::collections::hash_map::Entry::Vacant(e) = verdicts.entry((id, slot)) {
-                stats.verdict_misses += 1;
+                stats.verdict_misses.inc();
                 e.insert(model.check_analysis(&arena.unpack(id).analysis()));
             } else {
-                stats.verdict_hits += 1;
+                stats.verdict_hits.inc();
             }
             if verdicts[&(id, slot)].is_consistent() {
                 allowed.insert(Outcome {
@@ -267,13 +269,15 @@ impl Session {
             }
         })
         .map_err(|e| e.to_string())?;
-        self.stats.interned = self.arena.len();
-        self.stats.outcome_candidates += visited as u64;
-        self.stats.outcome_classes += classes.len() as u64;
-        self.stats.prune_subtrees_cut += pstats.subtrees_cut;
-        self.stats.prune_candidates_skipped += pstats.candidates_skipped;
-        self.stats.prune_oracle_calls += pstats.oracle_calls;
-        self.stats.prune_oracle_micros += pstats.oracle_micros;
+        self.stats.interned.set(self.arena.len() as i64);
+        self.stats.outcome_candidates.add(visited as u64);
+        self.stats.outcome_classes.add(classes.len() as u64);
+        self.stats.prune_subtrees_cut.add(pstats.subtrees_cut);
+        self.stats
+            .prune_candidates_skipped
+            .add(pstats.candidates_skipped);
+        self.stats.prune_oracle_calls.add(pstats.oracle_calls);
+        self.stats.prune_oracle_micros.add(pstats.oracle_micros);
         self.outcome_sets.insert((key.to_vec(), slot), allowed);
         self.outcome_visits
             .insert((key.to_vec(), slot), OutcomeVisit { classes });
@@ -335,8 +339,8 @@ impl Session {
             ));
         })
         .map_err(|e| e.to_string())?;
-        self.stats.outcome_candidates += candidates.len() as u64;
-        self.stats.outcome_classes += classes.len() as u64;
+        self.stats.outcome_candidates.add(candidates.len() as u64);
+        self.stats.outcome_classes.add(classes.len() as u64);
         Ok(OutcomeTable {
             candidates,
             classes,
@@ -359,8 +363,10 @@ impl Session {
             .enumerate()
             .filter(|&(_, id)| !self.verdicts.contains_key(&(id, slot)))
             .collect();
-        self.stats.verdict_hits += (class_ids.len() - missing.len()) as u64;
-        self.stats.verdict_misses += missing.len() as u64;
+        self.stats
+            .verdict_hits
+            .add((class_ids.len() - missing.len()) as u64);
+        self.stats.verdict_misses.add(missing.len() as u64);
         if !missing.is_empty() {
             let jobs: Vec<(txmm_core::arena::ExecId, txmm_core::Execution)> = missing
                 .iter()

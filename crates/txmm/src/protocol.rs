@@ -280,6 +280,9 @@ pub enum Request {
         src: String,
         /// Restrict verdicts to these model names (all when absent).
         models: Option<Vec<String>>,
+        /// Client-chosen trace ID; when present the response line is
+        /// annotated with `trace_id` and the per-stage span timeline.
+        trace: Option<String>,
     },
     /// Serve every `.litmus` file in a server-side directory; answers
     /// one payload line per file, in sorted file order.
@@ -302,6 +305,9 @@ pub enum Request {
         /// request; the server default applies when absent. Oversized
         /// programs still answer the same structured refusal.
         max_candidates: Option<u128>,
+        /// Client-chosen trace ID; when present the response line is
+        /// annotated with `trace_id` and the per-stage span timeline.
+        trace: Option<String>,
     },
     /// [`Request::Outcomes`] over every `.litmus` file in a server-side
     /// directory, in sorted file order.
@@ -322,6 +328,12 @@ pub enum Request {
     Models,
     /// Cache hit-rates, per-shard queue depths and stage timings.
     Stats,
+    /// The process-wide metrics registry: one JSON line by default, or
+    /// Prometheus text exposition (multi-line) with `"format":"prom"`.
+    Metrics {
+        /// Answer Prometheus text exposition instead of JSON.
+        prom: bool,
+    },
     /// Stop accepting connections and exit once in-flight requests
     /// drain.
     Shutdown,
@@ -360,6 +372,14 @@ fn max_candidates_field(v: &Json) -> Result<Option<u128>, ProtocolError> {
     }
 }
 
+fn trace_field(v: &Json) -> Result<Option<String>, ProtocolError> {
+    match v.get("trace_id") {
+        None | Some(Json::Null) => Ok(None),
+        Some(Json::Str(s)) => Ok(Some(s.clone())),
+        Some(_) => Err(ProtocolError("\"trace_id\" must be a string".into())),
+    }
+}
+
 fn str_field(v: &Json, key: &str) -> Result<String, ProtocolError> {
     v.get(key)
         .and_then(Json::as_str)
@@ -377,6 +397,7 @@ impl Request {
                 file: str_field(&v, "file")?,
                 src: str_field(&v, "src")?,
                 models: models_field(&v)?,
+                trace: trace_field(&v)?,
             }),
             "batch" => Ok(Request::Batch {
                 dir: str_field(&v, "dir")?,
@@ -397,12 +418,19 @@ impl Request {
                         src: str_field(&v, "src")?,
                         models: models_field(&v)?,
                         max_candidates: max_candidates_field(&v)?,
+                        trace: trace_field(&v)?,
                     })
                 }
             }
             "reload" => Ok(Request::Reload),
             "models" => Ok(Request::Models),
             "stats" => Ok(Request::Stats),
+            "metrics" => match v.get("format") {
+                None | Some(Json::Null) => Ok(Request::Metrics { prom: false }),
+                Some(Json::Str(f)) if f == "prom" => Ok(Request::Metrics { prom: true }),
+                Some(Json::Str(f)) => err(format!("unknown metrics format {f:?}")),
+                Some(_) => err("\"format\" must be a string"),
+            },
             "shutdown" => Ok(Request::Shutdown),
             other => err(format!("unknown command {other:?}")),
         }
@@ -429,12 +457,24 @@ impl Request {
                 Some(c) => format!(",\"max_candidates\":{c}"),
             }
         }
+        fn trace_suffix(trace: &Option<String>) -> String {
+            match trace {
+                None => String::new(),
+                Some(t) => format!(",\"trace_id\":\"{}\"", json_escape(t)),
+            }
+        }
         match self {
-            Request::Check { file, src, models } => format!(
-                "{{\"cmd\":\"check\",\"file\":\"{}\",\"src\":\"{}\"{}}}",
+            Request::Check {
+                file,
+                src,
+                models,
+                trace,
+            } => format!(
+                "{{\"cmd\":\"check\",\"file\":\"{}\",\"src\":\"{}\"{}{}}}",
                 json_escape(file),
                 json_escape(src),
-                models_suffix(models)
+                models_suffix(models),
+                trace_suffix(trace)
             ),
             Request::Batch { dir, models } => format!(
                 "{{\"cmd\":\"batch\",\"dir\":\"{}\"{}}}",
@@ -446,12 +486,14 @@ impl Request {
                 src,
                 models,
                 max_candidates,
+                trace,
             } => format!(
-                "{{\"cmd\":\"outcomes\",\"file\":\"{}\",\"src\":\"{}\"{}{}}}",
+                "{{\"cmd\":\"outcomes\",\"file\":\"{}\",\"src\":\"{}\"{}{}{}}}",
                 json_escape(file),
                 json_escape(src),
                 models_suffix(models),
-                cap_suffix(max_candidates)
+                cap_suffix(max_candidates),
+                trace_suffix(trace)
             ),
             Request::OutcomesBatch {
                 dir,
@@ -466,6 +508,8 @@ impl Request {
             Request::Reload => "{\"cmd\":\"reload\"}".into(),
             Request::Models => "{\"cmd\":\"models\"}".into(),
             Request::Stats => "{\"cmd\":\"stats\"}".into(),
+            Request::Metrics { prom: false } => "{\"cmd\":\"metrics\"}".into(),
+            Request::Metrics { prom: true } => "{\"cmd\":\"metrics\",\"format\":\"prom\"}".into(),
             Request::Shutdown => "{\"cmd\":\"shutdown\"}".into(),
         }
     }
@@ -517,11 +561,13 @@ mod tests {
                 file: "a b.litmus".into(),
                 src: "sb (x86)\nthread 0:\n  x <- 1\nTest: x = 1\n".into(),
                 models: Some(vec!["SC".into(), "x86-tm.cat".into()]),
+                trace: None,
             },
             Request::Check {
                 file: "plain".into(),
                 src: "s".into(),
                 models: None,
+                trace: Some("req-42 \"quoted\"".into()),
             },
             Request::Batch {
                 dir: "target/corpus".into(),
@@ -532,12 +578,14 @@ mod tests {
                 src: "sb (x86)\nthread 0:\n  x <- 1\n".into(),
                 models: Some(vec!["SC".into()]),
                 max_candidates: None,
+                trace: Some("trace-7".into()),
             },
             Request::Outcomes {
                 file: "big.litmus".into(),
                 src: "big (x86)\nthread 0:\n  x <- 1\n".into(),
                 models: None,
                 max_candidates: Some(1 << 20),
+                trace: None,
             },
             Request::OutcomesBatch {
                 dir: "target/corpus".into(),
@@ -547,6 +595,8 @@ mod tests {
             Request::Reload,
             Request::Models,
             Request::Stats,
+            Request::Metrics { prom: false },
+            Request::Metrics { prom: true },
             Request::Shutdown,
         ];
         for r in reqs {
@@ -571,6 +621,16 @@ mod tests {
             Request::parse("{\"cmd\":\"check\",\"file\":\"f\",\"src\":\"s\",\"models\":3}")
                 .is_err()
         );
+        assert!(
+            Request::parse("{\"cmd\":\"check\",\"file\":\"f\",\"src\":\"s\",\"trace_id\":7}")
+                .unwrap_err()
+                .to_string()
+                .contains("trace_id")
+        );
+        assert!(Request::parse("{\"cmd\":\"metrics\",\"format\":\"xml\"}")
+            .unwrap_err()
+            .to_string()
+            .contains("unknown metrics format"));
         for bad in ["0", "-4", "1.5", "\"many\"", "1e300"] {
             let line = format!(
                 "{{\"cmd\":\"outcomes\",\"file\":\"f\",\"src\":\"s\",\"max_candidates\":{bad}}}"

@@ -52,12 +52,25 @@ pub struct StageMicros {
     pub verdict: u64,
     /// Hardware-simulator observability (including its cache lookups).
     pub observe: u64,
+    /// Everything between the named stages: report assembly, stats
+    /// snapshots, and (under the daemon) shard queue wait. Kept
+    /// explicit so the stages always sum to the recorded end-to-end
+    /// time instead of silently under-reporting.
+    pub other: u64,
 }
 
 impl StageMicros {
-    /// Total serving time across all four stages.
+    /// Total serving time across every stage, `other` included.
     pub fn total(&self) -> u64 {
-        self.parse + self.convert + self.verdict + self.observe
+        self.parse + self.convert + self.verdict + self.observe + self.other
+    }
+
+    /// Attribute the gap between an end-to-end measurement and the
+    /// already-recorded stages to `other`, restoring the invariant
+    /// `total() == end_to_end` (saturating: a shorter measurement —
+    /// clock skew across threads — adds nothing).
+    pub fn absorb_gap(&mut self, end_to_end: u64) {
+        self.other += end_to_end.saturating_sub(self.total());
     }
 }
 
@@ -77,6 +90,9 @@ pub struct ParsedTest {
     pub parse_micros: u64,
     /// Convert-stage time, in microseconds.
     pub convert_micros: u64,
+    /// Unattributed time inside the parse/convert call (error
+    /// handling, struct assembly) — flows into [`StageMicros::other`].
+    pub other_micros: u64,
 }
 
 /// The served result for one litmus file.
@@ -129,7 +145,8 @@ pub enum Served {
 /// The parse and convert stages: litmus text → pinned candidate
 /// execution, each stage timed separately.
 pub fn parse_request(file: &str, src: &str) -> Result<ParsedTest, TestFailure> {
-    let start = Instant::now();
+    let whole = Instant::now();
+    let span = txmm_obs::span!("serve.parse");
     let t = match parse_litmus(src) {
         Ok(t) => t,
         Err(e) => {
@@ -139,8 +156,8 @@ pub fn parse_request(file: &str, src: &str) -> Result<ParsedTest, TestFailure> {
             })
         }
     };
-    let parse_micros = start.elapsed().as_micros() as u64;
-    let start = Instant::now();
+    let parse_micros = span.finish();
+    let span = txmm_obs::span!("serve.convert");
     let x = match execution_from_litmus(&t) {
         Ok(x) => x,
         Err(e) => {
@@ -150,13 +167,16 @@ pub fn parse_request(file: &str, src: &str) -> Result<ParsedTest, TestFailure> {
             })
         }
     };
+    let convert_micros = span.finish();
     Ok(ParsedTest {
         file: file.to_string(),
         name: t.name,
         arch: t.arch,
         exec: x,
         parse_micros,
-        convert_micros: start.elapsed().as_micros() as u64,
+        convert_micros,
+        other_micros: (whole.elapsed().as_micros() as u64)
+            .saturating_sub(parse_micros + convert_micros),
     })
 }
 
@@ -169,8 +189,9 @@ pub fn check_parsed(
     t: &ParsedTest,
     models: Option<&[ModelRef]>,
 ) -> TestReport {
-    let start = Instant::now();
+    let whole = Instant::now();
     let misses_before = session.stats().verdict_misses;
+    let span = txmm_obs::span!("serve.verdict");
     // Selected (or all) models share one analysis for their cache
     // misses inside verdicts_for.
     let verdicts: Vec<(String, Verdict)> = match models {
@@ -181,9 +202,19 @@ pub fn check_parsed(
     .map(|(m, v)| (session.model(m).name().to_string(), v))
     .collect();
     let cached = session.stats().verdict_misses == misses_before;
-    let verdict_micros = start.elapsed().as_micros() as u64;
-    let start = Instant::now();
+    let verdict_micros = span.finish();
+    let span = txmm_obs::span!("serve.observe");
     let observable = session.observable(&t.exec, t.arch);
+    let observe_micros = span.finish();
+    let mut stages = StageMicros {
+        parse: t.parse_micros,
+        convert: t.convert_micros,
+        verdict: verdict_micros,
+        observe: observe_micros,
+        other: t.other_micros,
+    };
+    stages.other +=
+        (whole.elapsed().as_micros() as u64).saturating_sub(verdict_micros + observe_micros);
     TestReport {
         file: t.file.clone(),
         name: t.name.clone(),
@@ -192,12 +223,7 @@ pub fn check_parsed(
         verdicts,
         observable,
         cached,
-        stages: StageMicros {
-            parse: t.parse_micros,
-            convert: t.convert_micros,
-            verdict: verdict_micros,
-            observe: start.elapsed().as_micros() as u64,
-        },
+        stages,
     }
 }
 
@@ -209,8 +235,16 @@ pub fn serve_source(
     src: &str,
     models: Option<&[ModelRef]>,
 ) -> Served {
+    let whole = Instant::now();
     match parse_request(file, src) {
-        Ok(t) => Served::Report(check_parsed(session, &t, models)),
+        Ok(t) => {
+            let mut r = check_parsed(session, &t, models);
+            // The stages each self-account their own wall time; the
+            // residual glue between the two calls lands in `other`, so
+            // r.micros() equals this function's end-to-end time.
+            r.stages.absorb_gap(whole.elapsed().as_micros() as u64);
+            Served::Report(r)
+        }
         Err(f) => Served::Failure(f),
     }
 }
@@ -300,6 +334,39 @@ pub fn jsonl_line(served: &Served) -> String {
             )
         }
     }
+}
+
+/// Splice a trace echo — `trace_id`, the recorded span timeline, and a
+/// drop counter when the timeline overflowed — into an already-rendered
+/// JSONL object line, just before its closing brace. Data lines stay
+/// byte-identical unless the client explicitly sent a `trace_id`, so
+/// the daemon's determinism guarantees are untouched for everyone else.
+pub fn attach_trace(line: &str, trace: &txmm_obs::Trace) -> String {
+    let Some(head) = line.strip_suffix('}') else {
+        return line.to_string();
+    };
+    let (spans, dropped) = trace.snapshot();
+    let spans = spans
+        .iter()
+        .map(|s| {
+            format!(
+                "{{\"span\":\"{}\",\"start_micros\":{},\"micros\":{}}}",
+                json_escape(s.name),
+                s.start_micros,
+                s.micros
+            )
+        })
+        .collect::<Vec<_>>()
+        .join(",");
+    let mut out = format!(
+        "{head},\"trace_id\":\"{}\",\"spans\":[{spans}]",
+        json_escape(trace.id())
+    );
+    if dropped > 0 {
+        out.push_str(&format!(",\"spans_dropped\":{dropped}"));
+    }
+    out.push('}');
+    out
 }
 
 // ---- Outcome serving ---------------------------------------------------
@@ -509,13 +576,55 @@ mod tests {
         assert_eq!(r.stages.convert, t.convert_micros);
         assert_eq!(
             r.micros(),
-            r.stages.parse + r.stages.convert + r.stages.verdict + r.stages.observe
+            r.stages.parse
+                + r.stages.convert
+                + r.stages.verdict
+                + r.stages.observe
+                + r.stages.other
         );
         // `cached` is per-call: checking the same parsed test again on
         // the same session is a pure cache hit.
         let r2 = check_parsed(&mut s, &t, None);
         assert!(!r.cached);
         assert!(r2.cached);
+    }
+
+    #[test]
+    fn absorb_gap_makes_stages_sum_to_end_to_end() {
+        let mut st = StageMicros {
+            parse: 10,
+            convert: 5,
+            verdict: 20,
+            observe: 5,
+            other: 2,
+        };
+        st.absorb_gap(50);
+        assert_eq!(st.other, 10);
+        assert_eq!(st.total(), 50);
+        // A shorter (cross-thread-skewed) measurement adds nothing.
+        st.absorb_gap(40);
+        assert_eq!(st.total(), 50);
+    }
+
+    #[test]
+    fn attach_trace_splices_the_span_timeline() {
+        let mut s = Session::new();
+        let trace = txmm_obs::Trace::new("abc-123");
+        let served = txmm_obs::with_trace(Some(&trace), || {
+            serve_source(&mut s, "sb.litmus", &sb_source(), None)
+        });
+        let plain = jsonl_line(&served);
+        let traced = attach_trace(&plain, &trace);
+        assert!(
+            traced.starts_with(plain.strip_suffix('}').unwrap()),
+            "{traced}"
+        );
+        assert!(traced.contains("\"trace_id\":\"abc-123\""), "{traced}");
+        assert!(traced.contains("\"span\":\"serve.parse\""), "{traced}");
+        assert!(traced.contains("\"span\":\"serve.verdict\""), "{traced}");
+        assert!(traced.contains("\"span\":\"serve.observe\""), "{traced}");
+        assert!(traced.ends_with('}') && !traced.contains('\n'), "{traced}");
+        assert!(crate::protocol::parse_json(&traced).is_ok(), "{traced}");
     }
 
     #[test]

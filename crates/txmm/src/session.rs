@@ -188,6 +188,92 @@ pub struct SessionStats {
     pub compile_micros: u64,
 }
 
+/// The session's cache counters as registry handles. Every `Session`
+/// creates its own handles (the registry sums live handles of a series
+/// for global exposition, so N shard sessions aggregate there) while
+/// [`Session::stats`] reads this session's own handles back out —
+/// which is what keeps the per-shard `stats` JSON exact.
+pub(crate) struct SessionTelemetry {
+    pub(crate) interned: txmm_obs::Gauge,
+    pub(crate) verdict_hits: txmm_obs::Counter,
+    pub(crate) verdict_misses: txmm_obs::Counter,
+    pub(crate) observability_hits: txmm_obs::Counter,
+    pub(crate) observability_misses: txmm_obs::Counter,
+    pub(crate) outcome_hits: txmm_obs::Counter,
+    pub(crate) outcome_misses: txmm_obs::Counter,
+    pub(crate) outcome_entries: txmm_obs::Gauge,
+    pub(crate) outcome_candidates: txmm_obs::Counter,
+    pub(crate) outcome_classes: txmm_obs::Counter,
+    pub(crate) prune_subtrees_cut: txmm_obs::Counter,
+    pub(crate) prune_candidates_skipped: txmm_obs::Counter,
+    pub(crate) prune_oracle_calls: txmm_obs::Counter,
+    pub(crate) prune_oracle_micros: txmm_obs::Counter,
+}
+
+impl SessionTelemetry {
+    fn new() -> SessionTelemetry {
+        let obs = txmm_obs::global();
+        SessionTelemetry {
+            interned: obs.gauge(
+                "txmm_session_interned_executions",
+                "Distinct executions interned (after canonical aliasing).",
+            ),
+            verdict_hits: obs.counter(
+                "txmm_verdict_cache_hits_total",
+                "Verdicts served from the cache.",
+            ),
+            verdict_misses: obs.counter(
+                "txmm_verdict_cache_misses_total",
+                "Verdicts computed fresh.",
+            ),
+            observability_hits: obs.counter(
+                "txmm_observability_cache_hits_total",
+                "Observability answers served from the cache.",
+            ),
+            observability_misses: obs.counter(
+                "txmm_observability_cache_misses_total",
+                "Observability answers computed fresh.",
+            ),
+            outcome_hits: obs.counter(
+                "txmm_outcome_cache_hits_total",
+                "Per-(program, model) outcome sets served from the cache.",
+            ),
+            outcome_misses: obs.counter(
+                "txmm_outcome_cache_misses_total",
+                "Per-(program, model) outcome sets computed fresh.",
+            ),
+            outcome_entries: obs.gauge(
+                "txmm_outcome_cache_entries",
+                "Entries in the outcome-set cache.",
+            ),
+            outcome_candidates: obs.counter(
+                "txmm_outcome_candidates_total",
+                "Candidate executions enumerated by the outcome engine.",
+            ),
+            outcome_classes: obs.counter(
+                "txmm_outcome_classes_total",
+                "Canonical candidate classes actually checked.",
+            ),
+            // Same family names the sweep walks in txmm-synth publish
+            // into: the exposition totals prune work process-wide.
+            prune_subtrees_cut: obs.counter(
+                "txmm_prune_subtrees_cut_total",
+                "Construction subtrees abandoned on a non-viable partial.",
+            ),
+            prune_candidates_skipped: obs.counter(
+                "txmm_prune_candidates_skipped_total",
+                "Complete candidates pruned subtrees would have materialised.",
+            ),
+            prune_oracle_calls: obs
+                .counter("txmm_prune_oracle_calls_total", "Prune-oracle invocations."),
+            prune_oracle_micros: obs.counter(
+                "txmm_prune_oracle_microseconds_total",
+                "Wall-clock time spent inside prune-oracle calls.",
+            ),
+        }
+    }
+}
+
 /// The long-lived engine described in the module docs. Fields are
 /// crate-visible so the outcome engine (`crate::outcomes`) can split
 /// borrows across the registry, arena and caches.
@@ -216,7 +302,7 @@ pub struct Session {
     /// Registry slot → compiled `.cat` model, for aggregating
     /// compile-cache stats; reload replaces the slot's entry.
     pub(crate) cat_models: Vec<(usize, std::sync::Arc<CatModel>)>,
-    pub(crate) stats: SessionStats,
+    pub(crate) stats: SessionTelemetry,
 }
 
 /// A `Session` moves whole into a shard worker thread of the serving
@@ -266,7 +352,7 @@ impl Session {
             max_candidates: crate::outcomes::MAX_CANDIDATES,
             outcome_workers: 1,
             cat_models: Vec::new(),
-            stats: SessionStats::default(),
+            stats: SessionTelemetry::new(),
         };
         for m in registry::all_models() {
             s.register_model(m);
@@ -360,7 +446,9 @@ impl Session {
         self.verdicts.retain(|&(_, m), _| m != slot);
         self.outcome_sets.retain(|(_, m), _| *m != slot);
         self.outcome_visits.retain(|(_, m), _| *m != slot);
-        self.stats.outcome_entries = self.outcome_sets.len();
+        self.stats
+            .outcome_entries
+            .set(self.outcome_sets.len() as i64);
         Ok(ModelRef(slot))
     }
 
@@ -429,7 +517,7 @@ impl Session {
     /// symmetric variants share every cache entry.
     pub fn intern(&mut self, x: &Execution) -> ExecId {
         let id = intern_into(&mut self.arena, &mut self.canon_ids, x);
-        self.stats.interned = self.arena.len();
+        self.stats.interned.set(self.arena.len() as i64);
         id
     }
 
@@ -467,10 +555,10 @@ impl Session {
     /// [`Session::verdict`] for an already-interned execution.
     pub fn verdict_interned(&mut self, id: ExecId, m: ModelRef) -> Verdict {
         if let Some(v) = self.verdicts.get(&(id, m.0)) {
-            self.stats.verdict_hits += 1;
+            self.stats.verdict_hits.inc();
             return v.clone();
         }
-        self.stats.verdict_misses += 1;
+        self.stats.verdict_misses.inc();
         let x = self.arena.unpack(id);
         let v = self.models[m.0].check_analysis(&x.analysis());
         self.verdicts.insert((id, m.0), v.clone());
@@ -500,8 +588,10 @@ impl Session {
             .map(|m| m.0)
             .filter(|&i| !self.verdicts.contains_key(&(id, i)))
             .collect();
-        self.stats.verdict_hits += (models.len() - missing.len()) as u64;
-        self.stats.verdict_misses += missing.len() as u64;
+        self.stats
+            .verdict_hits
+            .add((models.len() - missing.len()) as u64);
+        self.stats.verdict_misses.add(missing.len() as u64);
         if !missing.is_empty() {
             let y = self.arena.unpack(id);
             let a = y.analysis();
@@ -527,10 +617,10 @@ impl Session {
         }
         let id = self.intern(x);
         if let Some(&seen) = self.observability.get(&(id, arch)) {
-            self.stats.observability_hits += 1;
+            self.stats.observability_hits.inc();
             return Some(seen);
         }
-        self.stats.observability_misses += 1;
+        self.stats.observability_misses.inc();
         let y = self.arena.unpack(id);
         let t = litmus_from_execution("session", &y, arch);
         let seen = match arch {
@@ -543,10 +633,28 @@ impl Session {
         Some(seen)
     }
 
-    /// Current cache and arena counters. Compile-cache numbers are
-    /// aggregated from the registered `.cat` models at snapshot time.
+    /// Current cache and arena counters, read back through this
+    /// session's registry handles. Compile-cache numbers are aggregated
+    /// from the registered `.cat` models at snapshot time.
     pub fn stats(&self) -> SessionStats {
-        let mut s = self.stats;
+        let t = &self.stats;
+        let mut s = SessionStats {
+            interned: t.interned.get() as usize,
+            verdict_hits: t.verdict_hits.get(),
+            verdict_misses: t.verdict_misses.get(),
+            observability_hits: t.observability_hits.get(),
+            observability_misses: t.observability_misses.get(),
+            outcome_hits: t.outcome_hits.get(),
+            outcome_misses: t.outcome_misses.get(),
+            outcome_entries: t.outcome_entries.get() as usize,
+            outcome_candidates: t.outcome_candidates.get(),
+            outcome_classes: t.outcome_classes.get(),
+            prune_subtrees_cut: t.prune_subtrees_cut.get(),
+            prune_candidates_skipped: t.prune_candidates_skipped.get(),
+            prune_oracle_calls: t.prune_oracle_calls.get(),
+            prune_oracle_micros: t.prune_oracle_micros.get(),
+            ..SessionStats::default()
+        };
         for (_, model) in &self.cat_models {
             let c = model.compile_stats();
             s.compile_hits += c.hits;

@@ -85,6 +85,7 @@ fn concurrent_clients_byte_identical_to_one_shot_serve() {
                         file: file.clone(),
                         src: src.clone(),
                         models: None,
+                        trace: None,
                     },
                 );
                 assert_eq!(got, vec![want.clone()], "client {c}: {file}");
@@ -172,6 +173,7 @@ fn outcomes_requests_byte_identical_to_one_shot() {
                     src: src.clone(),
                     models: None,
                     max_candidates: None,
+                    trace: None,
                 },
             );
             assert_eq!(got, vec![want.clone()], "pass {pass}: {file}");
@@ -245,6 +247,7 @@ fn max_candidates_unlocks_post_litmus_scale_outcome_tables() {
             src: post_litmus_scale_source(),
             models: Some(vec!["x86".into()]),
             max_candidates: None,
+            trace: None,
         },
     );
     assert!(refused[0].contains("\"error\""), "{}", refused[0]);
@@ -261,6 +264,7 @@ fn max_candidates_unlocks_post_litmus_scale_outcome_tables() {
             src: post_litmus_scale_source(),
             models: Some(vec!["x86".into()]),
             max_candidates: Some(100_000),
+            trace: None,
         },
     );
     assert!(!served[0].contains("\"error\""), "{}", served[0]);
@@ -318,6 +322,7 @@ fn reload_swaps_cat_models_without_restart() {
         src: src.clone(),
         models: Some(vec!["probe".into()]),
         max_candidates: None,
+        trace: None,
     };
     let mut stream = BufReader::new(TcpStream::connect(&addr).expect("connect"));
     let before = roundtrip(&mut stream, &check);
@@ -497,6 +502,7 @@ fn unix_socket_transport() {
             file,
             src,
             models: None,
+            trace: None,
         },
     );
     assert_eq!(got, vec![want]);
