@@ -30,7 +30,22 @@ fn naive_count(cfg: &EnumConfig, model: &dyn Model) -> usize {
     n.into_inner()
 }
 
-fn headline(name: &str, cfg: &EnumConfig, model: &dyn Model) {
+/// One machine-readable headline row, serialised into `BENCH_prune.json`.
+struct Headline {
+    name: String,
+    events: usize,
+    naive_micros: u128,
+    pruned_micros: u128,
+    consistent: usize,
+    subtrees_cut: u64,
+    candidates_skipped: u64,
+    oracle_calls: u64,
+    delta_answers: u64,
+    fallbacks: u64,
+    batches: u64,
+}
+
+fn headline(rows: &mut Vec<Headline>, name: &str, cfg: &EnumConfig, model: &dyn Model) {
     let t0 = Instant::now();
     let naive = naive_count(cfg, model);
     let naive_t = t0.elapsed();
@@ -48,6 +63,50 @@ fn headline(name: &str, cfg: &EnumConfig, model: &dyn Model) {
         st.subtrees_cut,
         st.candidates_skipped,
     );
+    rows.push(Headline {
+        name: name.to_string(),
+        events: cfg.events,
+        naive_micros: naive_t.as_micros(),
+        pruned_micros: pruned_t.as_micros(),
+        consistent: pruned,
+        subtrees_cut: st.subtrees_cut,
+        candidates_skipped: st.candidates_skipped,
+        oracle_calls: st.oracle_calls,
+        delta_answers: st.delta_answers,
+        fallbacks: st.fallbacks,
+        batches: st.batches,
+    });
+}
+
+/// Write the headline rows as `BENCH_prune.json` at the workspace root
+/// so CI and the README numbers have a machine-readable source.
+fn write_bench_json(rows: &[Headline]) {
+    let mut out = String::from("[\n");
+    for (i, r) in rows.iter().enumerate() {
+        out.push_str(&format!(
+            "  {{\"name\":\"{}\",\"events\":{},\"naive_micros\":{},\"pruned_micros\":{},\
+             \"consistent_classes\":{},\"subtrees_cut\":{},\"candidates_skipped\":{},\
+             \"oracle_calls\":{},\"delta_answers\":{},\"fallbacks\":{},\"batches\":{}}}{}\n",
+            r.name,
+            r.events,
+            r.naive_micros,
+            r.pruned_micros,
+            r.consistent,
+            r.subtrees_cut,
+            r.candidates_skipped,
+            r.oracle_calls,
+            r.delta_answers,
+            r.fallbacks,
+            r.batches,
+            if i + 1 < rows.len() { "," } else { "" },
+        ));
+    }
+    out.push_str("]\n");
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_prune.json");
+    match std::fs::write(path, out) {
+        Ok(()) => println!("pruning/headline wrote {path}"),
+        Err(e) => eprintln!("pruning/headline could not write {path}: {e}"),
+    }
 }
 
 fn corpus() -> Vec<(String, String)> {
@@ -71,14 +130,16 @@ fn bench_pruning(c: &mut Criterion) {
     // The README numbers — Power |E| = 4 (3.0x) and single-core x86
     // |E| = 5 (3.1x) — take tens of seconds naive and run only under
     // PRUNE_BENCH_FULL=1.
-    headline("x86", &EnumConfig::hw(Arch::X86, 4), &X86::tm());
-    headline("sc", &EnumConfig::hw(Arch::Sc, 4), &Sc);
-    headline("power", &EnumConfig::hw(Arch::Power, 3), &Power::tm());
-    headline("armv8", &EnumConfig::hw(Arch::Armv8, 3), &Armv8::tm());
+    let mut rows = Vec::new();
+    headline(&mut rows, "x86", &EnumConfig::hw(Arch::X86, 4), &X86::tm());
+    headline(&mut rows, "sc", &EnumConfig::hw(Arch::Sc, 4), &Sc);
+    headline(&mut rows, "power", &EnumConfig::hw(Arch::Power, 3), &Power::tm());
+    headline(&mut rows, "armv8", &EnumConfig::hw(Arch::Armv8, 3), &Armv8::tm());
     if std::env::var_os("PRUNE_BENCH_FULL").is_some() {
-        headline("power", &EnumConfig::hw(Arch::Power, 4), &Power::tm());
-        headline("x86", &EnumConfig::hw(Arch::X86, 5), &X86::tm());
+        headline(&mut rows, "power", &EnumConfig::hw(Arch::Power, 4), &Power::tm());
+        headline(&mut rows, "x86", &EnumConfig::hw(Arch::X86, 5), &X86::tm());
     }
+    write_bench_json(&rows);
 
     let x86 = EnumConfig::hw(Arch::X86, 4);
     let model = X86::tm();

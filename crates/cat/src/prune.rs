@@ -40,12 +40,15 @@
 use std::cell::RefCell;
 use std::sync::OnceLock;
 
-use txmm_core::incr::PruneOracle;
-use txmm_core::{ExecutionAnalysis, MAX_EVENTS};
+use txmm_core::incr::{
+    ComposeRule, DeltaPlan, EdgeKind, EdgeSel, Lift, Obligation, PruneOracle,
+};
+use txmm_core::{stronglift, weaklift, Execution, ExecutionAnalysis, Rel, MAX_EVENTS};
 use txmm_models::Checker;
 
-use crate::chunk::{Chunk, Op, RelBuiltin};
+use crate::chunk::{AnyReg, Chunk, Op, RelBuiltin};
 use crate::eval::CatModel;
+use crate::parser::CheckKind;
 use crate::opt;
 use crate::vm::Vm;
 
@@ -356,6 +359,243 @@ impl PruneOracle for CatPruneOracle {
         let mut checker = Checker::new(self.name);
         PRUNE_VM.with(|vm| vm.borrow_mut().run(chunk, a, &mut checker));
         checker.finish().is_consistent()
+    }
+
+    // One VM borrow for the whole sibling batch.
+    fn viable_batch(&self, batch: &[ExecutionAnalysis<'_>]) -> u64 {
+        PRUNE_VM.with(|vm| {
+            let mut vm = vm.borrow_mut();
+            let mut bits = 0u64;
+            for (i, a) in batch.iter().enumerate() {
+                let chunk = self.tier(a.len());
+                let mut checker = Checker::new(self.name);
+                vm.run(chunk, a, &mut checker);
+                if checker.finish().is_consistent() {
+                    bits |= 1 << i;
+                }
+            }
+            bits
+        })
+    }
+
+    // Scan the monotone core symbolically: a register holds a *union
+    // of builtins/constants* (possibly strong/weak-lifted by `stxn`)
+    // as long as only loads, constants and unions produced it. Every
+    // check the scan can express becomes delta state — acyclicity
+    // obligations with fixed seeds and per-edge feeds, the incremental
+    // RMW-isolation flag, or a structure-fixed emptiness verdict. A
+    // check it cannot express leaves the plan inexact, so undecided
+    // probes fall back to running the core (and are counted).
+    fn delta_plan(&self, x: &Execution) -> Option<DeltaPlan> {
+        let n = x.len();
+        let base = ExecutionAnalysis::with_fr(x, Rel::empty(n));
+        let chunk = &self.generic;
+        let mut sym: Vec<Option<Sym>> = vec![None; chunk.rel_regs as usize];
+        let mut plan = DeltaPlan::fallback(x, true);
+        plan.track_rmw_isol = false; // cover_check re-enables on demand
+        let mut covered_all = true;
+        let in_fix = |i: usize| {
+            chunk
+                .fix_groups
+                .iter()
+                .any(|&(s, e)| (s as usize..e as usize).contains(&i))
+        };
+        for (i, op) in chunk.ops.iter().enumerate() {
+            if in_fix(i) {
+                // Fixpoint bodies are beyond the symbolic domain.
+                match *op {
+                    Op::FixUpdate { bound, .. } => sym[bound.0 as usize] = None,
+                    _ => {
+                        if let Some(AnyReg::R(r)) = op.def() {
+                            sym[r as usize] = None;
+                        }
+                    }
+                }
+                continue;
+            }
+            match *op {
+                Op::LoadR { dst, b } => {
+                    sym[dst.0 as usize] = Some(Sym::Parts(vec![Part::Builtin(b)]));
+                }
+                Op::ConstR { dst, idx } => {
+                    sym[dst.0 as usize] = Some(Sym::Parts(vec![Part::Const(idx)]));
+                }
+                Op::EmptyR { dst } => sym[dst.0 as usize] = Some(Sym::Parts(Vec::new())),
+                Op::UnionR { dst, a, b } => {
+                    let joined = match (&sym[a.0 as usize], &sym[b.0 as usize]) {
+                        (Some(Sym::Parts(p)), Some(Sym::Parts(q))) => {
+                            let mut p = p.clone();
+                            p.extend(q.iter().copied());
+                            Some(Sym::Parts(p))
+                        }
+                        (Some(Sym::Lifted(l1, p)), Some(Sym::Lifted(l2, q))) if l1 == l2 => {
+                            let mut p = p.clone();
+                            p.extend(q.iter().copied());
+                            Some(Sym::Lifted(*l1, p))
+                        }
+                        _ => None,
+                    };
+                    sym[dst.0 as usize] = joined;
+                }
+                Op::Weaklift { dst, a, b } | Op::Stronglift { dst, a, b } => {
+                    let lift = if matches!(op, Op::Weaklift { .. }) {
+                        Lift::Weak
+                    } else {
+                        Lift::Strong
+                    };
+                    sym[dst.0 as usize] = match (&sym[a.0 as usize], &sym[b.0 as usize]) {
+                        (Some(Sym::Parts(p)), Some(Sym::Parts(q)))
+                            if *q == [Part::Builtin(RelBuiltin::Stxn)] =>
+                        {
+                            Some(Sym::Lifted(lift, p.clone()))
+                        }
+                        _ => None,
+                    };
+                }
+                Op::Check { kind, src, .. } => {
+                    covered_all &=
+                        cover_check(kind, sym[src.0 as usize].as_ref(), &base, chunk, &mut plan);
+                }
+                _ => {
+                    if let Some(AnyReg::R(r)) = op.def() {
+                        sym[r as usize] = None;
+                    }
+                }
+            }
+        }
+        plan.exact = covered_all;
+        Some(plan)
+    }
+}
+
+/// One symbolic summand during the delta scan.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Part {
+    Builtin(RelBuiltin),
+    Const(u16),
+}
+
+/// A register's symbolic value: a union of parts, optionally lifted
+/// through the transaction classes.
+#[derive(Clone)]
+enum Sym {
+    Parts(Vec<Part>),
+    Lifted(Lift, Vec<Part>),
+}
+
+fn com_rules(sel: EdgeSel) -> [ComposeRule; 3] {
+    [
+        ComposeRule::direct(EdgeKind::Rf, sel),
+        ComposeRule::direct(EdgeKind::Co, sel),
+        ComposeRule::direct(EdgeKind::Fr, sel),
+    ]
+}
+
+/// Translate one surviving check into delta state; `false` means the
+/// check stays with the fallback run (plan turns inexact).
+fn cover_check(
+    kind: CheckKind,
+    sym: Option<&Sym>,
+    base: &ExecutionAnalysis<'_>,
+    chunk: &Chunk,
+    plan: &mut DeltaPlan,
+) -> bool {
+    let Some(sym) = sym else { return false };
+    let (lift, parts) = match sym {
+        Sym::Parts(p) => (Lift::No, p.as_slice()),
+        Sym::Lifted(l, p) => (*l, p.as_slice()),
+    };
+    let n = base.len();
+    match kind {
+        CheckKind::Acyclic => {
+            // A bare isolation builtin is itself a lifted com.
+            if lift == Lift::No {
+                if let [Part::Builtin(b)] = parts {
+                    let l = match b {
+                        RelBuiltin::WeakIsol => Some(Lift::Weak),
+                        RelBuiltin::StrongIsol => Some(Lift::Strong),
+                        _ => None,
+                    };
+                    if let Some(l) = l {
+                        plan.obls.push(Obligation {
+                            seed: Rel::empty(n),
+                            feed: com_rules(EdgeSel::All).to_vec(),
+                            lift: l,
+                        });
+                        return true;
+                    }
+                }
+            }
+            let mut seed = Rel::empty(n);
+            let mut feed = Vec::new();
+            for &part in parts {
+                use RelBuiltin::*;
+                match part {
+                    Part::Const(idx) => seed = seed.union(&chunk.rel_consts[idx as usize]),
+                    Part::Builtin(b) => match b {
+                        Rf => feed.push(ComposeRule::direct(EdgeKind::Rf, EdgeSel::All)),
+                        Rfe => feed.push(ComposeRule::direct(EdgeKind::Rf, EdgeSel::External)),
+                        Rfi => feed.push(ComposeRule::direct(EdgeKind::Rf, EdgeSel::Internal)),
+                        Co => feed.push(ComposeRule::direct(EdgeKind::Co, EdgeSel::All)),
+                        Coe => feed.push(ComposeRule::direct(EdgeKind::Co, EdgeSel::External)),
+                        Coi => feed.push(ComposeRule::direct(EdgeKind::Co, EdgeSel::Internal)),
+                        Fr => feed.push(ComposeRule::direct(EdgeKind::Fr, EdgeSel::All)),
+                        Fre => feed.push(ComposeRule::direct(EdgeKind::Fr, EdgeSel::External)),
+                        Fri => feed.push(ComposeRule::direct(EdgeKind::Fr, EdgeSel::Internal)),
+                        Com => feed.extend(com_rules(EdgeSel::All)),
+                        Come => feed.extend(com_rules(EdgeSel::External)),
+                        Coherence => {
+                            seed = seed.union(base.po_loc());
+                            feed.extend(com_rules(EdgeSel::All));
+                        }
+                        // Growing relations with no per-edge rule (the
+                        // atomic lift has its own equivalence).
+                        RmwIsol | WeakIsol | StrongIsol | StrongIsolAtomic => return false,
+                        // Everything else is structure-fixed.
+                        _ => seed = seed.union(&b.eval(base)),
+                    },
+                }
+            }
+            if lift == Lift::Weak {
+                seed = weaklift(&seed, &plan.stxn);
+            } else if lift == Lift::Strong {
+                seed = stronglift(&seed, &plan.stxn);
+            }
+            plan.obls.push(Obligation { seed, feed, lift });
+            true
+        }
+        CheckKind::Empty => {
+            if lift != Lift::No {
+                return false;
+            }
+            if parts == [Part::Builtin(RelBuiltin::RmwIsol)] {
+                plan.track_rmw_isol = true;
+                return true;
+            }
+            // A union of structure-fixed parts has its final value
+            // already: decide it now.
+            let mut fixed = Rel::empty(n);
+            for &part in parts {
+                use RelBuiltin::*;
+                match part {
+                    Part::Const(idx) => fixed = fixed.union(&chunk.rel_consts[idx as usize]),
+                    Part::Builtin(b) => match b {
+                        Rf | Rfe | Rfi | Co | Coe | Coi | Fr | Fre | Fri | Com | Come
+                        | Coherence | RmwIsol | WeakIsol | StrongIsol | StrongIsolAtomic => {
+                            return false
+                        }
+                        _ => fixed = fixed.union(&b.eval(base)),
+                    },
+                }
+            }
+            if !fixed.is_empty() {
+                plan.dead = true;
+            }
+            true
+        }
+        // The obligation detectors are transitive: they would reject
+        // benign two-step cycles an irreflexivity check permits.
+        CheckKind::Irreflexive => false,
     }
 }
 

@@ -23,6 +23,11 @@ use crate::exec::Execution;
 use crate::rel::{stronglift, weaklift, Rel};
 use crate::set::EventSet;
 
+/// Number of model-specific memo slots an analysis carries (see
+/// [`ExecutionAnalysis::memo`]). Large enough for every model in a
+/// `check_all` sweep to claim its own key.
+const MEMO_SLOTS: usize = 8;
+
 /// One lazily-initialised relation slot (boxed so empty slots are
 /// pointer-sized).
 #[derive(Default)]
@@ -41,6 +46,10 @@ impl RelCache {
 /// Lazily cached derived relations and event sets of one [`Execution`].
 pub struct ExecutionAnalysis<'x> {
     x: &'x Execution,
+    /// Txn-independent slots borrowed from a sibling's captured
+    /// analysis ([`TxnFreeBase::seed`]); consulted before the local
+    /// caches so seeding copies nothing.
+    shared: Option<&'x TxnFreeBase>,
     // Event sets.
     reads: OnceCell<EventSet>,
     writes: OnceCell<EventSet>,
@@ -81,6 +90,8 @@ pub struct ExecutionAnalysis<'x> {
     strong_isol: RelCache,
     strong_isol_atomic: RelCache,
     txn_cancels_rmw: RelCache,
+    // Model-specific txn-independent relations, keyed by name.
+    memos: [OnceCell<(&'static str, Box<Rel>)>; MEMO_SLOTS],
 }
 
 fn fence_index(f: Fence) -> usize {
@@ -95,6 +106,7 @@ impl<'x> ExecutionAnalysis<'x> {
     pub fn new(x: &'x Execution) -> ExecutionAnalysis<'x> {
         ExecutionAnalysis {
             x,
+            shared: None,
             reads: OnceCell::new(),
             writes: OnceCell::new(),
             fences: OnceCell::new(),
@@ -128,6 +140,7 @@ impl<'x> ExecutionAnalysis<'x> {
             strong_isol: RelCache::new(),
             strong_isol_atomic: RelCache::new(),
             txn_cancels_rmw: RelCache::new(),
+            memos: std::array::from_fn(|_| OnceCell::new()),
         }
     }
 
@@ -201,36 +214,57 @@ impl<'x> ExecutionAnalysis<'x> {
 
     /// The read events `R`.
     pub fn reads(&self) -> EventSet {
+        if let Some(v) = self.shared.and_then(|s| s.reads) {
+            return v;
+        }
         *self.reads.get_or_init(|| self.x.reads())
     }
 
     /// The write events `W`.
     pub fn writes(&self) -> EventSet {
+        if let Some(v) = self.shared.and_then(|s| s.writes) {
+            return v;
+        }
         *self.writes.get_or_init(|| self.x.writes())
     }
 
     /// All fence events.
     pub fn fences(&self) -> EventSet {
+        if let Some(v) = self.shared.and_then(|s| s.fences) {
+            return v;
+        }
         *self.fences.get_or_init(|| self.x.fences())
     }
 
     /// Acquire events.
     pub fn acq(&self) -> EventSet {
+        if let Some(v) = self.shared.and_then(|s| s.acq) {
+            return v;
+        }
         *self.acq.get_or_init(|| self.x.acq())
     }
 
     /// Release events.
     pub fn rel_events(&self) -> EventSet {
+        if let Some(v) = self.shared.and_then(|s| s.rel_events) {
+            return v;
+        }
         *self.rel_events.get_or_init(|| self.x.rel_events())
     }
 
     /// SC events.
     pub fn sc_events(&self) -> EventSet {
+        if let Some(v) = self.shared.and_then(|s| s.sc_events) {
+            return v;
+        }
         *self.sc_events.get_or_init(|| self.x.sc_events())
     }
 
     /// C++ atomic events.
     pub fn ato(&self) -> EventSet {
+        if let Some(v) = self.shared.and_then(|s| s.ato) {
+            return v;
+        }
         *self.ato.get_or_init(|| self.x.ato())
     }
 
@@ -238,11 +272,17 @@ impl<'x> ExecutionAnalysis<'x> {
 
     /// Same-location equivalence over accesses.
     pub fn sloc(&self) -> &Rel {
+        if let Some(r) = self.shared.and_then(|s| s.sloc.as_ref()) {
+            return r;
+        }
         self.sloc.get_or(|| self.x.sloc())
     }
 
     /// Same-thread pairs including the diagonal.
     pub fn sthd(&self) -> &Rel {
+        if let Some(r) = self.shared.and_then(|s| s.sthd.as_ref()) {
+            return r;
+        }
         self.sthd.get_or(|| self.x.sthd())
     }
 
@@ -258,54 +298,84 @@ impl<'x> ExecutionAnalysis<'x> {
 
     /// `po` restricted to same-location accesses.
     pub fn po_loc(&self) -> &Rel {
+        if let Some(r) = self.shared.and_then(|s| s.po_loc.as_ref()) {
+            return r;
+        }
         self.po_loc.get_or(|| self.x.po().inter(self.sloc()))
     }
 
     /// From-read.
     pub fn fr(&self) -> &Rel {
+        if let Some(r) = self.shared.and_then(|s| s.fr.as_ref()) {
+            return r;
+        }
         self.fr.get_or(|| self.x.fr_with_sloc(self.sloc()))
     }
 
     /// Communication: `com = rf ∪ co ∪ fr`.
     pub fn com(&self) -> &Rel {
+        if let Some(r) = self.shared.and_then(|s| s.com.as_ref()) {
+            return r;
+        }
         self.com
             .get_or(|| self.x.rf().union(self.x.co()).union(self.fr()))
     }
 
     /// External reads-from.
     pub fn rfe(&self) -> &Rel {
+        if let Some(r) = self.shared.and_then(|s| s.rfe.as_ref()) {
+            return r;
+        }
         self.rfe.get_or(|| self.external(self.x.rf()))
     }
 
     /// Internal reads-from.
     pub fn rfi(&self) -> &Rel {
+        if let Some(r) = self.shared.and_then(|s| s.rfi.as_ref()) {
+            return r;
+        }
         self.rfi.get_or(|| self.internal(self.x.rf()))
     }
 
     /// External coherence.
     pub fn coe(&self) -> &Rel {
+        if let Some(r) = self.shared.and_then(|s| s.coe.as_ref()) {
+            return r;
+        }
         self.coe.get_or(|| self.external(self.x.co()))
     }
 
     /// Internal coherence.
     pub fn coi(&self) -> &Rel {
+        if let Some(r) = self.shared.and_then(|s| s.coi.as_ref()) {
+            return r;
+        }
         self.coi.get_or(|| self.internal(self.x.co()))
     }
 
     /// External from-read.
     pub fn fre(&self) -> &Rel {
+        if let Some(r) = self.shared.and_then(|s| s.fre.as_ref()) {
+            return r;
+        }
         let fr = *self.fr();
         self.fre.get_or(|| self.external(&fr))
     }
 
     /// Internal from-read.
     pub fn fri(&self) -> &Rel {
+        if let Some(r) = self.shared.and_then(|s| s.fri.as_ref()) {
+            return r;
+        }
         let fr = *self.fr();
         self.fri.get_or(|| self.internal(&fr))
     }
 
     /// External communication.
     pub fn come(&self) -> &Rel {
+        if let Some(r) = self.shared.and_then(|s| s.come.as_ref()) {
+            return r;
+        }
         let com = *self.com();
         self.come.get_or(|| self.external(&com))
     }
@@ -338,6 +408,9 @@ impl<'x> ExecutionAnalysis<'x> {
 
     /// The critical-region equivalence `scr`.
     pub fn scr(&self) -> &Rel {
+        if let Some(r) = self.shared.and_then(|s| s.scr.as_ref()) {
+            return r;
+        }
         self.scr.get_or(|| self.x.scr())
     }
 
@@ -348,11 +421,20 @@ impl<'x> ExecutionAnalysis<'x> {
 
     /// The dependency union `addr ∪ data`.
     pub fn dp(&self) -> &Rel {
+        if let Some(r) = self.shared.and_then(|s| s.dp.as_ref()) {
+            return r;
+        }
         self.dp.get_or(|| self.x.addr().union(self.x.data()))
     }
 
     /// The fence relation `po ; [F_f] ; po` for one fence kind.
     pub fn fence_rel(&self, f: Fence) -> &Rel {
+        if let Some(r) = self
+            .shared
+            .and_then(|s| s.fence_rels[fence_index(f)].as_ref())
+        {
+            return r;
+        }
         self.fence_rels[fence_index(f)].get_or(|| self.x.fence_rel(f))
     }
 
@@ -360,12 +442,18 @@ impl<'x> ExecutionAnalysis<'x> {
 
     /// The coherence axiom body `po-loc ∪ com` (every hardware model).
     pub fn coherence(&self) -> &Rel {
+        if let Some(r) = self.shared.and_then(|s| s.coherence.as_ref()) {
+            return r;
+        }
         let po_loc = *self.po_loc();
         self.coherence.get_or(|| po_loc.union(self.com()))
     }
 
     /// The RMW-isolation axiom body `rmw ∩ (fre ; coe)`.
     pub fn rmw_isol(&self) -> &Rel {
+        if let Some(r) = self.shared.and_then(|s| s.rmw_isol.as_ref()) {
+            return r;
+        }
         let fre = *self.fre();
         self.rmw_isol
             .get_or(|| self.x.rmw().inter(&fre.seq(self.coe())))
@@ -396,12 +484,173 @@ impl<'x> ExecutionAnalysis<'x> {
         let tfp = *self.tfence_plus();
         self.txn_cancels_rmw.get_or(|| self.x.rmw().inter(&tfp))
     }
+
+    /// Memoise a model-specific relation under a unique `key`.
+    ///
+    /// The value **must be transaction-independent** — derived only
+    /// from the events, po, dependencies, rmw, rf and co — because
+    /// [`TxnFreeBase`] captures memo slots and replays them across
+    /// sibling transaction layouts. It must also be identical for
+    /// every model variant that uses the key (e.g. a tm model and its
+    /// baseline sharing one analysis in a `check_all` sweep), so keep
+    /// any tm-only term (tfence lifts and the like) out of the
+    /// memoised part and union it in afterwards.
+    ///
+    /// Models use this to split a derived relation into its fixed part
+    /// (computed once per rf/co structure) plus the cheap txn-varying
+    /// remainder: the x86 `hb` and ARMv8 `ob` fixed unions and the
+    /// Power `ppo` fixpoint all qualify.
+    pub fn memo(&self, key: &'static str, f: impl FnOnce() -> Rel) -> Rel {
+        if let Some(s) = self.shared {
+            for (k, r) in s.memos.iter().flatten() {
+                if *k == key {
+                    return *r;
+                }
+            }
+        }
+        for cell in &self.memos {
+            match cell.get() {
+                Some((k, r)) if *k == key => return **r,
+                Some(_) => continue,
+                None => return *cell.get_or_init(|| (key, Box::new(f()))).1,
+            }
+        }
+        // Every slot claimed by another key: compute without caching.
+        f()
+    }
 }
 
 impl Execution {
     /// A fresh [`ExecutionAnalysis`] over this execution.
     pub fn analysis(&self) -> ExecutionAnalysis<'_> {
         ExecutionAnalysis::new(self)
+    }
+}
+
+/// The transaction-independent analysis slots of one execution,
+/// captured by value so they can seed the analyses of sibling
+/// executions that differ **only** in their transaction classes
+/// (`Execution::with_txns` variants of one rf/co assignment).
+///
+/// The enumerators check every transaction layout of a completed rf/co
+/// candidate back to back; without sharing, each layout re-derives
+/// `fr`, `com`, the equivalences and the fence relations from scratch
+/// even though none of them can depend on `txns`. A `TxnFreeBase`
+/// captures whichever of those slots the first layout's check
+/// materialised and replays them into the next layout's analysis —
+/// after a [`TxnFreeBase::matches`] fingerprint check over every
+/// txn-independent constituent (events, po, deps, rmw, rf, co), so a
+/// stale base can never leak across genuinely different candidates.
+pub struct TxnFreeBase {
+    // Fingerprint: every Execution field the shared slots derive from.
+    events: Vec<crate::event::Event>,
+    po: Rel,
+    addr: Rel,
+    ctrl: Rel,
+    data: Rel,
+    rmw: Rel,
+    rf: Rel,
+    co: Rel,
+    // Captured event sets.
+    reads: Option<EventSet>,
+    writes: Option<EventSet>,
+    fences: Option<EventSet>,
+    acq: Option<EventSet>,
+    rel_events: Option<EventSet>,
+    sc_events: Option<EventSet>,
+    ato: Option<EventSet>,
+    // Captured relations (only the txn-independent slots).
+    sloc: Option<Rel>,
+    sthd: Option<Rel>,
+    po_loc: Option<Rel>,
+    fr: Option<Rel>,
+    com: Option<Rel>,
+    rfe: Option<Rel>,
+    rfi: Option<Rel>,
+    coe: Option<Rel>,
+    coi: Option<Rel>,
+    fre: Option<Rel>,
+    fri: Option<Rel>,
+    come: Option<Rel>,
+    scr: Option<Rel>,
+    dp: Option<Rel>,
+    fence_rels: [Option<Rel>; Fence::ALL.len()],
+    coherence: Option<Rel>,
+    rmw_isol: Option<Rel>,
+    memos: [Option<(&'static str, Rel)>; MEMO_SLOTS],
+}
+
+impl TxnFreeBase {
+    /// Capture every txn-independent slot `a` has materialised.
+    pub fn capture(a: &ExecutionAnalysis<'_>) -> TxnFreeBase {
+        let rel = |c: &RelCache| c.0.get().map(|b| **b);
+        let mut fence_rels: [Option<Rel>; Fence::ALL.len()] = Default::default();
+        for (slot, cache) in fence_rels.iter_mut().zip(&a.fence_rels) {
+            *slot = rel(cache);
+        }
+        let mut memos: [Option<(&'static str, Rel)>; MEMO_SLOTS] = Default::default();
+        for (slot, cell) in memos.iter_mut().zip(&a.memos) {
+            *slot = cell.get().map(|(k, r)| (*k, **r));
+        }
+        TxnFreeBase {
+            events: a.x.events().to_vec(),
+            po: *a.x.po(),
+            addr: *a.x.addr(),
+            ctrl: *a.x.ctrl(),
+            data: *a.x.data(),
+            rmw: *a.x.rmw(),
+            rf: *a.x.rf(),
+            co: *a.x.co(),
+            reads: a.reads.get().copied(),
+            writes: a.writes.get().copied(),
+            fences: a.fences.get().copied(),
+            acq: a.acq.get().copied(),
+            rel_events: a.rel_events.get().copied(),
+            sc_events: a.sc_events.get().copied(),
+            ato: a.ato.get().copied(),
+            sloc: rel(&a.sloc),
+            sthd: rel(&a.sthd),
+            po_loc: rel(&a.po_loc),
+            fr: rel(&a.fr),
+            com: rel(&a.com),
+            rfe: rel(&a.rfe),
+            rfi: rel(&a.rfi),
+            coe: rel(&a.coe),
+            coi: rel(&a.coi),
+            fre: rel(&a.fre),
+            fri: rel(&a.fri),
+            come: rel(&a.come),
+            scr: rel(&a.scr),
+            dp: rel(&a.dp),
+            fence_rels,
+            coherence: rel(&a.coherence),
+            rmw_isol: rel(&a.rmw_isol),
+            memos,
+        }
+    }
+
+    /// Does `y` share every txn-independent constituent with the
+    /// execution this base was captured from?
+    pub fn matches(&self, y: &Execution) -> bool {
+        self.po == *y.po()
+            && self.rf == *y.rf()
+            && self.co == *y.co()
+            && self.rmw == *y.rmw()
+            && self.addr == *y.addr()
+            && self.ctrl == *y.ctrl()
+            && self.data == *y.data()
+            && self.events == *y.events()
+    }
+
+    /// A fresh analysis over `y` whose txn-independent accessors
+    /// answer from this base **by reference** — seeding copies and
+    /// allocates nothing. Callers must have verified
+    /// [`TxnFreeBase::matches`]`(y)`.
+    pub fn seed<'x>(&'x self, y: &'x Execution) -> ExecutionAnalysis<'x> {
+        debug_assert!(self.matches(y), "seeding from a non-matching base");
+        let mut a = ExecutionAnalysis::new(y);
+        a.shared = Some(self);
+        a
     }
 }
 

@@ -622,9 +622,16 @@ impl Execution {
     /// be contiguous).
     pub fn with_txns(&self, txns: Vec<TxnClass>) -> Execution {
         let mut e = self.clone();
-        e.txn_index = Some(build_txn_index(e.events.len(), &txns));
-        e.txns = txns;
+        e.set_txns(txns);
         e
+    }
+
+    /// Replace the transaction classes in place (the allocation-free
+    /// [`Execution::with_txns`] for enumerators cycling layouts over
+    /// one structure).
+    pub fn set_txns(&mut self, txns: Vec<TxnClass>) {
+        self.txn_index = Some(build_txn_index(self.events.len(), &txns));
+        self.txns = txns;
     }
 
     /// Remove event `e`, dropping incident edges and re-indexing.

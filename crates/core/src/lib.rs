@@ -62,13 +62,16 @@ pub mod rng;
 pub mod set;
 pub mod wf;
 
-pub use analysis::ExecutionAnalysis;
+pub use analysis::{ExecutionAnalysis, TxnFreeBase};
 pub use arena::{ExecArena, ExecId, PackedExecution};
 pub use build::ExecBuilder;
 pub use canon::canon_key;
 pub use event::{loc_name, Attrs, Call, Event, EventId, EventKind, Fence, Loc, Tid};
 pub use exec::{CrClass, Execution, LocSet, ThreadEvents, TxnClass};
-pub use incr::{Checkpoint, IncrOrder, NoPrune, PartialCandidate, PruneOracle, PruneStats};
+pub use incr::{
+    judge_batch, set_delta_validation, ComposeRule, DeltaPlan, EdgeKind, EdgeSel, IncrOrder, Lift,
+    NoPrune, Obligation, PartialCandidate, PruneOracle, PruneStats,
+};
 pub use rel::{stronglift, union_all, weaklift, Rel};
 pub use set::{EventSet, MAX_EVENTS};
 pub use wf::WfError;

@@ -31,8 +31,8 @@
 use std::collections::HashMap;
 
 use txmm_core::{
-    Event, EventId, EventSet, Execution, Loc, PartialCandidate, PruneOracle, PruneStats, Rel,
-    TxnClass, MAX_EVENTS,
+    judge_batch, Event, EventId, EventSet, Execution, Loc, PartialCandidate, PruneOracle,
+    PruneStats, Rel, TxnClass, MAX_EVENTS,
 };
 
 use crate::ast::{AccessMode, DepKind, LitmusTest, Op};
@@ -719,8 +719,6 @@ pub fn enumerate_candidates_pruned(
     f: &mut dyn FnMut(Candidate),
 ) -> Result<(usize, PruneStats), LitmusConvertError> {
     let sk = ProgramSkeleton::from_litmus(t)?;
-    let nthreads = t.threads.len();
-    let nlocs = sk.max_loc().map(|l| l as usize + 1).unwrap_or(0);
     let splits: u128 = 1u128 << sk.txns.len();
     let mut visited = 0usize;
     let mut stats = PruneStats::default();
@@ -728,7 +726,6 @@ pub fn enumerate_candidates_pruned(
 
     for mask in (0..splits).rev() {
         let mask = mask as u64;
-        let skip_count = || count_for_mask(&sk, mask).min(u64::MAX as u128) as u64;
         // `mask | d == d` ⟺ aborted(mask) ⊆ aborted(d) ⟺ this split
         // commits every event (and transaction) the dead split `d`
         // committed, so `d`'s root rejection carries over. (The
@@ -737,61 +734,97 @@ pub fn enumerate_candidates_pruned(
         #[allow(clippy::manual_contains)]
         if dead_masks.iter().any(|&d| mask | d == d) {
             stats.subtrees_cut += 1;
-            stats.candidates_skipped = stats.candidates_skipped.saturating_add(skip_count());
+            stats.candidates_skipped = stats
+                .candidates_skipped
+                .saturating_add(mask_candidate_count(&sk, mask));
             continue;
         }
-        let mp = MaskedProgram::project(&sk, mask);
-        let mut pc = PartialCandidate::new(mp.base_execution());
-        if !pc.viable(oracle, &mut stats) {
-            stats.subtrees_cut += 1;
-            stats.candidates_skipped = stats.candidates_skipped.saturating_add(skip_count());
-            if oracle.event_monotone() {
-                dead_masks.push(mask);
-            }
-            continue;
+        let (v, root_live) = enumerate_mask_pruned(&sk, mask, oracle, &mut stats, f);
+        visited += v;
+        if !root_live && oracle.event_monotone() {
+            dead_masks.push(mask);
         }
-
-        // Suffix products for exact skip counts: cutting after the
-        // (k+1)-th placement at location `li` abandons
-        // `(m_li-k-1)! × co_tail[li] × rf_all` complete candidates;
-        // cutting at read `i` abandons `rf_tail[i]`.
-        let nlw = mp.live_writes.len();
-        let mut co_tail = vec![1u64; nlw + 1];
-        for li in (0..nlw).rev() {
-            co_tail[li] = co_tail[li + 1].saturating_mul(fact64(mp.live_writes[li].1.len()));
-        }
-        let nreads = mp.reads.len();
-        let mut rf_tail = vec![1u64; nreads + 1];
-        for i in (0..nreads).rev() {
-            rf_tail[i] = rf_tail[i + 1].saturating_mul(mp.rf_arity[i] as u64);
-        }
-        let read_ws: Vec<EventSet> = mp
-            .read_lw
-            .iter()
-            .map(|lw| match lw {
-                Some(i) => EventSet::from_iter(mp.live_writes[*i].1.iter().map(|&(_, e)| e)),
-                None => EventSet::default(),
-            })
-            .collect();
-
-        let mut walk = PrunedWalk {
-            sk: &sk,
-            mp: &mp,
-            oracle,
-            mask,
-            nthreads,
-            co_tail,
-            rf_tail,
-            read_ws,
-            co_orders: vec![Vec::new(); nlocs],
-            rf_val: vec![0u32; nreads],
-            visited: &mut visited,
-            stats: &mut stats,
-            f,
-        };
-        walk.place(&mut pc, 0, 0, EventSet::default());
     }
     Ok((visited, stats))
+}
+
+/// How many complete candidates the abort split `mask` contributes
+/// (saturating at `u64::MAX`) — the skip-count a caller charges when it
+/// discards the split wholesale (e.g. via dead-mask subsumption).
+pub fn mask_candidate_count(sk: &ProgramSkeleton, mask: u64) -> u64 {
+    count_for_mask(sk, mask).min(u64::MAX as u128) as u64
+}
+
+/// Walk **one** abort split of the program with oracle pruning: the
+/// per-mask building block [`enumerate_candidates_pruned`] loops over,
+/// exposed so callers can fan independent masks out over worker pools.
+/// Returns the candidates visited and whether the split's *root*
+/// (`rf = co = ∅`) survived the oracle — a `false` root from an
+/// [event-monotone](PruneOracle::event_monotone) oracle also kills every
+/// mask `m` with `m | mask == mask` (a split committing a superset of
+/// these events), which is the caller's dead-mask subsumption rule. A
+/// root rejection already charges `subtrees_cut`/`candidates_skipped`
+/// into `stats`.
+pub fn enumerate_mask_pruned(
+    sk: &ProgramSkeleton,
+    mask: u64,
+    oracle: &dyn PruneOracle,
+    stats: &mut PruneStats,
+    f: &mut dyn FnMut(Candidate),
+) -> (usize, bool) {
+    let nthreads = sk.nregs.len();
+    let nlocs = sk.max_loc().map(|l| l as usize + 1).unwrap_or(0);
+    let mut visited = 0usize;
+    let mp = MaskedProgram::project(sk, mask);
+    let mut pc = PartialCandidate::with_oracle(mp.base_execution(), oracle);
+    if !pc.viable(oracle, stats) {
+        stats.subtrees_cut += 1;
+        stats.candidates_skipped = stats
+            .candidates_skipped
+            .saturating_add(mask_candidate_count(sk, mask));
+        return (0, false);
+    }
+
+    // Suffix products for exact skip counts: cutting after the
+    // (k+1)-th placement at location `li` abandons
+    // `(m_li-k-1)! × co_tail[li] × rf_all` complete candidates;
+    // cutting at read `i` abandons `rf_tail[i]`.
+    let nlw = mp.live_writes.len();
+    let mut co_tail = vec![1u64; nlw + 1];
+    for li in (0..nlw).rev() {
+        co_tail[li] = co_tail[li + 1].saturating_mul(fact64(mp.live_writes[li].1.len()));
+    }
+    let nreads = mp.reads.len();
+    let mut rf_tail = vec![1u64; nreads + 1];
+    for i in (0..nreads).rev() {
+        rf_tail[i] = rf_tail[i + 1].saturating_mul(mp.rf_arity[i] as u64);
+    }
+    let read_ws: Vec<EventSet> = mp
+        .read_lw
+        .iter()
+        .map(|lw| match lw {
+            Some(i) => EventSet::from_iter(mp.live_writes[*i].1.iter().map(|&(_, e)| e)),
+            None => EventSet::default(),
+        })
+        .collect();
+
+    let mut walk = PrunedWalk {
+        sk,
+        mp: &mp,
+        oracle,
+        mask,
+        nthreads,
+        co_tail,
+        rf_tail,
+        read_ws,
+        co_orders: vec![Vec::new(); nlocs],
+        rf_val: vec![0u32; nreads],
+        visited: &mut visited,
+        stats,
+        f,
+    };
+    walk.place(&mut pc, 0, 0, EventSet::default());
+    (visited, true)
 }
 
 /// The per-split depth-first state of [`enumerate_candidates_pruned`]:
@@ -820,30 +853,66 @@ struct PrunedWalk<'a> {
 impl PrunedWalk<'_> {
     /// Choose the write ranked `k` in location `li`'s coherence order
     /// (`used` = already-ranked writes as a bitmask over the
-    /// live-write list, `placed` = their event ids).
+    /// live-write list, `placed` = their event ids). All sibling
+    /// placements are probed first — the ones the delta state cannot
+    /// decide are materialised and judged in one batched oracle call —
+    /// and only then do the viable ones recurse, in the original order.
     fn place(&mut self, pc: &mut PartialCandidate, li: usize, used: u64, placed: EventSet) {
         if li == self.mp.live_writes.len() {
             return self.rf(pc, 0);
         }
-        let (loc, ref ws) = self.mp.live_writes[li];
+        let mp = self.mp;
+        let (loc, ref ws) = mp.live_writes[li];
         let k = used.count_ones() as usize;
         if k == ws.len() {
             return self.place(pc, li + 1, 0, EventSet::default());
         }
-        for j in 0..ws.len() {
+        let mut viable_mask = 0u64;
+        let mut pend_slots: Vec<usize> = Vec::new();
+        let mut batch: Vec<(Execution, Rel)> = Vec::new();
+        pc.mark();
+        for (j, &(_, e)) in ws.iter().enumerate() {
             if used & (1 << j) != 0 {
                 continue;
             }
-            let (v, e) = ws[j];
-            let snap = pc.snapshot();
             pc.push_co(placed, e);
-            self.co_orders[loc as usize].push(v);
-            // The first write at a location adds no edges: nothing to
-            // check yet.
-            if placed.is_empty() || pc.viable(self.oracle, self.stats) {
+            match if placed.is_empty() {
+                // The first write at a location adds no edges: nothing
+                // to check yet.
+                Some(true)
+            } else {
+                pc.probe(self.oracle, self.stats)
+            } {
+                Some(true) => viable_mask |= 1 << j,
+                Some(false) => {}
+                None => {
+                    pend_slots.push(j);
+                    batch.push(pc.materialise());
+                }
+            }
+            pc.rewind();
+        }
+        if !batch.is_empty() {
+            self.stats.record_batch(batch.len());
+            let bits = judge_batch(self.oracle, &batch, self.stats);
+            for (b, &j) in pend_slots.iter().enumerate() {
+                if bits & (1 << b) != 0 {
+                    viable_mask |= 1 << j;
+                }
+            }
+        }
+        for (j, &(v, e)) in ws.iter().enumerate() {
+            if used & (1 << j) != 0 {
+                continue;
+            }
+            if viable_mask & (1 << j) != 0 {
+                pc.push_co(placed, e);
+                self.co_orders[loc as usize].push(v);
                 let mut placed2 = placed;
                 placed2.insert(e);
                 self.place(pc, li, used | (1 << j), placed2);
+                self.co_orders[loc as usize].pop();
+                pc.rewind();
             } else {
                 self.stats.subtrees_cut += 1;
                 let below = fact64(ws.len() - k - 1)
@@ -851,34 +920,70 @@ impl PrunedWalk<'_> {
                     .saturating_mul(self.rf_tail[0]);
                 self.stats.candidates_skipped = self.stats.candidates_skipped.saturating_add(below);
             }
-            self.co_orders[loc as usize].pop();
-            pc.restore(&snap);
+        }
+        pc.release();
+    }
+
+    /// Apply rf choice `choice` for read `i` (0 = initial value);
+    /// `true` when the choice added any edges worth checking.
+    fn apply_rf(&mut self, pc: &mut PartialCandidate, i: usize, rnew: usize, choice: usize) -> bool {
+        if choice == 0 {
+            // Reading the initial value forces fr to every committed
+            // write at the location (none ⇒ no-op).
+            pc.assign_init_read(rnew, self.read_ws[i]);
+            self.rf_val[i] = 0;
+            !self.read_ws[i].is_empty()
+        } else {
+            let lw = self.mp.read_lw[i].expect("choice > 0 needs live writes");
+            let (v, w) = self.mp.live_writes[lw].1[choice - 1];
+            pc.assign_rf(w, rnew);
+            self.rf_val[i] = v;
+            true
         }
     }
 
-    /// Choose where read `i` reads from (0 = initial value).
+    /// Choose where read `i` reads from (0 = initial value), batching
+    /// the sibling choices like [`Self::place`].
     fn rf(&mut self, pc: &mut PartialCandidate, i: usize) {
         if i == self.mp.reads.len() {
             return self.leaf(pc);
         }
         let (rnew, _, _) = self.mp.reads[i];
-        for choice in 0..self.mp.rf_arity[i] {
-            let snap = pc.snapshot();
-            let changed = if choice == 0 {
-                // Reading the initial value forces fr to every
-                // committed write at the location (none ⇒ no-op).
-                pc.assign_init_read(rnew, self.read_ws[i]);
-                self.rf_val[i] = 0;
-                !self.read_ws[i].is_empty()
+        let arity = self.mp.rf_arity[i];
+        let mut viable_mask = 0u64;
+        let mut pend_slots: Vec<usize> = Vec::new();
+        let mut batch: Vec<(Execution, Rel)> = Vec::new();
+        pc.mark();
+        for choice in 0..arity {
+            let changed = self.apply_rf(pc, i, rnew, choice);
+            match if changed {
+                pc.probe(self.oracle, self.stats)
             } else {
-                let lw = self.mp.read_lw[i].expect("choice > 0 needs live writes");
-                let (v, w) = self.mp.live_writes[lw].1[choice - 1];
-                pc.assign_rf(w, rnew);
-                self.rf_val[i] = v;
-                true
-            };
-            if !changed || pc.viable(self.oracle, self.stats) {
+                Some(true) // no new edges: nothing to check
+            } {
+                Some(true) => viable_mask |= 1 << choice,
+                Some(false) => {}
+                None => {
+                    pend_slots.push(choice);
+                    batch.push(pc.materialise());
+                }
+            }
+            pc.rewind();
+        }
+        if !batch.is_empty() {
+            self.stats.record_batch(batch.len());
+            let bits = judge_batch(self.oracle, &batch, self.stats);
+            for (b, &choice) in pend_slots.iter().enumerate() {
+                if bits & (1 << b) != 0 {
+                    viable_mask |= 1 << choice;
+                }
+            }
+        }
+        for choice in 0..arity {
+            if viable_mask & (1 << choice) != 0 {
+                self.apply_rf(pc, i, rnew, choice);
                 self.rf(pc, i + 1);
+                pc.rewind();
             } else {
                 self.stats.subtrees_cut += 1;
                 self.stats.candidates_skipped = self
@@ -886,8 +991,8 @@ impl PrunedWalk<'_> {
                     .candidates_skipped
                     .saturating_add(self.rf_tail[i + 1]);
             }
-            pc.restore(&snap);
         }
+        pc.release();
     }
 
     /// Every choice made and every check passed: materialise the

@@ -7,10 +7,11 @@
 //! Research) adds `tfence` to `ob`, plus `StrongIsol`, `TxnOrder` and
 //! `TxnCancelsRMW`.
 
-use txmm_core::incr::PruneOracle;
-use txmm_core::{stronglift, union_all, ExecutionAnalysis, Fence, Rel};
+use txmm_core::incr::{ComposeRule, DeltaPlan, EdgeKind, EdgeSel, Lift, Obligation, PruneOracle};
+use txmm_core::{stronglift, union_all, Execution, ExecutionAnalysis, Fence, Rel};
 
 use crate::arch::Arch;
+use crate::delta::{com_feeds, come_feeds};
 use crate::model::{Checker, Derived, Model};
 
 /// The ARMv8 model; `tm` selects the transactional extension.
@@ -93,16 +94,22 @@ impl Armv8 {
     }
 
     /// Ordered-before: `ob = come ∪ dob ∪ aob ∪ bob (∪ tfence)`.
+    ///
+    /// The `come ∪ dob ∪ aob ∪ bob` part is txn-independent, so it is
+    /// memoised under `"armv8.ob"` and shared across the transaction
+    /// layouts of one rf/co structure; only the `tfence` union varies.
     pub fn ob(&self, a: &ExecutionAnalysis<'_>) -> Rel {
-        let n = a.len();
-        let mut ob = union_all(
-            n,
-            [a.come(), &Armv8::dob(a), &Armv8::aob(a), &Armv8::bob(a)],
-        );
+        let fixed = a.memo("armv8.ob", || {
+            union_all(
+                a.len(),
+                [a.come(), &Armv8::dob(a), &Armv8::aob(a), &Armv8::bob(a)],
+            )
+        });
         if self.tm {
-            ob = ob.union(a.tfence());
+            fixed.union(a.tfence())
+        } else {
+            fixed
         }
-        ob
     }
 }
 
@@ -161,6 +168,91 @@ impl PruneOracle for Armv8 {
     }
     fn event_monotone(&self) -> bool {
         true // pairwise builtins and monotone compositions only
+    }
+
+    fn txn_aware_exact(&self) -> bool {
+        true // viable == the full check; `ob` decomposes exactly and
+             // TxnCancelsRMW is pre-decided into `plan.dead`
+    }
+
+    // Exact decomposition of `ob`: the fixed part is `ob` on the base
+    // analysis (communication empty), and the communication-dependent
+    // terms are `come` (direct external feeds) plus four per-edge
+    // compose rules with fixed left context:
+    //
+    //   dob:  ([R];ctrl ∪ data) ; coi      — Co internal, ctx-composed
+    //   dob:  (addr ∪ data) ; rfi          — Rf internal, ctx-composed
+    //   aob:  [range(rmw)] ; rfi ; [A]     — Rf internal, endpoint-set
+    //   bob:  po ; [rel ∩ W] ; coi         — Co internal, ctx-composed
+    //
+    // TxnCancelsRMW is structure-fixed and pre-decided into
+    // `plan.dead`; the TM lifts distribute over the union as for x86.
+    fn delta_plan(&self, x: &Execution) -> Option<DeltaPlan> {
+        let n = x.len();
+        let base = ExecutionAnalysis::with_fr(x, Rel::empty(n));
+        let rctrl = Rel::id_on(n, base.reads()).seq(base.ctrl());
+        let ob_feeds = || -> Vec<ComposeRule> {
+            let everything = txmm_core::EventSet::from_bits(u64::MAX);
+            let mut feed = come_feeds();
+            feed.push(ComposeRule {
+                kind: EdgeKind::Co,
+                sel: EdgeSel::Internal,
+                a_in: everything,
+                b_in: everything,
+                ctx: Some(rctrl.union(base.data()).inverse()),
+                rctx: None,
+            });
+            feed.push(ComposeRule {
+                kind: EdgeKind::Rf,
+                sel: EdgeSel::Internal,
+                a_in: everything,
+                b_in: everything,
+                ctx: Some(base.addr().union(base.data()).inverse()),
+                rctx: None,
+            });
+            feed.push(ComposeRule {
+                kind: EdgeKind::Rf,
+                sel: EdgeSel::Internal,
+                a_in: base.rmw().range(),
+                b_in: base.acq(),
+                ctx: None,
+                rctx: None,
+            });
+            feed.push(ComposeRule {
+                kind: EdgeKind::Co,
+                sel: EdgeSel::Internal,
+                a_in: base.rel_events().inter(base.writes()),
+                b_in: everything,
+                ctx: Some(base.po().inverse()),
+                rctx: None,
+            });
+            feed
+        };
+        let ob_fixed = self.ob(&base);
+        let mut plan = DeltaPlan::fallback(x, true);
+        plan.exact = true;
+        if self.tm {
+            plan.dead = !base.txn_cancels_rmw().is_empty();
+        }
+        plan.obls.push(Obligation {
+            seed: ob_fixed,
+            feed: ob_feeds(),
+            lift: Lift::No,
+        });
+        let stxn = x.stxn();
+        if self.tm && !stxn.is_empty() {
+            plan.obls.push(Obligation {
+                seed: Rel::empty(n),
+                feed: com_feeds(),
+                lift: Lift::Strong,
+            });
+            plan.obls.push(Obligation {
+                seed: stronglift(&ob_fixed, &stxn),
+                feed: ob_feeds(),
+                lift: Lift::Strong,
+            });
+        }
+        Some(plan)
     }
 }
 

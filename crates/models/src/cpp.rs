@@ -10,7 +10,7 @@
 //! program is undefined; [`Cpp::racy`] reports races separately from the
 //! consistency verdict.
 
-use txmm_core::incr::PruneOracle;
+use txmm_core::incr::{ComposeRule, DeltaPlan, EdgeKind, EdgeSel, Lift, Obligation, PruneOracle};
 #[cfg(test)]
 use txmm_core::Attrs;
 use txmm_core::{union_all, weaklift, Execution, ExecutionAnalysis, Rel};
@@ -209,6 +209,19 @@ impl Model for Cpp {
 impl PruneOracle for Cpp {
     fn viable(&self, a: &ExecutionAnalysis<'_>) -> bool {
         self.check_analysis(a).is_consistent()
+    }
+
+    // Inexact pre-filter: NoThinAir = acyclic(po ∪ rf) decomposes
+    // per-edge, and RMWIsol maps onto the incremental flag. HbCom and
+    // SeqCst stay with the full check, so clean probes fall back.
+    fn delta_plan(&self, x: &Execution) -> Option<DeltaPlan> {
+        let mut plan = DeltaPlan::fallback(x, true);
+        plan.obls.push(Obligation {
+            seed: *x.po(),
+            feed: vec![ComposeRule::direct(EdgeKind::Rf, EdgeSel::All)],
+            lift: Lift::No,
+        });
+        Some(plan)
     }
 }
 

@@ -1,0 +1,41 @@
+//! Shared feed-rule constructors for the models' [`DeltaPlan`]s.
+//!
+//! Each native model declares its incremental viability plan by
+//! decomposing every acyclicity axiom into a structure-fixed *seed*
+//! (evaluated once on the base analysis, whose communication relations
+//! are empty) plus [`ComposeRule`]s describing how `rf`/`co`/`fr`
+//! edges — and their fixed-context compositions — feed the obligation.
+//! The rule sets below are the communication parts shared across
+//! models; the model files add their architecture-specific compose
+//! rules (e.g. ARMv8's `(ctrl ∪ data) ; coi`).
+//!
+//! [`DeltaPlan`]: txmm_core::incr::DeltaPlan
+
+use txmm_core::incr::{ComposeRule, EdgeKind, EdgeSel};
+
+/// `com = rf ∪ co ∪ fr`, delivered edge by edge.
+pub(crate) fn com_feeds() -> Vec<ComposeRule> {
+    vec![
+        ComposeRule::direct(EdgeKind::Rf, EdgeSel::All),
+        ComposeRule::direct(EdgeKind::Co, EdgeSel::All),
+        ComposeRule::direct(EdgeKind::Fr, EdgeSel::All),
+    ]
+}
+
+/// `rfe ∪ co ∪ fr` — the communication part of the x86 `hb`.
+pub(crate) fn rfe_co_fr_feeds() -> Vec<ComposeRule> {
+    vec![
+        ComposeRule::direct(EdgeKind::Rf, EdgeSel::External),
+        ComposeRule::direct(EdgeKind::Co, EdgeSel::All),
+        ComposeRule::direct(EdgeKind::Fr, EdgeSel::All),
+    ]
+}
+
+/// `come = rfe ∪ coe ∪ fre` — the ARMv8 external communication.
+pub(crate) fn come_feeds() -> Vec<ComposeRule> {
+    vec![
+        ComposeRule::direct(EdgeKind::Rf, EdgeSel::External),
+        ComposeRule::direct(EdgeKind::Co, EdgeSel::External),
+        ComposeRule::direct(EdgeKind::Fr, EdgeSel::External),
+    ]
+}

@@ -32,6 +32,7 @@ pub mod arch;
 pub mod armv8;
 pub mod catalog;
 pub mod cpp;
+pub(crate) mod delta;
 pub mod model;
 pub mod power;
 pub mod registry;

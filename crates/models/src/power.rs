@@ -15,8 +15,9 @@
 //!   writes) join `prop`;
 //! * `StrongIsol`, `TxnOrder`, and `TxnCancelsRMW`.
 
-use txmm_core::incr::PruneOracle;
-use txmm_core::{stronglift, union_all, weaklift, ExecutionAnalysis, Fence, Rel};
+use txmm_core::incr::{ComposeRule, DeltaPlan, EdgeKind, EdgeSel, Lift, Obligation, PruneOracle};
+use txmm_core::{stronglift, union_all, weaklift, Execution, ExecutionAnalysis, EventSet, Rel};
+use txmm_core::Fence;
 
 use crate::arch::Arch;
 use crate::model::{Checker, Derived, Model};
@@ -59,7 +60,16 @@ impl Power {
 
     /// Preserved program order: the ii/ic/ci/cc least fixpoint of
     /// "Herding cats" §6 (elided in Fig. 6 as it is unchanged by TM).
+    ///
+    /// Entirely txn-independent, and by far the most expensive Power
+    /// derivation (an iterated fixpoint of seqs and unions), so it is
+    /// memoised under `"power.ppo"` and shared across the transaction
+    /// layouts of one rf/co structure.
     pub fn ppo(a: &ExecutionAnalysis<'_>) -> Rel {
+        a.memo("power.ppo", || Power::ppo_uncached(a))
+    }
+
+    fn ppo_uncached(a: &ExecutionAnalysis<'_>) -> Rel {
         let n = a.len();
         let po = a.po();
         let poloc = a.po_loc();
@@ -244,6 +254,46 @@ impl PruneOracle for Power {
     }
     fn event_monotone(&self) -> bool {
         true // pairwise builtins and monotone compositions only
+    }
+
+    // Power's `ppo` fixpoint (rdw/detour/rfi feed it) and the prop /
+    // observation bodies are not per-edge decomposable, so the plan is
+    // an inexact pre-filter on the Order axiom: every relation of the
+    // base analysis under-approximates its full-execution counterpart
+    // (all are monotone in rf/co/fr), so `hb` on the base seeds the
+    // detector and each external reads-from edge contributes the
+    // `ihb ; rfe` and `rfe ; ihb` slices of `hb = rfe? ; ihb ; rfe?`.
+    // A detector cycle is a definite Order violation; clean probes
+    // fall back to the full check.
+    fn delta_plan(&self, x: &Execution) -> Option<DeltaPlan> {
+        let n = x.len();
+        let base = ExecutionAnalysis::with_fr(x, Rel::empty(n));
+        let rels = self.relations(&base);
+        let everything = EventSet::from_bits(u64::MAX);
+        let mut plan = DeltaPlan::fallback(x, true);
+        plan.obls.push(Obligation {
+            seed: rels.hb,
+            feed: vec![
+                ComposeRule {
+                    kind: EdgeKind::Rf,
+                    sel: EdgeSel::External,
+                    a_in: everything,
+                    b_in: everything,
+                    ctx: Some(rels.ihb.inverse()),
+                    rctx: None,
+                },
+                ComposeRule {
+                    kind: EdgeKind::Rf,
+                    sel: EdgeSel::External,
+                    a_in: everything,
+                    b_in: everything,
+                    ctx: None,
+                    rctx: Some(rels.ihb),
+                },
+            ],
+            lift: Lift::No,
+        });
+        Some(plan)
     }
 }
 

@@ -1,10 +1,11 @@
 //! Sequential consistency and transactional SC (§3.4, Fig. 4), plus the
 //! weak/strong isolation predicates of §3.3.
 
-use txmm_core::incr::PruneOracle;
+use txmm_core::incr::{DeltaPlan, Lift, Obligation, PruneOracle};
 use txmm_core::{stronglift, Execution, ExecutionAnalysis, Rel};
 
 use crate::arch::Arch;
+use crate::delta::com_feeds;
 use crate::model::{Checker, Derived, Model};
 
 /// The SC memory model: `acyclic(po ∪ com)` (Shasha & Snir).
@@ -52,6 +53,23 @@ impl PruneOracle for Sc {
 
     fn event_monotone(&self) -> bool {
         true // po and com are preserved pointwise under event growth
+    }
+
+    fn txn_aware_exact(&self) -> bool {
+        true // viable == the full check; the plan answers every probe
+    }
+
+    // The single axiom decomposes exactly: seed po, feed com edge by
+    // edge. Exact — a clean detector IS the axiom.
+    fn delta_plan(&self, x: &Execution) -> Option<DeltaPlan> {
+        let mut plan = DeltaPlan::fallback(x, false);
+        plan.exact = true;
+        plan.obls.push(Obligation {
+            seed: *x.po(),
+            feed: com_feeds(),
+            lift: Lift::No,
+        });
+        Some(plan)
     }
 }
 
@@ -108,6 +126,33 @@ impl PruneOracle for Tsc {
 
     fn event_monotone(&self) -> bool {
         true // as Sc; the lift only grows with hb and the txn classes
+    }
+
+    fn txn_aware_exact(&self) -> bool {
+        true // both obligations decompose exactly with stxn fixed
+    }
+
+    // Order as for Sc; TxnOrder = stronglift(po ∪ com, stxn)
+    // distributes over the union, so its obligation seeds the lifted
+    // `po` and strong-lifts each com edge on arrival. With no
+    // transactions TxnOrder degenerates to Order and is omitted.
+    fn delta_plan(&self, x: &Execution) -> Option<DeltaPlan> {
+        let mut plan = DeltaPlan::fallback(x, false);
+        plan.exact = true;
+        plan.obls.push(Obligation {
+            seed: *x.po(),
+            feed: com_feeds(),
+            lift: Lift::No,
+        });
+        let stxn = x.stxn();
+        if !stxn.is_empty() {
+            plan.obls.push(Obligation {
+                seed: stronglift(x.po(), &stxn),
+                feed: com_feeds(),
+                lift: Lift::Strong,
+            });
+        }
+        Some(plan)
     }
 }
 

@@ -7,10 +7,11 @@
 //! * strong isolation (`StrongIsol`), and
 //! * transaction atomicity (`TxnOrder`).
 
-use txmm_core::incr::PruneOracle;
-use txmm_core::{stronglift, union_all, ExecutionAnalysis, Fence, Rel};
+use txmm_core::incr::{DeltaPlan, Lift, Obligation, PruneOracle};
+use txmm_core::{stronglift, union_all, Execution, ExecutionAnalysis, Fence, Rel};
 
 use crate::arch::Arch;
+use crate::delta::{com_feeds, rfe_co_fr_feeds};
 use crate::model::{Checker, Derived, Model};
 
 /// The x86 model. `tm: false` gives the non-transactional baseline used
@@ -34,33 +35,42 @@ impl X86 {
 
     /// The happens-before relation of Fig. 5:
     /// `hb = mfence ∪ ppo ∪ implied ∪ rfe ∪ fr ∪ co`.
+    ///
+    /// Everything but the `tfence` term is txn-independent, so the
+    /// fixed union is memoised under `"x86.hb"` and shared across the
+    /// transaction layouts of one rf/co structure.
     pub fn hb(&self, a: &ExecutionAnalysis<'_>) -> Rel {
-        let n = a.len();
-        let po = a.po();
-        let w = a.writes();
-        let r = a.reads();
+        let fixed = a.memo("x86.hb", || {
+            let n = a.len();
+            let po = a.po();
+            let w = a.writes();
+            let r = a.reads();
 
-        // ppo = ((W×W) ∪ (R×W) ∪ (R×R)) ∩ po — everything but W→R.
-        let ppo = union_all(
-            n,
-            [
-                &Rel::cross(n, w, w),
-                &Rel::cross(n, r, w),
-                &Rel::cross(n, r, r),
-            ],
-        )
-        .inter(po);
+            // ppo = ((W×W) ∪ (R×W) ∪ (R×R)) ∩ po — everything but W→R.
+            let ppo = union_all(
+                n,
+                [
+                    &Rel::cross(n, w, w),
+                    &Rel::cross(n, r, w),
+                    &Rel::cross(n, r, r),
+                ],
+            )
+            .inter(po);
 
-        // implied = [L] ; po ∪ po ; [L] (∪ tfence): LOCK'd RMWs fence.
-        let l = a.rmw().domain().union(a.rmw().range());
-        let idl = Rel::id_on(n, l);
-        let mut implied = idl.seq(po).union(&po.seq(&idl));
+            // implied = [L] ; po ∪ po ; [L]: LOCK'd RMWs fence.
+            let l = a.rmw().domain().union(a.rmw().range());
+            let idl = Rel::id_on(n, l);
+            let implied = idl.seq(po).union(&po.seq(&idl));
+
+            let mfence = a.fence_rel(Fence::MFence);
+            union_all(n, [mfence, &ppo, &implied, a.rfe(), a.fr(), a.co()])
+        });
         if self.tm {
-            implied = implied.union(a.tfence());
+            // tfence joins implied (Fig. 5, highlighted).
+            fixed.union(a.tfence())
+        } else {
+            fixed
         }
-
-        let mfence = a.fence_rel(Fence::MFence);
-        union_all(n, [mfence, &ppo, &implied, a.rfe(), a.fr(), a.co()])
     }
 }
 
@@ -120,6 +130,44 @@ impl PruneOracle for X86 {
     }
     fn event_monotone(&self) -> bool {
         true // pairwise builtins and monotone compositions only
+    }
+
+    fn txn_aware_exact(&self) -> bool {
+        true // viable == the full check; the plan (incl. TM lifts) is exact
+    }
+
+    // Exact decomposition: hb = (fixed mfence ∪ ppo ∪ implied) ∪
+    // rfe ∪ fr ∪ co, so the Order obligation seeds the fixed part
+    // (hb on the base analysis, whose communication is empty) and
+    // feeds each communication edge directly. Coherence is the gate,
+    // RMWIsol the incremental flag, and the TM lifts distribute over
+    // the union. With no transaction classes StrongIsol is subsumed
+    // by the gate and TxnOrder by Order, so both are omitted.
+    fn delta_plan(&self, x: &Execution) -> Option<DeltaPlan> {
+        let n = x.len();
+        let base = ExecutionAnalysis::with_fr(x, Rel::empty(n));
+        let hb_fixed = self.hb(&base);
+        let mut plan = DeltaPlan::fallback(x, true);
+        plan.exact = true;
+        plan.obls.push(Obligation {
+            seed: hb_fixed,
+            feed: rfe_co_fr_feeds(),
+            lift: Lift::No,
+        });
+        let stxn = x.stxn();
+        if self.tm && !stxn.is_empty() {
+            plan.obls.push(Obligation {
+                seed: Rel::empty(n),
+                feed: com_feeds(),
+                lift: Lift::Strong,
+            });
+            plan.obls.push(Obligation {
+                seed: stronglift(&hb_fixed, &stxn),
+                feed: rfe_co_fr_feeds(),
+                lift: Lift::Strong,
+            });
+        }
+        Some(plan)
     }
 }
 

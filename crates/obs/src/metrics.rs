@@ -113,9 +113,20 @@ impl HistogramCore {
 
     #[inline]
     fn record(&self, v: u64) {
-        self.buckets[bucket_index(v)].fetch_add(1, Ordering::Relaxed);
-        self.count.fetch_add(1, Ordering::Relaxed);
-        self.sum.fetch_add(v, Ordering::Relaxed);
+        self.record_n(v, 1);
+    }
+
+    /// Record `n` observations of `v` in one shot — how pre-bucketed
+    /// walk-local histograms fold into a registry series without
+    /// replaying every observation.
+    #[inline]
+    fn record_n(&self, v: u64, n: u64) {
+        if n == 0 {
+            return;
+        }
+        self.buckets[bucket_index(v)].fetch_add(n, Ordering::Relaxed);
+        self.count.fetch_add(n, Ordering::Relaxed);
+        self.sum.fetch_add(v.saturating_mul(n), Ordering::Relaxed);
         self.max.fetch_max(v, Ordering::Relaxed);
     }
 
@@ -141,6 +152,13 @@ impl Histogram {
     #[inline]
     pub fn record(&self, v: u64) {
         self.0.record(v);
+    }
+
+    /// Record `n` observations of `v` at once (see
+    /// [`HistogramCore::record_n`]).
+    #[inline]
+    pub fn record_n(&self, v: u64, n: u64) {
+        self.0.record_n(v, n);
     }
 
     pub fn snapshot(&self) -> HistogramSnapshot {

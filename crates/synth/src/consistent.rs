@@ -28,8 +28,8 @@
 //! class invariant, so the two prunings commute.
 
 use txmm_core::canon::{kind_tag, label_canonical, struct_canonical, Label};
-use txmm_core::incr::{NoPrune, PartialCandidate, PruneOracle, PruneStats};
-use txmm_core::{Event, EventKind, EventSet, Execution, Rel, TxnClass};
+use txmm_core::incr::{judge_batch, NoPrune, PartialCandidate, PruneOracle, PruneStats};
+use txmm_core::{Event, EventKind, EventSet, Execution, Rel, TxnClass, TxnFreeBase};
 use txmm_models::Model;
 
 use crate::enumerate::{
@@ -43,35 +43,91 @@ use crate::steal::{run_with, StealStats};
 /// (the walks run per request, so handles are created exactly once).
 fn publish_prune(st: &PruneStats) {
     use std::sync::OnceLock;
-    static COUNTERS: OnceLock<[txmm_obs::Counter; 4]> = OnceLock::new();
-    let [cut, skipped, calls, micros] = COUNTERS.get_or_init(|| {
+    static COUNTERS: OnceLock<([txmm_obs::Counter; 6], txmm_obs::Histogram)> = OnceLock::new();
+    let ([cut, skipped, calls, micros, delta, fallback], batch_size) = COUNTERS.get_or_init(|| {
         let obs = txmm_obs::global();
-        [
-            obs.counter(
-                "txmm_prune_subtrees_cut_total",
-                "Construction subtrees abandoned on a non-viable partial.",
+        (
+            [
+                obs.counter(
+                    "txmm_prune_subtrees_cut_total",
+                    "Construction subtrees abandoned on a non-viable partial.",
+                ),
+                obs.counter(
+                    "txmm_prune_candidates_skipped_total",
+                    "Complete candidates pruned subtrees would have materialised.",
+                ),
+                obs.counter("txmm_prune_oracle_calls_total", "Prune-oracle invocations."),
+                obs.counter(
+                    "txmm_prune_oracle_microseconds_total",
+                    "Wall-clock time spent inside prune-oracle calls.",
+                ),
+                obs.counter(
+                    "txmm_prune_delta_answers_total",
+                    "Viability probes answered from incremental delta state alone.",
+                ),
+                obs.counter(
+                    "txmm_prune_fallback_total",
+                    "Viability probes the delta state could not decide, falling \
+                     back to a full analysis re-check.",
+                ),
+            ],
+            obs.histogram(
+                "txmm_prune_batch_size",
+                "Sibling placements judged per batched prune-oracle call.",
             ),
-            obs.counter(
-                "txmm_prune_candidates_skipped_total",
-                "Complete candidates pruned subtrees would have materialised.",
-            ),
-            obs.counter("txmm_prune_oracle_calls_total", "Prune-oracle invocations."),
-            obs.counter(
-                "txmm_prune_oracle_microseconds_total",
-                "Wall-clock time spent inside prune-oracle calls.",
-            ),
-        ]
+        )
     });
     cut.add(st.subtrees_cut);
     skipped.add(st.candidates_skipped);
     calls.add(st.oracle_calls);
     micros.add(st.oracle_micros);
+    delta.add(st.delta_answers);
+    fallback.add(st.fallbacks);
+    for (bound, n) in txmm_core::incr::BATCH_BOUNDS.iter().zip(&st.batch_hist) {
+        batch_size.record_n(*bound, *n);
+    }
 }
 
 /// The model's pruning oracle for the given phase, degraded to
 /// [`NoPrune`] (plain enumeration) when the model offers nothing sound.
 pub fn oracle_for(model: &dyn Model, txns_known: bool) -> &dyn PruneOracle {
     model.prune_oracle(txns_known).unwrap_or(&NoPrune)
+}
+
+/// A full-model consistency filter over the pruned leaf stream that
+/// shares txn-independent analysis slots across consecutive
+/// candidates.
+///
+/// The walk emits every transaction layout of one completed rf/co
+/// assignment back to back; those siblings differ only in `txns`, so
+/// `fr`, `com`, the equivalences and the fence relations — the bulk of
+/// a full check — are identical. The checker captures them from the
+/// first sibling's analysis ([`TxnFreeBase`]) and re-seeds each
+/// follow-up analysis after a fingerprint match, re-deriving from
+/// scratch only when the underlying structure actually changed.
+pub struct LeafChecker<'m> {
+    model: &'m dyn Model,
+    base: Option<TxnFreeBase>,
+}
+
+impl<'m> LeafChecker<'m> {
+    pub fn new(model: &'m dyn Model) -> LeafChecker<'m> {
+        LeafChecker { model, base: None }
+    }
+
+    /// Full-model consistency of `x`, sharing txn-independent slots
+    /// with the previous candidate when the structure matches.
+    pub fn consistent(&mut self, x: &Execution) -> bool {
+        if let Some(b) = &self.base {
+            if b.matches(x) {
+                return self.model.consistent_analysis(&b.seed(x));
+            }
+        }
+        let a = x.analysis();
+        let ok = self.model.consistent_analysis(&a);
+        self.base = Some(TxnFreeBase::capture(&a));
+        ok
+    }
 }
 
 // ---- The pruned structure walk -----------------------------------------
@@ -147,8 +203,25 @@ impl<'a> Walk<'a> {
         st.candidates_skipped = st.candidates_skipped.saturating_add(below);
     }
 
+    fn apply_rf(&self, i: usize, r: usize, opt: Option<usize>, pc: &mut PartialCandidate) -> bool {
+        match opt {
+            None => {
+                let ws = self.read_loc_writes[i];
+                pc.assign_init_read(r, ws);
+                !ws.is_empty()
+            }
+            Some(w) => {
+                pc.assign_rf(w, r);
+                true
+            }
+        }
+    }
+
     /// Assign read `i`'s rf source, then recurse; a non-viable
-    /// assignment cuts every candidate below it.
+    /// assignment cuts every candidate below it. All sibling options
+    /// are probed first — the ones the delta state cannot decide are
+    /// materialised and judged in one batched oracle call — and only
+    /// then do the viable ones recurse, in the original option order.
     fn rf(
         &self,
         i: usize,
@@ -161,21 +234,41 @@ impl<'a> Walk<'a> {
             return;
         }
         let r = self.space.reads[i];
-        for &opt in &self.space.rf_options[i] {
-            let cp = pc.snapshot();
-            let added = match opt {
+        let opts = &self.space.rf_options[i];
+        let mut viable_mask = 0u64;
+        let mut pend_slots: Vec<usize> = Vec::new();
+        let mut batch: Vec<(Execution, Rel)> = Vec::new();
+        pc.mark();
+        for (j, &opt) in opts.iter().enumerate() {
+            let added = self.apply_rf(i, r, opt, pc);
+            match if added {
+                pc.probe(self.oracle, st)
+            } else {
+                Some(true) // no new edges: nothing to check
+            } {
+                Some(true) => viable_mask |= 1 << j,
+                Some(false) => {}
                 None => {
-                    let ws = self.read_loc_writes[i];
-                    pc.assign_init_read(r, ws);
-                    !ws.is_empty()
+                    pend_slots.push(j);
+                    batch.push(pc.materialise());
                 }
-                Some(w) => {
-                    pc.assign_rf(w, r);
-                    true
+            }
+            pc.rewind();
+        }
+        if !batch.is_empty() {
+            st.record_batch(batch.len());
+            let bits = judge_batch(self.oracle, &batch, st);
+            for (b, &j) in pend_slots.iter().enumerate() {
+                if bits & (1 << b) != 0 {
+                    viable_mask |= 1 << j;
                 }
-            };
-            if !added || pc.viable(self.oracle, st) {
+            }
+        }
+        for (j, &opt) in opts.iter().enumerate() {
+            if viable_mask & (1 << j) != 0 {
+                self.apply_rf(i, r, opt, pc);
                 self.rf(i + 1, pc, st, leaf);
+                pc.rewind();
             } else {
                 self.cut(
                     st,
@@ -184,8 +277,8 @@ impl<'a> Walk<'a> {
                         .saturating_mul(self.txn_leaves),
                 );
             }
-            pc.restore(&cp);
         }
+        pc.release();
     }
 
     /// Build location `li`'s coherence order write by write.
@@ -217,17 +310,48 @@ impl<'a> Walk<'a> {
             self.co(li + 1, pc, st, leaf);
             return;
         }
-        for &w in ws {
+        let mut viable_mask = 0u64;
+        let mut pend_slots: Vec<usize> = Vec::new();
+        let mut batch: Vec<(Execution, Rel)> = Vec::new();
+        pc.mark();
+        for (j, &w) in ws.iter().enumerate() {
             if placed.contains(w) {
                 continue;
             }
-            let cp = pc.snapshot();
             pc.push_co(placed, w);
-            // The first write adds no edges: nothing new to check.
-            if placed.is_empty() || pc.viable(self.oracle, st) {
+            match if placed.is_empty() {
+                Some(true) // the first write adds no edges
+            } else {
+                pc.probe(self.oracle, st)
+            } {
+                Some(true) => viable_mask |= 1 << j,
+                Some(false) => {}
+                None => {
+                    pend_slots.push(j);
+                    batch.push(pc.materialise());
+                }
+            }
+            pc.rewind();
+        }
+        if !batch.is_empty() {
+            st.record_batch(batch.len());
+            let bits = judge_batch(self.oracle, &batch, st);
+            for (b, &j) in pend_slots.iter().enumerate() {
+                if bits & (1 << b) != 0 {
+                    viable_mask |= 1 << j;
+                }
+            }
+        }
+        for (j, &w) in ws.iter().enumerate() {
+            if placed.contains(w) {
+                continue;
+            }
+            if viable_mask & (1 << j) != 0 {
+                pc.push_co(placed, w);
                 let mut next = placed;
                 next.insert(w);
                 self.place(li, next, k + 1, pc, st, leaf);
+                pc.rewind();
             } else {
                 self.cut(
                     st,
@@ -236,25 +360,66 @@ impl<'a> Walk<'a> {
                         .saturating_mul(self.txn_leaves),
                 );
             }
-            pc.restore(&cp);
         }
+        pc.release();
     }
 }
 
+/// Build the transaction classes of one layout choice (`txn_ivs` is
+/// one interval list per thread over that thread's slot vector).
+fn build_txns(
+    thread_slots: &[Vec<usize>],
+    txn_ivs: &[Vec<(usize, usize)>],
+    atomic: bool,
+) -> Vec<TxnClass> {
+    txn_ivs
+        .iter()
+        .enumerate()
+        .flat_map(|(t, ivs)| {
+            let slots = &thread_slots[t];
+            ivs.iter().map(move |&(i, j)| TxnClass {
+                events: slots[i..=j].to_vec(),
+                atomic,
+            })
+        })
+        .collect()
+}
+
 /// Walk the structure space over one labelled event vector with oracle
-/// pruning; `visit` receives every surviving class representative
-/// (complete rf/co/txns, **not** yet filtered by a full model check).
+/// pruning; `visit` receives every surviving class representative.
+///
+/// Two phase orders:
+///
+/// * **classic** (`txn_first == false`) — rf/co are walked once per
+///   (rmw, deps) choice with a transaction-agnostic oracle, and every
+///   transaction layout is expanded at the leaves. Survivors are *not*
+///   yet filtered by a full model check.
+/// * **txn-first** (`txn_first == true`) — the transaction layout is
+///   fixed *before* the rf/co walk and `oracle` must be the model's
+///   txns-known oracle with [`PruneOracle::txn_aware_exact`]. Every
+///   probe then decides full-model consistency of the partial
+///   candidate, so a surviving complete leaf **is** consistent — no
+///   downstream model check, no per-layout re-check, no `with_txns`
+///   clone. The walk repeats per layout, but probes are answered from
+///   delta state, which is far cheaper than a full check at every
+///   (leaf × layout).
 fn pruned_structures(
     cfg: &EnumConfig,
     events: &[Event],
     oracle: &dyn PruneOracle,
+    txn_first: bool,
     st: &mut PruneStats,
     keep: &mut dyn FnMut(&Execution) -> bool,
     visit: &mut dyn FnMut(&Execution),
 ) {
     let n = events.len();
     let space = StructureSpace::new(cfg, events);
-    let walk = Walk::new(cfg, events, &space, oracle);
+    let mut walk = Walk::new(cfg, events, &space, oracle);
+    if txn_first {
+        // Layouts are enumerated outside the walk: a cut below skips
+        // rf/co assignments of the *current* layout only.
+        walk.txn_leaves = 1;
+    }
     let atomic_opts: &[bool] = if cfg.atomic_txns {
         &[false, true]
     } else {
@@ -266,65 +431,87 @@ fn pruned_structures(
             rmw.add(a, b);
         }
         for_deps(cfg, events, &space.dep_slots, &mut |addr, ctrl, data| {
-            let base = Execution::from_parts(
-                events.to_vec(),
-                space.po,
-                *addr,
-                *ctrl,
-                *data,
-                rmw,
-                Rel::empty(n),
-                Rel::empty(n),
-                vec![],
-            );
-            let mut pc = PartialCandidate::new(base);
-            // Structure-only violations (no rf/co yet) kill the whole
-            // (rmw, deps) subtree at once.
-            if !pc.viable(oracle, st) {
-                walk.cut(
-                    st,
-                    walk.rf_suffix[0]
-                        .saturating_mul(walk.co_suffix[0])
-                        .saturating_mul(walk.txn_leaves),
+            let start = |txns: Vec<TxnClass>, walk: &Walk<'_>, st: &mut PruneStats| {
+                let base = Execution::from_parts(
+                    events.to_vec(),
+                    space.po,
+                    *addr,
+                    *ctrl,
+                    *data,
+                    rmw,
+                    Rel::empty(n),
+                    Rel::empty(n),
+                    txns,
                 );
-                return;
-            }
-            walk.rf(0, &mut pc, st, &mut |x| {
+                let pc = PartialCandidate::with_oracle(base, oracle);
+                // Structure-only violations (no rf/co yet) kill the
+                // whole subtree at once.
+                if !pc.viable(oracle, st) {
+                    walk.cut(
+                        st,
+                        walk.rf_suffix[0]
+                            .saturating_mul(walk.co_suffix[0])
+                            .saturating_mul(walk.txn_leaves),
+                    );
+                    return None;
+                }
+                Some(pc)
+            };
+            if txn_first {
                 for_txns(&space.thread_slots, &space.txn_options, &mut |txn_ivs| {
                     for &atomic in atomic_opts {
-                        let txns: Vec<TxnClass> = txn_ivs
-                            .iter()
-                            .enumerate()
-                            .flat_map(|(t, ivs)| {
-                                let slots = &space.thread_slots[t];
-                                ivs.iter().map(move |&(i, j)| TxnClass {
-                                    events: slots[i..=j].to_vec(),
-                                    atomic,
-                                })
-                            })
-                            .collect();
+                        let txns = build_txns(&space.thread_slots, txn_ivs, atomic);
                         if txns.is_empty() && atomic {
                             continue;
                         }
-                        let y = x.with_txns(txns);
-                        debug_assert!(y.check_wf().is_ok(), "{:?}", y.check_wf());
-                        if keep(&y) {
-                            visit(&y);
-                        }
+                        let Some(mut pc) = start(txns, &walk, st) else {
+                            continue;
+                        };
+                        walk.rf(0, &mut pc, st, &mut |x| {
+                            debug_assert!(x.check_wf().is_ok(), "{:?}", x.check_wf());
+                            if keep(x) {
+                                visit(x);
+                            }
+                        });
                     }
                 });
-            });
+            } else {
+                let Some(mut pc) = start(vec![], &walk, st) else {
+                    return;
+                };
+                walk.rf(0, &mut pc, st, &mut |x| {
+                    // One clone per completed rf/co assignment; the
+                    // layouts cycle through it via `set_txns`.
+                    let mut y = x.clone();
+                    for_txns(&space.thread_slots, &space.txn_options, &mut |txn_ivs| {
+                        for &atomic in atomic_opts {
+                            let txns = build_txns(&space.thread_slots, txn_ivs, atomic);
+                            if txns.is_empty() && atomic {
+                                continue;
+                            }
+                            y.set_txns(txns);
+                            debug_assert!(y.check_wf().is_ok(), "{:?}", y.check_wf());
+                            if keep(&y) {
+                                visit(&y);
+                            }
+                        }
+                    });
+                });
+            }
         });
     }
 }
 
 /// Walk one frontier subtree with oracle pruning (the pruned analogue
-/// of [`crate::enumerate::enumerate_subtree`]).
+/// of [`crate::enumerate::enumerate_subtree`]). `txn_first` selects
+/// the phase order of [`pruned_structures`]; it requires a txns-known
+/// oracle with [`PruneOracle::txn_aware_exact`].
 pub fn pruned_subtree(
     cfg: &EnumConfig,
     shape: &[usize],
     sub: &Subtree,
     oracle: &dyn PruneOracle,
+    txn_first: bool,
     st: &mut PruneStats,
     visit: &mut dyn FnMut(&Execution),
 ) {
@@ -347,6 +534,7 @@ pub fn pruned_subtree(
             cfg,
             events,
             oracle,
+            txn_first,
             st,
             &mut |x| struct_canonical(x, &auts),
             visit,
@@ -364,10 +552,27 @@ pub fn enumerate_pruned(
     oracle: &dyn PruneOracle,
     visit: &mut dyn FnMut(&Execution),
 ) -> PruneStats {
+    walk_pruned(cfg, oracle, false, visit)
+}
+
+fn walk_pruned(
+    cfg: &EnumConfig,
+    oracle: &dyn PruneOracle,
+    txn_first: bool,
+    visit: &mut dyn FnMut(&Execution),
+) -> PruneStats {
     let shapes = config_shapes(cfg);
     let mut st = PruneStats::default();
     for sub in Frontier::new(cfg) {
-        pruned_subtree(cfg, &shapes[sub.shape_idx], &sub, oracle, &mut st, visit);
+        pruned_subtree(
+            cfg,
+            &shapes[sub.shape_idx],
+            &sub,
+            oracle,
+            txn_first,
+            &mut st,
+            visit,
+        );
     }
     publish_prune(&st);
     st
@@ -388,6 +593,22 @@ where
     FI: Fn(usize) -> S + Sync,
     FV: Fn(CandSeq, &Execution, &mut S) + Sync,
 {
+    visit_pruned_par_mode(cfg, oracle, false, workers, init, visit)
+}
+
+fn visit_pruned_par_mode<S, FI, FV>(
+    cfg: &EnumConfig,
+    oracle: &dyn PruneOracle,
+    txn_first: bool,
+    workers: usize,
+    init: FI,
+    visit: FV,
+) -> (Vec<S>, PruneStats, StealStats)
+where
+    S: Send,
+    FI: Fn(usize) -> S + Sync,
+    FV: Fn(CandSeq, &Execution, &mut S) + Sync,
+{
     let shapes = config_shapes(cfg);
     let (pairs, steal) = run_with(
         Frontier::new(cfg),
@@ -396,10 +617,18 @@ where
         |sub: Subtree, state: &mut (S, PruneStats)| {
             let mut emit = 0u32;
             let (s, st) = state;
-            pruned_subtree(cfg, &shapes[sub.shape_idx], &sub, oracle, st, &mut |x| {
-                visit((sub.seq, emit), x, s);
-                emit += 1;
-            });
+            pruned_subtree(
+                cfg,
+                &shapes[sub.shape_idx],
+                &sub,
+                oracle,
+                txn_first,
+                st,
+                &mut |x| {
+                    visit((sub.seq, emit), x, s);
+                    emit += 1;
+                },
+            );
         },
     );
     let mut states = Vec::with_capacity(pairs.len());
@@ -413,20 +642,46 @@ where
 }
 
 /// Enumerate exactly the model-consistent classes of the space,
-/// streaming one representative per class through `visit`. The oracle
-/// (transaction-agnostic phase) accelerates; the full check at the
-/// leaves decides.
+/// streaming one representative per class through `visit`. The
+/// transaction-agnostic oracle accelerates the walk; a [`LeafChecker`]
+/// (txn-independent slots shared by reference across the layouts of
+/// each rf/co assignment) decides at the leaves.
+///
+/// The txn-first walk ([`enumerate_consistent_txn_first`]) needs no
+/// leaf check at all, but measures *slower* here: repeating the rf/co
+/// walk per transaction layout multiplies delta probes (~0.9 µs each,
+/// three detectors fed per edge) past the cost of a shared-slot leaf
+/// check (~0.5 µs), so the classic order stays the default.
 pub fn enumerate_consistent(
     cfg: &EnumConfig,
     model: &dyn Model,
     visit: &mut dyn FnMut(&Execution),
 ) -> PruneStats {
     let oracle = oracle_for(model, false);
-    enumerate_pruned(cfg, oracle, &mut |x| {
-        if model.consistent(x) {
+    let mut check = LeafChecker::new(model);
+    walk_pruned(cfg, oracle, false, &mut |x| {
+        if check.consistent(x) {
             visit(x);
         }
     })
+}
+
+/// [`enumerate_consistent`] over the **txn-first** walk: transaction
+/// layouts are fixed before the rf/co stages and the model's
+/// txns-known oracle decides full consistency probe by probe, so the
+/// surviving stream needs no leaf check. `None` unless that oracle is
+/// [`PruneOracle::txn_aware_exact`] (Power, C++ and `.cat` programs
+/// would multiply expensive fallback probes by the layout count).
+pub fn enumerate_consistent_txn_first(
+    cfg: &EnumConfig,
+    model: &dyn Model,
+    visit: &mut dyn FnMut(&Execution),
+) -> Option<PruneStats> {
+    let oracle = oracle_for(model, true);
+    if !oracle.txn_aware_exact() {
+        return None;
+    }
+    Some(walk_pruned(cfg, oracle, true, visit))
 }
 
 /// Count the model-consistent classes (sequential).
@@ -443,14 +698,14 @@ pub fn count_consistent_par(cfg: &EnumConfig, model: &dyn Model) -> (usize, Prun
         cfg,
         oracle,
         worker_count(),
-        |_| 0usize,
-        |_, x, n| {
-            if model.consistent(x) {
+        |_| (0usize, LeafChecker::new(model)),
+        |_, x, (n, check)| {
+            if check.consistent(x) {
                 *n += 1;
             }
         },
     );
-    (counts.into_iter().sum(), st)
+    (counts.into_iter().map(|(n, _)| n).sum(), st)
 }
 
 #[cfg(test)]
@@ -483,7 +738,10 @@ mod tests {
                 assert!(pruned.insert(canon_key(x)), "duplicate class");
             });
             assert_eq!(pruned, filtered, "{}", model.name());
-            assert!(st.oracle_calls > 0, "oracle never consulted");
+            assert!(
+                st.delta_answers + st.oracle_calls > 0,
+                "viability never consulted"
+            );
             assert!(st.subtrees_cut > 0, "nothing pruned at |E|=3?");
         }
     }
@@ -502,6 +760,40 @@ mod tests {
         let st = enumerate_pruned(&cfg, oracle_for(&X86::tm(), false), &mut |_| survivors += 1);
         assert!(survivors <= total_unpruned);
         assert!(st.candidates_skipped > 0);
+    }
+
+    /// The txn-first walk yields exactly the classic walk's consistent
+    /// classes (and exercises the txns-known exact delta plans, which
+    /// the classic walk never builds).
+    #[test]
+    fn txn_first_matches_classic() {
+        for (cfg, model) in [
+            (
+                EnumConfig::hw(txmm_models::Arch::X86, 3),
+                &X86::tm() as &dyn Model,
+            ),
+            (
+                EnumConfig::hw(txmm_models::Arch::Sc, 3),
+                &txmm_models::Tsc as &dyn Model,
+            ),
+        ] {
+            let mut classic = HashSet::new();
+            enumerate_consistent(&cfg, model, &mut |x| {
+                classic.insert(canon_key(x));
+            });
+            let mut first = HashSet::new();
+            let st = enumerate_consistent_txn_first(&cfg, model, &mut |x| {
+                assert!(first.insert(canon_key(x)), "duplicate class");
+            })
+            .expect("txn-aware exact oracle");
+            assert_eq!(first, classic, "{}", model.name());
+            assert!(st.delta_answers > 0, "txn-aware plan never consulted");
+        }
+        // Inexact txns-known plans refuse the mode.
+        let cfg = EnumConfig::hw(txmm_models::Arch::Power, 3);
+        assert!(
+            enumerate_consistent_txn_first(&cfg, &txmm_models::Power::tm(), &mut |_| {}).is_none()
+        );
     }
 
     #[test]

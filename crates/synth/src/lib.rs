@@ -39,8 +39,8 @@ pub mod weaken;
 
 pub use canon::canon_key;
 pub use consistent::{
-    count_consistent, count_consistent_par, enumerate_consistent, enumerate_pruned, oracle_for,
-    visit_pruned_par,
+    count_consistent, count_consistent_par, enumerate_consistent, enumerate_consistent_txn_first,
+    enumerate_pruned, oracle_for, visit_pruned_par, LeafChecker,
 };
 pub use diff::{distinguish, distinguish_seq, equivalent, equivalent_seq};
 pub use enumerate::{

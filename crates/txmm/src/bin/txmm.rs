@@ -70,6 +70,8 @@ fn usage() -> ExitCode {
          serve options: --model NAME, --cat FILE, --with-cat, --warm, --prom,\n\
          \u{20}               --listen ADDR, --shards N, --max-conns N\n\
          outcomes options: serve options plus --workers N, --max-candidates N\n\
+         \u{20} --workers N parallelises the pruned abort-split walk and class\n\
+         \u{20} checking over N work-stealing threads (1 = fully sequential)\n\
          client requests: check <file>, batch <dir>, outcomes <file|dir>,\n\
          \u{20}                reload, models, stats, metrics [--prom], shutdown\n\
          client options: --trace ID (check/outcomes span timeline)"

@@ -708,6 +708,10 @@ impl SessionPool {
             total.prune_candidates_skipped += s.session.prune_candidates_skipped;
             total.prune_oracle_calls += s.session.prune_oracle_calls;
             total.prune_oracle_micros += s.session.prune_oracle_micros;
+            total.prune_delta_answers += s.session.prune_delta_answers;
+            total.prune_fallbacks += s.session.prune_fallbacks;
+            total.prune_batches += s.session.prune_batches;
+            total.prune_batched_placements += s.session.prune_batched_placements;
             stages.parse += s.stages.parse;
             stages.convert += s.stages.convert;
             stages.verdict += s.stages.verdict;
@@ -731,7 +735,9 @@ impl SessionPool {
                      \"outcome_hits\":{},\"outcome_misses\":{},\"compile_hits\":{},\
                      \"compile_misses\":{},\"compile_entries\":{},\"compile_micros\":{},\
                      \"prune_subtrees_cut\":{},\"prune_candidates_skipped\":{},\
-                     \"prune_oracle_calls\":{},\"prune_oracle_micros\":{}}}",
+                     \"prune_oracle_calls\":{},\"prune_oracle_micros\":{},\
+                     \"prune_delta_answers\":{},\"prune_fallbacks\":{},\
+                     \"prune_batches\":{},\"prune_batched_placements\":{}}}",
                     s.shard,
                     s.served,
                     s.depth,
@@ -748,7 +754,11 @@ impl SessionPool {
                     s.session.prune_subtrees_cut,
                     s.session.prune_candidates_skipped,
                     s.session.prune_oracle_calls,
-                    s.session.prune_oracle_micros
+                    s.session.prune_oracle_micros,
+                    s.session.prune_delta_answers,
+                    s.session.prune_fallbacks,
+                    s.session.prune_batches,
+                    s.session.prune_batched_placements
                 )
             })
             .collect::<Vec<_>>()
@@ -782,6 +792,8 @@ impl SessionPool {
              \"compile_entries\":{},\"compile_micros\":{},\
              \"prune_subtrees_cut\":{},\"prune_candidates_skipped\":{},\
              \"prune_oracle_calls\":{},\"prune_oracle_micros\":{},\
+             \"prune_delta_answers\":{},\"prune_fallbacks\":{},\
+             \"prune_batches\":{},\"prune_batched_placements\":{},\
              \"stage_micros\":{{\"parse\":{},\"convert\":{},\"verdict\":{},\
              \"observe\":{},\"other\":{}}},\"slowest\":[{slowest}],\
              \"per_shard\":[{per_shard}]}}",
@@ -808,6 +820,10 @@ impl SessionPool {
             total.prune_candidates_skipped,
             total.prune_oracle_calls,
             total.prune_oracle_micros,
+            total.prune_delta_answers,
+            total.prune_fallbacks,
+            total.prune_batches,
+            total.prune_batched_placements,
             stages.parse,
             stages.convert,
             stages.verdict,

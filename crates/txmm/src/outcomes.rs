@@ -29,10 +29,15 @@
 //! model's allowed set ([`unsound_sim_outcomes`]).
 
 use std::collections::{HashMap, HashSet};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 
 use txmm_core::arena::ExecId;
+use txmm_core::{PruneOracle, PruneStats};
 use txmm_hwsim::{Outcome, OutcomeSet, Simulator, MAX_LOCS};
-use txmm_litmus::{enumerate_candidates, program_key, LitmusTest, Op};
+use txmm_litmus::{
+    enumerate_candidates, enumerate_mask_pruned, mask_candidate_count, program_key, Candidate,
+    LitmusTest, Op, ProgramSkeleton,
+};
 use txmm_models::Arch;
 
 use crate::session::{intern_into, ModelRef, Session};
@@ -107,6 +112,103 @@ pub struct OutcomeReport {
 fn pad_locs<T: Clone + Default>(mut v: Vec<T>) -> Vec<T> {
     v.resize(MAX_LOCS, T::default());
     v
+}
+
+/// Append-only, lock-free set of root-rejected abort masks, shared by
+/// the parallel per-mask walk's workers. A worker that finds a split's
+/// root non-viable under an event-monotone oracle publishes the mask;
+/// every worker then skips masks the published ones subsume (`mask | d
+/// == d`) without projecting the program. The set is capped — once
+/// full, further dead masks are simply re-discovered at their own
+/// roots, which costs one viability check and no correctness.
+struct DeadMasks {
+    slots: Vec<AtomicU64>,
+    next: AtomicUsize,
+}
+
+/// No real mask is all-ones: a program with 64 single-event
+/// transactions has no other events, and its split space is refused by
+/// the candidate cap long before a walk starts.
+const DEAD_EMPTY: u64 = u64::MAX;
+
+impl DeadMasks {
+    fn new(cap: usize) -> DeadMasks {
+        DeadMasks {
+            slots: (0..cap).map(|_| AtomicU64::new(DEAD_EMPTY)).collect(),
+            next: AtomicUsize::new(0),
+        }
+    }
+
+    fn push(&self, mask: u64) {
+        let idx = self.next.fetch_add(1, Ordering::Relaxed);
+        if let Some(slot) = self.slots.get(idx) {
+            slot.store(mask, Ordering::Release);
+        }
+    }
+
+    fn subsumes(&self, mask: u64) -> bool {
+        let n = self.next.load(Ordering::Relaxed).min(self.slots.len());
+        self.slots[..n].iter().any(|s| {
+            // A claimed-but-unwritten slot still reads DEAD_EMPTY;
+            // treating it as absent is conservative and safe.
+            let d = s.load(Ordering::Acquire);
+            d != DEAD_EMPTY && mask | d == d
+        })
+    }
+}
+
+/// The parallel analogue of
+/// [`txmm_litmus::enumerate_candidates_pruned`]: abort masks fan out in
+/// descending order over the work-stealing pool, each walked by
+/// [`enumerate_mask_pruned`] with dead-mask subsumption maintained in a
+/// shared [`DeadMasks`] set. Workers buffer their candidates per mask;
+/// the caller's thread merges the buffers back into descending-mask
+/// order, so the candidate stream is byte-identical to the sequential
+/// walk's. (Which masks are *root-checked* vs subsumption-skipped can
+/// differ from the sequential schedule — both charge the same
+/// `subtrees_cut`/`candidates_skipped`, and a root-rejected mask emits
+/// no candidates either way, so only the oracle-call counters wobble.)
+fn pruned_candidates_par(
+    t: &LitmusTest,
+    oracle: &dyn PruneOracle,
+    workers: usize,
+) -> Result<(usize, PruneStats, Vec<(u64, Vec<Candidate>)>), String> {
+    let sk = ProgramSkeleton::from_litmus(t).map_err(|e| e.to_string())?;
+    let splits: u128 = 1u128 << sk.txns.len();
+    let dead = DeadMasks::new(256);
+    let monotone = oracle.event_monotone();
+    let masks = (0..splits).rev().map(|m| m as u64);
+    let (states, _steal) = txmm_synth::steal::run_with(
+        masks,
+        workers,
+        |_| (Vec::new(), PruneStats::default()),
+        |mask: u64, (bufs, st): &mut (Vec<(u64, Vec<Candidate>)>, PruneStats)| {
+            if dead.subsumes(mask) {
+                st.subtrees_cut += 1;
+                st.candidates_skipped = st
+                    .candidates_skipped
+                    .saturating_add(mask_candidate_count(&sk, mask));
+                return;
+            }
+            let mut buf = Vec::new();
+            let (_, root_live) = enumerate_mask_pruned(&sk, mask, oracle, st, &mut |c| buf.push(c));
+            if !root_live && monotone {
+                dead.push(mask);
+            }
+            if !buf.is_empty() {
+                bufs.push((mask, buf));
+            }
+        },
+    );
+    let mut stats = PruneStats::default();
+    let mut all: Vec<(u64, Vec<Candidate>)> = Vec::new();
+    for (bufs, st) in states {
+        all.extend(bufs);
+        stats.merge(&st);
+    }
+    all.sort_unstable_by(|a, b| b.0.cmp(&a.0));
+    let visited = all.iter().map(|(_, b)| b.len()).sum();
+    Ok((visited, stats, all))
 }
 
 impl Session {
@@ -236,8 +338,10 @@ impl Session {
             canon_ids,
             verdicts,
             stats,
+            outcome_workers,
             ..
         } = self;
+        let workers = *outcome_workers;
         let model = models[slot].as_ref();
         let oracle = model
             .prune_oracle(true)
@@ -245,7 +349,7 @@ impl Session {
         let mut allowed = OutcomeSet::new();
         let mut classes: Vec<ExecId> = Vec::new();
         let mut seen: HashSet<ExecId> = HashSet::new();
-        let (visited, pstats) = txmm_litmus::enumerate_candidates_pruned(t, oracle, &mut |c| {
+        let mut sink = |c: Candidate| {
             let id = intern_into(arena, canon_ids, &c.exec);
             if seen.insert(id) {
                 classes.push(id);
@@ -267,8 +371,23 @@ impl Session {
                     co_order: pad_locs(c.co_order),
                 });
             }
-        })
-        .map_err(|e| e.to_string())?;
+        };
+        // The walk itself parallelises over abort splits; Session
+        // interning is single-threaded, so workers buffer candidates
+        // and the merge (descending masks, the sequential order)
+        // replays them through the same sink here.
+        let (visited, pstats) = if workers > 1 {
+            let (visited, pstats, buffers) = pruned_candidates_par(t, oracle, workers)?;
+            for (_, buf) in buffers {
+                for c in buf {
+                    sink(c);
+                }
+            }
+            (visited, pstats)
+        } else {
+            txmm_litmus::enumerate_candidates_pruned(t, oracle, &mut sink)
+                .map_err(|e| e.to_string())?
+        };
         self.stats.interned.set(self.arena.len() as i64);
         self.stats.outcome_candidates.add(visited as u64);
         self.stats.outcome_classes.add(classes.len() as u64);
@@ -278,6 +397,11 @@ impl Session {
             .add(pstats.candidates_skipped);
         self.stats.prune_oracle_calls.add(pstats.oracle_calls);
         self.stats.prune_oracle_micros.add(pstats.oracle_micros);
+        self.stats.prune_delta_answers.add(pstats.delta_answers);
+        self.stats.prune_fallbacks.add(pstats.fallbacks);
+        for (bound, n) in txmm_core::incr::BATCH_BOUNDS.iter().zip(&pstats.batch_hist) {
+            self.stats.prune_batch_size.record_n(*bound, *n);
+        }
         self.outcome_sets.insert((key.to_vec(), slot), allowed);
         self.outcome_visits
             .insert((key.to_vec(), slot), OutcomeVisit { classes });

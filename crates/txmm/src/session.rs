@@ -178,6 +178,17 @@ pub struct SessionStats {
     /// Wall-clock microseconds spent inside prune-oracle calls,
     /// cumulative.
     pub prune_oracle_micros: u64,
+    /// Viability probes answered from incremental delta state alone
+    /// (no analysis rebuilt), cumulative.
+    pub prune_delta_answers: u64,
+    /// Viability probes the delta state could not decide, falling back
+    /// to a full analysis re-check, cumulative.
+    pub prune_fallbacks: u64,
+    /// Batched sibling-placement oracle calls, cumulative.
+    pub prune_batches: u64,
+    /// Placements judged across all batches (mean batch size is
+    /// `prune_batched_placements / prune_batches`), cumulative.
+    pub prune_batched_placements: u64,
     /// `.cat` checks served by an already-specialised program tier.
     pub compile_hits: u64,
     /// `.cat` checks that specialised their program tier first.
@@ -208,6 +219,12 @@ pub(crate) struct SessionTelemetry {
     pub(crate) prune_candidates_skipped: txmm_obs::Counter,
     pub(crate) prune_oracle_calls: txmm_obs::Counter,
     pub(crate) prune_oracle_micros: txmm_obs::Counter,
+    pub(crate) prune_delta_answers: txmm_obs::Counter,
+    pub(crate) prune_fallbacks: txmm_obs::Counter,
+    /// Batch sizes per batched oracle call; `count` is the batch count
+    /// and `sum` the placements judged, which is how
+    /// [`Session::stats`] reads the pair back out.
+    pub(crate) prune_batch_size: txmm_obs::Histogram,
 }
 
 impl SessionTelemetry {
@@ -269,6 +286,19 @@ impl SessionTelemetry {
             prune_oracle_micros: obs.counter(
                 "txmm_prune_oracle_microseconds_total",
                 "Wall-clock time spent inside prune-oracle calls.",
+            ),
+            prune_delta_answers: obs.counter(
+                "txmm_prune_delta_answers_total",
+                "Viability probes answered from incremental delta state alone.",
+            ),
+            prune_fallbacks: obs.counter(
+                "txmm_prune_fallback_total",
+                "Viability probes the delta state could not decide, falling \
+                 back to a full analysis re-check.",
+            ),
+            prune_batch_size: obs.histogram(
+                "txmm_prune_batch_size",
+                "Sibling placements judged per batched prune-oracle call.",
             ),
         }
     }
@@ -464,9 +494,10 @@ impl Session {
         self.reload_cat_source(&name, &src)
     }
 
-    /// Set the worker-thread count the outcome engine fans candidate
-    /// checking out over (via the `txmm-synth` work-stealing pool);
-    /// 1 keeps checking on the calling thread.
+    /// Set the worker-thread count the outcome engine fans out over
+    /// (via the `txmm-synth` work-stealing pool): the pruned walk's
+    /// per-abort-split enumeration and the unpruned table's class
+    /// checking both use it; 1 keeps everything on the calling thread.
     pub fn set_outcome_workers(&mut self, workers: usize) {
         self.outcome_workers = workers.max(1);
     }
@@ -653,6 +684,10 @@ impl Session {
             prune_candidates_skipped: t.prune_candidates_skipped.get(),
             prune_oracle_calls: t.prune_oracle_calls.get(),
             prune_oracle_micros: t.prune_oracle_micros.get(),
+            prune_delta_answers: t.prune_delta_answers.get(),
+            prune_fallbacks: t.prune_fallbacks.get(),
+            prune_batches: t.prune_batch_size.snapshot().count,
+            prune_batched_placements: t.prune_batch_size.snapshot().sum,
             ..SessionStats::default()
         };
         for (_, model) in &self.cat_models {

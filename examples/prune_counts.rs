@@ -1,0 +1,184 @@
+//! Measurement driver for the pruned-enumeration numbers cited in the
+//! README and pinned in `tests/enumeration_golden.rs`.
+//!
+//! Subcommands: `quick` (the |E| ≤ 4 spaces plus x86 |E| = 5),
+//! `x866`/`power5`/`power6`/`armv85`/`armv86` (one heavyweight bound
+//! each, hours+ for the latter three on one core), `profile` (walk
+//! vs walk+check phase split) and `micro` (per-operation costs of the
+//! shared-slot leaf-check path).
+use std::time::Instant;
+use txmm::models::{Arch, Armv8, Model, Power, X86};
+use txmm::synth::{count_consistent_par, EnumConfig};
+
+fn run(name: &str, arch: Arch, model: &dyn Model, events: usize) {
+    let t0 = Instant::now();
+    let (n, st) = count_consistent_par(&EnumConfig::hw(arch, events), model);
+    println!(
+        "{name} |E|={events}: {n} consistent in {:.2}s (cut={} skipped={} calls={} delta={} fallback={} batches={})",
+        t0.elapsed().as_secs_f64(),
+        st.subtrees_cut,
+        st.candidates_skipped,
+        st.oracle_calls,
+        st.delta_answers,
+        st.fallbacks,
+        st.batches,
+    );
+}
+
+fn profile_phases() {
+    use txmm::models::Sc;
+    use txmm::synth::{enumerate_pruned, oracle_for};
+    let cfg = EnumConfig::hw(Arch::X86, 5);
+    let model = X86::tm();
+    let oracle = oracle_for(&model, false);
+
+    let t0 = Instant::now();
+    let mut visited = 0usize;
+    enumerate_pruned(&cfg, oracle, &mut |_| visited += 1);
+    println!("walk+clone+canon: {visited} visited in {:.2}s", t0.elapsed().as_secs_f64());
+
+    let t0 = Instant::now();
+    let mut n = 0usize;
+    enumerate_pruned(&cfg, oracle, &mut |x| {
+        if model.consistent(x) {
+            n += 1;
+        }
+    });
+    println!("walk+check: {n} consistent in {:.2}s", t0.elapsed().as_secs_f64());
+
+    let t0 = Instant::now();
+    let mut n = 0usize;
+    let mut check = txmm::synth::LeafChecker::new(&model);
+    enumerate_pruned(&cfg, oracle, &mut |x| {
+        if check.consistent(x) {
+            n += 1;
+        }
+    });
+    println!("walk+shared-check: {n} consistent in {:.2}s", t0.elapsed().as_secs_f64());
+    let _ = Sc;
+}
+
+fn microbench() {
+    use txmm::core::TxnFreeBase;
+    use txmm::synth::{enumerate_pruned, oracle_for};
+    let cfg = EnumConfig::hw(Arch::X86, 5);
+    let model = X86::tm();
+    let oracle = oracle_for(&model, false);
+
+    // Sample the survivor stream (every 60th, up to 30k candidates).
+    let mut samples: Vec<txmm::core::Execution> = Vec::new();
+    let mut seen = 0usize;
+    enumerate_pruned(&cfg, oracle, &mut |x| {
+        if seen % 60 == 0 && samples.len() < 30_000 {
+            samples.push(x.clone());
+        }
+        seen += 1;
+    });
+    println!("sampled {} of {seen}", samples.len());
+    let reps = 5;
+
+    let t0 = Instant::now();
+    let mut n = 0usize;
+    for _ in 0..reps {
+        for x in &samples {
+            if model.consistent(x) {
+                n += 1;
+            }
+        }
+    }
+    let per = t0.elapsed().as_nanos() / (reps * samples.len()) as u128;
+    println!("full consistent: {per}ns each (n={n})");
+
+    let base = TxnFreeBase::capture(&{
+        let a = samples[0].analysis();
+        model.consistent_analysis(&a);
+        a
+    });
+    let t0 = Instant::now();
+    let mut m = 0usize;
+    for _ in 0..reps {
+        for x in &samples {
+            if base.matches(x) {
+                m += 1;
+            }
+        }
+    }
+    let per = t0.elapsed().as_nanos() / (reps * samples.len()) as u128;
+    println!("matches: {per}ns each (hits={m})");
+
+    // seed+check on self-matching bases: capture per sample, then time
+    // seed + consistent_analysis (the LeafChecker hit path).
+    let bases: Vec<TxnFreeBase> = samples
+        .iter()
+        .map(|x| {
+            let a = x.analysis();
+            model.consistent_analysis(&a);
+            TxnFreeBase::capture(&a)
+        })
+        .collect();
+    let t0 = Instant::now();
+    for _ in 0..reps {
+        for (x, b) in samples.iter().zip(&bases) {
+            let a = b.seed(x);
+            std::hint::black_box(&a);
+        }
+    }
+    let per = t0.elapsed().as_nanos() / (reps * samples.len()) as u128;
+    println!("seed only: {per}ns each");
+
+    let t0 = Instant::now();
+    let mut n = 0usize;
+    for _ in 0..reps {
+        for (x, b) in samples.iter().zip(&bases) {
+            if model.consistent_analysis(&b.seed(x)) {
+                n += 1;
+            }
+        }
+    }
+    let per = t0.elapsed().as_nanos() / (reps * samples.len()) as u128;
+    println!("seed+check: {per}ns each (n={n})");
+
+    let t0 = Instant::now();
+    for _ in 0..reps {
+        for x in &samples {
+            let b = TxnFreeBase::capture(&{
+                let a = x.analysis();
+                model.consistent_analysis(&a);
+                a
+            });
+            std::hint::black_box(&b);
+        }
+    }
+    let per = t0.elapsed().as_nanos() / (reps * samples.len()) as u128;
+    println!("check+capture: {per}ns each");
+
+    let t0 = Instant::now();
+    for _ in 0..reps {
+        for x in &samples {
+            let y = x.with_txns(x.txns().to_vec());
+            std::hint::black_box(&y);
+        }
+    }
+    let per = t0.elapsed().as_nanos() / (reps * samples.len()) as u128;
+    println!("with_txns clone: {per}ns each");
+}
+
+fn main() {
+    let which = std::env::args().nth(1).unwrap_or_default();
+    match which.as_str() {
+        "power5" => run("power", Arch::Power, &Power::tm(), 5),
+        "armv85" => run("armv8", Arch::Armv8, &Armv8::tm(), 5),
+        "x866" => run("x86", Arch::X86, &X86::tm(), 6),
+        "power6" => run("power", Arch::Power, &Power::tm(), 6),
+        "armv86" => run("armv8", Arch::Armv8, &Armv8::tm(), 6),
+        "profile" => profile_phases(),
+        "micro" => microbench(),
+        "quick" => {
+            run("x86", Arch::X86, &X86::tm(), 4);
+            run("x86", Arch::X86, &X86::tm(), 5);
+            run("power", Arch::Power, &Power::tm(), 4);
+            run("armv8", Arch::Armv8, &Armv8::tm(), 4);
+        }
+        other => eprintln!("unknown target {other:?}"),
+    }
+}

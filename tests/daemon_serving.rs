@@ -208,6 +208,10 @@ fn outcomes_requests_byte_identical_to_one_shot() {
         "\"prune_candidates_skipped\"",
         "\"prune_oracle_calls\"",
         "\"prune_oracle_micros\"",
+        "\"prune_delta_answers\"",
+        "\"prune_fallbacks\"",
+        "\"prune_batches\"",
+        "\"prune_batched_placements\"",
     ] {
         assert_eq!(stats[0].matches(key).count(), 4, "{key}: {}", stats[0]);
     }

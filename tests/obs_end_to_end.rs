@@ -298,6 +298,9 @@ fn metrics_request_serves_valid_prometheus_exposition() {
         "txmm_span_duration_microseconds",
         "txmm_shard_queue_wait_microseconds",
         "txmm_requests_total",
+        "txmm_prune_delta_answers_total",
+        "txmm_prune_fallback_total",
+        "txmm_prune_batch_size",
     ] {
         assert!(
             page.iter()
@@ -385,6 +388,10 @@ fn stats_json_keeps_every_preexisting_key() {
         "prune_candidates_skipped",
         "prune_oracle_calls",
         "prune_oracle_micros",
+        "prune_delta_answers",
+        "prune_fallbacks",
+        "prune_batches",
+        "prune_batched_placements",
         "stage_micros",
         "per_shard",
     ] {
@@ -417,6 +424,10 @@ fn stats_json_keeps_every_preexisting_key() {
             "prune_candidates_skipped",
             "prune_oracle_calls",
             "prune_oracle_micros",
+            "prune_delta_answers",
+            "prune_fallbacks",
+            "prune_batches",
+            "prune_batched_placements",
         ] {
             assert!(shard.get(key).is_some(), "per_shard lost {key:?}");
         }

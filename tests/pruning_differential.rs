@@ -97,7 +97,13 @@ fn assert_pruned_matches_filtered(name: &str, cfg: &EnumConfig, model: &dyn Mode
         "{name}: pruned and filtered consistent-class sets differ"
     );
     if model.prune_oracle(false).is_some() {
-        assert!(st.oracle_calls > 0, "{name}: the oracle never ran");
+        // Exact delta plans answer every probe incrementally, so the
+        // full oracle may legitimately never run — but the viability
+        // machinery as a whole must have been consulted.
+        assert!(
+            st.delta_answers + st.oracle_calls > 0,
+            "{name}: the oracle never ran"
+        );
     }
 }
 
@@ -159,12 +165,91 @@ fn outcome_tables_agree_with_unpruned_session() {
         }
     }
     let st = pruned.stats();
-    assert!(st.prune_oracle_calls > 0, "pruning never engaged: {st:?}");
+    assert!(
+        st.prune_oracle_calls + st.prune_delta_answers > 0,
+        "pruning never engaged: {st:?}"
+    );
     assert_eq!(
         unpruned.stats().prune_oracle_calls,
         0,
         "set_prune(false) must bypass the oracles"
     );
+}
+
+/// Incremental viability == recompute-from-scratch. With delta
+/// validation armed, every probe that the per-model [`DeltaPlan`]
+/// answers incrementally is cross-checked inside the engine against a
+/// full [`ExecutionAnalysis`] re-derivation: exact plans must agree
+/// bit-for-bit, inexact (conservative) plans must never declare a
+/// candidate dead that the full oracle still accepts. Any divergence
+/// panics inside `probe`, so driving the pruned enumerator over a
+/// space *is* the assertion.
+fn assert_delta_matches_recompute(events: usize, skip_slow: bool) {
+    struct Arm;
+    impl Drop for Arm {
+        fn drop(&mut self) {
+            txmm::core::set_delta_validation(false);
+        }
+    }
+    txmm::core::set_delta_validation(true);
+    let _disarm = Arm;
+
+    for (name, cfg, models) in spaces(events) {
+        if skip_slow && !matches!(cfg.arch, Arch::Sc | Arch::X86 | Arch::Cpp) {
+            continue;
+        }
+        for model in &models {
+            let mut classes = 0usize;
+            let st = enumerate_consistent(&cfg, model.as_ref(), &mut |_| classes += 1);
+            assert!(classes > 0, "{name}: empty consistent space");
+            if model.prune_oracle(false).is_some() {
+                assert!(
+                    st.delta_answers > 0,
+                    "{name}: the delta plan never answered a probe"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn delta_viability_matches_recompute_at_three_events() {
+    assert_delta_matches_recompute(3, false);
+}
+
+#[test]
+#[ignore = "minutes in debug; the CI prune-smoke job runs it in release"]
+fn delta_viability_matches_recompute_at_four_events() {
+    assert_delta_matches_recompute(4, true);
+}
+
+/// The parallel per-abort-split walk must be byte-identical to the
+/// sequential one: same JSONL report lines for every program in the
+/// corpus, in particular the same candidate/class counts and the same
+/// ordered allowed-outcome tables. Dead-mask subsumption and worker
+/// scheduling may reorder *work*, never *output*.
+#[test]
+fn parallel_mask_walk_is_byte_identical_to_sequential() {
+    use txmm::serve::{outcomes_jsonl_line, serve_outcomes_source};
+    use txmm::session::Session;
+
+    let corpus = txmm::corpus::generate(3);
+    assert!(
+        corpus.iter().any(|(name, _)| name.contains("txn")),
+        "the corpus must include transactional programs (abort splits)"
+    );
+
+    let mut seq = Session::new();
+    seq.set_outcome_workers(1);
+    let mut par = Session::new();
+    par.set_outcome_workers(4);
+
+    for (name, src) in &corpus {
+        let file = format!("{name}.litmus");
+        let a = outcomes_jsonl_line(&serve_outcomes_source(&mut seq, &file, src, None));
+        let b = outcomes_jsonl_line(&serve_outcomes_source(&mut par, &file, src, None));
+        assert_eq!(a, b, "{name}: parallel walk diverged from sequential");
+    }
 }
 
 /// `.cat` oracles are *weakenings* of their models: on a complete
