@@ -133,10 +133,25 @@ fn bench_pruning(c: &mut Criterion) {
     let mut rows = Vec::new();
     headline(&mut rows, "x86", &EnumConfig::hw(Arch::X86, 4), &X86::tm());
     headline(&mut rows, "sc", &EnumConfig::hw(Arch::Sc, 4), &Sc);
-    headline(&mut rows, "power", &EnumConfig::hw(Arch::Power, 3), &Power::tm());
-    headline(&mut rows, "armv8", &EnumConfig::hw(Arch::Armv8, 3), &Armv8::tm());
+    headline(
+        &mut rows,
+        "power",
+        &EnumConfig::hw(Arch::Power, 3),
+        &Power::tm(),
+    );
+    headline(
+        &mut rows,
+        "armv8",
+        &EnumConfig::hw(Arch::Armv8, 3),
+        &Armv8::tm(),
+    );
     if std::env::var_os("PRUNE_BENCH_FULL").is_some() {
-        headline(&mut rows, "power", &EnumConfig::hw(Arch::Power, 4), &Power::tm());
+        headline(
+            &mut rows,
+            "power",
+            &EnumConfig::hw(Arch::Power, 4),
+            &Power::tm(),
+        );
         headline(&mut rows, "x86", &EnumConfig::hw(Arch::X86, 5), &X86::tm());
     }
     write_bench_json(&rows);

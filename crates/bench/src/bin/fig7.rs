@@ -17,14 +17,20 @@ fn main() {
         .and_then(|s| s.parse().ok())
         .unwrap_or(4);
     println!("== Fig. 7: distribution of synthesis times ({events}-event x86 Forbid tests) ==\n");
-    let session = Session::new();
-    let cfg = table1_config(Arch::X86, events);
+    let tele = txmm_bench::telemetry_from_args();
+    let mut session = Session::new();
+    if let Some(t) = &tele {
+        session.set_walk_progress(Some(t.progress.clone()));
+    }
     let r = session.synthesise(
-        &cfg,
+        &table1_config(Arch::X86, events),
         session.resolve("x86-tm").expect("registered"),
         session.resolve("x86").expect("registered"),
         None,
     );
+    if let Some(t) = tele {
+        t.finish();
+    }
     let total = r.elapsed;
     let mut times: Vec<f64> = r.forbid.iter().map(|f| f.at.as_secs_f64()).collect();
     times.sort_by(|a, b| a.partial_cmp(b).expect("finite"));

@@ -103,7 +103,14 @@ fn main() {
         .unwrap_or(4);
     println!("== Table 1: testing the transactional x86 and Power models ==");
     println!("   (paper bounds: |E| ≤ 7/6 with SAT + hours; ours: |E| ≤ {max_events})\n");
+    let tele = txmm_bench::telemetry_from_args();
     let mut session = Session::new();
+    if let Some(t) = &tele {
+        session.set_walk_progress(Some(t.progress.clone()));
+    }
     run_arch(&mut session, Arch::X86, "x86-tm", "x86", max_events);
     run_arch(&mut session, Arch::Power, "power-tm", "power", max_events);
+    if let Some(t) = tele {
+        t.finish();
+    }
 }

@@ -320,7 +320,10 @@ impl CatModel {
     /// back from every check, exactly like interpreter errors did.
     pub fn new(name: &'static str, file: CatFile) -> CatModel {
         let start = std::time::Instant::now();
-        let program = crate::compile::compile(&file);
+        let program = {
+            let _span = txmm_obs::span!("cat.compile");
+            crate::compile::compile(&file)
+        };
         let compile_nanos = start.elapsed().as_nanos() as u64;
         let check_names = file
             .decls
@@ -380,6 +383,7 @@ impl CatModel {
         }
         slot.get_or_init(|| {
             self.misses.inc();
+            let _span = txmm_obs::span!("cat.specialise");
             let start = std::time::Instant::now();
             let t = crate::opt::specialise(program, n);
             self.compile_nanos.add(start.elapsed().as_nanos() as u64);

@@ -40,16 +40,14 @@
 use std::cell::RefCell;
 use std::sync::OnceLock;
 
-use txmm_core::incr::{
-    ComposeRule, DeltaPlan, EdgeKind, EdgeSel, Lift, Obligation, PruneOracle,
-};
+use txmm_core::incr::{ComposeRule, DeltaPlan, EdgeKind, EdgeSel, Lift, Obligation, PruneOracle};
 use txmm_core::{stronglift, weaklift, Execution, ExecutionAnalysis, Rel, MAX_EVENTS};
 use txmm_models::Checker;
 
 use crate::chunk::{AnyReg, Chunk, Op, RelBuiltin};
 use crate::eval::CatModel;
-use crate::parser::CheckKind;
 use crate::opt;
+use crate::parser::CheckKind;
 use crate::vm::Vm;
 
 /// How a register's value behaves as a partial candidate is extended.
@@ -355,6 +353,9 @@ impl CatPruneOracle {
 
 impl PruneOracle for CatPruneOracle {
     fn viable(&self, a: &ExecutionAnalysis<'_>) -> bool {
+        // This is the fallback recompute for probes the delta plan
+        // could not decide; the span makes that time visible on traces.
+        let _span = txmm_obs::span!("prune.fallback");
         let chunk = self.tier(a.len());
         let mut checker = Checker::new(self.name);
         PRUNE_VM.with(|vm| vm.borrow_mut().run(chunk, a, &mut checker));
@@ -363,6 +364,7 @@ impl PruneOracle for CatPruneOracle {
 
     // One VM borrow for the whole sibling batch.
     fn viable_batch(&self, batch: &[ExecutionAnalysis<'_>]) -> u64 {
+        let _span = txmm_obs::span!("prune.fallback_batch");
         PRUNE_VM.with(|vm| {
             let mut vm = vm.borrow_mut();
             let mut bits = 0u64;

@@ -564,7 +564,10 @@ impl PartialCandidate {
                 fr: self.fr,
                 coh: self.coh,
                 coh_ok: self.coh_ok,
-                obls: self.delta.as_ref().map_or_else(Vec::new, |d| d.obls.clone()),
+                obls: self
+                    .delta
+                    .as_ref()
+                    .map_or_else(Vec::new, |d| d.obls.clone()),
                 ok: self.delta.as_ref().is_none_or(|d| d.ok),
                 rmw_bad: self.delta.as_ref().is_some_and(|d| d.rmw_bad),
             });

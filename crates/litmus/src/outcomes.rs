@@ -926,7 +926,13 @@ impl PrunedWalk<'_> {
 
     /// Apply rf choice `choice` for read `i` (0 = initial value);
     /// `true` when the choice added any edges worth checking.
-    fn apply_rf(&mut self, pc: &mut PartialCandidate, i: usize, rnew: usize, choice: usize) -> bool {
+    fn apply_rf(
+        &mut self,
+        pc: &mut PartialCandidate,
+        i: usize,
+        rnew: usize,
+        choice: usize,
+    ) -> bool {
         if choice == 0 {
             // Reading the initial value forces fr to every committed
             // write at the location (none ⇒ no-op).

@@ -16,8 +16,8 @@
 //! * `StrongIsol`, `TxnOrder`, and `TxnCancelsRMW`.
 
 use txmm_core::incr::{ComposeRule, DeltaPlan, EdgeKind, EdgeSel, Lift, Obligation, PruneOracle};
-use txmm_core::{stronglift, union_all, weaklift, Execution, ExecutionAnalysis, EventSet, Rel};
 use txmm_core::Fence;
+use txmm_core::{stronglift, union_all, weaklift, EventSet, Execution, ExecutionAnalysis, Rel};
 
 use crate::arch::Arch;
 use crate::model::{Checker, Derived, Model};

@@ -13,18 +13,27 @@
 //!   per-span-name histogram and, when the current request carries a
 //!   trace ID, append to a bounded per-request [`Trace`] timeline.
 //! - [`slow`]: a bounded ring of the slowest requests seen so far.
+//! - [`progress`]: live walk telemetry — a shared [`WalkProgress`]
+//!   accumulator mirrored into `txmm_walk_*` registry series, a JSONL
+//!   heartbeat [`Reporter`], and a read-only [`MetricsSidecar`] TCP
+//!   listener for one-shot processes.
 //!
 //! Handle creation takes the registry mutex — create handles once at
 //! construction time (or behind a thread-local cache, as `span!` does),
 //! never per request.
 
 pub mod metrics;
+pub mod progress;
 pub mod slow;
 pub mod span;
 
 pub use metrics::{
     bucket_bound, bucket_index, global, Counter, Gauge, Histogram, HistogramSnapshot, Registry,
     BUCKETS,
+};
+pub use progress::{
+    publish_process_info, resident_bytes, serve_metrics, LaneSnapshot, MetricsSidecar,
+    ProgressSink, ProgressSnapshot, Reporter, WalkProgress, WorkerLane,
 };
 pub use slow::{SlowEntry, Slowest};
 pub use span::{with_trace, SpanGuard, SpanRecord, Trace, TRACE_SPAN_CAP};

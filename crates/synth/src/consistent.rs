@@ -32,12 +32,14 @@ use txmm_core::incr::{judge_batch, NoPrune, PartialCandidate, PruneOracle, Prune
 use txmm_core::{Event, EventKind, EventSet, Execution, Rel, TxnClass, TxnFreeBase};
 use txmm_models::Model;
 
+use txmm_obs::WalkProgress;
+
 use crate::enumerate::{
-    config_shapes, enumerate_labels, for_deps, for_txns, kinds_for, shape_tids, CandSeq,
+    config_shapes, enumerate_labels, for_deps, for_txns, kinds_for, shape_tids, walk_plan, CandSeq,
     EnumConfig, Frontier, StructureSpace, Subtree,
 };
 use crate::par::worker_count;
-use crate::steal::{run_with, StealStats};
+use crate::steal::{run_with_progress, StealStats};
 
 /// Process-wide prune telemetry, published once per completed walk
 /// (the walks run per request, so handles are created exactly once).
@@ -552,18 +554,24 @@ pub fn enumerate_pruned(
     oracle: &dyn PruneOracle,
     visit: &mut dyn FnMut(&Execution),
 ) -> PruneStats {
-    walk_pruned(cfg, oracle, false, visit)
+    walk_pruned(cfg, oracle, false, None, visit)
 }
 
 fn walk_pruned(
     cfg: &EnumConfig,
     oracle: &dyn PruneOracle,
     txn_first: bool,
+    progress: Option<&WalkProgress>,
     visit: &mut dyn FnMut(&Execution),
 ) -> PruneStats {
+    if let Some(p) = progress {
+        p.add_total(walk_plan(cfg).weight);
+    }
     let shapes = config_shapes(cfg);
     let mut st = PruneStats::default();
     for sub in Frontier::new(cfg) {
+        let before = (st.subtrees_cut, st.candidates_skipped);
+        let mut emitted = 0u64;
         pruned_subtree(
             cfg,
             &shapes[sub.shape_idx],
@@ -571,8 +579,19 @@ fn walk_pruned(
             oracle,
             txn_first,
             &mut st,
-            visit,
+            &mut |x| {
+                emitted += 1;
+                visit(x);
+            },
         );
+        if let Some(p) = progress {
+            p.subtree_done(
+                sub.weight,
+                emitted,
+                st.subtrees_cut - before.0,
+                st.candidates_skipped - before.1,
+            );
+        }
     }
     publish_prune(&st);
     st
@@ -593,14 +612,18 @@ where
     FI: Fn(usize) -> S + Sync,
     FV: Fn(CandSeq, &Execution, &mut S) + Sync,
 {
-    visit_pruned_par_mode(cfg, oracle, false, workers, init, visit)
+    visit_pruned_par_mode(cfg, oracle, false, workers, None, init, visit)
 }
 
-fn visit_pruned_par_mode<S, FI, FV>(
+/// [`visit_pruned_par`] with optional live progress: the walk plan is
+/// declared up front, and every completed subtree flushes its weight,
+/// emit count and prune-cut deltas into `progress`. With `None` the
+/// walk is identical to [`visit_pruned_par`].
+pub fn visit_pruned_par_progress<S, FI, FV>(
     cfg: &EnumConfig,
     oracle: &dyn PruneOracle,
-    txn_first: bool,
     workers: usize,
+    progress: Option<&WalkProgress>,
     init: FI,
     visit: FV,
 ) -> (Vec<S>, PruneStats, StealStats)
@@ -609,14 +632,37 @@ where
     FI: Fn(usize) -> S + Sync,
     FV: Fn(CandSeq, &Execution, &mut S) + Sync,
 {
+    visit_pruned_par_mode(cfg, oracle, false, workers, progress, init, visit)
+}
+
+#[allow(clippy::too_many_arguments)]
+fn visit_pruned_par_mode<S, FI, FV>(
+    cfg: &EnumConfig,
+    oracle: &dyn PruneOracle,
+    txn_first: bool,
+    workers: usize,
+    progress: Option<&WalkProgress>,
+    init: FI,
+    visit: FV,
+) -> (Vec<S>, PruneStats, StealStats)
+where
+    S: Send,
+    FI: Fn(usize) -> S + Sync,
+    FV: Fn(CandSeq, &Execution, &mut S) + Sync,
+{
+    if let Some(p) = progress {
+        p.add_total(walk_plan(cfg).weight);
+    }
     let shapes = config_shapes(cfg);
-    let (pairs, steal) = run_with(
+    let (pairs, steal) = run_with_progress(
         Frontier::new(cfg),
         workers,
+        progress,
         |w| (init(w), PruneStats::default()),
         |sub: Subtree, state: &mut (S, PruneStats)| {
             let mut emit = 0u32;
             let (s, st) = state;
+            let before = (st.subtrees_cut, st.candidates_skipped);
             pruned_subtree(
                 cfg,
                 &shapes[sub.shape_idx],
@@ -629,6 +675,14 @@ where
                     emit += 1;
                 },
             );
+            if let Some(p) = progress {
+                p.subtree_done(
+                    sub.weight,
+                    emit as u64,
+                    st.subtrees_cut - before.0,
+                    st.candidates_skipped - before.1,
+                );
+            }
         },
     );
     let mut states = Vec::with_capacity(pairs.len());
@@ -659,7 +713,7 @@ pub fn enumerate_consistent(
 ) -> PruneStats {
     let oracle = oracle_for(model, false);
     let mut check = LeafChecker::new(model);
-    walk_pruned(cfg, oracle, false, &mut |x| {
+    walk_pruned(cfg, oracle, false, None, &mut |x| {
         if check.consistent(x) {
             visit(x);
         }
@@ -681,7 +735,7 @@ pub fn enumerate_consistent_txn_first(
     if !oracle.txn_aware_exact() {
         return None;
     }
-    Some(walk_pruned(cfg, oracle, true, visit))
+    Some(walk_pruned(cfg, oracle, true, None, visit))
 }
 
 /// Count the model-consistent classes (sequential).
@@ -693,15 +747,32 @@ pub fn count_consistent(cfg: &EnumConfig, model: &dyn Model) -> (usize, PruneSta
 
 /// Parallel [`count_consistent`] on the work-stealing pool.
 pub fn count_consistent_par(cfg: &EnumConfig, model: &dyn Model) -> (usize, PruneStats) {
+    count_consistent_par_progress(cfg, model, worker_count(), None)
+}
+
+/// [`count_consistent_par`] with optional live progress: classes kept
+/// by the leaf check land in `progress` as they are found, so a
+/// heartbeat reporter's final frame totals equal the returned count.
+pub fn count_consistent_par_progress(
+    cfg: &EnumConfig,
+    model: &dyn Model,
+    workers: usize,
+    progress: Option<&WalkProgress>,
+) -> (usize, PruneStats) {
     let oracle = oracle_for(model, false);
-    let (counts, st, _) = visit_pruned_par(
+    let (counts, st, _) = visit_pruned_par_mode(
         cfg,
         oracle,
-        worker_count(),
+        false,
+        workers,
+        progress,
         |_| (0usize, LeafChecker::new(model)),
         |_, x, (n, check)| {
             if check.consistent(x) {
                 *n += 1;
+                if let Some(p) = progress {
+                    p.add_classes(1);
+                }
             }
         },
     );

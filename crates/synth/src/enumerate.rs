@@ -196,8 +196,59 @@ pub struct Subtree {
     pub seq: u64,
     /// Index into [`config_shapes`].
     pub shape_idx: usize,
+    /// Closed-form size proxy for the subtree (rf choices × co
+    /// orderings of its kind assignment) — the weight unit of
+    /// [`WalkPlan`] progress accounting.
+    pub weight: u64,
     /// Kind index per event slot (into the config's kind vocabulary).
     pub(crate) kind_choice: Vec<u8>,
+}
+
+/// Total work of one enumeration walk, in [`Subtree::weight`] units.
+/// Computed by a dry pass over the frontier (a few thousand odometer
+/// steps — negligible against the walk itself).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WalkPlan {
+    /// Frontier subtrees the walk will claim.
+    pub subtrees: u64,
+    /// Summed subtree weights (the denominator of "fraction done").
+    pub weight: u64,
+}
+
+/// Plan the walk over `cfg`: subtree count and total weight.
+pub fn walk_plan(cfg: &EnumConfig) -> WalkPlan {
+    let mut plan = WalkPlan {
+        subtrees: 0,
+        weight: 0,
+    };
+    for sub in Frontier::new(cfg) {
+        plan.subtrees += 1;
+        plan.weight = plan.weight.saturating_add(sub.weight);
+    }
+    plan
+}
+
+/// The per-subtree weight: with `w` writes and `r` reads in the kind
+/// assignment, each read has up to `w + 1` rf sources and the writes
+/// admit up to `w!` coherence orders. Labels, dependencies and
+/// transaction layouts multiply every subtree of a shape by the same
+/// factors, so the proxy ranks subtrees correctly where it matters —
+/// a fence-heavy assignment weighs far less than a write-heavy one.
+fn subtree_weight(kinds: &[EventKind], kind_choice: &[u8]) -> u64 {
+    let mut reads = 0u32;
+    let mut writes = 0u64;
+    for &i in kind_choice {
+        match kinds[i as usize] {
+            EventKind::Read => reads += 1,
+            EventKind::Write => writes += 1,
+            _ => {}
+        }
+    }
+    let mut w = (writes + 1).saturating_pow(reads);
+    for k in 2..=writes {
+        w = w.saturating_mul(k);
+    }
+    w.max(1)
 }
 
 /// The lazy stream of [`Subtree`] jobs, in sequential enumeration
@@ -282,6 +333,7 @@ impl Iterator for Frontier {
                 let sub = Subtree {
                     seq: self.seq,
                     shape_idx: *shape_idx,
+                    weight: subtree_weight(&self.kinds, choice),
                     kind_choice: choice.clone(),
                 };
                 self.seq += 1;
@@ -374,15 +426,46 @@ where
     FI: Fn(usize) -> S + Sync,
     FV: Fn(CandSeq, &Execution, &mut S) + Sync,
 {
+    visit_par_progress(cfg, workers, None, init, visit)
+}
+
+/// [`visit_par`] with optional live progress: the walk plan is
+/// declared up front and every completed subtree flushes its weight
+/// and emit count into `progress`. With `None` the walk is identical
+/// to [`visit_par`].
+pub fn visit_par_progress<S, FI, FV>(
+    cfg: &EnumConfig,
+    workers: usize,
+    progress: Option<&txmm_obs::WalkProgress>,
+    init: FI,
+    visit: FV,
+) -> (Vec<S>, StealStats)
+where
+    S: Send,
+    FI: Fn(usize) -> S + Sync,
+    FV: Fn(CandSeq, &Execution, &mut S) + Sync,
+{
+    if let Some(p) = progress {
+        p.add_total(walk_plan(cfg).weight);
+    }
     let shapes = config_shapes(cfg);
     let frontier = Frontier::over_shapes(cfg, shapes.clone());
-    run_with(frontier, workers, init, |sub: Subtree, state: &mut S| {
-        let mut emit = 0u32;
-        enumerate_subtree(cfg, &shapes[sub.shape_idx], &sub, &mut |x| {
-            visit((sub.seq, emit), x, state);
-            emit += 1;
-        });
-    })
+    crate::steal::run_with_progress(
+        frontier,
+        workers,
+        progress,
+        init,
+        |sub: Subtree, state: &mut S| {
+            let mut emit = 0u32;
+            enumerate_subtree(cfg, &shapes[sub.shape_idx], &sub, &mut |x| {
+                visit((sub.seq, emit), x, state);
+                emit += 1;
+            });
+            if let Some(p) = progress {
+                p.subtree_done(sub.weight, emit as u64, 0, 0);
+            }
+        },
+    )
 }
 
 /// Streaming parallel enumeration: `f` runs on the pool's workers, one

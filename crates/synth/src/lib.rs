@@ -39,18 +39,20 @@ pub mod weaken;
 
 pub use canon::canon_key;
 pub use consistent::{
-    count_consistent, count_consistent_par, enumerate_consistent, enumerate_consistent_txn_first,
-    enumerate_pruned, oracle_for, visit_pruned_par, LeafChecker,
+    count_consistent, count_consistent_par, count_consistent_par_progress, enumerate_consistent,
+    enumerate_consistent_txn_first, enumerate_pruned, oracle_for, visit_pruned_par,
+    visit_pruned_par_progress, LeafChecker,
 };
 pub use diff::{distinguish, distinguish_seq, equivalent, equivalent_seq};
 pub use enumerate::{
     count, count_par, count_reference, enumerate, enumerate_reference, enumerate_shape,
-    for_each_par, stream_par, visit_par, CandSeq, EnumConfig, Frontier, Subtree,
+    for_each_par, stream_par, visit_par, visit_par_progress, walk_plan, CandSeq, EnumConfig,
+    Frontier, Subtree, WalkPlan,
 };
 pub use par::par_map;
-pub use steal::{run_with, StealStats};
+pub use steal::{run_with, run_with_progress, StealStats};
 pub use suites::{
-    synthesise, synthesise_pruned, synthesise_seq, synthesise_streamed, txn_histogram, FoundTest,
-    SuiteResult,
+    synthesise, synthesise_pruned, synthesise_seq, synthesise_streamed,
+    synthesise_streamed_progress, txn_histogram, FoundTest, SuiteResult,
 };
 pub use weaken::weakenings;

@@ -17,7 +17,10 @@
 
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{Mutex, OnceLock};
+use std::sync::{Arc, Mutex, OnceLock};
+use std::time::Instant;
+
+use txmm_obs::{WalkProgress, WorkerLane};
 
 /// How many jobs a worker pulls from the frontier per refill. Small
 /// enough that late-arriving thieves find work at the frontier, large
@@ -85,11 +88,44 @@ where
     FI: Fn(usize) -> S + Sync,
     FW: Fn(J, &mut S) + Sync,
 {
+    run_with_progress(jobs, workers, None, init, work)
+}
+
+/// [`run_with`] with optional live-progress lanes: when `progress` is
+/// set, the pool registers one [`WorkerLane`] per worker and keeps
+/// per-worker job/steal counts plus busy/idle wall time, so a
+/// heartbeat reporter can show utilisation mid-run. With `progress`
+/// `None` the hot path is identical to [`run_with`] — no clocks, no
+/// extra atomics.
+pub fn run_with_progress<J, S, I, FI, FW>(
+    jobs: I,
+    workers: usize,
+    progress: Option<&WalkProgress>,
+    init: FI,
+    work: FW,
+) -> (Vec<S>, StealStats)
+where
+    J: Send,
+    S: Send,
+    I: Iterator<Item = J> + Send,
+    FI: Fn(usize) -> S + Sync,
+    FW: Fn(J, &mut S) + Sync,
+{
     if workers <= 1 {
+        let lane = progress.map(|p| p.register_workers(1).pop().expect("one registered lane"));
         let mut state = init(0);
         let mut jobs_run = 0u64;
         for job in jobs {
-            work(job, &mut state);
+            match &lane {
+                Some(l) => {
+                    let t0 = Instant::now();
+                    work(job, &mut state);
+                    l.busy_micros
+                        .fetch_add(t0.elapsed().as_micros() as u64, Ordering::Relaxed);
+                    l.jobs.fetch_add(1, Ordering::Relaxed);
+                }
+                None => work(job, &mut state),
+            }
             jobs_run += 1;
         }
         return (
@@ -103,6 +139,7 @@ where
         );
     }
 
+    let lanes: Option<Vec<Arc<WorkerLane>>> = progress.map(|p| p.register_workers(workers));
     let frontier = Mutex::new(jobs.fuse());
     let frontier_empty = AtomicBool::new(false);
     let queues: Vec<Mutex<VecDeque<J>>> =
@@ -110,6 +147,7 @@ where
     let steals = AtomicU64::new(0);
     let jobs_run = AtomicU64::new(0);
 
+    let lanes_ref = &lanes;
     let next_job = |w: usize| -> Option<J> {
         // Own deque first, newest job (depth-first locality).
         if let Some(j) = queues[w].lock().expect("own deque").pop_back() {
@@ -137,6 +175,9 @@ where
             let victim = (w + v) % workers;
             if let Some(j) = queues[victim].lock().expect("victim deque").pop_front() {
                 steals.fetch_add(1, Ordering::Relaxed);
+                if let Some(ls) = lanes_ref {
+                    ls[w].steals.fetch_add(1, Ordering::Relaxed);
+                }
                 return Some(j);
             }
         }
@@ -153,12 +194,34 @@ where
             let work = &work;
             let jobs_run = &jobs_run;
             let frontier_empty = &frontier_empty;
+            let lane = lanes.as_ref().map(|ls| ls[w].clone());
             handles.push(scope.spawn(move || {
                 let mut state = init(w);
+                // Idle accounting spans from the first empty claim to
+                // the next successful one (a single yield is below
+                // microsecond resolution).
+                let mut idle_since: Option<Instant> = None;
                 loop {
                     match next_job(w) {
                         Some(job) => {
-                            work(job, &mut state);
+                            match &lane {
+                                Some(l) => {
+                                    if let Some(t) = idle_since.take() {
+                                        l.idle_micros.fetch_add(
+                                            t.elapsed().as_micros() as u64,
+                                            Ordering::Relaxed,
+                                        );
+                                    }
+                                    let t0 = Instant::now();
+                                    work(job, &mut state);
+                                    l.busy_micros.fetch_add(
+                                        t0.elapsed().as_micros() as u64,
+                                        Ordering::Relaxed,
+                                    );
+                                    l.jobs.fetch_add(1, Ordering::Relaxed);
+                                }
+                                None => work(job, &mut state),
+                            }
                             jobs_run.fetch_add(1, Ordering::Relaxed);
                         }
                         None => {
@@ -167,7 +230,16 @@ where
                             // every deque came up empty this worker can
                             // retire; in-flight jobs finish on their
                             // holders.
+                            if lane.is_some() && idle_since.is_none() {
+                                idle_since = Some(Instant::now());
+                            }
                             if frontier_empty.load(Ordering::Relaxed) {
+                                if let (Some(l), Some(t)) = (&lane, idle_since.take()) {
+                                    l.idle_micros.fetch_add(
+                                        t.elapsed().as_micros() as u64,
+                                        Ordering::Relaxed,
+                                    );
+                                }
                                 break;
                             }
                             std::thread::yield_now();

@@ -20,7 +20,7 @@ use txmm_models::Model;
 
 use crate::canon::canon_key;
 use crate::consistent::{oracle_for, visit_pruned_par};
-use crate::enumerate::{enumerate, visit_par, CandSeq, EnumConfig};
+use crate::enumerate::{enumerate, CandSeq, EnumConfig};
 use crate::par::worker_count;
 use crate::weaken::weakenings;
 
@@ -74,13 +74,29 @@ pub fn synthesise_streamed(
     budget: Option<Duration>,
     workers: usize,
 ) -> SuiteResult {
+    synthesise_streamed_progress(cfg, tm, base, budget, workers, None)
+}
+
+/// [`synthesise_streamed`] with optional live progress: candidates
+/// examined and Forbid tests found (as "classes kept") flush into
+/// `progress` as the walk runs. With `None` the sweep is identical to
+/// [`synthesise_streamed`].
+pub fn synthesise_streamed_progress(
+    cfg: &EnumConfig,
+    tm: &dyn Model,
+    base: &dyn Model,
+    budget: Option<Duration>,
+    workers: usize,
+    progress: Option<&txmm_obs::WalkProgress>,
+) -> SuiteResult {
     let start = Instant::now();
     let candidates = AtomicUsize::new(0);
     let overrun = AtomicBool::new(false);
 
-    let (states, _) = visit_par(
+    let (states, _) = crate::enumerate::visit_par_progress(
         cfg,
         workers.max(1),
+        progress,
         |_| Vec::new(),
         |seq, x, found: &mut Vec<(CandSeq, FoundTest)>| {
             candidates.fetch_add(1, Ordering::Relaxed);
@@ -91,6 +107,9 @@ pub fn synthesise_streamed(
                 }
             }
             if let Some(f) = forbid_test(cfg, tm, base, x) {
+                if let Some(p) = progress {
+                    p.add_classes(1);
+                }
                 found.push((
                     seq,
                     FoundTest {

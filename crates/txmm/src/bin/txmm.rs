@@ -37,11 +37,23 @@
 //!   --max-candidates N  raise (or lower) the candidate-count refusal
 //!                       threshold from its default of 65536
 //!
+//! telemetry options (gen and outcomes):
+//!   --progress[=SECS]     emit one JSONL progress frame per interval
+//!                         (default 1s) on stderr: fraction done,
+//!                         candidates/sec, ETA, per-worker utilisation
+//!   --progress-file FILE  write the frames to FILE instead of stderr
+//!   --metrics-listen ADDR serve the live metrics registry on a TCP
+//!                         socket speaking the daemon's metrics frame,
+//!                         so `txmm client ADDR metrics` scrapes a
+//!                         one-shot run mid-walk
+//!
 //! client options:
 //!   --trace ID     (check/outcomes) ask the daemon to echo ID back
 //!                  with a per-stage span timeline on the response
 //!   --prom         (metrics) fetch Prometheus text exposition instead
 //!                  of the one-line JSON dump
+//!   --watch SECS   (metrics) re-poll on an interval, reconnecting each
+//!                  round, until the target goes away
 //! ```
 
 use std::io::{BufRead, BufReader, Read, Write};
@@ -72,9 +84,13 @@ fn usage() -> ExitCode {
          outcomes options: serve options plus --workers N, --max-candidates N\n\
          \u{20} --workers N parallelises the pruned abort-split walk and class\n\
          \u{20} checking over N work-stealing threads (1 = fully sequential)\n\
+         telemetry (gen/outcomes): --progress[=SECS] heartbeat JSONL frames on\n\
+         \u{20} stderr, --progress-file FILE to redirect them, --metrics-listen\n\
+         \u{20} ADDR to scrape live metrics from the one-shot process\n\
          client requests: check <file>, batch <dir>, outcomes <file|dir>,\n\
          \u{20}                reload, models, stats, metrics [--prom], shutdown\n\
-         client options: --trace ID (check/outcomes span timeline)"
+         client options: --trace ID (check/outcomes span timeline),\n\
+         \u{20}               --watch SECS (re-poll metrics on an interval)"
     );
     ExitCode::FAILURE
 }
@@ -119,7 +135,8 @@ fn positionals(args: &[String]) -> Vec<&str> {
     while i < args.len() {
         match args[i].as_str() {
             "--model" | "--cat" | "--events" | "--listen" | "--shards" | "--max-conns"
-            | "--workers" | "--max-candidates" | "--trace" => i += 2,
+            | "--workers" | "--max-candidates" | "--trace" | "--progress-file"
+            | "--metrics-listen" | "--watch" => i += 2,
             a if a.starts_with("--") => i += 1,
             a => {
                 out.push(a);
@@ -132,7 +149,10 @@ fn positionals(args: &[String]) -> Vec<&str> {
 
 fn cmd_gen(args: &[String]) -> ExitCode {
     let Some(&dir) = positionals(args).first() else {
-        eprintln!("usage: txmm gen <dir> [--events N]");
+        eprintln!(
+            "usage: txmm gen <dir> [--events N] [--progress[=SECS]] [--progress-file FILE] \
+             [--metrics-listen ADDR]"
+        );
         return ExitCode::FAILURE;
     };
     let events: usize = flag_values(args, "--events")
@@ -144,7 +164,21 @@ fn cmd_gen(args: &[String]) -> ExitCode {
         eprintln!("error: cannot create {}: {e}", dir.display());
         return ExitCode::FAILURE;
     }
-    let corpus = txmm::corpus::generate(events);
+    let telemetry = match parse_telemetry(args) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let mut session = Session::new();
+    if let Some(t) = &telemetry {
+        session.set_walk_progress(Some(t.progress.clone()));
+    }
+    let corpus = txmm::corpus::generate_on(&session, events);
+    if let Some(t) = telemetry {
+        t.finish();
+    }
     for (i, (name, text)) in corpus.iter().enumerate() {
         let path = dir.join(format!("{i:02}-{name}.litmus"));
         if let Err(e) = std::fs::write(&path, text) {
@@ -154,6 +188,87 @@ fn cmd_gen(args: &[String]) -> ExitCode {
     }
     eprintln!("wrote {} litmus files to {}", corpus.len(), dir.display());
     ExitCode::SUCCESS
+}
+
+/// Walk telemetry requested on the command line: the shared progress
+/// accumulator plus the optional heartbeat reporter and metrics
+/// sidecar it feeds. `None` when no telemetry flag was given, so the
+/// default paths carry zero overhead.
+struct Telemetry {
+    progress: std::sync::Arc<txmm::obs::WalkProgress>,
+    reporter: Option<txmm::obs::Reporter>,
+    sidecar: Option<txmm::obs::MetricsSidecar>,
+}
+
+impl Telemetry {
+    /// Stop the heartbeat (emitting the final frame, totals now equal
+    /// the walk's returned counts) and close the sidecar listener.
+    fn finish(self) {
+        if let Some(r) = self.reporter {
+            r.finish();
+        }
+        drop(self.sidecar);
+    }
+}
+
+/// Parse `--progress[=SECS]`, `--progress-file FILE` and
+/// `--metrics-listen ADDR`. Progress frames and sidecar announcements
+/// go to stderr (or the file), never stdout: JSONL output stays
+/// byte-identical with telemetry on.
+fn parse_telemetry(args: &[String]) -> Result<Option<Telemetry>, String> {
+    let mut interval: Option<f64> = None;
+    for a in args {
+        if a == "--progress" {
+            interval = Some(1.0);
+        } else if let Some(v) = a.strip_prefix("--progress=") {
+            match v.parse::<f64>() {
+                Ok(secs) if secs > 0.0 => interval = Some(secs),
+                _ => {
+                    return Err(format!(
+                        "--progress={v}: expected a positive number of seconds"
+                    ))
+                }
+            }
+        }
+    }
+    let file = flag_values(args, "--progress-file")
+        .last()
+        .map(PathBuf::from);
+    let listen = flag_values(args, "--metrics-listen").last().copied();
+    if interval.is_none() && file.is_none() && listen.is_none() {
+        return Ok(None);
+    }
+    txmm::obs::publish_process_info();
+    let progress = std::sync::Arc::new(txmm::obs::WalkProgress::new());
+    let sidecar = match listen {
+        Some(addr) => {
+            let s = txmm::obs::serve_metrics(addr)
+                .map_err(|e| format!("cannot listen on {addr}: {e}"))?;
+            eprintln!("metrics sidecar listening on {}", s.addr());
+            Some(s)
+        }
+        None => None,
+    };
+    // A sidecar alone still wants the walk counters ticking, but only
+    // an explicit --progress[-file] starts the heartbeat thread.
+    let reporter = if interval.is_some() || file.is_some() {
+        let sink = match file {
+            Some(p) => txmm::obs::ProgressSink::File(p),
+            None => txmm::obs::ProgressSink::Stderr,
+        };
+        let iv = std::time::Duration::from_secs_f64(interval.unwrap_or(1.0));
+        Some(
+            txmm::obs::Reporter::start(progress.clone(), iv, sink)
+                .map_err(|e| format!("cannot start progress reporter: {e}"))?,
+        )
+    } else {
+        None
+    };
+    Ok(Some(Telemetry {
+        progress,
+        reporter,
+        sidecar,
+    }))
 }
 
 fn flag_values<'a>(args: &'a [String], flag: &str) -> Vec<&'a str> {
@@ -331,22 +446,67 @@ fn cmd_client(args: &[String]) -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    let stream = match connect(addr) {
-        Ok(s) => s,
-        Err(e) => {
-            eprintln!("error: cannot connect to {addr}: {e}");
+    // `metrics --watch SECS` polls on an interval, reconnecting each
+    // round (one-shot sidecars and daemons alike serve one frame per
+    // connection), until the target goes away or the user interrupts.
+    let watch = flag_values(args, "--watch")
+        .last()
+        .map(|s| s.parse::<f64>());
+    let watch = match watch {
+        None => None,
+        Some(Ok(secs)) if secs > 0.0 => Some(secs),
+        Some(_) => {
+            eprintln!("error: --watch expects a positive number of seconds");
             return ExitCode::FAILURE;
         }
     };
+    if let Some(secs) = watch {
+        if !matches!(request, Request::Metrics { .. }) {
+            eprintln!("error: --watch only applies to the metrics request");
+            return ExitCode::FAILURE;
+        }
+        use std::io::IsTerminal;
+        let clear = std::io::stdout().is_terminal();
+        loop {
+            if clear {
+                // Clear between frames, watch(1)-style, when
+                // interactive; piped output stays plain JSONL.
+                print!("\x1b[2J\x1b[H");
+            }
+            match client_round_trip(addr, &request) {
+                Ok(_) => {}
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    return ExitCode::FAILURE;
+                }
+            }
+            let _ = std::io::Write::flush(&mut std::io::stdout());
+            std::thread::sleep(std::time::Duration::from_secs_f64(secs));
+        }
+    }
+    match client_round_trip(addr, &request) {
+        Ok(0) => ExitCode::SUCCESS,
+        Ok(failures) => {
+            eprintln!("{failures} error responses");
+            ExitCode::FAILURE
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// One request/response frame against a daemon or metrics sidecar:
+/// connect, send, print response lines up to the blank terminator.
+/// Returns how many of them were error responses.
+fn client_round_trip(addr: &str, request: &Request) -> Result<usize, String> {
+    let stream = connect(addr).map_err(|e| format!("cannot connect to {addr}: {e}"))?;
     let mut stream = BufReader::new(stream);
-    if stream
+    stream
         .get_mut()
         .write_all(format!("{}\n", request.to_line()).as_bytes())
-        .is_err()
-    {
-        eprintln!("error: cannot send request to {addr}");
-        return ExitCode::FAILURE;
-    }
+        .map_err(|_| format!("cannot send request to {addr}"))?;
     let mut failures = 0usize;
     let mut line = String::new();
     loop {
@@ -363,17 +523,10 @@ fn cmd_client(args: &[String]) -> ExitCode {
                 }
                 println!("{l}");
             }
-            Err(e) => {
-                eprintln!("error: {e}");
-                return ExitCode::FAILURE;
-            }
+            Err(e) => return Err(e.to_string()),
         }
     }
-    if failures > 0 {
-        eprintln!("{failures} error responses");
-        return ExitCode::FAILURE;
-    }
-    ExitCode::SUCCESS
+    Ok(failures)
 }
 
 /// One-shot outcome serving: `txmm outcomes <dir|file...>` — the
@@ -457,6 +610,17 @@ fn cmd_outcomes(args: &[String]) -> ExitCode {
         return ExitCode::FAILURE;
     }
 
+    let telemetry = match parse_telemetry(args) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if let Some(t) = &telemetry {
+        session.set_walk_progress(Some(t.progress.clone()));
+    }
+
     let mut failures = 0usize;
     let mut pass = |session: &mut Session, print: bool| -> u128 {
         let mut serving = 0u128;
@@ -475,6 +639,9 @@ fn cmd_outcomes(args: &[String]) -> ExitCode {
     };
 
     let cold = pass(&mut session, true);
+    if let Some(t) = telemetry {
+        t.finish();
+    }
     let s = session.stats();
     if has_flag(args, "--warm") {
         let warm = pass(&mut session, false);

@@ -39,6 +39,13 @@ pub fn sanitise(name: &str) -> String {
 /// Forbid/Allow suites at `events` events. At the default `events = 3`
 /// this is 50 tests.
 pub fn generate(events: usize) -> Vec<(String, String)> {
+    generate_on(&Session::new(), events)
+}
+
+/// [`generate`] against a caller-supplied session, so drivers that
+/// attach walk-progress telemetry (`txmm gen --progress`) observe the
+/// synthesis walk they asked for.
+pub fn generate_on(session: &Session, events: usize) -> Vec<(String, String)> {
     let mut out = Vec::new();
     for entry in catalog::all() {
         let arch = entry_arch(&entry.expect);
@@ -47,7 +54,6 @@ pub fn generate(events: usize) -> Vec<(String, String)> {
     }
     // Synthesised conformance tests, via the same Session pipeline the
     // server uses.
-    let session = Session::new();
     let tm = session.resolve("x86-tm").expect("registered");
     let base = session.resolve("x86").expect("registered");
     let cfg = EnumConfig {

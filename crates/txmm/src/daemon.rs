@@ -117,6 +117,27 @@ pub struct ShardSnapshot {
     /// Accumulated per-stage serving time across this shard's jobs
     /// (parse/convert ticked on handler threads, verdict/observe here).
     pub stages: StageMicros,
+    /// The shard Session's walk-progress accumulator (cumulative over
+    /// every outcome walk the shard has run; all zero before the
+    /// first one).
+    pub walk: WalkSnapshot,
+}
+
+/// A copyable digest of a shard's [`txmm_obs::WalkProgress`], carried
+/// on [`ShardSnapshot`] so `stats` can show in-flight walk progress
+/// per shard.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct WalkSnapshot {
+    /// Weighted work units completed.
+    pub work_done: u64,
+    /// Weighted work units planned.
+    pub work_total: u64,
+    /// Enumeration subtrees (abort splits) finished.
+    pub subtrees: u64,
+    /// Candidate executions emitted.
+    pub candidates: u64,
+    /// Canonical classes kept.
+    pub classes: u64,
 }
 
 struct Shard {
@@ -339,12 +360,26 @@ fn worker(
                 let _ = reply.send(result.map(|()| reloaded));
             }
             Job::Stats { reply } => {
+                let walk = match session.walk_progress() {
+                    Some(p) => {
+                        let s = p.snapshot();
+                        WalkSnapshot {
+                            work_done: s.done,
+                            work_total: s.total,
+                            subtrees: s.subtrees,
+                            candidates: s.candidates,
+                            classes: s.classes,
+                        }
+                    }
+                    None => WalkSnapshot::default(),
+                };
                 let _ = reply.send(ShardSnapshot {
                     shard,
                     served,
                     depth: 0, // filled in by the pool from its counters
                     session: session.stats(),
                     stages,
+                    walk,
                 });
             }
         }
@@ -360,7 +395,12 @@ impl SessionPool {
         let mut workers = Vec::with_capacity(n);
         let mut models = Vec::new();
         for i in 0..n {
-            let session = build_session(cfg)?;
+            let mut session = build_session(cfg)?;
+            // Each shard accumulates its own walk progress; the global
+            // registry sums the per-shard series, so a `metrics` scrape
+            // sees pool-wide walk counters while `stats` breaks them
+            // out per shard.
+            session.set_walk_progress(Some(Arc::new(txmm_obs::WalkProgress::new())));
             if i == 0 {
                 models = session
                     .models()
@@ -737,7 +777,9 @@ impl SessionPool {
                      \"prune_subtrees_cut\":{},\"prune_candidates_skipped\":{},\
                      \"prune_oracle_calls\":{},\"prune_oracle_micros\":{},\
                      \"prune_delta_answers\":{},\"prune_fallbacks\":{},\
-                     \"prune_batches\":{},\"prune_batched_placements\":{}}}",
+                     \"prune_batches\":{},\"prune_batched_placements\":{},\
+                     \"walk\":{{\"work_done\":{},\"work_total\":{},\"subtrees\":{},\
+                     \"candidates\":{},\"classes\":{}}}}}",
                     s.shard,
                     s.served,
                     s.depth,
@@ -758,7 +800,12 @@ impl SessionPool {
                     s.session.prune_delta_answers,
                     s.session.prune_fallbacks,
                     s.session.prune_batches,
-                    s.session.prune_batched_placements
+                    s.session.prune_batched_placements,
+                    s.walk.work_done,
+                    s.walk.work_total,
+                    s.walk.subtrees,
+                    s.walk.candidates,
+                    s.walk.classes
                 )
             })
             .collect::<Vec<_>>()

@@ -51,7 +51,7 @@ pub mod protocol;
 pub mod serve;
 pub mod session;
 
-pub use daemon::{Daemon, ListenAddr, PoolConfig, SessionPool};
+pub use daemon::{Daemon, ListenAddr, PoolConfig, SessionPool, ShardSnapshot, WalkSnapshot};
 pub use outcomes::{
     normalise_outcome, simulator_for, unsound_sim_outcomes, ModelOutcomes, OutcomeReport,
 };

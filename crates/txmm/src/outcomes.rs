@@ -168,32 +168,56 @@ impl DeadMasks {
 /// differ from the sequential schedule — both charge the same
 /// `subtrees_cut`/`candidates_skipped`, and a root-rejected mask emits
 /// no candidates either way, so only the oracle-call counters wobble.)
+type MaskBuffers = Vec<(u64, Vec<Candidate>)>;
+
 fn pruned_candidates_par(
     t: &LitmusTest,
     oracle: &dyn PruneOracle,
     workers: usize,
-) -> Result<(usize, PruneStats, Vec<(u64, Vec<Candidate>)>), String> {
+    progress: Option<&txmm_obs::WalkProgress>,
+) -> Result<(usize, PruneStats, MaskBuffers), String> {
     let sk = ProgramSkeleton::from_litmus(t).map_err(|e| e.to_string())?;
     let splits: u128 = 1u128 << sk.txns.len();
+    if let Some(p) = progress {
+        // One abort split = one unit of stealable work; its weight is
+        // the closed-form candidate count below it, so "fraction done"
+        // tracks candidates, not masks.
+        let total = (0..splits)
+            .map(|m| mask_candidate_count(&sk, m as u64))
+            .fold(0u64, u64::saturating_add);
+        p.add_total(total);
+    }
     let dead = DeadMasks::new(256);
     let monotone = oracle.event_monotone();
     let masks = (0..splits).rev().map(|m| m as u64);
-    let (states, _steal) = txmm_synth::steal::run_with(
+    let (states, _steal) = txmm_synth::steal::run_with_progress(
         masks,
         workers,
+        progress,
         |_| (Vec::new(), PruneStats::default()),
         |mask: u64, (bufs, st): &mut (Vec<(u64, Vec<Candidate>)>, PruneStats)| {
+            let work = mask_candidate_count(&sk, mask);
             if dead.subsumes(mask) {
                 st.subtrees_cut += 1;
-                st.candidates_skipped = st
-                    .candidates_skipped
-                    .saturating_add(mask_candidate_count(&sk, mask));
+                st.candidates_skipped = st.candidates_skipped.saturating_add(work);
+                if let Some(p) = progress {
+                    p.subtree_done(work, 0, 1, work);
+                }
                 return;
             }
+            let before = (st.subtrees_cut, st.candidates_skipped);
             let mut buf = Vec::new();
             let (_, root_live) = enumerate_mask_pruned(&sk, mask, oracle, st, &mut |c| buf.push(c));
             if !root_live && monotone {
                 dead.push(mask);
+            }
+            if let Some(p) = progress {
+                p.subtree_done(
+                    work,
+                    buf.len() as u64,
+                    st.subtrees_cut - before.0,
+                    st.candidates_skipped - before.1,
+                );
             }
             if !buf.is_empty() {
                 bufs.push((mask, buf));
@@ -206,7 +230,7 @@ fn pruned_candidates_par(
         all.extend(bufs);
         stats.merge(&st);
     }
-    all.sort_unstable_by(|a, b| b.0.cmp(&a.0));
+    all.sort_unstable_by_key(|b| std::cmp::Reverse(b.0));
     let visited = all.iter().map(|(_, b)| b.len()).sum();
     Ok((visited, stats, all))
 }
@@ -339,9 +363,12 @@ impl Session {
             verdicts,
             stats,
             outcome_workers,
+            walk_progress,
             ..
         } = self;
         let workers = *outcome_workers;
+        let progress = walk_progress.clone();
+        let progress = progress.as_deref();
         let model = models[slot].as_ref();
         let oracle = model
             .prune_oracle(true)
@@ -353,6 +380,9 @@ impl Session {
             let id = intern_into(arena, canon_ids, &c.exec);
             if seen.insert(id) {
                 classes.push(id);
+                if let Some(p) = progress {
+                    p.add_classes(1);
+                }
             }
             // The oracle's leaf check is not the full model (compiled
             // `.cat` oracles run only the monotone fragment), so the
@@ -377,7 +407,7 @@ impl Session {
         // and the merge (descending masks, the sequential order)
         // replays them through the same sink here.
         let (visited, pstats) = if workers > 1 {
-            let (visited, pstats, buffers) = pruned_candidates_par(t, oracle, workers)?;
+            let (visited, pstats, buffers) = pruned_candidates_par(t, oracle, workers, progress)?;
             for (_, buf) in buffers {
                 for c in buf {
                     sink(c);
@@ -385,8 +415,26 @@ impl Session {
             }
             (visited, pstats)
         } else {
-            txmm_litmus::enumerate_candidates_pruned(t, oracle, &mut sink)
-                .map_err(|e| e.to_string())?
+            // The sequential walk has no per-split granularity to
+            // report against, so the whole program is one work unit
+            // flushed when the walk returns.
+            let total = txmm_litmus::candidate_count(t)
+                .map(|n| n.min(u64::MAX as u128) as u64)
+                .unwrap_or(0);
+            if let Some(p) = progress {
+                p.add_total(total);
+            }
+            let (visited, pstats) = txmm_litmus::enumerate_candidates_pruned(t, oracle, &mut sink)
+                .map_err(|e| e.to_string())?;
+            if let Some(p) = progress {
+                p.subtree_done(
+                    total,
+                    visited as u64,
+                    pstats.subtrees_cut,
+                    pstats.candidates_skipped,
+                );
+            }
+            (visited, pstats)
         };
         self.stats.interned.set(self.arena.len() as i64);
         self.stats.outcome_candidates.add(visited as u64);
@@ -465,6 +513,14 @@ impl Session {
         .map_err(|e| e.to_string())?;
         self.stats.outcome_candidates.add(candidates.len() as u64);
         self.stats.outcome_classes.add(classes.len() as u64);
+        if let Some(p) = &self.walk_progress {
+            // The unpruned table is built in one gulp; report it as a
+            // single completed work unit so watchers still see motion.
+            let done = candidates.len() as u64;
+            p.add_total(done);
+            p.subtree_done(done, done, 0, 0);
+            p.add_classes(classes.len() as u64);
+        }
         Ok(OutcomeTable {
             candidates,
             classes,

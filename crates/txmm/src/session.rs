@@ -136,7 +136,10 @@ impl Model for CatBackend {
 
     fn prune_oracle(&self, txns_known: bool) -> Option<&dyn txmm_core::incr::PruneOracle> {
         self.oracles[txns_known as usize]
-            .get_or_init(|| txmm_cat::CatPruneOracle::derive(self.name, &self.model, txns_known))
+            .get_or_init(|| {
+                let _s = txmm_obs::span!("cat.prune_derive");
+                txmm_cat::CatPruneOracle::derive(self.name, &self.model, txns_known)
+            })
             .as_ref()
             .map(|o| o as &dyn txmm_core::incr::PruneOracle)
     }
@@ -333,6 +336,10 @@ pub struct Session {
     /// compile-cache stats; reload replaces the slot's entry.
     pub(crate) cat_models: Vec<(usize, std::sync::Arc<CatModel>)>,
     pub(crate) stats: SessionTelemetry,
+    /// Live walk telemetry: when set, the synthesis sweeps and the
+    /// outcome engine's pruned walks flush progress (work fractions,
+    /// candidates, classes, prune cuts) into it as they run.
+    pub(crate) walk_progress: Option<std::sync::Arc<txmm_obs::WalkProgress>>,
 }
 
 /// A `Session` moves whole into a shard worker thread of the serving
@@ -383,6 +390,7 @@ impl Session {
             outcome_workers: 1,
             cat_models: Vec::new(),
             stats: SessionTelemetry::new(),
+            walk_progress: None,
         };
         for m in registry::all_models() {
             s.register_model(m);
@@ -519,6 +527,20 @@ impl Session {
     /// The current candidate-execution cap.
     pub fn max_candidates(&self) -> u128 {
         self.max_candidates
+    }
+
+    /// Attach (or detach) a live walk-progress accumulator. While set,
+    /// the synthesis sweeps and the outcome engine's pruned walks
+    /// declare their plans and flush per-subtree deltas into it, so a
+    /// heartbeat reporter or the daemon's `stats` can watch them
+    /// mid-run.
+    pub fn set_walk_progress(&mut self, p: Option<std::sync::Arc<txmm_obs::WalkProgress>>) {
+        self.walk_progress = p;
+    }
+
+    /// The attached walk-progress accumulator, if any.
+    pub fn walk_progress(&self) -> Option<&std::sync::Arc<txmm_obs::WalkProgress>> {
+        self.walk_progress.as_ref()
     }
 
     /// Every registered model handle, in registration order.
@@ -716,7 +738,14 @@ impl Session {
         base: ModelRef,
         budget: Option<Duration>,
     ) -> SuiteResult {
-        txmm_synth::synthesise(cfg, self.model(tm), self.model(base), budget)
+        txmm_synth::synthesise_streamed_progress(
+            cfg,
+            self.model(tm),
+            self.model(base),
+            budget,
+            txmm_synth::par::worker_count(),
+            self.walk_progress.as_deref(),
+        )
     }
 
     /// Model-difference search (§4.1).

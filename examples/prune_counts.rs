@@ -6,13 +6,72 @@
 //! each, hours+ for the latter three on one core), `profile` (walk
 //! vs walk+check phase split) and `micro` (per-operation costs of the
 //! shared-slot leaf-check path).
-use std::time::Instant;
+//!
+//! Every subcommand also takes `--progress[=SECS]` (heartbeat JSONL
+//! frames on stderr) and `--metrics-listen ADDR` (scrapeable live
+//! metrics) so the hours-long bounds can be watched; see
+//! "Watching long runs" in the README.
+use std::sync::Arc;
+use std::time::{Duration, Instant};
 use txmm::models::{Arch, Armv8, Model, Power, X86};
-use txmm::synth::{count_consistent_par, EnumConfig};
+use txmm::obs::{serve_metrics, ProgressSink, Reporter, WalkProgress};
+use txmm::synth::{count_consistent_par_progress, par::worker_count, EnumConfig};
 
-fn run(name: &str, arch: Arch, model: &dyn Model, events: usize) {
+/// Telemetry requested on the command line: progress accumulator plus
+/// the heartbeat/sidecar it feeds (`None` fields when not asked for).
+struct Telemetry {
+    progress: Arc<WalkProgress>,
+    reporter: Option<Reporter>,
+    _sidecar: Option<txmm::obs::MetricsSidecar>,
+}
+
+fn telemetry() -> Option<Telemetry> {
+    let args: Vec<String> = std::env::args().skip(2).collect();
+    let mut interval: Option<f64> = None;
+    let mut listen: Option<String> = None;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        if a == "--progress" {
+            interval = Some(1.0);
+        } else if let Some(v) = a.strip_prefix("--progress=") {
+            interval = v.parse().ok().filter(|s| *s > 0.0).or(Some(1.0));
+        } else if a == "--metrics-listen" {
+            listen = it.next().cloned();
+        }
+    }
+    if interval.is_none() && listen.is_none() {
+        return None;
+    }
+    txmm::obs::publish_process_info();
+    let progress = Arc::new(WalkProgress::new());
+    let sidecar = listen.map(|addr| {
+        let s = serve_metrics(&addr).expect("metrics sidecar");
+        eprintln!("metrics sidecar listening on {}", s.addr());
+        s
+    });
+    let reporter = interval.map(|secs| {
+        Reporter::start(
+            progress.clone(),
+            Duration::from_secs_f64(secs),
+            ProgressSink::Stderr,
+        )
+        .expect("progress reporter")
+    });
+    Some(Telemetry {
+        progress,
+        reporter,
+        _sidecar: sidecar,
+    })
+}
+
+fn run(tele: Option<&Telemetry>, name: &str, arch: Arch, model: &dyn Model, events: usize) {
     let t0 = Instant::now();
-    let (n, st) = count_consistent_par(&EnumConfig::hw(arch, events), model);
+    let (n, st) = count_consistent_par_progress(
+        &EnumConfig::hw(arch, events),
+        model,
+        worker_count(),
+        tele.map(|t| t.progress.as_ref()),
+    );
     println!(
         "{name} |E|={events}: {n} consistent in {:.2}s (cut={} skipped={} calls={} delta={} fallback={} batches={})",
         t0.elapsed().as_secs_f64(),
@@ -35,7 +94,10 @@ fn profile_phases() {
     let t0 = Instant::now();
     let mut visited = 0usize;
     enumerate_pruned(&cfg, oracle, &mut |_| visited += 1);
-    println!("walk+clone+canon: {visited} visited in {:.2}s", t0.elapsed().as_secs_f64());
+    println!(
+        "walk+clone+canon: {visited} visited in {:.2}s",
+        t0.elapsed().as_secs_f64()
+    );
 
     let t0 = Instant::now();
     let mut n = 0usize;
@@ -44,7 +106,10 @@ fn profile_phases() {
             n += 1;
         }
     });
-    println!("walk+check: {n} consistent in {:.2}s", t0.elapsed().as_secs_f64());
+    println!(
+        "walk+check: {n} consistent in {:.2}s",
+        t0.elapsed().as_secs_f64()
+    );
 
     let t0 = Instant::now();
     let mut n = 0usize;
@@ -54,7 +119,10 @@ fn profile_phases() {
             n += 1;
         }
     });
-    println!("walk+shared-check: {n} consistent in {:.2}s", t0.elapsed().as_secs_f64());
+    println!(
+        "walk+shared-check: {n} consistent in {:.2}s",
+        t0.elapsed().as_secs_f64()
+    );
     let _ = Sc;
 }
 
@@ -69,7 +137,7 @@ fn microbench() {
     let mut samples: Vec<txmm::core::Execution> = Vec::new();
     let mut seen = 0usize;
     enumerate_pruned(&cfg, oracle, &mut |x| {
-        if seen % 60 == 0 && samples.len() < 30_000 {
+        if seen.is_multiple_of(60) && samples.len() < 30_000 {
             samples.push(x.clone());
         }
         seen += 1;
@@ -165,20 +233,30 @@ fn microbench() {
 
 fn main() {
     let which = std::env::args().nth(1).unwrap_or_default();
+    // One telemetry setup for the whole invocation: multi-bound
+    // subcommands (`quick`) accumulate into the same progress stream
+    // and keep one sidecar socket.
+    let tele = telemetry();
+    let t = tele.as_ref();
     match which.as_str() {
-        "power5" => run("power", Arch::Power, &Power::tm(), 5),
-        "armv85" => run("armv8", Arch::Armv8, &Armv8::tm(), 5),
-        "x866" => run("x86", Arch::X86, &X86::tm(), 6),
-        "power6" => run("power", Arch::Power, &Power::tm(), 6),
-        "armv86" => run("armv8", Arch::Armv8, &Armv8::tm(), 6),
+        "power5" => run(t, "power", Arch::Power, &Power::tm(), 5),
+        "armv85" => run(t, "armv8", Arch::Armv8, &Armv8::tm(), 5),
+        "x866" => run(t, "x86", Arch::X86, &X86::tm(), 6),
+        "power6" => run(t, "power", Arch::Power, &Power::tm(), 6),
+        "armv86" => run(t, "armv8", Arch::Armv8, &Armv8::tm(), 6),
         "profile" => profile_phases(),
         "micro" => microbench(),
         "quick" => {
-            run("x86", Arch::X86, &X86::tm(), 4);
-            run("x86", Arch::X86, &X86::tm(), 5);
-            run("power", Arch::Power, &Power::tm(), 4);
-            run("armv8", Arch::Armv8, &Armv8::tm(), 4);
+            run(t, "x86", Arch::X86, &X86::tm(), 4);
+            run(t, "x86", Arch::X86, &X86::tm(), 5);
+            run(t, "power", Arch::Power, &Power::tm(), 4);
+            run(t, "armv8", Arch::Armv8, &Armv8::tm(), 4);
         }
         other => eprintln!("unknown target {other:?}"),
+    }
+    if let Some(t) = tele {
+        if let Some(r) = t.reporter {
+            r.finish();
+        }
     }
 }

@@ -117,12 +117,7 @@ const FIVE_EVENT_ARMV8: Option<usize> = None;
 const SIX_EVENT_POWER: Option<usize> = None;
 const SIX_EVENT_ARMV8: Option<usize> = None;
 
-fn golden_consistent_full(
-    arch: Arch,
-    model: &dyn Model,
-    events: usize,
-    pinned: Option<usize>,
-) {
+fn golden_consistent_full(arch: Arch, model: &dyn Model, events: usize, pinned: Option<usize>) {
     if std::env::var_os("PRUNE_BENCH_FULL").is_none() {
         eprintln!("{arch:?} |E|={events}: skipped (set PRUNE_BENCH_FULL=1 to run)");
         return;
